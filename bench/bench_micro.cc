@@ -1,0 +1,191 @@
+// google-benchmark microbenchmarks of the pipeline's building blocks:
+// graph algorithms (Tarjan SCC, weak connectivity), fusion, Algorithm 2
+// (patterns tree), component-pattern matching, the end-to-end detector
+// and the trading-network generator.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/detector.h"
+#include "core/incremental.h"
+#include "core/scoring.h"
+#include "core/matcher.h"
+#include "core/pattern_tree.h"
+#include "core/subtpiin.h"
+#include "datagen/province.h"
+#include "fusion/pipeline.h"
+#include "graph/connected.h"
+#include "graph/scc.h"
+
+namespace tpiin {
+namespace {
+
+// Shared fixtures: one province per trading probability, built lazily
+// and cached for the whole benchmark binary run.
+struct Fixture {
+  RawDataset dataset;
+  Tpiin net;
+};
+
+const Fixture& GetFixture(double p) {
+  static auto* cache = new std::map<double, std::unique_ptr<Fixture>>();
+  auto it = cache->find(p);
+  if (it == cache->end()) {
+    ProvinceConfig config = PaperProvinceConfig();
+    config.trading_probability = p;
+    Result<Province> province = GenerateProvince(config);
+    TPIIN_CHECK(province.ok());
+    Result<FusionOutput> fused = BuildTpiin(province->dataset);
+    TPIIN_CHECK(fused.ok());
+    auto fixture = std::make_unique<Fixture>();
+    fixture->dataset = std::move(province->dataset);
+    fixture->net = std::move(fused->tpiin);
+    it = cache->emplace(p, std::move(fixture)).first;
+  }
+  return *it->second;
+}
+
+double ArgToProb(int64_t arg) { return arg / 1000.0; }
+
+void BM_FusionPipeline(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
+  FusionOptions options;
+  options.validate_dataset = false;
+  for (auto _ : state) {
+    Result<FusionOutput> fused = BuildTpiin(fixture.dataset, options);
+    TPIIN_CHECK(fused.ok());
+    benchmark::DoNotOptimize(fused->tpiin.NumNodes());
+  }
+}
+BENCHMARK(BM_FusionPipeline)->Arg(2)->Arg(20);
+
+void BM_TarjanScc(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(0.002);
+  for (auto _ : state) {
+    SccResult scc = StronglyConnectedComponents(fixture.net.graph());
+    benchmark::DoNotOptimize(scc.num_components);
+  }
+}
+BENCHMARK(BM_TarjanScc);
+
+void BM_WeaklyConnected(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(0.002);
+  for (auto _ : state) {
+    WccResult wcc =
+        WeaklyConnectedComponents(fixture.net.graph(), IsInfluenceArc);
+    benchmark::DoNotOptimize(wcc.num_components);
+  }
+}
+BENCHMARK(BM_WeaklyConnected);
+
+void BM_SegmentTpiin(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
+  for (auto _ : state) {
+    std::vector<SubTpiin> subs = SegmentTpiin(fixture.net);
+    benchmark::DoNotOptimize(subs.size());
+  }
+}
+BENCHMARK(BM_SegmentTpiin)->Arg(2)->Arg(20);
+
+void BM_GeneratePatternBase(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
+  std::vector<SubTpiin> subs = SegmentTpiin(fixture.net);
+  for (auto _ : state) {
+    size_t trails = 0;
+    for (const SubTpiin& sub : subs) {
+      Result<PatternGenResult> gen = GeneratePatternBase(sub);
+      TPIIN_CHECK(gen.ok());
+      trails += gen->base.size();
+    }
+    benchmark::DoNotOptimize(trails);
+  }
+}
+BENCHMARK(BM_GeneratePatternBase)->Arg(2)->Arg(20);
+
+void BM_MatchPatterns(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
+  std::vector<SubTpiin> subs = SegmentTpiin(fixture.net);
+  std::vector<PatternBase> bases;
+  for (const SubTpiin& sub : subs) {
+    Result<PatternGenResult> gen = GeneratePatternBase(sub);
+    TPIIN_CHECK(gen.ok());
+    bases.push_back(std::move(gen->base));
+  }
+  MatchOptions options;
+  options.collect_groups = false;
+  for (auto _ : state) {
+    size_t groups = 0;
+    for (size_t i = 0; i < subs.size(); ++i) {
+      MatchResult match = MatchPatterns(subs[i], bases[i], options);
+      groups += match.num_simple + match.num_complex;
+    }
+    benchmark::DoNotOptimize(groups);
+  }
+}
+BENCHMARK(BM_MatchPatterns)->Arg(2)->Arg(20);
+
+void BM_DetectEndToEnd(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
+  DetectorOptions options;
+  options.match.collect_groups = false;
+  for (auto _ : state) {
+    Result<DetectionResult> result =
+        DetectSuspiciousGroups(fixture.net, options);
+    TPIIN_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->suspicious_trades.size());
+  }
+}
+BENCHMARK(BM_DetectEndToEnd)->Arg(2)->Arg(20);
+
+void BM_IncrementalScreenerBuild(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(0.002);
+  for (auto _ : state) {
+    IncrementalScreener screener(fixture.net);
+    benchmark::DoNotOptimize(screener.TotalAncestorEntries());
+  }
+}
+BENCHMARK(BM_IncrementalScreenerBuild);
+
+void BM_IncrementalScreenQuery(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(0.002);
+  IncrementalScreener screener(fixture.net);
+  Rng rng(3);
+  const NodeId n = fixture.net.NumNodes();
+  size_t hits = 0;
+  for (auto _ : state) {
+    NodeId a = static_cast<NodeId>(rng.UniformU64(n));
+    NodeId b = static_cast<NodeId>(rng.UniformU64(n));
+    hits += screener.IsSuspicious(a, b);
+  }
+  benchmark::DoNotOptimize(hits);
+}
+BENCHMARK(BM_IncrementalScreenQuery);
+
+void BM_ScoreDetection(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
+  auto detection = DetectSuspiciousGroups(fixture.net);
+  TPIIN_CHECK(detection.ok());
+  for (auto _ : state) {
+    ScoringResult scoring = ScoreDetection(fixture.net, *detection);
+    benchmark::DoNotOptimize(scoring.ranked_trades.size());
+  }
+}
+BENCHMARK(BM_ScoreDetection)->Arg(2)->Arg(20);
+
+void BM_GenerateTradingNetwork(benchmark::State& state) {
+  Rng rng(7);
+  double p = ArgToProb(state.range(0));
+  for (auto _ : state) {
+    std::vector<TradeRecord> trades = GenerateTradingNetwork(2452, p, rng);
+    benchmark::DoNotOptimize(trades.size());
+  }
+}
+BENCHMARK(BM_GenerateTradingNetwork)->Arg(2)->Arg(100);
+
+}  // namespace
+}  // namespace tpiin
+
+BENCHMARK_MAIN();

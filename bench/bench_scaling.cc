@@ -1,0 +1,132 @@
+// Quantifies the efficiency claim of §5.2: the proposed method
+// (segmentation + patterns tree + component-pattern matching) against
+// the global traversing baseline, across network sizes and trading
+// probabilities. The paper reports that the proposed method "greatly
+// improves the efficiency" — the shape to reproduce is a widening gap as
+// either scale axis grows, with identical findings (checked here).
+
+#include <cstdio>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/baseline.h"
+#include "core/detector.h"
+#include "datagen/province.h"
+#include "fusion/pipeline.h"
+
+namespace tpiin {
+namespace {
+
+struct Row {
+  uint32_t companies;
+  double p;
+  double fuse_s;
+  double detect_s;
+  double baseline_root_s;
+  double baseline_all_s;
+  double baseline_naive_s;
+  size_t groups;
+  size_t arcs;
+};
+
+Row Measure(uint32_t companies, double p, uint64_t seed) {
+  ProvinceConfig config = PaperProvinceConfig(seed);
+  if (companies != config.num_companies) {
+    // Scale the population and conglomerate sizes proportionally.
+    double scale = static_cast<double>(companies) / config.num_companies;
+    config.num_companies = companies;
+    config.num_legal_persons = std::max<uint32_t>(
+        4, static_cast<uint32_t>(config.num_legal_persons * scale));
+    config.num_directors = std::max<uint32_t>(
+        2, static_cast<uint32_t>(config.num_directors * scale));
+    for (uint32_t& s : config.large_group_sizes) {
+      s = std::max<uint32_t>(4, static_cast<uint32_t>(s * scale));
+    }
+  }
+  config.trading_probability = p;
+  Result<Province> province = GenerateProvince(config);
+  TPIIN_CHECK(province.ok()) << province.status().ToString();
+
+  Row row{companies, p, 0, 0, 0, 0, 0, 0, 0};
+  WallTimer timer;
+  Result<FusionOutput> fused = BuildTpiin(province->dataset);
+  TPIIN_CHECK(fused.ok()) << fused.status().ToString();
+  row.fuse_s = timer.ElapsedSeconds();
+  const Tpiin& net = fused->tpiin;
+
+  DetectorOptions options;
+  options.match.collect_groups = false;
+  timer.Restart();
+  Result<DetectionResult> result = DetectSuspiciousGroups(net, options);
+  TPIIN_CHECK(result.ok());
+  row.detect_s = timer.ElapsedSeconds();
+  row.groups = result->num_simple + result->num_complex;
+  row.arcs = result->suspicious_trades.size();
+
+  BaselineOptions root_options;
+  root_options.collect_groups = false;
+  timer.Restart();
+  BaselineResult root = DetectBaseline(net, root_options);
+  row.baseline_root_s = timer.ElapsedSeconds();
+  TPIIN_CHECK_EQ(root.num_simple + root.num_complex, row.groups);
+  TPIIN_CHECK_EQ(root.suspicious_trades.size(), row.arcs);
+
+  BaselineOptions all_options;
+  all_options.anchor = BaselineAnchor::kAllNodes;
+  all_options.collect_groups = false;
+  timer.Restart();
+  BaselineResult all = DetectBaseline(net, all_options);
+  row.baseline_all_s = timer.ElapsedSeconds();
+  TPIIN_CHECK_EQ(all.suspicious_trades.size(), row.arcs);
+
+  // The naive pairwise-check formulation the paper describes; quadratic
+  // in trails per anchor, so only measured on bounded instances.
+  if (static_cast<uint64_t>(companies) * static_cast<uint64_t>(p * 1e4) <=
+      2452ull * 100ull) {
+    BaselineOptions naive_options;
+    naive_options.naive_pairing = true;
+    naive_options.collect_groups = false;
+    timer.Restart();
+    BaselineResult naive = DetectBaseline(net, naive_options);
+    row.baseline_naive_s = timer.ElapsedSeconds();
+    TPIIN_CHECK_EQ(naive.num_simple + naive.num_complex, row.groups);
+  }
+  return row;
+}
+
+int Run() {
+  std::printf("=== Efficiency: proposed method vs global traversal "
+              "(§5.2) ===\n\n");
+  std::printf("%-10s %-7s %-8s %-9s %-11s %-11s %-12s %-9s %-9s %-8s\n",
+              "companies", "p", "fuse(s)", "Alg1(s)", "base-root(s)",
+              "base-all(s)", "base-naive(s)", "speedup", "groups", "arcs");
+
+  std::vector<std::pair<uint32_t, double>> settings = {
+      {300, 0.01},  {600, 0.01},  {1200, 0.01}, {2452, 0.01},
+      {2452, 0.002}, {2452, 0.02}, {2452, 0.05},
+  };
+  for (const auto& [companies, p] : settings) {
+    Row row = Measure(companies, p, /*seed=*/20170402);
+    double reference = row.baseline_naive_s > 0 ? row.baseline_naive_s
+                                                : row.baseline_all_s;
+    std::printf(
+        "%-10u %-7.3f %-8.3f %-9.3f %-11.3f %-11.3f %-12.3f %-8.1fx "
+        "%-9zu %zu\n",
+        row.companies, row.p, row.fuse_s, row.detect_s,
+        row.baseline_root_s, row.baseline_all_s, row.baseline_naive_s,
+        row.detect_s > 0 ? reference / row.detect_s : 0.0, row.groups,
+        row.arcs);
+  }
+  std::printf("\n(speedup = slowest measured baseline / Algorithm 1; "
+              "findings are asserted identical. base-naive is the "
+              "paper's literal 'check every trail pair' formulation, "
+              "skipped where it would dominate the harness runtime.)\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace tpiin
+
+int main() { return tpiin::Run(); }

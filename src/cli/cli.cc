@@ -1,0 +1,373 @@
+#include "cli/cli.h"
+
+#include <filesystem>
+#include <unordered_map>
+
+#include "common/csv.h"
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "core/explain.h"
+#include "core/incremental.h"
+#include "core/scoring.h"
+#include "datagen/plant.h"
+#include "datagen/province.h"
+#include "fusion/neighborhood.h"
+#include "fusion/pipeline.h"
+#include "graph/degree.h"
+#include "io/dataset_csv.h"
+#include "io/dot_export.h"
+#include "io/edge_list.h"
+#include "io/gexf_export.h"
+#include "io/json_report.h"
+#include "io/pattern_file.h"
+
+namespace tpiin {
+
+namespace {
+
+Status ParseFlags(FlagParser& flags, const std::vector<std::string>& args) {
+  std::vector<const char*> argv = {"tpiin"};
+  for (const std::string& arg : args) argv.push_back(arg.c_str());
+  return flags.Parse(static_cast<int>(argv.size()), argv.data());
+}
+
+Status RunGen(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags;
+  flags.DefineString("out", "", "output directory for the CSV dataset");
+  flags.DefineInt64("companies", 400, "number of companies");
+  flags.DefineDouble("p", 0.01, "trading probability");
+  flags.DefineInt64("seed", 20170402, "RNG seed");
+  flags.DefineInt64("plant", 0, "planted IAT relationships");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("out").empty()) {
+    return Status::InvalidArgument("gen requires --out=DIR");
+  }
+
+  ProvinceConfig config = SmallProvinceConfig(
+      static_cast<uint32_t>(flags.GetInt64("companies")),
+      static_cast<uint64_t>(flags.GetInt64("seed")));
+  config.trading_probability = flags.GetDouble("p");
+  TPIIN_ASSIGN_OR_RETURN(Province province, GenerateProvince(config));
+  if (flags.GetInt64("plant") > 0) {
+    Rng rng(config.seed + 17);
+    std::vector<PlantedScheme> planted = PlantSuspiciousTrades(
+        province.dataset, rng,
+        static_cast<size_t>(flags.GetInt64("plant")));
+    out << "planted " << planted.size() << " IAT relationships\n";
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(flags.GetString("out"), ec);
+  TPIIN_RETURN_IF_ERROR(
+      SaveDatasetCsv(flags.GetString("out"), province.dataset));
+  out << "dataset: " << province.dataset.Stats().ToString() << "\n";
+  out << "written to " << flags.GetString("out") << "\n";
+  return Status::OK();
+}
+
+Status RunFuse(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags;
+  flags.DefineString("data", "", "CSV dataset directory");
+  flags.DefineString("out", "", "edge-list output file");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("data").empty() || flags.GetString("out").empty()) {
+    return Status::InvalidArgument("fuse requires --data=DIR --out=FILE");
+  }
+  TPIIN_ASSIGN_OR_RETURN(RawDataset dataset,
+                         LoadDatasetCsv(flags.GetString("data")));
+  TPIIN_ASSIGN_OR_RETURN(FusionOutput fused, BuildTpiin(dataset));
+  TPIIN_RETURN_IF_ERROR(
+      WriteTpiinEdgeList(flags.GetString("out"), fused.tpiin));
+  out << fused.stats.ToString() << "\n";
+  out << "TPIIN written to " << flags.GetString("out") << "\n";
+  return Status::OK();
+}
+
+Status RunDetect(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags;
+  flags.DefineString("net", "", "TPIIN edge-list file");
+  flags.DefineString("out", "", "optional output directory for reports");
+  flags.DefineInt64("threads", 1, "worker threads");
+  flags.DefineInt64("top", 10, "ranked trades to print");
+  flags.DefineString("json", "", "optional JSON report file");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("net").empty()) {
+    return Status::InvalidArgument("detect requires --net=FILE");
+  }
+  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
+                         ReadTpiinEdgeList(flags.GetString("net")));
+  DetectorOptions options;
+  options.num_threads = static_cast<uint32_t>(flags.GetInt64("threads"));
+  TPIIN_ASSIGN_OR_RETURN(DetectionResult detection,
+                         DetectSuspiciousGroups(net, options));
+  out << detection.Summary() << "\n";
+
+  ScoringResult scoring = ScoreDetection(net, detection);
+  size_t top = std::min<size_t>(
+      scoring.ranked_trades.size(),
+      static_cast<size_t>(std::max<int64_t>(0, flags.GetInt64("top"))));
+  if (top > 0) {
+    out << "\ntop " << top << " suspicious trading relationships:\n";
+    for (size_t i = 0; i < top; ++i) {
+      const ScoredTrade& trade = scoring.ranked_trades[i];
+      out << "  " << StringPrintf("%.4f", trade.score) << "  "
+          << net.Label(trade.seller) << " -> " << net.Label(trade.buyer)
+          << "  (" << trade.group_count << " proof chains)\n";
+    }
+  }
+
+  if (!flags.GetString("json").empty()) {
+    TPIIN_RETURN_IF_ERROR(WriteStringToFile(
+        flags.GetString("json"),
+        DetectionToJson(net, detection, &scoring)));
+    out << "JSON report written to " << flags.GetString("json") << "\n";
+  }
+
+  const std::string& out_dir = flags.GetString("out");
+  if (!out_dir.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    TPIIN_RETURN_IF_ERROR(WriteSuspiciousGroupsFile(
+        out_dir + "/susGroup.txt", net, detection.groups));
+    TPIIN_RETURN_IF_ERROR(WriteSuspiciousTradesFile(
+        out_dir + "/susTrade.txt", net, detection.suspicious_trades));
+    TPIIN_RETURN_IF_ERROR(
+        WriteDetectionReport(out_dir + "/report.txt", net, detection));
+    out << "\nreports written to " << out_dir << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunExplain(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags;
+  flags.DefineString("net", "", "TPIIN edge-list file");
+  flags.DefineString("company", "", "company node label to analyze");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("net").empty() ||
+      flags.GetString("company").empty()) {
+    return Status::InvalidArgument(
+        "explain requires --net=FILE --company=LABEL");
+  }
+  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
+                         ReadTpiinEdgeList(flags.GetString("net")));
+  NodeId company = kInvalidNode;
+  for (NodeId v = 0; v < net.NumNodes(); ++v) {
+    if (net.Label(v) == flags.GetString("company")) {
+      company = v;
+      break;
+    }
+  }
+  if (company == kInvalidNode) {
+    return Status::NotFound("no node labeled " +
+                            flags.GetString("company"));
+  }
+  if (net.node(company).color != NodeColor::kCompany) {
+    return Status::InvalidArgument(flags.GetString("company") +
+                                   " is a Person node");
+  }
+  TPIIN_ASSIGN_OR_RETURN(DetectionResult detection,
+                         DetectSuspiciousGroups(net));
+  ScoringResult scoring = ScoreDetection(net, detection);
+  CompanyDossier dossier =
+      BuildCompanyDossier(net, detection, scoring, company);
+  out << FormatCompanyDossier(net, dossier);
+  return Status::OK();
+}
+
+Status RunScreen(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags;
+  flags.DefineString("net", "", "TPIIN edge-list file");
+  flags.DefineString("seller", "", "seller company label");
+  flags.DefineString("buyer", "", "buyer company label");
+  flags.DefineString("pairs", "",
+                     "CSV of candidate relationships (seller,buyer labels)");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  bool single = !flags.GetString("seller").empty() &&
+                !flags.GetString("buyer").empty();
+  if (flags.GetString("net").empty() ||
+      (!single && flags.GetString("pairs").empty())) {
+    return Status::InvalidArgument(
+        "screen requires --net=FILE and either --seller/--buyer labels "
+        "or --pairs=CSV");
+  }
+  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
+                         ReadTpiinEdgeList(flags.GetString("net")));
+
+  std::unordered_map<std::string, NodeId> by_label;
+  for (NodeId v = 0; v < net.NumNodes(); ++v) {
+    by_label.emplace(net.Label(v), v);
+  }
+  auto lookup = [&](const std::string& label) -> Result<NodeId> {
+    auto it = by_label.find(label);
+    if (it == by_label.end()) {
+      return Status::NotFound("no node labeled " + label);
+    }
+    if (net.node(it->second).color != NodeColor::kCompany) {
+      return Status::InvalidArgument(label + " is a Person node");
+    }
+    return it->second;
+  };
+
+  std::vector<std::pair<NodeId, NodeId>> candidates;
+  if (single) {
+    TPIIN_ASSIGN_OR_RETURN(NodeId seller,
+                           lookup(flags.GetString("seller")));
+    TPIIN_ASSIGN_OR_RETURN(NodeId buyer, lookup(flags.GetString("buyer")));
+    candidates.emplace_back(seller, buyer);
+  } else {
+    TPIIN_ASSIGN_OR_RETURN(auto rows,
+                           ReadCsvFile(flags.GetString("pairs"), {}));
+    for (const auto& row : rows) {
+      if (row.size() != 2) {
+        return Status::Corruption("pairs CSV must have two columns");
+      }
+      TPIIN_ASSIGN_OR_RETURN(NodeId seller, lookup(row[0]));
+      TPIIN_ASSIGN_OR_RETURN(NodeId buyer, lookup(row[1]));
+      candidates.emplace_back(seller, buyer);
+    }
+  }
+
+  IncrementalScreener screener(net);
+  size_t flagged = 0;
+  for (const auto& [seller, buyer] : candidates) {
+    std::optional<NodeId> witness =
+        screener.CommonAntecedent(seller, buyer);
+    if (witness.has_value()) {
+      ++flagged;
+      out << "SUSPICIOUS  " << net.Label(seller) << " -> "
+          << net.Label(buyer) << "  (common antecedent "
+          << net.Label(*witness) << ")\n";
+    } else {
+      out << "clear       " << net.Label(seller) << " -> "
+          << net.Label(buyer) << "\n";
+    }
+  }
+  out << flagged << " of " << candidates.size()
+      << " relationship(s) suspicious\n";
+  return Status::OK();
+}
+
+Status RunStats(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags;
+  flags.DefineString("net", "", "TPIIN edge-list file");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("net").empty()) {
+    return Status::InvalidArgument("stats requires --net=FILE");
+  }
+  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
+                         ReadTpiinEdgeList(flags.GetString("net")));
+  size_t persons = 0;
+  for (NodeId v = 0; v < net.NumNodes(); ++v) {
+    persons += net.node(v).color == NodeColor::kPerson;
+  }
+  out << "nodes: " << net.NumNodes() << " (" << persons << " person, "
+      << (net.NumNodes() - persons) << " company)\n";
+  DegreeStats antecedent = ComputeDegreeStats(net.graph(), IsInfluenceArc);
+  DegreeStats trading = ComputeDegreeStats(net.graph(), IsTradingArc);
+  out << StringPrintf(
+      "antecedent: %u arcs, avg degree %.3f, max out %u\n",
+      antecedent.num_arcs, antecedent.average_degree,
+      antecedent.max_out_degree);
+  out << StringPrintf("trading:    %u arcs, avg degree %.3f, max out %u\n",
+                      trading.num_arcs, trading.average_degree,
+                      trading.max_out_degree);
+  return Status::OK();
+}
+
+Status RunExport(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags;
+  flags.DefineString("net", "", "TPIIN edge-list file");
+  flags.DefineString("format", "dot", "dot or gexf");
+  flags.DefineString("out", "", "output file");
+  flags.DefineString("ego", "",
+                     "restrict to the neighborhood of this node label");
+  flags.DefineInt64("depth", 2, "ego neighborhood depth");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("net").empty() || flags.GetString("out").empty()) {
+    return Status::InvalidArgument(
+        "export requires --net=FILE --out=FILE");
+  }
+  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
+                         ReadTpiinEdgeList(flags.GetString("net")));
+  if (!flags.GetString("ego").empty()) {
+    NodeId center = kInvalidNode;
+    for (NodeId v = 0; v < net.NumNodes(); ++v) {
+      if (net.Label(v) == flags.GetString("ego")) {
+        center = v;
+        break;
+      }
+    }
+    if (center == kInvalidNode) {
+      return Status::NotFound("no node labeled " + flags.GetString("ego"));
+    }
+    EgoOptions ego_options;
+    ego_options.depth =
+        static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt64("depth")));
+    ego_options.follow_trading = true;
+    TPIIN_ASSIGN_OR_RETURN(net, ExtractEgoNetwork(net, center, ego_options));
+    out << "ego network of " << flags.GetString("ego") << ": "
+        << net.NumNodes() << " nodes, " << net.graph().NumArcs()
+        << " arcs\n";
+  }
+  std::string rendered;
+  if (flags.GetString("format") == "dot") {
+    rendered = TpiinToDot(net, "TPIIN");
+  } else if (flags.GetString("format") == "gexf") {
+    rendered = TpiinToGexf(net);
+  } else {
+    return Status::InvalidArgument("unknown --format: " +
+                                   flags.GetString("format"));
+  }
+  TPIIN_RETURN_IF_ERROR(
+      WriteStringToFile(flags.GetString("out"), rendered));
+  out << "exported " << flags.GetString("format") << " to "
+      << flags.GetString("out") << "\n";
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string CliUsage() {
+  return
+      "tpiin <command> [flags]\n"
+      "\n"
+      "Commands:\n"
+      "  gen     generate a synthetic province dataset (CSV)\n"
+      "          --out=DIR [--companies=N] [--p=X] [--seed=S] [--plant=K]\n"
+      "  fuse    fuse a CSV dataset into a TPIIN edge list\n"
+      "          --data=DIR --out=FILE\n"
+      "  detect  mine suspicious tax evasion groups\n"
+      "          --net=FILE [--out=DIR] [--threads=T] [--top=K] "
+      "[--json=FILE]\n"
+      "  explain per-company dossier (IATs, antecedents, proof chains)\n"
+      "          --net=FILE --company=LABEL\n"
+      "  screen  classify candidate trading relationships (streaming)\n"
+      "          --net=FILE (--seller=L --buyer=L | --pairs=CSV)\n"
+      "  stats   print layer statistics of a TPIIN\n"
+      "          --net=FILE\n"
+      "  export  render a TPIIN (or one company's neighborhood) for\n"
+      "          Graphviz/Gephi\n"
+      "          --net=FILE --format=dot|gexf --out=FILE [--ego=LABEL "
+      "--depth=N]\n";
+}
+
+Status RunCli(const std::vector<std::string>& args, std::ostream& out) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << CliUsage();
+    return Status::OK();
+  }
+  const std::string& command = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (command == "gen") return RunGen(rest, out);
+  if (command == "fuse") return RunFuse(rest, out);
+  if (command == "detect") return RunDetect(rest, out);
+  if (command == "explain") return RunExplain(rest, out);
+  if (command == "screen") return RunScreen(rest, out);
+  if (command == "stats") return RunStats(rest, out);
+  if (command == "export") return RunExport(rest, out);
+  return Status::InvalidArgument("unknown command: " + command + "\n" +
+                                 CliUsage());
+}
+
+}  // namespace tpiin

@@ -1,0 +1,39 @@
+#ifndef TPIIN_CLI_CLI_H_
+#define TPIIN_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpiin {
+
+/// The `tpiin` command-line tool, as a library so every command is unit
+/// testable. Subcommands:
+///
+///   gen     --out=DIR [--companies=N] [--p=X] [--seed=S] [--plant=K]
+///           Generate a synthetic province and write its CSV dataset.
+///   fuse    --data=DIR --out=FILE
+///           Load a CSV dataset, run multi-network fusion, write the
+///           TPIIN edge list.
+///   detect  --net=FILE [--out=DIR] [--threads=T] [--top=K]
+///           Mine suspicious groups from an edge-list TPIIN; optionally
+///           write susGroup/susTrade/report files; print the top-K
+///           scored trading relationships.
+///   stats   --net=FILE
+///           Degree statistics of the antecedent/trading layers.
+///   export  --net=FILE --format=dot|gexf --out=FILE
+///           Render the TPIIN for Graphviz or Gephi.
+///
+/// `RunCli` dispatches argv and writes human-readable output to `out`;
+/// errors are reported on the returned Status (the binary prints them to
+/// stderr and exits non-zero).
+Status RunCli(const std::vector<std::string>& args, std::ostream& out);
+
+/// Renders the top-level usage text.
+std::string CliUsage();
+
+}  // namespace tpiin
+
+#endif  // TPIIN_CLI_CLI_H_

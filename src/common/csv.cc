@@ -1,0 +1,125 @@
+#include "common/csv.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+
+namespace tpiin {
+
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          i += 2;
+        } else {
+          in_quotes = false;
+          ++i;
+        }
+      } else {
+        cur += c;
+        ++i;
+      }
+    } else {
+      if (c == '"') {
+        if (!cur.empty()) {
+          return Status::Corruption("quote inside unquoted CSV field");
+        }
+        in_quotes = true;
+        ++i;
+      } else if (c == ',') {
+        fields.push_back(std::move(cur));
+        cur.clear();
+        ++i;
+      } else {
+        cur += c;
+        ++i;
+      }
+    }
+  }
+  if (in_quotes) return Status::Corruption("unterminated CSV quote");
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+std::string EscapeCsvField(std::string_view field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!field.empty() &&
+      (std::isspace(static_cast<unsigned char>(field.front())) ||
+       std::isspace(static_cast<unsigned char>(field.back())))) {
+    needs_quotes = true;
+  }
+  if (!needs_quotes) return std::string(field);
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path)
+    : out_(path, std::ios::out | std::ios::trunc), path_(path) {}
+
+void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << EscapeCsvField(fields[i]);
+  }
+  out_ << '\n';
+}
+
+Status CsvWriter::Close() {
+  if (!closed_) {
+    out_.flush();
+    closed_ = true;
+  }
+  if (!out_.good()) {
+    return Status::IOError("failed writing " + path_);
+  }
+  out_.close();
+  return Status::OK();
+}
+
+CsvWriter::~CsvWriter() {
+  if (!closed_) Close();  // Best effort; errors surfaced via explicit Close.
+}
+
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, const std::vector<std::string>& expect_header) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IOError("cannot open " + path);
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  bool saw_header = expect_header.empty();
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    TPIIN_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                           ParseCsvLine(line));
+    if (!saw_header) {
+      if (fields != expect_header) {
+        return Status::Corruption("unexpected CSV header in " + path);
+      }
+      saw_header = true;
+      continue;
+    }
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace tpiin

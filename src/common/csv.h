@@ -1,0 +1,54 @@
+#ifndef TPIIN_COMMON_CSV_H_
+#define TPIIN_COMMON_CSV_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace tpiin {
+
+/// Parses one CSV line into fields, honoring RFC 4180 double-quote
+/// escaping ("a","b""c" -> {a, b"c}). Embedded newlines inside quotes are
+/// not supported (our formats never emit them).
+Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
+
+/// Quotes a field if it contains a comma, quote, or leading/trailing
+/// whitespace.
+std::string EscapeCsvField(std::string_view field);
+
+/// Streaming CSV writer. All write paths funnel through WriteRow so
+/// quoting stays consistent.
+class CsvWriter {
+ public:
+  /// Opens `path` for truncating write. Check ok() before use.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Flushes and closes; returns IOError if the stream failed at any
+  /// point. Safe to call more than once.
+  Status Close();
+
+  ~CsvWriter();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  bool closed_ = false;
+};
+
+/// Whole-file CSV reader: returns rows of fields. Skips blank lines.
+/// If `expect_header` is non-empty the first row must equal it exactly
+/// (and is not returned).
+Result<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path, const std::vector<std::string>& expect_header);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_COMMON_CSV_H_

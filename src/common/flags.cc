@@ -1,0 +1,177 @@
+#include "common/flags.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/string_util.h"
+
+namespace tpiin {
+
+void FlagParser::DefineInt64(const std::string& name, int64_t default_value,
+                             const std::string& help) {
+  Flag f;
+  f.kind = Kind::kInt64;
+  f.help = help;
+  f.int_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::DefineDouble(const std::string& name, double default_value,
+                              const std::string& help) {
+  Flag f;
+  f.kind = Kind::kDouble;
+  f.help = help;
+  f.double_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::DefineString(const std::string& name,
+                              const std::string& default_value,
+                              const std::string& help) {
+  Flag f;
+  f.kind = Kind::kString;
+  f.help = help;
+  f.string_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+void FlagParser::DefineBool(const std::string& name, bool default_value,
+                            const std::string& help) {
+  Flag f;
+  f.kind = Kind::kBool;
+  f.help = help;
+  f.bool_value = default_value;
+  flags_[name] = std::move(f);
+}
+
+Status FlagParser::SetFromString(Flag& flag, const std::string& name,
+                                 const std::string& value) {
+  switch (flag.kind) {
+    case Kind::kInt64: {
+      Result<int64_t> v = ParseInt64(value);
+      if (!v.ok()) {
+        return Status::InvalidArgument("--" + name + ": " +
+                                       v.status().message());
+      }
+      flag.int_value = *v;
+      return Status::OK();
+    }
+    case Kind::kDouble: {
+      Result<double> v = ParseDouble(value);
+      if (!v.ok()) {
+        return Status::InvalidArgument("--" + name + ": " +
+                                       v.status().message());
+      }
+      flag.double_value = *v;
+      return Status::OK();
+    }
+    case Kind::kString:
+      flag.string_value = value;
+      return Status::OK();
+    case Kind::kBool:
+      if (value == "true" || value == "1") {
+        flag.bool_value = true;
+      } else if (value == "false" || value == "0") {
+        flag.bool_value = false;
+      } else {
+        return Status::InvalidArgument("--" + name +
+                                       ": expected true/false, got " + value);
+      }
+      return Status::OK();
+  }
+  return Status::Internal("unreachable");
+}
+
+Status FlagParser::Parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (!StartsWith(arg, "--")) {
+      positional_.push_back(arg);
+      continue;
+    }
+    std::string body = arg.substr(2);
+    std::string name;
+    std::string value;
+    bool has_value = false;
+    size_t eq = body.find('=');
+    if (eq != std::string::npos) {
+      name = body.substr(0, eq);
+      value = body.substr(eq + 1);
+      has_value = true;
+    } else {
+      name = body;
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) {
+      return Status::InvalidArgument("unknown flag --" + name);
+    }
+    Flag& flag = it->second;
+    if (!has_value) {
+      if (flag.kind == Kind::kBool) {
+        flag.bool_value = true;
+        continue;
+      }
+      if (i + 1 >= argc) {
+        return Status::InvalidArgument("flag --" + name + " needs a value");
+      }
+      value = argv[++i];
+    }
+    TPIIN_RETURN_IF_ERROR(SetFromString(flag, name, value));
+  }
+  return Status::OK();
+}
+
+const FlagParser::Flag& FlagParser::GetOrDie(const std::string& name,
+                                             Kind kind) const {
+  auto it = flags_.find(name);
+  TPIIN_CHECK(it != flags_.end()) << "undefined flag --" << name;
+  TPIIN_CHECK(it->second.kind == kind) << "flag --" << name << " type";
+  return it->second;
+}
+
+int64_t FlagParser::GetInt64(const std::string& name) const {
+  return GetOrDie(name, Kind::kInt64).int_value;
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return GetOrDie(name, Kind::kDouble).double_value;
+}
+
+const std::string& FlagParser::GetString(const std::string& name) const {
+  return GetOrDie(name, Kind::kString).string_value;
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  return GetOrDie(name, Kind::kBool).bool_value;
+}
+
+std::string FlagParser::Usage(const std::string& program) const {
+  std::ostringstream out;
+  out << "Usage: " << program << " [flags]\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    out << "  --" << name;
+    switch (flag.kind) {
+      case Kind::kInt64:
+        out << "=<int> (default " << flag.int_value << ")";
+        break;
+      case Kind::kDouble:
+        out << "=<double> (default " << flag.double_value << ")";
+        break;
+      case Kind::kString:
+        out << "=<string> (default \"" << flag.string_value << "\")";
+        break;
+      case Kind::kBool:
+        out << " (default " << (flag.bool_value ? "true" : "false") << ")";
+        break;
+    }
+    out << "\n      " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tpiin

@@ -1,0 +1,70 @@
+#ifndef TPIIN_COMMON_FLAGS_H_
+#define TPIIN_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpiin {
+
+/// Minimal command-line flag parser for the example and bench binaries.
+/// Accepts --name=value and --name value forms plus bare --bool flags.
+/// Positional arguments are collected in order.
+///
+/// Usage:
+///   FlagParser flags;
+///   flags.DefineInt64("seed", 42, "RNG seed");
+///   flags.DefineDouble("p", 0.002, "trading probability");
+///   Status s = flags.Parse(argc, argv);
+class FlagParser {
+ public:
+  void DefineInt64(const std::string& name, int64_t default_value,
+                   const std::string& help);
+  void DefineDouble(const std::string& name, double default_value,
+                    const std::string& help);
+  void DefineString(const std::string& name,
+                    const std::string& default_value,
+                    const std::string& help);
+  void DefineBool(const std::string& name, bool default_value,
+                  const std::string& help);
+
+  /// Parses argv; unknown flags are an error. `--help` sets help_requested.
+  Status Parse(int argc, const char* const* argv);
+
+  int64_t GetInt64(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  const std::string& GetString(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders the flag table for --help output.
+  std::string Usage(const std::string& program) const;
+
+ private:
+  enum class Kind { kInt64, kDouble, kString, kBool };
+  struct Flag {
+    Kind kind;
+    std::string help;
+    int64_t int_value = 0;
+    double double_value = 0;
+    std::string string_value;
+    bool bool_value = false;
+  };
+
+  Status SetFromString(Flag& flag, const std::string& name,
+                       const std::string& value);
+  const Flag& GetOrDie(const std::string& name, Kind kind) const;
+
+  std::map<std::string, Flag> flags_;
+  std::vector<std::string> positional_;
+  bool help_requested_ = false;
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_COMMON_FLAGS_H_

@@ -1,0 +1,82 @@
+#ifndef TPIIN_COMMON_LOGGING_H_
+#define TPIIN_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace tpiin {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level emitted by TPIIN_LOG; defaults to kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+/// Stream-style log sink that emits a single line on destruction.
+/// Not for direct use; see the TPIIN_LOG macro.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process on destruction. Used by
+/// TPIIN_CHECK failures.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace tpiin
+
+#define TPIIN_LOG(level)                                             \
+  ::tpiin::internal_logging::LogMessage(::tpiin::LogLevel::k##level, \
+                                        __FILE__, __LINE__)          \
+      .stream()
+
+/// Internal invariant check: always on (including release builds), as the
+/// miner's correctness argument leans on graph invariants. Failure aborts
+/// with a file:line message.
+#define TPIIN_CHECK(cond)                                                  \
+  if (cond) {                                                              \
+  } else /* NOLINT */                                                      \
+    ::tpiin::internal_logging::FatalLogMessage(__FILE__, __LINE__).stream() \
+        << "Check failed: " #cond " "
+
+#define TPIIN_CHECK_EQ(a, b) \
+  TPIIN_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPIIN_CHECK_NE(a, b) \
+  TPIIN_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPIIN_CHECK_LT(a, b) \
+  TPIIN_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPIIN_CHECK_LE(a, b) \
+  TPIIN_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPIIN_CHECK_GT(a, b) \
+  TPIIN_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TPIIN_CHECK_GE(a, b) \
+  TPIIN_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // TPIIN_COMMON_LOGGING_H_

@@ -1,0 +1,87 @@
+#ifndef TPIIN_COMMON_RESULT_H_
+#define TPIIN_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace tpiin {
+
+/// Result<T> holds either a value of type T or a non-OK Status, in the
+/// spirit of absl::StatusOr / arrow::Result. Accessing the value of an
+/// errored Result aborts the process, so callers must check ok() (or use
+/// TPIIN_ASSIGN_OR_RETURN) first.
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Implicit construction from a value, mirroring StatusOr: allows
+  /// `return value;` from functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status: allows
+  /// `return Status::InvalidArgument(...)`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      // An OK status carries no value; treat as a caller bug.
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` when errored.
+  T value_or(T fallback) const& {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  void AbortIfError() const {
+    if (!ok()) {
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace tpiin
+
+#define TPIIN_RESULT_CONCAT_INNER_(a, b) a##b
+#define TPIIN_RESULT_CONCAT_(a, b) TPIIN_RESULT_CONCAT_INNER_(a, b)
+
+/// TPIIN_ASSIGN_OR_RETURN(lhs, expr): evaluates `expr` (a Result<T>
+/// expression); on error returns its Status from the calling function,
+/// otherwise assigns the value to `lhs` (which may be a declaration).
+#define TPIIN_ASSIGN_OR_RETURN(lhs, expr)                             \
+  TPIIN_ASSIGN_OR_RETURN_IMPL_(                                       \
+      TPIIN_RESULT_CONCAT_(_tpiin_result_, __LINE__), lhs, expr)
+
+#define TPIIN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                 \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#endif  // TPIIN_COMMON_RESULT_H_

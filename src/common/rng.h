@@ -1,0 +1,73 @@
+#ifndef TPIIN_COMMON_RNG_H_
+#define TPIIN_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace tpiin {
+
+/// Deterministic, seedable pseudo-random number generator used by every
+/// stochastic component (data generation, property-test sweeps). It wraps
+/// xoshiro256** so that a given seed reproduces byte-identical networks on
+/// any platform — std::mt19937 distributions are not portable across
+/// standard libraries, which would make EXPERIMENTS.md numbers
+/// irreproducible.
+class Rng {
+ public:
+  /// Seeds the state via SplitMix64 so that nearby seeds diverge.
+  explicit Rng(uint64_t seed);
+
+  /// Raw 64 random bits.
+  uint64_t Next();
+
+  /// Uniform in [0, bound) using Lemire's unbiased multiply-shift
+  /// rejection. bound must be > 0.
+  uint64_t UniformU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive; requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// True with probability p (p clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box-Muller (no cached spare; stateless per call
+  /// pair not needed for our workloads).
+  double Normal(double mean, double stddev);
+
+  /// Log-normal: exp(Normal(mu, sigma)). Used for group-size and price
+  /// distributions, which are heavy-tailed in real taxpayer data.
+  double LogNormal(double mu, double sigma);
+
+  /// Samples `k` distinct values from [0, n). Requires k <= n.
+  /// O(k) expected when k << n (hash-set rejection), O(n) otherwise.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(UniformU64(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Picks an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_COMMON_RNG_H_

@@ -1,0 +1,30 @@
+#include "core/component_pattern.h"
+
+#include "common/string_util.h"
+
+namespace tpiin {
+
+std::string Trail::Format(const SubTpiin& sub) const {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += sub.Label(nodes[i]);
+  }
+  if (has_trade()) {
+    out += " -> ";
+    out += sub.Label(trade_dst);
+  }
+  return out;
+}
+
+std::string FormatPatternBase(const SubTpiin& sub, const PatternBase& base) {
+  std::string out;
+  for (size_t i = 0; i < base.size(); ++i) {
+    out += StringPrintf("%zu. ", i + 1);
+    out += base[i].Format(sub);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tpiin

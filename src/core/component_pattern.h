@@ -1,0 +1,46 @@
+#ifndef TPIIN_CORE_COMPONENT_PATTERN_H_
+#define TPIIN_CORE_COMPONENT_PATTERN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/subtpiin.h"
+#include "graph/types.h"
+
+namespace tpiin {
+
+/// One suspicious relationship trail from the potential component
+/// patterns base (Fig. 10):
+///  - InOT-OutOSP walk (Definition 5): {A1, ..., Am}, all influence arcs,
+///    from an indegree-zero node to an outdegree-zero node; or
+///  - InOT-FTAOP walk (Definition 6): {A1, ..., Am, -> Cj}, an influence
+///    trail joined with its first trading arc (Lemma 1).
+///
+/// `nodes` holds A1..Am (local SubTpiin ids); a trade-terminated trail
+/// additionally carries the trading arc and its target Cj.
+struct Trail {
+  std::vector<NodeId> nodes;
+  NodeId trade_dst = kInvalidNode;
+  ArcId trade_arc = kInvalidArc;  // Local arc id of the trading arc.
+
+  bool has_trade() const { return trade_dst != kInvalidNode; }
+
+  /// Seller of the trailing trading arc (the last influence-reached
+  /// node). Only meaningful when has_trade().
+  NodeId seller() const { return nodes.back(); }
+
+  /// Renders the paper's notation, e.g. "L1, C2, C5 -> C6" or "L1, C4".
+  std::string Format(const SubTpiin& sub) const;
+
+  friend bool operator==(const Trail&, const Trail&) = default;
+};
+
+/// The potential component patterns base of one subTPIIN.
+using PatternBase = std::vector<Trail>;
+
+/// Renders the whole base, one numbered trail per line (Fig. 10 layout).
+std::string FormatPatternBase(const SubTpiin& sub, const PatternBase& base);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_CORE_COMPONENT_PATTERN_H_

@@ -1,0 +1,184 @@
+#include "core/detector.h"
+
+#include <algorithm>
+#include <atomic>
+#include <deque>
+#include <thread>
+#include <unordered_map>
+
+#include "common/string_util.h"
+#include "common/timer.h"
+#include "core/pattern_tree.h"
+
+namespace tpiin {
+
+namespace {
+
+// BFS over a syndicate's internal investment arcs; strong connectivity
+// of the contracted SCS guarantees a chain exists.
+std::vector<CompanyId> InternalChain(const TpiinNode& syndicate,
+                                     CompanyId from, CompanyId to) {
+  std::unordered_map<CompanyId, std::vector<CompanyId>> adj;
+  for (const auto& [src, dst] : syndicate.internal_investments) {
+    adj[src].push_back(dst);
+  }
+  std::unordered_map<CompanyId, CompanyId> parent;
+  std::deque<CompanyId> frontier = {from};
+  parent[from] = from;
+  while (!frontier.empty()) {
+    CompanyId u = frontier.front();
+    frontier.pop_front();
+    if (u == to) break;
+    for (CompanyId v : adj[u]) {
+      if (parent.emplace(v, u).second) frontier.push_back(v);
+    }
+  }
+  std::vector<CompanyId> chain;
+  if (!parent.count(to)) return chain;  // Malformed syndicate; empty chain.
+  for (CompanyId v = to; v != from; v = parent[v]) chain.push_back(v);
+  chain.push_back(from);
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+}  // namespace
+
+double DetectionResult::SuspiciousTradePercent() const {
+  size_t total = total_trading_arcs + intra_syndicate.size();
+  if (total == 0) return 0;
+  return 100.0 * (suspicious_trades.size() + intra_syndicate.size()) /
+         static_cast<double>(total);
+}
+
+std::string DetectionResult::Summary() const {
+  return StringPrintf(
+      "subTPIINs=%zu trails=%zu groups: complex=%zu simple=%zu circle=%zu "
+      "intra-SCC=%zu; suspicious trades=%zu of %zu (%.4f%%)%s",
+      num_subtpiins, num_trails, num_complex, num_simple, num_cycle_groups,
+      intra_syndicate.size(), suspicious_trades.size() + intra_syndicate.size(),
+      total_trading_arcs + intra_syndicate.size(), SuspiciousTradePercent(),
+      truncated ? " [TRUNCATED]" : "");
+}
+
+Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
+                                               const DetectorOptions& options) {
+  DetectionResult result;
+  result.total_trading_arcs = net.num_trading_arcs();
+  WallTimer total_timer;
+
+  std::vector<SubTpiin> subs;
+  {
+    ScopedTimer timer(&result.timings.segment_seconds);
+    subs = SegmentTpiin(net);
+  }
+  result.num_subtpiins = subs.size();
+
+  // Per-subTPIIN outcomes, index-addressed so the merge below is
+  // deterministic regardless of worker scheduling.
+  struct SubOutcome {
+    Status status;
+    size_t num_trails = 0;
+    bool truncated = false;
+    MatchResult match;
+    double pattern_seconds = 0;
+    double match_seconds = 0;
+  };
+  std::vector<SubOutcome> outcomes(subs.size());
+
+  auto process_one = [&](size_t index) {
+    SubOutcome& outcome = outcomes[index];
+    const SubTpiin& sub = subs[index];
+    PatternGenOptions gen_options;
+    // Mining runs off the patterns tree; the flat trail base is only
+    // materialized when the caller wants the Fig. 10 artifacts.
+    gen_options.emit_trails = options.emit_pattern_bases;
+    gen_options.max_trails = options.max_trails_per_subtpiin;
+    Result<PatternGenResult> gen = [&] {
+      ScopedTimer timer(&outcome.pattern_seconds);
+      return GeneratePatternBase(sub, gen_options);
+    }();
+    if (!gen.ok()) {
+      outcome.status = gen.status();
+      return;
+    }
+    outcome.num_trails = gen->num_trails;
+    outcome.truncated = gen->truncated;
+    ScopedTimer timer(&outcome.match_seconds);
+    outcome.match = MatchPatternsTree(sub, gen->tree, options.match);
+  };
+
+  if (options.num_threads > 1 && subs.size() > 1) {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> workers;
+    uint32_t thread_count = std::min<uint32_t>(
+        options.num_threads, static_cast<uint32_t>(subs.size()));
+    workers.reserve(thread_count);
+    for (uint32_t t = 0; t < thread_count; ++t) {
+      workers.emplace_back([&] {
+        while (true) {
+          size_t index = next.fetch_add(1, std::memory_order_relaxed);
+          if (index >= subs.size()) break;
+          process_one(index);
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+  } else {
+    for (size_t index = 0; index < subs.size(); ++index) {
+      process_one(index);
+    }
+  }
+
+  std::vector<ArcId> suspicious_arcs;
+  for (SubOutcome& outcome : outcomes) {
+    if (!outcome.status.ok()) return outcome.status;
+    result.timings.pattern_seconds += outcome.pattern_seconds;
+    result.timings.match_seconds += outcome.match_seconds;
+    result.num_trails += outcome.num_trails;
+    result.truncated =
+        result.truncated || outcome.truncated || outcome.match.truncated;
+    result.num_simple += outcome.match.num_simple;
+    result.num_complex += outcome.match.num_complex;
+    result.num_cycle_groups += outcome.match.num_cycle_groups;
+    if (options.match.collect_groups) {
+      result.groups.insert(
+          result.groups.end(),
+          std::make_move_iterator(outcome.match.groups.begin()),
+          std::make_move_iterator(outcome.match.groups.end()));
+    }
+    suspicious_arcs.insert(suspicious_arcs.end(),
+                           outcome.match.suspicious_trading_arcs.begin(),
+                           outcome.match.suspicious_trading_arcs.end());
+  }
+
+  // Arc ids -> (seller, buyer) node pairs. Arc ids are unique across
+  // subTPIINs (each trading arc lands in at most one component).
+  std::sort(suspicious_arcs.begin(), suspicious_arcs.end());
+  suspicious_arcs.erase(
+      std::unique(suspicious_arcs.begin(), suspicious_arcs.end()),
+      suspicious_arcs.end());
+  result.suspicious_trades.reserve(suspicious_arcs.size());
+  for (ArcId id : suspicious_arcs) {
+    const Arc& arc = net.graph().arc(id);
+    result.suspicious_trades.emplace_back(arc.src, arc.dst);
+  }
+  std::sort(result.suspicious_trades.begin(),
+            result.suspicious_trades.end());
+
+  if (options.include_intra_syndicate) {
+    for (const IntraSyndicateTrade& trade : net.intra_syndicate_trades()) {
+      IntraSyndicateFinding finding;
+      finding.syndicate_node = trade.syndicate_node;
+      finding.seller = trade.seller;
+      finding.buyer = trade.buyer;
+      finding.chain = InternalChain(net.node(trade.syndicate_node),
+                                    trade.seller, trade.buyer);
+      result.intra_syndicate.push_back(std::move(finding));
+    }
+  }
+
+  result.timings.total_seconds = total_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,94 @@
+#ifndef TPIIN_CORE_DETECTOR_H_
+#define TPIIN_CORE_DETECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "core/matcher.h"
+#include "core/subtpiin.h"
+#include "fusion/tpiin.h"
+
+namespace tpiin {
+
+/// A suspicious trade internal to a contracted investment SCC (§4.3
+/// closing remark): seller and buyer sit in one strongly connected
+/// shareholding circle, so a proof chain (the `chain` of original
+/// companies from seller to buyer along internal investment arcs) always
+/// exists and the trade is suspicious unconditionally.
+struct IntraSyndicateFinding {
+  NodeId syndicate_node = kInvalidNode;
+  CompanyId seller = 0;
+  CompanyId buyer = 0;
+  /// seller, ..., buyer along internal investment arcs.
+  std::vector<CompanyId> chain;
+};
+
+struct DetectorOptions {
+  MatchOptions match;
+  /// Also materialize the flat trail bases (Fig. 10 artifacts); mining
+  /// itself consumes only the patterns trees.
+  bool emit_pattern_bases = false;
+  /// Detect intra-syndicate trades.
+  bool include_intra_syndicate = true;
+  /// Trail-generation safety valves (0 = unlimited).
+  size_t max_trails_per_subtpiin = 0;
+
+  /// Worker threads for the per-subTPIIN stage (§7's parallel-processing
+  /// direction; subTPIINs are independent by construction). 0 or 1 runs
+  /// single-threaded. Results are identical for any thread count; only
+  /// the per-stage timing attribution differs (worker time is summed).
+  uint32_t num_threads = 1;
+};
+
+/// Wall-clock attribution across Algorithm 1's stages.
+struct DetectionTimings {
+  double segment_seconds = 0;
+  double pattern_seconds = 0;
+  double match_seconds = 0;
+  double total_seconds = 0;
+};
+
+/// Aggregated output of Algorithm 1 over a whole TPIIN.
+struct DetectionResult {
+  std::vector<SuspiciousGroup> groups;  // Iff options.match.collect_groups.
+  std::vector<IntraSyndicateFinding> intra_syndicate;
+
+  size_t num_simple = 0;        // Pairwise simple groups.
+  size_t num_complex = 0;       // Pairwise complex groups.
+  size_t num_cycle_groups = 0;  // In-trail circle groups.
+
+  /// Seller/buyer TPIIN node pairs of suspicious trading arcs, sorted and
+  /// deduplicated (excludes intra-syndicate trades, reported above).
+  std::vector<std::pair<NodeId, NodeId>> suspicious_trades;
+
+  size_t total_trading_arcs = 0;  // Trading arcs in the TPIIN.
+  size_t num_subtpiins = 0;
+  size_t num_trails = 0;          // Component patterns generated.
+  bool truncated = false;
+
+  DetectionTimings timings;
+
+  size_t TotalGroups() const {
+    return num_simple + num_complex + num_cycle_groups +
+           intra_syndicate.size();
+  }
+
+  /// Fraction of trading arcs flagged suspicious (Table 1 last column),
+  /// in percent.
+  double SuspiciousTradePercent() const;
+
+  std::string Summary() const;
+};
+
+/// Algorithm 1: segments `net` into subTPIINs, generates each potential
+/// component patterns base (Algorithm 2), matches component patterns
+/// into suspicious groups, and handles intra-syndicate trades.
+Result<DetectionResult> DetectSuspiciousGroups(
+    const Tpiin& net, const DetectorOptions& options = {});
+
+}  // namespace tpiin
+
+#endif  // TPIIN_CORE_DETECTOR_H_

@@ -1,0 +1,132 @@
+#include "core/explain.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+
+// "A -> B -> C" over node labels.
+std::string TrailNarrative(const Tpiin& net,
+                           const std::vector<NodeId>& nodes) {
+  std::string out;
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    if (i > 0) out += " -> ";
+    out += net.Label(nodes[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+CompanyDossier BuildCompanyDossier(const Tpiin& /*net*/,
+                                   const DetectionResult& detection,
+                                   const ScoringResult& scoring,
+                                   NodeId company) {
+  CompanyDossier dossier;
+  dossier.company = company;
+
+  std::map<NodeId, CompanyDossier::FlaggedTrade> trades;
+  for (const ScoredTrade& trade : scoring.ranked_trades) {
+    bool selling = trade.seller == company;
+    bool buying = trade.buyer == company;
+    if (!selling && !buying) continue;
+    CompanyDossier::FlaggedTrade flagged;
+    flagged.counterparty = selling ? trade.buyer : trade.seller;
+    flagged.company_is_seller = selling;
+    flagged.score = trade.score;
+    flagged.group_count = trade.group_count;
+    trades.emplace(flagged.counterparty, flagged);
+  }
+  dossier.trades.reserve(trades.size());
+  for (const auto& [counterparty, flagged] : trades) {
+    dossier.trades.push_back(flagged);
+  }
+  std::sort(dossier.trades.begin(), dossier.trades.end(),
+            [](const CompanyDossier::FlaggedTrade& a,
+               const CompanyDossier::FlaggedTrade& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.counterparty < b.counterparty;
+            });
+
+  std::set<NodeId> antecedents;
+  for (const SuspiciousGroup& group : detection.groups) {
+    if (std::find(group.members.begin(), group.members.end(), company) ==
+        group.members.end()) {
+      continue;
+    }
+    dossier.groups.push_back(&group);
+    antecedents.insert(group.antecedent);
+  }
+  dossier.antecedents.assign(antecedents.begin(), antecedents.end());
+  return dossier;
+}
+
+std::string ExplainGroup(const Tpiin& net, const SuspiciousGroup& group) {
+  std::string out;
+  if (group.from_cycle) {
+    out += StringPrintf(
+        "Circle: %s controls a chain %s whose end (%s) sells back to it.",
+        net.Label(group.antecedent).c_str(),
+        TrailNarrative(net, group.trade_trail).c_str(),
+        net.Label(group.trade_seller).c_str());
+    return out;
+  }
+  out += "Antecedent ";
+  out += net.Label(group.antecedent);
+  out += " reaches the seller via [";
+  out += TrailNarrative(net, group.trade_trail);
+  out += "] and the buyer via [";
+  out += TrailNarrative(net, group.partner_trail);
+  out += "]; the IAT is ";
+  out += net.Label(group.trade_seller);
+  out += " -> ";
+  out += net.Label(group.trade_buyer);
+  out += group.is_simple ? " (simple group)." : " (complex group).";
+  return out;
+}
+
+std::string FormatCompanyDossier(const Tpiin& net,
+                                 const CompanyDossier& dossier) {
+  std::string out = "Preliminary analysis: " + net.Label(dossier.company);
+  const TpiinNode& node = net.node(dossier.company);
+  if (node.IsSyndicate()) {
+    out += StringPrintf(" (syndicate of %zu companies)",
+                        node.company_members.size());
+  }
+  out += "\n";
+
+  if (dossier.trades.empty()) {
+    out += "  No suspicious trading relationships.\n";
+    return out;
+  }
+
+  out += StringPrintf("  %zu suspicious trading relationship(s):\n",
+                      dossier.trades.size());
+  for (const CompanyDossier::FlaggedTrade& trade : dossier.trades) {
+    out += StringPrintf(
+        "    %s %s  (suspicion %.4f, %zu proof chain(s))\n",
+        trade.company_is_seller ? "sells to" : "buys from",
+        net.Label(trade.counterparty).c_str(), trade.score,
+        trade.group_count);
+  }
+
+  out += "  Implicated antecedents: ";
+  for (size_t i = 0; i < dossier.antecedents.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += net.Label(dossier.antecedents[i]);
+  }
+  out += "\n  Proof chains:\n";
+  for (const SuspiciousGroup* group : dossier.groups) {
+    out += "    ";
+    out += ExplainGroup(net, *group);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,55 @@
+#ifndef TPIIN_CORE_EXPLAIN_H_
+#define TPIIN_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/scoring.h"
+#include "fusion/tpiin.h"
+
+namespace tpiin {
+
+/// Per-company investigation dossier — the library counterpart of the
+/// production system's "preliminary analysis on a company and its IATs"
+/// view (§6, Fig. 19): which trading relationships of one taxpayer are
+/// suspicious, through whom, and how strongly.
+struct CompanyDossier {
+  NodeId company = kInvalidNode;
+
+  /// Trading relationships of this company flagged suspicious, with the
+  /// direction seen from the company.
+  struct FlaggedTrade {
+    NodeId counterparty = kInvalidNode;
+    bool company_is_seller = false;
+    double score = 0;        // Noisy-or suspicion (scoring module).
+    size_t group_count = 0;  // Proof chains behind the relationship.
+  };
+  std::vector<FlaggedTrade> trades;
+
+  /// Every group this company appears in.
+  std::vector<const SuspiciousGroup*> groups;
+
+  /// Distinct antecedent nodes (persons, syndicates, holding companies)
+  /// implicated with this company, sorted by node id.
+  std::vector<NodeId> antecedents;
+};
+
+/// Builds the dossier of `company` (a TPIIN Company node) from a
+/// detection run with collected groups and its scoring.
+CompanyDossier BuildCompanyDossier(const Tpiin& net,
+                                   const DetectionResult& detection,
+                                   const ScoringResult& scoring,
+                                   NodeId company);
+
+/// Renders the dossier as the Fig. 19-style text report.
+std::string FormatCompanyDossier(const Tpiin& net,
+                                 const CompanyDossier& dossier);
+
+/// Renders one suspicious group as a narrated proof chain:
+///   "Antecedent X influences A via ... and B via ...; A sells to B."
+std::string ExplainGroup(const Tpiin& net, const SuspiciousGroup& group);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_CORE_EXPLAIN_H_

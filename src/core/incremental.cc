@@ -1,0 +1,64 @@
+#include "core/incremental.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/topo.h"
+
+namespace tpiin {
+
+IncrementalScreener::IncrementalScreener(const Tpiin& net) {
+  const Digraph& g = net.graph();
+  const NodeId n = g.NumNodes();
+  ancestors_.resize(n);
+
+  // Topological order of the antecedent DAG; ancestors propagate along
+  // influence arcs. Sets are kept as sorted unique vectors — they stay
+  // small in taxpayer networks (a company has a handful of antecedents),
+  // and sorted merge keeps both the build and the queries cache-friendly.
+  Result<std::vector<NodeId>> order = TopologicalSort(g, IsInfluenceArc);
+  TPIIN_CHECK(order.ok()) << "TPIIN antecedent layer must be a DAG";
+
+  for (NodeId v : *order) {
+    ancestors_[v].push_back(v);  // "Or self": covers A == u and A == v.
+    std::sort(ancestors_[v].begin(), ancestors_[v].end());
+    ancestors_[v].erase(
+        std::unique(ancestors_[v].begin(), ancestors_[v].end()),
+        ancestors_[v].end());
+    total_entries_ += ancestors_[v].size();
+    for (ArcId id : g.OutArcs(v)) {
+      const Arc& arc = g.arc(id);
+      if (!IsInfluenceArc(arc)) continue;
+      // Append; the child sorts/dedups once when its turn comes.
+      ancestors_[arc.dst].insert(ancestors_[arc.dst].end(),
+                                 ancestors_[v].begin(),
+                                 ancestors_[v].end());
+    }
+  }
+}
+
+std::optional<NodeId> IncrementalScreener::CommonAntecedent(
+    NodeId seller, NodeId buyer) const {
+  TPIIN_CHECK_LT(seller, ancestors_.size());
+  TPIIN_CHECK_LT(buyer, ancestors_.size());
+  const std::vector<NodeId>& a = ancestors_[seller];
+  const std::vector<NodeId>& b = ancestors_[buyer];
+  size_t i = 0;
+  size_t j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) return a[i];
+    if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return std::nullopt;
+}
+
+bool IncrementalScreener::IsSuspicious(NodeId seller, NodeId buyer) const {
+  if (seller == buyer) return true;  // Intra-syndicate by construction.
+  return CommonAntecedent(seller, buyer).has_value();
+}
+
+}  // namespace tpiin

@@ -1,0 +1,233 @@
+#include "core/pattern_tree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace tpiin {
+
+std::vector<ListDEntry> ComputeListD(const SubTpiin& sub) {
+  const Digraph& g = sub.graph;
+  const NodeId n = g.NumNodes();
+  std::vector<ListDEntry> list(n);
+  for (NodeId v = 0; v < n; ++v) {
+    list[v].node = v;
+    list[v].out_degree = g.OutDegree(v);
+  }
+  for (const Arc& arc : g.arcs()) ++list[arc.dst].in_degree;
+  std::sort(list.begin(), list.end(),
+            [](const ListDEntry& a, const ListDEntry& b) {
+              if (a.in_degree != b.in_degree) {
+                return a.in_degree < b.in_degree;
+              }
+              if (a.out_degree != b.out_degree) {
+                return a.out_degree > b.out_degree;
+              }
+              return a.node < b.node;
+            });
+  return list;
+}
+
+std::vector<NodeId> PatternsTree::PathTo(int32_t index) const {
+  std::vector<NodeId> path;
+  for (int32_t i = index; i >= 0; i = nodes[i].parent) {
+    path.push_back(nodes[i].graph_node);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string PatternsTree::ToString(const SubTpiin& sub) const {
+  // Children lists are not stored; rebuild them for display.
+  std::vector<std::vector<int32_t>> children(nodes.size());
+  for (int32_t i = 0; i < static_cast<int32_t>(nodes.size()); ++i) {
+    if (nodes[i].parent >= 0) children[nodes[i].parent].push_back(i);
+  }
+  std::string out;
+  struct Item {
+    int32_t index;
+    int depth;
+  };
+  std::vector<Item> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.push_back({*it, 0});
+  }
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    const TreeNode& tn = nodes[item.index];
+    out.append(static_cast<size_t>(item.depth) * 2, ' ');
+    if (tn.via_trading_arc) out += "-> ";
+    out += sub.Label(tn.graph_node);
+    out += '\n';
+    const std::vector<int32_t>& kids = children[item.index];
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back({*it, item.depth + 1});
+    }
+  }
+  return out;
+}
+
+Result<PatternGenResult> GeneratePatternBase(
+    const SubTpiin& sub, const PatternGenOptions& options) {
+  const Digraph& g = sub.graph;
+  const NodeId n = g.NumNodes();
+  PatternGenResult result;
+
+  // Root selection: nodes with zero *influence* indegree. On well-formed
+  // TPIINs (every company linked to a legal person) this equals the
+  // paper's "indegree-zero over the whole subTPIIN" rule, because Person
+  // nodes never receive arcs and Company nodes always have an incoming
+  // influence arc; on arbitrary hand-built networks the influence-based
+  // rule additionally guarantees completeness when a company heading an
+  // investment chain receives only trading arcs.
+  std::vector<uint32_t> influence_in(n, 0);
+  for (ArcId id = 0; id < sub.num_influence_arcs; ++id) {
+    ++influence_in[g.arc(id).dst];
+  }
+
+  // Property 1 requires the antecedent subgraph to be a DAG; verify
+  // upfront (a cycle could otherwise hide in a rootless region the DFS
+  // never enters).
+  {
+    std::vector<uint32_t> degree = influence_in;
+    std::vector<NodeId> frontier;
+    for (NodeId v = 0; v < n; ++v) {
+      if (degree[v] == 0) frontier.push_back(v);
+    }
+    NodeId processed = 0;
+    while (!frontier.empty()) {
+      NodeId u = frontier.back();
+      frontier.pop_back();
+      ++processed;
+      for (ArcId id : g.OutArcs(u)) {
+        const Arc& arc = g.arc(id);
+        if (!IsInfluenceArc(arc)) continue;
+        if (--degree[arc.dst] == 0) frontier.push_back(arc.dst);
+      }
+    }
+    if (processed != n) {
+      return Status::FailedPrecondition(
+          "influence subgraph contains a directed cycle");
+    }
+  }
+
+  std::vector<NodeId> roots;
+  if (options.order_roots_by_list_d) {
+    for (const ListDEntry& entry : ComputeListD(sub)) {
+      if (influence_in[entry.node] == 0) roots.push_back(entry.node);
+    }
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      if (influence_in[v] == 0) roots.push_back(v);
+    }
+  }
+
+  struct Frame {
+    NodeId node;
+    uint32_t arc_pos;
+    int32_t tree_index;
+  };
+  std::vector<Frame> frames;
+  std::vector<NodeId> path;
+  std::vector<uint8_t> on_path(n, 0);
+
+  auto over_trail_budget = [&]() {
+    return options.max_trails != 0 &&
+           result.num_trails >= options.max_trails;
+  };
+
+  auto emit_plain = [&]() {
+    ++result.num_trails;
+    if (!options.emit_trails) return;
+    Trail trail;
+    trail.nodes = path;
+    result.base.push_back(std::move(trail));
+  };
+  auto emit_trade = [&](ArcId arc_id, NodeId dst) {
+    ++result.num_trails;
+    if (!options.emit_trails) return;
+    Trail trail;
+    trail.nodes = path;
+    trail.trade_dst = dst;
+    trail.trade_arc = arc_id;
+    result.base.push_back(std::move(trail));
+  };
+
+  auto add_tree_node = [&](NodeId graph_node, int32_t parent,
+                           bool via_trade, ArcId via_arc) -> int32_t {
+    if (!options.build_tree) return -1;
+    int32_t index = static_cast<int32_t>(result.tree.nodes.size());
+    result.tree.nodes.push_back(
+        PatternsTree::TreeNode{graph_node, parent, via_trade, via_arc});
+    if (parent < 0) result.tree.roots.push_back(index);
+    return index;
+  };
+
+  for (NodeId root : roots) {
+    if (over_trail_budget()) {
+      result.truncated = true;
+      break;
+    }
+    int32_t root_tree = add_tree_node(root, -1, false, kInvalidArc);
+    frames.push_back(Frame{root, 0, root_tree});
+    path.push_back(root);
+    on_path[root] = 1;
+    if (g.OutDegree(root) == 0) emit_plain();  // Rule 1 at the root.
+
+    while (!frames.empty()) {
+      if (over_trail_budget()) {
+        result.truncated = true;
+        // Unwind cleanly so on_path/path stay consistent.
+        for (const Frame& f : frames) on_path[f.node] = 0;
+        frames.clear();
+        path.clear();
+        break;
+      }
+      Frame& frame = frames.back();
+      std::span<const ArcId> out = g.OutArcs(frame.node);
+      bool descended = false;
+      bool length_capped = options.max_trail_length != 0 &&
+                           path.size() >= options.max_trail_length;
+      while (frame.arc_pos < out.size()) {
+        ArcId arc_id = out[frame.arc_pos];
+        ++frame.arc_pos;
+        const Arc& arc = g.arc(arc_id);
+        if (IsTradingArc(arc)) {
+          // Rule 2: the first trading arc ends the walk (Lemma 1 keeps
+          // it a trail even when arc.dst already lies on the path).
+          emit_trade(arc_id, arc.dst);
+          add_tree_node(arc.dst, frame.tree_index, true, arc_id);
+          continue;
+        }
+        if (on_path[arc.dst]) {
+          return Status::FailedPrecondition(
+              "influence subgraph contains a directed cycle through " +
+              sub.Label(arc.dst));
+        }
+        if (length_capped) {
+          result.truncated = true;
+          continue;
+        }
+        int32_t child_tree =
+            add_tree_node(arc.dst, frame.tree_index, false, arc_id);
+        frames.push_back(Frame{arc.dst, 0, child_tree});
+        path.push_back(arc.dst);
+        on_path[arc.dst] = 1;
+        if (g.OutDegree(arc.dst) == 0) emit_plain();  // Rule 1.
+        descended = true;
+        break;
+      }
+      if (!descended && !frames.empty() &&
+          frames.back().arc_pos >= g.OutArcs(frames.back().node).size()) {
+        on_path[frames.back().node] = 0;
+        path.pop_back();
+        frames.pop_back();
+      }
+    }
+  }
+
+  return result;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,103 @@
+#include "core/scoring.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/logging.h"
+
+namespace tpiin {
+
+namespace {
+
+uint64_t PairKey(NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Influence-arc weight lookup keyed by (src, dst). The TPIIN builder
+// deduplicates arcs, so the key is unique.
+std::unordered_map<uint64_t, double> BuildWeightIndex(const Tpiin& net) {
+  std::unordered_map<uint64_t, double> index;
+  index.reserve(net.num_influence_arcs() * 2);
+  for (ArcId id = 0; id < net.num_influence_arcs(); ++id) {
+    const Arc& arc = net.graph().arc(id);
+    index.emplace(PairKey(arc.src, arc.dst), net.ArcWeight(id));
+  }
+  return index;
+}
+
+double TrailStrength(const std::vector<NodeId>& nodes,
+                     const std::unordered_map<uint64_t, double>& weights,
+                     ScoringOptions::TrailAggregation aggregation) {
+  double strength = 1.0;
+  for (size_t i = 1; i < nodes.size(); ++i) {
+    auto it = weights.find(PairKey(nodes[i - 1], nodes[i]));
+    // Trails come from the same TPIIN, so every hop must be present.
+    TPIIN_CHECK(it != weights.end()) << "missing influence arc in trail";
+    if (aggregation == ScoringOptions::TrailAggregation::kProduct) {
+      strength *= it->second;
+    } else {
+      strength = std::min(strength, it->second);
+    }
+  }
+  return strength;
+}
+
+}  // namespace
+
+ScoringResult ScoreDetection(const Tpiin& net,
+                             const DetectionResult& detection,
+                             const ScoringOptions& options) {
+  ScoringResult result;
+  std::unordered_map<uint64_t, double> weights = BuildWeightIndex(net);
+
+  // Noisy-or accumulator per trading relationship: the probability-like
+  // reading "at least one proof chain is real" grows with every
+  // independent group. Stored as the complement product.
+  std::unordered_map<uint64_t, std::pair<double, size_t>> accumulator;
+
+  result.group_scores.reserve(detection.groups.size());
+  for (const SuspiciousGroup& group : detection.groups) {
+    double s1 = TrailStrength(group.trade_trail, weights,
+                              options.aggregation);
+    double s2 = TrailStrength(group.partner_trail, weights,
+                              options.aggregation);
+    double score =
+        options.aggregation == ScoringOptions::TrailAggregation::kProduct
+            ? s1 * s2
+            : std::min(s1, s2);
+    result.group_scores.push_back(score);
+
+    auto& [complement, count] =
+        accumulator[PairKey(group.trade_seller, group.trade_buyer)];
+    if (count == 0) complement = 1.0;
+    complement *= (1.0 - score);
+    ++count;
+  }
+
+  for (const IntraSyndicateFinding& finding : detection.intra_syndicate) {
+    // A strongly connected shareholding circle is maximal evidence.
+    auto& [complement, count] = accumulator[PairKey(
+        finding.syndicate_node, finding.syndicate_node)];
+    complement = 0.0;
+    ++count;
+  }
+
+  result.ranked_trades.reserve(accumulator.size());
+  for (const auto& [key, entry] : accumulator) {
+    ScoredTrade trade;
+    trade.seller = static_cast<NodeId>(key >> 32);
+    trade.buyer = static_cast<NodeId>(key & 0xffffffffu);
+    trade.score = 1.0 - entry.first;
+    trade.group_count = entry.second;
+    result.ranked_trades.push_back(trade);
+  }
+  std::sort(result.ranked_trades.begin(), result.ranked_trades.end(),
+            [](const ScoredTrade& a, const ScoredTrade& b) {
+              if (a.score != b.score) return a.score > b.score;
+              if (a.seller != b.seller) return a.seller < b.seller;
+              return a.buyer < b.buyer;
+            });
+  return result;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,57 @@
+#ifndef TPIIN_CORE_SCORING_H_
+#define TPIIN_CORE_SCORING_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/detector.h"
+#include "fusion/tpiin.h"
+
+namespace tpiin {
+
+/// Suspicion scoring over detected groups — the edge-weight extension the
+/// paper names as future work (§7: "the weight computation methods of
+/// edges during a build-in phase of TPIIN in order to help identify the
+/// tax evaders"). Arc weights quantify influence strength (legal-person
+/// 1.0, share fractions, role-dependent director strengths; see
+/// TpiinBuilder::AddInfluenceArc); a group's score is the strength of
+/// its proof chain, and a trading relationship accumulates evidence from
+/// every group behind it.
+struct ScoringOptions {
+  enum class TrailAggregation {
+    /// Chain strength = product of arc weights (long weak chains fade).
+    kProduct,
+    /// Chain strength = weakest link.
+    kMinimum,
+  };
+  TrailAggregation aggregation = TrailAggregation::kProduct;
+};
+
+/// One trading relationship with its accumulated suspicion.
+struct ScoredTrade {
+  NodeId seller = kInvalidNode;
+  NodeId buyer = kInvalidNode;
+  /// Noisy-or accumulation over its groups' scores, in (0, 1].
+  double score = 0;
+  size_t group_count = 0;
+};
+
+struct ScoringResult {
+  /// Score per group, parallel to DetectionResult::groups, in (0, 1].
+  std::vector<double> group_scores;
+  /// Trading relationships ranked by descending score (ties by node
+  /// pair); intra-syndicate findings score 1.0 — a shareholding circle
+  /// is maximal evidence.
+  std::vector<ScoredTrade> ranked_trades;
+};
+
+/// Scores `detection` (which must have been run with
+/// options.match.collect_groups = true) against the TPIIN's arc weights.
+ScoringResult ScoreDetection(const Tpiin& net,
+                             const DetectionResult& detection,
+                             const ScoringOptions& options = {});
+
+}  // namespace tpiin
+
+#endif  // TPIIN_CORE_SCORING_H_

@@ -1,0 +1,83 @@
+#include "core/subtpiin.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "graph/connected.h"
+
+namespace tpiin {
+
+std::vector<SubTpiin> SegmentTpiin(const Tpiin& net,
+                                   const SegmentOptions& options,
+                                   SegmentStats* stats) {
+  const Digraph& g = net.graph();
+  WccResult wcc = WeaklyConnectedComponents(g, IsInfluenceArc);
+
+  // Bucket trading arcs by component; cross-component arcs are dropped.
+  std::vector<std::vector<ArcId>> trading_of_component(wcc.num_components);
+  size_t internal = 0;
+  size_t cross = 0;
+  for (ArcId id = net.num_influence_arcs(); id < g.NumArcs(); ++id) {
+    const Arc& arc = g.arc(id);
+    NodeId cs = wcc.component_of[arc.src];
+    NodeId cd = wcc.component_of[arc.dst];
+    if (cs == cd) {
+      trading_of_component[cs].push_back(id);
+      ++internal;
+    } else {
+      ++cross;
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->num_components = wcc.num_components;
+    stats->trading_arcs_internal = internal;
+    stats->trading_arcs_cross = cross;
+  }
+
+  std::vector<NodeId> local_of_global(g.NumNodes(), kInvalidNode);
+  std::vector<SubTpiin> out;
+  for (NodeId comp = 0; comp < wcc.num_components; ++comp) {
+    const std::vector<NodeId>& members = wcc.members[comp];
+    if (options.skip_singletons && members.size() <= 1) continue;
+    if (options.skip_tradeless && trading_of_component[comp].empty()) {
+      continue;
+    }
+
+    SubTpiin sub;
+    sub.parent = &net;
+    sub.global_of_local = members;  // Already sorted ascending.
+    sub.graph.AddNodes(static_cast<NodeId>(members.size()));
+    for (NodeId local = 0; local < members.size(); ++local) {
+      local_of_global[members[local]] = local;
+    }
+
+    // Influence arcs internal to the component (all arcs touching a
+    // member are internal by construction of the WCC).
+    for (NodeId local = 0; local < members.size(); ++local) {
+      NodeId global = members[local];
+      for (ArcId id : g.OutArcs(global)) {
+        const Arc& arc = g.arc(id);
+        if (!IsInfluenceArc(arc)) continue;
+        TPIIN_CHECK_EQ(wcc.component_of[arc.dst], comp);
+        sub.graph.AddArc(local, local_of_global[arc.dst], kArcInfluence);
+        sub.global_arc_of_local.push_back(id);
+      }
+    }
+    sub.num_influence_arcs = sub.graph.NumArcs();
+
+    for (ArcId id : trading_of_component[comp]) {
+      const Arc& arc = g.arc(id);
+      sub.graph.AddArc(local_of_global[arc.src], local_of_global[arc.dst],
+                       kArcTrading);
+      sub.global_arc_of_local.push_back(id);
+    }
+
+    out.push_back(std::move(sub));
+  }
+
+  if (stats != nullptr) stats->num_emitted = out.size();
+  return out;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,138 @@
+#include "datagen/case_studies.h"
+
+#include "common/logging.h"
+
+namespace tpiin {
+
+CaseStudy BuildCaseStudy1() {
+  CaseStudy cs;
+  cs.title = "Case 1: brothers behind a captive producer (Fig. 1)";
+  cs.narrative =
+      "Biochemical producer C3 in Zhejiang is fully held by C1 in "
+      "Shanghai (its raw-material supplier) and sells all output to C2. "
+      "The legal persons L1 (C1) and L2 (C2) are brothers; C3 booked "
+      "losses every year since 2005, violating the arm's length "
+      "principle.";
+  RawDataset& data = cs.dataset;
+
+  PersonId l1 = data.AddPerson("L1", kRoleCeo);
+  PersonId l2 = data.AddPerson("L2", kRoleCeo);
+  PersonId l3 = data.AddPerson("L3", kRoleCeo);  // C3's registered LP.
+  CompanyId c1 = data.AddCompany("C1");
+  CompanyId c2 = data.AddCompany("C2");
+  CompanyId c3 = data.AddCompany("C3");
+
+  data.AddInterdependence(l1, l2, InterdependenceKind::kKinship);
+  data.AddInfluence(l1, c1, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l2, c2, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l3, c3, InfluenceKind::kCeoOf, true);
+  data.AddInvestment(c1, c3, 1.0);  // C1 holds all shares of C3.
+  data.AddTrade(c1, c3);            // Raw materials downstream.
+  data.AddTrade(c3, c2);            // All products to C2.
+
+  cs.expected_seller = c3;
+  cs.expected_buyer = c2;
+  // TNMM facts: the TAO rebuilt C3's taxable income from the average net
+  // margin of comparable producers.
+  cs.revenue = 638.0e6;      // Declared related-party revenue (RMB).
+  cs.normal_margin = 0.04;   // Comparable producers' net margin.
+  cs.expected_adjustment = 25.52e6;
+  cs.adjustment_method = "TNMM";
+
+  TPIIN_CHECK(data.Validate().ok());
+  return cs;
+}
+
+CaseStudy BuildCaseStudy2() {
+  CaseStudy cs;
+  cs.title = "Case 2: common investor behind an export discount (Fig. 2a)";
+  cs.narrative =
+      "C5 (mainland) sold 5000 smart meters at $20 each to C6 "
+      "(Hong Kong) while charging domestic customers roughly $30. "
+      "C4 holds shares of both C5 and C6.";
+  RawDataset& data = cs.dataset;
+
+  PersonId l4 = data.AddPerson("L4", kRoleCeo);
+  PersonId l5 = data.AddPerson("L5", kRoleCeo);
+  PersonId l6 = data.AddPerson("L6", kRoleCeo);
+  CompanyId c4 = data.AddCompany("C4");
+  CompanyId c5 = data.AddCompany("C5");
+  CompanyId c6 = data.AddCompany("C6");
+
+  data.AddInfluence(l4, c4, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l5, c5, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l6, c6, InfluenceKind::kCeoOf, true);
+  data.AddInvestment(c4, c5, 0.4);
+  data.AddInvestment(c4, c6, 0.35);
+  data.AddTrade(c5, c6);
+
+  cs.expected_seller = c5;
+  cs.expected_buyer = c6;
+  cs.transfer_price = 20.0;
+  cs.market_price = 30.0;
+  cs.quantity = 5000;
+  cs.expected_adjustment = 5000.0;  // The TAO's tax adjustment (USD).
+  cs.adjustment_method = "CUP";
+
+  TPIIN_CHECK(data.Validate().ok());
+  return cs;
+}
+
+CaseStudy BuildCaseStudy3() {
+  CaseStudy cs;
+  cs.title = "Case 3: interlocked controlling directors (Fig. 2b)";
+  cs.narrative =
+      "C7 (China) sold BMX worth 90M RMB to C8 (US). B3 and B4 hold "
+      "over 51% of C7 and C8 respectively and, together with B5, signed "
+      "an acting-in-concert agreement over their joint venture C9 — a "
+      "director interlocking.";
+  RawDataset& data = cs.dataset;
+
+  PersonId b3 = data.AddPerson(
+      "B3", static_cast<PersonRoles>(kRoleDirector | kRoleShareholder));
+  PersonId b4 = data.AddPerson(
+      "B4", static_cast<PersonRoles>(kRoleDirector | kRoleShareholder));
+  PersonId b5 = data.AddPerson(
+      "B5", static_cast<PersonRoles>(kRoleDirector | kRoleShareholder));
+  PersonId l7 = data.AddPerson("L7", kRoleCeo);
+  PersonId l8 = data.AddPerson("L8", kRoleCeo);
+  PersonId l9 = data.AddPerson("L9", kRoleCeo);
+  CompanyId c7 = data.AddCompany("C7");
+  CompanyId c8 = data.AddCompany("C8");
+  CompanyId c9 = data.AddCompany("C9");
+
+  // The acting-in-concert agreement interlocks the three directors.
+  data.AddInterdependence(b3, b4, InterdependenceKind::kInterlocking);
+  data.AddInterdependence(b4, b5, InterdependenceKind::kInterlocking);
+  data.AddInterdependence(b3, b5, InterdependenceKind::kInterlocking);
+
+  data.AddInfluence(l7, c7, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l8, c8, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l9, c9, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(b3, c7, InfluenceKind::kDirectorOf, false);
+  data.AddInfluence(b4, c8, InfluenceKind::kDirectorOf, false);
+  data.AddInfluence(b3, c9, InfluenceKind::kDirectorOf, false);
+  data.AddInfluence(b4, c9, InfluenceKind::kDirectorOf, false);
+  data.AddInfluence(b5, c9, InfluenceKind::kDirectorOf, false);
+
+  data.AddTrade(c7, c8);
+
+  cs.expected_seller = c7;
+  cs.expected_buyer = c8;
+  // Cost-plus facts: cost 80M, selling expense 20M, normal profit rate 9%.
+  cs.revenue = 90.0e6;
+  cs.cost = 80.0e6;
+  cs.expense = 20.0e6;
+  cs.normal_margin = 0.09;
+  cs.expected_adjustment = 19.89e6;
+  cs.adjustment_method = "cost-plus";
+
+  TPIIN_CHECK(data.Validate().ok());
+  return cs;
+}
+
+std::vector<CaseStudy> BuildAllCaseStudies() {
+  return {BuildCaseStudy1(), BuildCaseStudy2(), BuildCaseStudy3()};
+}
+
+}  // namespace tpiin

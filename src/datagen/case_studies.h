@@ -1,0 +1,58 @@
+#ifndef TPIIN_DATAGEN_CASE_STUDIES_H_
+#define TPIIN_DATAGEN_CASE_STUDIES_H_
+
+#include <string>
+#include <vector>
+
+#include "model/dataset.h"
+
+namespace tpiin {
+
+/// One of the paper's three investigated IAT tax evasion cases (§3.1,
+/// Figs. 1-3), as a relationship dataset plus the economic facts the tax
+/// administration office used in the ITE phase.
+struct CaseStudy {
+  std::string title;
+  std::string narrative;
+  RawDataset dataset;
+
+  /// The headline interest-affiliated transaction the TAO adjusted.
+  CompanyId expected_seller = 0;
+  CompanyId expected_buyer = 0;
+
+  /// Economic facts for the ITE phase (unused fields are zero).
+  double transfer_price = 0;   // Price charged inside the group.
+  double market_price = 0;     // Arm's-length comparable price.
+  double quantity = 0;         // Units traded.
+  double revenue = 0;          // Declared revenue of the IAT.
+  double cost = 0;             // Production cost.
+  double expense = 0;          // Selling expense.
+  double normal_margin = 0;    // Industry-normal profit margin.
+
+  /// The paper's published adjustment and the method that produced it.
+  double expected_adjustment = 0;
+  std::string adjustment_method;
+};
+
+/// Case 1 (Fig. 1): producer C3 fully held by C1; all output sold to C2;
+/// the legal persons of C1 and C2 are brothers. TNMM adjustment of
+/// 25.52 million RMB.
+CaseStudy BuildCaseStudy1();
+
+/// Case 2 (Fig. 2a): C4 partially owns both C5 (mainland) and C6
+/// (Hong Kong); C5 sells smart meters to C6 at $20 against a $30
+/// domestic price. CUP adjustment of $5000 x ... = $50,000 total
+/// under-invoicing, of which the TAO adjusted $5000 of tax.
+CaseStudy BuildCaseStudy2();
+
+/// Case 3 (Fig. 2b): C7 (China) sells BMX to C8 (US); their controlling
+/// directors B3 and B4 act in concert with B5 through C9. Cost-plus
+/// adjustment of 19.89 million RMB.
+CaseStudy BuildCaseStudy3();
+
+/// All three cases in order.
+std::vector<CaseStudy> BuildAllCaseStudies();
+
+}  // namespace tpiin
+
+#endif  // TPIIN_DATAGEN_CASE_STUDIES_H_

@@ -1,0 +1,96 @@
+#include "datagen/plant.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "graph/union_find.h"
+
+namespace tpiin {
+
+std::string_view SchemeKindName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kSameInvestor:
+      return "same-investor";
+    case SchemeKind::kLinkedPersons:
+      return "linked-persons";
+    case SchemeKind::kSharedInfluencer:
+      return "shared-influencer";
+    case SchemeKind::kInvestorChain:
+      return "investor-chain";
+  }
+  return "unknown";
+}
+
+std::vector<PlantedScheme> PlantSuspiciousTrades(RawDataset& dataset,
+                                                 Rng& rng, size_t count) {
+  std::vector<PlantedScheme> candidates;
+  const size_t num_persons = dataset.persons().size();
+
+  // Person syndicates exactly as fusion will build them.
+  UnionFind person_uf(static_cast<NodeId>(num_persons));
+  for (const InterdependenceRecord& rec : dataset.interdependence()) {
+    person_uf.Union(rec.person_a, rec.person_b);
+  }
+
+  // Companies grouped by influencing person-syndicate.
+  std::unordered_map<NodeId, std::vector<CompanyId>> by_syndicate;
+  for (const InfluenceRecord& rec : dataset.influence()) {
+    by_syndicate[person_uf.Find(rec.person)].push_back(rec.company);
+  }
+  for (auto& [syndicate, companies] : by_syndicate) {
+    std::sort(companies.begin(), companies.end());
+    companies.erase(std::unique(companies.begin(), companies.end()),
+                    companies.end());
+    if (companies.size() < 2) continue;
+    // One candidate pair per syndicate keeps the pool diverse.
+    size_t a = rng.UniformU64(companies.size());
+    size_t b = rng.UniformU64(companies.size() - 1);
+    if (b >= a) ++b;
+    bool same_person =
+        dataset.persons().size() > 0 &&
+        person_uf.SizeOf(static_cast<NodeId>(syndicate)) == 1;
+    candidates.push_back(PlantedScheme{same_person
+                                           ? SchemeKind::kSharedInfluencer
+                                           : SchemeKind::kLinkedPersons,
+                                       companies[a], companies[b]});
+  }
+
+  // Common-investor triangles (Case 2) and investor chains (Case 1).
+  std::unordered_map<CompanyId, std::vector<CompanyId>> investees;
+  for (const InvestmentRecord& rec : dataset.investments()) {
+    investees[rec.investor].push_back(rec.investee);
+  }
+  for (const auto& [investor, list] : investees) {
+    if (list.size() >= 2) {
+      size_t a = rng.UniformU64(list.size());
+      size_t b = rng.UniformU64(list.size() - 1);
+      if (b >= a) ++b;
+      candidates.push_back(
+          PlantedScheme{SchemeKind::kSameInvestor, list[a], list[b]});
+    }
+    // Investor sells to its own investee: common antecedent is the
+    // investor itself (the A == seller degenerate case).
+    candidates.push_back(PlantedScheme{SchemeKind::kInvestorChain, investor,
+                                       list[rng.UniformU64(list.size())]});
+  }
+
+  rng.Shuffle(candidates);
+  if (candidates.size() > count) candidates.resize(count);
+
+  // Avoid planting duplicates of one pair (fusion would dedupe the arcs,
+  // making ground-truth bookkeeping ambiguous).
+  std::unordered_set<uint64_t> seen;
+  std::vector<PlantedScheme> planted;
+  for (const PlantedScheme& scheme : candidates) {
+    if (scheme.seller == scheme.buyer) continue;
+    uint64_t key =
+        (static_cast<uint64_t>(scheme.seller) << 32) | scheme.buyer;
+    if (!seen.insert(key).second) continue;
+    dataset.AddTrade(scheme.seller, scheme.buyer);
+    planted.push_back(scheme);
+  }
+  return planted;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,48 @@
+#ifndef TPIIN_DATAGEN_PLANT_H_
+#define TPIIN_DATAGEN_PLANT_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+#include "model/dataset.h"
+
+namespace tpiin {
+
+/// The IAT schemes of the paper's case studies (§3.1), used to plant
+/// trades with known-suspicious structure.
+enum class SchemeKind : uint8_t {
+  /// Case 2: one company holds shares of both trade parties.
+  kSameInvestor = 0,
+  /// Case 1: the legal persons (or other influencers) of the two parties
+  /// are linked by kinship/interlocking, i.e. merge into one syndicate.
+  kLinkedPersons = 1,
+  /// Degenerate but common: both parties share the very same influencer.
+  kSharedInfluencer = 2,
+  /// Case-1 variant: an investor sells to (or buys from) a company it
+  /// influences transitively.
+  kInvestorChain = 3,
+};
+
+std::string_view SchemeKindName(SchemeKind kind);
+
+/// One planted interest-affiliated trade with its scheme. Every planted
+/// trade is suspicious by construction (the two parties provably share a
+/// common antecedent after fusion), so a sound+complete detector must
+/// flag all of them — the accuracy oracle used in tests.
+struct PlantedScheme {
+  SchemeKind kind = SchemeKind::kSameInvestor;
+  CompanyId seller = 0;
+  CompanyId buyer = 0;
+};
+
+/// Plants up to `count` scheme trades into `dataset` (appending to its
+/// trade table) chosen from the structures present in the relationship
+/// data. Returns the planted records; fewer than `count` if the dataset
+/// offers fewer eligible structures.
+std::vector<PlantedScheme> PlantSuspiciousTrades(RawDataset& dataset,
+                                                 Rng& rng, size_t count);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_DATAGEN_PLANT_H_

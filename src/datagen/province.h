@@ -1,0 +1,36 @@
+#ifndef TPIIN_DATAGEN_PROVINCE_H_
+#define TPIIN_DATAGEN_PROVINCE_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "datagen/config.h"
+#include "model/dataset.h"
+
+namespace tpiin {
+
+/// A generated province: the relationship dataset plus the business-group
+/// partition used to build it (the partition is generator provenance, not
+/// something the miner sees).
+struct Province {
+  RawDataset dataset;
+  /// Company ids per business group.
+  std::vector<std::vector<CompanyId>> groups;
+};
+
+/// Generates a synthetic province per `config` (deterministic in
+/// config.seed). Fails if the population constraints are unsatisfiable
+/// (fewer legal persons than business groups, etc.). The returned dataset
+/// always passes RawDataset::Validate().
+Result<Province> GenerateProvince(const ProvinceConfig& config);
+
+/// Directed Erdos-Renyi trading layer: every ordered pair of distinct
+/// companies trades with probability `p` (the paper's Gephi random
+/// network). O(expected edges) via geometric skipping.
+std::vector<TradeRecord> GenerateTradingNetwork(uint32_t num_companies,
+                                                double p, Rng& rng);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_DATAGEN_PROVINCE_H_

@@ -1,0 +1,67 @@
+#include "datagen/receipts.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace tpiin {
+
+namespace {
+uint64_t PairKey(CompanyId a, CompanyId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+GeneratedReceipts GenerateReceipts(
+    const std::vector<TradeRecord>& trades,
+    const std::vector<std::pair<CompanyId, CompanyId>>& iat_pairs,
+    const ReceiptGenConfig& config) {
+  Rng rng(config.seed);
+  GeneratedReceipts out;
+
+  out.true_market.unit_price.reserve(config.num_categories);
+  for (CategoryId c = 0; c < config.num_categories; ++c) {
+    out.true_market.unit_price.push_back(rng.UniformDouble(
+        config.min_market_price, config.max_market_price));
+  }
+
+  std::unordered_set<uint64_t> iat;
+  iat.reserve(iat_pairs.size() * 2);
+  for (const auto& [seller, buyer] : iat_pairs) {
+    iat.insert(PairKey(seller, buyer));
+  }
+
+  TransactionId next_id = 1;
+  for (const TradeRecord& trade : trades) {
+    bool is_iat = iat.count(PairKey(trade.seller, trade.buyer)) > 0;
+    uint32_t count = static_cast<uint32_t>(
+        rng.UniformInt(config.min_receipts, config.max_receipts));
+    for (uint32_t k = 0; k < count; ++k) {
+      Receipt receipt;
+      receipt.id = next_id++;
+      receipt.seller = trade.seller;
+      receipt.buyer = trade.buyer;
+      receipt.category =
+          static_cast<CategoryId>(rng.UniformU64(config.num_categories));
+      receipt.day = static_cast<uint32_t>(
+          rng.UniformU64(std::max<uint32_t>(1, config.num_days)));
+      receipt.quantity =
+          rng.UniformDouble(config.min_quantity, config.max_quantity);
+      double market = out.true_market.PriceOf(receipt.category);
+      if (is_iat) {
+        double discount = rng.UniformDouble(config.iat_discount_min,
+                                            config.iat_discount_max);
+        receipt.unit_price = market * (1.0 - discount);
+        out.mispriced.push_back(out.receipts.size());
+      } else {
+        double noise = rng.UniformDouble(-config.honest_price_noise,
+                                         config.honest_price_noise);
+        receipt.unit_price = market * (1.0 + noise);
+      }
+      out.receipts.push_back(receipt);
+    }
+  }
+  return out;
+}
+
+}  // namespace tpiin

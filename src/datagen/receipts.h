@@ -1,0 +1,49 @@
+#ifndef TPIIN_DATAGEN_RECEIPTS_H_
+#define TPIIN_DATAGEN_RECEIPTS_H_
+
+#include <utility>
+#include <vector>
+
+#include "ite/transaction.h"
+#include "model/records.h"
+#include "store/receipt_store.h"
+
+namespace tpiin {
+
+/// Parameters of the synthetic receipt stream filling a ReceiptStore.
+/// Semantics mirror LedgerConfig (honest relations trade near market,
+/// IAT relations transfer-price below it), plus a time axis.
+struct ReceiptGenConfig {
+  uint64_t seed = 11;
+  CategoryId num_categories = 12;
+  double min_market_price = 10.0;
+  double max_market_price = 500.0;
+  uint32_t min_receipts = 1;
+  uint32_t max_receipts = 5;
+  double min_quantity = 10;
+  double max_quantity = 1000;
+  double honest_price_noise = 0.04;
+  double iat_discount_min = 0.20;
+  double iat_discount_max = 0.50;
+  uint32_t num_days = 365;
+};
+
+struct GeneratedReceipts {
+  std::vector<Receipt> receipts;
+  /// The true per-category market prices the generator drew from —
+  /// compare with EstimateMarketTable's reconstruction.
+  MarketTable true_market;
+  /// Indices (into `receipts`) of deliberately mispriced rows.
+  std::vector<size_t> mispriced;
+};
+
+/// Generates a receipt stream over `trades`; relationships listed in
+/// `iat_pairs` get transfer-priced rows. Deterministic in config.seed.
+GeneratedReceipts GenerateReceipts(
+    const std::vector<TradeRecord>& trades,
+    const std::vector<std::pair<CompanyId, CompanyId>>& iat_pairs,
+    const ReceiptGenConfig& config = {});
+
+}  // namespace tpiin
+
+#endif  // TPIIN_DATAGEN_RECEIPTS_H_

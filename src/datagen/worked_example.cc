@@ -1,0 +1,110 @@
+#include "datagen/worked_example.h"
+
+#include "common/logging.h"
+
+namespace tpiin {
+
+RawDataset BuildWorkedExampleDataset() {
+  RawDataset data;
+  // Persons of Fig. 7. Roles: legal persons as CEOs, directors as D.
+  PersonId l6 = data.AddPerson("L6", kRoleCeo);
+  PersonId lb = data.AddPerson("LB", kRoleCeo);
+  PersonId l2 = data.AddPerson("L2", kRoleCeo);
+  PersonId l3 = data.AddPerson("L3", kRoleCeo);
+  PersonId l4 = data.AddPerson("L4", kRoleCeo);
+  PersonId l5 = data.AddPerson("L5", kRoleCeo);
+  PersonId b1 = data.AddPerson("B1", kRoleDirector);
+  PersonId b5 = data.AddPerson("B5", kRoleDirector);
+  PersonId b6 = data.AddPerson("B6", kRoleDirector);
+
+  CompanyId c1 = data.AddCompany("C1");
+  CompanyId c2 = data.AddCompany("C2");
+  CompanyId c3 = data.AddCompany("C3");
+  CompanyId c4 = data.AddCompany("C4");
+  CompanyId c5 = data.AddCompany("C5");
+  CompanyId c6 = data.AddCompany("C6");
+  CompanyId c7 = data.AddCompany("C7");
+  CompanyId c8 = data.AddCompany("C8");
+
+  // Interdependence: the kinship L6-LB and the interlocking B5-B6 that
+  // contract into the syndicates L1 and B2 of Fig. 8.
+  data.AddInterdependence(l6, lb, InterdependenceKind::kKinship);
+  data.AddInterdependence(b5, b6, InterdependenceKind::kInterlocking);
+
+  // Legal-person links (exactly one per company). The merged syndicate
+  // {L6+LB} influences C1, C2 and C4 as in Fig. 8.
+  data.AddInfluence(lb, c1, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l6, c2, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l2, c3, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l6, c4, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l3, c5, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l4, c6, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l4, c7, InfluenceKind::kCeoOf, true);
+  data.AddInfluence(l5, c8, InfluenceKind::kCeoOf, true);
+
+  // Director links.
+  data.AddInfluence(b1, c5, InfluenceKind::kDirectorOf, false);
+  data.AddInfluence(b1, c6, InfluenceKind::kDirectorOf, false);
+  data.AddInfluence(b5, c7, InfluenceKind::kDirectorOf, false);
+  data.AddInfluence(b6, c8, InfluenceKind::kDirectorOf, false);
+
+  // Investment arcs (part of the antecedent network).
+  data.AddInvestment(c1, c3, 0.8);
+  data.AddInvestment(c2, c5, 0.6);
+
+  // Trading relationships of Fig. 8.
+  data.AddTrade(c5, c6);
+  data.AddTrade(c5, c7);
+  data.AddTrade(c3, c5);
+  data.AddTrade(c7, c8);
+  data.AddTrade(c8, c4);
+
+  TPIIN_CHECK(data.Validate().ok());
+  return data;
+}
+
+Tpiin BuildWorkedExampleTpiin() {
+  TpiinBuilder builder;
+  NodeId l1 = builder.AddPersonNode("L1");  // Syndicate {L6+LB}.
+  NodeId l2 = builder.AddPersonNode("L2");
+  NodeId l3 = builder.AddPersonNode("L3");
+  NodeId l4 = builder.AddPersonNode("L4");
+  NodeId l5 = builder.AddPersonNode("L5");
+  NodeId b1 = builder.AddPersonNode("B1");
+  NodeId b2 = builder.AddPersonNode("B2");  // Syndicate {B5+B6}.
+  NodeId c1 = builder.AddCompanyNode("C1");
+  NodeId c2 = builder.AddCompanyNode("C2");
+  NodeId c3 = builder.AddCompanyNode("C3");
+  NodeId c4 = builder.AddCompanyNode("C4");
+  NodeId c5 = builder.AddCompanyNode("C5");
+  NodeId c6 = builder.AddCompanyNode("C6");
+  NodeId c7 = builder.AddCompanyNode("C7");
+  NodeId c8 = builder.AddCompanyNode("C8");
+
+  builder.AddInfluenceArc(l1, c1);
+  builder.AddInfluenceArc(l1, c2);
+  builder.AddInfluenceArc(l1, c4);
+  builder.AddInfluenceArc(l2, c3);
+  builder.AddInfluenceArc(l3, c5);
+  builder.AddInfluenceArc(l4, c6);
+  builder.AddInfluenceArc(l4, c7);
+  builder.AddInfluenceArc(l5, c8);
+  builder.AddInfluenceArc(b1, c5);
+  builder.AddInfluenceArc(b1, c6);
+  builder.AddInfluenceArc(b2, c7);
+  builder.AddInfluenceArc(b2, c8);
+  builder.AddInfluenceArc(c1, c3);
+  builder.AddInfluenceArc(c2, c5);
+
+  builder.AddTradingArc(c5, c6);
+  builder.AddTradingArc(c5, c7);
+  builder.AddTradingArc(c3, c5);
+  builder.AddTradingArc(c7, c8);
+  builder.AddTradingArc(c8, c4);
+
+  Result<Tpiin> net = builder.Build();
+  TPIIN_CHECK(net.ok()) << net.status().ToString();
+  return std::move(net).value();
+}
+
+}  // namespace tpiin

@@ -1,0 +1,40 @@
+#ifndef TPIIN_FUSION_LAYERS_H_
+#define TPIIN_FUSION_LAYERS_H_
+
+#include "graph/digraph.h"
+#include "model/dataset.h"
+
+namespace tpiin {
+
+/// Arc colors used inside the homogeneous layer graphs (before fusion
+/// collapses everything to Influence/Trading). Values are arbitrary but
+/// stable — exporters key legends off them.
+inline constexpr ArcColor kLayerKinship = 10;       // brown edges (Fig. 11)
+inline constexpr ArcColor kLayerInterlocking = 11;  // yellow edges (Fig. 11)
+inline constexpr ArcColor kLayerInfluence = 12;     // blue arcs (Fig. 12)
+inline constexpr ArcColor kLayerInvestment = 13;    // green/red arcs (Fig. 13)
+inline constexpr ArcColor kLayerTrading = 14;       // black arcs (Fig. 15)
+
+/// G1, the interdependence graph (§4.1): one node per person, one
+/// unidirectional edge per deduplicated person pair (when both a kinship
+/// and an interlocking record exist for a pair, only the first is kept —
+/// the fusion contraction is insensitive to which). Stored as a single
+/// directed arc a->b with a < b.
+Digraph BuildInterdependenceGraph(const RawDataset& dataset);
+
+/// G2, the influence bipartite graph (§4.1): nodes [0, P) are persons,
+/// [P, P + C) are companies; arcs run person -> company. Duplicate
+/// (person, company) records collapse to one arc.
+Digraph BuildInfluenceLayerGraph(const RawDataset& dataset);
+
+/// GI (G3 in the experiment figures), the investment graph: one node per
+/// company, deduplicated investor -> investee arcs.
+Digraph BuildInvestmentGraph(const RawDataset& dataset);
+
+/// G4, the trading graph: one node per company, deduplicated
+/// seller -> buyer arcs.
+Digraph BuildTradingGraph(const RawDataset& dataset);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_FUSION_LAYERS_H_

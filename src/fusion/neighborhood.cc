@@ -1,0 +1,80 @@
+#include "fusion/neighborhood.h"
+
+#include <algorithm>
+#include <deque>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace tpiin {
+
+Result<Tpiin> ExtractEgoNetwork(const Tpiin& net, NodeId center,
+                                const EgoOptions& options) {
+  if (center >= net.NumNodes()) {
+    return Status::InvalidArgument("ego center out of range");
+  }
+  const Digraph& g = net.graph();
+
+  // Undirected BFS over the selected colors. The reverse adjacency is
+  // derived from a forward pass (Digraph's in-adjacency is lazy and
+  // `net` is const).
+  std::vector<std::vector<NodeId>> undirected(g.NumNodes());
+  for (const Arc& arc : g.arcs()) {
+    bool follow = IsInfluenceArc(arc) ? options.follow_influence
+                                      : options.follow_trading;
+    if (!follow) continue;
+    undirected[arc.src].push_back(arc.dst);
+    undirected[arc.dst].push_back(arc.src);
+  }
+
+  constexpr uint32_t kUnseen = UINT32_MAX;
+  std::vector<uint32_t> distance(g.NumNodes(), kUnseen);
+  std::deque<NodeId> frontier = {center};
+  distance[center] = 0;
+  std::vector<NodeId> kept = {center};
+  while (!frontier.empty()) {
+    NodeId u = frontier.front();
+    frontier.pop_front();
+    if (distance[u] >= options.depth) continue;
+    for (NodeId v : undirected[u]) {
+      if (distance[v] != kUnseen) continue;
+      distance[v] = distance[u] + 1;
+      kept.push_back(v);
+      frontier.push_back(v);
+    }
+  }
+  std::sort(kept.begin(), kept.end());
+
+  std::vector<NodeId> local_of_global(g.NumNodes(), kInvalidNode);
+  TpiinBuilder builder;
+  for (NodeId global : kept) {
+    const TpiinNode& node = net.node(global);
+    NodeId local;
+    if (node.color == NodeColor::kPerson) {
+      local = builder.AddPersonNode(node.label, node.person_members);
+    } else {
+      local = builder.AddCompanyNode(node.label, node.company_members);
+      if (!node.internal_investments.empty()) {
+        builder.SetInternalInvestments(local, node.internal_investments);
+      }
+    }
+    local_of_global[global] = local;
+  }
+
+  // All arcs between retained nodes, influence first (arc-id order of
+  // the source network preserves that invariant).
+  for (ArcId id = 0; id < g.NumArcs(); ++id) {
+    const Arc& arc = g.arc(id);
+    NodeId src = local_of_global[arc.src];
+    NodeId dst = local_of_global[arc.dst];
+    if (src == kInvalidNode || dst == kInvalidNode) continue;
+    if (IsInfluenceArc(arc)) {
+      builder.AddInfluenceArc(src, dst, net.ArcWeight(id));
+    } else {
+      builder.AddTradingArc(src, dst);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace tpiin

@@ -1,0 +1,36 @@
+#ifndef TPIIN_FUSION_NEIGHBORHOOD_H_
+#define TPIIN_FUSION_NEIGHBORHOOD_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "fusion/tpiin.h"
+
+namespace tpiin {
+
+/// Options for ego-network extraction.
+struct EgoOptions {
+  /// Maximum hop count from the center (undirected distance over the
+  /// selected arc colors).
+  uint32_t depth = 2;
+  /// Traverse influence (antecedent) arcs — investment trees, directors,
+  /// legal persons. The production system's "investment relationships of
+  /// a specified company" tree (Fig. 17) uses these.
+  bool follow_influence = true;
+  /// Also traverse trading arcs (brings in counterparties).
+  bool follow_trading = false;
+};
+
+/// Extracts the `options.depth`-hop neighborhood of `center` as a
+/// self-contained TPIIN: nodes keep their labels, colors, member lists
+/// and arc weights; all arcs of the original network between retained
+/// nodes are kept (influence and trading alike, regardless of which
+/// colors were traversed). This is the subgraph behind the monitoring
+/// system's per-company views (§6, Figs. 17-18) and a convenient unit
+/// for export and focused re-mining.
+Result<Tpiin> ExtractEgoNetwork(const Tpiin& net, NodeId center,
+                                const EgoOptions& options = {});
+
+}  // namespace tpiin
+
+#endif  // TPIIN_FUSION_NEIGHBORHOOD_H_

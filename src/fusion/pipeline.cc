@@ -1,0 +1,202 @@
+#include "fusion/pipeline.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "fusion/layers.h"
+#include "graph/scc.h"
+#include "graph/union_find.h"
+
+namespace tpiin {
+
+namespace {
+
+uint64_t PairKey(NodeId a, NodeId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+// Builds a syndicate display label from member names: a single member
+// keeps its own name; merged members render as "{a+b+c}".
+std::string SyndicateLabel(const std::vector<std::string>& names) {
+  if (names.size() == 1) return names[0];
+  std::string out = "{";
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) out += '+';
+    out += names[i];
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string FusionStats::ToString() const {
+  return StringPrintf(
+      "G1: %zu persons, %zu interdependence edges -> %zu person nodes "
+      "(%zu persons merged)\n"
+      "G2: %zu influence records -> %zu influence arcs\n"
+      "GI: %zu investment records -> %zu investment arcs "
+      "(%zu intra-SCC dropped); %zu company syndicates covering %zu "
+      "companies\n"
+      "Antecedent: %zu nodes, %zu arcs (DAG)\n"
+      "Trading: %zu trade records -> %zu trading arcs "
+      "(%zu intra-syndicate)",
+      g1_nodes, g1_edges, person_syndicates, persons_in_syndicates,
+      influence_records, influence_arcs, investment_records,
+      investment_arcs, investment_arcs_intra_scc, company_syndicates,
+      companies_in_syndicates, antecedent_nodes, antecedent_arcs,
+      trade_records, trading_arcs, intra_syndicate_trades);
+}
+
+Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
+                                const FusionOptions& options) {
+  if (options.validate_dataset) {
+    TPIIN_RETURN_IF_ERROR(dataset.Validate());
+  }
+
+  FusionStats stats;
+  const NodeId num_persons = static_cast<NodeId>(dataset.persons().size());
+  const NodeId num_companies =
+      static_cast<NodeId>(dataset.companies().size());
+
+  // --- G1 + edge contraction: connected components of the
+  // interdependence graph become person syndicates. Repeated pairwise
+  // edge contraction (the paper's formulation) and union-find produce
+  // the same partition; see bench_ablation for the comparison.
+  Digraph g1 = BuildInterdependenceGraph(dataset);
+  stats.g1_nodes = num_persons;
+  stats.g1_edges = g1.NumArcs();
+  UnionFind person_uf(num_persons);
+  for (const Arc& arc : g1.arcs()) person_uf.Union(arc.src, arc.dst);
+  std::vector<NodeId> person_component = person_uf.DenseComponentIds();
+  const NodeId num_person_nodes = person_uf.NumSets();
+  stats.person_syndicates = num_person_nodes;
+
+  // --- GI + Tarjan SCC contraction: strongly connected investment
+  // subgraphs become company syndicates.
+  Digraph gi = BuildInvestmentGraph(dataset);
+  stats.investment_records = dataset.investments().size();
+  SccResult scc = StronglyConnectedComponents(gi);
+  const NodeId num_company_nodes = scc.num_components;
+  stats.company_syndicates = scc.nontrivial_components.size();
+  for (NodeId comp : scc.nontrivial_components) {
+    stats.companies_in_syndicates += scc.members[comp].size();
+  }
+
+  // --- Assemble TPIIN nodes: person syndicates first, then company
+  // (syndicate) nodes, so arc ids and node ids stay grouped by color.
+  TpiinBuilder builder;
+  std::vector<NodeId> person_node(num_persons, kInvalidNode);
+  std::vector<NodeId> company_node(num_companies, kInvalidNode);
+
+  {
+    std::vector<std::vector<PersonId>> members(num_person_nodes);
+    for (PersonId p = 0; p < num_persons; ++p) {
+      members[person_component[p]].push_back(p);
+    }
+    for (NodeId c = 0; c < num_person_nodes; ++c) {
+      std::vector<std::string> names;
+      names.reserve(members[c].size());
+      for (PersonId p : members[c]) {
+        names.push_back(dataset.persons()[p].name);
+        if (members[c].size() > 1) ++stats.persons_in_syndicates;
+      }
+      NodeId id = builder.AddPersonNode(SyndicateLabel(names), members[c]);
+      for (PersonId p : members[c]) person_node[p] = id;
+    }
+  }
+  {
+    for (NodeId comp = 0; comp < num_company_nodes; ++comp) {
+      const std::vector<NodeId>& comp_members = scc.members[comp];
+      std::vector<std::string> names;
+      std::vector<CompanyId> ids;
+      names.reserve(comp_members.size());
+      for (NodeId c : comp_members) {
+        names.push_back(dataset.companies()[c].name);
+        ids.push_back(static_cast<CompanyId>(c));
+      }
+      NodeId id = builder.AddCompanyNode(SyndicateLabel(names), ids);
+      for (CompanyId c : ids) company_node[c] = id;
+      if (comp_members.size() > 1) {
+        // Keep the SCS-internal investment arcs: they carry the proof
+        // chains for intra-syndicate suspicious trades.
+        std::unordered_set<uint64_t> in_scc;
+        for (NodeId c : comp_members) in_scc.insert(c);
+        std::vector<std::pair<CompanyId, CompanyId>> internal;
+        for (const Arc& arc : gi.arcs()) {
+          if (in_scc.count(arc.src) && in_scc.count(arc.dst)) {
+            internal.emplace_back(static_cast<CompanyId>(arc.src),
+                                  static_cast<CompanyId>(arc.dst));
+          }
+        }
+        builder.SetInternalInvestments(id, std::move(internal));
+      }
+    }
+  }
+
+  // --- Influence arcs (G12'): person syndicate -> company node. The
+  // builder deduplicates, keeping the maximum weight; weights implement
+  // §7's future-work edge weighting: a legal-person link is full
+  // strength, director-type links are weaker.
+  stats.influence_records = dataset.influence().size();
+  for (const InfluenceRecord& rec : dataset.influence()) {
+    double weight = 1.0;
+    if (!rec.is_legal_person) {
+      switch (rec.kind) {
+        case InfluenceKind::kCeoAndDirectorOf:
+          weight = 0.9;
+          break;
+        case InfluenceKind::kCeoOf:
+        case InfluenceKind::kChairmanOf:
+          weight = 0.8;
+          break;
+        case InfluenceKind::kDirectorOf:
+          weight = 0.6;
+          break;
+      }
+    }
+    builder.AddInfluenceArc(person_node[rec.person],
+                            company_node[rec.company], weight);
+  }
+  stats.influence_arcs = builder.NumArcsSoFar();
+
+  // --- Investment arcs mapped through the SCC contraction; arcs inside
+  // one syndicate disappear (they became internal_investments above).
+  // The held share fraction becomes the arc weight.
+  for (const InvestmentRecord& rec : dataset.investments()) {
+    NodeId src = company_node[rec.investor];
+    NodeId dst = company_node[rec.investee];
+    if (src == dst) {
+      ++stats.investment_arcs_intra_scc;
+      continue;
+    }
+    builder.AddInfluenceArc(src, dst, rec.share);
+  }
+  stats.investment_arcs = builder.NumArcsSoFar() - stats.influence_arcs;
+
+  stats.antecedent_nodes = num_person_nodes + num_company_nodes;
+  stats.antecedent_arcs = stats.influence_arcs + stats.investment_arcs;
+
+  // --- Trading overlay (G4) mapped through the contraction.
+  stats.trade_records = dataset.trades().size();
+  std::unordered_set<uint64_t> seen_trades;
+  for (const TradeRecord& rec : dataset.trades()) {
+    NodeId src = company_node[rec.seller];
+    NodeId dst = company_node[rec.buyer];
+    if (src == dst) {
+      builder.AddIntraSyndicateTrade(src, rec.seller, rec.buyer);
+      ++stats.intra_syndicate_trades;
+      continue;
+    }
+    if (!seen_trades.insert(PairKey(src, dst)).second) continue;
+    builder.AddTradingArc(src, dst);
+    ++stats.trading_arcs;
+  }
+
+  builder.SetEntityMaps(std::move(person_node), std::move(company_node));
+  TPIIN_ASSIGN_OR_RETURN(Tpiin net, builder.Build());
+  return FusionOutput{std::move(net), stats};
+}
+
+}  // namespace tpiin

@@ -1,0 +1,143 @@
+#include "fusion/tpiin.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.h"
+#include "graph/topo.h"
+
+namespace tpiin {
+
+std::string_view NodeColorName(NodeColor color) {
+  switch (color) {
+    case NodeColor::kPerson:
+      return "Person";
+    case NodeColor::kCompany:
+      return "Company";
+  }
+  return "unknown";
+}
+
+std::vector<std::array<uint32_t, 3>> Tpiin::ToEdgeList() const {
+  std::vector<std::array<uint32_t, 3>> rows;
+  rows.reserve(graph_.NumArcs());
+  for (const Arc& arc : graph_.arcs()) {
+    rows.push_back({arc.src, arc.dst, static_cast<uint32_t>(arc.color)});
+  }
+  return rows;
+}
+
+NodeId TpiinBuilder::AddPersonNode(std::string label,
+                                   std::vector<PersonId> members) {
+  NodeId id = net_.graph_.AddNode();
+  TpiinNode node;
+  node.color = NodeColor::kPerson;
+  node.label = std::move(label);
+  node.person_members = std::move(members);
+  net_.nodes_.push_back(std::move(node));
+  return id;
+}
+
+NodeId TpiinBuilder::AddCompanyNode(std::string label,
+                                    std::vector<CompanyId> members) {
+  NodeId id = net_.graph_.AddNode();
+  TpiinNode node;
+  node.color = NodeColor::kCompany;
+  node.label = std::move(label);
+  node.company_members = std::move(members);
+  net_.nodes_.push_back(std::move(node));
+  return id;
+}
+
+ArcId TpiinBuilder::LookupOrInsertArcKey(NodeId src, NodeId dst,
+                                         ArcColor color) {
+  uint64_t key = (static_cast<uint64_t>(src) << 33) |
+                 (static_cast<uint64_t>(dst) << 1) |
+                 static_cast<uint64_t>(color & 1);
+  ArcId next_id = net_.graph_.NumArcs();
+  auto [it, inserted] = seen_arc_keys_.emplace(key, next_id);
+  return inserted ? kInvalidArc : it->second;
+}
+
+void TpiinBuilder::AddInfluenceArc(NodeId from, NodeId to, double weight) {
+  if (saw_trading_arc_) {
+    failed_ordering_ = true;
+    return;
+  }
+  ArcId existing = LookupOrInsertArcKey(from, to, kArcInfluence);
+  if (existing != kInvalidArc) {
+    // Keep the strongest evidence for a deduplicated relationship.
+    net_.arc_weight_[existing] = std::max(net_.arc_weight_[existing],
+                                          weight);
+    return;
+  }
+  net_.graph_.AddArc(from, to, kArcInfluence);
+  net_.arc_weight_.push_back(weight);
+  ++net_.num_influence_arcs_;
+}
+
+void TpiinBuilder::AddTradingArc(NodeId seller, NodeId buyer) {
+  saw_trading_arc_ = true;
+  if (LookupOrInsertArcKey(seller, buyer, kArcTrading) != kInvalidArc) {
+    return;
+  }
+  net_.graph_.AddArc(seller, buyer, kArcTrading);
+  net_.arc_weight_.push_back(1.0);
+}
+
+void TpiinBuilder::AddIntraSyndicateTrade(NodeId syndicate, CompanyId seller,
+                                          CompanyId buyer) {
+  net_.intra_syndicate_trades_.push_back(
+      IntraSyndicateTrade{syndicate, seller, buyer});
+}
+
+void TpiinBuilder::SetInternalInvestments(
+    NodeId node, std::vector<std::pair<CompanyId, CompanyId>> arcs) {
+  TPIIN_CHECK_LT(node, net_.nodes_.size());
+  net_.nodes_[node].internal_investments = std::move(arcs);
+}
+
+void TpiinBuilder::SetEntityMaps(std::vector<NodeId> person_node,
+                                 std::vector<NodeId> company_node) {
+  net_.person_node_ = std::move(person_node);
+  net_.company_node_ = std::move(company_node);
+}
+
+Result<Tpiin> TpiinBuilder::Build() {
+  if (failed_ordering_) {
+    return Status::FailedPrecondition(
+        "influence arcs must all precede trading arcs");
+  }
+  const Digraph& g = net_.graph_;
+  for (ArcId id = 0; id < g.NumArcs(); ++id) {
+    const Arc& arc = g.arc(id);
+    if (IsInfluenceArc(arc)) {
+      if (net_.nodes_[arc.dst].color != NodeColor::kCompany) {
+        return Status::FailedPrecondition(
+            "influence arc must end at a Company node: " +
+            net_.nodes_[arc.src].label + " -> " + net_.nodes_[arc.dst].label);
+      }
+    } else {
+      if (net_.nodes_[arc.src].color != NodeColor::kCompany ||
+          net_.nodes_[arc.dst].color != NodeColor::kCompany) {
+        return Status::FailedPrecondition(
+            "trading arc must connect Company nodes: " +
+            net_.nodes_[arc.src].label + " -> " + net_.nodes_[arc.dst].label);
+      }
+      if (arc.src == arc.dst) {
+        return Status::FailedPrecondition(
+            "trading self-loop on node " + net_.nodes_[arc.src].label +
+            "; intra-syndicate trades must use AddIntraSyndicateTrade");
+      }
+    }
+  }
+  // Property 1 rests on the antecedent network being a DAG.
+  if (!IsDag(g, IsInfluenceArc)) {
+    return Status::FailedPrecondition(
+        "antecedent (influence) subgraph contains a directed cycle; run "
+        "SCC contraction before building a TPIIN");
+  }
+  return std::move(net_);
+}
+
+}  // namespace tpiin

@@ -1,0 +1,179 @@
+#ifndef TPIIN_FUSION_TPIIN_H_
+#define TPIIN_FUSION_TPIIN_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/digraph.h"
+#include "graph/types.h"
+#include "model/records.h"
+
+namespace tpiin {
+
+/// Node colors of a TPIIN (Definition 1): Person covers natural persons
+/// and person syndicates; Company covers companies and company
+/// (SCC) syndicates.
+enum class NodeColor : uint8_t { kPerson = 0, kCompany = 1 };
+
+std::string_view NodeColorName(NodeColor color);
+
+/// Arc colors of a TPIIN. Values match the paper's edge-list encoding
+/// ("0 represents black [trading] while 1 represents blue [influence]").
+inline constexpr ArcColor kArcTrading = 0;
+inline constexpr ArcColor kArcInfluence = 1;
+
+inline bool IsTradingArc(const Arc& arc) { return arc.color == kArcTrading; }
+inline bool IsInfluenceArc(const Arc& arc) {
+  return arc.color == kArcInfluence;
+}
+
+/// One TPIIN vertex with its provenance. A Person node may be a syndicate
+/// of several natural persons (edge contraction of interdependence
+/// links); a Company node may be a syndicate of several companies
+/// (contraction of a strongly connected investment subgraph).
+struct TpiinNode {
+  NodeColor color = NodeColor::kPerson;
+  /// Display label: the original entity's name, or "{a+b+...}" for
+  /// syndicates.
+  std::string label;
+  /// Original persons merged into this node (Person nodes only).
+  std::vector<PersonId> person_members;
+  /// Original companies merged into this node (Company nodes only).
+  std::vector<CompanyId> company_members;
+  /// For company syndicates: the investment arcs internal to the
+  /// contracted SCC, kept because any trading relationship between SCC
+  /// members is suspicious (§4.3 closing remark) and its proof chain
+  /// runs along these arcs.
+  std::vector<std::pair<CompanyId, CompanyId>> internal_investments;
+
+  bool IsSyndicate() const {
+    return person_members.size() > 1 || company_members.size() > 1;
+  }
+};
+
+/// A trading record whose endpoints were merged into the same company
+/// syndicate. The arc would be a self-loop in the contracted graph, so it
+/// is kept out of the Digraph and reported here; the detector turns each
+/// into a suspicious trade with an intra-SCC proof chain.
+struct IntraSyndicateTrade {
+  NodeId syndicate_node = kInvalidNode;
+  CompanyId seller = 0;
+  CompanyId buyer = 0;
+};
+
+/// The Taxpayer Interest Interacted Network (Definition 1): the
+/// antecedent network (influence arcs, a DAG) overlaid with the trading
+/// network. Influence arcs occupy arc ids [0, num_influence_arcs());
+/// trading arcs follow — the same convention as the paper's edge-list
+/// where antecedent rows precede trading rows.
+class Tpiin {
+ public:
+  const Digraph& graph() const { return graph_; }
+  NodeId NumNodes() const { return graph_.NumNodes(); }
+
+  const TpiinNode& node(NodeId id) const { return nodes_[id]; }
+  const std::vector<TpiinNode>& nodes() const { return nodes_; }
+
+  ArcId num_influence_arcs() const { return num_influence_arcs_; }
+  ArcId num_trading_arcs() const {
+    return graph_.NumArcs() - num_influence_arcs_;
+  }
+
+  /// TPIIN node holding a given original person/company. Valid only for
+  /// ids < the sizes passed at build time.
+  NodeId NodeOfPerson(PersonId p) const { return person_node_[p]; }
+  NodeId NodeOfCompany(CompanyId c) const { return company_node_[c]; }
+
+  const std::vector<IntraSyndicateTrade>& intra_syndicate_trades() const {
+    return intra_syndicate_trades_;
+  }
+
+  const std::string& Label(NodeId id) const { return nodes_[id].label; }
+
+  /// Influence strength of an arc in (0, 1]; trading arcs carry 1.0.
+  double ArcWeight(ArcId id) const { return arc_weight_[id]; }
+
+  /// The paper's r x 3 edge-list encoding: {src, dst, color} with all
+  /// antecedent (influence) rows before trading rows. Row i corresponds
+  /// to arc id i.
+  std::vector<std::array<uint32_t, 3>> ToEdgeList() const;
+
+ private:
+  friend class TpiinBuilder;
+
+  Digraph graph_;
+  std::vector<TpiinNode> nodes_;
+  std::vector<double> arc_weight_;
+  ArcId num_influence_arcs_ = 0;
+  std::vector<NodeId> person_node_;
+  std::vector<NodeId> company_node_;
+  std::vector<IntraSyndicateTrade> intra_syndicate_trades_;
+};
+
+/// Constructs a Tpiin node by node. Used by the fusion pipeline and by
+/// tests/examples that specify small networks directly (e.g. the paper's
+/// Fig. 8 worked example). Influence arcs must all be added before the
+/// first trading arc; Build() enforces the invariants:
+///  - influence arcs end at Company nodes;
+///  - trading arcs connect Company nodes;
+///  - the influence (antecedent) subgraph is acyclic.
+class TpiinBuilder {
+ public:
+  NodeId AddPersonNode(std::string label,
+                       std::vector<PersonId> members = {});
+  NodeId AddCompanyNode(std::string label,
+                        std::vector<CompanyId> members = {});
+
+  /// Adds an influence/trading arc. CNBM relationships are sets, so a
+  /// duplicate (endpoints and color both equal) is silently ignored —
+  /// except that a duplicate influence arc raises the stored weight to
+  /// the maximum seen (the strongest relationship evidences the link).
+  ///
+  /// `weight` in (0, 1] quantifies influence strength (§7's future-work
+  /// edge weights): 1.0 for a legal-person link or full ownership, the
+  /// held share fraction for investment arcs, role-dependent strengths
+  /// for director links. Scoring (core/scoring.h) consumes it.
+  void AddInfluenceArc(NodeId from, NodeId to, double weight = 1.0);
+  void AddTradingArc(NodeId seller, NodeId buyer);
+
+  void AddIntraSyndicateTrade(NodeId syndicate, CompanyId seller,
+                              CompanyId buyer);
+
+  /// Attaches SCC-internal investment arcs to a company syndicate node.
+  void SetInternalInvestments(
+      NodeId node, std::vector<std::pair<CompanyId, CompanyId>> arcs);
+
+  /// Installs the original-id -> node maps (pipeline use). Builders used
+  /// directly in tests may skip this; NodeOfPerson/NodeOfCompany then
+  /// fall back to identity-sized empty maps.
+  void SetEntityMaps(std::vector<NodeId> person_node,
+                     std::vector<NodeId> company_node);
+
+  /// Arcs added so far (after deduplication); lets the fusion pipeline
+  /// attribute arc counts to its stages.
+  ArcId NumArcsSoFar() const { return net_.graph_.NumArcs(); }
+
+  /// Validates and returns the network; the builder is consumed.
+  Result<Tpiin> Build();
+
+ private:
+  /// Returns the existing arc id for this (src, dst, color) key, or
+  /// kInvalidArc after registering it as new.
+  ArcId LookupOrInsertArcKey(NodeId src, NodeId dst, ArcColor color);
+
+  Tpiin net_;
+  std::unordered_map<uint64_t, ArcId> seen_arc_keys_;
+  bool saw_trading_arc_ = false;
+  bool failed_ordering_ = false;
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_FUSION_TPIIN_H_

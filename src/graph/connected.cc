@@ -1,0 +1,24 @@
+#include "graph/connected.h"
+
+#include "graph/union_find.h"
+
+namespace tpiin {
+
+WccResult WeaklyConnectedComponents(const Digraph& graph,
+                                    const ArcFilter& filter) {
+  UnionFind uf(graph.NumNodes());
+  for (const Arc& arc : graph.arcs()) {
+    if (filter && !filter(arc)) continue;
+    uf.Union(arc.src, arc.dst);
+  }
+  WccResult result;
+  result.component_of = uf.DenseComponentIds();
+  result.num_components = uf.NumSets();
+  result.members.resize(result.num_components);
+  for (NodeId v = 0; v < graph.NumNodes(); ++v) {
+    result.members[result.component_of[v]].push_back(v);
+  }
+  return result;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,40 @@
+#include "graph/digraph.h"
+
+#include "common/logging.h"
+
+namespace tpiin {
+
+NodeId Digraph::AddNode() {
+  out_arcs_.emplace_back();
+  in_arcs_.emplace_back();
+  in_degree_.push_back(0);
+  return static_cast<NodeId>(out_arcs_.size() - 1);
+}
+
+void Digraph::AddNodes(NodeId count) {
+  out_arcs_.resize(out_arcs_.size() + count);
+  in_arcs_.resize(in_arcs_.size() + count);
+  in_degree_.resize(in_degree_.size() + count, 0);
+}
+
+ArcId Digraph::AddArc(NodeId src, NodeId dst, ArcColor color) {
+  TPIIN_CHECK(HasNode(src)) << "AddArc: bad src " << src;
+  TPIIN_CHECK(HasNode(dst)) << "AddArc: bad dst " << dst;
+  ArcId id = static_cast<ArcId>(arcs_.size());
+  arcs_.push_back(Arc{src, dst, color});
+  out_arcs_[src].push_back(id);
+  ++in_degree_[dst];
+  in_adjacency_fresh_ = false;
+  return id;
+}
+
+void Digraph::BuildInAdjacency() {
+  if (in_adjacency_fresh_) return;
+  for (auto& list : in_arcs_) list.clear();
+  for (ArcId id = 0; id < NumArcs(); ++id) {
+    in_arcs_[arcs_[id].dst].push_back(id);
+  }
+  in_adjacency_fresh_ = true;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,74 @@
+#ifndef TPIIN_GRAPH_DIGRAPH_H_
+#define TPIIN_GRAPH_DIGRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+
+namespace tpiin {
+
+/// A mutable directed multigraph with colored arcs.
+///
+/// Nodes are dense indices [0, NumNodes()); arcs are appended and keep
+/// stable ids. Out-adjacency is maintained incrementally; in-adjacency is
+/// built lazily on first use (BuildInAdjacency) because most algorithms
+/// here only walk forward.
+///
+/// The class deliberately has no node/arc payloads beyond the color —
+/// higher layers keep parallel arrays keyed by NodeId/ArcId, which keeps
+/// the hot traversal structures compact.
+class Digraph {
+ public:
+  Digraph() = default;
+  explicit Digraph(NodeId num_nodes) { AddNodes(num_nodes); }
+
+  /// Appends one node, returning its id.
+  NodeId AddNode();
+
+  /// Appends `count` nodes.
+  void AddNodes(NodeId count);
+
+  /// Appends an arc src->dst; both endpoints must already exist.
+  /// Parallel arcs and self-loops are allowed (fusion dedups where the
+  /// model requires it).
+  ArcId AddArc(NodeId src, NodeId dst, ArcColor color);
+
+  NodeId NumNodes() const { return static_cast<NodeId>(out_arcs_.size()); }
+  ArcId NumArcs() const { return static_cast<ArcId>(arcs_.size()); }
+
+  const Arc& arc(ArcId id) const { return arcs_[id]; }
+  const std::vector<Arc>& arcs() const { return arcs_; }
+
+  /// Arc ids leaving `node`, in insertion order.
+  std::span<const ArcId> OutArcs(NodeId node) const {
+    return out_arcs_[node];
+  }
+
+  /// Arc ids entering `node`. Requires BuildInAdjacency() after the last
+  /// mutation.
+  std::span<const ArcId> InArcs(NodeId node) const { return in_arcs_[node]; }
+
+  uint32_t OutDegree(NodeId node) const {
+    return static_cast<uint32_t>(out_arcs_[node].size());
+  }
+  uint32_t InDegree(NodeId node) const { return in_degree_[node]; }
+
+  /// (Re)builds the reverse adjacency lists. Idempotent; cheap to call
+  /// after a batch of AddArc calls.
+  void BuildInAdjacency();
+
+  bool HasNode(NodeId node) const { return node < NumNodes(); }
+
+ private:
+  std::vector<Arc> arcs_;
+  std::vector<std::vector<ArcId>> out_arcs_;
+  std::vector<std::vector<ArcId>> in_arcs_;
+  std::vector<uint32_t> in_degree_;
+  bool in_adjacency_fresh_ = true;
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_GRAPH_DIGRAPH_H_

@@ -1,0 +1,44 @@
+#ifndef TPIIN_GRAPH_SCC_H_
+#define TPIIN_GRAPH_SCC_H_
+
+#include <functional>
+#include <vector>
+
+#include "graph/digraph.h"
+#include "graph/types.h"
+
+namespace tpiin {
+
+/// Result of a strongly-connected-component decomposition.
+struct SccResult {
+  /// Component id per node, in [0, num_components). Component ids are
+  /// emitted in reverse topological order of the condensation (Tarjan's
+  /// property): if u's component has an arc to v's component then
+  /// component_of[u] > component_of[v].
+  std::vector<NodeId> component_of;
+  NodeId num_components = 0;
+
+  /// Node lists per component (members[c] holds the nodes of component c).
+  std::vector<std::vector<NodeId>> members;
+
+  /// Ids of components with more than one node, or with a self-loop arc
+  /// that passed the filter. These are the "strongly connected subgraphs"
+  /// (SCS) the paper contracts into Company syndicates.
+  std::vector<NodeId> nontrivial_components;
+};
+
+/// Predicate deciding which arcs participate in the decomposition; the
+/// fusion layer uses this to run Tarjan over Investment arcs only
+/// (influence arcs from Person nodes can never close a cycle, but the
+/// intermediate G_B carries both).
+using ArcFilter = std::function<bool(const Arc&)>;
+
+/// Iterative Tarjan SCC over the arcs accepted by `filter` (all arcs when
+/// filter is null). O(V + E); recursion-free so million-node provinces
+/// cannot overflow the stack.
+SccResult StronglyConnectedComponents(const Digraph& graph,
+                                      const ArcFilter& filter = nullptr);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_GRAPH_SCC_H_

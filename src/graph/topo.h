@@ -1,0 +1,25 @@
+#ifndef TPIIN_GRAPH_TOPO_H_
+#define TPIIN_GRAPH_TOPO_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/digraph.h"
+#include "graph/scc.h"
+#include "graph/types.h"
+
+namespace tpiin {
+
+/// Kahn topological order over the arcs accepted by `filter` (all arcs
+/// when null). Returns FailedPrecondition if the filtered graph has a
+/// cycle.
+Result<std::vector<NodeId>> TopologicalSort(const Digraph& graph,
+                                            const ArcFilter& filter = nullptr);
+
+/// True iff the filtered graph is acyclic. Used to verify the antecedent
+/// network after SCC contraction (the paper's DAG guarantee).
+bool IsDag(const Digraph& graph, const ArcFilter& filter = nullptr);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_GRAPH_TOPO_H_

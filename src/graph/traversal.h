@@ -1,0 +1,27 @@
+#ifndef TPIIN_GRAPH_TRAVERSAL_H_
+#define TPIIN_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "graph/connected.h"
+#include "graph/digraph.h"
+#include "graph/scc.h"
+#include "graph/types.h"
+
+namespace tpiin {
+
+/// Nodes reachable from `start` by directed arcs accepted by `filter`
+/// (start itself included).
+std::vector<bool> ReachableFrom(const Digraph& graph, NodeId start,
+                                const ArcFilter& filter = nullptr);
+
+/// The paper's `findsubgraph()` (Appendix B): weakly connected components
+/// by depth-first search over the undirected view of the filtered arcs.
+/// Produces the same decomposition as WeaklyConnectedComponents; kept as
+/// a faithful alternative implementation and for the ablation bench.
+WccResult FindSubgraphsDfs(const Digraph& graph,
+                           const ArcFilter& filter = nullptr);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_GRAPH_TRAVERSAL_H_

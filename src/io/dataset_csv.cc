@@ -1,0 +1,198 @@
+#include "io/dataset_csv.h"
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+
+const std::vector<std::string> kPersonsHeader = {"id", "name", "roles"};
+const std::vector<std::string> kCompaniesHeader = {"id", "name"};
+const std::vector<std::string> kInterdependenceHeader = {"person_a",
+                                                         "person_b", "kind"};
+const std::vector<std::string> kInfluenceHeader = {"person", "company",
+                                                   "kind", "legal_person"};
+const std::vector<std::string> kInvestmentHeader = {"investor", "investee",
+                                                    "share"};
+const std::vector<std::string> kTradesHeader = {"seller", "buyer"};
+
+std::string PathOf(const std::string& directory, const char* file) {
+  return directory + "/" + file;
+}
+
+Result<uint32_t> ParseId(const std::string& field, size_t limit,
+                         const char* what) {
+  TPIIN_ASSIGN_OR_RETURN(int64_t value, ParseInt64(field));
+  if (value < 0 || static_cast<size_t>(value) >= limit) {
+    return Status::Corruption(
+        StringPrintf("%s id %lld out of range (limit %zu)", what,
+                     static_cast<long long>(value), limit));
+  }
+  return static_cast<uint32_t>(value);
+}
+
+}  // namespace
+
+Status SaveDatasetCsv(const std::string& directory,
+                      const RawDataset& dataset) {
+  {
+    CsvWriter w(PathOf(directory, "persons.csv"));
+    w.WriteRow(kPersonsHeader);
+    for (const Person& p : dataset.persons()) {
+      w.WriteRow({StringPrintf("%u", p.id), p.name,
+                  StringPrintf("%u", p.roles)});
+    }
+    TPIIN_RETURN_IF_ERROR(w.Close());
+  }
+  {
+    CsvWriter w(PathOf(directory, "companies.csv"));
+    w.WriteRow(kCompaniesHeader);
+    for (const Company& c : dataset.companies()) {
+      w.WriteRow({StringPrintf("%u", c.id), c.name});
+    }
+    TPIIN_RETURN_IF_ERROR(w.Close());
+  }
+  {
+    CsvWriter w(PathOf(directory, "interdependence.csv"));
+    w.WriteRow(kInterdependenceHeader);
+    for (const InterdependenceRecord& r : dataset.interdependence()) {
+      w.WriteRow({StringPrintf("%u", r.person_a),
+                  StringPrintf("%u", r.person_b),
+                  std::string(InterdependenceKindName(r.kind))});
+    }
+    TPIIN_RETURN_IF_ERROR(w.Close());
+  }
+  {
+    CsvWriter w(PathOf(directory, "influence.csv"));
+    w.WriteRow(kInfluenceHeader);
+    for (const InfluenceRecord& r : dataset.influence()) {
+      w.WriteRow({StringPrintf("%u", r.person),
+                  StringPrintf("%u", r.company),
+                  StringPrintf("%u", static_cast<unsigned>(r.kind)),
+                  r.is_legal_person ? "1" : "0"});
+    }
+    TPIIN_RETURN_IF_ERROR(w.Close());
+  }
+  {
+    CsvWriter w(PathOf(directory, "investment.csv"));
+    w.WriteRow(kInvestmentHeader);
+    for (const InvestmentRecord& r : dataset.investments()) {
+      w.WriteRow({StringPrintf("%u", r.investor),
+                  StringPrintf("%u", r.investee),
+                  StringPrintf("%.6f", r.share)});
+    }
+    TPIIN_RETURN_IF_ERROR(w.Close());
+  }
+  {
+    CsvWriter w(PathOf(directory, "trades.csv"));
+    w.WriteRow(kTradesHeader);
+    for (const TradeRecord& r : dataset.trades()) {
+      w.WriteRow(
+          {StringPrintf("%u", r.seller), StringPrintf("%u", r.buyer)});
+    }
+    TPIIN_RETURN_IF_ERROR(w.Close());
+  }
+  return Status::OK();
+}
+
+Result<RawDataset> LoadDatasetCsv(const std::string& directory) {
+  RawDataset dataset;
+
+  TPIIN_ASSIGN_OR_RETURN(
+      auto person_rows,
+      ReadCsvFile(PathOf(directory, "persons.csv"), kPersonsHeader));
+  for (const auto& row : person_rows) {
+    if (row.size() != 3) {
+      return Status::Corruption("persons.csv: bad column count");
+    }
+    TPIIN_ASSIGN_OR_RETURN(int64_t roles, ParseInt64(row[2]));
+    if (roles < 0 || roles > kAllRoleBits) {
+      return Status::Corruption("persons.csv: bad roles mask " + row[2]);
+    }
+    dataset.AddPerson(row[1], static_cast<PersonRoles>(roles));
+  }
+
+  TPIIN_ASSIGN_OR_RETURN(
+      auto company_rows,
+      ReadCsvFile(PathOf(directory, "companies.csv"), kCompaniesHeader));
+  for (const auto& row : company_rows) {
+    if (row.size() != 2) {
+      return Status::Corruption("companies.csv: bad column count");
+    }
+    dataset.AddCompany(row[1]);
+  }
+
+  const size_t np = dataset.persons().size();
+  const size_t nc = dataset.companies().size();
+
+  TPIIN_ASSIGN_OR_RETURN(auto inter_rows,
+                         ReadCsvFile(PathOf(directory, "interdependence.csv"),
+                                     kInterdependenceHeader));
+  for (const auto& row : inter_rows) {
+    if (row.size() != 3) {
+      return Status::Corruption("interdependence.csv: bad column count");
+    }
+    TPIIN_ASSIGN_OR_RETURN(uint32_t a, ParseId(row[0], np, "person"));
+    TPIIN_ASSIGN_OR_RETURN(uint32_t b, ParseId(row[1], np, "person"));
+    InterdependenceKind kind;
+    if (row[2] == "kinship") {
+      kind = InterdependenceKind::kKinship;
+    } else if (row[2] == "interlocking") {
+      kind = InterdependenceKind::kInterlocking;
+    } else {
+      return Status::Corruption("interdependence.csv: bad kind " + row[2]);
+    }
+    dataset.AddInterdependence(a, b, kind);
+  }
+
+  TPIIN_ASSIGN_OR_RETURN(
+      auto influence_rows,
+      ReadCsvFile(PathOf(directory, "influence.csv"), kInfluenceHeader));
+  for (const auto& row : influence_rows) {
+    if (row.size() != 4) {
+      return Status::Corruption("influence.csv: bad column count");
+    }
+    TPIIN_ASSIGN_OR_RETURN(uint32_t person, ParseId(row[0], np, "person"));
+    TPIIN_ASSIGN_OR_RETURN(uint32_t company,
+                           ParseId(row[1], nc, "company"));
+    TPIIN_ASSIGN_OR_RETURN(int64_t kind, ParseInt64(row[2]));
+    if (kind < 0 || kind > 3) {
+      return Status::Corruption("influence.csv: bad kind " + row[2]);
+    }
+    dataset.AddInfluence(person, company, static_cast<InfluenceKind>(kind),
+                         row[3] == "1");
+  }
+
+  TPIIN_ASSIGN_OR_RETURN(
+      auto invest_rows,
+      ReadCsvFile(PathOf(directory, "investment.csv"), kInvestmentHeader));
+  for (const auto& row : invest_rows) {
+    if (row.size() != 3) {
+      return Status::Corruption("investment.csv: bad column count");
+    }
+    TPIIN_ASSIGN_OR_RETURN(uint32_t investor,
+                           ParseId(row[0], nc, "company"));
+    TPIIN_ASSIGN_OR_RETURN(uint32_t investee,
+                           ParseId(row[1], nc, "company"));
+    TPIIN_ASSIGN_OR_RETURN(double share, ParseDouble(row[2]));
+    dataset.AddInvestment(investor, investee, share);
+  }
+
+  TPIIN_ASSIGN_OR_RETURN(
+      auto trade_rows,
+      ReadCsvFile(PathOf(directory, "trades.csv"), kTradesHeader));
+  for (const auto& row : trade_rows) {
+    if (row.size() != 2) {
+      return Status::Corruption("trades.csv: bad column count");
+    }
+    TPIIN_ASSIGN_OR_RETURN(uint32_t seller, ParseId(row[0], nc, "company"));
+    TPIIN_ASSIGN_OR_RETURN(uint32_t buyer, ParseId(row[1], nc, "company"));
+    dataset.AddTrade(seller, buyer);
+  }
+
+  TPIIN_RETURN_IF_ERROR(dataset.Validate());
+  return dataset;
+}
+
+}  // namespace tpiin

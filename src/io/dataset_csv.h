@@ -1,0 +1,23 @@
+#ifndef TPIIN_IO_DATASET_CSV_H_
+#define TPIIN_IO_DATASET_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "model/dataset.h"
+
+namespace tpiin {
+
+/// Persists a RawDataset as six CSV tables inside `directory` (created
+/// by the caller): persons.csv, companies.csv, interdependence.csv,
+/// influence.csv, investment.csv, trades.csv. This mirrors how the real
+/// pipeline ingests per-source extracts (CSRC / HRDPSC / PTAO dumps).
+Status SaveDatasetCsv(const std::string& directory,
+                      const RawDataset& dataset);
+
+/// Loads a dataset saved by SaveDatasetCsv. The result is validated.
+Result<RawDataset> LoadDatasetCsv(const std::string& directory);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_IO_DATASET_CSV_H_

@@ -1,0 +1,29 @@
+#ifndef TPIIN_IO_DOT_EXPORT_H_
+#define TPIIN_IO_DOT_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "fusion/tpiin.h"
+#include "graph/digraph.h"
+
+namespace tpiin {
+
+/// Renders a TPIIN as Graphviz DOT using the paper's palette: red
+/// company nodes, black person nodes, blue influence arcs, black trading
+/// arcs (Figs. 11-16 legend).
+std::string TpiinToDot(const Tpiin& net, const std::string& graph_name);
+
+/// Renders a homogeneous layer graph (G1/G2/GI/G4) with per-color edge
+/// styling; `labels` supplies node captions (empty -> node indices).
+std::string LayerToDot(const Digraph& graph,
+                       const std::vector<std::string>& labels,
+                       const std::string& graph_name);
+
+Status WriteStringToFile(const std::string& path,
+                         const std::string& contents);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_IO_DOT_EXPORT_H_

@@ -1,0 +1,148 @@
+#include "io/edge_list.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace tpiin {
+
+Status WriteTpiinEdgeList(const std::string& path, const Tpiin& net) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+
+  out << "tpiin-edge-list v2\n";
+  out << "nodes " << net.NumNodes() << "\n";
+  for (NodeId v = 0; v < net.NumNodes(); ++v) {
+    const TpiinNode& node = net.node(v);
+    out << v << ' '
+        << (node.color == NodeColor::kPerson ? 'P' : 'C') << ' '
+        << node.label << "\n";
+  }
+  out << "arcs " << net.graph().NumArcs() << ' '
+      << (net.num_influence_arcs() + 1) << "\n";
+  for (ArcId id = 0; id < net.graph().NumArcs(); ++id) {
+    const Arc& arc = net.graph().arc(id);
+    out << arc.src << ' ' << arc.dst << ' ' << arc.color << ' '
+        << StringPrintf("%.17g", net.ArcWeight(id)) << "\n";
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<Tpiin> ReadTpiinEdgeList(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return Status::IOError("cannot open " + path);
+
+  std::string line;
+  if (!std::getline(in, line)) {
+    return Status::Corruption(path + ": empty file");
+  }
+  std::string magic(Trim(line));
+  bool v2 = magic == "tpiin-edge-list v2";
+  if (!v2 && magic != "tpiin-edge-list v1") {
+    return Status::Corruption(path + ": bad magic line");
+  }
+
+  size_t num_nodes = 0;
+  {
+    if (!std::getline(in, line)) {
+      return Status::Corruption(path + ": missing nodes header");
+    }
+    std::vector<std::string> parts = SplitWhitespace(line);
+    if (parts.size() != 2 || parts[0] != "nodes") {
+      return Status::Corruption(path + ": bad nodes header: " + line);
+    }
+    TPIIN_ASSIGN_OR_RETURN(int64_t n, ParseInt64(parts[1]));
+    if (n < 0) return Status::Corruption(path + ": negative node count");
+    num_nodes = static_cast<size_t>(n);
+  }
+
+  TpiinBuilder builder;
+  for (size_t i = 0; i < num_nodes; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption(path + ": truncated node table");
+    }
+    // "<id> <P|C> <label...>"; the label may contain spaces.
+    std::istringstream row(line);
+    uint64_t id = 0;
+    char color = 0;
+    row >> id >> color;
+    std::string label;
+    std::getline(row, label);
+    label = std::string(Trim(label));
+    if (row.fail() || id != i || (color != 'P' && color != 'C')) {
+      return Status::Corruption(path + ": bad node row: " + line);
+    }
+    if (color == 'P') {
+      builder.AddPersonNode(std::move(label));
+    } else {
+      builder.AddCompanyNode(std::move(label));
+    }
+  }
+
+  size_t num_arcs = 0;
+  size_t first_trading_row = 0;  // 1-based; num_arcs + 1 when none.
+  {
+    if (!std::getline(in, line)) {
+      return Status::Corruption(path + ": missing arcs header");
+    }
+    std::vector<std::string> parts = SplitWhitespace(line);
+    if (parts.size() != 3 || parts[0] != "arcs") {
+      return Status::Corruption(path + ": bad arcs header: " + line);
+    }
+    TPIIN_ASSIGN_OR_RETURN(int64_t r, ParseInt64(parts[1]));
+    TPIIN_ASSIGN_OR_RETURN(int64_t m, ParseInt64(parts[2]));
+    if (r < 0 || m < 1 || m > r + 1) {
+      return Status::Corruption(path + ": inconsistent arcs header");
+    }
+    num_arcs = static_cast<size_t>(r);
+    first_trading_row = static_cast<size_t>(m);
+  }
+
+  for (size_t i = 0; i < num_arcs; ++i) {
+    if (!std::getline(in, line)) {
+      return Status::Corruption(path + ": truncated arc table");
+    }
+    std::vector<std::string> parts = SplitWhitespace(line);
+    size_t expected_columns = v2 ? 4u : 3u;
+    if (parts.size() != expected_columns) {
+      return Status::Corruption(path + ": bad arc row: " + line);
+    }
+    TPIIN_ASSIGN_OR_RETURN(int64_t src, ParseInt64(parts[0]));
+    TPIIN_ASSIGN_OR_RETURN(int64_t dst, ParseInt64(parts[1]));
+    TPIIN_ASSIGN_OR_RETURN(int64_t color, ParseInt64(parts[2]));
+    double weight = 1.0;
+    if (v2) {
+      TPIIN_ASSIGN_OR_RETURN(weight, ParseDouble(parts[3]));
+      if (!(weight > 0.0 && weight <= 1.0)) {
+        return Status::Corruption(path + ": arc weight out of (0, 1]: " +
+                                  line);
+      }
+    }
+    if (src < 0 || dst < 0 ||
+        src >= static_cast<int64_t>(num_nodes) ||
+        dst >= static_cast<int64_t>(num_nodes)) {
+      return Status::Corruption(path + ": arc endpoint out of range");
+    }
+    bool should_be_influence = (i + 1) < first_trading_row;
+    if (should_be_influence != (color == kArcInfluence)) {
+      return Status::Corruption(
+          path + ": arc color disagrees with the m split: " + line);
+    }
+    if (color == kArcInfluence) {
+      builder.AddInfluenceArc(static_cast<NodeId>(src),
+                              static_cast<NodeId>(dst), weight);
+    } else if (color == kArcTrading) {
+      builder.AddTradingArc(static_cast<NodeId>(src),
+                            static_cast<NodeId>(dst));
+    } else {
+      return Status::Corruption(path + ": unknown arc color: " + line);
+    }
+  }
+
+  return builder.Build();
+}
+
+}  // namespace tpiin

@@ -1,0 +1,34 @@
+#ifndef TPIIN_IO_EDGE_LIST_H_
+#define TPIIN_IO_EDGE_LIST_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "fusion/tpiin.h"
+
+namespace tpiin {
+
+/// Serializes a TPIIN to the paper's edge-list representation (§4.3): an
+/// r x 3 table of {src, dst, color} rows with every antecedent (blue,
+/// color 1) row before the trading (black, color 0) rows, prefixed by a
+/// node table carrying colors and labels:
+///
+///   tpiin-edge-list v2
+///   nodes <N>
+///   <id> <P|C> <label>
+///   arcs <r> <m>           # m = 1-based index of the first trading row
+///   <src> <dst> <color> <weight>
+///
+/// v1 files (rows without the weight column) load with weight 1.0.
+///
+/// Syndicate provenance (member lists, internal investments,
+/// intra-syndicate trades) is not stored; a round-tripped network mines
+/// identically except for intra-syndicate findings.
+Status WriteTpiinEdgeList(const std::string& path, const Tpiin& net);
+
+/// Parses a file written by WriteTpiinEdgeList.
+Result<Tpiin> ReadTpiinEdgeList(const std::string& path);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_IO_EDGE_LIST_H_

@@ -1,0 +1,18 @@
+#ifndef TPIIN_IO_GEXF_EXPORT_H_
+#define TPIIN_IO_GEXF_EXPORT_H_
+
+#include <string>
+
+#include "fusion/tpiin.h"
+
+namespace tpiin {
+
+/// Renders a TPIIN as a GEXF 1.2 document loadable by Gephi (the tool
+/// the paper used to generate and render its networks, Figs. 11-16).
+/// Node colors follow the paper: red companies, black persons; edges
+/// carry a "kind" attribute (influence/trading).
+std::string TpiinToGexf(const Tpiin& net);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_IO_GEXF_EXPORT_H_

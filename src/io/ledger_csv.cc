@@ -1,0 +1,122 @@
+#include "io/ledger_csv.h"
+
+#include <fstream>
+#include <unordered_set>
+
+#include "common/csv.h"
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+
+const std::vector<std::string> kMarketHeader = {"category", "unit_price"};
+const std::vector<std::string> kTransactionsHeader = {
+    "id", "seller", "buyer", "category", "quantity", "unit_price",
+    "mispriced"};
+
+}  // namespace
+
+Status SaveLedgerCsv(const std::string& directory, const Ledger& ledger) {
+  {
+    CsvWriter writer(directory + "/market.csv");
+    writer.WriteRow(kMarketHeader);
+    for (CategoryId c = 0; c < ledger.market.num_categories(); ++c) {
+      writer.WriteRow({StringPrintf("%u", c),
+                       StringPrintf("%.17g", ledger.market.PriceOf(c))});
+    }
+    TPIIN_RETURN_IF_ERROR(writer.Close());
+  }
+  std::unordered_set<size_t> mispriced(ledger.mispriced.begin(),
+                                       ledger.mispriced.end());
+  CsvWriter writer(directory + "/transactions.csv");
+  writer.WriteRow(kTransactionsHeader);
+  for (size_t i = 0; i < ledger.transactions.size(); ++i) {
+    const Transaction& tx = ledger.transactions[i];
+    writer.WriteRow({StringPrintf("%llu", static_cast<unsigned long long>(
+                                              tx.id)),
+                     StringPrintf("%u", tx.seller),
+                     StringPrintf("%u", tx.buyer),
+                     StringPrintf("%u", tx.category),
+                     StringPrintf("%.17g", tx.quantity),
+                     StringPrintf("%.17g", tx.unit_price),
+                     mispriced.count(i) ? "1" : "0"});
+  }
+  return writer.Close();
+}
+
+Result<Ledger> LoadLedgerCsv(const std::string& directory) {
+  Ledger ledger;
+  TPIIN_ASSIGN_OR_RETURN(
+      auto market_rows,
+      ReadCsvFile(directory + "/market.csv", kMarketHeader));
+  for (const auto& row : market_rows) {
+    if (row.size() != 2) {
+      return Status::Corruption("market.csv: bad column count");
+    }
+    TPIIN_ASSIGN_OR_RETURN(int64_t category, ParseInt64(row[0]));
+    TPIIN_ASSIGN_OR_RETURN(double price, ParseDouble(row[1]));
+    if (category !=
+        static_cast<int64_t>(ledger.market.unit_price.size())) {
+      return Status::Corruption("market.csv: categories must be dense");
+    }
+    ledger.market.unit_price.push_back(price);
+  }
+
+  TPIIN_ASSIGN_OR_RETURN(
+      auto tx_rows,
+      ReadCsvFile(directory + "/transactions.csv", kTransactionsHeader));
+  std::unordered_set<uint64_t> relations;
+  for (const auto& row : tx_rows) {
+    if (row.size() != 7) {
+      return Status::Corruption("transactions.csv: bad column count");
+    }
+    Transaction tx;
+    TPIIN_ASSIGN_OR_RETURN(int64_t id, ParseInt64(row[0]));
+    tx.id = static_cast<TransactionId>(id);
+    TPIIN_ASSIGN_OR_RETURN(int64_t seller, ParseInt64(row[1]));
+    tx.seller = static_cast<CompanyId>(seller);
+    TPIIN_ASSIGN_OR_RETURN(int64_t buyer, ParseInt64(row[2]));
+    tx.buyer = static_cast<CompanyId>(buyer);
+    TPIIN_ASSIGN_OR_RETURN(int64_t category, ParseInt64(row[3]));
+    if (category < 0 ||
+        category >= static_cast<int64_t>(ledger.market.num_categories())) {
+      return Status::Corruption("transactions.csv: bad category " +
+                                row[3]);
+    }
+    tx.category = static_cast<CategoryId>(category);
+    TPIIN_ASSIGN_OR_RETURN(tx.quantity, ParseDouble(row[4]));
+    TPIIN_ASSIGN_OR_RETURN(tx.unit_price, ParseDouble(row[5]));
+    if (row[6] == "1") {
+      ledger.mispriced.push_back(ledger.transactions.size());
+    } else if (row[6] != "0") {
+      return Status::Corruption("transactions.csv: bad mispriced flag");
+    }
+    relations.insert((static_cast<uint64_t>(tx.seller) << 32) | tx.buyer);
+    ledger.transactions.push_back(tx);
+  }
+  ledger.num_relations = relations.size();
+  return ledger;
+}
+
+Status WriteAuditReport(const std::string& path, const Ledger& ledger,
+                        const AuditReport& report) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  out << report.Summary() << "\n\nFindings:\n";
+  for (const CupFinding& finding : report.findings) {
+    const Transaction& tx = ledger.transactions[finding.tx_index];
+    out << StringPrintf(
+        "  tx#%llu  company#%u -> company#%u  category %u  "
+        "price %.2f (market %.2f)  under-invoiced %.2f  adjustment "
+        "%.2f\n",
+        static_cast<unsigned long long>(tx.id), tx.seller, tx.buyer,
+        tx.category, tx.unit_price, ledger.market.PriceOf(tx.category),
+        finding.underpricing, finding.tax_adjustment);
+  }
+  out.flush();
+  if (!out.good()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace tpiin

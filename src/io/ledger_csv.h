@@ -1,0 +1,29 @@
+#ifndef TPIIN_IO_LEDGER_CSV_H_
+#define TPIIN_IO_LEDGER_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "ite/audit.h"
+#include "ite/ledger.h"
+
+namespace tpiin {
+
+/// Persists a transaction ledger as two CSV tables inside `directory`:
+/// market.csv (category, unit_price) and transactions.csv
+/// (id, seller, buyer, category, quantity, unit_price, mispriced).
+/// The mispriced column carries the generator's ground truth so saved
+/// ledgers remain usable as audit oracles.
+Status SaveLedgerCsv(const std::string& directory, const Ledger& ledger);
+
+/// Loads a ledger saved by SaveLedgerCsv. `num_relations` is
+/// recomputed from the distinct (seller, buyer) pairs.
+Result<Ledger> LoadLedgerCsv(const std::string& directory);
+
+/// Writes an audit report (summary plus one line per finding) to `path`.
+Status WriteAuditReport(const std::string& path, const Ledger& ledger,
+                        const AuditReport& report);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_IO_LEDGER_CSV_H_

@@ -1,0 +1,67 @@
+#include "io/pattern_file.h"
+
+#include <fstream>
+
+namespace tpiin {
+
+namespace {
+
+Status Flush(std::ofstream& out, const std::string& path) {
+  out.flush();
+  if (!out.good()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+}  // namespace
+
+Status WritePatternBaseFile(const std::string& path, const SubTpiin& sub,
+                            const PatternBase& base) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  out << FormatPatternBase(sub, base);
+  return Flush(out, path);
+}
+
+Status WriteSuspiciousGroupsFile(const std::string& path, const Tpiin& net,
+                                 const std::vector<SuspiciousGroup>& groups) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  for (const SuspiciousGroup& group : groups) {
+    out << group.Format(net) << "\n";
+  }
+  return Flush(out, path);
+}
+
+Status WriteSuspiciousTradesFile(
+    const std::string& path, const Tpiin& net,
+    const std::vector<std::pair<NodeId, NodeId>>& trades) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  for (const auto& [seller, buyer] : trades) {
+    out << net.Label(seller) << " -> " << net.Label(buyer) << "\n";
+  }
+  return Flush(out, path);
+}
+
+Status WriteDetectionReport(const std::string& path, const Tpiin& net,
+                            const DetectionResult& result) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  out << result.Summary() << "\n\n";
+  out << "Suspicious trading relationships:\n";
+  for (const auto& [seller, buyer] : result.suspicious_trades) {
+    out << "  " << net.Label(seller) << " -> " << net.Label(buyer) << "\n";
+  }
+  for (const IntraSyndicateFinding& finding : result.intra_syndicate) {
+    out << "  [intra-SCC " << net.Label(finding.syndicate_node)
+        << "] company#" << finding.seller << " -> company#"
+        << finding.buyer << "\n";
+  }
+  out << "\nSuspicious groups:\n";
+  for (const SuspiciousGroup& group : result.groups) {
+    out << "  " << group.Format(net) << "\n";
+  }
+  return Flush(out, path);
+}
+
+}  // namespace tpiin

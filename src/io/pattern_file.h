@@ -1,0 +1,38 @@
+#ifndef TPIIN_IO_PATTERN_FILE_H_
+#define TPIIN_IO_PATTERN_FILE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "core/component_pattern.h"
+#include "core/detector.h"
+#include "core/matcher.h"
+#include "core/subtpiin.h"
+
+namespace tpiin {
+
+/// Writes one subTPIIN's potential component patterns base as the paper's
+/// numbered-trail file patterns(i) (Fig. 10 layout).
+Status WritePatternBaseFile(const std::string& path, const SubTpiin& sub,
+                            const PatternBase& base);
+
+/// Writes detected suspicious groups as the paper's susGroup(i) file:
+/// one group per line, "antecedent: {trail1} | {trail2} [flags]".
+Status WriteSuspiciousGroupsFile(const std::string& path, const Tpiin& net,
+                                 const std::vector<SuspiciousGroup>& groups);
+
+/// Writes suspicious trading relationships as susTrade(i): one
+/// "seller -> buyer" pair per line.
+Status WriteSuspiciousTradesFile(
+    const std::string& path, const Tpiin& net,
+    const std::vector<std::pair<NodeId, NodeId>>& trades);
+
+/// Full detection report (summary + groups + trades) in one text file.
+Status WriteDetectionReport(const std::string& path, const Tpiin& net,
+                            const DetectionResult& result);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_IO_PATTERN_FILE_H_

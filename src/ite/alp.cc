@@ -1,0 +1,39 @@
+#include "ite/alp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace tpiin {
+
+std::vector<CupFinding> CupScan(const Ledger& ledger,
+                                const std::vector<size_t>& candidates,
+                                const CupOptions& options) {
+  std::vector<CupFinding> findings;
+  for (size_t index : candidates) {
+    const Transaction& tx = ledger.transactions[index];
+    double market = ledger.market.PriceOf(tx.category);
+    if (market <= 0) continue;
+    double deviation = (market - tx.unit_price) / market;
+    if (deviation <= options.deviation_threshold) continue;
+    CupFinding finding;
+    finding.tx_index = index;
+    finding.underpricing = (market - tx.unit_price) * tx.quantity;
+    finding.tax_adjustment = finding.underpricing * options.tax_rate;
+    findings.push_back(finding);
+  }
+  return findings;
+}
+
+double TnmmAdjustment(double revenue, double declared_profit,
+                      double normal_margin) {
+  double arms_length_profit = revenue * normal_margin;
+  return std::max(0.0, arms_length_profit - declared_profit);
+}
+
+double CostPlusAdjustment(double cost, double expense, double revenue,
+                          double normal_margin) {
+  double arms_length_revenue = (cost + expense) * (1.0 + normal_margin);
+  return std::max(0.0, arms_length_revenue - revenue);
+}
+
+}  // namespace tpiin

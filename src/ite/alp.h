@@ -1,0 +1,46 @@
+#ifndef TPIIN_ITE_ALP_H_
+#define TPIIN_ITE_ALP_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "ite/ledger.h"
+
+namespace tpiin {
+
+/// Comparable Uncontrolled Price method: a transaction deviating from its
+/// category's market price by more than `deviation_threshold` violates
+/// the arm's length principle; the tax adjustment is the under-invoiced
+/// value times `tax_rate` (Case 2: (30-20) x 5000 x 10% = $5000).
+struct CupOptions {
+  double deviation_threshold = 0.15;
+  double tax_rate = 0.10;
+};
+
+struct CupFinding {
+  size_t tx_index = 0;
+  double underpricing = 0;     // (market - price) * quantity, >= 0.
+  double tax_adjustment = 0;   // underpricing * tax_rate.
+};
+
+/// Scans the given transaction indices (or all when `candidates` is
+/// empty and scan_all) against the market table.
+std::vector<CupFinding> CupScan(const Ledger& ledger,
+                                const std::vector<size_t>& candidates,
+                                const CupOptions& options = {});
+
+/// Transactional Net Margin Method (Case 1): rebuilds taxable income
+/// from the industry-normal net margin. Returns the upward adjustment
+/// (zero when the declared profit already meets the margin).
+double TnmmAdjustment(double revenue, double declared_profit,
+                      double normal_margin);
+
+/// Cost-plus method (Case 3): arm's-length revenue is
+/// (cost + expense) * (1 + normal_margin); the adjustment is the gap to
+/// the declared revenue (zero when declared revenue suffices).
+double CostPlusAdjustment(double cost, double expense, double revenue,
+                          double normal_margin);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_ITE_ALP_H_

@@ -1,0 +1,91 @@
+#include "ite/audit.h"
+
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+uint64_t PairKey(CompanyId a, CompanyId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+double AuditReport::Precision() const {
+  size_t flagged = true_positives + false_positives;
+  return flagged == 0 ? 1.0
+                      : static_cast<double>(true_positives) / flagged;
+}
+
+double AuditReport::Recall() const {
+  size_t actual = true_positives + false_negatives;
+  return actual == 0 ? 1.0
+                     : static_cast<double>(true_positives) / actual;
+}
+
+double AuditReport::ExaminedFraction() const {
+  return transactions_total == 0
+             ? 0.0
+             : static_cast<double>(transactions_examined) /
+                   transactions_total;
+}
+
+std::string AuditReport::Summary() const {
+  return StringPrintf(
+      "examined %zu of %zu transactions (%.2f%%); %zu ALP violations, "
+      "total adjustment %.2f; precision %.3f recall %.3f",
+      transactions_examined, transactions_total,
+      100.0 * ExaminedFraction(), findings.size(), total_adjustment,
+      Precision(), Recall());
+}
+
+AuditReport RunAudit(
+    const Ledger& ledger,
+    const std::vector<std::pair<CompanyId, CompanyId>>& suspicious_pairs,
+    const AuditOptions& options) {
+  AuditReport report;
+  report.transactions_total = ledger.transactions.size();
+
+  std::vector<size_t> candidates;
+  if (options.examine_all) {
+    candidates.resize(ledger.transactions.size());
+    for (size_t i = 0; i < candidates.size(); ++i) candidates[i] = i;
+  } else {
+    std::unordered_set<uint64_t> pairs;
+    pairs.reserve(suspicious_pairs.size() * 2);
+    for (const auto& [seller, buyer] : suspicious_pairs) {
+      pairs.insert(PairKey(seller, buyer));
+    }
+    for (size_t i = 0; i < ledger.transactions.size(); ++i) {
+      const Transaction& tx = ledger.transactions[i];
+      if (pairs.count(PairKey(tx.seller, tx.buyer))) {
+        candidates.push_back(i);
+      }
+    }
+  }
+  report.transactions_examined = candidates.size();
+
+  report.findings = CupScan(ledger, candidates, options.cup);
+  std::unordered_set<size_t> flagged;
+  for (const CupFinding& finding : report.findings) {
+    report.total_adjustment += finding.tax_adjustment;
+    flagged.insert(finding.tx_index);
+  }
+
+  std::unordered_set<size_t> truth(ledger.mispriced.begin(),
+                                   ledger.mispriced.end());
+  for (size_t index : flagged) {
+    if (truth.count(index)) {
+      ++report.true_positives;
+    } else {
+      ++report.false_positives;
+    }
+  }
+  for (size_t index : truth) {
+    if (!flagged.count(index)) ++report.false_negatives;
+  }
+  return report;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,53 @@
+#ifndef TPIIN_ITE_AUDIT_H_
+#define TPIIN_ITE_AUDIT_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ite/alp.h"
+#include "ite/ledger.h"
+
+namespace tpiin {
+
+struct AuditOptions {
+  CupOptions cup;
+  /// Examine every transaction instead of only those on suspicious
+  /// trading relationships — the "one-by-one identification" mode the
+  /// paper's method replaces. Used as the efficiency baseline.
+  bool examine_all = false;
+};
+
+/// Outcome of one ITE pass over a ledger.
+struct AuditReport {
+  size_t transactions_total = 0;
+  size_t transactions_examined = 0;
+  std::vector<CupFinding> findings;
+  double total_adjustment = 0;
+
+  /// Ground-truth quality against Ledger::mispriced.
+  size_t true_positives = 0;
+  size_t false_positives = 0;
+  size_t false_negatives = 0;
+  double Precision() const;
+  double Recall() const;
+
+  /// Share of the ledger that had to be examined (the MSG phase's
+  /// screening benefit).
+  double ExaminedFraction() const;
+
+  std::string Summary() const;
+};
+
+/// Runs the ITE phase: restricts the ledger to transactions whose
+/// (seller, buyer) relationship is in `suspicious_pairs` (unless
+/// options.examine_all), applies the CUP method, and scores against the
+/// ledger's planted ground truth.
+AuditReport RunAudit(
+    const Ledger& ledger,
+    const std::vector<std::pair<CompanyId, CompanyId>>& suspicious_pairs,
+    const AuditOptions& options = {});
+
+}  // namespace tpiin
+
+#endif  // TPIIN_ITE_AUDIT_H_

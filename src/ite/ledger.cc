@@ -1,0 +1,66 @@
+#include "ite/ledger.h"
+
+#include <unordered_set>
+
+#include "common/rng.h"
+
+namespace tpiin {
+
+namespace {
+uint64_t PairKey(CompanyId a, CompanyId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+}  // namespace
+
+Ledger GenerateLedger(
+    const std::vector<TradeRecord>& trades,
+    const std::vector<std::pair<CompanyId, CompanyId>>& iat_pairs,
+    const LedgerConfig& config) {
+  Rng rng(config.seed);
+  Ledger ledger;
+
+  ledger.market.unit_price.reserve(config.num_categories);
+  for (CategoryId c = 0; c < config.num_categories; ++c) {
+    ledger.market.unit_price.push_back(
+        rng.UniformDouble(config.min_market_price, config.max_market_price));
+  }
+
+  std::unordered_set<uint64_t> iat;
+  iat.reserve(iat_pairs.size() * 2);
+  for (const auto& [seller, buyer] : iat_pairs) {
+    iat.insert(PairKey(seller, buyer));
+  }
+
+  TransactionId next_id = 1;
+  for (const TradeRecord& trade : trades) {
+    ++ledger.num_relations;
+    bool is_iat = iat.count(PairKey(trade.seller, trade.buyer)) > 0;
+    uint32_t count = static_cast<uint32_t>(rng.UniformInt(
+        config.min_transactions, config.max_transactions));
+    for (uint32_t k = 0; k < count; ++k) {
+      Transaction tx;
+      tx.id = next_id++;
+      tx.seller = trade.seller;
+      tx.buyer = trade.buyer;
+      tx.category = static_cast<CategoryId>(
+          rng.UniformU64(config.num_categories));
+      tx.quantity = rng.UniformDouble(config.min_quantity,
+                                      config.max_quantity);
+      double market = ledger.market.PriceOf(tx.category);
+      if (is_iat) {
+        double discount = rng.UniformDouble(config.iat_discount_min,
+                                            config.iat_discount_max);
+        tx.unit_price = market * (1.0 - discount);
+        ledger.mispriced.push_back(ledger.transactions.size());
+      } else {
+        double noise = rng.UniformDouble(-config.honest_price_noise,
+                                         config.honest_price_noise);
+        tx.unit_price = market * (1.0 + noise);
+      }
+      ledger.transactions.push_back(tx);
+    }
+  }
+  return ledger;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,52 @@
+#ifndef TPIIN_ITE_LEDGER_H_
+#define TPIIN_ITE_LEDGER_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "ite/transaction.h"
+#include "model/records.h"
+
+namespace tpiin {
+
+/// Parameters of the synthetic transaction ledger. The tax office
+/// withheld real transaction details even from the authors (§5.1); the
+/// ledger exercises the same code path: honest relations trade near the
+/// market price, IAT relations transfer-price below it.
+struct LedgerConfig {
+  uint64_t seed = 7;
+  CategoryId num_categories = 12;
+  double min_market_price = 10.0;
+  double max_market_price = 500.0;
+  /// Transactions per trading relationship, uniform in [min, max].
+  uint32_t min_transactions = 1;
+  uint32_t max_transactions = 4;
+  double min_quantity = 10;
+  double max_quantity = 1000;
+  /// Honest prices are market * (1 + U(-noise, +noise)).
+  double honest_price_noise = 0.04;
+  /// IAT prices are market * (1 - U(min, max) discount).
+  double iat_discount_min = 0.20;
+  double iat_discount_max = 0.50;
+};
+
+struct Ledger {
+  MarketTable market;
+  std::vector<Transaction> transactions;
+  /// Indices of the deliberately mispriced (IAT) transactions — ground
+  /// truth for audit precision/recall.
+  std::vector<size_t> mispriced;
+  size_t num_relations = 0;
+};
+
+/// Generates one ledger over `trades`; relationships listed in
+/// `iat_pairs` (seller, buyer) get mispriced transactions.
+Ledger GenerateLedger(const std::vector<TradeRecord>& trades,
+                      const std::vector<std::pair<CompanyId, CompanyId>>&
+                          iat_pairs,
+                      const LedgerConfig& config = {});
+
+}  // namespace tpiin
+
+#endif  // TPIIN_ITE_LEDGER_H_

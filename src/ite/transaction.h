@@ -1,0 +1,43 @@
+#ifndef TPIIN_ITE_TRANSACTION_H_
+#define TPIIN_ITE_TRANSACTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/records.h"
+
+namespace tpiin {
+
+using TransactionId = uint64_t;
+using CategoryId = uint32_t;
+
+/// One electronic-receipt row of the ITE phase. The MSG phase never sees
+/// these — that separation (behaviors first, transactions second) is the
+/// paper's efficiency argument.
+struct Transaction {
+  TransactionId id = 0;
+  CompanyId seller = 0;
+  CompanyId buyer = 0;
+  CategoryId category = 0;
+  double quantity = 0;
+  double unit_price = 0;
+
+  double Value() const { return quantity * unit_price; }
+};
+
+/// Arm's-length comparable prices per product category (the "similar
+/// scale enterprises in the same industry" of Case 1).
+struct MarketTable {
+  std::vector<double> unit_price;
+
+  double PriceOf(CategoryId category) const {
+    return unit_price[category];
+  }
+  CategoryId num_categories() const {
+    return static_cast<CategoryId>(unit_price.size());
+  }
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_ITE_TRANSACTION_H_

@@ -1,0 +1,147 @@
+#include "model/dataset.h"
+
+#include "common/string_util.h"
+
+namespace tpiin {
+
+std::string DatasetStats::ToString() const {
+  return StringPrintf(
+      "persons=%zu companies=%zu kinship=%zu interlocking=%zu "
+      "influence=%zu (legal-person=%zu) investment=%zu trades=%zu",
+      num_persons, num_companies, num_kinship, num_interlocking,
+      num_influence, num_legal_person_links, num_investment, num_trades);
+}
+
+PersonId RawDataset::AddPerson(std::string name, PersonRoles roles) {
+  PersonId id = static_cast<PersonId>(persons_.size());
+  persons_.push_back(Person{id, std::move(name), roles});
+  return id;
+}
+
+CompanyId RawDataset::AddCompany(std::string name) {
+  CompanyId id = static_cast<CompanyId>(companies_.size());
+  companies_.push_back(Company{id, std::move(name)});
+  return id;
+}
+
+void RawDataset::AddInterdependence(PersonId a, PersonId b,
+                                    InterdependenceKind kind) {
+  interdependence_.push_back(InterdependenceRecord{a, b, kind});
+}
+
+void RawDataset::AddInfluence(PersonId person, CompanyId company,
+                              InfluenceKind kind, bool is_legal_person) {
+  influence_.push_back(InfluenceRecord{person, company, kind,
+                                       is_legal_person});
+}
+
+void RawDataset::AddInvestment(CompanyId investor, CompanyId investee,
+                               double share) {
+  investments_.push_back(InvestmentRecord{investor, investee, share});
+}
+
+void RawDataset::AddTrade(CompanyId seller, CompanyId buyer) {
+  trades_.push_back(TradeRecord{seller, buyer});
+}
+
+Status RawDataset::Validate() const {
+  const size_t np = persons_.size();
+  const size_t nc = companies_.size();
+
+  for (const InterdependenceRecord& rec : interdependence_) {
+    if (rec.person_a >= np || rec.person_b >= np) {
+      return Status::InvalidArgument(StringPrintf(
+          "interdependence record references unknown person (%u, %u)",
+          rec.person_a, rec.person_b));
+    }
+    if (rec.person_a == rec.person_b) {
+      return Status::InvalidArgument(StringPrintf(
+          "self-referencing interdependence record on person %u",
+          rec.person_a));
+    }
+  }
+
+  std::vector<uint32_t> lp_links(nc, 0);
+  for (const InfluenceRecord& rec : influence_) {
+    if (rec.person >= np) {
+      return Status::InvalidArgument(
+          StringPrintf("influence record references unknown person %u",
+                       rec.person));
+    }
+    if (rec.company >= nc) {
+      return Status::InvalidArgument(
+          StringPrintf("influence record references unknown company %u",
+                       rec.company));
+    }
+    if (rec.is_legal_person) {
+      ++lp_links[rec.company];
+      if (!RolesEligibleForLegalPerson(persons_[rec.person].roles)) {
+        return Status::FailedPrecondition(StringPrintf(
+            "person %u (%s) holds the legal-person role of company %u but "
+            "has LP-ineligible roles %s",
+            rec.person, persons_[rec.person].name.c_str(), rec.company,
+            RoleSubclassName(persons_[rec.person].roles).c_str()));
+      }
+    }
+  }
+  for (CompanyId c = 0; c < nc; ++c) {
+    if (lp_links[c] != 1) {
+      return Status::FailedPrecondition(StringPrintf(
+          "company %u (%s) has %u legal-person links; exactly 1 required",
+          c, companies_[c].name.c_str(), lp_links[c]));
+    }
+  }
+
+  for (const InvestmentRecord& rec : investments_) {
+    if (rec.investor >= nc || rec.investee >= nc) {
+      return Status::InvalidArgument(StringPrintf(
+          "investment record references unknown company (%u, %u)",
+          rec.investor, rec.investee));
+    }
+    if (rec.investor == rec.investee) {
+      return Status::InvalidArgument(
+          StringPrintf("company %u invests in itself", rec.investor));
+    }
+    if (!(rec.share > 0.0 && rec.share <= 1.0)) {
+      return Status::InvalidArgument(StringPrintf(
+          "investment share %.4f out of (0, 1] for arc %u -> %u",
+          rec.share, rec.investor, rec.investee));
+    }
+  }
+
+  for (const TradeRecord& rec : trades_) {
+    if (rec.seller >= nc || rec.buyer >= nc) {
+      return Status::InvalidArgument(
+          StringPrintf("trade record references unknown company (%u, %u)",
+                       rec.seller, rec.buyer));
+    }
+    if (rec.seller == rec.buyer) {
+      return Status::InvalidArgument(
+          StringPrintf("company %u trades with itself", rec.seller));
+    }
+  }
+
+  return Status::OK();
+}
+
+DatasetStats RawDataset::Stats() const {
+  DatasetStats stats;
+  stats.num_persons = persons_.size();
+  stats.num_companies = companies_.size();
+  for (const InterdependenceRecord& rec : interdependence_) {
+    if (rec.kind == InterdependenceKind::kKinship) {
+      ++stats.num_kinship;
+    } else {
+      ++stats.num_interlocking;
+    }
+  }
+  stats.num_influence = influence_.size();
+  for (const InfluenceRecord& rec : influence_) {
+    if (rec.is_legal_person) ++stats.num_legal_person_links;
+  }
+  stats.num_investment = investments_.size();
+  stats.num_trades = trades_.size();
+  return stats;
+}
+
+}  // namespace tpiin

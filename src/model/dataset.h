@@ -1,0 +1,101 @@
+#ifndef TPIIN_MODEL_DATASET_H_
+#define TPIIN_MODEL_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "model/records.h"
+
+namespace tpiin {
+
+/// Summary counts over a RawDataset, used by validation reports and the
+/// network-figure benches.
+struct DatasetStats {
+  size_t num_persons = 0;
+  size_t num_companies = 0;
+  size_t num_kinship = 0;
+  size_t num_interlocking = 0;
+  size_t num_influence = 0;
+  size_t num_legal_person_links = 0;
+  size_t num_investment = 0;
+  size_t num_trades = 0;
+
+  std::string ToString() const;
+};
+
+/// The un-fused input to the pipeline: persons, companies and the five
+/// relationship tables abstracted from the information sources (CSRC,
+/// HRDPSC, PTAOs in the paper; the synthetic generator here). This is
+/// the "un-contracted taxpayer interest interacted network" of Fig. 7 in
+/// tabular form.
+///
+/// The container is append-only; Validate() checks the CNBM structural
+/// rules before fusion consumes it.
+class RawDataset {
+ public:
+  /// Appends a person; returns its PersonId. Roles are raw (may include
+  /// the Shareholder flag; fusion reduces them).
+  PersonId AddPerson(std::string name, PersonRoles roles);
+
+  /// Appends a company; returns its CompanyId.
+  CompanyId AddCompany(std::string name);
+
+  /// Records a kinship or interlocking edge between two distinct persons.
+  void AddInterdependence(PersonId a, PersonId b, InterdependenceKind kind);
+
+  /// Records a person -> company influence link. Exactly one link per
+  /// company must have is_legal_person = true.
+  void AddInfluence(PersonId person, CompanyId company, InfluenceKind kind,
+                    bool is_legal_person);
+
+  /// Records investor -> investee shareholding.
+  void AddInvestment(CompanyId investor, CompanyId investee, double share);
+
+  /// Records a seller -> buyer trading relationship.
+  void AddTrade(CompanyId seller, CompanyId buyer);
+
+  const std::vector<Person>& persons() const { return persons_; }
+  const std::vector<Company>& companies() const { return companies_; }
+  const std::vector<InterdependenceRecord>& interdependence() const {
+    return interdependence_;
+  }
+  const std::vector<InfluenceRecord>& influence() const {
+    return influence_;
+  }
+  const std::vector<InvestmentRecord>& investments() const {
+    return investments_;
+  }
+  const std::vector<TradeRecord>& trades() const { return trades_; }
+
+  std::vector<TradeRecord>& mutable_trades() { return trades_; }
+
+  /// Replaces the trading layer (Table 1 re-runs the same antecedent data
+  /// under twenty different simulated trading networks).
+  void SetTrades(std::vector<TradeRecord> trades) {
+    trades_ = std::move(trades);
+  }
+
+  /// Checks the CNBM structural rules:
+  ///  - all record ids reference existing persons/companies;
+  ///  - no self-referencing interdependence, investment or trade records;
+  ///  - every company has exactly one legal-person link;
+  ///  - every legal person's roles are LP-eligible (§4.1);
+  ///  - investment shares lie in (0, 1].
+  Status Validate() const;
+
+  DatasetStats Stats() const;
+
+ private:
+  std::vector<Person> persons_;
+  std::vector<Company> companies_;
+  std::vector<InterdependenceRecord> interdependence_;
+  std::vector<InfluenceRecord> influence_;
+  std::vector<InvestmentRecord> investments_;
+  std::vector<TradeRecord> trades_;
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_MODEL_DATASET_H_

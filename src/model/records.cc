@@ -1,0 +1,29 @@
+#include "model/records.h"
+
+namespace tpiin {
+
+std::string_view InterdependenceKindName(InterdependenceKind kind) {
+  switch (kind) {
+    case InterdependenceKind::kKinship:
+      return "kinship";
+    case InterdependenceKind::kInterlocking:
+      return "interlocking";
+  }
+  return "unknown";
+}
+
+std::string_view InfluenceKindName(InfluenceKind kind) {
+  switch (kind) {
+    case InfluenceKind::kCeoAndDirectorOf:
+      return "is-CEO-and-D-of";
+    case InfluenceKind::kCeoOf:
+      return "is-CEO-of";
+    case InfluenceKind::kChairmanOf:
+      return "is-CB-of";
+    case InfluenceKind::kDirectorOf:
+      return "is-a-D-of";
+  }
+  return "unknown";
+}
+
+}  // namespace tpiin

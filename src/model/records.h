@@ -1,0 +1,91 @@
+#ifndef TPIIN_MODEL_RECORDS_H_
+#define TPIIN_MODEL_RECORDS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "model/roles.h"
+
+namespace tpiin {
+
+/// Index into RawDataset::persons().
+using PersonId = uint32_t;
+/// Index into RawDataset::companies().
+using CompanyId = uint32_t;
+
+/// A natural person appearing in any source database (CSRC filings,
+/// household registration, tax office records).
+struct Person {
+  PersonId id = 0;
+  std::string name;
+  /// Union of positions held across all companies (raw, unreduced).
+  PersonRoles roles = 0;
+};
+
+/// A legally and separately registered company/corporate/trust — one
+/// taxpayer.
+struct Company {
+  CompanyId id = 0;
+  std::string name;
+};
+
+/// The two kinds of person-to-person interdependence the paper fuses
+/// into a single unidirectional edge color (§4.1): family kinship (from
+/// the household registration database) and director interlocking (from
+/// acting-in-concert agreements and board overlap).
+enum class InterdependenceKind : uint8_t {
+  kKinship = 0,
+  kInterlocking = 1,
+};
+
+std::string_view InterdependenceKindName(InterdependenceKind kind);
+
+/// Undirected person-person relationship. If both a kinship and an
+/// interlocking edge exist for a pair, fusion keeps only one.
+struct InterdependenceRecord {
+  PersonId person_a = 0;
+  PersonId person_b = 0;
+  InterdependenceKind kind = InterdependenceKind::kKinship;
+};
+
+/// The influence subclasses between a Person and a Company (§4.1):
+/// (i) is-a-CEO-and-D-of, (ii) is-CEO-of, (iii) is-CB-of, (iv) is-a-D-of.
+enum class InfluenceKind : uint8_t {
+  kCeoAndDirectorOf = 0,
+  kCeoOf = 1,
+  kChairmanOf = 2,
+  kDirectorOf = 3,
+};
+
+std::string_view InfluenceKindName(InfluenceKind kind);
+
+/// Directed person -> company influence link. `is_legal_person` marks the
+/// company's unique registered legal representative; every company must
+/// carry exactly one such record.
+struct InfluenceRecord {
+  PersonId person = 0;
+  CompanyId company = 0;
+  InfluenceKind kind = InfluenceKind::kDirectorOf;
+  bool is_legal_person = false;
+};
+
+/// Directed company -> company major-shareholding link.
+struct InvestmentRecord {
+  CompanyId investor = 0;
+  CompanyId investee = 0;
+  /// Ownership fraction in (0, 1].
+  double share = 0;
+};
+
+/// Directed company -> company trading relationship (seller -> buyer).
+/// Represents the existence of trade — a "transaction behavior" — not an
+/// individual transaction; the ITE phase attaches transactions to it.
+struct TradeRecord {
+  CompanyId seller = 0;
+  CompanyId buyer = 0;
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_MODEL_RECORDS_H_

@@ -1,0 +1,52 @@
+#include "model/roles.h"
+
+namespace tpiin {
+
+PersonRoles ReduceRoles(PersonRoles roles) {
+  PersonRoles reduced = roles & kAllRoleBits;
+  if (reduced & kRoleShareholder) {
+    reduced = static_cast<PersonRoles>(
+        (reduced & ~kRoleShareholder) | kRoleDirector);
+  }
+  return reduced;
+}
+
+bool RolesEligibleForLegalPerson(PersonRoles roles) {
+  PersonRoles reduced = ReduceRoles(roles);
+  if (reduced == 0) return false;
+  // Eligible: any subclass containing CEO or CB; the only reduced
+  // subclass with neither is the bare Director, which is excluded.
+  return (reduced & (kRoleCeo | kRoleChairman)) != 0;
+}
+
+std::string RoleSubclassName(PersonRoles roles) {
+  if ((roles & kAllRoleBits) == 0) return "none";
+  std::string out;
+  auto append = [&out](const char* name) {
+    if (!out.empty()) out += '&';
+    out += name;
+  };
+  if (roles & kRoleCeo) append("CEO");
+  if (roles & kRoleDirector) append("D");
+  if (roles & kRoleShareholder) append("S");
+  if (roles & kRoleChairman) append("CB");
+  return out;
+}
+
+std::vector<PersonRoles> AllRawRoleSubclasses() {
+  std::vector<PersonRoles> out;
+  for (uint8_t mask = 1; mask <= kAllRoleBits; ++mask) {
+    out.push_back(mask);
+  }
+  return out;
+}
+
+std::vector<PersonRoles> AllReducedRoleSubclasses() {
+  std::vector<PersonRoles> out;
+  for (uint8_t mask = 1; mask <= kAllRoleBits; ++mask) {
+    if ((mask & kRoleShareholder) == 0) out.push_back(mask);
+  }
+  return out;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,52 @@
+#ifndef TPIIN_MODEL_ROLES_H_
+#define TPIIN_MODEL_ROLES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tpiin {
+
+/// Position flags a person can hold in a company (paper §4.1):
+/// Shareholder (S), Director (D), Chief Executive Officer (CEO) and
+/// Chairman of the Board (CB). Combinations form role subclasses.
+enum RoleFlag : uint8_t {
+  kRoleShareholder = 1u << 0,  // S
+  kRoleDirector = 1u << 1,     // D
+  kRoleCeo = 1u << 2,          // CEO
+  kRoleChairman = 1u << 3,     // CB
+};
+
+/// Bitmask of RoleFlag values. Zero means "no recorded position".
+using PersonRoles = uint8_t;
+
+inline constexpr PersonRoles kAllRoleBits =
+    kRoleShareholder | kRoleDirector | kRoleCeo | kRoleChairman;
+
+/// The paper's reduction (§4.1): a shareholder who matters for influence
+/// participates in monitoring and decision-making, i.e. acts as a
+/// director, so the S flag folds into D. This maps the 15 non-empty
+/// subclasses of {S, D, CEO, CB} onto the 7 non-empty subclasses of
+/// {D, CEO, CB}.
+PersonRoles ReduceRoles(PersonRoles roles);
+
+/// True when `roles` (after reduction) may be assigned the Legal Person
+/// (LP) role. Per the Company Act discussion in §4.1 an LP must be a CB,
+/// an executive/managing director (CEO and D), or a CEO — every reduced
+/// subclass except the bare Director.
+bool RolesEligibleForLegalPerson(PersonRoles roles);
+
+/// Human-readable subclass name of the (unreduced or reduced) mask,
+/// e.g. "CEO&D&CB", "D", "S&CB". Empty mask renders "none".
+std::string RoleSubclassName(PersonRoles roles);
+
+/// All non-empty role subclasses over the full four flags (15 entries,
+/// deterministic order). Exposed for tests and the datagen role sampler.
+std::vector<PersonRoles> AllRawRoleSubclasses();
+
+/// All non-empty reduced subclasses (7 entries).
+std::vector<PersonRoles> AllReducedRoleSubclasses();
+
+}  // namespace tpiin
+
+#endif  // TPIIN_MODEL_ROLES_H_

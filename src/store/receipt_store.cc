@@ -1,0 +1,207 @@
+#include "store/receipt_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+
+constexpr char kMagic[4] = {'T', 'P', 'R', 'S'};
+constexpr uint32_t kVersion = 1;
+// Written natively and verified on load; a mismatch means the file came
+// from a platform with a different byte order.
+constexpr uint32_t kEndianMarker = 0x01020304u;
+
+uint64_t PairKey(CompanyId a, CompanyId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+template <typename T>
+void WriteColumn(std::ofstream& out, const std::vector<T>& column) {
+  out.write(reinterpret_cast<const char*>(column.data()),
+            static_cast<std::streamsize>(column.size() * sizeof(T)));
+}
+
+template <typename T>
+bool ReadColumn(std::ifstream& in, std::vector<T>& column, size_t rows) {
+  column.resize(rows);
+  in.read(reinterpret_cast<char*>(column.data()),
+          static_cast<std::streamsize>(rows * sizeof(T)));
+  return in.good() || (rows == 0 && !in.bad());
+}
+
+}  // namespace
+
+void ReceiptStore::AppendBatch(std::span<const Receipt> batch) {
+  id_.reserve(id_.size() + batch.size());
+  for (const Receipt& receipt : batch) {
+    id_.push_back(receipt.id);
+    seller_.push_back(receipt.seller);
+    buyer_.push_back(receipt.buyer);
+    category_.push_back(receipt.category);
+    day_.push_back(receipt.day);
+    quantity_.push_back(receipt.quantity);
+    unit_price_.push_back(receipt.unit_price);
+  }
+  if (!batch.empty()) index_stale_ = true;
+}
+
+Receipt ReceiptStore::Row(size_t index) const {
+  TPIIN_CHECK_LT(index, NumRows());
+  Receipt receipt;
+  receipt.id = id_[index];
+  receipt.seller = seller_[index];
+  receipt.buyer = buyer_[index];
+  receipt.category = category_[index];
+  receipt.day = day_[index];
+  receipt.quantity = quantity_[index];
+  receipt.unit_price = unit_price_[index];
+  return receipt;
+}
+
+void ReceiptStore::RebuildIndexIfStale() {
+  if (!index_stale_) return;
+  by_relationship_.clear();
+  by_relationship_.reserve(NumRows());
+  for (uint32_t row = 0; row < NumRows(); ++row) {
+    by_relationship_[PairKey(seller_[row], buyer_[row])].push_back(row);
+  }
+  index_stale_ = false;
+}
+
+std::span<const uint32_t> ReceiptStore::RowsForRelationship(
+    CompanyId seller, CompanyId buyer) {
+  RebuildIndexIfStale();
+  auto it = by_relationship_.find(PairKey(seller, buyer));
+  if (it == by_relationship_.end()) return {};
+  return it->second;
+}
+
+std::vector<TradeRecord> ReceiptStore::DistinctRelationships() const {
+  std::vector<TradeRecord> out;
+  std::unordered_map<uint64_t, bool> seen;
+  seen.reserve(NumRows());
+  for (size_t row = 0; row < NumRows(); ++row) {
+    if (seen.emplace(PairKey(seller_[row], buyer_[row]), true).second) {
+      out.push_back(TradeRecord{seller_[row], buyer_[row]});
+    }
+  }
+  return out;
+}
+
+size_t ReceiptStore::NumRelationships() const {
+  std::unordered_map<uint64_t, bool> seen;
+  seen.reserve(NumRows());
+  for (size_t row = 0; row < NumRows(); ++row) {
+    seen.emplace(PairKey(seller_[row], buyer_[row]), true);
+  }
+  return seen.size();
+}
+
+Status ReceiptStore::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  uint32_t version = kVersion;
+  uint32_t endian = kEndianMarker;
+  uint64_t rows = NumRows();
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&endian), sizeof(endian));
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  WriteColumn(out, id_);
+  WriteColumn(out, seller_);
+  WriteColumn(out, buyer_);
+  WriteColumn(out, category_);
+  WriteColumn(out, day_);
+  WriteColumn(out, quantity_);
+  WriteColumn(out, unit_price_);
+  out.flush();
+  if (!out.good()) return Status::IOError("failed writing " + path);
+  return Status::OK();
+}
+
+Result<ReceiptStore> ReceiptStore::Load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::IOError("cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in.good() || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": not a receipt store");
+  }
+  uint32_t version = 0;
+  uint32_t endian = 0;
+  uint64_t rows = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&endian), sizeof(endian));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  if (!in.good()) return Status::Corruption(path + ": truncated header");
+  if (version != kVersion) {
+    return Status::Corruption(
+        StringPrintf("%s: unsupported version %u", path.c_str(), version));
+  }
+  if (endian != kEndianMarker) {
+    return Status::Corruption(path + ": byte-order mismatch");
+  }
+
+  ReceiptStore store;
+  size_t n = static_cast<size_t>(rows);
+  if (!ReadColumn(in, store.id_, n) || !ReadColumn(in, store.seller_, n) ||
+      !ReadColumn(in, store.buyer_, n) ||
+      !ReadColumn(in, store.category_, n) ||
+      !ReadColumn(in, store.day_, n) ||
+      !ReadColumn(in, store.quantity_, n) ||
+      !ReadColumn(in, store.unit_price_, n)) {
+    return Status::Corruption(path + ": truncated column data");
+  }
+  store.index_stale_ = true;
+  return store;
+}
+
+MarketTable EstimateMarketTable(const ReceiptStore& store,
+                                CategoryId num_categories) {
+  std::vector<std::vector<double>> prices(num_categories);
+  for (size_t row = 0; row < store.NumRows(); ++row) {
+    CategoryId category = store.categories()[row];
+    if (category < num_categories) {
+      prices[category].push_back(store.unit_prices()[row]);
+    }
+  }
+  MarketTable market;
+  market.unit_price.resize(num_categories, 0.0);
+  for (CategoryId c = 0; c < num_categories; ++c) {
+    std::vector<double>& sample = prices[c];
+    if (sample.empty()) continue;
+    size_t mid = sample.size() / 2;
+    std::nth_element(sample.begin(), sample.begin() + mid, sample.end());
+    market.unit_price[c] = sample[mid];
+  }
+  return market;
+}
+
+Ledger StoreToLedger(const ReceiptStore& store, MarketTable market,
+                     std::vector<size_t> mispriced_rows) {
+  Ledger ledger;
+  ledger.market = std::move(market);
+  ledger.transactions.reserve(store.NumRows());
+  for (size_t row = 0; row < store.NumRows(); ++row) {
+    Receipt receipt = store.Row(row);
+    Transaction tx;
+    tx.id = receipt.id;
+    tx.seller = receipt.seller;
+    tx.buyer = receipt.buyer;
+    tx.category = receipt.category;
+    tx.quantity = receipt.quantity;
+    tx.unit_price = receipt.unit_price;
+    ledger.transactions.push_back(tx);
+  }
+  ledger.mispriced = std::move(mispriced_rows);
+  ledger.num_relations = store.NumRelationships();
+  return ledger;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,120 @@
+#ifndef TPIIN_STORE_RECEIPT_STORE_H_
+#define TPIIN_STORE_RECEIPT_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "ite/ledger.h"
+#include "ite/transaction.h"
+#include "model/records.h"
+
+namespace tpiin {
+
+/// One electronic tax receipt (invoice) row — the unit the national tax
+/// information collection system ingests at up to ten million rows a day
+/// (paper §1). `day` is days since an arbitrary epoch.
+struct Receipt {
+  TransactionId id = 0;
+  CompanyId seller = 0;
+  CompanyId buyer = 0;
+  CategoryId category = 0;
+  uint32_t day = 0;
+  double quantity = 0;
+  double unit_price = 0;
+
+  double Value() const { return quantity * unit_price; }
+};
+
+/// Columnar append-only store for receipts — the "electronic receipt
+/// database" of the paper's Fig. 4 flow. Column (SoA) layout keeps the
+/// per-field scans the ITE detectors run cache-friendly; a hash index by
+/// (seller, buyer) serves the screened audit's "fetch the transactions
+/// of this suspicious relationship" lookups without scanning.
+///
+/// The store persists to a single binary file (versioned header +
+/// column blobs) and rebuilds indexes on load.
+class ReceiptStore {
+ public:
+  ReceiptStore() = default;
+
+  // Move-only: the columns can be large.
+  ReceiptStore(ReceiptStore&&) = default;
+  ReceiptStore& operator=(ReceiptStore&&) = default;
+  ReceiptStore(const ReceiptStore&) = delete;
+  ReceiptStore& operator=(const ReceiptStore&) = delete;
+
+  /// Appends a batch. Receipt ids need not be unique or ordered; rows
+  /// are addressed by dense row index.
+  void AppendBatch(std::span<const Receipt> batch);
+  void Append(const Receipt& receipt) { AppendBatch({&receipt, 1}); }
+
+  size_t NumRows() const { return seller_.size(); }
+
+  /// Materializes one row.
+  Receipt Row(size_t index) const;
+
+  // Column accessors (parallel arrays of length NumRows()).
+  const std::vector<CompanyId>& sellers() const { return seller_; }
+  const std::vector<CompanyId>& buyers() const { return buyer_; }
+  const std::vector<CategoryId>& categories() const { return category_; }
+  const std::vector<uint32_t>& days() const { return day_; }
+  const std::vector<double>& quantities() const { return quantity_; }
+  const std::vector<double>& unit_prices() const { return unit_price_; }
+
+  /// Row indices of all receipts between `seller` and `buyer`
+  /// (insertion order). O(1) lookup after the first call per mutation
+  /// (the index rebuilds lazily).
+  std::span<const uint32_t> RowsForRelationship(CompanyId seller,
+                                                CompanyId buyer);
+
+  /// The distinct trading relationships present, each seller -> buyer
+  /// pair once, in first-appearance order — the G4 extraction step of
+  /// the MSG phase.
+  std::vector<TradeRecord> DistinctRelationships() const;
+
+  /// Number of distinct (seller, buyer) pairs.
+  size_t NumRelationships() const;
+
+  /// Persists the store to `path` (binary, versioned).
+  Status Save(const std::string& path) const;
+
+  /// Loads a store saved by Save().
+  static Result<ReceiptStore> Load(const std::string& path);
+
+ private:
+  void RebuildIndexIfStale();
+
+  std::vector<TransactionId> id_;
+  std::vector<CompanyId> seller_;
+  std::vector<CompanyId> buyer_;
+  std::vector<CategoryId> category_;
+  std::vector<uint32_t> day_;
+  std::vector<double> quantity_;
+  std::vector<double> unit_price_;
+
+  std::unordered_map<uint64_t, std::vector<uint32_t>> by_relationship_;
+  bool index_stale_ = false;
+};
+
+/// Estimates arm's-length comparable prices from the whole population:
+/// the per-category median unit price. Real CUP analysis derives its
+/// comparables from uncontrolled transactions at large, and the median
+/// is robust to the minority of transfer-priced rows. Categories absent
+/// from the store get price 0 (CupScan skips them).
+MarketTable EstimateMarketTable(const ReceiptStore& store,
+                                CategoryId num_categories);
+
+/// View of the store as an ITE ledger (copies rows; `mispriced` ground
+/// truth is not part of production data and is left empty unless
+/// `mispriced_rows` is supplied by a generator).
+Ledger StoreToLedger(const ReceiptStore& store, MarketTable market,
+                     std::vector<size_t> mispriced_rows = {});
+
+}  // namespace tpiin
+
+#endif  // TPIIN_STORE_RECEIPT_STORE_H_

@@ -1,0 +1,195 @@
+#include "cli/cli.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_cli_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string Run(const std::vector<std::string>& args,
+                  Status* status_out = nullptr) {
+    std::ostringstream out;
+    Status status = RunCli(args, out);
+    if (status_out != nullptr) {
+      *status_out = status;
+    } else {
+      EXPECT_TRUE(status.ok()) << status.ToString();
+    }
+    return out.str();
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_NE(Run({}).find("Commands:"), std::string::npos);
+  EXPECT_NE(Run({"help"}).find("detect"), std::string::npos);
+  Status status;
+  Run({"frobnicate"}, &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+TEST_F(CliTest, GenFuseDetectPipeline) {
+  std::string data_dir = dir_ + "/data";
+  std::string net_file = dir_ + "/net.edges";
+
+  std::string gen_output = Run({"gen", "--out=" + data_dir,
+                                "--companies=120", "--p=0.02",
+                                "--plant=10", "--seed=3"});
+  EXPECT_NE(gen_output.find("dataset:"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(data_dir + "/persons.csv"));
+
+  std::string fuse_output =
+      Run({"fuse", "--data=" + data_dir, "--out=" + net_file});
+  EXPECT_NE(fuse_output.find("Antecedent"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(net_file));
+
+  std::string report_dir = dir_ + "/reports";
+  std::string detect_output =
+      Run({"detect", "--net=" + net_file, "--out=" + report_dir,
+           "--threads=2", "--top=5"});
+  EXPECT_NE(detect_output.find("suspicious trades"), std::string::npos);
+  EXPECT_NE(detect_output.find("proof chains"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(report_dir + "/susGroup.txt"));
+  EXPECT_TRUE(std::filesystem::exists(report_dir + "/susTrade.txt"));
+  EXPECT_TRUE(std::filesystem::exists(report_dir + "/report.txt"));
+}
+
+TEST_F(CliTest, StatsAndExport) {
+  std::string data_dir = dir_ + "/data";
+  std::string net_file = dir_ + "/net.edges";
+  Run({"gen", "--out=" + data_dir, "--companies=60", "--seed=9"});
+  Run({"fuse", "--data=" + data_dir, "--out=" + net_file});
+
+  std::string stats = Run({"stats", "--net=" + net_file});
+  EXPECT_NE(stats.find("antecedent:"), std::string::npos);
+  EXPECT_NE(stats.find("trading:"), std::string::npos);
+
+  std::string dot_file = dir_ + "/net.dot";
+  Run({"export", "--net=" + net_file, "--format=dot",
+       "--out=" + dot_file});
+  EXPECT_TRUE(std::filesystem::exists(dot_file));
+
+  std::string gexf_file = dir_ + "/net.gexf";
+  Run({"export", "--net=" + net_file, "--format=gexf",
+       "--out=" + gexf_file});
+  EXPECT_TRUE(std::filesystem::exists(gexf_file));
+
+  std::string ego_file = dir_ + "/ego.dot";
+  std::string ego_output =
+      Run({"export", "--net=" + net_file, "--format=dot",
+           "--out=" + ego_file, "--ego=C0000", "--depth=2"});
+  EXPECT_NE(ego_output.find("ego network of C0000"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(ego_file));
+
+  Status status;
+  Run({"export", "--net=" + net_file, "--format=dot",
+       "--out=" + dir_ + "/x.dot", "--ego=NoSuch"},
+      &status);
+  EXPECT_TRUE(status.IsNotFound());
+}
+
+TEST_F(CliTest, ExplainAndJsonReport) {
+  std::string data_dir = dir_ + "/data";
+  std::string net_file = dir_ + "/net.edges";
+  Run({"gen", "--out=" + data_dir, "--companies=100", "--p=0.02",
+       "--plant=8", "--seed=21"});
+  Run({"fuse", "--data=" + data_dir, "--out=" + net_file});
+
+  std::string json_file = dir_ + "/report.json";
+  std::string detect_output = Run(
+      {"detect", "--net=" + net_file, "--json=" + json_file, "--top=3"});
+  EXPECT_NE(detect_output.find("JSON report written"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(json_file));
+
+  std::string explain_output =
+      Run({"explain", "--net=" + net_file, "--company=C0000"});
+  EXPECT_NE(explain_output.find("Preliminary analysis: C0000"),
+            std::string::npos);
+
+  Status status;
+  Run({"explain", "--net=" + net_file, "--company=NoSuch"}, &status);
+  EXPECT_TRUE(status.IsNotFound());
+  Run({"explain", "--net=" + net_file, "--company=L0000"}, &status);
+  // Person node (InvalidArgument), or NotFound when L0000 was merged
+  // into a kinship syndicate and carries a brace label.
+  EXPECT_TRUE(status.IsInvalidArgument() || status.IsNotFound());
+}
+
+TEST_F(CliTest, ScreenSingleAndPairsFile) {
+  std::string data_dir = dir_ + "/data";
+  std::string net_file = dir_ + "/net.edges";
+  Run({"gen", "--out=" + data_dir, "--companies=80", "--seed=13"});
+  Run({"fuse", "--data=" + data_dir, "--out=" + net_file});
+
+  std::string single = Run({"screen", "--net=" + net_file,
+                            "--seller=C0000", "--buyer=C0001"});
+  EXPECT_TRUE(single.find("SUSPICIOUS") != std::string::npos ||
+              single.find("clear") != std::string::npos);
+  EXPECT_NE(single.find("relationship(s) suspicious"), std::string::npos);
+
+  std::string pairs_file = dir_ + "/pairs.csv";
+  {
+    std::ofstream out(pairs_file);
+    out << "C0000,C0001\nC0002,C0003\n";
+  }
+  std::string batch = Run({"screen", "--net=" + net_file,
+                           "--pairs=" + pairs_file});
+  EXPECT_NE(batch.find("of 2 relationship(s)"), std::string::npos);
+
+  Status status;
+  Run({"screen", "--net=" + net_file}, &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  Run({"screen", "--net=" + net_file, "--seller=C0000", "--buyer=Nope"},
+      &status);
+  EXPECT_TRUE(status.IsNotFound());
+}
+
+TEST_F(CliTest, MissingRequiredFlagsAreErrors) {
+  Status status;
+  Run({"gen"}, &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  Run({"fuse", "--data=x"}, &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  Run({"detect"}, &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  Run({"stats"}, &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  Run({"export", "--net=x"}, &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+TEST_F(CliTest, BadFormatRejected) {
+  std::string data_dir = dir_ + "/data";
+  std::string net_file = dir_ + "/net.edges";
+  Run({"gen", "--out=" + data_dir, "--companies=40", "--seed=2"});
+  Run({"fuse", "--data=" + data_dir, "--out=" + net_file});
+  Status status;
+  Run({"export", "--net=" + net_file, "--format=png",
+       "--out=" + dir_ + "/x"},
+      &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
+}
+
+TEST_F(CliTest, DetectOnMissingFileFails) {
+  Status status;
+  Run({"detect", "--net=/no/such/file"}, &status);
+  EXPECT_TRUE(status.IsIOError());
+}
+
+}  // namespace
+}  // namespace tpiin

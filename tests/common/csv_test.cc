@@ -1,0 +1,95 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ParseCsvLineTest, PlainFields) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(ParseCsvLineTest, EmptyFields) {
+  auto fields = ParseCsvLine(",,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"", "", ""}));
+}
+
+TEST(ParseCsvLineTest, QuotedFieldsWithCommasAndQuotes) {
+  auto fields = ParseCsvLine("\"a,b\",\"say \"\"hi\"\"\",plain");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields,
+            (std::vector<std::string>{"a,b", "say \"hi\"", "plain"}));
+}
+
+TEST(ParseCsvLineTest, Errors) {
+  EXPECT_TRUE(ParseCsvLine("\"unterminated").status().IsCorruption());
+  EXPECT_TRUE(ParseCsvLine("ab\"cd").status().IsCorruption());
+}
+
+TEST(EscapeCsvFieldTest, QuotesOnlyWhenNeeded) {
+  EXPECT_EQ(EscapeCsvField("plain"), "plain");
+  EXPECT_EQ(EscapeCsvField("a,b"), "\"a,b\"");
+  EXPECT_EQ(EscapeCsvField("a\"b"), "\"a\"\"b\"");
+  EXPECT_EQ(EscapeCsvField(" lead"), "\" lead\"");
+  EXPECT_EQ(EscapeCsvField("trail "), "\"trail \"");
+}
+
+TEST(CsvRoundTripTest, WriterThenReader) {
+  std::string path = TempPath("tpiin_csv_roundtrip.csv");
+  {
+    CsvWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    writer.WriteRow({"id", "name"});
+    writer.WriteRow({"1", "Zhang, Wei"});
+    writer.WriteRow({"2", "quote\"d"});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  auto rows = ReadCsvFile(path, {"id", "name"});
+  ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"1", "Zhang, Wei"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"2", "quote\"d"}));
+  std::remove(path.c_str());
+}
+
+TEST(ReadCsvFileTest, HeaderMismatchIsCorruption) {
+  std::string path = TempPath("tpiin_csv_header.csv");
+  {
+    CsvWriter writer(path);
+    writer.WriteRow({"wrong", "header"});
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  EXPECT_TRUE(ReadCsvFile(path, {"id", "name"}).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(ReadCsvFileTest, MissingFileIsIOError) {
+  EXPECT_TRUE(
+      ReadCsvFile("/nonexistent/dir/file.csv", {}).status().IsIOError());
+}
+
+TEST(ReadCsvFileTest, SkipsBlankLinesAndHandlesCrLf) {
+  std::string path = TempPath("tpiin_csv_blank.csv");
+  {
+    std::ofstream out(path);
+    out << "a,b\r\n\n1,2\r\n   \n3,4\n";
+  }
+  auto rows = ReadCsvFile(path, {"a", "b"});
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"3", "4"}));
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tpiin

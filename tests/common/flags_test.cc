@@ -1,0 +1,85 @@
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+class FlagsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    flags_.DefineInt64("seed", 42, "RNG seed");
+    flags_.DefineDouble("p", 0.002, "trading probability");
+    flags_.DefineString("out", "report.txt", "output path");
+    flags_.DefineBool("verbose", false, "chatty output");
+  }
+
+  Status Parse(std::vector<const char*> argv) {
+    argv.insert(argv.begin(), "prog");
+    return flags_.Parse(static_cast<int>(argv.size()), argv.data());
+  }
+
+  FlagParser flags_;
+};
+
+TEST_F(FlagsTest, DefaultsHoldWithoutArgs) {
+  ASSERT_TRUE(Parse({}).ok());
+  EXPECT_EQ(flags_.GetInt64("seed"), 42);
+  EXPECT_DOUBLE_EQ(flags_.GetDouble("p"), 0.002);
+  EXPECT_EQ(flags_.GetString("out"), "report.txt");
+  EXPECT_FALSE(flags_.GetBool("verbose"));
+}
+
+TEST_F(FlagsTest, EqualsSyntax) {
+  ASSERT_TRUE(Parse({"--seed=7", "--p=0.05", "--out=x.txt"}).ok());
+  EXPECT_EQ(flags_.GetInt64("seed"), 7);
+  EXPECT_DOUBLE_EQ(flags_.GetDouble("p"), 0.05);
+  EXPECT_EQ(flags_.GetString("out"), "x.txt");
+}
+
+TEST_F(FlagsTest, SpaceSyntax) {
+  ASSERT_TRUE(Parse({"--seed", "9", "--out", "y.txt"}).ok());
+  EXPECT_EQ(flags_.GetInt64("seed"), 9);
+  EXPECT_EQ(flags_.GetString("out"), "y.txt");
+}
+
+TEST_F(FlagsTest, BareBoolAndExplicitBool) {
+  ASSERT_TRUE(Parse({"--verbose"}).ok());
+  EXPECT_TRUE(flags_.GetBool("verbose"));
+  FlagParser fresh;
+  fresh.DefineBool("verbose", true, "");
+  const char* argv[] = {"prog", "--verbose=false"};
+  ASSERT_TRUE(fresh.Parse(2, argv).ok());
+  EXPECT_FALSE(fresh.GetBool("verbose"));
+}
+
+TEST_F(FlagsTest, PositionalArgumentsCollected) {
+  ASSERT_TRUE(Parse({"input.csv", "--seed=1", "other"}).ok());
+  EXPECT_EQ(flags_.positional(),
+            (std::vector<std::string>{"input.csv", "other"}));
+}
+
+TEST_F(FlagsTest, UnknownFlagIsError) {
+  EXPECT_TRUE(Parse({"--bogus=1"}).IsInvalidArgument());
+}
+
+TEST_F(FlagsTest, BadValueIsError) {
+  EXPECT_TRUE(Parse({"--seed=abc"}).IsInvalidArgument());
+  EXPECT_TRUE(Parse({"--p=xyz"}).IsInvalidArgument());
+  EXPECT_TRUE(Parse({"--verbose=maybe"}).IsInvalidArgument());
+}
+
+TEST_F(FlagsTest, MissingValueIsError) {
+  EXPECT_TRUE(Parse({"--seed"}).IsInvalidArgument());
+}
+
+TEST_F(FlagsTest, HelpRequested) {
+  ASSERT_TRUE(Parse({"--help"}).ok());
+  EXPECT_TRUE(flags_.help_requested());
+  std::string usage = flags_.Usage("prog");
+  EXPECT_NE(usage.find("--seed"), std::string::npos);
+  EXPECT_NE(usage.find("RNG seed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpiin

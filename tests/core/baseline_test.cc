@@ -1,0 +1,70 @@
+#include "core/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/worked_example.h"
+#include "tests/core/test_util.h"
+
+namespace tpiin {
+namespace {
+
+TEST(BaselineTest, WorkedExampleMatchesPaper) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  BaselineResult result = DetectBaseline(net);
+  EXPECT_EQ(result.num_simple, 3u);
+  EXPECT_EQ(result.num_complex, 0u);
+  EXPECT_EQ(result.suspicious_trades.size(), 3u);
+}
+
+TEST(BaselineTest, AllAnchorsFindsAtLeastRootAnchoredArcs) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Tpiin net = RandomTpiin(seed);
+    BaselineResult root = DetectBaseline(net);
+    BaselineOptions options;
+    options.anchor = BaselineAnchor::kAllNodes;
+    BaselineResult all = DetectBaseline(net, options);
+    // All-anchors finds every root-anchored group plus mid-DAG ones.
+    EXPECT_GE(all.num_simple + all.num_complex,
+              root.num_simple + root.num_complex);
+    // Arc sets coincide (the completeness property).
+    EXPECT_EQ(all.suspicious_trades, root.suspicious_trades);
+  }
+}
+
+TEST(BaselineTest, TrailEnumerationCountsPrefixes) {
+  // P -> C1 -> C2 with no trades: from P the paths are {P}, {P,C1},
+  // {P,C1,C2}; from C1: {C1}, {C1,C2}; from C2: {C2}.
+  TpiinBuilder builder;
+  NodeId p = builder.AddPersonNode("P");
+  NodeId c1 = builder.AddCompanyNode("C1");
+  NodeId c2 = builder.AddCompanyNode("C2");
+  builder.AddInfluenceArc(p, c1);
+  builder.AddInfluenceArc(c1, c2);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  BaselineOptions options;
+  options.anchor = BaselineAnchor::kAllNodes;
+  BaselineResult result = DetectBaseline(*net, options);
+  EXPECT_EQ(result.num_trails_enumerated, 6u);
+}
+
+TEST(BaselineTest, MaxGroupsTruncates) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  BaselineOptions options;
+  options.max_groups = 1;
+  BaselineResult result = DetectBaseline(net, options);
+  EXPECT_TRUE(result.truncated);
+  EXPECT_EQ(result.num_simple + result.num_complex, 1u);
+}
+
+TEST(BaselineTest, CollectGroupsOffKeepsCounters) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  BaselineOptions options;
+  options.collect_groups = false;
+  BaselineResult result = DetectBaseline(net, options);
+  EXPECT_TRUE(result.groups.empty());
+  EXPECT_EQ(result.num_simple, 3u);
+}
+
+}  // namespace
+}  // namespace tpiin

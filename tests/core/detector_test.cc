@@ -1,0 +1,145 @@
+#include "core/detector.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/worked_example.h"
+#include "tests/core/test_util.h"
+
+namespace tpiin {
+namespace {
+
+TEST(DetectorTest, EmptyNetworkYieldsNothing) {
+  TpiinBuilder builder;
+  builder.AddPersonNode("P");
+  builder.AddCompanyNode("C");
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  auto result = DetectSuspiciousGroups(*net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->TotalGroups(), 0u);
+  EXPECT_TRUE(result->suspicious_trades.empty());
+  EXPECT_EQ(result->num_subtpiins, 0u);
+}
+
+TEST(DetectorTest, CountingOnlyModeSkipsGroupRecords) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  DetectorOptions options;
+  options.match.collect_groups = false;
+  auto result = DetectSuspiciousGroups(net, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->groups.empty());
+  EXPECT_EQ(result->num_simple, 3u);
+  EXPECT_EQ(result->suspicious_trades.size(), 3u);
+}
+
+TEST(DetectorTest, CountsAgreeWithCollectedGroups) {
+  for (uint64_t seed = 0; seed < 15; ++seed) {
+    Tpiin net = RandomTpiin(seed);
+    auto result = DetectSuspiciousGroups(net);
+    ASSERT_TRUE(result.ok());
+    size_t simple = 0;
+    size_t complex_count = 0;
+    size_t cycles = 0;
+    for (const SuspiciousGroup& group : result->groups) {
+      if (group.from_cycle) {
+        ++cycles;
+      } else if (group.is_simple) {
+        ++simple;
+      } else {
+        ++complex_count;
+      }
+    }
+    EXPECT_EQ(simple, result->num_simple);
+    EXPECT_EQ(complex_count, result->num_complex);
+    EXPECT_EQ(cycles, result->num_cycle_groups);
+  }
+}
+
+TEST(DetectorTest, IntraSyndicateTradeProducesFindingWithChain) {
+  // Build via TpiinBuilder: a syndicate of {10, 11, 12} with internal
+  // ring 10->11->12->10 and an internal trade 10 -> 12.
+  TpiinBuilder builder;
+  NodeId p = builder.AddPersonNode("P");
+  NodeId syn = builder.AddCompanyNode("{A+B+C}", {10, 11, 12});
+  builder.SetInternalInvestments(syn, {{10, 11}, {11, 12}, {12, 10}});
+  builder.AddInfluenceArc(p, syn);
+  builder.AddIntraSyndicateTrade(syn, 10, 12);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  auto result = DetectSuspiciousGroups(*net);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->intra_syndicate.size(), 1u);
+  const IntraSyndicateFinding& finding = result->intra_syndicate[0];
+  EXPECT_EQ(finding.seller, 10u);
+  EXPECT_EQ(finding.buyer, 12u);
+  // Proof chain along internal investments: 10 -> 11 -> 12.
+  EXPECT_EQ(finding.chain, (std::vector<CompanyId>{10, 11, 12}));
+  EXPECT_EQ(result->TotalGroups(), 1u);
+}
+
+TEST(DetectorTest, IntraSyndicateCanBeDisabled) {
+  TpiinBuilder builder;
+  NodeId syn = builder.AddCompanyNode("{A+B}", {1, 2});
+  builder.SetInternalInvestments(syn, {{1, 2}, {2, 1}});
+  builder.AddIntraSyndicateTrade(syn, 1, 2);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  DetectorOptions options;
+  options.include_intra_syndicate = false;
+  auto result = DetectSuspiciousGroups(*net, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->intra_syndicate.empty());
+}
+
+TEST(DetectorTest, SuspiciousTradesSortedUnique) {
+  for (uint64_t seed = 20; seed < 30; ++seed) {
+    Tpiin net = RandomTpiin(seed);
+    auto result = DetectSuspiciousGroups(net);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(std::is_sorted(result->suspicious_trades.begin(),
+                               result->suspicious_trades.end()));
+    EXPECT_EQ(std::adjacent_find(result->suspicious_trades.begin(),
+                                 result->suspicious_trades.end()),
+              result->suspicious_trades.end());
+  }
+}
+
+TEST(DetectorTest, TimingsArePopulated) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  auto result = DetectSuspiciousGroups(net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GE(result->timings.total_seconds, 0.0);
+  EXPECT_GE(result->timings.segment_seconds, 0.0);
+  EXPECT_LE(result->timings.segment_seconds + result->timings.pattern_seconds +
+                result->timings.match_seconds,
+            result->timings.total_seconds + 1.0);
+}
+
+TEST(DetectorTest, SummaryMentionsCounts) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  auto result = DetectSuspiciousGroups(net);
+  ASSERT_TRUE(result.ok());
+  std::string summary = result->Summary();
+  EXPECT_NE(summary.find("simple=3"), std::string::npos);
+  EXPECT_NE(summary.find("suspicious trades=3 of 5"), std::string::npos);
+}
+
+TEST(DetectorTest, SuspiciousTradePercent) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  auto result = DetectSuspiciousGroups(net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->SuspiciousTradePercent(), 60.0);  // 3 of 5.
+}
+
+TEST(DetectorTest, MaxTrailsTruncationPropagates) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  DetectorOptions options;
+  options.max_trails_per_subtpiin = 4;
+  auto result = DetectSuspiciousGroups(net, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->truncated);
+  EXPECT_LE(result->num_trails, 4u);
+}
+
+}  // namespace
+}  // namespace tpiin

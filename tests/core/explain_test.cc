@@ -1,0 +1,108 @@
+#include "core/explain.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/worked_example.h"
+
+namespace tpiin {
+namespace {
+
+class ExplainTest : public ::testing::Test {
+ protected:
+  ExplainTest() : net_(BuildWorkedExampleTpiin()) {
+    auto result = DetectSuspiciousGroups(net_);
+    EXPECT_TRUE(result.ok());
+    detection_ = std::move(result).value();
+    scoring_ = ScoreDetection(net_, detection_);
+  }
+
+  NodeId NodeByLabel(const std::string& label) const {
+    for (NodeId v = 0; v < net_.NumNodes(); ++v) {
+      if (net_.Label(v) == label) return v;
+    }
+    return kInvalidNode;
+  }
+
+  Tpiin net_;
+  DetectionResult detection_;
+  ScoringResult scoring_;
+};
+
+TEST_F(ExplainTest, DossierOfInvolvedCompany) {
+  NodeId c5 = NodeByLabel("C5");
+  ASSERT_NE(c5, kInvalidNode);
+  CompanyDossier dossier =
+      BuildCompanyDossier(net_, detection_, scoring_, c5);
+  // C5 sells to C6 (suspicious) and buys from C3 (suspicious); C5 -> C7
+  // is not suspicious.
+  ASSERT_EQ(dossier.trades.size(), 2u);
+  // Groups containing C5: (L1,...) and (B1, C5, C6).
+  EXPECT_EQ(dossier.groups.size(), 2u);
+  EXPECT_EQ(dossier.antecedents.size(), 2u);
+}
+
+TEST_F(ExplainTest, DossierOfCleanCompanyIsEmpty) {
+  NodeId c4 = NodeByLabel("C4");
+  ASSERT_NE(c4, kInvalidNode);
+  CompanyDossier dossier =
+      BuildCompanyDossier(net_, detection_, scoring_, c4);
+  EXPECT_TRUE(dossier.trades.empty());
+  EXPECT_TRUE(dossier.groups.empty());
+  std::string text = FormatCompanyDossier(net_, dossier);
+  EXPECT_NE(text.find("No suspicious trading relationships"),
+            std::string::npos);
+}
+
+TEST_F(ExplainTest, FormatMentionsCounterpartiesAndAntecedents) {
+  NodeId c5 = NodeByLabel("C5");
+  CompanyDossier dossier =
+      BuildCompanyDossier(net_, detection_, scoring_, c5);
+  std::string text = FormatCompanyDossier(net_, dossier);
+  EXPECT_NE(text.find("Preliminary analysis: C5"), std::string::npos);
+  EXPECT_NE(text.find("sells to C6"), std::string::npos);
+  EXPECT_NE(text.find("buys from C3"), std::string::npos);
+  EXPECT_NE(text.find("B1"), std::string::npos);
+  EXPECT_NE(text.find("L1"), std::string::npos);
+  EXPECT_NE(text.find("Proof chains:"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainGroupNarratesBothTrails) {
+  ASSERT_FALSE(detection_.groups.empty());
+  const SuspiciousGroup* l1_group = nullptr;
+  for (const SuspiciousGroup& group : detection_.groups) {
+    if (net_.Label(group.antecedent) == "L1") l1_group = &group;
+  }
+  ASSERT_NE(l1_group, nullptr);
+  std::string text = ExplainGroup(net_, *l1_group);
+  EXPECT_NE(text.find("Antecedent L1"), std::string::npos);
+  EXPECT_NE(text.find("reaches the seller via"), std::string::npos);
+  EXPECT_NE(text.find("the IAT is C3 -> C5"), std::string::npos);
+  EXPECT_NE(text.find("simple group"), std::string::npos);
+}
+
+TEST_F(ExplainTest, ExplainCircleGroup) {
+  TpiinBuilder builder;
+  NodeId p = builder.AddPersonNode("P");
+  NodeId c1 = builder.AddCompanyNode("C1");
+  NodeId c2 = builder.AddCompanyNode("C2");
+  builder.AddInfluenceArc(p, c1);
+  builder.AddInfluenceArc(c1, c2);
+  builder.AddTradingArc(c2, c1);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  auto result = DetectSuspiciousGroups(*net);
+  ASSERT_TRUE(result.ok());
+  bool narrated_circle = false;
+  for (const SuspiciousGroup& group : result->groups) {
+    if (group.from_cycle) {
+      std::string text = ExplainGroup(*net, group);
+      EXPECT_NE(text.find("Circle: C1"), std::string::npos);
+      EXPECT_NE(text.find("sells back"), std::string::npos);
+      narrated_circle = true;
+    }
+  }
+  EXPECT_TRUE(narrated_circle);
+}
+
+}  // namespace
+}  // namespace tpiin

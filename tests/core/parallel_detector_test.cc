@@ -1,0 +1,78 @@
+// The parallel per-subTPIIN stage (DetectorOptions::num_threads) must be
+// a pure performance knob: results identical to single-threaded runs on
+// any input.
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "datagen/province.h"
+#include "fusion/pipeline.h"
+#include "tests/core/test_util.h"
+
+namespace tpiin {
+namespace {
+
+class ParallelDetectorTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(ParallelDetectorTest, MatchesSequentialOnRandomNets) {
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    Tpiin net = RandomTpiin(seed, /*max_persons=*/10,
+                            /*max_companies=*/20);
+    DetectorOptions sequential;
+    auto expected = DetectSuspiciousGroups(net, sequential);
+    ASSERT_TRUE(expected.ok());
+
+    DetectorOptions parallel;
+    parallel.num_threads = GetParam();
+    auto actual = DetectSuspiciousGroups(net, parallel);
+    ASSERT_TRUE(actual.ok());
+
+    EXPECT_EQ(actual->num_simple, expected->num_simple);
+    EXPECT_EQ(actual->num_complex, expected->num_complex);
+    EXPECT_EQ(actual->num_cycle_groups, expected->num_cycle_groups);
+    EXPECT_EQ(actual->num_trails, expected->num_trails);
+    EXPECT_EQ(actual->suspicious_trades, expected->suspicious_trades);
+    EXPECT_EQ(PairwiseKeys(actual->groups), PairwiseKeys(expected->groups));
+    // Merge order is deterministic, so even raw group order matches.
+    ASSERT_EQ(actual->groups.size(), expected->groups.size());
+    for (size_t i = 0; i < actual->groups.size(); ++i) {
+      EXPECT_EQ(actual->groups[i].members, expected->groups[i].members);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelDetectorTest,
+                         ::testing::Values(2u, 4u, 8u));
+
+TEST(ParallelDetectorTest, ProvinceScaleCountsMatch) {
+  ProvinceConfig config = SmallProvinceConfig(200, 5);
+  config.trading_probability = 0.01;
+  auto province = GenerateProvince(config);
+  ASSERT_TRUE(province.ok());
+  auto fused = BuildTpiin(province->dataset);
+  ASSERT_TRUE(fused.ok());
+
+  DetectorOptions sequential;
+  sequential.match.collect_groups = false;
+  auto expected = DetectSuspiciousGroups(fused->tpiin, sequential);
+  ASSERT_TRUE(expected.ok());
+
+  DetectorOptions parallel = sequential;
+  parallel.num_threads = 4;
+  auto actual = DetectSuspiciousGroups(fused->tpiin, parallel);
+  ASSERT_TRUE(actual.ok());
+  EXPECT_EQ(actual->num_simple, expected->num_simple);
+  EXPECT_EQ(actual->num_complex, expected->num_complex);
+  EXPECT_EQ(actual->suspicious_trades, expected->suspicious_trades);
+}
+
+TEST(ParallelDetectorTest, MoreThreadsThanSubtpiinsIsFine) {
+  Tpiin net = RandomTpiin(3);
+  DetectorOptions options;
+  options.num_threads = 64;
+  auto result = DetectSuspiciousGroups(net, options);
+  ASSERT_TRUE(result.ok());
+}
+
+}  // namespace
+}  // namespace tpiin

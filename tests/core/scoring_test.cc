@@ -1,0 +1,160 @@
+#include "core/scoring.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/worked_example.h"
+#include "tests/core/test_util.h"
+
+namespace tpiin {
+namespace {
+
+// Two triangles sharing a WCC: a strong one (full-weight arcs) and a
+// weak one (0.3-weight arcs).
+Tpiin TwoTriangleNet() {
+  TpiinBuilder builder;
+  NodeId p = builder.AddPersonNode("P");
+  NodeId c1 = builder.AddCompanyNode("C1");
+  NodeId c2 = builder.AddCompanyNode("C2");
+  NodeId c3 = builder.AddCompanyNode("C3");
+  NodeId c4 = builder.AddCompanyNode("C4");
+  builder.AddInfluenceArc(p, c1, 1.0);
+  builder.AddInfluenceArc(p, c2, 1.0);
+  builder.AddInfluenceArc(p, c3, 0.3);
+  builder.AddInfluenceArc(p, c4, 0.3);
+  builder.AddTradingArc(c1, c2);  // Strong triangle.
+  builder.AddTradingArc(c3, c4);  // Weak triangle.
+  auto net = builder.Build();
+  EXPECT_TRUE(net.ok());
+  return std::move(net).value();
+}
+
+TEST(ScoringTest, StrongChainOutranksWeakChain) {
+  Tpiin net = TwoTriangleNet();
+  auto detection = DetectSuspiciousGroups(net);
+  ASSERT_TRUE(detection.ok());
+  ScoringResult scoring = ScoreDetection(net, *detection);
+  ASSERT_EQ(scoring.ranked_trades.size(), 2u);
+  EXPECT_EQ(net.Label(scoring.ranked_trades[0].seller), "C1");
+  EXPECT_DOUBLE_EQ(scoring.ranked_trades[0].score, 1.0);
+  EXPECT_EQ(net.Label(scoring.ranked_trades[1].seller), "C3");
+  EXPECT_NEAR(scoring.ranked_trades[1].score, 0.09, 1e-9);  // 0.3 * 0.3.
+}
+
+TEST(ScoringTest, GroupScoresParallelToGroups) {
+  Tpiin net = TwoTriangleNet();
+  auto detection = DetectSuspiciousGroups(net);
+  ASSERT_TRUE(detection.ok());
+  ScoringResult scoring = ScoreDetection(net, *detection);
+  ASSERT_EQ(scoring.group_scores.size(), detection->groups.size());
+  for (double score : scoring.group_scores) {
+    EXPECT_GT(score, 0.0);
+    EXPECT_LE(score, 1.0);
+  }
+}
+
+TEST(ScoringTest, MinimumAggregationUsesWeakestLink) {
+  // P -> H (0.9), H -> C1 (0.4), H -> C2 (0.8); trade C1 -> C2.
+  TpiinBuilder builder;
+  NodeId p = builder.AddPersonNode("P");
+  NodeId h = builder.AddCompanyNode("H");
+  NodeId c1 = builder.AddCompanyNode("C1");
+  NodeId c2 = builder.AddCompanyNode("C2");
+  builder.AddInfluenceArc(p, h, 0.9);
+  builder.AddInfluenceArc(h, c1, 0.4);
+  builder.AddInfluenceArc(h, c2, 0.8);
+  builder.AddTradingArc(c1, c2);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  auto detection = DetectSuspiciousGroups(*net);
+  ASSERT_TRUE(detection.ok());
+  ASSERT_EQ(detection->groups.size(), 1u);
+
+  ScoringOptions min_options;
+  min_options.aggregation = ScoringOptions::TrailAggregation::kMinimum;
+  ScoringResult min_scoring =
+      ScoreDetection(*net, *detection, min_options);
+  EXPECT_NEAR(min_scoring.group_scores[0], 0.4, 1e-9);
+
+  ScoringResult product_scoring = ScoreDetection(*net, *detection);
+  // Trail1: 0.9 * 0.4; trail2: 0.9 * 0.8; product = 0.2592.
+  EXPECT_NEAR(product_scoring.group_scores[0], 0.9 * 0.4 * 0.9 * 0.8,
+              1e-9);
+}
+
+TEST(ScoringTest, NoisyOrAccumulatesMultipleProofChains) {
+  // Two independent antecedents behind the same trade: P1 (0.5 arcs)
+  // and P2 (0.5 arcs).
+  TpiinBuilder builder;
+  NodeId p1 = builder.AddPersonNode("P1");
+  NodeId p2 = builder.AddPersonNode("P2");
+  NodeId c1 = builder.AddCompanyNode("C1");
+  NodeId c2 = builder.AddCompanyNode("C2");
+  builder.AddInfluenceArc(p1, c1, 0.5);
+  builder.AddInfluenceArc(p1, c2, 0.5);
+  builder.AddInfluenceArc(p2, c1, 0.5);
+  builder.AddInfluenceArc(p2, c2, 0.5);
+  builder.AddTradingArc(c1, c2);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  auto detection = DetectSuspiciousGroups(*net);
+  ASSERT_TRUE(detection.ok());
+  ScoringResult scoring = ScoreDetection(*net, *detection);
+  ASSERT_EQ(scoring.ranked_trades.size(), 1u);
+  EXPECT_EQ(scoring.ranked_trades[0].group_count, 2u);
+  // Each group scores 0.25; noisy-or: 1 - 0.75^2 = 0.4375.
+  EXPECT_NEAR(scoring.ranked_trades[0].score, 0.4375, 1e-9);
+}
+
+TEST(ScoringTest, IntraSyndicateScoresMaximal) {
+  TpiinBuilder builder;
+  NodeId syn = builder.AddCompanyNode("{A+B}", {1, 2});
+  builder.SetInternalInvestments(syn, {{1, 2}, {2, 1}});
+  builder.AddIntraSyndicateTrade(syn, 1, 2);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  auto detection = DetectSuspiciousGroups(*net);
+  ASSERT_TRUE(detection.ok());
+  ScoringResult scoring = ScoreDetection(*net, *detection);
+  ASSERT_EQ(scoring.ranked_trades.size(), 1u);
+  EXPECT_DOUBLE_EQ(scoring.ranked_trades[0].score, 1.0);
+}
+
+TEST(ScoringTest, WorkedExampleAllUnitWeightsScoreOne) {
+  // The worked example builds arcs at the default weight 1.0: every
+  // proof chain is maximal.
+  Tpiin net = BuildWorkedExampleTpiin();
+  auto detection = DetectSuspiciousGroups(net);
+  ASSERT_TRUE(detection.ok());
+  ScoringResult scoring = ScoreDetection(net, *detection);
+  for (double score : scoring.group_scores) {
+    EXPECT_DOUBLE_EQ(score, 1.0);
+  }
+  for (const ScoredTrade& trade : scoring.ranked_trades) {
+    EXPECT_DOUBLE_EQ(trade.score, 1.0);
+  }
+}
+
+TEST(ScoringTest, RankingIsDeterministicOnTies) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  auto detection = DetectSuspiciousGroups(net);
+  ASSERT_TRUE(detection.ok());
+  ScoringResult a = ScoreDetection(net, *detection);
+  ScoringResult b = ScoreDetection(net, *detection);
+  ASSERT_EQ(a.ranked_trades.size(), b.ranked_trades.size());
+  for (size_t i = 0; i < a.ranked_trades.size(); ++i) {
+    EXPECT_EQ(a.ranked_trades[i].seller, b.ranked_trades[i].seller);
+    EXPECT_EQ(a.ranked_trades[i].buyer, b.ranked_trades[i].buyer);
+  }
+  // Ties broken by ascending (seller, buyer).
+  for (size_t i = 1; i < a.ranked_trades.size(); ++i) {
+    if (a.ranked_trades[i - 1].score == a.ranked_trades[i].score) {
+      EXPECT_LT(std::make_pair(a.ranked_trades[i - 1].seller,
+                               a.ranked_trades[i - 1].buyer),
+                std::make_pair(a.ranked_trades[i].seller,
+                               a.ranked_trades[i].buyer));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpiin

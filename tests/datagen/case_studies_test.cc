@@ -1,0 +1,47 @@
+#include "datagen/case_studies.h"
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+TEST(CaseStudiesTest, AllThreeBuildValidDatasets) {
+  std::vector<CaseStudy> cases = BuildAllCaseStudies();
+  ASSERT_EQ(cases.size(), 3u);
+  for (const CaseStudy& cs : cases) {
+    EXPECT_TRUE(cs.dataset.Validate().ok()) << cs.title;
+    EXPECT_FALSE(cs.title.empty());
+    EXPECT_FALSE(cs.narrative.empty());
+    EXPECT_GT(cs.expected_adjustment, 0.0);
+    EXPECT_FALSE(cs.adjustment_method.empty());
+    EXPECT_NE(cs.expected_seller, cs.expected_buyer);
+  }
+}
+
+TEST(CaseStudiesTest, Case1HasKinshipAndFullOwnership) {
+  CaseStudy cs = BuildCaseStudy1();
+  EXPECT_EQ(cs.dataset.Stats().num_kinship, 1u);
+  ASSERT_EQ(cs.dataset.investments().size(), 1u);
+  EXPECT_DOUBLE_EQ(cs.dataset.investments()[0].share, 1.0);
+  EXPECT_EQ(cs.adjustment_method, "TNMM");
+}
+
+TEST(CaseStudiesTest, Case2HasCommonInvestor) {
+  CaseStudy cs = BuildCaseStudy2();
+  ASSERT_EQ(cs.dataset.investments().size(), 2u);
+  EXPECT_EQ(cs.dataset.investments()[0].investor,
+            cs.dataset.investments()[1].investor);
+  EXPECT_EQ(cs.adjustment_method, "CUP");
+  EXPECT_DOUBLE_EQ(cs.transfer_price, 20.0);
+  EXPECT_DOUBLE_EQ(cs.market_price, 30.0);
+}
+
+TEST(CaseStudiesTest, Case3HasInterlockedDirectors) {
+  CaseStudy cs = BuildCaseStudy3();
+  EXPECT_EQ(cs.dataset.Stats().num_interlocking, 3u);
+  EXPECT_EQ(cs.adjustment_method, "cost-plus");
+  EXPECT_DOUBLE_EQ(cs.cost, 80.0e6);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,90 @@
+#include "datagen/plant.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "datagen/province.h"
+#include "fusion/pipeline.h"
+
+namespace tpiin {
+namespace {
+
+TEST(PlantTest, PlantedTradesAppendToDataset) {
+  auto province = GenerateProvince(SmallProvinceConfig(80, 3));
+  ASSERT_TRUE(province.ok());
+  size_t before = province->dataset.trades().size();
+  Rng rng(4);
+  std::vector<PlantedScheme> planted =
+      PlantSuspiciousTrades(province->dataset, rng, 10);
+  EXPECT_EQ(province->dataset.trades().size(), before + planted.size());
+  EXPECT_GT(planted.size(), 0u);
+  EXPECT_LE(planted.size(), 10u);
+}
+
+TEST(PlantTest, NoDuplicatePairsPlanted) {
+  auto province = GenerateProvince(SmallProvinceConfig(100, 5));
+  ASSERT_TRUE(province.ok());
+  Rng rng(6);
+  std::vector<PlantedScheme> planted =
+      PlantSuspiciousTrades(province->dataset, rng, 50);
+  std::set<std::pair<CompanyId, CompanyId>> pairs;
+  for (const PlantedScheme& scheme : planted) {
+    EXPECT_NE(scheme.seller, scheme.buyer);
+    EXPECT_TRUE(pairs.emplace(scheme.seller, scheme.buyer).second);
+  }
+}
+
+// The accuracy oracle: every planted scheme is suspicious by
+// construction, so the detector must flag all of them.
+TEST(PlantTest, DetectorFlagsEveryPlantedTrade) {
+  for (uint64_t seed : {3u, 9u, 27u}) {
+    ProvinceConfig config = SmallProvinceConfig(120, seed);
+    config.trading_probability = 0.004;
+    auto province = GenerateProvince(config);
+    ASSERT_TRUE(province.ok());
+    Rng rng(seed + 1);
+    std::vector<PlantedScheme> planted =
+        PlantSuspiciousTrades(province->dataset, rng, 30);
+    ASSERT_GT(planted.size(), 0u);
+
+    auto fused = BuildTpiin(province->dataset);
+    ASSERT_TRUE(fused.ok());
+    DetectorOptions options;
+    options.match.collect_groups = false;
+    auto result = DetectSuspiciousGroups(fused->tpiin, options);
+    ASSERT_TRUE(result.ok());
+
+    std::set<std::pair<NodeId, NodeId>> suspicious(
+        result->suspicious_trades.begin(), result->suspicious_trades.end());
+    // Include intra-syndicate findings (a planted pair may fall inside a
+    // contracted SCC).
+    std::set<std::pair<CompanyId, CompanyId>> intra;
+    for (const IntraSyndicateFinding& finding : result->intra_syndicate) {
+      intra.emplace(finding.seller, finding.buyer);
+    }
+    for (const PlantedScheme& scheme : planted) {
+      NodeId seller_node = fused->tpiin.NodeOfCompany(scheme.seller);
+      NodeId buyer_node = fused->tpiin.NodeOfCompany(scheme.buyer);
+      bool flagged =
+          suspicious.count({seller_node, buyer_node}) > 0 ||
+          intra.count({scheme.seller, scheme.buyer}) > 0;
+      EXPECT_TRUE(flagged) << "seed " << seed << ": planted "
+                           << SchemeKindName(scheme.kind) << " trade "
+                           << scheme.seller << " -> " << scheme.buyer
+                           << " not flagged";
+    }
+  }
+}
+
+TEST(PlantTest, SchemeKindNamesAreStable) {
+  EXPECT_EQ(SchemeKindName(SchemeKind::kSameInvestor), "same-investor");
+  EXPECT_EQ(SchemeKindName(SchemeKind::kLinkedPersons), "linked-persons");
+  EXPECT_EQ(SchemeKindName(SchemeKind::kSharedInfluencer),
+            "shared-influencer");
+  EXPECT_EQ(SchemeKindName(SchemeKind::kInvestorChain), "investor-chain");
+}
+
+}  // namespace
+}  // namespace tpiin

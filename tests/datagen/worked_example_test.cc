@@ -1,0 +1,34 @@
+#include "datagen/worked_example.h"
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+TEST(WorkedExampleDatasetTest, MatchesFig7Counts) {
+  RawDataset data = BuildWorkedExampleDataset();
+  EXPECT_TRUE(data.Validate().ok());
+  DatasetStats stats = data.Stats();
+  EXPECT_EQ(stats.num_persons, 9u);
+  EXPECT_EQ(stats.num_companies, 8u);
+  EXPECT_EQ(stats.num_kinship, 1u);
+  EXPECT_EQ(stats.num_interlocking, 1u);
+  EXPECT_EQ(stats.num_legal_person_links, 8u);
+  EXPECT_EQ(stats.num_investment, 2u);
+  EXPECT_EQ(stats.num_trades, 5u);
+}
+
+TEST(WorkedExampleTpiinTest, MatchesFig8Counts) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  EXPECT_EQ(net.NumNodes(), 15u);
+  EXPECT_EQ(net.num_influence_arcs(), 14u);
+  EXPECT_EQ(net.num_trading_arcs(), 5u);
+  size_t persons = 0;
+  for (NodeId v = 0; v < net.NumNodes(); ++v) {
+    persons += net.node(v).color == NodeColor::kPerson;
+  }
+  EXPECT_EQ(persons, 7u);
+}
+
+}  // namespace
+}  // namespace tpiin

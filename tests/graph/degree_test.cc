@@ -1,0 +1,44 @@
+#include "graph/degree.h"
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+TEST(DegreeStatsTest, EmptyGraph) {
+  Digraph g;
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.num_nodes, 0u);
+  EXPECT_EQ(stats.num_arcs, 0u);
+  EXPECT_DOUBLE_EQ(stats.average_degree, 0.0);
+}
+
+TEST(DegreeStatsTest, CountsAndAverages) {
+  Digraph g(4);
+  g.AddArc(0, 1, 0);
+  g.AddArc(0, 2, 0);
+  g.AddArc(1, 2, 0);
+  DegreeStats stats = ComputeDegreeStats(g);
+  EXPECT_EQ(stats.num_nodes, 4u);
+  EXPECT_EQ(stats.num_arcs, 3u);
+  // Gephi convention for directed graphs: |E| / |V|.
+  EXPECT_DOUBLE_EQ(stats.average_degree, 0.75);
+  EXPECT_EQ(stats.max_out_degree, 2u);
+  EXPECT_EQ(stats.max_in_degree, 2u);
+  EXPECT_EQ(stats.num_indegree_zero, 2u);   // 0 and 3.
+  EXPECT_EQ(stats.num_outdegree_zero, 2u);  // 2 and 3.
+  EXPECT_EQ(stats.num_isolated, 1u);        // 3.
+}
+
+TEST(DegreeStatsTest, FilterChangesEverything) {
+  Digraph g(3);
+  g.AddArc(0, 1, 1);
+  g.AddArc(1, 2, 2);
+  DegreeStats stats = ComputeDegreeStats(
+      g, [](const Arc& arc) { return arc.color == 1; });
+  EXPECT_EQ(stats.num_arcs, 1u);
+  EXPECT_EQ(stats.num_isolated, 1u);  // Node 2 under the filter.
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,86 @@
+#include "graph/digraph.h"
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+TEST(DigraphTest, EmptyGraph) {
+  Digraph g;
+  EXPECT_EQ(g.NumNodes(), 0u);
+  EXPECT_EQ(g.NumArcs(), 0u);
+}
+
+TEST(DigraphTest, AddNodesAndArcs) {
+  Digraph g(3);
+  EXPECT_EQ(g.NumNodes(), 3u);
+  ArcId a = g.AddArc(0, 1, 5);
+  ArcId b = g.AddArc(1, 2, 6);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(g.arc(a).src, 0u);
+  EXPECT_EQ(g.arc(a).dst, 1u);
+  EXPECT_EQ(g.arc(a).color, 5);
+}
+
+TEST(DigraphTest, IncrementalNodeAddition) {
+  Digraph g;
+  NodeId a = g.AddNode();
+  NodeId b = g.AddNode();
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  g.AddNodes(3);
+  EXPECT_EQ(g.NumNodes(), 5u);
+  EXPECT_TRUE(g.HasNode(4));
+  EXPECT_FALSE(g.HasNode(5));
+}
+
+TEST(DigraphTest, OutAdjacencyInInsertionOrder) {
+  Digraph g(4);
+  g.AddArc(0, 1, 0);
+  g.AddArc(0, 3, 0);
+  g.AddArc(0, 2, 0);
+  std::span<const ArcId> out = g.OutArcs(0);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(g.arc(out[0]).dst, 1u);
+  EXPECT_EQ(g.arc(out[1]).dst, 3u);
+  EXPECT_EQ(g.arc(out[2]).dst, 2u);
+  EXPECT_EQ(g.OutDegree(0), 3u);
+  EXPECT_EQ(g.OutDegree(1), 0u);
+}
+
+TEST(DigraphTest, InDegreeMaintainedIncrementally) {
+  Digraph g(3);
+  g.AddArc(0, 2, 0);
+  g.AddArc(1, 2, 0);
+  EXPECT_EQ(g.InDegree(2), 2u);
+  EXPECT_EQ(g.InDegree(0), 0u);
+}
+
+TEST(DigraphTest, InAdjacencyAfterBuild) {
+  Digraph g(3);
+  g.AddArc(0, 2, 0);
+  g.AddArc(1, 2, 1);
+  g.BuildInAdjacency();
+  std::span<const ArcId> in = g.InArcs(2);
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_EQ(g.arc(in[0]).src, 0u);
+  EXPECT_EQ(g.arc(in[1]).src, 1u);
+  // Rebuild after mutation picks up new arcs.
+  g.AddArc(2, 0, 0);
+  g.BuildInAdjacency();
+  EXPECT_EQ(g.InArcs(0).size(), 1u);
+}
+
+TEST(DigraphTest, ParallelArcsAndSelfLoopsAllowed) {
+  Digraph g(2);
+  g.AddArc(0, 1, 0);
+  g.AddArc(0, 1, 0);
+  g.AddArc(1, 1, 0);
+  EXPECT_EQ(g.NumArcs(), 3u);
+  EXPECT_EQ(g.OutDegree(0), 2u);
+  EXPECT_EQ(g.InDegree(1), 3u);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,132 @@
+#include "graph/scc.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "graph/traversal.h"
+
+namespace tpiin {
+namespace {
+
+TEST(SccTest, DagHasOnlyTrivialComponents) {
+  Digraph g(4);
+  g.AddArc(0, 1, 0);
+  g.AddArc(1, 2, 0);
+  g.AddArc(0, 3, 0);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 4u);
+  EXPECT_TRUE(scc.nontrivial_components.empty());
+}
+
+TEST(SccTest, SimpleCycle) {
+  Digraph g(4);
+  g.AddArc(0, 1, 0);
+  g.AddArc(1, 2, 0);
+  g.AddArc(2, 0, 0);
+  g.AddArc(2, 3, 0);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  ASSERT_EQ(scc.nontrivial_components.size(), 1u);
+  NodeId comp = scc.nontrivial_components[0];
+  std::set<NodeId> members(scc.members[comp].begin(),
+                           scc.members[comp].end());
+  EXPECT_EQ(members, (std::set<NodeId>{0, 1, 2}));
+  EXPECT_NE(scc.component_of[3], comp);
+}
+
+TEST(SccTest, SelfLoopIsNontrivial) {
+  Digraph g(2);
+  g.AddArc(0, 0, 0);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 2u);
+  ASSERT_EQ(scc.nontrivial_components.size(), 1u);
+  EXPECT_EQ(scc.members[scc.nontrivial_components[0]],
+            std::vector<NodeId>{0});
+}
+
+TEST(SccTest, TwoDisjointCycles) {
+  Digraph g(6);
+  g.AddArc(0, 1, 0);
+  g.AddArc(1, 0, 0);
+  g.AddArc(2, 3, 0);
+  g.AddArc(3, 4, 0);
+  g.AddArc(4, 2, 0);
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 3u);  // {0,1}, {2,3,4}, {5}.
+  EXPECT_EQ(scc.nontrivial_components.size(), 2u);
+}
+
+TEST(SccTest, ReverseTopologicalComponentIds) {
+  // Tarjan emits components in reverse topological order: if comp(u) has
+  // an arc to comp(v) (u, v in different components), then
+  // component_of[u] > component_of[v].
+  Digraph g(5);
+  g.AddArc(0, 1, 0);
+  g.AddArc(1, 2, 0);
+  g.AddArc(2, 1, 0);  // {1,2} cycle.
+  g.AddArc(2, 3, 0);
+  g.AddArc(3, 4, 0);
+  SccResult scc = StronglyConnectedComponents(g);
+  for (const Arc& arc : g.arcs()) {
+    if (scc.component_of[arc.src] != scc.component_of[arc.dst]) {
+      EXPECT_GT(scc.component_of[arc.src], scc.component_of[arc.dst]);
+    }
+  }
+}
+
+TEST(SccTest, ArcFilterRestrictsDecomposition) {
+  Digraph g(3);
+  g.AddArc(0, 1, /*color=*/1);
+  g.AddArc(1, 0, /*color=*/2);  // Filtered out: no cycle remains.
+  SccResult all = StronglyConnectedComponents(g);
+  EXPECT_EQ(all.nontrivial_components.size(), 1u);
+  SccResult filtered = StronglyConnectedComponents(
+      g, [](const Arc& arc) { return arc.color == 1; });
+  EXPECT_TRUE(filtered.nontrivial_components.empty());
+}
+
+TEST(SccTest, DeepChainDoesNotOverflowStack) {
+  constexpr NodeId kN = 200000;
+  Digraph g(kN);
+  for (NodeId i = 1; i < kN; ++i) g.AddArc(i - 1, i, 0);
+  g.AddArc(kN - 1, 0, 0);  // One giant cycle.
+  SccResult scc = StronglyConnectedComponents(g);
+  EXPECT_EQ(scc.num_components, 1u);
+  EXPECT_EQ(scc.members[0].size(), kN);
+}
+
+// Property sweep: on random digraphs, SCC membership must agree with
+// mutual reachability.
+class SccPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SccPropertyTest, AgreesWithMutualReachability) {
+  Rng rng(GetParam());
+  const NodeId n = 2 + static_cast<NodeId>(rng.UniformU64(28));
+  Digraph g(n);
+  const uint32_t arcs = static_cast<uint32_t>(rng.UniformU64(3 * n));
+  for (uint32_t i = 0; i < arcs; ++i) {
+    g.AddArc(static_cast<NodeId>(rng.UniformU64(n)),
+             static_cast<NodeId>(rng.UniformU64(n)), 0);
+  }
+  SccResult scc = StronglyConnectedComponents(g);
+
+  std::vector<std::vector<bool>> reach;
+  reach.reserve(n);
+  for (NodeId v = 0; v < n; ++v) reach.push_back(ReachableFrom(g, v));
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = 0; v < n; ++v) {
+      bool mutual = reach[u][v] && reach[v][u];
+      EXPECT_EQ(mutual, scc.component_of[u] == scc.component_of[v])
+          << "nodes " << u << "," << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomGraphs, SccPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,58 @@
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+TEST(ReachableFromTest, StartIsAlwaysReachable) {
+  Digraph g(3);
+  std::vector<bool> reach = ReachableFrom(g, 1);
+  EXPECT_FALSE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_FALSE(reach[2]);
+}
+
+TEST(ReachableFromTest, FollowsDirection) {
+  Digraph g(4);
+  g.AddArc(0, 1, 0);
+  g.AddArc(1, 2, 0);
+  g.AddArc(3, 2, 0);
+  std::vector<bool> reach = ReachableFrom(g, 0);
+  EXPECT_TRUE(reach[0]);
+  EXPECT_TRUE(reach[1]);
+  EXPECT_TRUE(reach[2]);
+  EXPECT_FALSE(reach[3]);  // Arc points into 2, not out of it.
+}
+
+TEST(ReachableFromTest, HandlesCycles) {
+  Digraph g(3);
+  g.AddArc(0, 1, 0);
+  g.AddArc(1, 0, 0);
+  g.AddArc(1, 2, 0);
+  std::vector<bool> reach = ReachableFrom(g, 0);
+  EXPECT_TRUE(reach[0] && reach[1] && reach[2]);
+}
+
+TEST(ReachableFromTest, FilterBlocksArcs) {
+  Digraph g(3);
+  g.AddArc(0, 1, 1);
+  g.AddArc(1, 2, 2);
+  std::vector<bool> reach =
+      ReachableFrom(g, 0, [](const Arc& arc) { return arc.color == 1; });
+  EXPECT_TRUE(reach[1]);
+  EXPECT_FALSE(reach[2]);
+}
+
+TEST(FindSubgraphsDfsTest, MembersSortedAndComplete) {
+  Digraph g(5);
+  g.AddArc(4, 2, 0);
+  g.AddArc(2, 0, 0);
+  WccResult wcc = FindSubgraphsDfs(g);
+  EXPECT_EQ(wcc.num_components, 3u);
+  std::vector<NodeId> big = wcc.members[wcc.component_of[0]];
+  EXPECT_EQ(big, (std::vector<NodeId>{0, 2, 4}));
+}
+
+}  // namespace
+}  // namespace tpiin

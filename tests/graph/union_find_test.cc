@@ -1,0 +1,64 @@
+#include "graph/union_find.h"
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+TEST(UnionFindTest, InitiallyAllSingletons) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.NumSets(), 5u);
+  for (NodeId i = 0; i < 5; ++i) {
+    EXPECT_EQ(uf.Find(i), i);
+    EXPECT_EQ(uf.SizeOf(i), 1u);
+  }
+}
+
+TEST(UnionFindTest, UnionMergesAndReportsNovelty) {
+  UnionFind uf(4);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));  // Already merged.
+  EXPECT_TRUE(uf.Connected(0, 1));
+  EXPECT_FALSE(uf.Connected(0, 2));
+  EXPECT_EQ(uf.NumSets(), 3u);
+  EXPECT_EQ(uf.SizeOf(0), 2u);
+}
+
+TEST(UnionFindTest, TransitiveConnectivity) {
+  UnionFind uf(6);
+  uf.Union(0, 1);
+  uf.Union(2, 3);
+  uf.Union(1, 2);
+  EXPECT_TRUE(uf.Connected(0, 3));
+  EXPECT_EQ(uf.SizeOf(3), 4u);
+  EXPECT_EQ(uf.NumSets(), 3u);  // {0,1,2,3}, {4}, {5}.
+}
+
+TEST(UnionFindTest, DenseComponentIdsAreDenseAndConsistent) {
+  UnionFind uf(6);
+  uf.Union(4, 5);
+  uf.Union(0, 2);
+  std::vector<NodeId> ids = uf.DenseComponentIds();
+  ASSERT_EQ(ids.size(), 6u);
+  // Dense: ids cover [0, NumSets()).
+  for (NodeId id : ids) EXPECT_LT(id, uf.NumSets());
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(ids[4], ids[5]);
+  EXPECT_NE(ids[0], ids[1]);
+  EXPECT_NE(ids[0], ids[4]);
+  // First-appearance ordering: node 0's component gets id 0.
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 1u);
+}
+
+TEST(UnionFindTest, LargeChainCollapsesToOneSet) {
+  constexpr NodeId kN = 10000;
+  UnionFind uf(kN);
+  for (NodeId i = 1; i < kN; ++i) uf.Union(i - 1, i);
+  EXPECT_EQ(uf.NumSets(), 1u);
+  EXPECT_EQ(uf.SizeOf(0), kN);
+  EXPECT_TRUE(uf.Connected(0, kN - 1));
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,103 @@
+#include "io/dataset_csv.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/province.h"
+#include "datagen/worked_example.h"
+
+namespace tpiin {
+namespace {
+
+class DatasetCsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_csv_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(DatasetCsvTest, WorkedExampleRoundTrip) {
+  RawDataset original = BuildWorkedExampleDataset();
+  ASSERT_TRUE(SaveDatasetCsv(dir_, original).ok());
+  auto restored = LoadDatasetCsv(dir_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  EXPECT_EQ(restored->persons().size(), original.persons().size());
+  EXPECT_EQ(restored->companies().size(), original.companies().size());
+  for (size_t i = 0; i < original.persons().size(); ++i) {
+    EXPECT_EQ(restored->persons()[i].name, original.persons()[i].name);
+    EXPECT_EQ(restored->persons()[i].roles, original.persons()[i].roles);
+  }
+  ASSERT_EQ(restored->influence().size(), original.influence().size());
+  for (size_t i = 0; i < original.influence().size(); ++i) {
+    EXPECT_EQ(restored->influence()[i].person,
+              original.influence()[i].person);
+    EXPECT_EQ(restored->influence()[i].kind, original.influence()[i].kind);
+    EXPECT_EQ(restored->influence()[i].is_legal_person,
+              original.influence()[i].is_legal_person);
+  }
+  ASSERT_EQ(restored->investments().size(), original.investments().size());
+  EXPECT_DOUBLE_EQ(restored->investments()[0].share,
+                   original.investments()[0].share);
+  ASSERT_EQ(restored->trades().size(), original.trades().size());
+  EXPECT_EQ(restored->trades()[2].seller, original.trades()[2].seller);
+}
+
+TEST_F(DatasetCsvTest, GeneratedProvinceRoundTrip) {
+  auto province = GenerateProvince(SmallProvinceConfig(50, 77));
+  ASSERT_TRUE(province.ok());
+  ASSERT_TRUE(SaveDatasetCsv(dir_, province->dataset).ok());
+  auto restored = LoadDatasetCsv(dir_);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Stats().num_trades,
+            province->dataset.Stats().num_trades);
+  EXPECT_EQ(restored->Stats().num_influence,
+            province->dataset.Stats().num_influence);
+}
+
+TEST_F(DatasetCsvTest, MissingDirectoryIsIOError) {
+  EXPECT_TRUE(LoadDatasetCsv("/no/such/dir").status().IsIOError());
+}
+
+TEST_F(DatasetCsvTest, CorruptRolesRejected) {
+  RawDataset original = BuildWorkedExampleDataset();
+  ASSERT_TRUE(SaveDatasetCsv(dir_, original).ok());
+  {
+    std::ofstream out(dir_ + "/persons.csv");
+    out << "id,name,roles\n0,X,250\n";  // Roles mask out of range.
+  }
+  EXPECT_TRUE(LoadDatasetCsv(dir_).status().IsCorruption());
+}
+
+TEST_F(DatasetCsvTest, OutOfRangeIdsRejected) {
+  RawDataset original = BuildWorkedExampleDataset();
+  ASSERT_TRUE(SaveDatasetCsv(dir_, original).ok());
+  {
+    std::ofstream out(dir_ + "/trades.csv");
+    out << "seller,buyer\n0,999\n";
+  }
+  EXPECT_TRUE(LoadDatasetCsv(dir_).status().IsCorruption());
+}
+
+TEST_F(DatasetCsvTest, LoadedDatasetIsValidated) {
+  RawDataset original = BuildWorkedExampleDataset();
+  ASSERT_TRUE(SaveDatasetCsv(dir_, original).ok());
+  {
+    // Drop the influence table: companies lose their legal persons.
+    std::ofstream out(dir_ + "/influence.csv");
+    out << "person,company,kind,legal_person\n";
+  }
+  EXPECT_TRUE(LoadDatasetCsv(dir_).status().IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,160 @@
+#include "io/edge_list.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "datagen/worked_example.h"
+
+namespace tpiin {
+namespace {
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(EdgeListTest, RoundTripPreservesStructure) {
+  Tpiin original = BuildWorkedExampleTpiin();
+  std::string path = TempPath("tpiin_edge_roundtrip.txt");
+  ASSERT_TRUE(WriteTpiinEdgeList(path, original).ok());
+
+  auto restored = ReadTpiinEdgeList(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored->NumNodes(), original.NumNodes());
+  EXPECT_EQ(restored->num_influence_arcs(), original.num_influence_arcs());
+  EXPECT_EQ(restored->num_trading_arcs(), original.num_trading_arcs());
+  for (NodeId v = 0; v < original.NumNodes(); ++v) {
+    EXPECT_EQ(restored->Label(v), original.Label(v));
+    EXPECT_EQ(restored->node(v).color, original.node(v).color);
+  }
+  EXPECT_EQ(restored->ToEdgeList(), original.ToEdgeList());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, RoundTrippedNetworkMinesIdentically) {
+  Tpiin original = BuildWorkedExampleTpiin();
+  std::string path = TempPath("tpiin_edge_mine.txt");
+  ASSERT_TRUE(WriteTpiinEdgeList(path, original).ok());
+  auto restored = ReadTpiinEdgeList(path);
+  ASSERT_TRUE(restored.ok());
+
+  auto a = DetectSuspiciousGroups(original);
+  auto b = DetectSuspiciousGroups(*restored);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->num_simple, b->num_simple);
+  EXPECT_EQ(a->num_complex, b->num_complex);
+  EXPECT_EQ(a->suspicious_trades, b->suspicious_trades);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, LabelsWithSpacesSurvive) {
+  TpiinBuilder builder;
+  NodeId p = builder.AddPersonNode("{Zhang Wei+Li Na}");
+  NodeId c = builder.AddCompanyNode("Acme Trading Co");
+  builder.AddInfluenceArc(p, c);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  std::string path = TempPath("tpiin_edge_labels.txt");
+  ASSERT_TRUE(WriteTpiinEdgeList(path, *net).ok());
+  auto restored = ReadTpiinEdgeList(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->Label(0), "{Zhang Wei+Li Na}");
+  EXPECT_EQ(restored->Label(1), "Acme Trading Co");
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, WeightsSurviveRoundTrip) {
+  TpiinBuilder builder;
+  NodeId p = builder.AddPersonNode("P");
+  NodeId c1 = builder.AddCompanyNode("C1");
+  NodeId c2 = builder.AddCompanyNode("C2");
+  builder.AddInfluenceArc(p, c1, 0.37);
+  builder.AddInfluenceArc(c1, c2, 0.51);
+  builder.AddTradingArc(c1, c2);
+  auto net = builder.Build();
+  ASSERT_TRUE(net.ok());
+  std::string path = TempPath("tpiin_edge_weights.txt");
+  ASSERT_TRUE(WriteTpiinEdgeList(path, *net).ok());
+  auto restored = ReadTpiinEdgeList(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_DOUBLE_EQ(restored->ArcWeight(0), 0.37);
+  EXPECT_DOUBLE_EQ(restored->ArcWeight(1), 0.51);
+  EXPECT_DOUBLE_EQ(restored->ArcWeight(2), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, V1FilesLoadWithUnitWeights) {
+  std::string path = TempPath("tpiin_edge_v1.txt");
+  {
+    std::ofstream out(path);
+    out << "tpiin-edge-list v1\nnodes 2\n0 P A\n1 C B\n"
+        << "arcs 1 2\n0 1 1\n";
+  }
+  auto restored = ReadTpiinEdgeList(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_DOUBLE_EQ(restored->ArcWeight(0), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, OutOfRangeWeightIsCorruption) {
+  std::string path = TempPath("tpiin_edge_badw.txt");
+  {
+    std::ofstream out(path);
+    out << "tpiin-edge-list v2\nnodes 2\n0 P A\n1 C B\n"
+        << "arcs 1 2\n0 1 1 1.5\n";
+  }
+  EXPECT_TRUE(ReadTpiinEdgeList(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, MissingFileIsIOError) {
+  EXPECT_TRUE(ReadTpiinEdgeList("/no/such/file").status().IsIOError());
+}
+
+TEST(EdgeListTest, BadMagicIsCorruption) {
+  std::string path = TempPath("tpiin_edge_magic.txt");
+  {
+    std::ofstream out(path);
+    out << "not an edge list\n";
+  }
+  EXPECT_TRUE(ReadTpiinEdgeList(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, TruncatedFileIsCorruption) {
+  std::string path = TempPath("tpiin_edge_trunc.txt");
+  {
+    std::ofstream out(path);
+    out << "tpiin-edge-list v1\nnodes 2\n0 P A\n";  // Missing a node row.
+  }
+  EXPECT_TRUE(ReadTpiinEdgeList(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, ColorSplitMismatchIsCorruption) {
+  std::string path = TempPath("tpiin_edge_split.txt");
+  {
+    std::ofstream out(path);
+    out << "tpiin-edge-list v1\nnodes 2\n0 P A\n1 C B\n"
+        << "arcs 1 2\n0 1 0\n";  // m says row 1 is influence, color says 0.
+  }
+  EXPECT_TRUE(ReadTpiinEdgeList(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+TEST(EdgeListTest, OutOfRangeEndpointIsCorruption) {
+  std::string path = TempPath("tpiin_edge_range.txt");
+  {
+    std::ofstream out(path);
+    out << "tpiin-edge-list v1\nnodes 2\n0 P A\n1 C B\n"
+        << "arcs 1 1\n0 7 1\n";
+  }
+  EXPECT_TRUE(ReadTpiinEdgeList(path).status().IsCorruption());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,58 @@
+// Format-stability guard: data/worked_example.edges is a committed
+// artifact of the v2 edge-list format. These tests pin (a) that the
+// current writer still produces byte-identical output for the same
+// network, and (b) that the committed file still loads and mines to the
+// paper's results — so an accidental format change cannot slip through
+// a release.
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "datagen/worked_example.h"
+#include "io/edge_list.h"
+
+#ifndef TPIIN_TEST_DATA_DIR
+#define TPIIN_TEST_DATA_DIR "data"
+#endif
+
+namespace tpiin {
+namespace {
+
+std::string GoldenPath() {
+  return std::string(TPIIN_TEST_DATA_DIR) + "/worked_example.edges";
+}
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(GoldenFormatTest, WriterIsByteStable) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  std::string fresh_path =
+      ::testing::TempDir() + "/worked_example_fresh.edges";
+  ASSERT_TRUE(WriteTpiinEdgeList(fresh_path, net).ok());
+  std::string golden = ReadAll(GoldenPath());
+  ASSERT_FALSE(golden.empty()) << "missing fixture " << GoldenPath();
+  EXPECT_EQ(ReadAll(fresh_path), golden)
+      << "edge-list serialization changed; if intentional, bump the "
+         "format version and regenerate data/worked_example.edges";
+}
+
+TEST(GoldenFormatTest, CommittedFixtureStillMinesToPaperResults) {
+  auto net = ReadTpiinEdgeList(GoldenPath());
+  ASSERT_TRUE(net.ok()) << net.status().ToString();
+  auto result = DetectSuspiciousGroups(*net);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->num_simple, 3u);
+  EXPECT_EQ(result->num_complex, 0u);
+  EXPECT_EQ(result->suspicious_trades.size(), 3u);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,100 @@
+#include "io/ledger_csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+class LedgerCsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_ledger_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  Ledger MakeLedger() {
+    return GenerateLedger({{0, 1}, {1, 2}, {2, 0}}, {{0, 1}});
+  }
+
+  std::string dir_;
+};
+
+TEST_F(LedgerCsvTest, RoundTripPreservesEverything) {
+  Ledger original = MakeLedger();
+  ASSERT_TRUE(SaveLedgerCsv(dir_, original).ok());
+  auto restored = LoadLedgerCsv(dir_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+
+  ASSERT_EQ(restored->market.num_categories(),
+            original.market.num_categories());
+  for (CategoryId c = 0; c < original.market.num_categories(); ++c) {
+    EXPECT_DOUBLE_EQ(restored->market.PriceOf(c),
+                     original.market.PriceOf(c));
+  }
+  ASSERT_EQ(restored->transactions.size(), original.transactions.size());
+  for (size_t i = 0; i < original.transactions.size(); ++i) {
+    EXPECT_EQ(restored->transactions[i].id, original.transactions[i].id);
+    EXPECT_EQ(restored->transactions[i].seller,
+              original.transactions[i].seller);
+    EXPECT_DOUBLE_EQ(restored->transactions[i].unit_price,
+                     original.transactions[i].unit_price);
+  }
+  EXPECT_EQ(restored->mispriced, original.mispriced);
+  EXPECT_EQ(restored->num_relations, 3u);
+}
+
+TEST_F(LedgerCsvTest, RestoredLedgerAuditsIdentically) {
+  Ledger original = MakeLedger();
+  ASSERT_TRUE(SaveLedgerCsv(dir_, original).ok());
+  auto restored = LoadLedgerCsv(dir_);
+  ASSERT_TRUE(restored.ok());
+  AuditOptions options;
+  options.examine_all = true;
+  AuditReport a = RunAudit(original, {}, options);
+  AuditReport b = RunAudit(*restored, {}, options);
+  EXPECT_EQ(a.findings.size(), b.findings.size());
+  EXPECT_DOUBLE_EQ(a.total_adjustment, b.total_adjustment);
+  EXPECT_DOUBLE_EQ(a.Recall(), b.Recall());
+}
+
+TEST_F(LedgerCsvTest, CorruptCategoryRejected) {
+  Ledger original = MakeLedger();
+  ASSERT_TRUE(SaveLedgerCsv(dir_, original).ok());
+  {
+    std::ofstream out(dir_ + "/transactions.csv");
+    out << "id,seller,buyer,category,quantity,unit_price,mispriced\n"
+        << "1,0,1,999,10,5.0,0\n";
+  }
+  EXPECT_TRUE(LoadLedgerCsv(dir_).status().IsCorruption());
+}
+
+TEST_F(LedgerCsvTest, MissingDirectoryIsIOError) {
+  EXPECT_TRUE(LoadLedgerCsv("/no/such/dir").status().IsIOError());
+}
+
+TEST_F(LedgerCsvTest, AuditReportFileListsFindings) {
+  Ledger ledger = MakeLedger();
+  AuditOptions options;
+  options.examine_all = true;
+  AuditReport report = RunAudit(ledger, {}, options);
+  ASSERT_FALSE(report.findings.empty());
+  std::string path = dir_ + "/audit.txt";
+  ASSERT_TRUE(WriteAuditReport(path, ledger, report).ok());
+  std::ifstream in(path);
+  std::ostringstream text;
+  text << in.rdbuf();
+  EXPECT_NE(text.str().find("Findings:"), std::string::npos);
+  EXPECT_NE(text.str().find("under-invoiced"), std::string::npos);
+  EXPECT_NE(text.str().find("recall"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpiin

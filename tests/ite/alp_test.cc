@@ -1,0 +1,108 @@
+#include "ite/alp.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/case_studies.h"
+
+namespace tpiin {
+namespace {
+
+TEST(TnmmTest, Case1ReproducesPaperAdjustment) {
+  // Case 1: C3 declared zero/negative profit on 638M revenue; comparable
+  // producers earn a 4% net margin -> 25.52M RMB adjustment.
+  CaseStudy cs = BuildCaseStudy1();
+  double adjustment =
+      TnmmAdjustment(cs.revenue, /*declared_profit=*/0.0, cs.normal_margin);
+  EXPECT_NEAR(adjustment, cs.expected_adjustment, 1.0);
+}
+
+TEST(TnmmTest, NoAdjustmentWhenProfitMeetsMargin) {
+  EXPECT_DOUBLE_EQ(TnmmAdjustment(100.0, 10.0, 0.05), 0.0);
+  EXPECT_DOUBLE_EQ(TnmmAdjustment(100.0, 5.0, 0.05), 0.0);
+}
+
+TEST(TnmmTest, LossMakesAdjustmentExceedMarginGap) {
+  // Declared loss of 10 on 100 revenue at 5% margin: adjust 15.
+  EXPECT_DOUBLE_EQ(TnmmAdjustment(100.0, -10.0, 0.05), 15.0);
+}
+
+TEST(CostPlusTest, Case3ApproximatesPaperAdjustment) {
+  // Case 3: cost 80M + expense 20M at 9% normal margin vs 90M declared
+  // revenue -> (100M * 1.09) - 90M = 19M, the paper reports 19.89M (its
+  // comparables differ slightly; the shape — a ~20M upward adjustment —
+  // holds).
+  CaseStudy cs = BuildCaseStudy3();
+  double adjustment =
+      CostPlusAdjustment(cs.cost, cs.expense, cs.revenue, cs.normal_margin);
+  EXPECT_NEAR(adjustment, cs.expected_adjustment,
+              0.05 * cs.expected_adjustment);
+}
+
+TEST(CostPlusTest, NoAdjustmentWhenRevenueSufficient) {
+  EXPECT_DOUBLE_EQ(CostPlusAdjustment(80.0, 20.0, 120.0, 0.09), 0.0);
+}
+
+TEST(CupTest, Case2ReproducesPaperAdjustment) {
+  // Case 2: 5000 meters at $20 vs the $30 domestic price; at the 10%
+  // rate the TAO adjusted $5000.
+  CaseStudy cs = BuildCaseStudy2();
+  Ledger ledger;
+  ledger.market.unit_price = {cs.market_price};
+  Transaction tx;
+  tx.id = 1;
+  tx.seller = cs.expected_seller;
+  tx.buyer = cs.expected_buyer;
+  tx.category = 0;
+  tx.quantity = cs.quantity;
+  tx.unit_price = cs.transfer_price;
+  ledger.transactions.push_back(tx);
+
+  std::vector<CupFinding> findings = CupScan(ledger, {0});
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NEAR(findings[0].underpricing,
+              (cs.market_price - cs.transfer_price) * cs.quantity, 1e-6);
+  EXPECT_NEAR(findings[0].tax_adjustment, cs.expected_adjustment, 1e-6);
+}
+
+TEST(CupTest, WithinThresholdNotFlagged) {
+  Ledger ledger;
+  ledger.market.unit_price = {100.0};
+  Transaction tx;
+  tx.category = 0;
+  tx.quantity = 10;
+  tx.unit_price = 90.0;  // 10% below, threshold 15%.
+  ledger.transactions.push_back(tx);
+  EXPECT_TRUE(CupScan(ledger, {0}).empty());
+}
+
+TEST(CupTest, OverpricingNotFlagged) {
+  // The detector targets under-invoicing (profit shifted to the buyer).
+  Ledger ledger;
+  ledger.market.unit_price = {100.0};
+  Transaction tx;
+  tx.category = 0;
+  tx.quantity = 10;
+  tx.unit_price = 160.0;
+  ledger.transactions.push_back(tx);
+  EXPECT_TRUE(CupScan(ledger, {0}).empty());
+}
+
+TEST(CupTest, CustomThresholdAndRate) {
+  Ledger ledger;
+  ledger.market.unit_price = {100.0};
+  Transaction tx;
+  tx.category = 0;
+  tx.quantity = 100;
+  tx.unit_price = 90.0;
+  ledger.transactions.push_back(tx);
+  CupOptions options;
+  options.deviation_threshold = 0.05;
+  options.tax_rate = 0.25;
+  std::vector<CupFinding> findings = CupScan(ledger, {0}, options);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NEAR(findings[0].underpricing, 1000.0, 1e-9);
+  EXPECT_NEAR(findings[0].tax_adjustment, 250.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,84 @@
+#include "ite/audit.h"
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+std::vector<TradeRecord> SomeTrades() {
+  return {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+}
+
+TEST(AuditTest, ScreenedAuditExaminesOnlySuspiciousRelations) {
+  Ledger ledger = GenerateLedger(SomeTrades(), {{0, 1}});
+  AuditReport report = RunAudit(ledger, {{0, 1}});
+  EXPECT_LT(report.transactions_examined, report.transactions_total);
+  EXPECT_GT(report.transactions_examined, 0u);
+  EXPECT_LT(report.ExaminedFraction(), 1.0);
+}
+
+TEST(AuditTest, FullScanExaminesEverything) {
+  Ledger ledger = GenerateLedger(SomeTrades(), {{0, 1}});
+  AuditOptions options;
+  options.examine_all = true;
+  AuditReport report = RunAudit(ledger, {}, options);
+  EXPECT_EQ(report.transactions_examined, report.transactions_total);
+  EXPECT_DOUBLE_EQ(report.ExaminedFraction(), 1.0);
+}
+
+TEST(AuditTest, PerfectRecallWhenScreeningCoversIats) {
+  Ledger ledger = GenerateLedger(SomeTrades(), {{0, 1}, {2, 3}});
+  AuditReport report = RunAudit(ledger, {{0, 1}, {2, 3}});
+  EXPECT_DOUBLE_EQ(report.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.Precision(), 1.0);
+  EXPECT_EQ(report.false_negatives, 0u);
+  EXPECT_GT(report.total_adjustment, 0.0);
+}
+
+TEST(AuditTest, MissedScreeningLosesRecall) {
+  Ledger ledger = GenerateLedger(SomeTrades(), {{0, 1}, {2, 3}});
+  // Screening covers only one of the two mispriced relations.
+  AuditReport report = RunAudit(ledger, {{0, 1}});
+  EXPECT_LT(report.Recall(), 1.0);
+  EXPECT_GT(report.Recall(), 0.0);
+  EXPECT_GT(report.false_negatives, 0u);
+}
+
+TEST(AuditTest, EmptyScreeningFindsNothing) {
+  Ledger ledger = GenerateLedger(SomeTrades(), {{0, 1}});
+  AuditReport report = RunAudit(ledger, {});
+  EXPECT_EQ(report.transactions_examined, 0u);
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_DOUBLE_EQ(report.Recall(), 0.0);
+  // No flags -> vacuous precision of 1.
+  EXPECT_DOUBLE_EQ(report.Precision(), 1.0);
+}
+
+TEST(AuditTest, FullScanAndScreenedAgreeOnCoveredIats) {
+  Ledger ledger = GenerateLedger(SomeTrades(), {{1, 2}});
+  AuditReport screened = RunAudit(ledger, {{1, 2}});
+  AuditOptions full_options;
+  full_options.examine_all = true;
+  AuditReport full = RunAudit(ledger, {}, full_options);
+  EXPECT_EQ(screened.findings.size(), full.findings.size());
+  EXPECT_DOUBLE_EQ(screened.total_adjustment, full.total_adjustment);
+  EXPECT_DOUBLE_EQ(screened.Recall(), full.Recall());
+}
+
+TEST(AuditTest, SummaryIsInformative) {
+  Ledger ledger = GenerateLedger(SomeTrades(), {{0, 1}});
+  AuditReport report = RunAudit(ledger, {{0, 1}});
+  std::string summary = report.Summary();
+  EXPECT_NE(summary.find("examined"), std::string::npos);
+  EXPECT_NE(summary.find("recall"), std::string::npos);
+}
+
+TEST(AuditTest, EmptyLedgerIsHandled) {
+  Ledger ledger;
+  AuditReport report = RunAudit(ledger, {{0, 1}});
+  EXPECT_EQ(report.transactions_total, 0u);
+  EXPECT_DOUBLE_EQ(report.ExaminedFraction(), 0.0);
+}
+
+}  // namespace
+}  // namespace tpiin

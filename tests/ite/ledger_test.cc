@@ -1,0 +1,86 @@
+#include "ite/ledger.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+std::vector<TradeRecord> SomeTrades() {
+  return {{0, 1}, {1, 2}, {2, 3}, {3, 0}};
+}
+
+TEST(LedgerTest, EveryRelationGetsTransactionsInRange) {
+  LedgerConfig config;
+  config.min_transactions = 2;
+  config.max_transactions = 5;
+  Ledger ledger = GenerateLedger(SomeTrades(), {}, config);
+  EXPECT_EQ(ledger.num_relations, 4u);
+  EXPECT_GE(ledger.transactions.size(), 8u);
+  EXPECT_LE(ledger.transactions.size(), 20u);
+  std::set<std::pair<CompanyId, CompanyId>> covered;
+  for (const Transaction& tx : ledger.transactions) {
+    covered.emplace(tx.seller, tx.buyer);
+    EXPECT_GT(tx.quantity, 0.0);
+    EXPECT_GT(tx.unit_price, 0.0);
+    EXPECT_LT(tx.category, config.num_categories);
+    EXPECT_GT(tx.id, 0u);
+  }
+  EXPECT_EQ(covered.size(), 4u);
+}
+
+TEST(LedgerTest, DeterministicInSeed) {
+  Ledger a = GenerateLedger(SomeTrades(), {{0, 1}});
+  Ledger b = GenerateLedger(SomeTrades(), {{0, 1}});
+  ASSERT_EQ(a.transactions.size(), b.transactions.size());
+  for (size_t i = 0; i < a.transactions.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.transactions[i].unit_price,
+                     b.transactions[i].unit_price);
+  }
+}
+
+TEST(LedgerTest, IatTransactionsAreDiscounted) {
+  LedgerConfig config;
+  config.min_transactions = 3;
+  config.max_transactions = 3;
+  Ledger ledger = GenerateLedger(SomeTrades(), {{0, 1}}, config);
+  ASSERT_FALSE(ledger.mispriced.empty());
+  EXPECT_EQ(ledger.mispriced.size(), 3u);  // All of relation 0->1.
+  for (size_t index : ledger.mispriced) {
+    const Transaction& tx = ledger.transactions[index];
+    EXPECT_EQ(tx.seller, 0u);
+    EXPECT_EQ(tx.buyer, 1u);
+    double market = ledger.market.PriceOf(tx.category);
+    double discount = (market - tx.unit_price) / market;
+    EXPECT_GE(discount, config.iat_discount_min - 1e-9);
+    EXPECT_LE(discount, config.iat_discount_max + 1e-9);
+  }
+}
+
+TEST(LedgerTest, HonestPricesNearMarket) {
+  LedgerConfig config;
+  config.honest_price_noise = 0.02;
+  Ledger ledger = GenerateLedger(SomeTrades(), {}, config);
+  for (const Transaction& tx : ledger.transactions) {
+    double market = ledger.market.PriceOf(tx.category);
+    EXPECT_NEAR(tx.unit_price, market, market * 0.021);
+  }
+}
+
+TEST(LedgerTest, TransactionValueIsPriceTimesQuantity) {
+  Transaction tx;
+  tx.quantity = 7;
+  tx.unit_price = 3.5;
+  EXPECT_DOUBLE_EQ(tx.Value(), 24.5);
+}
+
+TEST(LedgerTest, MarketTableBasics) {
+  MarketTable market;
+  market.unit_price = {10.0, 20.0};
+  EXPECT_EQ(market.num_categories(), 2u);
+  EXPECT_DOUBLE_EQ(market.PriceOf(1), 20.0);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,156 @@
+#include "model/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+// A minimal valid dataset: one LP-eligible person, one company, one LP
+// link.
+RawDataset MinimalValid() {
+  RawDataset data;
+  PersonId p = data.AddPerson("L1", kRoleCeo);
+  CompanyId c = data.AddCompany("C1");
+  data.AddInfluence(p, c, InfluenceKind::kCeoOf, true);
+  return data;
+}
+
+TEST(DatasetTest, MinimalValidPasses) {
+  EXPECT_TRUE(MinimalValid().Validate().ok());
+}
+
+TEST(DatasetTest, IdsAreSequential) {
+  RawDataset data;
+  EXPECT_EQ(data.AddPerson("a", kRoleCeo), 0u);
+  EXPECT_EQ(data.AddPerson("b", kRoleCeo), 1u);
+  EXPECT_EQ(data.AddCompany("c"), 0u);
+  EXPECT_EQ(data.AddCompany("d"), 1u);
+}
+
+TEST(DatasetTest, CompanyWithoutLegalPersonFails) {
+  RawDataset data;
+  data.AddPerson("L1", kRoleCeo);
+  data.AddCompany("C1");
+  EXPECT_TRUE(data.Validate().IsFailedPrecondition());
+}
+
+TEST(DatasetTest, TwoLegalPersonsFail) {
+  RawDataset data = MinimalValid();
+  PersonId p2 = data.AddPerson("L2", kRoleCeo);
+  data.AddInfluence(p2, 0, InfluenceKind::kCeoOf, true);
+  EXPECT_TRUE(data.Validate().IsFailedPrecondition());
+}
+
+TEST(DatasetTest, LpIneligibleRolesFail) {
+  RawDataset data;
+  PersonId p = data.AddPerson("D1", kRoleDirector);  // Bare director.
+  CompanyId c = data.AddCompany("C1");
+  data.AddInfluence(p, c, InfluenceKind::kDirectorOf, true);
+  Status status = data.Validate();
+  EXPECT_TRUE(status.IsFailedPrecondition());
+  EXPECT_NE(status.message().find("LP-ineligible"), std::string::npos);
+}
+
+TEST(DatasetTest, NonLpDirectorLinkWithAnyRolesIsFine) {
+  RawDataset data = MinimalValid();
+  PersonId d = data.AddPerson("D1", kRoleDirector);
+  data.AddInfluence(d, 0, InfluenceKind::kDirectorOf, false);
+  EXPECT_TRUE(data.Validate().ok());
+}
+
+TEST(DatasetTest, OutOfRangeReferencesFail) {
+  {
+    RawDataset data = MinimalValid();
+    data.AddInterdependence(0, 99, InterdependenceKind::kKinship);
+    EXPECT_TRUE(data.Validate().IsInvalidArgument());
+  }
+  {
+    RawDataset data = MinimalValid();
+    data.AddInfluence(99, 0, InfluenceKind::kCeoOf, false);
+    EXPECT_TRUE(data.Validate().IsInvalidArgument());
+  }
+  {
+    RawDataset data = MinimalValid();
+    data.AddInvestment(0, 99, 0.5);
+    EXPECT_TRUE(data.Validate().IsInvalidArgument());
+  }
+  {
+    RawDataset data = MinimalValid();
+    data.AddTrade(99, 0);
+    EXPECT_TRUE(data.Validate().IsInvalidArgument());
+  }
+}
+
+TEST(DatasetTest, SelfReferencesFail) {
+  {
+    RawDataset data = MinimalValid();
+    data.AddInterdependence(0, 0, InterdependenceKind::kKinship);
+    EXPECT_TRUE(data.Validate().IsInvalidArgument());
+  }
+  {
+    RawDataset data = MinimalValid();
+    data.AddCompany("C2");  // No LP -> add one.
+    PersonId p2 = data.AddPerson("L2", kRoleCeo);
+    data.AddInfluence(p2, 1, InfluenceKind::kCeoOf, true);
+    data.AddInvestment(1, 1, 0.5);
+    EXPECT_TRUE(data.Validate().IsInvalidArgument());
+  }
+  {
+    RawDataset data = MinimalValid();
+    data.AddTrade(0, 0);
+    EXPECT_TRUE(data.Validate().IsInvalidArgument());
+  }
+}
+
+TEST(DatasetTest, InvestmentShareBounds) {
+  RawDataset data = MinimalValid();
+  PersonId p2 = data.AddPerson("L2", kRoleCeo);
+  CompanyId c2 = data.AddCompany("C2");
+  data.AddInfluence(p2, c2, InfluenceKind::kCeoOf, true);
+  data.AddInvestment(0, c2, 1.0);  // Inclusive upper bound OK.
+  EXPECT_TRUE(data.Validate().ok());
+  data.AddInvestment(c2, 0, 0.0);  // Zero share invalid.
+  EXPECT_TRUE(data.Validate().IsInvalidArgument());
+}
+
+TEST(DatasetTest, StatsCountEverything) {
+  RawDataset data = MinimalValid();
+  PersonId p2 = data.AddPerson("L2", kRoleCeo);
+  CompanyId c2 = data.AddCompany("C2");
+  data.AddInfluence(p2, c2, InfluenceKind::kCeoOf, true);
+  data.AddInterdependence(0, p2, InterdependenceKind::kKinship);
+  data.AddInterdependence(0, p2, InterdependenceKind::kInterlocking);
+  data.AddInvestment(0, c2, 0.6);
+  data.AddTrade(0, c2);
+  DatasetStats stats = data.Stats();
+  EXPECT_EQ(stats.num_persons, 2u);
+  EXPECT_EQ(stats.num_companies, 2u);
+  EXPECT_EQ(stats.num_kinship, 1u);
+  EXPECT_EQ(stats.num_interlocking, 1u);
+  EXPECT_EQ(stats.num_influence, 2u);
+  EXPECT_EQ(stats.num_legal_person_links, 2u);
+  EXPECT_EQ(stats.num_investment, 1u);
+  EXPECT_EQ(stats.num_trades, 1u);
+  EXPECT_FALSE(stats.ToString().empty());
+}
+
+TEST(DatasetTest, SetTradesReplacesLayer) {
+  RawDataset data = MinimalValid();
+  data.AddTrade(0, 0);  // Invalid, about to be replaced.
+  data.SetTrades({});
+  EXPECT_TRUE(data.Validate().ok());
+  EXPECT_TRUE(data.trades().empty());
+}
+
+TEST(RecordsTest, KindNames) {
+  EXPECT_EQ(InterdependenceKindName(InterdependenceKind::kKinship),
+            "kinship");
+  EXPECT_EQ(InterdependenceKindName(InterdependenceKind::kInterlocking),
+            "interlocking");
+  EXPECT_EQ(InfluenceKindName(InfluenceKind::kCeoAndDirectorOf),
+            "is-CEO-and-D-of");
+  EXPECT_EQ(InfluenceKindName(InfluenceKind::kDirectorOf), "is-a-D-of");
+}
+
+}  // namespace
+}  // namespace tpiin

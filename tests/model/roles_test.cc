@@ -1,0 +1,70 @@
+#include "model/roles.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+TEST(RolesTest, ReductionFoldsShareholderIntoDirector) {
+  EXPECT_EQ(ReduceRoles(kRoleShareholder), kRoleDirector);
+  EXPECT_EQ(ReduceRoles(kRoleShareholder | kRoleDirector), kRoleDirector);
+  EXPECT_EQ(ReduceRoles(kRoleShareholder | kRoleCeo),
+            kRoleCeo | kRoleDirector);
+  EXPECT_EQ(ReduceRoles(kRoleCeo), kRoleCeo);
+  EXPECT_EQ(ReduceRoles(0), 0);
+}
+
+TEST(RolesTest, FifteenRawSubclassesReduceToSeven) {
+  // §4.1: the 15 non-empty subclasses of {S, D, CEO, CB} reduce to the 7
+  // non-empty subclasses of {D, CEO, CB}.
+  std::vector<PersonRoles> raw = AllRawRoleSubclasses();
+  EXPECT_EQ(raw.size(), 15u);
+  std::set<PersonRoles> reduced;
+  for (PersonRoles mask : raw) reduced.insert(ReduceRoles(mask));
+  EXPECT_EQ(reduced.size(), 7u);
+  EXPECT_EQ(AllReducedRoleSubclasses().size(), 7u);
+  for (PersonRoles mask : reduced) {
+    EXPECT_EQ(mask & kRoleShareholder, 0);
+    EXPECT_NE(mask, 0);
+  }
+}
+
+TEST(RolesTest, LegalPersonEligibility) {
+  // §4.1: an LP is a CB, an executive/managing director (CEO&D), or a
+  // CEO — every reduced subclass except the bare Director.
+  EXPECT_TRUE(RolesEligibleForLegalPerson(kRoleCeo));
+  EXPECT_TRUE(RolesEligibleForLegalPerson(kRoleChairman));
+  EXPECT_TRUE(RolesEligibleForLegalPerson(kRoleCeo | kRoleDirector));
+  EXPECT_TRUE(RolesEligibleForLegalPerson(kRoleDirector | kRoleChairman));
+  EXPECT_TRUE(RolesEligibleForLegalPerson(kRoleCeo | kRoleDirector |
+                                          kRoleChairman));
+  EXPECT_FALSE(RolesEligibleForLegalPerson(kRoleDirector));
+  EXPECT_FALSE(RolesEligibleForLegalPerson(0));
+  // A bare shareholder reduces to a bare director: ineligible.
+  EXPECT_FALSE(RolesEligibleForLegalPerson(kRoleShareholder));
+}
+
+TEST(RolesTest, ExactlySixLpEligibleSubclasses) {
+  int eligible = 0;
+  for (PersonRoles mask : AllReducedRoleSubclasses()) {
+    if (RolesEligibleForLegalPerson(mask)) ++eligible;
+  }
+  EXPECT_EQ(eligible, 6);  // The paper's six LP subclasses.
+}
+
+TEST(RolesTest, SubclassNames) {
+  EXPECT_EQ(RoleSubclassName(0), "none");
+  EXPECT_EQ(RoleSubclassName(kRoleCeo), "CEO");
+  EXPECT_EQ(RoleSubclassName(kRoleDirector), "D");
+  EXPECT_EQ(RoleSubclassName(kRoleShareholder), "S");
+  EXPECT_EQ(RoleSubclassName(kRoleChairman), "CB");
+  EXPECT_EQ(
+      RoleSubclassName(kRoleCeo | kRoleDirector | kRoleChairman),
+      "CEO&D&CB");
+  EXPECT_EQ(RoleSubclassName(kRoleDirector | kRoleShareholder), "D&S");
+}
+
+}  // namespace
+}  // namespace tpiin

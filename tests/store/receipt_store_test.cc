@@ -1,0 +1,219 @@
+#include "store/receipt_store.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "datagen/receipts.h"
+#include "ite/audit.h"
+
+namespace tpiin {
+namespace {
+
+Receipt MakeReceipt(TransactionId id, CompanyId seller, CompanyId buyer,
+                    CategoryId category, double price) {
+  Receipt receipt;
+  receipt.id = id;
+  receipt.seller = seller;
+  receipt.buyer = buyer;
+  receipt.category = category;
+  receipt.day = static_cast<uint32_t>(id % 365);
+  receipt.quantity = 10;
+  receipt.unit_price = price;
+  return receipt;
+}
+
+std::string TempPath(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(ReceiptStoreTest, AppendAndRowRoundTrip) {
+  ReceiptStore store;
+  EXPECT_EQ(store.NumRows(), 0u);
+  store.Append(MakeReceipt(1, 0, 1, 2, 50.0));
+  std::vector<Receipt> batch = {MakeReceipt(2, 1, 2, 0, 30.0),
+                                MakeReceipt(3, 0, 1, 2, 55.0)};
+  store.AppendBatch(batch);
+  ASSERT_EQ(store.NumRows(), 3u);
+  Receipt row = store.Row(2);
+  EXPECT_EQ(row.id, 3u);
+  EXPECT_EQ(row.seller, 0u);
+  EXPECT_DOUBLE_EQ(row.unit_price, 55.0);
+  EXPECT_DOUBLE_EQ(row.Value(), 550.0);
+}
+
+TEST(ReceiptStoreTest, RelationshipIndexFindsAllRows) {
+  ReceiptStore store;
+  store.Append(MakeReceipt(1, 0, 1, 0, 10));
+  store.Append(MakeReceipt(2, 1, 0, 0, 10));
+  store.Append(MakeReceipt(3, 0, 1, 1, 20));
+  std::span<const uint32_t> rows = store.RowsForRelationship(0, 1);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], 0u);
+  EXPECT_EQ(rows[1], 2u);
+  EXPECT_EQ(store.RowsForRelationship(1, 0).size(), 1u);
+  EXPECT_TRUE(store.RowsForRelationship(5, 6).empty());
+  // Index refreshes after further appends.
+  store.Append(MakeReceipt(4, 0, 1, 0, 11));
+  EXPECT_EQ(store.RowsForRelationship(0, 1).size(), 3u);
+}
+
+TEST(ReceiptStoreTest, DistinctRelationshipsInFirstAppearanceOrder) {
+  ReceiptStore store;
+  store.Append(MakeReceipt(1, 2, 3, 0, 10));
+  store.Append(MakeReceipt(2, 0, 1, 0, 10));
+  store.Append(MakeReceipt(3, 2, 3, 0, 10));
+  std::vector<TradeRecord> relationships = store.DistinctRelationships();
+  ASSERT_EQ(relationships.size(), 2u);
+  EXPECT_EQ(relationships[0].seller, 2u);
+  EXPECT_EQ(relationships[1].seller, 0u);
+  EXPECT_EQ(store.NumRelationships(), 2u);
+}
+
+TEST(ReceiptStoreTest, SaveLoadRoundTrip) {
+  ReceiptStore store;
+  for (TransactionId id = 1; id <= 100; ++id) {
+    store.Append(MakeReceipt(id, id % 7, (id + 1) % 7, id % 5,
+                             10.0 + id * 0.5));
+  }
+  std::string path = TempPath("tpiin_store_roundtrip.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+  auto restored = ReceiptStore::Load(path);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->NumRows(), store.NumRows());
+  for (size_t i = 0; i < store.NumRows(); ++i) {
+    Receipt a = store.Row(i);
+    Receipt b = restored->Row(i);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.seller, b.seller);
+    EXPECT_EQ(a.buyer, b.buyer);
+    EXPECT_EQ(a.category, b.category);
+    EXPECT_EQ(a.day, b.day);
+    EXPECT_DOUBLE_EQ(a.quantity, b.quantity);
+    EXPECT_DOUBLE_EQ(a.unit_price, b.unit_price);
+  }
+  EXPECT_EQ(restored->NumRelationships(), store.NumRelationships());
+  std::filesystem::remove(path);
+}
+
+TEST(ReceiptStoreTest, EmptyStoreRoundTrips) {
+  ReceiptStore store;
+  std::string path = TempPath("tpiin_store_empty.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+  auto restored = ReceiptStore::Load(path);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored->NumRows(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(ReceiptStoreTest, LoadRejectsGarbage) {
+  std::string path = TempPath("tpiin_store_garbage.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a receipt store";
+  }
+  EXPECT_TRUE(ReceiptStore::Load(path).status().IsCorruption());
+  std::filesystem::remove(path);
+  EXPECT_TRUE(ReceiptStore::Load("/no/such/file").status().IsIOError());
+}
+
+TEST(ReceiptStoreTest, LoadRejectsTruncation) {
+  ReceiptStore store;
+  for (TransactionId id = 1; id <= 50; ++id) {
+    store.Append(MakeReceipt(id, 0, 1, 0, 10));
+  }
+  std::string path = TempPath("tpiin_store_trunc.bin");
+  ASSERT_TRUE(store.Save(path).ok());
+  auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size / 2);
+  EXPECT_TRUE(ReceiptStore::Load(path).status().IsCorruption());
+  std::filesystem::remove(path);
+}
+
+TEST(MarketEstimationTest, MedianRecoversTrueMarket) {
+  std::vector<TradeRecord> trades;
+  for (CompanyId i = 0; i < 40; ++i) trades.push_back({i, i + 40});
+  ReceiptGenConfig config;
+  config.seed = 5;
+  config.min_receipts = 4;
+  config.max_receipts = 8;
+  GeneratedReceipts generated = GenerateReceipts(trades, {}, config);
+  ReceiptStore store;
+  store.AppendBatch(generated.receipts);
+  MarketTable estimated =
+      EstimateMarketTable(store, config.num_categories);
+  for (CategoryId c = 0; c < config.num_categories; ++c) {
+    double truth = generated.true_market.PriceOf(c);
+    EXPECT_NEAR(estimated.PriceOf(c), truth,
+                truth * config.honest_price_noise * 1.01)
+        << "category " << c;
+  }
+}
+
+TEST(MarketEstimationTest, MedianIsRobustToMispricedMinority) {
+  std::vector<TradeRecord> trades;
+  std::vector<std::pair<CompanyId, CompanyId>> iat_pairs;
+  for (CompanyId i = 0; i < 50; ++i) {
+    trades.push_back({i, i + 50});
+    if (i < 8) iat_pairs.emplace_back(i, i + 50);  // 16% mispriced.
+  }
+  ReceiptGenConfig config;
+  config.seed = 7;
+  GeneratedReceipts generated = GenerateReceipts(trades, iat_pairs, config);
+  ReceiptStore store;
+  store.AppendBatch(generated.receipts);
+  MarketTable estimated =
+      EstimateMarketTable(store, config.num_categories);
+  for (CategoryId c = 0; c < config.num_categories; ++c) {
+    double truth = generated.true_market.PriceOf(c);
+    if (truth == 0) continue;
+    EXPECT_NEAR(estimated.PriceOf(c), truth, truth * 0.06)
+        << "category " << c;
+  }
+}
+
+TEST(StoreToLedgerTest, AuditWithEstimatedMarketRecoversPlantedRows) {
+  std::vector<TradeRecord> trades;
+  std::vector<std::pair<CompanyId, CompanyId>> iat_pairs = {{0, 1},
+                                                            {2, 3}};
+  for (CompanyId i = 0; i < 30; ++i) trades.push_back({i, (i + 1) % 30});
+  ReceiptGenConfig config;
+  config.seed = 13;
+  config.min_receipts = 3;
+  config.max_receipts = 6;
+  GeneratedReceipts generated = GenerateReceipts(trades, iat_pairs, config);
+  ReceiptStore store;
+  store.AppendBatch(generated.receipts);
+
+  // Production flow: estimate comparables from the store itself, then
+  // audit only the suspicious relationships.
+  MarketTable estimated =
+      EstimateMarketTable(store, config.num_categories);
+  Ledger ledger = StoreToLedger(store, estimated, generated.mispriced);
+  AuditReport report = RunAudit(ledger, iat_pairs);
+  EXPECT_DOUBLE_EQ(report.Recall(), 1.0);
+  EXPECT_DOUBLE_EQ(report.Precision(), 1.0);
+  EXPECT_LT(report.ExaminedFraction(), 0.5);
+}
+
+TEST(GenerateReceiptsTest, DeterministicAndWithinRanges) {
+  std::vector<TradeRecord> trades = {{0, 1}, {1, 2}};
+  GeneratedReceipts a = GenerateReceipts(trades, {});
+  GeneratedReceipts b = GenerateReceipts(trades, {});
+  ASSERT_EQ(a.receipts.size(), b.receipts.size());
+  for (size_t i = 0; i < a.receipts.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.receipts[i].unit_price, b.receipts[i].unit_price);
+    EXPECT_EQ(a.receipts[i].day, b.receipts[i].day);
+  }
+  ReceiptGenConfig config;
+  for (const Receipt& receipt : a.receipts) {
+    EXPECT_LT(receipt.day, config.num_days);
+    EXPECT_LT(receipt.category, config.num_categories);
+    EXPECT_GE(receipt.quantity, config.min_quantity);
+    EXPECT_LE(receipt.quantity, config.max_quantity);
+  }
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,19 @@
+// The `tpiin` command-line tool: generate, fuse, detect, inspect and
+// export taxpayer interest interacted networks. See `tpiin help`.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  tpiin::Status status = tpiin::RunCli(args, std::cout);
+  if (!status.ok()) {
+    std::fprintf(stderr, "tpiin: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
