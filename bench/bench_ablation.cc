@@ -119,7 +119,7 @@ int Run() {
       Result<PatternGenResult> gen = GeneratePatternBase(sub, gen_options);
       TPIIN_CHECK(gen.ok());
       tree_nodes += gen->tree.nodes.size();
-      for (const Trail& trail : gen->base) {
+      for (const auto& trail : gen->base) {
         trail_elements += trail.nodes.size() + (trail.has_trade() ? 1 : 0);
       }
     }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <set>
 
+#include "bench/bench_json.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/rng.h"
@@ -22,7 +23,7 @@
 namespace tpiin {
 namespace {
 
-int Run() {
+int Run(BenchJsonWriter& json) {
   ProvinceConfig config = PaperProvinceConfig();
   config.generate_trading = false;
   Result<Province> province = GenerateProvince(config);
@@ -37,6 +38,7 @@ int Run() {
   WallTimer timer;
   IncrementalScreener screener(net);
   double preprocess_s = timer.ElapsedSeconds();
+  json.Record("screener_preprocess", "paper_province", preprocess_s);
   std::printf(
       "preprocess: %.4fs over %u antecedent nodes (%zu ancestor-set "
       "entries, %.1f per node)\n\n",
@@ -117,11 +119,20 @@ int Run() {
                     ? StringPrintf("%.1fx faster", remine_s / screen_s)
                           .c_str()
                     : "-");
+    std::string case_name = StringPrintf("batch=%zu", batch_size);
+    json.Record("screen", case_name, screen_s,
+                screen_s > 0 ? batch_size / screen_s : 0);
+    if (remine_s > 0) json.Record("remine", case_name, remine_s);
   }
+  json.Flush();
   return 0;
 }
 
 }  // namespace
 }  // namespace tpiin
 
-int main() { return tpiin::Run(); }
+int main(int argc, char** argv) {
+  tpiin::BenchJsonWriter json =
+      tpiin::BenchJsonWriter::FromArgs(argc, argv);
+  return tpiin::Run(json);
+}

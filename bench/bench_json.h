@@ -1,0 +1,93 @@
+// Shared --json support for the printf-style bench binaries: pass
+// `--json <path>` (or `--json=<path>`) to any wired benchmark and it
+// writes its measurements as a JSON array of
+// {"bench": ..., "case": ..., "seconds": ..., "throughput": ...}
+// records alongside the human-readable report, so sweeps can be
+// archived and diffed by tooling without scraping stdout.
+
+#ifndef TPIIN_BENCH_BENCH_JSON_H_
+#define TPIIN_BENCH_BENCH_JSON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace tpiin {
+
+class BenchJsonWriter {
+ public:
+  /// Scans argv for `--json <path>` / `--json=<path>`. Absent flag means
+  /// a disabled writer (Record/Flush are no-ops).
+  static BenchJsonWriter FromArgs(int argc, char** argv) {
+    BenchJsonWriter writer;
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--json=", 0) == 0) {
+        writer.path_ = arg.substr(7);
+      } else if (arg == "--json") {
+        if (i + 1 < argc) {
+          writer.path_ = argv[++i];
+        } else {
+          TPIIN_LOG(Error) << "--json requires a path; ignoring";
+        }
+      }
+    }
+    return writer;
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one measurement. `throughput` is benchmark-defined
+  /// (items/s, arcs/s, ...); pass 0 when meaningless.
+  void Record(const std::string& bench, const std::string& case_name,
+              double seconds, double throughput = 0) {
+    if (!enabled()) return;
+    records_.push_back(StringPrintf(
+        "  {\"bench\": \"%s\", \"case\": \"%s\", \"seconds\": %.9g, "
+        "\"throughput\": %.9g}",
+        Escape(bench).c_str(), Escape(case_name).c_str(), seconds,
+        throughput));
+  }
+
+  /// Writes the JSON array. Returns false (with a log line) on I/O
+  /// failure; callers treat the JSON artifact as best-effort.
+  bool Flush() const {
+    if (!enabled()) return true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      TPIIN_LOG(Error) << "cannot write " << path_;
+      return false;
+    }
+    std::fputs("[\n", f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      std::fputs(records_[i].c_str(), f);
+      std::fputs(i + 1 < records_.size() ? ",\n" : "\n", f);
+    }
+    std::fputs("]\n", f);
+    std::fclose(f);
+    std::printf("wrote %zu JSON records to %s\n", records_.size(),
+                path_.c_str());
+    return true;
+  }
+
+ private:
+  static std::string Escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    return out;
+  }
+
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_BENCH_BENCH_JSON_H_

@@ -8,6 +8,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -96,7 +97,7 @@ Row Measure(uint32_t companies, double p, uint64_t seed) {
   return row;
 }
 
-int Run() {
+int Run(BenchJsonWriter& json) {
   std::printf("=== Efficiency: proposed method vs global traversal "
               "(§5.2) ===\n\n");
   std::printf("%-10s %-7s %-8s %-9s %-11s %-11s %-12s %-9s %-9s %-8s\n",
@@ -118,7 +119,18 @@ int Run() {
         row.baseline_root_s, row.baseline_all_s, row.baseline_naive_s,
         row.detect_s > 0 ? reference / row.detect_s : 0.0, row.groups,
         row.arcs);
+    std::string case_name =
+        StringPrintf("companies=%u,p=%.3f", row.companies, row.p);
+    json.Record("fuse", case_name, row.fuse_s);
+    json.Record("detect", case_name, row.detect_s,
+                row.detect_s > 0 ? row.groups / row.detect_s : 0);
+    json.Record("baseline_root", case_name, row.baseline_root_s);
+    json.Record("baseline_all", case_name, row.baseline_all_s);
+    if (row.baseline_naive_s > 0) {
+      json.Record("baseline_naive", case_name, row.baseline_naive_s);
+    }
   }
+  json.Flush();
   std::printf("\n(speedup = slowest measured baseline / Algorithm 1; "
               "findings are asserted identical. base-naive is the "
               "paper's literal 'check every trail pair' formulation, "
@@ -129,4 +141,8 @@ int Run() {
 }  // namespace
 }  // namespace tpiin
 
-int main() { return tpiin::Run(); }
+int main(int argc, char** argv) {
+  tpiin::BenchJsonWriter json =
+      tpiin::BenchJsonWriter::FromArgs(argc, argv);
+  return tpiin::Run(json);
+}

@@ -19,6 +19,7 @@
 #include <set>
 #include <vector>
 
+#include "bench/bench_json.h"
 #include "common/csv.h"
 #include "common/logging.h"
 #include "common/rng.h"
@@ -70,7 +71,7 @@ constexpr PaperRow kPaperRows[] = {
     {0.100, 132.759, 372050, 78252, 30288, 602053},
 };
 
-int Run() {
+int Run(BenchJsonWriter& json) {
   ProvinceConfig config = PaperProvinceConfig();
   config.generate_trading = false;
   Result<Province> province = GenerateProvince(config);
@@ -152,6 +153,11 @@ int Run() {
         kPaperRows[i].simple_groups, 100.0, kPaperRows[i].suspicious,
         kPaperRows[i].total, 100.0,
         100.0 * kPaperRows[i].suspicious / kPaperRows[i].total);
+    json.Record("table1_detect", StringPrintf("p=%.3f", p),
+                result->timings.total_seconds,
+                result->timings.total_seconds > 0
+                    ? net.num_trading_arcs() / result->timings.total_seconds
+                    : 0);
     csv.WriteRow({StringPrintf("%.3f", p),
                   StringPrintf("%.3f", degree.average_degree),
                   StringPrintf("%zu", result->num_complex),
@@ -164,6 +170,7 @@ int Run() {
                   StringPrintf("%ld", kPaperRows[i].suspicious),
                   StringPrintf("%ld", kPaperRows[i].total)});
   }
+  json.Flush();
   TPIIN_CHECK(csv.Close().ok());
   std::printf(
       "\n(grp-acc / arc-acc: agreement with the global-traversal "
@@ -175,4 +182,8 @@ int Run() {
 }  // namespace
 }  // namespace tpiin
 
-int main() { return tpiin::Run(); }
+int main(int argc, char** argv) {
+  tpiin::BenchJsonWriter json =
+      tpiin::BenchJsonWriter::FromArgs(argc, argv);
+  return tpiin::Run(json);
+}

@@ -88,7 +88,7 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags;
   flags.DefineString("net", "", "TPIIN edge-list file");
   flags.DefineString("out", "", "optional output directory for reports");
-  flags.DefineInt64("threads", 1, "worker threads");
+  flags.DefineInt64("threads", 0, "worker threads (0 = auto-detect)");
   flags.DefineInt64("top", 10, "ranked trades to print");
   flags.DefineString("json", "", "optional JSON report file");
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));

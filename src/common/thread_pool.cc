@@ -1,0 +1,120 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+
+namespace tpiin {
+
+ThreadPool::ThreadPool(uint32_t num_workers) {
+  workers_.reserve(num_workers);
+  for (uint32_t i = 0; i < num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t count, uint32_t parallelism,
+                             const std::function<void(size_t)>& body) {
+  if (count == 0) return;
+
+  const uint32_t max_helpers =
+      std::min<uint32_t>(num_workers(),
+                         parallelism > 0 ? parallelism - 1 : 0);
+  const uint32_t helpers = static_cast<uint32_t>(
+      std::min<size_t>(max_helpers, count - 1));
+  if (helpers == 0) {
+    for (size_t i = 0; i < count; ++i) body(i);
+    return;
+  }
+
+  // Shared chunk-stealing state, kept alive by the helper closures. The
+  // caller waits for *completed indices*, never for helper arrivals: a
+  // queued helper may never be scheduled at all (every worker blocked in
+  // a nested ParallelFor), and the caller's own drain can always satisfy
+  // completed == count by itself — which is what makes nesting
+  // deadlock-free. A helper scheduled after the range is exhausted finds
+  // next >= count and exits without touching the body.
+  struct JobState {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> completed{0};
+    size_t count;
+    std::function<void(size_t)> body;  // Owned: outlives the caller.
+    std::mutex mu;
+    std::condition_variable done;
+  };
+  auto state = std::make_shared<JobState>();
+  state->count = count;
+  state->body = body;
+
+  auto drain = [](JobState& job) {
+    size_t i;
+    while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) <
+           job.count) {
+      job.body(i);
+      job.completed.fetch_add(1, std::memory_order_release);
+    }
+  };
+
+  for (uint32_t h = 0; h < helpers; ++h) {
+    Submit([state, drain] {
+      drain(*state);
+      // Lock before notifying so the caller cannot miss the wakeup
+      // between its predicate check and its block.
+      { std::lock_guard<std::mutex> lock(state->mu); }
+      state->done.notify_all();
+    });
+  }
+
+  drain(*state);
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->done.wait(lock, [&] {
+    return state->completed.load(std::memory_order_acquire) ==
+           state->count;
+  });
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Intentionally leaked: workers park between jobs, and skipping the
+  // destructor avoids static-destruction-order races with client code
+  // that might run during shutdown.
+  static ThreadPool* pool = new ThreadPool(ResolveThreadCount(0));
+  return *pool;
+}
+
+uint32_t ResolveThreadCount(uint32_t requested) {
+  if (requested != 0) return requested;
+  return std::max(1u, std::thread::hardware_concurrency());
+}
+
+}  // namespace tpiin

@@ -1,0 +1,75 @@
+#ifndef TPIIN_COMMON_THREAD_POOL_H_
+#define TPIIN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tpiin {
+
+/// A persistent worker pool with a chunk-stealing parallel-for.
+///
+/// Workers are created once and reused across ParallelFor calls, so
+/// batch workloads (a server answering many DetectSuspiciousGroups
+/// requests, the bench sweeps) stop paying thread create/join per call.
+/// Work distribution is dynamic: every participant — the calling thread
+/// included — repeatedly claims the next unprocessed index from a shared
+/// atomic cursor, so uneven per-item cost (subTPIINs vary wildly in
+/// size) balances automatically.
+///
+/// The calling thread always participates and always drains the loop to
+/// completion by itself if no worker picks the job up, so ParallelFor
+/// makes progress even from inside a pool worker (no nesting deadlock)
+/// and even on a pool with zero workers.
+class ThreadPool {
+ public:
+  /// Creates `num_workers` persistent worker threads (0 is allowed; all
+  /// ParallelFor calls then run inline on the caller).
+  explicit ThreadPool(uint32_t num_workers);
+
+  /// Drains queued work and joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(workers_.size());
+  }
+
+  /// Runs body(i) for every i in [0, count), on up to `parallelism`
+  /// threads (the caller plus at most parallelism - 1 pool workers).
+  /// Blocks until every index has been processed. `body` must be safe to
+  /// call concurrently from different threads for different indices and
+  /// must not throw.
+  void ParallelFor(size_t count, uint32_t parallelism,
+                   const std::function<void(size_t)>& body);
+
+  /// Shared process-wide pool, sized to the hardware concurrency and
+  /// created on first use; never destroyed (workers park on the queue's
+  /// condition variable between jobs, so an idle pool costs nothing).
+  static ThreadPool& Global();
+
+ private:
+  void WorkerLoop();
+  void Submit(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+/// Maps a user-facing thread-count knob to an effective count: 0 means
+/// auto-detect (std::thread::hardware_concurrency, at least 1), any
+/// other value is taken as-is.
+uint32_t ResolveThreadCount(uint32_t requested);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_COMMON_THREAD_POOL_H_

@@ -4,7 +4,7 @@
 
 namespace tpiin {
 
-std::string Trail::Format(const SubTpiin& sub) const {
+std::string PatternBase::TrailView::Format(const SubTpiin& sub) const {
   std::string out;
   for (size_t i = 0; i < nodes.size(); ++i) {
     if (i > 0) out += ", ";

@@ -1,6 +1,8 @@
 #ifndef TPIIN_CORE_COMPONENT_PATTERN_H_
 #define TPIIN_CORE_COMPONENT_PATTERN_H_
 
+#include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -9,34 +11,103 @@
 
 namespace tpiin {
 
-/// One suspicious relationship trail from the potential component
-/// patterns base (Fig. 10):
+/// The potential component patterns base of one subTPIIN (Fig. 10): the
+/// list of suspicious relationship trails Algorithm 2 emits:
 ///  - InOT-OutOSP walk (Definition 5): {A1, ..., Am}, all influence arcs,
 ///    from an indegree-zero node to an outdegree-zero node; or
 ///  - InOT-FTAOP walk (Definition 6): {A1, ..., Am, -> Cj}, an influence
 ///    trail joined with its first trading arc (Lemma 1).
 ///
-/// `nodes` holds A1..Am (local SubTpiin ids); a trade-terminated trail
-/// additionally carries the trading arc and its target Cj.
-struct Trail {
-  std::vector<NodeId> nodes;
-  NodeId trade_dst = kInvalidNode;
-  ArcId trade_arc = kInvalidArc;  // Local arc id of the trading arc.
+/// Storage is a shared node arena: every trail is an (offset, length)
+/// slice of one contiguous NodeId array, so appending a trail is a
+/// bounds check plus a memcpy — no per-trail vector allocation, and
+/// iteration touches one linear buffer. Trails are exposed as
+/// `TrailView`s carrying a span over the arena; views are cheap values,
+/// valid as long as the owning PatternBase is alive and unmodified.
+class PatternBase {
+ public:
+  /// One trail of the base. `nodes` holds A1..Am (local SubTpiin ids); a
+  /// trade-terminated trail additionally carries the trading arc and its
+  /// target Cj.
+  struct TrailView {
+    std::span<const NodeId> nodes;
+    NodeId trade_dst = kInvalidNode;
+    ArcId trade_arc = kInvalidArc;  // Local arc id of the trading arc.
 
-  bool has_trade() const { return trade_dst != kInvalidNode; }
+    bool has_trade() const { return trade_dst != kInvalidNode; }
 
-  /// Seller of the trailing trading arc (the last influence-reached
-  /// node). Only meaningful when has_trade().
-  NodeId seller() const { return nodes.back(); }
+    /// Seller of the trailing trading arc (the last influence-reached
+    /// node). Only meaningful when has_trade().
+    NodeId seller() const { return nodes.back(); }
 
-  /// Renders the paper's notation, e.g. "L1, C2, C5 -> C6" or "L1, C4".
-  std::string Format(const SubTpiin& sub) const;
+    /// Renders the paper's notation, e.g. "L1, C2, C5 -> C6" or "L1, C4".
+    std::string Format(const SubTpiin& sub) const;
+  };
 
-  friend bool operator==(const Trail&, const Trail&) = default;
+  size_t size() const { return trails_.size(); }
+  bool empty() const { return trails_.empty(); }
+
+  TrailView operator[](size_t i) const {
+    const Record& r = trails_[i];
+    return TrailView{{arena_.data() + r.offset, r.length}, r.trade_dst,
+                     r.trade_arc};
+  }
+
+  /// Appends one trail (a copy of `nodes` into the arena).
+  void Append(std::span<const NodeId> nodes,
+              NodeId trade_dst = kInvalidNode,
+              ArcId trade_arc = kInvalidArc) {
+    trails_.push_back(Record{static_cast<uint32_t>(arena_.size()),
+                             static_cast<uint32_t>(nodes.size()), trade_dst,
+                             trade_arc});
+    arena_.insert(arena_.end(), nodes.begin(), nodes.end());
+  }
+
+  void Reserve(size_t num_trails, size_t num_nodes) {
+    trails_.reserve(num_trails);
+    arena_.reserve(num_nodes);
+  }
+
+  /// Total node slots across all trails (arena length).
+  size_t TotalNodes() const { return arena_.size(); }
+
+  /// Forward/random-access iteration yielding TrailViews by value, so
+  /// `for (const auto& trail : base)` works as with the old
+  /// vector-of-Trail representation.
+  class Iterator {
+   public:
+    Iterator(const PatternBase* base, size_t index)
+        : base_(base), index_(index) {}
+    TrailView operator*() const { return (*base_)[index_]; }
+    Iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    friend bool operator==(const Iterator&, const Iterator&) = default;
+
+   private:
+    const PatternBase* base_;
+    size_t index_;
+  };
+
+  Iterator begin() const { return Iterator(this, 0); }
+  Iterator end() const { return Iterator(this, trails_.size()); }
+
+  friend bool operator==(const PatternBase&, const PatternBase&) = default;
+
+ private:
+  struct Record {
+    uint32_t offset = 0;
+    uint32_t length = 0;
+    NodeId trade_dst = kInvalidNode;
+    ArcId trade_arc = kInvalidArc;
+
+    friend bool operator==(const Record&, const Record&) = default;
+  };
+
+  std::vector<NodeId> arena_;
+  std::vector<Record> trails_;
 };
-
-/// The potential component patterns base of one subTPIIN.
-using PatternBase = std::vector<Trail>;
 
 /// Renders the whole base, one numbered trail per line (Fig. 10 layout).
 std::string FormatPatternBase(const SubTpiin& sub, const PatternBase& base);

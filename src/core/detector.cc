@@ -1,12 +1,11 @@
 #include "core/detector.h"
 
 #include <algorithm>
-#include <atomic>
 #include <deque>
-#include <thread>
 #include <unordered_map>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "common/timer.h"
 #include "core/pattern_tree.h"
 
@@ -19,17 +18,24 @@ namespace {
 std::vector<CompanyId> InternalChain(const TpiinNode& syndicate,
                                      CompanyId from, CompanyId to) {
   std::unordered_map<CompanyId, std::vector<CompanyId>> adj;
+  adj.reserve(syndicate.internal_investments.size());
   for (const auto& [src, dst] : syndicate.internal_investments) {
     adj[src].push_back(dst);
   }
   std::unordered_map<CompanyId, CompanyId> parent;
+  parent.reserve(adj.size() + 1);
   std::deque<CompanyId> frontier = {from};
   parent[from] = from;
   while (!frontier.empty()) {
     CompanyId u = frontier.front();
     frontier.pop_front();
     if (u == to) break;
-    for (CompanyId v : adj[u]) {
+    // find() rather than operator[]: a sink company has no outgoing
+    // internal investments, and operator[] would insert an empty list
+    // for it on every visit, rehashing the map mid-BFS.
+    auto it = adj.find(u);
+    if (it == adj.end()) continue;
+    for (CompanyId v : it->second) {
       if (parent.emplace(v, u).second) frontier.push_back(v);
     }
   }
@@ -93,6 +99,7 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
     // materialized when the caller wants the Fig. 10 artifacts.
     gen_options.emit_trails = options.emit_pattern_bases;
     gen_options.max_trails = options.max_trails_per_subtpiin;
+    gen_options.use_frozen_graph = options.use_frozen_graph;
     Result<PatternGenResult> gen = [&] {
       ScopedTimer timer(&outcome.pattern_seconds);
       return GeneratePatternBase(sub, gen_options);
@@ -107,27 +114,10 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
     outcome.match = MatchPatternsTree(sub, gen->tree, options.match);
   };
 
-  if (options.num_threads > 1 && subs.size() > 1) {
-    std::atomic<size_t> next{0};
-    std::vector<std::thread> workers;
-    uint32_t thread_count = std::min<uint32_t>(
-        options.num_threads, static_cast<uint32_t>(subs.size()));
-    workers.reserve(thread_count);
-    for (uint32_t t = 0; t < thread_count; ++t) {
-      workers.emplace_back([&] {
-        while (true) {
-          size_t index = next.fetch_add(1, std::memory_order_relaxed);
-          if (index >= subs.size()) break;
-          process_one(index);
-        }
-      });
-    }
-    for (std::thread& worker : workers) worker.join();
-  } else {
-    for (size_t index = 0; index < subs.size(); ++index) {
-      process_one(index);
-    }
-  }
+  // The persistent pool's threads are reused across DetectSuspiciousGroups
+  // calls; a single-threaded request never touches the pool's queue.
+  ThreadPool::Global().ParallelFor(
+      subs.size(), ResolveThreadCount(options.num_threads), process_one);
 
   std::vector<ArcId> suspicious_arcs;
   for (SubOutcome& outcome : outcomes) {

@@ -36,10 +36,17 @@ struct DetectorOptions {
   /// Trail-generation safety valves (0 = unlimited).
   size_t max_trails_per_subtpiin = 0;
 
+  /// Traverse the CSR FrozenGraph views carried by the subTPIINs (see
+  /// PatternGenOptions::use_frozen_graph). Off = force the legacy
+  /// adjacency-list walk; results are bit-identical either way.
+  bool use_frozen_graph = true;
+
   /// Worker threads for the per-subTPIIN stage (§7's parallel-processing
-  /// direction; subTPIINs are independent by construction). 0 or 1 runs
-  /// single-threaded. Results are identical for any thread count; only
-  /// the per-stage timing attribution differs (worker time is summed).
+  /// direction; subTPIINs are independent by construction). 0 auto-detects
+  /// hardware_concurrency(); 1 runs single-threaded. Work is executed on
+  /// the shared persistent ThreadPool (no per-call thread spawn). Results
+  /// are identical for any thread count; only the per-stage timing
+  /// attribution differs (worker time is summed).
   uint32_t num_threads = 1;
 };
 

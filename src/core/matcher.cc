@@ -1,6 +1,7 @@
 #include "core/matcher.h"
 
 #include <algorithm>
+#include <span>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -25,7 +26,7 @@ struct NodeVecHash {
 };
 
 std::vector<NodeId> ToGlobalVec(const SubTpiin& sub,
-                                const std::vector<NodeId>& local) {
+                                std::span<const NodeId> local) {
   std::vector<NodeId> out;
   out.reserve(local.size());
   for (NodeId v : local) out.push_back(sub.ToGlobal(v));
@@ -36,9 +37,9 @@ std::vector<NodeId> ToGlobalVec(const SubTpiin& sub,
 // the influence part A1..Am of the trade-carrying trail; `partner` ends
 // at cj.
 SuspiciousGroup BuildPairGroup(const SubTpiin& sub,
-                               const std::vector<NodeId>& trade_nodes,
+                               std::span<const NodeId> trade_nodes,
                                NodeId cj,
-                               const std::vector<NodeId>& partner,
+                               std::span<const NodeId> partner,
                                bool is_simple) {
   SuspiciousGroup group;
   group.antecedent = sub.ToGlobal(trade_nodes[0]);
@@ -61,7 +62,7 @@ SuspiciousGroup BuildPairGroup(const SubTpiin& sub,
 // Assembles the in-trail circle group anchored at cj; `suffix` runs from
 // the cj occurrence to the seller.
 SuspiciousGroup BuildCycleGroup(const SubTpiin& sub,
-                                const std::vector<NodeId>& suffix,
+                                std::span<const NodeId> suffix,
                                 NodeId cj) {
   SuspiciousGroup group;
   group.antecedent = sub.ToGlobal(cj);
@@ -127,14 +128,14 @@ MatchResult MatchPatterns(const SubTpiin& sub, const PatternBase& base,
     std::unordered_map<NodeId, std::vector<std::pair<size_t, uint32_t>>>
         occurrences;
     for (size_t idx : family) {
-      const std::vector<NodeId>& nodes = base[idx].nodes;
+      std::span<const NodeId> nodes = base[idx].nodes;
       for (uint32_t pos = 0; pos < nodes.size(); ++pos) {
         occurrences[nodes[pos]].emplace_back(idx, pos);
       }
     }
 
     for (size_t t_idx : family) {
-      const Trail& t = base[t_idx];
+      const PatternBase::TrailView t = base[t_idx];
       if (!t.has_trade()) continue;
       if (over_budget()) break;
       const NodeId cj = t.trade_dst;
@@ -149,7 +150,7 @@ MatchResult MatchPatterns(const SubTpiin& sub, const PatternBase& base,
         std::unordered_set<std::vector<NodeId>, NodeVecHash> seen_prefixes;
         for (const auto& [t2_idx, pos] : occ_it->second) {
           if (over_budget()) break;
-          const Trail& t2 = base[t2_idx];
+          const PatternBase::TrailView t2 = base[t2_idx];
           std::vector<NodeId> prefix(t2.nodes.begin(),
                                      t2.nodes.begin() + pos + 1);
           if (!seen_prefixes.insert(prefix).second) continue;
@@ -228,6 +229,8 @@ MatchResult MatchPatternsTree(const SubTpiin& sub, const PatternsTree& tree,
 
   std::unordered_map<NodeId, std::vector<int32_t>> occurrences;
   std::vector<int32_t> trade_leaves;
+  std::vector<NodeId> trade_path;  // Reused across leaves (no per-leaf alloc).
+  std::vector<NodeId> partner;     // Reused across partners.
   for (size_t r = 0; r < tree.roots.size() && !over_budget(); ++r) {
     int32_t begin = tree.roots[r];
     int32_t end = r + 1 < tree.roots.size()
@@ -250,7 +253,7 @@ MatchResult MatchPatternsTree(const SubTpiin& sub, const PatternsTree& tree,
       if (over_budget()) break;
       const NodeId cj = tree.nodes[leaf].graph_node;
       const ArcId trade_arc = tree.nodes[leaf].via_arc;
-      std::vector<NodeId> trade_path = tree.PathTo(tree.nodes[leaf].parent);
+      tree.PathTo(tree.nodes[leaf].parent, &trade_path);
       for (size_t i = 1; i < trade_path.size(); ++i) {
         in_trade_trail[trade_path[i]] = 1;
       }
@@ -259,7 +262,7 @@ MatchResult MatchPatternsTree(const SubTpiin& sub, const PatternsTree& tree,
       if (occ_it != occurrences.end()) {
         for (int32_t partner_index : occ_it->second) {
           if (over_budget()) break;
-          std::vector<NodeId> partner = tree.PathTo(partner_index);
+          tree.PathTo(partner_index, &partner);
           bool is_simple = true;
           for (size_t i = 1; i + 1 < partner.size(); ++i) {
             if (in_trade_trail[partner[i]]) {

@@ -7,14 +7,24 @@
 namespace tpiin {
 
 std::vector<ListDEntry> ComputeListD(const SubTpiin& sub) {
-  const Digraph& g = sub.graph;
-  const NodeId n = g.NumNodes();
+  const NodeId n = sub.graph.NumNodes();
   std::vector<ListDEntry> list(n);
-  for (NodeId v = 0; v < n; ++v) {
-    list[v].node = v;
-    list[v].out_degree = g.OutDegree(v);
+  if (sub.frozen_in_sync()) {
+    // CSR fast path: both degrees are O(1) offset subtractions.
+    const FrozenGraph& fg = sub.frozen;
+    for (NodeId v = 0; v < n; ++v) {
+      list[v].node = v;
+      list[v].out_degree = fg.OutDegree(v);
+      list[v].in_degree = fg.InDegree(v);
+    }
+  } else {
+    const Digraph& g = sub.graph;
+    for (NodeId v = 0; v < n; ++v) {
+      list[v].node = v;
+      list[v].out_degree = g.OutDegree(v);
+    }
+    for (const Arc& arc : g.arcs()) ++list[arc.dst].in_degree;
   }
-  for (const Arc& arc : g.arcs()) ++list[arc.dst].in_degree;
   std::sort(list.begin(), list.end(),
             [](const ListDEntry& a, const ListDEntry& b) {
               if (a.in_degree != b.in_degree) {
@@ -30,11 +40,16 @@ std::vector<ListDEntry> ComputeListD(const SubTpiin& sub) {
 
 std::vector<NodeId> PatternsTree::PathTo(int32_t index) const {
   std::vector<NodeId> path;
-  for (int32_t i = index; i >= 0; i = nodes[i].parent) {
-    path.push_back(nodes[i].graph_node);
-  }
-  std::reverse(path.begin(), path.end());
+  PathTo(index, &path);
   return path;
+}
+
+void PatternsTree::PathTo(int32_t index, std::vector<NodeId>* out) const {
+  out->clear();
+  for (int32_t i = index; i >= 0; i = nodes[i].parent) {
+    out->push_back(nodes[i].graph_node);
+  }
+  std::reverse(out->begin(), out->end());
 }
 
 std::string PatternsTree::ToString(const SubTpiin& sub) const {
@@ -68,27 +83,202 @@ std::string PatternsTree::ToString(const SubTpiin& sub) const {
   return out;
 }
 
-Result<PatternGenResult> GeneratePatternBase(
-    const SubTpiin& sub, const PatternGenOptions& options) {
+namespace {
+
+// Emission state shared by the two DFS drivers: the trail budget, the
+// arena-backed trail base and the patterns tree all behave identically
+// whichever adjacency representation feeds the walk.
+struct TrailSink {
+  const PatternGenOptions& options;
+  PatternGenResult& result;
+  std::vector<NodeId>& path;
+
+  bool OverBudget() const {
+    return options.max_trails != 0 &&
+           result.num_trails >= options.max_trails;
+  }
+
+  void EmitPlain() {
+    ++result.num_trails;
+    if (options.emit_trails) result.base.Append(path);
+  }
+
+  void EmitTrade(ArcId arc_id, NodeId dst) {
+    ++result.num_trails;
+    if (options.emit_trails) result.base.Append(path, dst, arc_id);
+  }
+
+  int32_t AddTreeNode(NodeId graph_node, int32_t parent, bool via_trade,
+                      ArcId via_arc) {
+    if (!options.build_tree) return -1;
+    int32_t index = static_cast<int32_t>(result.tree.nodes.size());
+    result.tree.nodes.push_back(
+        PatternsTree::TreeNode{graph_node, parent, via_trade, via_arc});
+    if (parent < 0) result.tree.roots.push_back(index);
+    return index;
+  }
+};
+
+struct Frame {
+  NodeId node;
+  uint32_t arc_pos;
+  int32_t tree_index;
+};
+
+// Root selection shared by both drivers: nodes with zero *influence*
+// indegree. On well-formed TPIINs (every company linked to a legal
+// person) this equals the paper's "indegree-zero over the whole
+// subTPIIN" rule, because Person nodes never receive arcs and Company
+// nodes always have an incoming influence arc; on arbitrary hand-built
+// networks the influence-based rule additionally guarantees completeness
+// when a company heading an investment chain receives only trading arcs.
+template <typename InfluenceInDegreeFn>
+std::vector<NodeId> SelectRoots(const SubTpiin& sub,
+                                const PatternGenOptions& options,
+                                NodeId n,
+                                const InfluenceInDegreeFn& influence_in) {
+  std::vector<NodeId> roots;
+  if (options.order_roots_by_list_d) {
+    for (const ListDEntry& entry : ComputeListD(sub)) {
+      if (influence_in(entry.node) == 0) roots.push_back(entry.node);
+    }
+  } else {
+    for (NodeId v = 0; v < n; ++v) {
+      if (influence_in(v) == 0) roots.push_back(v);
+    }
+  }
+  return roots;
+}
+
+// Algorithm 2 over the CSR view: each frame walks its influence span
+// (descents) and then sweeps its trading span (Rule 2 emissions) — no
+// Arc struct load and no per-edge color branch anywhere. Because every
+// subTPIIN stores each node's influence arcs before its trading arcs,
+// the visit order — and therefore the emitted base, the patterns tree
+// and every downstream match — is bit-identical to the adjacency-list
+// driver below (asserted by tests/core/frozen_equivalence_test.cc).
+Result<PatternGenResult> GenerateFrozen(const SubTpiin& sub,
+                                        const PatternGenOptions& options) {
+  const FrozenGraph& fg = sub.frozen;
+  const NodeId n = fg.NumNodes();
+  PatternGenResult result;
+
+  // Property 1 requires the antecedent subgraph to be a DAG; verify
+  // upfront (a cycle could otherwise hide in a rootless region the DFS
+  // never enters). Kahn's algorithm over the influence spans.
+  {
+    std::vector<uint32_t> degree(n);
+    std::vector<NodeId> frontier;
+    for (NodeId v = 0; v < n; ++v) {
+      degree[v] = fg.InfluenceInDegree(v);
+      if (degree[v] == 0) frontier.push_back(v);
+    }
+    NodeId processed = 0;
+    while (!frontier.empty()) {
+      NodeId u = frontier.back();
+      frontier.pop_back();
+      ++processed;
+      for (NodeId dst : fg.InfluenceOut(u).nodes) {
+        if (--degree[dst] == 0) frontier.push_back(dst);
+      }
+    }
+    if (processed != n) {
+      return Status::FailedPrecondition(
+          "influence subgraph contains a directed cycle");
+    }
+  }
+
+  std::vector<NodeId> roots = SelectRoots(
+      sub, options, n, [&](NodeId v) { return fg.InfluenceInDegree(v); });
+
+  std::vector<Frame> frames;
+  std::vector<NodeId> path;
+  std::vector<uint8_t> on_path(n, 0);
+  TrailSink sink{options, result, path};
+
+  for (NodeId root : roots) {
+    if (sink.OverBudget()) {
+      result.truncated = true;
+      break;
+    }
+    int32_t root_tree = sink.AddTreeNode(root, -1, false, kInvalidArc);
+    frames.push_back(Frame{root, 0, root_tree});
+    path.push_back(root);
+    on_path[root] = 1;
+    if (fg.OutDegree(root) == 0) sink.EmitPlain();  // Rule 1 at the root.
+
+    while (!frames.empty()) {
+      if (sink.OverBudget()) {
+        result.truncated = true;
+        // Unwind cleanly so on_path/path stay consistent.
+        for (const Frame& f : frames) on_path[f.node] = 0;
+        frames.clear();
+        path.clear();
+        break;
+      }
+      Frame& frame = frames.back();
+      AdjSpan influence = fg.InfluenceOut(frame.node);
+      bool descended = false;
+      bool length_capped = options.max_trail_length != 0 &&
+                           path.size() >= options.max_trail_length;
+      while (frame.arc_pos < influence.size()) {
+        NodeId dst = influence.nodes[frame.arc_pos];
+        ArcId arc_id = influence.arcs[frame.arc_pos];
+        ++frame.arc_pos;
+        if (on_path[dst]) {
+          return Status::FailedPrecondition(
+              "influence subgraph contains a directed cycle through " +
+              sub.Label(dst));
+        }
+        if (length_capped) {
+          result.truncated = true;
+          continue;
+        }
+        int32_t child_tree =
+            sink.AddTreeNode(dst, frame.tree_index, false, arc_id);
+        frames.push_back(Frame{dst, 0, child_tree});
+        path.push_back(dst);
+        on_path[dst] = 1;
+        if (fg.OutDegree(dst) == 0) sink.EmitPlain();  // Rule 1.
+        descended = true;
+        break;
+      }
+      if (descended) continue;
+
+      // Influence arcs exhausted: Rule 2 — every trading arc ends one
+      // walk (Lemma 1 keeps it a trail even when the target already
+      // lies on the path). Then backtrack.
+      AdjSpan trades = fg.TradingOut(frame.node);
+      for (size_t i = 0; i < trades.size(); ++i) {
+        sink.EmitTrade(trades.arcs[i], trades.nodes[i]);
+        sink.AddTreeNode(trades.nodes[i], frame.tree_index, true,
+                         trades.arcs[i]);
+      }
+      on_path[frame.node] = 0;
+      path.pop_back();
+      frames.pop_back();
+    }
+  }
+
+  return result;
+}
+
+// Algorithm 2 over the mutable adjacency lists — the seed
+// implementation, kept as the reference path for hand-built SubTpiins
+// that were never frozen and for the frozen-vs-legacy equivalence tests
+// and benchmarks.
+Result<PatternGenResult> GenerateLegacy(const SubTpiin& sub,
+                                        const PatternGenOptions& options) {
   const Digraph& g = sub.graph;
   const NodeId n = g.NumNodes();
   PatternGenResult result;
 
-  // Root selection: nodes with zero *influence* indegree. On well-formed
-  // TPIINs (every company linked to a legal person) this equals the
-  // paper's "indegree-zero over the whole subTPIIN" rule, because Person
-  // nodes never receive arcs and Company nodes always have an incoming
-  // influence arc; on arbitrary hand-built networks the influence-based
-  // rule additionally guarantees completeness when a company heading an
-  // investment chain receives only trading arcs.
   std::vector<uint32_t> influence_in(n, 0);
   for (ArcId id = 0; id < sub.num_influence_arcs; ++id) {
     ++influence_in[g.arc(id).dst];
   }
 
-  // Property 1 requires the antecedent subgraph to be a DAG; verify
-  // upfront (a cycle could otherwise hide in a rootless region the DFS
-  // never enters).
+  // Property 1 DAG check (see GenerateFrozen).
   {
     std::vector<uint32_t> degree = influence_in;
     std::vector<NodeId> frontier;
@@ -112,71 +302,27 @@ Result<PatternGenResult> GeneratePatternBase(
     }
   }
 
-  std::vector<NodeId> roots;
-  if (options.order_roots_by_list_d) {
-    for (const ListDEntry& entry : ComputeListD(sub)) {
-      if (influence_in[entry.node] == 0) roots.push_back(entry.node);
-    }
-  } else {
-    for (NodeId v = 0; v < n; ++v) {
-      if (influence_in[v] == 0) roots.push_back(v);
-    }
-  }
+  std::vector<NodeId> roots = SelectRoots(
+      sub, options, n, [&](NodeId v) { return influence_in[v]; });
 
-  struct Frame {
-    NodeId node;
-    uint32_t arc_pos;
-    int32_t tree_index;
-  };
   std::vector<Frame> frames;
   std::vector<NodeId> path;
   std::vector<uint8_t> on_path(n, 0);
-
-  auto over_trail_budget = [&]() {
-    return options.max_trails != 0 &&
-           result.num_trails >= options.max_trails;
-  };
-
-  auto emit_plain = [&]() {
-    ++result.num_trails;
-    if (!options.emit_trails) return;
-    Trail trail;
-    trail.nodes = path;
-    result.base.push_back(std::move(trail));
-  };
-  auto emit_trade = [&](ArcId arc_id, NodeId dst) {
-    ++result.num_trails;
-    if (!options.emit_trails) return;
-    Trail trail;
-    trail.nodes = path;
-    trail.trade_dst = dst;
-    trail.trade_arc = arc_id;
-    result.base.push_back(std::move(trail));
-  };
-
-  auto add_tree_node = [&](NodeId graph_node, int32_t parent,
-                           bool via_trade, ArcId via_arc) -> int32_t {
-    if (!options.build_tree) return -1;
-    int32_t index = static_cast<int32_t>(result.tree.nodes.size());
-    result.tree.nodes.push_back(
-        PatternsTree::TreeNode{graph_node, parent, via_trade, via_arc});
-    if (parent < 0) result.tree.roots.push_back(index);
-    return index;
-  };
+  TrailSink sink{options, result, path};
 
   for (NodeId root : roots) {
-    if (over_trail_budget()) {
+    if (sink.OverBudget()) {
       result.truncated = true;
       break;
     }
-    int32_t root_tree = add_tree_node(root, -1, false, kInvalidArc);
+    int32_t root_tree = sink.AddTreeNode(root, -1, false, kInvalidArc);
     frames.push_back(Frame{root, 0, root_tree});
     path.push_back(root);
     on_path[root] = 1;
-    if (g.OutDegree(root) == 0) emit_plain();  // Rule 1 at the root.
+    if (g.OutDegree(root) == 0) sink.EmitPlain();  // Rule 1 at the root.
 
     while (!frames.empty()) {
-      if (over_trail_budget()) {
+      if (sink.OverBudget()) {
         result.truncated = true;
         // Unwind cleanly so on_path/path stay consistent.
         for (const Frame& f : frames) on_path[f.node] = 0;
@@ -196,8 +342,8 @@ Result<PatternGenResult> GeneratePatternBase(
         if (IsTradingArc(arc)) {
           // Rule 2: the first trading arc ends the walk (Lemma 1 keeps
           // it a trail even when arc.dst already lies on the path).
-          emit_trade(arc_id, arc.dst);
-          add_tree_node(arc.dst, frame.tree_index, true, arc_id);
+          sink.EmitTrade(arc_id, arc.dst);
+          sink.AddTreeNode(arc.dst, frame.tree_index, true, arc_id);
           continue;
         }
         if (on_path[arc.dst]) {
@@ -210,11 +356,11 @@ Result<PatternGenResult> GeneratePatternBase(
           continue;
         }
         int32_t child_tree =
-            add_tree_node(arc.dst, frame.tree_index, false, arc_id);
+            sink.AddTreeNode(arc.dst, frame.tree_index, false, arc_id);
         frames.push_back(Frame{arc.dst, 0, child_tree});
         path.push_back(arc.dst);
         on_path[arc.dst] = 1;
-        if (g.OutDegree(arc.dst) == 0) emit_plain();  // Rule 1.
+        if (g.OutDegree(arc.dst) == 0) sink.EmitPlain();  // Rule 1.
         descended = true;
         break;
       }
@@ -228,6 +374,16 @@ Result<PatternGenResult> GeneratePatternBase(
   }
 
   return result;
+}
+
+}  // namespace
+
+Result<PatternGenResult> GeneratePatternBase(
+    const SubTpiin& sub, const PatternGenOptions& options) {
+  if (options.use_frozen_graph && sub.frozen_in_sync()) {
+    return GenerateFrozen(sub, options);
+  }
+  return GenerateLegacy(sub, options);
 }
 
 }  // namespace tpiin

@@ -45,6 +45,11 @@ struct PatternsTree {
   /// inclusive.
   std::vector<NodeId> PathTo(int32_t index) const;
 
+  /// Allocation-free variant: clears and fills `*out`. Matching calls
+  /// this once per emitted group; reusing the buffer keeps the hot loop
+  /// free of per-pattern allocations.
+  void PathTo(int32_t index, std::vector<NodeId>* out) const;
+
   /// Indented textual rendering (Fig. 9(b) style).
   std::string ToString(const SubTpiin& sub) const;
 };
@@ -65,6 +70,13 @@ struct PatternGenOptions {
   /// Safety valves for adversarial inputs; 0 = unlimited.
   size_t max_trails = 0;
   size_t max_trail_length = 0;
+
+  /// Traverse the CSR FrozenGraph view (color-partitioned spans, no
+  /// per-arc branch) when `sub.frozen_in_sync()`. The adjacency-list
+  /// driver remains as the fallback for un-frozen SubTpiins and as the
+  /// reference implementation for the equivalence tests; both emit
+  /// bit-identical results.
+  bool use_frozen_graph = true;
 };
 
 struct PatternGenResult {

@@ -11,7 +11,9 @@ std::vector<SubTpiin> SegmentTpiin(const Tpiin& net,
                                    const SegmentOptions& options,
                                    SegmentStats* stats) {
   const Digraph& g = net.graph();
-  WccResult wcc = WeaklyConnectedComponents(g, IsInfluenceArc);
+  const FrozenGraph& fg = net.frozen();
+  WccResult wcc =
+      WeaklyConnectedComponents(fg, FrozenArcClass::kInfluence);
 
   // Bucket trading arcs by component; cross-component arcs are dropped.
   std::vector<std::vector<ArcId>> trading_of_component(wcc.num_components);
@@ -53,15 +55,17 @@ std::vector<SubTpiin> SegmentTpiin(const Tpiin& net,
     }
 
     // Influence arcs internal to the component (all arcs touching a
-    // member are internal by construction of the WCC).
+    // member are internal by construction of the WCC). The frozen view's
+    // influence span preserves the adjacency-list order, so local arc
+    // ids come out identical to the legacy filtered scan.
     for (NodeId local = 0; local < members.size(); ++local) {
       NodeId global = members[local];
-      for (ArcId id : g.OutArcs(global)) {
-        const Arc& arc = g.arc(id);
-        if (!IsInfluenceArc(arc)) continue;
-        TPIIN_CHECK_EQ(wcc.component_of[arc.dst], comp);
-        sub.graph.AddArc(local, local_of_global[arc.dst], kArcInfluence);
-        sub.global_arc_of_local.push_back(id);
+      AdjSpan influence_out = fg.InfluenceOut(global);
+      for (size_t i = 0; i < influence_out.size(); ++i) {
+        NodeId dst = influence_out.nodes[i];
+        TPIIN_CHECK_EQ(wcc.component_of[dst], comp);
+        sub.graph.AddArc(local, local_of_global[dst], kArcInfluence);
+        sub.global_arc_of_local.push_back(influence_out.arcs[i]);
       }
     }
     sub.num_influence_arcs = sub.graph.NumArcs();
@@ -73,6 +77,7 @@ std::vector<SubTpiin> SegmentTpiin(const Tpiin& net,
       sub.global_arc_of_local.push_back(id);
     }
 
+    sub.Freeze();
     out.push_back(std::move(sub));
   }
 

@@ -6,6 +6,7 @@
 
 #include "fusion/tpiin.h"
 #include "graph/digraph.h"
+#include "graph/frozen.h"
 #include "graph/types.h"
 
 namespace tpiin {
@@ -23,6 +24,23 @@ struct SubTpiin {
   /// Local graph: influence arcs occupy ids [0, num_influence_arcs).
   Digraph graph;
   ArcId num_influence_arcs = 0;
+
+  /// CSR view of `graph` (influence arcs first per node); every worker
+  /// traverses this compact form. SegmentTpiin freezes each subTPIIN it
+  /// emits; call Freeze() after the last mutation when building a
+  /// SubTpiin by hand, or leave it stale to force the adjacency-list
+  /// code paths (GeneratePatternBase falls back automatically).
+  FrozenGraph frozen;
+
+  void Freeze() { frozen = FrozenGraph(graph, kArcInfluence); }
+
+  /// True when `frozen` mirrors `graph` (same node and arc counts); the
+  /// cheap staleness test the algorithm entry points use before taking
+  /// the CSR fast path.
+  bool frozen_in_sync() const {
+    return frozen.NumNodes() == graph.NumNodes() &&
+           frozen.NumArcs() == graph.NumArcs();
+  }
 
   std::vector<NodeId> global_of_local;
   std::vector<ArcId> global_arc_of_local;

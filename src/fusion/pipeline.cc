@@ -5,6 +5,7 @@
 
 #include "common/string_util.h"
 #include "fusion/layers.h"
+#include "graph/frozen.h"
 #include "graph/scc.h"
 #include "graph/union_find.h"
 
@@ -74,14 +75,35 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   stats.person_syndicates = num_person_nodes;
 
   // --- GI + Tarjan SCC contraction: strongly connected investment
-  // subgraphs become company syndicates.
+  // subgraphs become company syndicates. Tarjan runs over the CSR view
+  // (one contiguous target array instead of per-node id vectors).
   Digraph gi = BuildInvestmentGraph(dataset);
   stats.investment_records = dataset.investments().size();
-  SccResult scc = StronglyConnectedComponents(gi);
+  FrozenGraph frozen_gi(gi);
+  SccResult scc = StronglyConnectedComponents(frozen_gi);
   const NodeId num_company_nodes = scc.num_components;
   stats.company_syndicates = scc.nontrivial_components.size();
   for (NodeId comp : scc.nontrivial_components) {
     stats.companies_in_syndicates += scc.members[comp].size();
+  }
+
+  // Internal investment arcs of each nontrivial SCC, collected in one
+  // O(arcs) pass (the previous per-syndicate scan over all of GI was
+  // O(syndicates x arcs)). Bucket order is arc-id order, matching the
+  // original scan, so proof chains come out identical.
+  std::unordered_map<NodeId, std::vector<std::pair<CompanyId, CompanyId>>>
+      internal_of_component;
+  for (NodeId comp : scc.nontrivial_components) {
+    internal_of_component.emplace(
+        comp, std::vector<std::pair<CompanyId, CompanyId>>());
+  }
+  for (const Arc& arc : gi.arcs()) {
+    NodeId comp = scc.component_of[arc.src];
+    if (comp != scc.component_of[arc.dst]) continue;
+    auto it = internal_of_component.find(comp);
+    if (it == internal_of_component.end()) continue;  // Trivial SCC self-loop.
+    it->second.emplace_back(static_cast<CompanyId>(arc.src),
+                            static_cast<CompanyId>(arc.dst));
   }
 
   // --- Assemble TPIIN nodes: person syndicates first, then company
@@ -121,16 +143,8 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
       if (comp_members.size() > 1) {
         // Keep the SCS-internal investment arcs: they carry the proof
         // chains for intra-syndicate suspicious trades.
-        std::unordered_set<uint64_t> in_scc;
-        for (NodeId c : comp_members) in_scc.insert(c);
-        std::vector<std::pair<CompanyId, CompanyId>> internal;
-        for (const Arc& arc : gi.arcs()) {
-          if (in_scc.count(arc.src) && in_scc.count(arc.dst)) {
-            internal.emplace_back(static_cast<CompanyId>(arc.src),
-                                  static_cast<CompanyId>(arc.dst));
-          }
-        }
-        builder.SetInternalInvestments(id, std::move(internal));
+        builder.SetInternalInvestments(
+            id, std::move(internal_of_component[comp]));
       }
     }
   }

@@ -137,6 +137,9 @@ Result<Tpiin> TpiinBuilder::Build() {
         "antecedent (influence) subgraph contains a directed cycle; run "
         "SCC contraction before building a TPIIN");
   }
+  // Freeze the CSR view once the graph is final; every traversal-heavy
+  // consumer (segmentation, WCC/SCC, incremental screening) reads it.
+  net_.frozen_ = FrozenGraph(net_.graph_, kArcInfluence);
   return std::move(net_);
 }
 

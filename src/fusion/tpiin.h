@@ -12,6 +12,7 @@
 
 #include "common/result.h"
 #include "graph/digraph.h"
+#include "graph/frozen.h"
 #include "graph/types.h"
 #include "model/records.h"
 
@@ -76,6 +77,12 @@ struct IntraSyndicateTrade {
 class Tpiin {
  public:
   const Digraph& graph() const { return graph_; }
+
+  /// Immutable CSR view of graph(), color-partitioned (influence arcs
+  /// first per node); built once by TpiinBuilder::Build(). The traversal
+  /// hot paths read this instead of the adjacency lists.
+  const FrozenGraph& frozen() const { return frozen_; }
+
   NodeId NumNodes() const { return graph_.NumNodes(); }
 
   const TpiinNode& node(NodeId id) const { return nodes_[id]; }
@@ -109,6 +116,7 @@ class Tpiin {
   friend class TpiinBuilder;
 
   Digraph graph_;
+  FrozenGraph frozen_;
   std::vector<TpiinNode> nodes_;
   std::vector<double> arc_weight_;
   ArcId num_influence_arcs_ = 0;

@@ -4,6 +4,21 @@
 
 namespace tpiin {
 
+namespace {
+
+WccResult FromUnionFind(UnionFind& uf, NodeId num_nodes) {
+  WccResult result;
+  result.component_of = uf.DenseComponentIds();
+  result.num_components = uf.NumSets();
+  result.members.resize(result.num_components);
+  for (NodeId v = 0; v < num_nodes; ++v) {
+    result.members[result.component_of[v]].push_back(v);
+  }
+  return result;
+}
+
+}  // namespace
+
 WccResult WeaklyConnectedComponents(const Digraph& graph,
                                     const ArcFilter& filter) {
   UnionFind uf(graph.NumNodes());
@@ -11,14 +26,18 @@ WccResult WeaklyConnectedComponents(const Digraph& graph,
     if (filter && !filter(arc)) continue;
     uf.Union(arc.src, arc.dst);
   }
-  WccResult result;
-  result.component_of = uf.DenseComponentIds();
-  result.num_components = uf.NumSets();
-  result.members.resize(result.num_components);
+  return FromUnionFind(uf, graph.NumNodes());
+}
+
+WccResult WeaklyConnectedComponents(const FrozenGraph& graph,
+                                    FrozenArcClass arc_class) {
+  UnionFind uf(graph.NumNodes());
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
-    result.members[result.component_of[v]].push_back(v);
+    for (NodeId target : graph.OutClass(v, arc_class).nodes) {
+      uf.Union(v, target);
+    }
   }
-  return result;
+  return FromUnionFind(uf, graph.NumNodes());
 }
 
 }  // namespace tpiin

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "graph/frozen.h"
 #include "graph/scc.h"
 #include "graph/types.h"
 
@@ -26,6 +27,14 @@ struct WccResult {
 /// bench_ablation).
 WccResult WeaklyConnectedComponents(const Digraph& graph,
                                     const ArcFilter& filter = nullptr);
+
+/// CSR fast path: same decomposition over the arc class `arc_class` of a
+/// frozen graph. Component numbering and member ordering are identical
+/// to the Digraph overload with the corresponding filter — union-find
+/// component ids depend only on the partition, not on union order.
+WccResult WeaklyConnectedComponents(
+    const FrozenGraph& graph,
+    FrozenArcClass arc_class = FrozenArcClass::kAll);
 
 }  // namespace tpiin
 

@@ -1,0 +1,73 @@
+#include "graph/frozen.h"
+
+namespace tpiin {
+
+FrozenGraph::FrozenGraph(const Digraph& graph, ArcColor influence_color)
+    : num_nodes_(graph.NumNodes()),
+      num_arcs_(graph.NumArcs()),
+      influence_color_(influence_color) {
+  const NodeId n = num_nodes_;
+  const ArcId m = num_arcs_;
+
+  out_offsets_.assign(n + 1, 0);
+  out_influence_end_.assign(n, 0);
+  in_offsets_.assign(n + 1, 0);
+  in_influence_end_.assign(n, 0);
+  out_targets_.resize(m);
+  out_arc_ids_.resize(m);
+  in_sources_.resize(m);
+  in_arc_ids_.resize(m);
+
+  // Counting pass: total degree into offsets[v + 1], influence degree
+  // into influence_end (both turned into absolute positions below).
+  for (const Arc& arc : graph.arcs()) {
+    ++out_offsets_[arc.src + 1];
+    ++in_offsets_[arc.dst + 1];
+    if (arc.color == influence_color_) {
+      ++out_influence_end_[arc.src];
+      ++in_influence_end_[arc.dst];
+      ++num_influence_arcs_;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    out_offsets_[v + 1] += out_offsets_[v];
+    in_offsets_[v + 1] += in_offsets_[v];
+    out_influence_end_[v] += out_offsets_[v];
+    in_influence_end_[v] += in_offsets_[v];
+  }
+
+  // Placement pass. Two cursors per node: influence arcs fill
+  // [offset, influence_end), the rest fills [influence_end, next offset).
+  // Out arcs are walked per node through the Digraph's own out lists so
+  // the per-node relative order (insertion order) is preserved exactly;
+  // in arcs are walked in arc-id order, which is ascending per class.
+  std::vector<ArcId> out_cursor(n), out_trading_cursor(n);
+  std::vector<ArcId> in_cursor(n), in_trading_cursor(n);
+  for (NodeId v = 0; v < n; ++v) {
+    out_cursor[v] = out_offsets_[v];
+    out_trading_cursor[v] = out_influence_end_[v];
+    in_cursor[v] = in_offsets_[v];
+    in_trading_cursor[v] = in_influence_end_[v];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    for (ArcId id : graph.OutArcs(v)) {
+      const Arc& arc = graph.arc(id);
+      ArcId& cursor = arc.color == influence_color_ ? out_cursor[v]
+                                                    : out_trading_cursor[v];
+      out_targets_[cursor] = arc.dst;
+      out_arc_ids_[cursor] = id;
+      ++cursor;
+    }
+  }
+  for (ArcId id = 0; id < m; ++id) {
+    const Arc& arc = graph.arc(id);
+    ArcId& cursor = arc.color == influence_color_
+                        ? in_cursor[arc.dst]
+                        : in_trading_cursor[arc.dst];
+    in_sources_[cursor] = arc.src;
+    in_arc_ids_[cursor] = id;
+    ++cursor;
+  }
+}
+
+}  // namespace tpiin

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "graph/frozen.h"
 
 namespace tpiin {
 
@@ -17,11 +18,14 @@ struct Frame {
   uint32_t arc_pos;
 };
 
-}  // namespace
-
-SccResult StronglyConnectedComponents(const Digraph& graph,
-                                      const ArcFilter& filter) {
-  const NodeId n = graph.NumNodes();
+// Tarjan over any indexed adjacency view:
+//   view.Degree(v)  — number of out slots of v;
+//   view.Dst(v, i)  — target of slot i, or kInvalidNode for a slot the
+//                     arc filter rejects (skipped).
+// Both the Digraph and the FrozenGraph overloads funnel here so the two
+// stay behaviorally identical by construction.
+template <typename View>
+SccResult TarjanImpl(NodeId n, const View& view) {
   SccResult result;
   result.component_of.assign(n, kUnvisited);
 
@@ -43,13 +47,12 @@ SccResult StronglyConnectedComponents(const Digraph& graph,
     while (!dfs.empty()) {
       Frame& frame = dfs.back();
       NodeId u = frame.node;
-      std::span<const ArcId> out = graph.OutArcs(u);
+      const uint32_t degree = view.Degree(u);
       bool descended = false;
-      while (frame.arc_pos < out.size()) {
-        const Arc& arc = graph.arc(out[frame.arc_pos]);
+      while (frame.arc_pos < degree) {
+        NodeId v = view.Dst(u, frame.arc_pos);
         ++frame.arc_pos;
-        if (filter && !filter(arc)) continue;
-        NodeId v = arc.dst;
+        if (v == kInvalidNode) continue;  // Filtered arc.
         if (v == u) has_self_loop[u] = true;
         if (index[v] == kUnvisited) {
           index[v] = lowlink[v] = next_index++;
@@ -95,6 +98,42 @@ SccResult StronglyConnectedComponents(const Digraph& graph,
 
   TPIIN_CHECK_EQ(result.members.size(), result.num_components);
   return result;
+}
+
+struct DigraphView {
+  const Digraph& graph;
+  const ArcFilter& filter;
+
+  uint32_t Degree(NodeId v) const { return graph.OutDegree(v); }
+  NodeId Dst(NodeId v, uint32_t i) const {
+    const Arc& arc = graph.arc(graph.OutArcs(v)[i]);
+    if (filter && !filter(arc)) return kInvalidNode;
+    return arc.dst;
+  }
+};
+
+struct FrozenView {
+  const FrozenGraph& graph;
+  FrozenArcClass arc_class;
+
+  uint32_t Degree(NodeId v) const {
+    return static_cast<uint32_t>(graph.OutClass(v, arc_class).size());
+  }
+  NodeId Dst(NodeId v, uint32_t i) const {
+    return graph.OutClass(v, arc_class).nodes[i];
+  }
+};
+
+}  // namespace
+
+SccResult StronglyConnectedComponents(const Digraph& graph,
+                                      const ArcFilter& filter) {
+  return TarjanImpl(graph.NumNodes(), DigraphView{graph, filter});
+}
+
+SccResult StronglyConnectedComponents(const FrozenGraph& graph,
+                                      FrozenArcClass arc_class) {
+  return TarjanImpl(graph.NumNodes(), FrozenView{graph, arc_class});
 }
 
 }  // namespace tpiin

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "graph/digraph.h"
+#include "graph/frozen.h"
 #include "graph/types.h"
 
 namespace tpiin {
@@ -38,6 +39,13 @@ using ArcFilter = std::function<bool(const Arc&)>;
 /// cannot overflow the stack.
 SccResult StronglyConnectedComponents(const Digraph& graph,
                                       const ArcFilter& filter = nullptr);
+
+/// CSR fast path: identical decomposition (and, when the frozen view
+/// preserves the Digraph's arc order, identical component numbering)
+/// without per-arc struct loads or std::function filter calls.
+SccResult StronglyConnectedComponents(
+    const FrozenGraph& graph,
+    FrozenArcClass arc_class = FrozenArcClass::kAll);
 
 }  // namespace tpiin
 

@@ -15,12 +15,21 @@ namespace tpiin {
 std::vector<bool> ReachableFrom(const Digraph& graph, NodeId start,
                                 const ArcFilter& filter = nullptr);
 
+/// CSR fast path of ReachableFrom over one arc class.
+std::vector<bool> ReachableFrom(const FrozenGraph& graph, NodeId start,
+                                FrozenArcClass arc_class = FrozenArcClass::kAll);
+
 /// The paper's `findsubgraph()` (Appendix B): weakly connected components
 /// by depth-first search over the undirected view of the filtered arcs.
 /// Produces the same decomposition as WeaklyConnectedComponents; kept as
 /// a faithful alternative implementation and for the ablation bench.
 WccResult FindSubgraphsDfs(const Digraph& graph,
                            const ArcFilter& filter = nullptr);
+
+/// CSR fast path of FindSubgraphsDfs: walks the frozen out- and
+/// in-adjacency directly instead of materializing an undirected copy.
+WccResult FindSubgraphsDfs(const FrozenGraph& graph,
+                           FrozenArcClass arc_class = FrozenArcClass::kAll);
 
 }  // namespace tpiin
 

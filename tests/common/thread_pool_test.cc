@@ -1,0 +1,102 @@
+// ThreadPool: the persistent chunk-stealing worker pool behind the
+// detector's per-subTPIIN stage. Key contracts: every index runs exactly
+// once, the caller always participates (so zero workers / parallelism 1 /
+// nested calls all complete), and pool threads are reused across
+// ParallelFor calls instead of being spawned per call.
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+
+namespace tpiin {
+namespace {
+
+TEST(ResolveThreadCountTest, ZeroAutoDetects) {
+  EXPECT_GE(ResolveThreadCount(0), 1u);
+  EXPECT_EQ(ResolveThreadCount(1), 1u);
+  EXPECT_EQ(ResolveThreadCount(7), 7u);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  constexpr size_t kCount = 1000;
+  std::vector<std::atomic<uint32_t>> hits(kCount);
+  pool.ParallelFor(kCount, 4, [&](size_t i) {
+    hits[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1u) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  std::atomic<size_t> calls{0};
+  pool.ParallelFor(0, 4, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 0u);
+}
+
+TEST(ThreadPoolTest, ParallelismOneRunsInlineOnTheCaller) {
+  ThreadPool pool(2);
+  std::thread::id caller = std::this_thread::get_id();
+  std::atomic<bool> all_inline{true};
+  pool.ParallelFor(64, 1, [&](size_t) {
+    if (std::this_thread::get_id() != caller) all_inline = false;
+  });
+  EXPECT_TRUE(all_inline.load());
+}
+
+TEST(ThreadPoolTest, ZeroWorkerPoolStillCompletes) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_workers(), 0u);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(100, 8, [&](size_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, NestedParallelForDoesNotDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<size_t> inner_total{0};
+  pool.ParallelFor(4, 4, [&](size_t) {
+    // A worker calling back into the pool must make progress even with
+    // every other worker busy: the caller drains its own loop.
+    pool.ParallelFor(8, 4, [&](size_t) {
+      inner_total.fetch_add(1, std::memory_order_relaxed);
+    });
+  });
+  EXPECT_EQ(inner_total.load(), 32u);
+}
+
+TEST(ThreadPoolTest, ReusesWorkerThreadsAcrossCalls) {
+  ThreadPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> observed;
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(32, 3, [&](size_t) {
+      std::lock_guard<std::mutex> lock(mu);
+      observed.insert(std::this_thread::get_id());
+    });
+  }
+  // 20 rounds ran on at most caller + 2 persistent workers. Per-call
+  // thread spawning would have no such bound (fresh ids each round).
+  EXPECT_LE(observed.size(), 3u);
+}
+
+TEST(ThreadPoolTest, GlobalPoolIsASingleton) {
+  ThreadPool& a = ThreadPool::Global();
+  ThreadPool& b = ThreadPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.num_workers(), ResolveThreadCount(0));
+  std::atomic<size_t> calls{0};
+  a.ParallelFor(10, 4, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 10u);
+}
+
+}  // namespace
+}  // namespace tpiin

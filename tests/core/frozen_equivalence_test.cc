@@ -1,0 +1,169 @@
+// The CSR FrozenGraph fast path must be a pure representation change:
+// pattern generation and full detection produce bit-identical output
+// whether the walk runs over the frozen spans (use_frozen_graph = true,
+// the default) or the legacy Digraph adjacency lists.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/pattern_tree.h"
+#include "core/subtpiin.h"
+#include "datagen/worked_example.h"
+#include "tests/core/test_util.h"
+
+namespace tpiin {
+namespace {
+
+// Structural equality of two generation results, element by element —
+// not just set equality: emission order, arena layout and tree shape
+// must all match.
+void ExpectIdenticalGen(const PatternGenResult& frozen,
+                        const PatternGenResult& legacy,
+                        const SubTpiin& sub) {
+  EXPECT_EQ(frozen.num_trails, legacy.num_trails);
+  EXPECT_EQ(frozen.truncated, legacy.truncated);
+  EXPECT_TRUE(frozen.base == legacy.base)
+      << "frozen:\n" << FormatPatternBase(sub, frozen.base)
+      << "legacy:\n" << FormatPatternBase(sub, legacy.base);
+  EXPECT_EQ(frozen.tree.roots, legacy.tree.roots);
+  ASSERT_EQ(frozen.tree.nodes.size(), legacy.tree.nodes.size());
+  for (size_t i = 0; i < frozen.tree.nodes.size(); ++i) {
+    EXPECT_EQ(frozen.tree.nodes[i].graph_node,
+              legacy.tree.nodes[i].graph_node) << "tree node " << i;
+    EXPECT_EQ(frozen.tree.nodes[i].parent, legacy.tree.nodes[i].parent);
+    EXPECT_EQ(frozen.tree.nodes[i].via_trading_arc,
+              legacy.tree.nodes[i].via_trading_arc);
+    EXPECT_EQ(frozen.tree.nodes[i].via_arc, legacy.tree.nodes[i].via_arc);
+  }
+}
+
+void ExpectIdenticalDetection(const Tpiin& net) {
+  DetectorOptions frozen_opts;
+  frozen_opts.use_frozen_graph = true;
+  frozen_opts.emit_pattern_bases = true;
+  auto frozen = DetectSuspiciousGroups(net, frozen_opts);
+  ASSERT_TRUE(frozen.ok()) << frozen.status().ToString();
+
+  DetectorOptions legacy_opts = frozen_opts;
+  legacy_opts.use_frozen_graph = false;
+  auto legacy = DetectSuspiciousGroups(net, legacy_opts);
+  ASSERT_TRUE(legacy.ok()) << legacy.status().ToString();
+
+  EXPECT_EQ(frozen->num_simple, legacy->num_simple);
+  EXPECT_EQ(frozen->num_complex, legacy->num_complex);
+  EXPECT_EQ(frozen->num_cycle_groups, legacy->num_cycle_groups);
+  EXPECT_EQ(frozen->num_trails, legacy->num_trails);
+  EXPECT_EQ(frozen->num_subtpiins, legacy->num_subtpiins);
+  EXPECT_EQ(frozen->truncated, legacy->truncated);
+  EXPECT_EQ(frozen->suspicious_trades, legacy->suspicious_trades);
+
+  // Groups must match in content AND order (bit-identical pipelines).
+  ASSERT_EQ(frozen->groups.size(), legacy->groups.size());
+  for (size_t i = 0; i < frozen->groups.size(); ++i) {
+    EXPECT_EQ(frozen->groups[i].Format(net), legacy->groups[i].Format(net))
+        << "group " << i;
+    EXPECT_EQ(frozen->groups[i].members, legacy->groups[i].members);
+  }
+}
+
+TEST(FrozenEquivalenceTest, WorkedExampleDetectionIsIdentical) {
+  ExpectIdenticalDetection(BuildWorkedExampleTpiin());
+}
+
+TEST(FrozenEquivalenceTest, WorkedExamplePatternBaseIsIdentical) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  std::vector<SubTpiin> subs = SegmentTpiin(net);
+  ASSERT_EQ(subs.size(), 1u);
+  ASSERT_TRUE(subs[0].frozen_in_sync());
+
+  PatternGenOptions frozen_opts;
+  frozen_opts.use_frozen_graph = true;
+  auto frozen = GeneratePatternBase(subs[0], frozen_opts);
+  ASSERT_TRUE(frozen.ok());
+
+  PatternGenOptions legacy_opts;
+  legacy_opts.use_frozen_graph = false;
+  auto legacy = GeneratePatternBase(subs[0], legacy_opts);
+  ASSERT_TRUE(legacy.ok());
+
+  EXPECT_EQ(frozen->base.size(), 15u);  // Fig. 10.
+  ExpectIdenticalGen(*frozen, *legacy, subs[0]);
+}
+
+TEST(FrozenEquivalenceTest, RandomNetsDetectionIsIdentical) {
+  for (uint64_t seed = 0; seed < 40; ++seed) {
+    SCOPED_TRACE(seed);
+    ExpectIdenticalDetection(
+        RandomTpiin(seed, /*max_persons=*/10, /*max_companies=*/20));
+  }
+}
+
+TEST(FrozenEquivalenceTest, RandomNetsPatternBasesAreIdentical) {
+  for (uint64_t seed = 100; seed < 120; ++seed) {
+    SCOPED_TRACE(seed);
+    Tpiin net = RandomTpiin(seed, /*max_persons=*/8, /*max_companies=*/16);
+    for (const SubTpiin& sub : SegmentTpiin(net)) {
+      ASSERT_TRUE(sub.frozen_in_sync());
+      PatternGenOptions frozen_opts;
+      frozen_opts.use_frozen_graph = true;
+      PatternGenOptions legacy_opts;
+      legacy_opts.use_frozen_graph = false;
+      auto frozen = GeneratePatternBase(sub, frozen_opts);
+      auto legacy = GeneratePatternBase(sub, legacy_opts);
+      ASSERT_TRUE(frozen.ok());
+      ASSERT_TRUE(legacy.ok());
+      ExpectIdenticalGen(*frozen, *legacy, sub);
+    }
+  }
+}
+
+// Truncation valves must fire identically: the frozen driver checks the
+// budget and the length cap at the same points in the walk.
+TEST(FrozenEquivalenceTest, TruncationBehavesIdentically) {
+  for (uint64_t seed = 200; seed < 210; ++seed) {
+    SCOPED_TRACE(seed);
+    Tpiin net = RandomTpiin(seed, /*max_persons=*/8, /*max_companies=*/16);
+    for (const SubTpiin& sub : SegmentTpiin(net)) {
+      for (size_t max_trails : {size_t{1}, size_t{3}}) {
+        for (size_t max_len : {size_t{0}, size_t{2}}) {
+          PatternGenOptions frozen_opts;
+          frozen_opts.max_trails = max_trails;
+          frozen_opts.max_trail_length = max_len;
+          frozen_opts.use_frozen_graph = true;
+          PatternGenOptions legacy_opts = frozen_opts;
+          legacy_opts.use_frozen_graph = false;
+          auto frozen = GeneratePatternBase(sub, frozen_opts);
+          auto legacy = GeneratePatternBase(sub, legacy_opts);
+          ASSERT_TRUE(frozen.ok());
+          ASSERT_TRUE(legacy.ok());
+          ExpectIdenticalGen(*frozen, *legacy, sub);
+        }
+      }
+    }
+  }
+}
+
+// A hand-built SubTpiin that never called Freeze() must silently take
+// the legacy path instead of walking a stale (empty) frozen view.
+TEST(FrozenEquivalenceTest, StaleFrozenViewFallsBackToLegacy) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  std::vector<SubTpiin> subs = SegmentTpiin(net);
+  ASSERT_EQ(subs.size(), 1u);
+  SubTpiin stale;
+  stale.parent = subs[0].parent;
+  stale.graph = subs[0].graph;
+  stale.num_influence_arcs = subs[0].num_influence_arcs;
+  stale.global_of_local = subs[0].global_of_local;
+  stale.global_arc_of_local = subs[0].global_arc_of_local;
+  ASSERT_FALSE(stale.frozen_in_sync());
+
+  auto gen = GeneratePatternBase(stale);  // use_frozen_graph defaults true.
+  ASSERT_TRUE(gen.ok());
+  EXPECT_EQ(gen->base.size(), 15u);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -30,8 +30,8 @@ TEST(InvariantsTest, RootOrderingDoesNotChangeMatches) {
       EXPECT_EQ(a->base.size(), b->base.size());
       std::multiset<std::string> fa;
       std::multiset<std::string> fb;
-      for (const Trail& t : a->base) fa.insert(t.Format(sub));
-      for (const Trail& t : b->base) fb.insert(t.Format(sub));
+      for (const auto& t : a->base) fa.insert(t.Format(sub));
+      for (const auto& t : b->base) fb.insert(t.Format(sub));
       EXPECT_EQ(fa, fb);
       // ... and matching them yields identical counts and arcs.
       MatchResult ma = MatchPatternsTree(sub, a->tree);

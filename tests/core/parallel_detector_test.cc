@@ -41,8 +41,10 @@ TEST_P(ParallelDetectorTest, MatchesSequentialOnRandomNets) {
   }
 }
 
+// 0 = auto-detect (hardware_concurrency); must behave like any explicit
+// thread count.
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelDetectorTest,
-                         ::testing::Values(2u, 4u, 8u));
+                         ::testing::Values(0u, 2u, 4u, 8u));
 
 TEST(ParallelDetectorTest, ProvinceScaleCountsMatch) {
   ProvinceConfig config = SmallProvinceConfig(200, 5);

@@ -47,7 +47,7 @@ TEST(PatternTreeTest, DiamondEnumeratesBothPaths) {
   EXPECT_EQ(gen->base.size(), 2u);
   EXPECT_EQ(gen->num_trails, 2u);
   std::set<std::string> formatted;
-  for (const Trail& t : gen->base) formatted.insert(t.Format(subs[0]));
+  for (const auto& t : gen->base) formatted.insert(t.Format(subs[0]));
   EXPECT_TRUE(formatted.count("P, C1, C2, C4 -> C1"));
   EXPECT_TRUE(formatted.count("P, C1, C3, C4 -> C1"));
 }
@@ -66,7 +66,7 @@ TEST(PatternTreeTest, Rule1StopsAtOutdegreeZero) {
   auto gen = GeneratePatternBase(subs[0]);
   ASSERT_TRUE(gen.ok());
   std::set<std::string> formatted;
-  for (const Trail& t : gen->base) formatted.insert(t.Format(subs[0]));
+  for (const auto& t : gen->base) formatted.insert(t.Format(subs[0]));
   // The pure walk P,C1,C2 stops at C2 (outdegree zero); the trade walk
   // P,C1 -> C2 stops at the first trading arc (Rule 2).
   EXPECT_TRUE(formatted.count("P, C1, C2"));
@@ -92,7 +92,7 @@ TEST(PatternTreeTest, Rule2StopsAtFirstTradingArcOnly) {
   std::vector<SubTpiin> subs = SingleSub(*net);
   auto gen = GeneratePatternBase(subs[0]);
   ASSERT_TRUE(gen.ok());
-  for (const Trail& t : gen->base) {
+  for (const auto& t : gen->base) {
     // No trail may contain more than one trading hop: nodes are all
     // influence-reached, plus at most the final trade target.
     EXPECT_LE(t.nodes.size(), 2u);
@@ -108,7 +108,7 @@ TEST(PatternTreeTest, TrailsStartAtInfluenceIndegreeZeroNodes) {
     }
     auto gen = GeneratePatternBase(sub);
     ASSERT_TRUE(gen.ok());
-    for (const Trail& t : gen->base) {
+    for (const auto& t : gen->base) {
       EXPECT_EQ(influence_in[t.nodes[0]], 0u) << t.Format(sub);
     }
   }
@@ -120,7 +120,7 @@ TEST(PatternTreeTest, TrailsAreSimplePathsPlusOptionalTrade) {
     for (const SubTpiin& sub : SegmentTpiin(net)) {
       auto gen = GeneratePatternBase(sub);
       ASSERT_TRUE(gen.ok());
-      for (const Trail& t : gen->base) {
+      for (const auto& t : gen->base) {
         // Elements are distinct (Property 1).
         std::set<NodeId> unique(t.nodes.begin(), t.nodes.end());
         EXPECT_EQ(unique.size(), t.nodes.size());
@@ -158,7 +158,7 @@ TEST(PatternTreeTest, TreeLeavesAgreeWithTrailCount) {
         trading_leaves += node.via_trading_arc ? 1 : 0;
       }
       size_t trade_trails = 0;
-      for (const Trail& t : gen->base) trade_trails += t.has_trade();
+      for (const auto& t : gen->base) trade_trails += t.has_trade();
       EXPECT_EQ(trading_leaves, trade_trails);
     }
   }
@@ -197,7 +197,7 @@ TEST(PatternTreeTest, MaxTrailLengthTruncates) {
   auto gen = GeneratePatternBase(subs[0], options);
   ASSERT_TRUE(gen.ok());
   EXPECT_TRUE(gen->truncated);
-  for (const Trail& t : gen->base) EXPECT_LE(t.nodes.size(), 2u);
+  for (const auto& t : gen->base) EXPECT_LE(t.nodes.size(), 2u);
 }
 
 TEST(PatternTreeTest, EmitTrailsOffStillCounts) {

@@ -62,7 +62,7 @@ TEST_F(WorkedExampleTest, PatternBaseMatchesFig10) {
   EXPECT_EQ(base.size(), 15u);
 
   std::set<std::string> formatted;
-  for (const Trail& trail : base) formatted.insert(trail.Format(subs[0]));
+  for (const auto& trail : base) formatted.insert(trail.Format(subs[0]));
 
   const char* kExpected[] = {
       "L1, C2, C5 -> C6", "L1, C2, C5 -> C7", "L1, C1, C3 -> C5",

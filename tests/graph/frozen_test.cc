@@ -1,0 +1,203 @@
+// FrozenGraph: the immutable CSR view with color-partitioned adjacency.
+// The contract under test: every Digraph arc appears exactly once in the
+// out CSR and once in the in CSR, each node's run is partitioned with
+// the influence class first, and relative order within a color class
+// follows Digraph insertion order.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/digraph.h"
+#include "graph/frozen.h"
+
+namespace tpiin {
+namespace {
+
+constexpr ArcColor kTrading = 0;
+constexpr ArcColor kInfluence = 1;
+
+TEST(FrozenGraphTest, EmptyGraph) {
+  Digraph g;
+  FrozenGraph fg(g, kInfluence);
+  EXPECT_EQ(fg.NumNodes(), 0u);
+  EXPECT_EQ(fg.NumArcs(), 0u);
+  EXPECT_EQ(fg.NumInfluenceArcs(), 0u);
+}
+
+TEST(FrozenGraphTest, SingletonNodeHasEmptySpans) {
+  Digraph g;
+  g.AddNodes(1);
+  FrozenGraph fg(g, kInfluence);
+  EXPECT_EQ(fg.NumNodes(), 1u);
+  EXPECT_EQ(fg.NumArcs(), 0u);
+  EXPECT_TRUE(fg.Out(0).empty());
+  EXPECT_TRUE(fg.In(0).empty());
+  EXPECT_TRUE(fg.InfluenceOut(0).empty());
+  EXPECT_TRUE(fg.TradingOut(0).empty());
+  EXPECT_TRUE(fg.InfluenceIn(0).empty());
+  EXPECT_TRUE(fg.TradingIn(0).empty());
+  EXPECT_EQ(fg.OutDegree(0), 0u);
+  EXPECT_EQ(fg.InDegree(0), 0u);
+}
+
+TEST(FrozenGraphTest, DefaultConstructedIsEmpty) {
+  FrozenGraph fg;
+  EXPECT_EQ(fg.NumNodes(), 0u);
+  EXPECT_EQ(fg.NumArcs(), 0u);
+}
+
+// Arcs inserted with the colors interleaved still come out partitioned:
+// influence run first, then trading, each in insertion order.
+TEST(FrozenGraphTest, PartitionsInterleavedColors) {
+  Digraph g;
+  g.AddNodes(5);
+  ArcId t0 = g.AddArc(0, 1, kTrading);
+  ArcId i0 = g.AddArc(0, 2, kInfluence);
+  ArcId t1 = g.AddArc(0, 3, kTrading);
+  ArcId i1 = g.AddArc(0, 4, kInfluence);
+  FrozenGraph fg(g, kInfluence);
+
+  EXPECT_EQ(fg.NumInfluenceArcs(), 2u);
+  ASSERT_EQ(fg.OutDegree(0), 4u);
+  ASSERT_EQ(fg.InfluenceOutDegree(0), 2u);
+  ASSERT_EQ(fg.TradingOutDegree(0), 2u);
+
+  AdjSpan influence = fg.InfluenceOut(0);
+  EXPECT_EQ(std::vector<NodeId>(influence.nodes.begin(),
+                                influence.nodes.end()),
+            (std::vector<NodeId>{2, 4}));
+  EXPECT_EQ(std::vector<ArcId>(influence.arcs.begin(), influence.arcs.end()),
+            (std::vector<ArcId>{i0, i1}));
+
+  AdjSpan trading = fg.TradingOut(0);
+  EXPECT_EQ(std::vector<NodeId>(trading.nodes.begin(), trading.nodes.end()),
+            (std::vector<NodeId>{1, 3}));
+  EXPECT_EQ(std::vector<ArcId>(trading.arcs.begin(), trading.arcs.end()),
+            (std::vector<ArcId>{t0, t1}));
+
+  // The full run is the concatenation: influence first.
+  AdjSpan all = fg.Out(0);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all.nodes[0], 2u);
+  EXPECT_EQ(all.nodes[1], 4u);
+  EXPECT_EQ(all.nodes[2], 1u);
+  EXPECT_EQ(all.nodes[3], 3u);
+}
+
+TEST(FrozenGraphTest, PartitionBoundariesAtAllInfluenceAndAllTrading) {
+  Digraph g;
+  g.AddNodes(3);
+  g.AddArc(0, 1, kInfluence);
+  g.AddArc(0, 2, kInfluence);
+  g.AddArc(1, 2, kTrading);
+  FrozenGraph fg(g, kInfluence);
+
+  // Node 0: all influence — trading span empty, at the run's end.
+  EXPECT_EQ(fg.InfluenceOutDegree(0), 2u);
+  EXPECT_EQ(fg.TradingOutDegree(0), 0u);
+  EXPECT_TRUE(fg.TradingOut(0).empty());
+  // Node 1: all trading — influence span empty, at the run's start.
+  EXPECT_EQ(fg.InfluenceOutDegree(1), 0u);
+  EXPECT_EQ(fg.TradingOutDegree(1), 1u);
+  EXPECT_TRUE(fg.InfluenceOut(1).empty());
+  // Node 2: sink; in-CSR partitioned the same way.
+  EXPECT_EQ(fg.InfluenceInDegree(2), 1u);
+  EXPECT_EQ(fg.TradingInDegree(2), 1u);
+  EXPECT_EQ(fg.InfluenceIn(2).nodes[0], 0u);
+  EXPECT_EQ(fg.TradingIn(2).nodes[0], 1u);
+}
+
+// Every arc of the Digraph appears exactly once in the out CSR and once
+// in the in CSR, with matching endpoints.
+TEST(FrozenGraphTest, InOutSymmetry) {
+  Digraph g;
+  g.AddNodes(8);
+  g.AddArc(0, 3, kInfluence);
+  g.AddArc(3, 4, kInfluence);
+  g.AddArc(1, 3, kInfluence);
+  g.AddArc(4, 5, kTrading);
+  g.AddArc(3, 5, kTrading);
+  g.AddArc(5, 3, kTrading);  // Back-arc: both directions between 3 and 5.
+  g.AddArc(2, 2, kInfluence);  // Self-loop.
+  FrozenGraph fg(g, kInfluence);
+  ASSERT_EQ(fg.NumArcs(), g.NumArcs());
+
+  std::vector<uint8_t> seen_out(g.NumArcs(), 0);
+  std::vector<uint8_t> seen_in(g.NumArcs(), 0);
+  for (NodeId v = 0; v < fg.NumNodes(); ++v) {
+    AdjSpan out = fg.Out(v);
+    for (size_t i = 0; i < out.size(); ++i) {
+      const Arc& arc = g.arc(out.arcs[i]);
+      EXPECT_EQ(arc.src, v);
+      EXPECT_EQ(arc.dst, out.nodes[i]);
+      EXPECT_EQ(++seen_out[out.arcs[i]], 1);
+    }
+    AdjSpan in = fg.In(v);
+    for (size_t i = 0; i < in.size(); ++i) {
+      const Arc& arc = g.arc(in.arcs[i]);
+      EXPECT_EQ(arc.dst, v);
+      EXPECT_EQ(arc.src, in.nodes[i]);
+      EXPECT_EQ(++seen_in[in.arcs[i]], 1);
+    }
+    // Degree accessors agree with the spans.
+    EXPECT_EQ(fg.OutDegree(v), out.size());
+    EXPECT_EQ(fg.InDegree(v), in.size());
+    EXPECT_EQ(fg.InfluenceOutDegree(v) + fg.TradingOutDegree(v),
+              fg.OutDegree(v));
+    EXPECT_EQ(fg.InfluenceInDegree(v) + fg.TradingInDegree(v),
+              fg.InDegree(v));
+  }
+  for (ArcId id = 0; id < g.NumArcs(); ++id) {
+    EXPECT_EQ(seen_out[id], 1) << "arc " << id;
+    EXPECT_EQ(seen_in[id], 1) << "arc " << id;
+  }
+}
+
+TEST(FrozenGraphTest, OutClassSelectorsMatchNamedSpans) {
+  Digraph g;
+  g.AddNodes(3);
+  g.AddArc(0, 1, kInfluence);
+  g.AddArc(0, 2, kTrading);
+  FrozenGraph fg(g, kInfluence);
+  EXPECT_EQ(fg.OutClass(0, FrozenArcClass::kAll).size(), 2u);
+  EXPECT_EQ(fg.OutClass(0, FrozenArcClass::kInfluence).nodes[0], 1u);
+  EXPECT_EQ(fg.OutClass(0, FrozenArcClass::kTrading).nodes[0], 2u);
+  EXPECT_EQ(fg.InClass(1, FrozenArcClass::kInfluence).size(), 1u);
+  EXPECT_EQ(fg.InClass(1, FrozenArcClass::kTrading).size(), 0u);
+  EXPECT_EQ(fg.InClass(2, FrozenArcClass::kTrading).nodes[0], 0u);
+}
+
+// Matches Digraph-derived ground truth on an arbitrary mixed graph.
+TEST(FrozenGraphTest, AgreesWithDigraphAdjacency) {
+  Digraph g;
+  g.AddNodes(6);
+  for (NodeId v = 0; v < 6; ++v) {
+    for (NodeId w = 0; w < 6; ++w) {
+      if ((v * 7 + w * 3) % 4 == 0 && v != w) {
+        g.AddArc(v, w, (v + w) % 2 == 0 ? kInfluence : kTrading);
+      }
+    }
+  }
+  FrozenGraph fg(g, kInfluence);
+  for (NodeId v = 0; v < 6; ++v) {
+    std::vector<ArcId> expected(g.OutArcs(v).begin(), g.OutArcs(v).end());
+    // Stable-partition the expected list: influence first.
+    std::vector<ArcId> partitioned;
+    for (ArcId id : expected) {
+      if (g.arc(id).color == kInfluence) partitioned.push_back(id);
+    }
+    for (ArcId id : expected) {
+      if (g.arc(id).color != kInfluence) partitioned.push_back(id);
+    }
+    AdjSpan out = fg.Out(v);
+    ASSERT_EQ(out.size(), partitioned.size());
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out.arcs[i], partitioned[i]);
+      EXPECT_EQ(out.nodes[i], g.arc(partitioned[i]).dst);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tpiin
