@@ -11,6 +11,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench/bench_json.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/detector.h"
@@ -45,7 +46,7 @@ SubTpiin WholeAsSubTpiin(const Tpiin& net) {
   return sub;
 }
 
-int Run() {
+int Run(BenchJsonWriter& json) {
   ProvinceConfig config = PaperProvinceConfig();
   config.trading_probability = 0.02;
   Result<Province> province = GenerateProvince(config);
@@ -77,6 +78,8 @@ int Run() {
     std::printf("A1 MWCS segmentation: union-find %.4fs vs DFS "
                 "findsubgraph() %.4fs (%u components, identical)\n",
                 uf_s, dfs_s, uf.num_components);
+    json.Record("ablation_a1", "union_find", uf_s);
+    json.Record("ablation_a1", "dfs", dfs_s);
   }
 
   // --- A2: segmentation on vs off.
@@ -107,6 +110,8 @@ int Run() {
         "groups\n",
         with_s, with->num_subtpiins, with->num_trails, without_s,
         gen->num_trails, with->num_simple + with->num_complex);
+    json.Record("ablation_a2", "segmented", with_s);
+    json.Record("ablation_a2", "unsegmented", without_s);
   }
 
   // --- A3: prefix sharing in the patterns tree.
@@ -129,6 +134,10 @@ int Run() {
         tree_nodes, trail_elements,
         tree_nodes ? static_cast<double>(trail_elements) / tree_nodes
                    : 0.0);
+    json.Record("ablation_a3", "compression", 0,
+                tree_nodes
+                    ? static_cast<double>(trail_elements) / tree_nodes
+                    : 0.0);
   }
 
   // --- A4': tree-driven vs flat-base matching (the patterns tree's
@@ -163,6 +172,8 @@ int Run() {
         "A4' matching formulation: tree-driven %.3fs vs flat-base %.3fs "
         "(identical %zu groups)\n",
         tree_s, base_s, tree_groups);
+    json.Record("ablation_a4_match", "tree", tree_s);
+    json.Record("ablation_a4_match", "flat_base", base_s);
   }
 
   // --- A5: parallel per-subTPIIN processing (§7 future work). The unit
@@ -196,6 +207,8 @@ int Run() {
       std::printf(
           "A5 parallel detect: %u thread(s) %.3fs (%.2fx vs 1 thread)\n",
           threads, elapsed, elapsed > 0 ? single_s / elapsed : 0.0);
+      json.Record("ablation_a5_detect",
+                  StringPrintf("threads=%u", threads), elapsed);
     }
   }
 
@@ -219,11 +232,18 @@ int Run() {
         "A4 group materialization: counting-only %.3fs vs collecting "
         "%zu group records %.3fs\n",
         count_s, collect_result->groups.size(), collect_s);
+    json.Record("ablation_a4_collect", "counting", count_s);
+    json.Record("ablation_a4_collect", "collecting", collect_s);
   }
+  json.Flush();
   return 0;
 }
 
 }  // namespace
 }  // namespace tpiin
 
-int main() { return tpiin::Run(); }
+int main(int argc, char** argv) {
+  tpiin::BenchJsonWriter json =
+      tpiin::BenchJsonWriter::FromArgs(argc, argv);
+  return tpiin::Run(json);
+}

@@ -9,7 +9,9 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "datagen/province.h"
 #include "fusion/layers.h"
 #include "fusion/pipeline.h"
@@ -30,7 +32,7 @@ void PrintStats(const char* figure, const char* name,
       stats.max_in_degree, stats.max_out_degree, stats.num_isolated);
 }
 
-int Run() {
+int Run(BenchJsonWriter& json) {
   ProvinceConfig config = PaperProvinceConfig();
   config.trading_probability = 0.002;  // Fig. 15 uses the sparsest layer.
   Result<Province> province = GenerateProvince(config);
@@ -75,8 +77,10 @@ int Run() {
       scc.nontrivial_components.size(),
       IsDag(g3) ? "yes" : "no");
 
+  WallTimer fuse_timer;
   Result<FusionOutput> fused = BuildTpiin(data);
   TPIIN_CHECK(fused.ok()) << fused.status().ToString();
+  double fuse_s = fuse_timer.ElapsedSeconds();
   const Tpiin& net = fused->tpiin;
 
   DegreeStats antecedent =
@@ -98,10 +102,20 @@ int Run() {
               static_cast<size_t>(net.NumNodes()) -
                   fused->stats.person_syndicates);
   std::printf("\nFusion detail:\n%s\n", fused->stats.ToString().c_str());
+  json.Record("fig_networks_fuse", "p=0.002", fuse_s,
+              fuse_s > 0 ? net.graph().NumArcs() / fuse_s : 0);
+  json.Record("fig_networks_tpiin_nodes", "p=0.002", 0, net.NumNodes());
+  json.Record("fig_networks_tpiin_arcs", "p=0.002", 0,
+              net.graph().NumArcs());
+  json.Flush();
   return 0;
 }
 
 }  // namespace
 }  // namespace tpiin
 
-int main() { return tpiin::Run(); }
+int main(int argc, char** argv) {
+  tpiin::BenchJsonWriter json =
+      tpiin::BenchJsonWriter::FromArgs(argc, argv);
+  return tpiin::Run(json);
+}

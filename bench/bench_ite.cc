@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -21,7 +22,7 @@
 namespace tpiin {
 namespace {
 
-int Run() {
+int Run(BenchJsonWriter& json) {
   ProvinceConfig config = PaperProvinceConfig();
   config.trading_probability = 0.01;
   Result<Province> province = GenerateProvince(config);
@@ -87,10 +88,20 @@ int Run() {
               100.0 * screened.ExaminedFraction(), screened.Recall(),
               full.Recall());
   TPIIN_CHECK_GE(screened.Recall() + 1e-9, full.Recall());
+  json.Record("ite_audit", "screened", screened_s,
+              screened.Recall());
+  json.Record("ite_audit", "full_scan", full_s, full.Recall());
+  json.Record("ite_audit", "examined_fraction", 0,
+              screened.ExaminedFraction());
+  json.Flush();
   return 0;
 }
 
 }  // namespace
 }  // namespace tpiin
 
-int main() { return tpiin::Run(); }
+int main(int argc, char** argv) {
+  tpiin::BenchJsonWriter json =
+      tpiin::BenchJsonWriter::FromArgs(argc, argv);
+  return tpiin::Run(json);
+}

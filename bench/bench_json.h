@@ -9,6 +9,7 @@
 #define TPIIN_BENCH_BENCH_JSON_H_
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -87,6 +88,36 @@ class BenchJsonWriter {
   std::string path_;
   std::vector<std::string> records_;
 };
+
+/// Scans argv for `--threads N` / `--threads=N`. Returns
+/// `default_threads` when absent. 0 means auto-detect (resolved by the
+/// consumer via ResolveThreadCount). Harnesses that parallelize across
+/// measurement rows default to 1 so timings stay uncontended unless the
+/// user opts in.
+inline uint32_t ParseThreadsFlag(int argc, char** argv,
+                                 uint32_t default_threads = 1) {
+  uint32_t threads = default_threads;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    if (arg.rfind("--threads=", 0) == 0) {
+      value = arg.substr(10);
+    } else if (arg == "--threads" && i + 1 < argc) {
+      value = argv[++i];
+    } else {
+      continue;
+    }
+    char* end = nullptr;
+    unsigned long parsed = std::strtoul(value.c_str(), &end, 10);
+    if (end == value.c_str() || *end != '\0') {
+      TPIIN_LOG(Error) << "--threads wants a number, got '" << value
+                       << "'; ignoring";
+      continue;
+    }
+    threads = static_cast<uint32_t>(parsed);
+  }
+  return threads;
+}
 
 }  // namespace tpiin
 

@@ -9,6 +9,7 @@
 
 #include "common/logging.h"
 #include "common/rng.h"
+#include "core/arena_pool.h"
 #include "core/detector.h"
 #include "core/incremental.h"
 #include "core/scoring.h"
@@ -62,6 +63,26 @@ void BM_FusionPipeline(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FusionPipeline)->Arg(2)->Arg(20);
+
+// Fusion with the multi-threaded stage schedule: independent relationship
+// layers build concurrently, the person union-find / investment SCC run
+// partitioned, and the CSR freeze builds its two halves as parallel
+// tasks. Output is bit-identical to the serial path (asserted by
+// tests/fusion/parallel_fusion_test.cc); only wall clock changes.
+void BM_FusionPipelineParallel(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
+  FusionOptions options;
+  options.validate_dataset = false;
+  options.num_threads = static_cast<uint32_t>(state.range(1));
+  for (auto _ : state) {
+    Result<FusionOutput> fused = BuildTpiin(fixture.dataset, options);
+    TPIIN_CHECK(fused.ok());
+    benchmark::DoNotOptimize(fused->tpiin.NumNodes());
+  }
+}
+BENCHMARK(BM_FusionPipelineParallel)
+    ->ArgsProduct({{2, 20}, {1, 2, 4}})
+    ->ArgNames({"p_mille", "threads"});
 
 void BM_TarjanScc(benchmark::State& state) {
   const Fixture& fixture = GetFixture(0.002);
@@ -361,6 +382,36 @@ void BM_DetectEndToEnd(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DetectEndToEnd)->Arg(2)->Arg(20);
+
+// The serving-style repeated-detection workload: the same TPIIN mined
+// over and over (range(1) = 1 routes generation storage through a
+// persistent ArenaPool, 0 allocates fresh buffers per call, the seed
+// behavior). After the first iteration warms the pool every subTPIIN's
+// PatternBase/tree lands in a recycled buffer, so the steady-state delta
+// between the two rows is the allocator traffic Algorithm 2 no longer
+// pays. Results are identical with or without the pool.
+void BM_DetectArenaReuse(benchmark::State& state) {
+  const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
+  ArenaPool pool;
+  DetectorOptions options;
+  options.match.collect_groups = false;
+  options.arena_pool = state.range(1) != 0 ? &pool : nullptr;
+  for (auto _ : state) {
+    Result<DetectionResult> result =
+        DetectSuspiciousGroups(fixture.net, options);
+    TPIIN_CHECK(result.ok());
+    benchmark::DoNotOptimize(result->suspicious_trades.size());
+  }
+  if (options.arena_pool != nullptr) {
+    state.counters["arena_hit_rate"] =
+        pool.num_acquires() > 0
+            ? static_cast<double>(pool.num_hits()) / pool.num_acquires()
+            : 0.0;
+  }
+}
+BENCHMARK(BM_DetectArenaReuse)
+    ->ArgsProduct({{2, 20}, {0, 1}})
+    ->ArgNames({"p_mille", "arena"});
 
 void BM_IncrementalScreenerBuild(benchmark::State& state) {
   const Fixture& fixture = GetFixture(0.002);

@@ -11,8 +11,10 @@
 #include <cstdio>
 #include <set>
 
+#include "bench/bench_json.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/timer.h"
 #include "core/detector.h"
 #include "core/scoring.h"
 #include "datagen/plant.h"
@@ -22,7 +24,7 @@
 namespace tpiin {
 namespace {
 
-int Run() {
+int Run(BenchJsonWriter& json) {
   std::printf("=== Scoring quality: planted schemes vs noise ===\n\n");
   std::printf("%-8s %-10s %-10s %-12s %-14s %-12s\n", "seed", "planted",
               "flagged", "prec@K", "mean-rank", "median-rank");
@@ -41,7 +43,9 @@ int Run() {
     const Tpiin& net = fused->tpiin;
     Result<DetectionResult> detection = DetectSuspiciousGroups(net);
     TPIIN_CHECK(detection.ok());
+    WallTimer score_timer;
     ScoringResult scoring = ScoreDetection(net, *detection);
+    double score_s = score_timer.ElapsedSeconds();
 
     std::set<std::pair<NodeId, NodeId>> planted_pairs;
     for (const PlantedScheme& scheme : planted) {
@@ -74,7 +78,14 @@ int Run() {
                 scoring.ranked_trades.size(),
                 static_cast<double>(hits_at_k) / k, mean_rank,
                 median_rank);
+    std::string case_name = StringPrintf(
+        "seed=%llu", static_cast<unsigned long long>(seed));
+    json.Record("scoring_score", case_name, score_s,
+                score_s > 0 ? scoring.ranked_trades.size() / score_s : 0);
+    json.Record("scoring_precision_at_k", case_name, 0,
+                static_cast<double>(hits_at_k) / k);
   }
+  json.Flush();
   std::printf(
       "\n(prec@K: fraction of the K flagged planted relationships found "
       "in the top K of the score ranking; ranks are normalized by the "
@@ -85,4 +96,8 @@ int Run() {
 }  // namespace
 }  // namespace tpiin
 
-int main() { return tpiin::Run(); }
+int main(int argc, char** argv) {
+  tpiin::BenchJsonWriter json =
+      tpiin::BenchJsonWriter::FromArgs(argc, argv);
+  return tpiin::Run(json);
+}

@@ -24,6 +24,7 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "core/baseline.h"
 #include "core/detector.h"
 #include "datagen/province.h"
@@ -71,7 +72,79 @@ constexpr PaperRow kPaperRows[] = {
     {0.100, 132.759, 372050, 78252, 30288, 602053},
 };
 
-int Run(BenchJsonWriter& json) {
+// Everything one probability row produces; rows are computed
+// concurrently, then emitted in sweep order so the report and artifacts
+// are byte-identical at any thread count.
+struct RowOutput {
+  double avg_degree = 0;
+  size_t num_complex = 0;
+  size_t num_simple = 0;
+  double group_accuracy = 0;
+  size_t suspicious_trades = 0;
+  size_t total_trades = 0;
+  double arc_accuracy = 0;
+  double suspicious_percent = 0;
+  double detect_seconds = 0;
+};
+
+RowOutput MeasureRow(const RawDataset& base_dataset,
+                     const ProvinceConfig& config, size_t i) {
+  double p = kProbabilities[i];
+  // Private dataset copy: SetTrades mutates, and rows run concurrently.
+  RawDataset dataset = base_dataset;
+  Rng trading_rng(config.seed * 1000 + i);
+  dataset.SetTrades(
+      GenerateTradingNetwork(config.num_companies, p, trading_rng));
+
+  FusionOptions fusion_options;
+  fusion_options.validate_dataset = (i == 0);
+  Result<FusionOutput> fused = BuildTpiin(dataset, fusion_options);
+  TPIIN_CHECK(fused.ok()) << fused.status().ToString();
+  const Tpiin& net = fused->tpiin;
+
+  DetectorOptions options;
+  options.match.collect_groups = false;
+  Result<DetectionResult> result = DetectSuspiciousGroups(net, options);
+  TPIIN_CHECK(result.ok()) << result.status().ToString();
+
+  // Accuracy vs the global-traversal baseline anchored like the
+  // proposed method: group counts and the suspicious-arc set must
+  // match exactly.
+  BaselineOptions baseline_options;
+  baseline_options.collect_groups = false;
+  BaselineResult baseline = DetectBaseline(net, baseline_options);
+  size_t proposed_groups = result->num_simple + result->num_complex;
+  size_t baseline_groups = baseline.num_simple + baseline.num_complex;
+  RowOutput row;
+  row.group_accuracy =
+      baseline_groups == 0
+          ? 100.0
+          : 100.0 * std::min(proposed_groups, baseline_groups) /
+                static_cast<double>(baseline_groups);
+  std::set<std::pair<NodeId, NodeId>> proposed_arcs(
+      result->suspicious_trades.begin(), result->suspicious_trades.end());
+  size_t found = 0;
+  for (const auto& arc : baseline.suspicious_trades) {
+    if (proposed_arcs.count(arc)) ++found;
+  }
+  row.arc_accuracy = baseline.suspicious_trades.empty()
+                         ? 100.0
+                         : 100.0 * found /
+                               baseline.suspicious_trades.size();
+  TPIIN_CHECK_EQ(proposed_groups, baseline_groups);
+  TPIIN_CHECK_EQ(proposed_arcs.size(), baseline.suspicious_trades.size());
+
+  row.avg_degree = ComputeDegreeStats(net.graph()).average_degree;
+  row.num_complex = result->num_complex;
+  row.num_simple = result->num_simple;
+  row.suspicious_trades = result->suspicious_trades.size();
+  row.total_trades = net.num_trading_arcs();
+  row.suspicious_percent = result->SuspiciousTradePercent();
+  row.detect_seconds = result->timings.total_seconds;
+  return row;
+}
+
+int Run(BenchJsonWriter& json, uint32_t num_threads) {
   ProvinceConfig config = PaperProvinceConfig();
   config.generate_trading = false;
   Result<Province> province = GenerateProvince(config);
@@ -79,8 +152,10 @@ int Run(BenchJsonWriter& json) {
 
   std::printf("=== Table 1: detecting suspicious groups in a TPIIN over "
               "various trading probability settings ===\n");
-  std::printf("Province: %s\n\n",
-              province->dataset.Stats().ToString().c_str());
+  std::printf("Province: %s\n", province->dataset.Stats().ToString().c_str());
+  const uint32_t threads = ResolveThreadCount(num_threads);
+  if (threads > 1) std::printf("Rows measured on %u threads\n", threads);
+  std::printf("\n");
   std::printf(
       "%-7s %-8s %-10s %-9s %-8s %-10s %-10s %-8s %-8s\n", "p", "avgdeg",
       "complex", "simple", "grp-acc", "suspTrade", "totTrade", "arc-acc",
@@ -94,58 +169,24 @@ int Run(BenchJsonWriter& json) {
                 "suspicious_percent", "paper_complex", "paper_simple",
                 "paper_suspicious", "paper_total"});
 
-  for (size_t i = 0; i < std::size(kProbabilities); ++i) {
+  // The twenty rows are independent (private dataset copy, per-row rng
+  // seeded from the row index), so they fan out across the shared pool;
+  // outputs are buffered and emitted in sweep order below.
+  std::vector<RowOutput> rows(std::size(kProbabilities));
+  ThreadPool::Global().ParallelFor(
+      rows.size(), threads, [&](size_t i) {
+        rows[i] = MeasureRow(province->dataset, config, i);
+      });
+
+  for (size_t i = 0; i < rows.size(); ++i) {
     double p = kProbabilities[i];
-    Rng trading_rng(config.seed * 1000 + i);
-    province->dataset.SetTrades(
-        GenerateTradingNetwork(config.num_companies, p, trading_rng));
-
-    FusionOptions fusion_options;
-    fusion_options.validate_dataset = (i == 0);
-    Result<FusionOutput> fused =
-        BuildTpiin(province->dataset, fusion_options);
-    TPIIN_CHECK(fused.ok()) << fused.status().ToString();
-    const Tpiin& net = fused->tpiin;
-
-    DetectorOptions options;
-    options.match.collect_groups = false;
-    Result<DetectionResult> result = DetectSuspiciousGroups(net, options);
-    TPIIN_CHECK(result.ok()) << result.status().ToString();
-
-    // Accuracy vs the global-traversal baseline anchored like the
-    // proposed method: group counts and the suspicious-arc set must
-    // match exactly.
-    BaselineOptions baseline_options;
-    baseline_options.collect_groups = false;
-    BaselineResult baseline = DetectBaseline(net, baseline_options);
-    size_t proposed_groups = result->num_simple + result->num_complex;
-    size_t baseline_groups = baseline.num_simple + baseline.num_complex;
-    double group_accuracy =
-        baseline_groups == 0
-            ? 100.0
-            : 100.0 * std::min(proposed_groups, baseline_groups) /
-                  static_cast<double>(baseline_groups);
-    std::set<std::pair<NodeId, NodeId>> proposed_arcs(
-        result->suspicious_trades.begin(), result->suspicious_trades.end());
-    size_t found = 0;
-    for (const auto& arc : baseline.suspicious_trades) {
-      if (proposed_arcs.count(arc)) ++found;
-    }
-    double arc_accuracy = baseline.suspicious_trades.empty()
-                              ? 100.0
-                              : 100.0 * found /
-                                    baseline.suspicious_trades.size();
-    TPIIN_CHECK_EQ(proposed_groups, baseline_groups);
-    TPIIN_CHECK_EQ(proposed_arcs.size(), baseline.suspicious_trades.size());
-
-    DegreeStats degree = ComputeDegreeStats(net.graph());
+    const RowOutput& row = rows[i];
     std::printf(
         "%-7.3f %-8.3f %-10zu %-9zu %-7.0f%% %-10zu %-10zu %-7.0f%% "
         "%-8.4f\n",
-        p, degree.average_degree, result->num_complex, result->num_simple,
-        group_accuracy, result->suspicious_trades.size(),
-        static_cast<size_t>(net.num_trading_arcs()), arc_accuracy,
-        result->SuspiciousTradePercent());
+        p, row.avg_degree, row.num_complex, row.num_simple,
+        row.group_accuracy, row.suspicious_trades, row.total_trades,
+        row.arc_accuracy, row.suspicious_percent);
     std::printf(
         "  paper %-8.3f %-10ld %-9ld %-7.0f%% %-10ld %-10ld %-7.0f%% "
         "%-8.4f\n",
@@ -154,17 +195,17 @@ int Run(BenchJsonWriter& json) {
         kPaperRows[i].total, 100.0,
         100.0 * kPaperRows[i].suspicious / kPaperRows[i].total);
     json.Record("table1_detect", StringPrintf("p=%.3f", p),
-                result->timings.total_seconds,
-                result->timings.total_seconds > 0
-                    ? net.num_trading_arcs() / result->timings.total_seconds
+                row.detect_seconds,
+                row.detect_seconds > 0
+                    ? row.total_trades / row.detect_seconds
                     : 0);
     csv.WriteRow({StringPrintf("%.3f", p),
-                  StringPrintf("%.3f", degree.average_degree),
-                  StringPrintf("%zu", result->num_complex),
-                  StringPrintf("%zu", result->num_simple),
-                  StringPrintf("%zu", result->suspicious_trades.size()),
-                  StringPrintf("%u", net.num_trading_arcs()),
-                  StringPrintf("%.4f", result->SuspiciousTradePercent()),
+                  StringPrintf("%.3f", row.avg_degree),
+                  StringPrintf("%zu", row.num_complex),
+                  StringPrintf("%zu", row.num_simple),
+                  StringPrintf("%zu", row.suspicious_trades),
+                  StringPrintf("%zu", row.total_trades),
+                  StringPrintf("%.4f", row.suspicious_percent),
                   StringPrintf("%ld", kPaperRows[i].complex_groups),
                   StringPrintf("%ld", kPaperRows[i].simple_groups),
                   StringPrintf("%ld", kPaperRows[i].suspicious),
@@ -185,5 +226,8 @@ int Run(BenchJsonWriter& json) {
 int main(int argc, char** argv) {
   tpiin::BenchJsonWriter json =
       tpiin::BenchJsonWriter::FromArgs(argc, argv);
-  return tpiin::Run(json);
+  // Rows are serial by default so per-row timings stay uncontended;
+  // --threads N sweeps the twenty probability settings concurrently
+  // (identical counts either way, per-row detect timings get noisier).
+  return tpiin::Run(json, tpiin::ParseThreadsFlag(argc, argv));
 }

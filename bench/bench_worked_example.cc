@@ -7,7 +7,9 @@
 
 #include <cstdio>
 
+#include "bench/bench_json.h"
 #include "common/logging.h"
+#include "common/timer.h"
 #include "core/detector.h"
 #include "core/pattern_tree.h"
 #include "core/subtpiin.h"
@@ -17,14 +19,16 @@
 namespace tpiin {
 namespace {
 
-int Run() {
+int Run(BenchJsonWriter& json) {
   std::printf("=== Worked example (paper Figs. 7-10) ===\n\n");
 
   RawDataset dataset = BuildWorkedExampleDataset();
   std::printf("Fig. 7 (un-contracted network): %s\n\n",
               dataset.Stats().ToString().c_str());
 
+  WallTimer fuse_timer;
   Result<FusionOutput> fused = BuildTpiin(dataset);
+  double fuse_s = fuse_timer.ElapsedSeconds();
   TPIIN_CHECK(fused.ok()) << fused.status().ToString();
   const Tpiin& net = fused->tpiin;
   std::printf("Fig. 8 (TPIIN after contraction):\n%s\n\n",
@@ -57,7 +61,9 @@ int Run() {
   std::printf("\nFig. 10 potential component patterns base:\n%s",
               FormatPatternBase(sub, gen->base).c_str());
 
+  WallTimer detect_timer;
   Result<DetectionResult> result = DetectSuspiciousGroups(net);
+  double detect_s = detect_timer.ElapsedSeconds();
   TPIIN_CHECK(result.ok()) << result.status().ToString();
   std::printf("\nSuspicious groups (§4.3 expects (L1,C1,C2,C3,C5), "
               "(B1,C5,C6), (B2,C7,C8)):\n");
@@ -65,10 +71,18 @@ int Run() {
     std::printf("  %s\n", group.Format(net).c_str());
   }
   std::printf("\n%s\n", result->Summary().c_str());
+  json.Record("worked_example_fuse", "fig7", fuse_s);
+  json.Record("worked_example_detect", "fig7", detect_s,
+              result->TotalGroups());
+  json.Flush();
   return 0;
 }
 
 }  // namespace
 }  // namespace tpiin
 
-int main() { return tpiin::Run(); }
+int main(int argc, char** argv) {
+  tpiin::BenchJsonWriter json =
+      tpiin::BenchJsonWriter::FromArgs(argc, argv);
+  return tpiin::Run(json);
+}

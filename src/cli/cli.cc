@@ -70,13 +70,16 @@ Status RunFuse(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags;
   flags.DefineString("data", "", "CSV dataset directory");
   flags.DefineString("out", "", "edge-list output file");
+  flags.DefineInt64("threads", 0, "worker threads (0 = auto-detect)");
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
   if (flags.GetString("data").empty() || flags.GetString("out").empty()) {
     return Status::InvalidArgument("fuse requires --data=DIR --out=FILE");
   }
   TPIIN_ASSIGN_OR_RETURN(RawDataset dataset,
                          LoadDatasetCsv(flags.GetString("data")));
-  TPIIN_ASSIGN_OR_RETURN(FusionOutput fused, BuildTpiin(dataset));
+  FusionOptions fusion;
+  fusion.num_threads = static_cast<uint32_t>(flags.GetInt64("threads"));
+  TPIIN_ASSIGN_OR_RETURN(FusionOutput fused, BuildTpiin(dataset, fusion));
   TPIIN_RETURN_IF_ERROR(
       WriteTpiinEdgeList(flags.GetString("out"), fused.tpiin));
   out << fused.stats.ToString() << "\n";
@@ -336,7 +339,7 @@ std::string CliUsage() {
       "  gen     generate a synthetic province dataset (CSV)\n"
       "          --out=DIR [--companies=N] [--p=X] [--seed=S] [--plant=K]\n"
       "  fuse    fuse a CSV dataset into a TPIIN edge list\n"
-      "          --data=DIR --out=FILE\n"
+      "          --data=DIR --out=FILE [--threads=T]\n"
       "  detect  mine suspicious tax evasion groups\n"
       "          --net=FILE [--out=DIR] [--threads=T] [--top=K] "
       "[--json=FILE]\n"

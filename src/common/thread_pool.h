@@ -6,6 +6,7 @@
 #include <deque>
 #include <functional>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -48,6 +49,23 @@ class ThreadPool {
   /// must not throw.
   void ParallelFor(size_t count, uint32_t parallelism,
                    const std::function<void(size_t)>& body);
+
+  /// Chunked variant for fine-grained loops: splits [0, count) into
+  /// contiguous ranges (a few per participating thread) and runs
+  /// body(lo, hi) once per range, so tiny per-index bodies don't pay one
+  /// shared-cursor fetch per index. With parallelism <= 1 the whole
+  /// range runs inline as body(0, count).
+  void ParallelForRanges(size_t count, uint32_t parallelism,
+                         const std::function<void(size_t, size_t)>& body);
+
+  /// Runs a small set of heterogeneous stage tasks concurrently (the
+  /// fusion pipeline's independent layer builds, a FrozenGraph's out/in
+  /// CSR halves, ...). The caller participates and the call blocks until
+  /// every task has run. With parallelism <= 1 the tasks run inline on
+  /// the caller in list order, so a serial configuration executes the
+  /// exact same code path deterministically.
+  void RunTasks(std::span<const std::function<void()>> tasks,
+                uint32_t parallelism);
 
   /// Shared process-wide pool, sized to the hardware concurrency and
   /// created on first use; never destroyed (workers park on the queue's

@@ -1,0 +1,35 @@
+#include "core/arena_pool.h"
+
+#include <functional>
+#include <thread>
+
+namespace tpiin {
+
+ArenaPool::Shard& ArenaPool::LocalShard() {
+  const size_t h =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kNumShards];
+}
+
+PatternScratch ArenaPool::Acquire() {
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = LocalShard();
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    if (!shard.free_list.empty()) {
+      PatternScratch scratch = std::move(shard.free_list.back());
+      shard.free_list.pop_back();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      return scratch;
+    }
+  }
+  return PatternScratch{};
+}
+
+void ArenaPool::Release(PatternScratch scratch) {
+  Shard& shard = LocalShard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  shard.free_list.push_back(std::move(scratch));
+}
+
+}  // namespace tpiin

@@ -13,15 +13,22 @@ namespace {
 // All influence-only simple paths from `anchor` (including the trivial
 // path {anchor}), plus every trade-terminated trail formed by joining a
 // trading arc to a path end (Lemma 1).
+//
+// Walks the frozen CSR view: the DFS descends over each node's
+// influence span and trail termination sweeps its trading span. Both
+// spans preserve the Digraph's per-node insertion order, so the
+// enumeration (and every group derived from it) is identical to the
+// old adjacency-list walk that filtered arcs by color.
 struct Enumeration {
   std::vector<std::vector<NodeId>> paths;  // Influence-only paths.
-  // (path index, trading arc id) pairs: the trail paths[i] + arc.
-  std::vector<std::pair<size_t, ArcId>> trade_trails;
+  // (path index, buyer node) pairs: the trail paths[i] plus the trading
+  // arc from its end node to the buyer.
+  std::vector<std::pair<size_t, NodeId>> trade_trails;
   // Path indices grouped by end node.
   std::unordered_map<NodeId, std::vector<size_t>> paths_by_end;
 };
 
-Enumeration EnumerateFrom(const Digraph& g, NodeId anchor) {
+Enumeration EnumerateFrom(const FrozenGraph& fg, NodeId anchor) {
   Enumeration result;
 
   struct Frame {
@@ -35,30 +42,23 @@ Enumeration EnumerateFrom(const Digraph& g, NodeId anchor) {
     size_t index = result.paths.size();
     result.paths.push_back(path);
     result.paths_by_end[path.back()].push_back(index);
-    for (ArcId id : g.OutArcs(path.back())) {
-      if (IsTradingArc(g.arc(id))) {
-        result.trade_trails.emplace_back(index, id);
-      }
+    for (NodeId buyer : fg.TradingOut(path.back()).nodes) {
+      result.trade_trails.emplace_back(index, buyer);
     }
   };
   record_path();  // The trivial path {anchor} is a trail too.
 
   while (!frames.empty()) {
     Frame& frame = frames.back();
-    std::span<const ArcId> out = g.OutArcs(frame.node);
-    bool descended = false;
-    while (frame.arc_pos < out.size()) {
-      ArcId arc_id = out[frame.arc_pos];
+    std::span<const NodeId> influence = fg.InfluenceOut(frame.node).nodes;
+    if (frame.arc_pos < influence.size()) {
+      NodeId dst = influence[frame.arc_pos];
       ++frame.arc_pos;
-      const Arc& arc = g.arc(arc_id);
-      if (IsTradingArc(arc)) continue;  // Handled per path in record_path.
-      frames.push_back(Frame{arc.dst, 0});
-      path.push_back(arc.dst);
+      frames.push_back(Frame{dst, 0});
+      path.push_back(dst);
       record_path();  // Every DFS prefix is a distinct path.
-      descended = true;
-      break;
+      continue;
     }
-    if (descended) continue;
     path.pop_back();
     frames.pop_back();
   }
@@ -69,29 +69,24 @@ Enumeration EnumerateFrom(const Digraph& g, NodeId anchor) {
 
 BaselineResult DetectBaseline(const Tpiin& net,
                               const BaselineOptions& options) {
-  const Digraph& g = net.graph();
+  const FrozenGraph& fg = net.frozen();
   BaselineResult result;
 
-  std::vector<uint32_t> influence_in(g.NumNodes(), 0);
-  for (ArcId id = 0; id < net.num_influence_arcs(); ++id) {
-    ++influence_in[g.arc(id).dst];
-  }
-
   std::set<std::pair<NodeId, NodeId>> trades;
-  std::vector<uint8_t> in_trade_trail(g.NumNodes(), 0);
+  std::vector<uint8_t> in_trade_trail(fg.NumNodes(), 0);
 
   auto over_budget = [&]() {
     return options.max_groups != 0 &&
            result.num_simple + result.num_complex >= options.max_groups;
   };
 
-  for (NodeId anchor = 0; anchor < g.NumNodes(); ++anchor) {
+  for (NodeId anchor = 0; anchor < fg.NumNodes(); ++anchor) {
     if (options.anchor == BaselineAnchor::kIndegreeZeroOnly &&
-        influence_in[anchor] != 0) {
+        fg.InfluenceInDegree(anchor) != 0) {
       continue;
     }
     if (over_budget()) break;
-    Enumeration enumeration = EnumerateFrom(g, anchor);
+    Enumeration enumeration = EnumerateFrom(fg, anchor);
     result.num_trails_enumerated +=
         enumeration.paths.size() + enumeration.trade_trails.size();
 
@@ -99,13 +94,13 @@ BaselineResult DetectBaseline(const Tpiin& net,
       // Pair every trade-terminated trail against every influence trail
       // and test Definition 2 membership directly (end-node equality),
       // without the paths_by_end index.
-      for (const auto& [path_index, trade_arc] : enumeration.trade_trails) {
+      for (const auto& [path_index, buyer] : enumeration.trade_trails) {
         if (over_budget()) break;
         const std::vector<NodeId>& p = enumeration.paths[path_index];
-        const Arc& arc = g.arc(trade_arc);
+        const NodeId seller = p.back();
         for (size_t i = 1; i < p.size(); ++i) in_trade_trail[p[i]] = 1;
         for (const std::vector<NodeId>& q : enumeration.paths) {
-          if (q.back() != arc.dst) continue;  // Ends must coincide.
+          if (q.back() != buyer) continue;  // Ends must coincide.
           if (over_budget()) break;
           bool is_simple = true;
           for (size_t i = 1; i + 1 < q.size(); ++i) {
@@ -119,18 +114,18 @@ BaselineResult DetectBaseline(const Tpiin& net,
           } else {
             ++result.num_complex;
           }
-          trades.emplace(arc.src, arc.dst);
+          trades.emplace(seller, buyer);
           if (options.collect_groups) {
             SuspiciousGroup group;
             group.antecedent = anchor;
             group.trade_trail = p;
-            group.trade_seller = arc.src;
-            group.trade_buyer = arc.dst;
+            group.trade_seller = seller;
+            group.trade_buyer = buyer;
             group.partner_trail = q;
             group.is_simple = is_simple;
             group.members = p;
             group.members.insert(group.members.end(), q.begin(), q.end());
-            group.members.push_back(arc.dst);
+            group.members.push_back(buyer);
             std::sort(group.members.begin(), group.members.end());
             group.members.erase(
                 std::unique(group.members.begin(), group.members.end()),
@@ -143,11 +138,11 @@ BaselineResult DetectBaseline(const Tpiin& net,
       continue;
     }
 
-    for (const auto& [path_index, trade_arc] : enumeration.trade_trails) {
+    for (const auto& [path_index, buyer] : enumeration.trade_trails) {
       if (over_budget()) break;
       const std::vector<NodeId>& p = enumeration.paths[path_index];
-      const Arc& arc = g.arc(trade_arc);
-      auto partners = enumeration.paths_by_end.find(arc.dst);
+      const NodeId seller = p.back();
+      auto partners = enumeration.paths_by_end.find(buyer);
       if (partners == enumeration.paths_by_end.end()) continue;
 
       for (size_t i = 1; i < p.size(); ++i) in_trade_trail[p[i]] = 1;
@@ -166,18 +161,18 @@ BaselineResult DetectBaseline(const Tpiin& net,
         } else {
           ++result.num_complex;
         }
-        trades.emplace(arc.src, arc.dst);
+        trades.emplace(seller, buyer);
         if (options.collect_groups) {
           SuspiciousGroup group;
           group.antecedent = anchor;
           group.trade_trail = p;
-          group.trade_seller = arc.src;
-          group.trade_buyer = arc.dst;
+          group.trade_seller = seller;
+          group.trade_buyer = buyer;
           group.partner_trail = q;
           group.is_simple = is_simple;
           group.members = p;
           group.members.insert(group.members.end(), q.begin(), q.end());
-          group.members.push_back(arc.dst);
+          group.members.push_back(buyer);
           std::sort(group.members.begin(), group.members.end());
           group.members.erase(
               std::unique(group.members.begin(), group.members.end()),

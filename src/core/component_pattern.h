@@ -68,6 +68,15 @@ class PatternBase {
     arena_.reserve(num_nodes);
   }
 
+  /// Removes every trail but keeps the arena and trail-record capacity —
+  /// what makes a base recyclable across GeneratePatternBase calls (see
+  /// core/arena_pool.h). A cleared base compares equal to a
+  /// default-constructed one.
+  void Clear() {
+    arena_.clear();
+    trails_.clear();
+  }
+
   /// Total node slots across all trails (arena length).
   size_t TotalNodes() const { return arena_.size(); }
 

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "core/arena_pool.h"
 #include "core/pattern_tree.h"
 
 namespace tpiin {
@@ -100,6 +101,11 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
     gen_options.emit_trails = options.emit_pattern_bases;
     gen_options.max_trails = options.max_trails_per_subtpiin;
     gen_options.use_frozen_graph = options.use_frozen_graph;
+    PatternScratch scratch;
+    if (options.arena_pool != nullptr) {
+      scratch = options.arena_pool->Acquire();
+      gen_options.scratch = &scratch;
+    }
     Result<PatternGenResult> gen = [&] {
       ScopedTimer timer(&outcome.pattern_seconds);
       return GeneratePatternBase(sub, gen_options);
@@ -110,8 +116,18 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
     }
     outcome.num_trails = gen->num_trails;
     outcome.truncated = gen->truncated;
-    ScopedTimer timer(&outcome.match_seconds);
-    outcome.match = MatchPatternsTree(sub, gen->tree, options.match);
+    {
+      ScopedTimer timer(&outcome.match_seconds);
+      outcome.match = MatchPatternsTree(sub, gen->tree, options.match);
+    }
+    if (options.arena_pool != nullptr) {
+      // Matching consumed the tree and nothing retains the base, so the
+      // grown buffers go straight back to the pool for the next
+      // subTPIIN (or the next detection run).
+      scratch.base = std::move(gen->base);
+      scratch.tree = std::move(gen->tree);
+      options.arena_pool->Release(std::move(scratch));
+    }
   };
 
   // The persistent pool's threads are reused across DetectSuspiciousGroups

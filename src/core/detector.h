@@ -13,6 +13,8 @@
 
 namespace tpiin {
 
+class ArenaPool;
+
 /// A suspicious trade internal to a contracted investment SCC (§4.3
 /// closing remark): seller and buyer sit in one strongly connected
 /// shareholding circle, so a proof chain (the `chain` of original
@@ -48,6 +50,15 @@ struct DetectorOptions {
   /// are identical for any thread count; only the per-stage timing
   /// attribution differs (worker time is summed).
   uint32_t num_threads = 1;
+
+  /// Optional caller-owned buffer pool (core/arena_pool.h), sized by the
+  /// previous run: each worker acquires a recycled PatternBase/tree
+  /// buffer per subTPIIN and releases it after matching, so repeated
+  /// DetectSuspiciousGroups calls — the serving-style workload — stop
+  /// reallocating generation storage. Must outlive the call; safe to
+  /// share across concurrent calls. Results are identical with or
+  /// without a pool.
+  ArenaPool* arena_pool = nullptr;
 };
 
 /// Wall-clock attribution across Algorithm 1's stages.

@@ -8,15 +8,17 @@
 namespace tpiin {
 
 IncrementalScreener::IncrementalScreener(const Tpiin& net) {
-  const Digraph& g = net.graph();
-  const NodeId n = g.NumNodes();
+  const FrozenGraph& fg = net.frozen();
+  const NodeId n = fg.NumNodes();
   ancestors_.resize(n);
 
   // Topological order of the antecedent DAG; ancestors propagate along
-  // influence arcs. Sets are kept as sorted unique vectors — they stay
-  // small in taxpayer networks (a company has a handful of antecedents),
-  // and sorted merge keeps both the build and the queries cache-friendly.
-  Result<std::vector<NodeId>> order = TopologicalSort(g, IsInfluenceArc);
+  // the influence spans of the CSR view. Sets are kept as sorted unique
+  // vectors — they stay small in taxpayer networks (a company has a
+  // handful of antecedents), and sorted merge keeps both the build and
+  // the queries cache-friendly.
+  Result<std::vector<NodeId>> order =
+      TopologicalSort(fg, FrozenArcClass::kInfluence);
   TPIIN_CHECK(order.ok()) << "TPIIN antecedent layer must be a DAG";
 
   for (NodeId v : *order) {
@@ -26,13 +28,10 @@ IncrementalScreener::IncrementalScreener(const Tpiin& net) {
         std::unique(ancestors_[v].begin(), ancestors_[v].end()),
         ancestors_[v].end());
     total_entries_ += ancestors_[v].size();
-    for (ArcId id : g.OutArcs(v)) {
-      const Arc& arc = g.arc(id);
-      if (!IsInfluenceArc(arc)) continue;
+    for (NodeId dst : fg.InfluenceOut(v).nodes) {
       // Append; the child sorts/dedups once when its turn comes.
-      ancestors_[arc.dst].insert(ancestors_[arc.dst].end(),
-                                 ancestors_[v].begin(),
-                                 ancestors_[v].end());
+      ancestors_[dst].insert(ancestors_[dst].end(), ancestors_[v].begin(),
+                             ancestors_[v].end());
     }
   }
 }

@@ -158,10 +158,10 @@ std::vector<NodeId> SelectRoots(const SubTpiin& sub,
 // and every downstream match — is bit-identical to the adjacency-list
 // driver below (asserted by tests/core/frozen_equivalence_test.cc).
 Result<PatternGenResult> GenerateFrozen(const SubTpiin& sub,
-                                        const PatternGenOptions& options) {
+                                        const PatternGenOptions& options,
+                                        PatternGenResult result) {
   const FrozenGraph& fg = sub.frozen;
   const NodeId n = fg.NumNodes();
-  PatternGenResult result;
 
   // Property 1 requires the antecedent subgraph to be a DAG; verify
   // upfront (a cycle could otherwise hide in a rootless region the DFS
@@ -268,10 +268,10 @@ Result<PatternGenResult> GenerateFrozen(const SubTpiin& sub,
 // that were never frozen and for the frozen-vs-legacy equivalence tests
 // and benchmarks.
 Result<PatternGenResult> GenerateLegacy(const SubTpiin& sub,
-                                        const PatternGenOptions& options) {
+                                        const PatternGenOptions& options,
+                                        PatternGenResult result) {
   const Digraph& g = sub.graph;
   const NodeId n = g.NumNodes();
-  PatternGenResult result;
 
   std::vector<uint32_t> influence_in(n, 0);
   for (ArcId id = 0; id < sub.num_influence_arcs; ++id) {
@@ -380,10 +380,20 @@ Result<PatternGenResult> GenerateLegacy(const SubTpiin& sub,
 
 Result<PatternGenResult> GeneratePatternBase(
     const SubTpiin& sub, const PatternGenOptions& options) {
-  if (options.use_frozen_graph && sub.frozen_in_sync()) {
-    return GenerateFrozen(sub, options);
+  // Seed the result with recycled buffers when the caller provided
+  // scratch: content-wise a cleared buffer equals a fresh one, so the
+  // drivers are oblivious to where their storage came from.
+  PatternGenResult seed;
+  if (options.scratch != nullptr) {
+    seed.base = std::move(options.scratch->base);
+    seed.base.Clear();
+    seed.tree = std::move(options.scratch->tree);
+    seed.tree.Clear();
   }
-  return GenerateLegacy(sub, options);
+  if (options.use_frozen_graph && sub.frozen_in_sync()) {
+    return GenerateFrozen(sub, options, std::move(seed));
+  }
+  return GenerateLegacy(sub, options, std::move(seed));
 }
 
 }  // namespace tpiin

@@ -50,8 +50,26 @@ struct PatternsTree {
   /// free of per-pattern allocations.
   void PathTo(int32_t index, std::vector<NodeId>* out) const;
 
+  /// Removes every tree node but keeps vector capacity, for recycling
+  /// across GeneratePatternBase calls (see core/arena_pool.h).
+  void Clear() {
+    nodes.clear();
+    roots.clear();
+  }
+
   /// Indented textual rendering (Fig. 9(b) style).
   std::string ToString(const SubTpiin& sub) const;
+};
+
+/// Reusable generation buffers: a PatternBase arena plus a PatternsTree.
+/// When handed to GeneratePatternBase via PatternGenOptions::scratch,
+/// the generator moves the buffers into its result (cleared, capacity
+/// kept) instead of default-constructing them, so a caller that recycles
+/// the buffers — typically through an ArenaPool (core/arena_pool.h) —
+/// stops paying per-subTPIIN reallocation on repeated detection runs.
+struct PatternScratch {
+  PatternBase base;
+  PatternsTree tree;
 };
 
 struct PatternGenOptions {
@@ -77,6 +95,12 @@ struct PatternGenOptions {
   /// reference implementation for the equivalence tests; both emit
   /// bit-identical results.
   bool use_frozen_graph = true;
+
+  /// Optional recycled buffers: when set, generation takes over
+  /// scratch->base/tree storage (cleared, capacity kept) for the
+  /// returned result instead of growing fresh vectors. The emitted
+  /// content is identical with or without scratch.
+  PatternScratch* scratch = nullptr;
 };
 
 struct PatternGenResult {

@@ -1,9 +1,12 @@
 #include "fusion/pipeline.h"
 
+#include <array>
+#include <functional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "fusion/layers.h"
 #include "graph/frozen.h"
 #include "graph/scc.h"
@@ -55,59 +58,114 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   if (options.validate_dataset) {
     TPIIN_RETURN_IF_ERROR(dataset.Validate());
   }
+  const uint32_t threads = ResolveThreadCount(options.num_threads);
 
   FusionStats stats;
   const NodeId num_persons = static_cast<NodeId>(dataset.persons().size());
   const NodeId num_companies =
       static_cast<NodeId>(dataset.companies().size());
 
-  // --- G1 + edge contraction: connected components of the
-  // interdependence graph become person syndicates. Repeated pairwise
-  // edge contraction (the paper's formulation) and union-find produce
-  // the same partition; see bench_ablation for the comparison.
-  Digraph g1 = BuildInterdependenceGraph(dataset);
+  // --- Stage A: the relationship layers are independent views of the
+  // raw dataset, so their builds — and the contractions that only
+  // depend on one layer — run as concurrent tasks. Every task writes to
+  // its own slots; all stats are derived serially afterwards, so the
+  // output is identical at any thread count.
+  Digraph g1;
+  std::vector<NodeId> person_component;
+  NodeId num_person_nodes = 0;
+  Digraph gi;
+  SccResult scc;
+  std::vector<double> influence_weight(dataset.influence().size());
+  std::unordered_map<NodeId, std::vector<std::pair<CompanyId, CompanyId>>>
+      internal_of_component;
+
+  const std::array<std::function<void()>, 3> layer_tasks = {
+      // G1 (kinship + interlocking) + edge contraction: connected
+      // components of the interdependence graph become person
+      // syndicates. Repeated pairwise edge contraction (the paper's
+      // formulation) and union-find produce the same partition; see
+      // bench_ablation for the comparison.
+      [&] {
+        g1 = BuildInterdependenceGraph(dataset);
+        UnionFind person_uf = UnionArcs(num_persons, g1.arcs(), threads);
+        person_component = person_uf.DenseComponentIds();
+        num_person_nodes = person_uf.NumSets();
+      },
+      // GI + Tarjan SCC contraction: strongly connected investment
+      // subgraphs become company syndicates. Tarjan runs over the CSR
+      // view (one contiguous target array instead of per-node id
+      // vectors), partition-parallel when threads allow.
+      [&] {
+        gi = BuildInvestmentGraph(dataset);
+        FrozenGraph frozen_gi(gi, 1, threads);
+        scc = StronglyConnectedComponents(frozen_gi, FrozenArcClass::kAll,
+                                          threads);
+
+        // Internal investment arcs of each nontrivial SCC, collected in
+        // one O(arcs) pass (the previous per-syndicate scan over all of
+        // GI was O(syndicates x arcs)). Bucket order is arc-id order,
+        // matching the original scan, so proof chains come out identical.
+        for (NodeId comp : scc.nontrivial_components) {
+          internal_of_component.emplace(
+              comp, std::vector<std::pair<CompanyId, CompanyId>>());
+        }
+        for (const Arc& arc : gi.arcs()) {
+          NodeId comp = scc.component_of[arc.src];
+          if (comp != scc.component_of[arc.dst]) continue;
+          auto it = internal_of_component.find(comp);
+          if (it == internal_of_component.end()) {
+            continue;  // Trivial SCC self-loop.
+          }
+          it->second.emplace_back(static_cast<CompanyId>(arc.src),
+                                  static_cast<CompanyId>(arc.dst));
+        }
+      },
+      // Influence layer (G2): per-record arc weights, implementing §7's
+      // future-work edge weighting — a legal-person link is full
+      // strength, director-type links are weaker.
+      [&] {
+        const std::vector<InfluenceRecord>& influence = dataset.influence();
+        ThreadPool::Global().ParallelForRanges(
+            influence.size(), threads, [&](size_t lo, size_t hi) {
+              for (size_t i = lo; i < hi; ++i) {
+                const InfluenceRecord& rec = influence[i];
+                double weight = 1.0;
+                if (!rec.is_legal_person) {
+                  switch (rec.kind) {
+                    case InfluenceKind::kCeoAndDirectorOf:
+                      weight = 0.9;
+                      break;
+                    case InfluenceKind::kCeoOf:
+                    case InfluenceKind::kChairmanOf:
+                      weight = 0.8;
+                      break;
+                    case InfluenceKind::kDirectorOf:
+                      weight = 0.6;
+                      break;
+                  }
+                }
+                influence_weight[i] = weight;
+              }
+            });
+      },
+  };
+  ThreadPool::Global().RunTasks(layer_tasks, threads);
+
   stats.g1_nodes = num_persons;
   stats.g1_edges = g1.NumArcs();
-  UnionFind person_uf(num_persons);
-  for (const Arc& arc : g1.arcs()) person_uf.Union(arc.src, arc.dst);
-  std::vector<NodeId> person_component = person_uf.DenseComponentIds();
-  const NodeId num_person_nodes = person_uf.NumSets();
   stats.person_syndicates = num_person_nodes;
-
-  // --- GI + Tarjan SCC contraction: strongly connected investment
-  // subgraphs become company syndicates. Tarjan runs over the CSR view
-  // (one contiguous target array instead of per-node id vectors).
-  Digraph gi = BuildInvestmentGraph(dataset);
   stats.investment_records = dataset.investments().size();
-  FrozenGraph frozen_gi(gi);
-  SccResult scc = StronglyConnectedComponents(frozen_gi);
   const NodeId num_company_nodes = scc.num_components;
   stats.company_syndicates = scc.nontrivial_components.size();
   for (NodeId comp : scc.nontrivial_components) {
     stats.companies_in_syndicates += scc.members[comp].size();
   }
 
-  // Internal investment arcs of each nontrivial SCC, collected in one
-  // O(arcs) pass (the previous per-syndicate scan over all of GI was
-  // O(syndicates x arcs)). Bucket order is arc-id order, matching the
-  // original scan, so proof chains come out identical.
-  std::unordered_map<NodeId, std::vector<std::pair<CompanyId, CompanyId>>>
-      internal_of_component;
-  for (NodeId comp : scc.nontrivial_components) {
-    internal_of_component.emplace(
-        comp, std::vector<std::pair<CompanyId, CompanyId>>());
-  }
-  for (const Arc& arc : gi.arcs()) {
-    NodeId comp = scc.component_of[arc.src];
-    if (comp != scc.component_of[arc.dst]) continue;
-    auto it = internal_of_component.find(comp);
-    if (it == internal_of_component.end()) continue;  // Trivial SCC self-loop.
-    it->second.emplace_back(static_cast<CompanyId>(arc.src),
-                            static_cast<CompanyId>(arc.dst));
-  }
-
-  // --- Assemble TPIIN nodes: person syndicates first, then company
-  // (syndicate) nodes, so arc ids and node ids stay grouped by color.
+  // --- Stage B: assemble TPIIN nodes, person syndicates first, then
+  // company (syndicate) nodes, so arc ids and node ids stay grouped by
+  // color. Syndicate member lists and display labels are precomputed in
+  // parallel (index-addressed, so deterministic); the builder inserts
+  // serially to keep node ids sequential.
   TpiinBuilder builder;
   std::vector<NodeId> person_node(num_persons, kInvalidNode);
   std::vector<NodeId> company_node(num_companies, kInvalidNode);
@@ -117,30 +175,49 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
     for (PersonId p = 0; p < num_persons; ++p) {
       members[person_component[p]].push_back(p);
     }
+    std::vector<std::string> labels(num_person_nodes);
+    ThreadPool::Global().ParallelForRanges(
+        num_person_nodes, threads, [&](size_t lo, size_t hi) {
+          std::vector<std::string> names;
+          for (size_t c = lo; c < hi; ++c) {
+            names.clear();
+            names.reserve(members[c].size());
+            for (PersonId p : members[c]) {
+              names.push_back(dataset.persons()[p].name);
+            }
+            labels[c] = SyndicateLabel(names);
+          }
+        });
     for (NodeId c = 0; c < num_person_nodes; ++c) {
-      std::vector<std::string> names;
-      names.reserve(members[c].size());
-      for (PersonId p : members[c]) {
-        names.push_back(dataset.persons()[p].name);
-        if (members[c].size() > 1) ++stats.persons_in_syndicates;
+      if (members[c].size() > 1) {
+        stats.persons_in_syndicates += members[c].size();
       }
-      NodeId id = builder.AddPersonNode(SyndicateLabel(names), members[c]);
+      NodeId id = builder.AddPersonNode(std::move(labels[c]), members[c]);
       for (PersonId p : members[c]) person_node[p] = id;
     }
   }
   {
+    std::vector<std::string> labels(num_company_nodes);
+    std::vector<std::vector<CompanyId>> ids(num_company_nodes);
+    ThreadPool::Global().ParallelForRanges(
+        num_company_nodes, threads, [&](size_t lo, size_t hi) {
+          std::vector<std::string> names;
+          for (size_t comp = lo; comp < hi; ++comp) {
+            const std::vector<NodeId>& comp_members = scc.members[comp];
+            names.clear();
+            names.reserve(comp_members.size());
+            ids[comp].reserve(comp_members.size());
+            for (NodeId c : comp_members) {
+              names.push_back(dataset.companies()[c].name);
+              ids[comp].push_back(static_cast<CompanyId>(c));
+            }
+            labels[comp] = SyndicateLabel(names);
+          }
+        });
     for (NodeId comp = 0; comp < num_company_nodes; ++comp) {
-      const std::vector<NodeId>& comp_members = scc.members[comp];
-      std::vector<std::string> names;
-      std::vector<CompanyId> ids;
-      names.reserve(comp_members.size());
-      for (NodeId c : comp_members) {
-        names.push_back(dataset.companies()[c].name);
-        ids.push_back(static_cast<CompanyId>(c));
-      }
-      NodeId id = builder.AddCompanyNode(SyndicateLabel(names), ids);
-      for (CompanyId c : ids) company_node[c] = id;
-      if (comp_members.size() > 1) {
+      NodeId id = builder.AddCompanyNode(std::move(labels[comp]), ids[comp]);
+      for (CompanyId c : ids[comp]) company_node[c] = id;
+      if (ids[comp].size() > 1) {
         // Keep the SCS-internal investment arcs: they carry the proof
         // chains for intra-syndicate suspicious trades.
         builder.SetInternalInvestments(
@@ -149,29 +226,14 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
     }
   }
 
-  // --- Influence arcs (G12'): person syndicate -> company node. The
-  // builder deduplicates, keeping the maximum weight; weights implement
-  // §7's future-work edge weighting: a legal-person link is full
-  // strength, director-type links are weaker.
+  // --- Influence arcs (G12'): person syndicate -> company node, with
+  // the weights computed in stage A. The builder deduplicates, keeping
+  // the maximum weight.
   stats.influence_records = dataset.influence().size();
-  for (const InfluenceRecord& rec : dataset.influence()) {
-    double weight = 1.0;
-    if (!rec.is_legal_person) {
-      switch (rec.kind) {
-        case InfluenceKind::kCeoAndDirectorOf:
-          weight = 0.9;
-          break;
-        case InfluenceKind::kCeoOf:
-        case InfluenceKind::kChairmanOf:
-          weight = 0.8;
-          break;
-        case InfluenceKind::kDirectorOf:
-          weight = 0.6;
-          break;
-      }
-    }
+  for (size_t i = 0; i < dataset.influence().size(); ++i) {
+    const InfluenceRecord& rec = dataset.influence()[i];
     builder.AddInfluenceArc(person_node[rec.person],
-                            company_node[rec.company], weight);
+                            company_node[rec.company], influence_weight[i]);
   }
   stats.influence_arcs = builder.NumArcsSoFar();
 
@@ -192,7 +254,10 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   stats.antecedent_nodes = num_person_nodes + num_company_nodes;
   stats.antecedent_arcs = stats.influence_arcs + stats.investment_arcs;
 
-  // --- Trading overlay (G4) mapped through the contraction.
+  // --- Trading overlay (G4) mapped through the contraction. Stays
+  // serial: intra-syndicate trades are emitted per raw record (no
+  // dedup) and trading arc ids follow first-occurrence order, both of
+  // which a pre-deduplicating parallel pass would change.
   stats.trade_records = dataset.trades().size();
   std::unordered_set<uint64_t> seen_trades;
   for (const TradeRecord& rec : dataset.trades()) {
@@ -209,7 +274,7 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   }
 
   builder.SetEntityMaps(std::move(person_node), std::move(company_node));
-  TPIIN_ASSIGN_OR_RETURN(Tpiin net, builder.Build());
+  TPIIN_ASSIGN_OR_RETURN(Tpiin net, builder.Build(threads));
   return FusionOutput{std::move(net), stats};
 }
 

@@ -15,6 +15,15 @@ struct FusionOptions {
   /// caller has already validated (e.g. Table 1 re-fuses the same
   /// antecedent data twenty times with different trading layers).
   bool validate_dataset = true;
+
+  /// Worker threads for the parallel fusion stages: the independent
+  /// relationship-layer builds run as concurrent tasks, the person
+  /// edge-contraction uses the chunked union-find driver, the company
+  /// contraction the partition-parallel Tarjan, syndicate labels build
+  /// in parallel, and the final validation + CSR freeze run as
+  /// concurrent passes. 0 = auto-detect, 1 = fully serial. The TPIIN is
+  /// bit-identical at any value (tests/fusion/parallel_fusion_test.cc).
+  uint32_t num_threads = 1;
 };
 
 /// Per-stage counters of the fusion procedure (Fig. 5), reported by the

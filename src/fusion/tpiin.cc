@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <array>
+#include <functional>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "graph/topo.h"
 
 namespace tpiin {
@@ -20,8 +22,8 @@ std::string_view NodeColorName(NodeColor color) {
 
 std::vector<std::array<uint32_t, 3>> Tpiin::ToEdgeList() const {
   std::vector<std::array<uint32_t, 3>> rows;
-  rows.reserve(graph_.NumArcs());
-  for (const Arc& arc : graph_.arcs()) {
+  rows.reserve(frozen_.NumArcs());
+  for (const Arc& arc : frozen_.ArcsInIdOrder(kArcTrading)) {
     rows.push_back({arc.src, arc.dst, static_cast<uint32_t>(arc.color)});
   }
   return rows;
@@ -103,11 +105,39 @@ void TpiinBuilder::SetEntityMaps(std::vector<NodeId> person_node,
   net_.company_node_ = std::move(company_node);
 }
 
-Result<Tpiin> TpiinBuilder::Build() {
+Result<Tpiin> TpiinBuilder::Build(uint32_t num_threads) {
   if (failed_ordering_) {
     return Status::FailedPrecondition(
         "influence arcs must all precede trading arcs");
   }
+  const Digraph& g = net_.graph_;
+
+  // The three finalization passes only read the (now final) graph, so
+  // they run as concurrent tasks; the freeze is speculative and simply
+  // discarded if a validation task fails.
+  Status arc_status = Status::OK();
+  bool is_dag = true;
+  const std::array<std::function<void()>, 3> passes = {
+      [&] { arc_status = ValidateArcs(); },
+      // Property 1 rests on the antecedent network being a DAG.
+      [&] { is_dag = IsDag(g, IsInfluenceArc); },
+      // Freeze the CSR view once the graph is final; every
+      // traversal-heavy consumer (segmentation, WCC/SCC, incremental
+      // screening) reads it.
+      [&] { net_.frozen_ = FrozenGraph(g, kArcInfluence, num_threads); },
+  };
+  ThreadPool::Global().RunTasks(passes, num_threads);
+
+  if (!arc_status.ok()) return arc_status;
+  if (!is_dag) {
+    return Status::FailedPrecondition(
+        "antecedent (influence) subgraph contains a directed cycle; run "
+        "SCC contraction before building a TPIIN");
+  }
+  return std::move(net_);
+}
+
+Status TpiinBuilder::ValidateArcs() const {
   const Digraph& g = net_.graph_;
   for (ArcId id = 0; id < g.NumArcs(); ++id) {
     const Arc& arc = g.arc(id);
@@ -131,16 +161,7 @@ Result<Tpiin> TpiinBuilder::Build() {
       }
     }
   }
-  // Property 1 rests on the antecedent network being a DAG.
-  if (!IsDag(g, IsInfluenceArc)) {
-    return Status::FailedPrecondition(
-        "antecedent (influence) subgraph contains a directed cycle; run "
-        "SCC contraction before building a TPIIN");
-  }
-  // Freeze the CSR view once the graph is final; every traversal-heavy
-  // consumer (segmentation, WCC/SCC, incremental screening) reads it.
-  net_.frozen_ = FrozenGraph(net_.graph_, kArcInfluence);
-  return std::move(net_);
+  return Status::OK();
 }
 
 }  // namespace tpiin

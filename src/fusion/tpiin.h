@@ -168,13 +168,21 @@ class TpiinBuilder {
   /// attribute arc counts to its stages.
   ArcId NumArcsSoFar() const { return net_.graph_.NumArcs(); }
 
-  /// Validates and returns the network; the builder is consumed.
-  Result<Tpiin> Build();
+  /// Validates and returns the network; the builder is consumed. With
+  /// num_threads > 1 the three finalization passes — arc endpoint
+  /// validation, the antecedent DAG check, and the CSR freeze — run as
+  /// concurrent tasks on the shared ThreadPool (they only read the
+  /// graph); the returned network is identical at any thread count.
+  Result<Tpiin> Build(uint32_t num_threads = 1);
 
  private:
   /// Returns the existing arc id for this (src, dst, color) key, or
   /// kInvalidArc after registering it as new.
   ArcId LookupOrInsertArcKey(NodeId src, NodeId dst, ArcColor color);
+
+  /// Checks the per-arc endpoint invariants (influence ends at Company,
+  /// trading connects Companies, no trading self-loops).
+  Status ValidateArcs() const;
 
   Tpiin net_;
   std::unordered_map<uint64_t, ArcId> seen_arc_keys_;

@@ -1,5 +1,9 @@
 #include "graph/connected.h"
 
+#include <algorithm>
+#include <memory>
+
+#include "common/thread_pool.h"
 #include "graph/union_find.h"
 
 namespace tpiin {
@@ -16,6 +20,10 @@ WccResult FromUnionFind(UnionFind& uf, NodeId num_nodes) {
   }
   return result;
 }
+
+// Below this many nodes the O(num_nodes) per-forest construct + merge
+// overhead of the parallel driver exceeds the serial scan.
+constexpr NodeId kParallelWccMinNodes = 1u << 13;
 
 }  // namespace
 
@@ -38,6 +46,33 @@ WccResult WeaklyConnectedComponents(const FrozenGraph& graph,
     }
   }
   return FromUnionFind(uf, graph.NumNodes());
+}
+
+WccResult WeaklyConnectedComponents(const FrozenGraph& graph,
+                                    FrozenArcClass arc_class,
+                                    uint32_t num_threads) {
+  const NodeId n = graph.NumNodes();
+  if (num_threads <= 1 || n < kParallelWccMinNodes) {
+    return WeaklyConnectedComponents(graph, arc_class);
+  }
+
+  const uint32_t chunks = num_threads;
+  std::vector<std::unique_ptr<UnionFind>> forests(chunks);
+  ThreadPool::Global().ParallelFor(chunks, num_threads, [&](size_t c) {
+    auto uf = std::make_unique<UnionFind>(n);
+    const NodeId lo = static_cast<NodeId>(uint64_t{n} * c / chunks);
+    const NodeId hi = static_cast<NodeId>(uint64_t{n} * (c + 1) / chunks);
+    for (NodeId v = lo; v < hi; ++v) {
+      for (NodeId target : graph.OutClass(v, arc_class).nodes) {
+        uf->Union(v, target);
+      }
+    }
+    forests[c] = std::move(uf);
+  });
+
+  UnionFind merged = std::move(*forests[0]);
+  for (uint32_t c = 1; c < chunks; ++c) merged.MergeFrom(*forests[c]);
+  return FromUnionFind(merged, n);
 }
 
 }  // namespace tpiin

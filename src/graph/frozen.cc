@@ -1,53 +1,56 @@
 #include "graph/frozen.h"
 
+#include <array>
+#include <functional>
+
+#include "common/thread_pool.h"
+
 namespace tpiin {
 
-FrozenGraph::FrozenGraph(const Digraph& graph, ArcColor influence_color)
+FrozenGraph::FrozenGraph(const Digraph& graph, ArcColor influence_color,
+                         uint32_t num_threads)
     : num_nodes_(graph.NumNodes()),
       num_arcs_(graph.NumArcs()),
       influence_color_(influence_color) {
+  const std::array<std::function<void()>, 2> halves = {
+      [&] { BuildOut(graph); },
+      [&] { BuildIn(graph); },
+  };
+  ThreadPool::Global().RunTasks(halves, num_threads);
+}
+
+void FrozenGraph::BuildOut(const Digraph& graph) {
   const NodeId n = num_nodes_;
   const ArcId m = num_arcs_;
-
   out_offsets_.assign(n + 1, 0);
   out_influence_end_.assign(n, 0);
-  in_offsets_.assign(n + 1, 0);
-  in_influence_end_.assign(n, 0);
   out_targets_.resize(m);
   out_arc_ids_.resize(m);
-  in_sources_.resize(m);
-  in_arc_ids_.resize(m);
 
   // Counting pass: total degree into offsets[v + 1], influence degree
   // into influence_end (both turned into absolute positions below).
+  ArcId influence_arcs = 0;
   for (const Arc& arc : graph.arcs()) {
     ++out_offsets_[arc.src + 1];
-    ++in_offsets_[arc.dst + 1];
     if (arc.color == influence_color_) {
       ++out_influence_end_[arc.src];
-      ++in_influence_end_[arc.dst];
-      ++num_influence_arcs_;
+      ++influence_arcs;
     }
   }
+  num_influence_arcs_ = influence_arcs;
   for (NodeId v = 0; v < n; ++v) {
     out_offsets_[v + 1] += out_offsets_[v];
-    in_offsets_[v + 1] += in_offsets_[v];
     out_influence_end_[v] += out_offsets_[v];
-    in_influence_end_[v] += in_offsets_[v];
   }
 
   // Placement pass. Two cursors per node: influence arcs fill
   // [offset, influence_end), the rest fills [influence_end, next offset).
   // Out arcs are walked per node through the Digraph's own out lists so
-  // the per-node relative order (insertion order) is preserved exactly;
-  // in arcs are walked in arc-id order, which is ascending per class.
+  // the per-node relative order (insertion order) is preserved exactly.
   std::vector<ArcId> out_cursor(n), out_trading_cursor(n);
-  std::vector<ArcId> in_cursor(n), in_trading_cursor(n);
   for (NodeId v = 0; v < n; ++v) {
     out_cursor[v] = out_offsets_[v];
     out_trading_cursor[v] = out_influence_end_[v];
-    in_cursor[v] = in_offsets_[v];
-    in_trading_cursor[v] = in_influence_end_[v];
   }
   for (NodeId v = 0; v < n; ++v) {
     for (ArcId id : graph.OutArcs(v)) {
@@ -59,6 +62,31 @@ FrozenGraph::FrozenGraph(const Digraph& graph, ArcColor influence_color)
       ++cursor;
     }
   }
+}
+
+void FrozenGraph::BuildIn(const Digraph& graph) {
+  const NodeId n = num_nodes_;
+  const ArcId m = num_arcs_;
+  in_offsets_.assign(n + 1, 0);
+  in_influence_end_.assign(n, 0);
+  in_sources_.resize(m);
+  in_arc_ids_.resize(m);
+
+  for (const Arc& arc : graph.arcs()) {
+    ++in_offsets_[arc.dst + 1];
+    if (arc.color == influence_color_) ++in_influence_end_[arc.dst];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    in_offsets_[v + 1] += in_offsets_[v];
+    in_influence_end_[v] += in_offsets_[v];
+  }
+
+  // In arcs are walked in arc-id order, which is ascending per class.
+  std::vector<ArcId> in_cursor(n), in_trading_cursor(n);
+  for (NodeId v = 0; v < n; ++v) {
+    in_cursor[v] = in_offsets_[v];
+    in_trading_cursor[v] = in_influence_end_[v];
+  }
   for (ArcId id = 0; id < m; ++id) {
     const Arc& arc = graph.arc(id);
     ArcId& cursor = arc.color == influence_color_
@@ -68,6 +96,22 @@ FrozenGraph::FrozenGraph(const Digraph& graph, ArcColor influence_color)
     in_arc_ids_[cursor] = id;
     ++cursor;
   }
+}
+
+std::vector<Arc> FrozenGraph::ArcsInIdOrder(ArcColor other_color) const {
+  std::vector<Arc> arcs(num_arcs_);
+  for (NodeId v = 0; v < num_nodes_; ++v) {
+    const AdjSpan influence = InfluenceOut(v);
+    for (size_t i = 0; i < influence.size(); ++i) {
+      arcs[influence.arcs[i]] =
+          Arc{v, influence.nodes[i], influence_color_};
+    }
+    const AdjSpan trading = TradingOut(v);
+    for (size_t i = 0; i < trading.size(); ++i) {
+      arcs[trading.arcs[i]] = Arc{v, trading.nodes[i], other_color};
+    }
+  }
+  return arcs;
 }
 
 }  // namespace tpiin

@@ -54,7 +54,12 @@ class FrozenGraph {
   FrozenGraph() = default;
 
   /// Builds the CSR view; `influence_color` selects the partition color.
-  explicit FrozenGraph(const Digraph& graph, ArcColor influence_color = 1);
+  /// With num_threads > 1 the out and in halves — which touch disjoint
+  /// arrays and only read the Digraph — are built as two concurrent
+  /// tasks on the shared ThreadPool; the resulting CSR is identical at
+  /// any thread count.
+  explicit FrozenGraph(const Digraph& graph, ArcColor influence_color = 1,
+                       uint32_t num_threads = 1);
 
   NodeId NumNodes() const { return num_nodes_; }
   ArcId NumArcs() const { return num_arcs_; }
@@ -125,7 +130,18 @@ class FrozenGraph {
     }
   }
 
+  /// Reconstructs the arc table in arc-id order from the CSR out spans:
+  /// row `id` is {src, dst, color}, where partition-color arcs get
+  /// `influence_color()` and the rest `other_color`. Exporters that must
+  /// emit arcs in id order (edge lists, DOT/GEXF) use this instead of
+  /// keeping the Digraph alive; for two-color graphs such as TPIINs the
+  /// result equals the original Digraph arc table byte for byte.
+  std::vector<Arc> ArcsInIdOrder(ArcColor other_color) const;
+
  private:
+  void BuildOut(const Digraph& graph);
+  void BuildIn(const Digraph& graph);
+
   static AdjSpan Slice(const std::vector<NodeId>& nodes,
                        const std::vector<ArcId>& arcs, ArcId begin,
                        ArcId end) {

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "graph/digraph.h"
+#include "graph/frozen.h"
 #include "graph/scc.h"
 #include "graph/types.h"
 
@@ -16,9 +17,21 @@ namespace tpiin {
 Result<std::vector<NodeId>> TopologicalSort(const Digraph& graph,
                                             const ArcFilter& filter = nullptr);
 
+/// CSR fast path: Kahn order over one arc class of a frozen graph, with
+/// no per-arc struct loads or std::function filter calls. For the
+/// kInfluence class the emitted order is identical to the Digraph
+/// overload with an influence filter (per-node span order matches
+/// insertion order).
+Result<std::vector<NodeId>> TopologicalSort(
+    const FrozenGraph& graph,
+    FrozenArcClass arc_class = FrozenArcClass::kAll);
+
 /// True iff the filtered graph is acyclic. Used to verify the antecedent
 /// network after SCC contraction (the paper's DAG guarantee).
 bool IsDag(const Digraph& graph, const ArcFilter& filter = nullptr);
+
+bool IsDag(const FrozenGraph& graph,
+           FrozenArcClass arc_class = FrozenArcClass::kAll);
 
 }  // namespace tpiin
 

@@ -50,7 +50,10 @@ std::string TpiinToDot(const Tpiin& net, const std::string& graph_name) {
         DotEscape(node.label).c_str(), is_company ? "box" : "ellipse",
         is_company ? "red" : "black", is_company ? "red" : "black");
   }
-  for (const Arc& arc : net.graph().arcs()) {
+  // ArcsInIdOrder reconstructs the arc table from the frozen CSR view in
+  // arc-id order, so the emitted edge lines match the adjacency-list
+  // output byte for byte.
+  for (const Arc& arc : net.frozen().ArcsInIdOrder(kArcTrading)) {
     out += StringPrintf("  n%u -> n%u [color=%s];\n", arc.src, arc.dst,
                         IsInfluenceArc(arc) ? "blue" : "black");
   }

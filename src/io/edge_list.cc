@@ -19,10 +19,11 @@ Status WriteTpiinEdgeList(const std::string& path, const Tpiin& net) {
         << (node.color == NodeColor::kPerson ? 'P' : 'C') << ' '
         << node.label << "\n";
   }
-  out << "arcs " << net.graph().NumArcs() << ' '
+  const std::vector<Arc> arcs = net.frozen().ArcsInIdOrder(kArcTrading);
+  out << "arcs " << arcs.size() << ' '
       << (net.num_influence_arcs() + 1) << "\n";
-  for (ArcId id = 0; id < net.graph().NumArcs(); ++id) {
-    const Arc& arc = net.graph().arc(id);
+  for (ArcId id = 0; id < arcs.size(); ++id) {
+    const Arc& arc = arcs[id];
     out << arc.src << ' ' << arc.dst << ' ' << arc.color << ' '
         << StringPrintf("%.17g", net.ArcWeight(id)) << "\n";
   }

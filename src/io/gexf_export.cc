@@ -53,7 +53,7 @@ std::string TpiinToGexf(const Tpiin& net) {
   }
   out += "    </nodes>\n    <edges>\n";
   ArcId edge_id = 0;
-  for (const Arc& arc : net.graph().arcs()) {
+  for (const Arc& arc : net.frozen().ArcsInIdOrder(kArcTrading)) {
     out += StringPrintf(
         "      <edge id=\"%u\" source=\"%u\" target=\"%u\">"
         "<attvalues><attvalue for=\"0\" value=\"%s\"/></attvalues>"

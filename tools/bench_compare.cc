@@ -1,0 +1,193 @@
+// Compares two bench --json artifacts and fails on regressions.
+//
+// Usage:
+//   bench_compare BASELINE.json CURRENT.json
+//       [--metric=seconds|throughput] [--threshold=0.10]
+//       [--bench=NAME] [--case=SUBSTR]
+//
+// Both files are the flat arrays written by BenchJsonWriter:
+//   [{"bench": ..., "case": ..., "seconds": ..., "throughput": ...}, ...]
+// Records are matched by (bench, case). For `seconds` a regression is
+// the current value exceeding baseline * (1 + threshold); for
+// `throughput` it is falling below baseline * (1 - threshold). Records
+// whose baseline value is zero are skipped (sentinel rows that carry a
+// count in the other field). --bench / --case restrict the comparison.
+//
+// Exit codes: 0 = no regression, 1 = at least one regression,
+// 2 = usage or I/O error. Documented in EXPERIMENTS.md.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace {
+
+struct Record {
+  std::string bench;
+  std::string case_name;
+  double seconds = 0;
+  double throughput = 0;
+};
+
+// Minimal scanner for the writer's flat format: finds each "key":
+// occurrence and reads the quoted-string or number value after it. Not a
+// general JSON parser, but the producer is ours and the format is fixed.
+bool ParseRecords(const std::string& path, std::vector<Record>* out) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  auto read_string = [&](size_t pos, std::string* value) -> bool {
+    pos = text.find('"', pos);
+    if (pos == std::string::npos) return false;
+    std::string result;
+    for (size_t i = pos + 1; i < text.size(); ++i) {
+      if (text[i] == '\\' && i + 1 < text.size()) {
+        result += text[++i];
+      } else if (text[i] == '"') {
+        *value = std::move(result);
+        return true;
+      } else {
+        result += text[i];
+      }
+    }
+    return false;
+  };
+
+  size_t pos = 0;
+  while ((pos = text.find("{", pos)) != std::string::npos) {
+    size_t end = text.find("}", pos);
+    if (end == std::string::npos) break;
+    Record record;
+    bool ok = true;
+    auto field = [&](const char* key, auto reader) {
+      size_t at = text.find(std::string("\"") + key + "\":", pos);
+      if (at == std::string::npos || at > end) {
+        ok = false;
+        return;
+      }
+      reader(at + std::strlen(key) + 3);
+    };
+    field("bench", [&](size_t at) {
+      ok = ok && read_string(at, &record.bench);
+    });
+    field("case", [&](size_t at) {
+      ok = ok && read_string(at, &record.case_name);
+    });
+    field("seconds", [&](size_t at) {
+      record.seconds = std::strtod(text.c_str() + at, nullptr);
+    });
+    field("throughput", [&](size_t at) {
+      record.throughput = std::strtod(text.c_str() + at, nullptr);
+    });
+    if (!ok) {
+      std::fprintf(stderr, "bench_compare: malformed record in %s\n",
+                   path.c_str());
+      return false;
+    }
+    out->push_back(std::move(record));
+    pos = end + 1;
+  }
+  return true;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare BASELINE.json CURRENT.json\n"
+      "         [--metric=seconds|throughput] [--threshold=0.10]\n"
+      "         [--bench=NAME] [--case=SUBSTR]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::string> paths;
+  std::string metric = "seconds";
+  std::string bench_filter;
+  std::string case_filter;
+  double threshold = 0.10;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--metric=", 0) == 0) {
+      metric = arg.substr(9);
+    } else if (arg.rfind("--threshold=", 0) == 0) {
+      threshold = std::strtod(arg.c_str() + 12, nullptr);
+    } else if (arg.rfind("--bench=", 0) == 0) {
+      bench_filter = arg.substr(8);
+    } else if (arg.rfind("--case=", 0) == 0) {
+      case_filter = arg.substr(7);
+    } else if (arg.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.size() != 2 ||
+      (metric != "seconds" && metric != "throughput") || threshold <= 0) {
+    return Usage();
+  }
+
+  std::vector<Record> baseline;
+  std::vector<Record> current;
+  if (!ParseRecords(paths[0], &baseline) ||
+      !ParseRecords(paths[1], &current)) {
+    return 2;
+  }
+
+  std::map<std::pair<std::string, std::string>, const Record*> by_key;
+  for (const Record& record : baseline) {
+    by_key[{record.bench, record.case_name}] = &record;
+  }
+
+  const bool lower_is_better = metric == "seconds";
+  size_t compared = 0;
+  size_t regressions = 0;
+  for (const Record& record : current) {
+    if (!bench_filter.empty() && record.bench != bench_filter) continue;
+    if (!case_filter.empty() &&
+        record.case_name.find(case_filter) == std::string::npos) {
+      continue;
+    }
+    auto it = by_key.find({record.bench, record.case_name});
+    if (it == by_key.end()) continue;  // New case; nothing to compare.
+    double base = lower_is_better ? it->second->seconds
+                                  : it->second->throughput;
+    double cur = lower_is_better ? record.seconds : record.throughput;
+    if (base <= 0) continue;  // Sentinel/count-only rows.
+    ++compared;
+    double ratio = cur / base;
+    bool regressed = lower_is_better ? ratio > 1.0 + threshold
+                                     : ratio < 1.0 - threshold;
+    if (regressed) {
+      ++regressions;
+      std::printf("REGRESSION %s/%s: %s %.6g -> %.6g (%+.1f%%)\n",
+                  record.bench.c_str(), record.case_name.c_str(),
+                  metric.c_str(), base, cur, 100.0 * (ratio - 1.0));
+    }
+  }
+  std::printf(
+      "bench_compare: %zu case(s) compared on %s, threshold %.0f%%, "
+      "%zu regression(s)\n",
+      compared, metric.c_str(), 100.0 * threshold, regressions);
+  if (compared == 0) {
+    std::fprintf(stderr,
+                 "bench_compare: no overlapping cases; check filters "
+                 "and inputs\n");
+    return 2;
+  }
+  return regressions > 0 ? 1 : 0;
+}
