@@ -1,40 +1,76 @@
-// Shared --json support for the printf-style bench binaries: pass
-// `--json <path>` (or `--json=<path>`) to any wired benchmark and it
-// writes its measurements as a JSON array of
-// {"bench": ..., "case": ..., "seconds": ..., "throughput": ...}
-// records alongside the human-readable report, so sweeps can be
-// archived and diffed by tooling without scraping stdout.
+// Shared observability flags for the printf-style bench binaries:
+//   --json=PATH       measurements as a JSON array of
+//                     {"bench", "case", "seconds", "throughput"} records
+//   --report=PATH     a RunReport (measurement table + run-wide metrics
+//                     snapshot), diffable by tools/bench_compare
+//   --trace-out=PATH  Chrome trace_event JSON of the run's spans
+// so sweeps can be archived and diffed by tooling without scraping
+// stdout.
 
 #ifndef TPIIN_BENCH_BENCH_JSON_H_
 #define TPIIN_BENCH_BENCH_JSON_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace tpiin {
 
 class BenchJsonWriter {
  public:
-  /// Scans argv for `--json <path>` / `--json=<path>`. Absent flag means
-  /// a disabled writer (Record/Flush are no-ops).
+  /// Scans argv for `--json <path>` / `--json=<path>` (and the
+  /// `--report` / `--trace-out` run-report flags, same two spellings).
+  /// Absent flags mean a disabled writer (Record/Flush are no-ops).
+  /// When --report is given the run-wide metrics registry is reset so
+  /// the snapshot covers exactly this run; when --trace-out is given a
+  /// TraceRecorder is installed until Flush().
   static BenchJsonWriter FromArgs(int argc, char** argv) {
     BenchJsonWriter writer;
-    for (int i = 1; i < argc; ++i) {
-      std::string arg = argv[i];
-      if (arg.rfind("--json=", 0) == 0) {
-        writer.path_ = arg.substr(7);
-      } else if (arg == "--json") {
-        if (i + 1 < argc) {
-          writer.path_ = argv[++i];
-        } else {
-          TPIIN_LOG(Error) << "--json requires a path; ignoring";
-        }
+    if (argc > 0) {
+      std::string tool = argv[0];
+      size_t slash = tool.find_last_of('/');
+      writer.tool_ =
+          slash == std::string::npos ? tool : tool.substr(slash + 1);
+    }
+    auto flag_value = [&](int* i, const char* eq_prefix,
+                          const char* name, std::string* out) {
+      std::string arg = argv[*i];
+      if (arg.rfind(eq_prefix, 0) == 0) {
+        *out = arg.substr(std::string(eq_prefix).size());
+        return true;
       }
+      if (arg == name) {
+        if (*i + 1 < argc) {
+          *out = argv[++*i];
+        } else {
+          TPIIN_LOG(Error) << name << " requires a path; ignoring";
+        }
+        return true;
+      }
+      return false;
+    };
+    for (int i = 1; i < argc; ++i) {
+      if (flag_value(&i, "--json=", "--json", &writer.path_)) continue;
+      if (flag_value(&i, "--report=", "--report", &writer.report_path_)) {
+        continue;
+      }
+      flag_value(&i, "--trace-out=", "--trace-out", &writer.trace_path_);
+    }
+    if (!writer.report_path_.empty()) MetricsRegistry::Global().Reset();
+    if (!writer.trace_path_.empty()) {
+      // The recorder object is heap-owned, so moving the writer out of
+      // this factory does not move the installed recorder.
+      writer.recorder_ = std::make_unique<TraceRecorder>();
+      writer.recorder_->Install();
     }
     return writer;
   }
@@ -45,6 +81,9 @@ class BenchJsonWriter {
   /// (items/s, arcs/s, ...); pass 0 when meaningless.
   void Record(const std::string& bench, const std::string& case_name,
               double seconds, double throughput = 0) {
+    if (!report_path_.empty()) {
+      rows_.push_back(Measurement{bench, case_name, seconds, throughput});
+    }
     if (!enabled()) return;
     records_.push_back(StringPrintf(
         "  {\"bench\": \"%s\", \"case\": \"%s\", \"seconds\": %.9g, "
@@ -53,25 +92,62 @@ class BenchJsonWriter {
         throughput));
   }
 
-  /// Writes the JSON array. Returns false (with a log line) on I/O
-  /// failure; callers treat the JSON artifact as best-effort.
-  bool Flush() const {
-    if (!enabled()) return true;
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
-      TPIIN_LOG(Error) << "cannot write " << path_;
-      return false;
+  /// Writes every requested artifact (JSON array, run report, trace).
+  /// Returns false (with a log line) on any I/O failure; callers treat
+  /// the artifacts as best-effort.
+  bool Flush() {
+    bool ok = true;
+    if (enabled()) {
+      std::FILE* f = std::fopen(path_.c_str(), "w");
+      if (f == nullptr) {
+        TPIIN_LOG(Error) << "cannot write " << path_;
+        ok = false;
+      } else {
+        std::fputs("[\n", f);
+        for (size_t i = 0; i < records_.size(); ++i) {
+          std::fputs(records_[i].c_str(), f);
+          std::fputs(i + 1 < records_.size() ? ",\n" : "\n", f);
+        }
+        std::fputs("]\n", f);
+        std::fclose(f);
+        std::printf("wrote %zu JSON records to %s\n", records_.size(),
+                    path_.c_str());
+      }
     }
-    std::fputs("[\n", f);
-    for (size_t i = 0; i < records_.size(); ++i) {
-      std::fputs(records_[i].c_str(), f);
-      std::fputs(i + 1 < records_.size() ? ",\n" : "\n", f);
+    if (recorder_ != nullptr) {
+      TraceRecorder::Uninstall();
+      if (recorder_->WriteChromeTrace(trace_path_)) {
+        std::printf("wrote %zu trace events to %s\n",
+                    recorder_->NumEvents(), trace_path_.c_str());
+      } else {
+        TPIIN_LOG(Error) << "cannot write " << trace_path_;
+        ok = false;
+      }
+      recorder_.reset();
     }
-    std::fputs("]\n", f);
-    std::fclose(f);
-    std::printf("wrote %zu JSON records to %s\n", records_.size(),
-                path_.c_str());
-    return true;
+    if (!report_path_.empty()) {
+      RunReport report(tool_);
+      double total = 0;
+      ReportTable& table = report.AddTable(
+          "measurements", {"bench", "case", "seconds", "throughput"});
+      for (const Measurement& m : rows_) {
+        total += m.seconds;
+        table.AddRow()
+            .Append(m.bench)
+            .Append(m.case_name)
+            .Append(m.seconds)
+            .Append(m.throughput);
+      }
+      report.set_total_seconds(total);
+      report.AttachMetrics(MetricsRegistry::Global().Snapshot());
+      if (report.WriteJson(report_path_)) {
+        std::printf("wrote run report to %s\n", report_path_.c_str());
+      } else {
+        TPIIN_LOG(Error) << "cannot write " << report_path_;
+        ok = false;
+      }
+    }
+    return ok;
   }
 
  private:
@@ -85,8 +161,20 @@ class BenchJsonWriter {
     return out;
   }
 
+  struct Measurement {
+    std::string bench;
+    std::string case_name;
+    double seconds = 0;
+    double throughput = 0;
+  };
+
   std::string path_;
+  std::string report_path_;
+  std::string trace_path_;
+  std::string tool_ = "bench";
+  std::unique_ptr<TraceRecorder> recorder_;
   std::vector<std::string> records_;
+  std::vector<Measurement> rows_;
 };
 
 /// Scans argv for `--threads N` / `--threads=N`. Returns

@@ -1,10 +1,13 @@
 #include "cli/cli.h"
 
 #include <filesystem>
+#include <memory>
 #include <unordered_map>
 
 #include "common/csv.h"
 #include "common/flags.h"
+#include "common/logging.h"
+#include "common/thread_pool.h"
 #include "common/rng.h"
 #include "common/string_util.h"
 #include "core/detector.h"
@@ -22,6 +25,9 @@
 #include "io/gexf_export.h"
 #include "io/json_report.h"
 #include "io/pattern_file.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace tpiin {
 
@@ -32,6 +38,86 @@ Status ParseFlags(FlagParser& flags, const std::vector<std::string>& args) {
   for (const std::string& arg : args) argv.push_back(arg.c_str());
   return flags.Parse(static_cast<int>(argv.size()), argv.data());
 }
+
+// Consumes every --log-level flag (global: valid before or after the
+// command's own flags) and applies the last one.
+Status ApplyLogLevelFlag(std::vector<std::string>& args) {
+  constexpr const char* kPrefix = "--log-level=";
+  for (auto it = args.begin(); it != args.end();) {
+    std::string value;
+    if (it->rfind(kPrefix, 0) == 0) {
+      value = it->substr(std::string(kPrefix).size());
+      it = args.erase(it);
+    } else if (*it == "--log-level") {
+      if (std::next(it) == args.end()) {
+        return Status::InvalidArgument("--log-level requires a value");
+      }
+      value = *std::next(it);
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+      continue;
+    }
+    if (value == "debug") {
+      SetLogLevel(LogLevel::kDebug);
+    } else if (value == "info") {
+      SetLogLevel(LogLevel::kInfo);
+    } else if (value == "warning") {
+      SetLogLevel(LogLevel::kWarning);
+    } else if (value == "error") {
+      SetLogLevel(LogLevel::kError);
+    } else {
+      return Status::InvalidArgument(
+          "unknown --log-level: " + value +
+          " (expected debug|info|warning|error)");
+    }
+  }
+  return Status::OK();
+}
+
+// Shared --report / --trace-out handling for the pipeline commands.
+// Construct after FlagParser::Parse; Begin() resets the run-wide metrics
+// and installs the trace recorder, Finish() writes both artifacts.
+class ObsOutputs {
+ public:
+  explicit ObsOutputs(const FlagParser& flags)
+      : report_path_(flags.GetString("report")),
+        trace_path_(flags.GetString("trace-out")) {}
+
+  void Begin() {
+    if (!report_path_.empty()) MetricsRegistry::Global().Reset();
+    if (!trace_path_.empty()) {
+      recorder_ = std::make_unique<TraceRecorder>();
+      recorder_->Install();
+    }
+  }
+
+  bool wants_report() const { return !report_path_.empty(); }
+
+  /// Writes the trace and the report (the caller fills `report` first).
+  Status Finish(RunReport* report, std::ostream& out) {
+    if (recorder_ != nullptr) {
+      TraceRecorder::Uninstall();
+      if (!recorder_->WriteChromeTrace(trace_path_)) {
+        return Status::IOError("cannot write trace to " + trace_path_);
+      }
+      out << "trace written to " << trace_path_ << "\n";
+    }
+    if (!report_path_.empty()) {
+      report->AttachMetrics(MetricsRegistry::Global().Snapshot());
+      if (!report->WriteJson(report_path_)) {
+        return Status::IOError("cannot write report to " + report_path_);
+      }
+      out << "run report written to " << report_path_ << "\n";
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string report_path_;
+  std::string trace_path_;
+  std::unique_ptr<TraceRecorder> recorder_;
+};
 
 Status RunGen(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags;
@@ -71,10 +157,15 @@ Status RunFuse(const std::vector<std::string>& args, std::ostream& out) {
   flags.DefineString("data", "", "CSV dataset directory");
   flags.DefineString("out", "", "edge-list output file");
   flags.DefineInt64("threads", 0, "worker threads (0 = auto-detect)");
+  flags.DefineString("report", "", "machine-readable run report (JSON)");
+  flags.DefineString("trace-out", "",
+                     "Chrome trace_event JSON (chrome://tracing)");
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
   if (flags.GetString("data").empty() || flags.GetString("out").empty()) {
     return Status::InvalidArgument("fuse requires --data=DIR --out=FILE");
   }
+  ObsOutputs obs(flags);
+  obs.Begin();
   TPIIN_ASSIGN_OR_RETURN(RawDataset dataset,
                          LoadDatasetCsv(flags.GetString("data")));
   FusionOptions fusion;
@@ -84,7 +175,12 @@ Status RunFuse(const std::vector<std::string>& args, std::ostream& out) {
       WriteTpiinEdgeList(flags.GetString("out"), fused.tpiin));
   out << fused.stats.ToString() << "\n";
   out << "TPIIN written to " << flags.GetString("out") << "\n";
-  return Status::OK();
+
+  RunReport report("fuse");
+  report.set_threads(
+      ResolveThreadCount(static_cast<uint32_t>(flags.GetInt64("threads"))));
+  AddFusionToReport(fused, &report);
+  return obs.Finish(&report, out);
 }
 
 Status RunDetect(const std::vector<std::string>& args, std::ostream& out) {
@@ -94,10 +190,15 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out) {
   flags.DefineInt64("threads", 0, "worker threads (0 = auto-detect)");
   flags.DefineInt64("top", 10, "ranked trades to print");
   flags.DefineString("json", "", "optional JSON report file");
+  flags.DefineString("report", "", "machine-readable run report (JSON)");
+  flags.DefineString("trace-out", "",
+                     "Chrome trace_event JSON (chrome://tracing)");
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
   if (flags.GetString("net").empty()) {
     return Status::InvalidArgument("detect requires --net=FILE");
   }
+  ObsOutputs obs(flags);
+  obs.Begin();
   TPIIN_ASSIGN_OR_RETURN(Tpiin net,
                          ReadTpiinEdgeList(flags.GetString("net")));
   DetectorOptions options;
@@ -139,7 +240,15 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out) {
         WriteDetectionReport(out_dir + "/report.txt", net, detection));
     out << "\nreports written to " << out_dir << "\n";
   }
-  return Status::OK();
+
+  RunReport report("detect");
+  report.set_threads(
+      ResolveThreadCount(static_cast<uint32_t>(flags.GetInt64("threads"))));
+  AddDetectionToReport(
+      detection,
+      static_cast<size_t>(std::max<int64_t>(0, flags.GetInt64("top"))),
+      &report);
+  return obs.Finish(&report, out);
 }
 
 Status RunExplain(const std::vector<std::string>& args, std::ostream& out) {
@@ -339,10 +448,12 @@ std::string CliUsage() {
       "  gen     generate a synthetic province dataset (CSV)\n"
       "          --out=DIR [--companies=N] [--p=X] [--seed=S] [--plant=K]\n"
       "  fuse    fuse a CSV dataset into a TPIIN edge list\n"
-      "          --data=DIR --out=FILE [--threads=T]\n"
+      "          --data=DIR --out=FILE [--threads=T] [--report=FILE]\n"
+      "          [--trace-out=FILE]\n"
       "  detect  mine suspicious tax evasion groups\n"
       "          --net=FILE [--out=DIR] [--threads=T] [--top=K] "
       "[--json=FILE]\n"
+      "          [--report=FILE] [--trace-out=FILE]\n"
       "  explain per-company dossier (IATs, antecedents, proof chains)\n"
       "          --net=FILE --company=LABEL\n"
       "  screen  classify candidate trading relationships (streaming)\n"
@@ -352,16 +463,24 @@ std::string CliUsage() {
       "  export  render a TPIIN (or one company's neighborhood) for\n"
       "          Graphviz/Gephi\n"
       "          --net=FILE --format=dot|gexf --out=FILE [--ego=LABEL "
-      "--depth=N]\n";
+      "--depth=N]\n"
+      "\n"
+      "Global flags:\n"
+      "  --log-level=debug|info|warning|error   minimum log severity\n"
+      "                                         (default info)\n";
 }
 
 Status RunCli(const std::vector<std::string>& args, std::ostream& out) {
-  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+  std::vector<std::string> mutable_args = args;
+  TPIIN_RETURN_IF_ERROR(ApplyLogLevelFlag(mutable_args));
+  if (mutable_args.empty() || mutable_args[0] == "help" ||
+      mutable_args[0] == "--help") {
     out << CliUsage();
     return Status::OK();
   }
-  const std::string& command = args[0];
-  std::vector<std::string> rest(args.begin() + 1, args.end());
+  const std::string& command = mutable_args[0];
+  std::vector<std::string> rest(mutable_args.begin() + 1,
+                                mutable_args.end());
   if (command == "gen") return RunGen(rest, out);
   if (command == "fuse") return RunFuse(rest, out);
   if (command == "detect") return RunDetect(rest, out);

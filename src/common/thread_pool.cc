@@ -4,6 +4,8 @@
 #include <atomic>
 #include <memory>
 
+#include "obs/metrics.h"
+
 namespace tpiin {
 
 ThreadPool::ThreadPool(uint32_t num_workers) {
@@ -37,11 +39,17 @@ void ThreadPool::WorkerLoop() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    depth = queue_.size();
   }
   cv_.notify_one();
+  TPIIN_COUNTER_ADD("pool.tasks_submitted", 1);
+  TPIIN_GAUGE_MAX("pool.queue_depth_max",
+                  static_cast<int64_t>(depth));
+  (void)depth;  // Only read by the (compile-time optional) gauge.
 }
 
 void ThreadPool::ParallelFor(size_t count, uint32_t parallelism,
@@ -76,19 +84,28 @@ void ThreadPool::ParallelFor(size_t count, uint32_t parallelism,
   auto state = std::make_shared<JobState>();
   state->count = count;
   state->body = body;
+  TPIIN_COUNTER_ADD("pool.parallel_for_calls", 1);
+  TPIIN_COUNTER_ADD("pool.parallel_for_indices", count);
 
-  auto drain = [](JobState& job) {
+  // `stolen` distinguishes helper-drained indices from the caller's own
+  // (counted in bulk after the drain, so the loop stays tight).
+  auto drain = [](JobState& job, bool stolen) {
     size_t i;
+    size_t processed = 0;
     while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) <
            job.count) {
       job.body(i);
       job.completed.fetch_add(1, std::memory_order_release);
+      ++processed;
+    }
+    if (stolen && processed > 0) {
+      TPIIN_COUNTER_ADD("pool.indices_stolen", processed);
     }
   };
 
   for (uint32_t h = 0; h < helpers; ++h) {
     Submit([state, drain] {
-      drain(*state);
+      drain(*state, /*stolen=*/true);
       // Lock before notifying so the caller cannot miss the wakeup
       // between its predicate check and its block.
       { std::lock_guard<std::mutex> lock(state->mu); }
@@ -96,7 +113,7 @@ void ThreadPool::ParallelFor(size_t count, uint32_t parallelism,
     });
   }
 
-  drain(*state);
+  drain(*state, /*stolen=*/false);
   std::unique_lock<std::mutex> lock(state->mu);
   state->done.wait(lock, [&] {
     return state->completed.load(std::memory_order_acquire) ==

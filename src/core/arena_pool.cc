@@ -3,6 +3,8 @@
 #include <functional>
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace tpiin {
 
 ArenaPool::Shard& ArenaPool::LocalShard() {
@@ -13,6 +15,7 @@ ArenaPool::Shard& ArenaPool::LocalShard() {
 
 PatternScratch ArenaPool::Acquire() {
   acquires_.fetch_add(1, std::memory_order_relaxed);
+  TPIIN_COUNTER_ADD("arena.acquires", 1);
   Shard& shard = LocalShard();
   {
     std::lock_guard<std::mutex> lock(shard.mu);
@@ -20,9 +23,11 @@ PatternScratch ArenaPool::Acquire() {
       PatternScratch scratch = std::move(shard.free_list.back());
       shard.free_list.pop_back();
       hits_.fetch_add(1, std::memory_order_relaxed);
+      TPIIN_COUNTER_ADD("arena.hits", 1);
       return scratch;
     }
   }
+  TPIIN_COUNTER_ADD("arena.misses", 1);
   return PatternScratch{};
 }
 

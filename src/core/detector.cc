@@ -9,6 +9,9 @@
 #include "common/timer.h"
 #include "core/arena_pool.h"
 #include "core/pattern_tree.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace tpiin {
 
@@ -69,16 +72,29 @@ std::string DetectionResult::Summary() const {
 
 Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
                                                const DetectorOptions& options) {
+  TPIIN_SPAN("detect");
   DetectionResult result;
   result.total_trading_arcs = net.num_trading_arcs();
   WallTimer total_timer;
+  WallTimer stage_timer;
+  double stage_cpu = ProcessCpuSeconds();
+  const auto close_stage = [&](double* wall_sink, double* cpu_sink) {
+    *wall_sink = stage_timer.ElapsedSeconds();
+    const double cpu_now = ProcessCpuSeconds();
+    *cpu_sink = cpu_now - stage_cpu;
+    stage_timer.Restart();
+    stage_cpu = cpu_now;
+  };
 
   std::vector<SubTpiin> subs;
   {
-    ScopedTimer timer(&result.timings.segment_seconds);
-    subs = SegmentTpiin(net);
+    TPIIN_SPAN("segment");
+    subs = SegmentTpiin(net, SegmentOptions{}, &result.segment_stats);
   }
+  close_stage(&result.timings.segment_seconds,
+              &result.timings.segment_cpu_seconds);
   result.num_subtpiins = subs.size();
+  TPIIN_COUNTER_ADD("detect.subtpiins", subs.size());
 
   // Per-subTPIIN outcomes, index-addressed so the merge below is
   // deterministic regardless of worker scheduling.
@@ -93,6 +109,7 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
   std::vector<SubOutcome> outcomes(subs.size());
 
   auto process_one = [&](size_t index) {
+    TPIIN_SPAN("sub_mine");
     SubOutcome& outcome = outcomes[index];
     const SubTpiin& sub = subs[index];
     PatternGenOptions gen_options;
@@ -107,6 +124,7 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
       gen_options.scratch = &scratch;
     }
     Result<PatternGenResult> gen = [&] {
+      TPIIN_SPAN("pattern_base");
       ScopedTimer timer(&outcome.pattern_seconds);
       return GeneratePatternBase(sub, gen_options);
     }();
@@ -117,6 +135,7 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
     outcome.num_trails = gen->num_trails;
     outcome.truncated = gen->truncated;
     {
+      TPIIN_SPAN("match");
       ScopedTimer timer(&outcome.match_seconds);
       outcome.match = MatchPatternsTree(sub, gen->tree, options.match);
     }
@@ -132,12 +151,31 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
 
   // The persistent pool's threads are reused across DetectSuspiciousGroups
   // calls; a single-threaded request never touches the pool's queue.
-  ThreadPool::Global().ParallelFor(
-      subs.size(), ResolveThreadCount(options.num_threads), process_one);
+  {
+    TPIIN_SPAN("mine");
+    ThreadPool::Global().ParallelFor(
+        subs.size(), ResolveThreadCount(options.num_threads), process_one);
+  }
+  close_stage(&result.timings.mine_seconds,
+              &result.timings.mine_cpu_seconds);
 
+  TraceSpan finalize_span("finalize");
+  result.sub_profiles.reserve(subs.size());
   std::vector<ArcId> suspicious_arcs;
-  for (SubOutcome& outcome : outcomes) {
+  for (size_t index = 0; index < outcomes.size(); ++index) {
+    SubOutcome& outcome = outcomes[index];
     if (!outcome.status.ok()) return outcome.status;
+    SubTpiinProfile profile;
+    profile.index = index;
+    profile.num_nodes = subs[index].graph.NumNodes();
+    profile.num_arcs = subs[index].graph.NumArcs();
+    profile.num_trails = outcome.num_trails;
+    profile.num_groups = outcome.match.num_simple +
+                         outcome.match.num_complex +
+                         outcome.match.num_cycle_groups;
+    profile.pattern_seconds = outcome.pattern_seconds;
+    profile.match_seconds = outcome.match_seconds;
+    result.sub_profiles.push_back(profile);
     result.timings.pattern_seconds += outcome.pattern_seconds;
     result.timings.match_seconds += outcome.match_seconds;
     result.num_trails += outcome.num_trails;
@@ -183,8 +221,76 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
     }
   }
 
+  close_stage(&result.timings.finalize_seconds,
+              &result.timings.finalize_cpu_seconds);
   result.timings.total_seconds = total_timer.ElapsedSeconds();
+  TPIIN_COUNTER_ADD("detect.trails", result.num_trails);
+  TPIIN_COUNTER_ADD("detect.groups", result.TotalGroups());
+  TPIIN_COUNTER_ADD("detect.suspicious_trades",
+                    result.suspicious_trades.size());
   return result;
+}
+
+void AddDetectionToReport(const DetectionResult& result, size_t top_k,
+                          RunReport* report) {
+  const DetectionTimings& t = result.timings;
+  report->AddStage("segment", t.segment_seconds, t.segment_cpu_seconds);
+  report->AddStage("mine", t.mine_seconds, t.mine_cpu_seconds);
+  report->AddStage("finalize", t.finalize_seconds, t.finalize_cpu_seconds);
+  report->set_total_seconds(t.total_seconds);
+
+  ReportSection& section = report->Section("detection");
+  section.Set("num_subtpiins", result.num_subtpiins);
+  section.Set("num_trails", result.num_trails);
+  section.Set("num_simple", result.num_simple);
+  section.Set("num_complex", result.num_complex);
+  section.Set("num_cycle_groups", result.num_cycle_groups);
+  section.Set("num_intra_syndicate", result.intra_syndicate.size());
+  section.Set("total_groups", result.TotalGroups());
+  section.Set("suspicious_trades", result.suspicious_trades.size());
+  section.Set("total_trading_arcs", result.total_trading_arcs);
+  section.Set("suspicious_trade_percent", result.SuspiciousTradePercent());
+  section.Set("truncated", result.truncated);
+  section.Set("pattern_worker_seconds", t.pattern_seconds);
+  section.Set("match_worker_seconds", t.match_seconds);
+
+  ReportSection& seg = report->Section("segmentation");
+  seg.Set("num_components", result.segment_stats.num_components);
+  seg.Set("num_emitted", result.segment_stats.num_emitted);
+  seg.Set("trading_arcs_internal",
+          result.segment_stats.trading_arcs_internal);
+  seg.Set("trading_arcs_cross", result.segment_stats.trading_arcs_cross);
+
+  // Top-K slowest subTPIINs by worker seconds; ties break toward the
+  // lower emission index so the table is deterministic.
+  std::vector<const SubTpiinProfile*> ranked;
+  ranked.reserve(result.sub_profiles.size());
+  for (const SubTpiinProfile& profile : result.sub_profiles) {
+    ranked.push_back(&profile);
+  }
+  const size_t k = std::min(top_k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end(),
+                    [](const SubTpiinProfile* a, const SubTpiinProfile* b) {
+                      if (a->Seconds() != b->Seconds()) {
+                        return a->Seconds() > b->Seconds();
+                      }
+                      return a->index < b->index;
+                    });
+  ReportTable& table = report->AddTable(
+      "slowest_subtpiins",
+      {"index", "nodes", "arcs", "trails", "groups", "pattern_seconds",
+       "match_seconds"});
+  for (size_t i = 0; i < k; ++i) {
+    const SubTpiinProfile& p = *ranked[i];
+    table.AddRow()
+        .Append(p.index)
+        .Append(p.num_nodes)
+        .Append(p.num_arcs)
+        .Append(p.num_trails)
+        .Append(p.num_groups)
+        .Append(p.pattern_seconds)
+        .Append(p.match_seconds);
+  }
 }
 
 }  // namespace tpiin

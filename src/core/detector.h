@@ -61,12 +61,33 @@ struct DetectorOptions {
   ArenaPool* arena_pool = nullptr;
 };
 
-/// Wall-clock attribution across Algorithm 1's stages.
+/// Wall-clock attribution across Algorithm 1's stages. The wall stages
+/// (segment + mine + finalize) partition the run, so their sum tracks
+/// total_seconds; pattern/match_seconds are *worker* time summed across
+/// threads inside the mine stage and can exceed mine_seconds.
 struct DetectionTimings {
   double segment_seconds = 0;
+  double mine_seconds = 0;      ///< Parallel per-subTPIIN stage (wall).
+  double finalize_seconds = 0;  ///< Merge + dedup + intra-syndicate.
+  double pattern_seconds = 0;   ///< Summed worker pattern-gen time.
+  double match_seconds = 0;     ///< Summed worker matching time.
+  double total_seconds = 0;
+  double segment_cpu_seconds = 0;
+  double mine_cpu_seconds = 0;
+  double finalize_cpu_seconds = 0;
+};
+
+/// Per-subTPIIN work profile, kept for report breakdowns (the top-K
+/// slowest table). Index-addressed, so identical at any thread count.
+struct SubTpiinProfile {
+  size_t index = 0;       ///< SegmentTpiin emission order.
+  size_t num_nodes = 0;
+  size_t num_arcs = 0;
+  size_t num_trails = 0;
+  size_t num_groups = 0;  ///< Matched groups (all kinds).
   double pattern_seconds = 0;
   double match_seconds = 0;
-  double total_seconds = 0;
+  double Seconds() const { return pattern_seconds + match_seconds; }
 };
 
 /// Aggregated output of Algorithm 1 over a whole TPIIN.
@@ -88,6 +109,9 @@ struct DetectionResult {
   bool truncated = false;
 
   DetectionTimings timings;
+  SegmentStats segment_stats;
+  /// One profile per subTPIIN, in emission order.
+  std::vector<SubTpiinProfile> sub_profiles;
 
   size_t TotalGroups() const {
     return num_simple + num_complex + num_cycle_groups +
@@ -106,6 +130,15 @@ struct DetectionResult {
 /// into suspicious groups, and handles intra-syndicate trades.
 Result<DetectionResult> DetectSuspiciousGroups(
     const Tpiin& net, const DetectorOptions& options = {});
+
+class RunReport;
+
+/// Folds a detection run into `report`: the wall stages (segment, mine,
+/// finalize), a "detection" section of scalar counts, a "segmentation"
+/// section mirroring SegmentStats, and a "slowest_subtpiins" table of
+/// the top-`top_k` subTPIINs by worker seconds.
+void AddDetectionToReport(const DetectionResult& result, size_t top_k,
+                          RunReport* report);
 
 }  // namespace tpiin
 

@@ -4,12 +4,15 @@
 
 #include "common/logging.h"
 #include "graph/connected.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace tpiin {
 
 std::vector<SubTpiin> SegmentTpiin(const Tpiin& net,
                                    const SegmentOptions& options,
                                    SegmentStats* stats) {
+  TPIIN_SPAN("segment_tpiin");
   const Digraph& g = net.graph();
   const FrozenGraph& fg = net.frozen();
   WccResult wcc =
@@ -82,6 +85,8 @@ std::vector<SubTpiin> SegmentTpiin(const Tpiin& net,
   }
 
   if (stats != nullptr) stats->num_emitted = out.size();
+  TPIIN_COUNTER_ADD("segment.components_emitted", out.size());
+  TPIIN_COUNTER_ADD("segment.trading_arcs_cross", cross);
   return out;
 }
 

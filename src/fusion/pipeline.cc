@@ -7,10 +7,14 @@
 
 #include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "common/timer.h"
 #include "fusion/layers.h"
 #include "graph/frozen.h"
 #include "graph/scc.h"
 #include "graph/union_find.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "obs/trace.h"
 
 namespace tpiin {
 
@@ -55,12 +59,25 @@ std::string FusionStats::ToString() const {
 
 Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
                                 const FusionOptions& options) {
+  TPIIN_SPAN("fuse");
+  WallTimer total_timer;
   if (options.validate_dataset) {
+    TPIIN_SPAN("validate_dataset");
     TPIIN_RETURN_IF_ERROR(dataset.Validate());
   }
   const uint32_t threads = ResolveThreadCount(options.num_threads);
 
   FusionStats stats;
+  FusionTimings timings;
+  WallTimer stage_timer;
+  double stage_cpu = ProcessCpuSeconds();
+  const auto close_stage = [&](double* wall_sink, double* cpu_sink) {
+    *wall_sink = stage_timer.ElapsedSeconds();
+    const double cpu_now = ProcessCpuSeconds();
+    *cpu_sink = cpu_now - stage_cpu;
+    stage_timer.Restart();
+    stage_cpu = cpu_now;
+  };
   const NodeId num_persons = static_cast<NodeId>(dataset.persons().size());
   const NodeId num_companies =
       static_cast<NodeId>(dataset.companies().size());
@@ -149,7 +166,11 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
             });
       },
   };
-  ThreadPool::Global().RunTasks(layer_tasks, threads);
+  {
+    TPIIN_SPAN("fuse_layers");
+    ThreadPool::Global().RunTasks(layer_tasks, threads);
+  }
+  close_stage(&timings.layers_seconds, &timings.layers_cpu_seconds);
 
   stats.g1_nodes = num_persons;
   stats.g1_edges = g1.NumArcs();
@@ -171,6 +192,7 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   std::vector<NodeId> company_node(num_companies, kInvalidNode);
 
   {
+    TPIIN_SPAN("fuse_assemble_persons");
     std::vector<std::vector<PersonId>> members(num_person_nodes);
     for (PersonId p = 0; p < num_persons; ++p) {
       members[person_component[p]].push_back(p);
@@ -197,6 +219,7 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
     }
   }
   {
+    TPIIN_SPAN("fuse_assemble_companies");
     std::vector<std::string> labels(num_company_nodes);
     std::vector<std::vector<CompanyId>> ids(num_company_nodes);
     ThreadPool::Global().ParallelForRanges(
@@ -253,6 +276,7 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
 
   stats.antecedent_nodes = num_person_nodes + num_company_nodes;
   stats.antecedent_arcs = stats.influence_arcs + stats.investment_arcs;
+  close_stage(&timings.assemble_seconds, &timings.assemble_cpu_seconds);
 
   // --- Trading overlay (G4) mapped through the contraction. Stays
   // serial: intra-syndicate trades are emitted per raw record (no
@@ -260,22 +284,81 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   // which a pre-deduplicating parallel pass would change.
   stats.trade_records = dataset.trades().size();
   std::unordered_set<uint64_t> seen_trades;
-  for (const TradeRecord& rec : dataset.trades()) {
-    NodeId src = company_node[rec.seller];
-    NodeId dst = company_node[rec.buyer];
-    if (src == dst) {
-      builder.AddIntraSyndicateTrade(src, rec.seller, rec.buyer);
-      ++stats.intra_syndicate_trades;
-      continue;
+  {
+    TPIIN_SPAN("fuse_overlay");
+    for (const TradeRecord& rec : dataset.trades()) {
+      NodeId src = company_node[rec.seller];
+      NodeId dst = company_node[rec.buyer];
+      if (src == dst) {
+        builder.AddIntraSyndicateTrade(src, rec.seller, rec.buyer);
+        ++stats.intra_syndicate_trades;
+        continue;
+      }
+      if (!seen_trades.insert(PairKey(src, dst)).second) continue;
+      builder.AddTradingArc(src, dst);
+      ++stats.trading_arcs;
     }
-    if (!seen_trades.insert(PairKey(src, dst)).second) continue;
-    builder.AddTradingArc(src, dst);
-    ++stats.trading_arcs;
   }
+  close_stage(&timings.overlay_seconds, &timings.overlay_cpu_seconds);
 
   builder.SetEntityMaps(std::move(person_node), std::move(company_node));
-  TPIIN_ASSIGN_OR_RETURN(Tpiin net, builder.Build(threads));
-  return FusionOutput{std::move(net), stats};
+  Result<Tpiin> built = [&]() {
+    TPIIN_SPAN("fuse_build");
+    return builder.Build(threads);
+  }();
+  TPIIN_RETURN_IF_ERROR(built.status());
+  Tpiin net = std::move(built).value();
+  close_stage(&timings.build_seconds, &timings.build_cpu_seconds);
+  timings.total_seconds = total_timer.ElapsedSeconds();
+
+  TPIIN_GAUGE_SET("fusion.nodes", static_cast<int64_t>(net.NumNodes()));
+  TPIIN_GAUGE_SET("fusion.arcs",
+                  static_cast<int64_t>(net.num_influence_arcs() +
+                                       net.num_trading_arcs()));
+  TPIIN_GAUGE_SET("fusion.person_syndicates",
+                  static_cast<int64_t>(stats.person_syndicates));
+  TPIIN_GAUGE_SET("fusion.company_syndicates",
+                  static_cast<int64_t>(stats.company_syndicates));
+  TPIIN_GAUGE_SET("fusion.trading_arcs",
+                  static_cast<int64_t>(stats.trading_arcs));
+  return FusionOutput{std::move(net), stats, timings};
+}
+
+void AddFusionToReport(const FusionOutput& output, RunReport* report) {
+  const FusionTimings& t = output.timings;
+  report->AddStage("layers", t.layers_seconds, t.layers_cpu_seconds);
+  report->AddStage("assemble", t.assemble_seconds, t.assemble_cpu_seconds);
+  report->AddStage("overlay", t.overlay_seconds, t.overlay_cpu_seconds);
+  report->AddStage("build", t.build_seconds, t.build_cpu_seconds);
+  report->set_total_seconds(t.total_seconds);
+
+  const FusionStats& stats = output.stats;
+  ReportSection& section = report->Section("fusion");
+  section.Set("g1_nodes", stats.g1_nodes);
+  section.Set("g1_edges", stats.g1_edges);
+  section.Set("person_syndicates", stats.person_syndicates);
+  section.Set("persons_in_syndicates", stats.persons_in_syndicates);
+  section.Set("influence_records", stats.influence_records);
+  section.Set("influence_arcs", stats.influence_arcs);
+  section.Set("investment_records", stats.investment_records);
+  section.Set("investment_arcs", stats.investment_arcs);
+  section.Set("investment_arcs_intra_scc", stats.investment_arcs_intra_scc);
+  section.Set("company_syndicates", stats.company_syndicates);
+  section.Set("companies_in_syndicates", stats.companies_in_syndicates);
+  section.Set("antecedent_nodes", stats.antecedent_nodes);
+  section.Set("antecedent_arcs", stats.antecedent_arcs);
+  section.Set("trade_records", stats.trade_records);
+  section.Set("trading_arcs", stats.trading_arcs);
+  section.Set("intra_syndicate_trades", stats.intra_syndicate_trades);
+
+  ReportSection& net_section = report->Section("network");
+  net_section.Set("nodes",
+                  static_cast<uint64_t>(output.tpiin.NumNodes()));
+  net_section.Set(
+      "influence_arcs",
+      static_cast<uint64_t>(output.tpiin.num_influence_arcs()));
+  net_section.Set("trading_arcs",
+                  static_cast<uint64_t>(output.tpiin.num_trading_arcs()));
 }
 
 }  // namespace tpiin

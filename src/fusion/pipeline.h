@@ -62,10 +62,26 @@ struct FusionStats {
   std::string ToString() const;
 };
 
+/// Wall/CPU seconds per fusion stage. The stages partition BuildTpiin,
+/// so layers + assemble + overlay + build ~= total (the remainder is
+/// validation and stats bookkeeping).
+struct FusionTimings {
+  double layers_seconds = 0;    ///< Stage A: parallel layer builds.
+  double assemble_seconds = 0;  ///< Stage B: nodes + antecedent arcs.
+  double overlay_seconds = 0;   ///< Trading overlay (G4).
+  double build_seconds = 0;     ///< Final validate + CSR freeze.
+  double total_seconds = 0;
+  double layers_cpu_seconds = 0;
+  double assemble_cpu_seconds = 0;
+  double overlay_cpu_seconds = 0;
+  double build_cpu_seconds = 0;
+};
+
 /// Result of fusion: the TPIIN plus its build statistics.
 struct FusionOutput {
   Tpiin tpiin;
   FusionStats stats;
+  FusionTimings timings;
 };
 
 /// Runs the full multi-network fusion of §4.1 (Fig. 5):
@@ -73,6 +89,12 @@ struct FusionOutput {
 ///   -> Tarjan SCC contraction -> G123 (antecedent DAG) -> + G4 -> TPIIN.
 Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
                                 const FusionOptions& options = {});
+
+class RunReport;
+
+/// Folds a fusion run into `report`: per-stage wall/CPU rows, a
+/// "fusion" section mirroring FusionStats, and network-shape gauges.
+void AddFusionToReport(const FusionOutput& output, RunReport* report);
 
 }  // namespace tpiin
 

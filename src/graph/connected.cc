@@ -5,6 +5,7 @@
 
 #include "common/thread_pool.h"
 #include "graph/union_find.h"
+#include "obs/trace.h"
 
 namespace tpiin {
 
@@ -29,6 +30,7 @@ constexpr NodeId kParallelWccMinNodes = 1u << 13;
 
 WccResult WeaklyConnectedComponents(const Digraph& graph,
                                     const ArcFilter& filter) {
+  TPIIN_SPAN("wcc");
   UnionFind uf(graph.NumNodes());
   for (const Arc& arc : graph.arcs()) {
     if (filter && !filter(arc)) continue;
@@ -39,6 +41,7 @@ WccResult WeaklyConnectedComponents(const Digraph& graph,
 
 WccResult WeaklyConnectedComponents(const FrozenGraph& graph,
                                     FrozenArcClass arc_class) {
+  TPIIN_SPAN("wcc");
   UnionFind uf(graph.NumNodes());
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
     for (NodeId target : graph.OutClass(v, arc_class).nodes) {
@@ -55,6 +58,7 @@ WccResult WeaklyConnectedComponents(const FrozenGraph& graph,
   if (num_threads <= 1 || n < kParallelWccMinNodes) {
     return WeaklyConnectedComponents(graph, arc_class);
   }
+  TPIIN_SPAN("wcc_parallel");
 
   const uint32_t chunks = num_threads;
   std::vector<std::unique_ptr<UnionFind>> forests(chunks);

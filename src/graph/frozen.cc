@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace tpiin {
 
@@ -12,6 +13,7 @@ FrozenGraph::FrozenGraph(const Digraph& graph, ArcColor influence_color,
     : num_nodes_(graph.NumNodes()),
       num_arcs_(graph.NumArcs()),
       influence_color_(influence_color) {
+  TPIIN_SPAN("freeze");
   const std::array<std::function<void()>, 2> halves = {
       [&] { BuildOut(graph); },
       [&] { BuildIn(graph); },

@@ -4,6 +4,7 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 #include "graph/connected.h"
 #include "graph/frozen.h"
 
@@ -159,11 +160,13 @@ constexpr NodeId kParallelSccMinNodes = 1u << 13;
 
 SccResult StronglyConnectedComponents(const Digraph& graph,
                                       const ArcFilter& filter) {
+  TPIIN_SPAN("scc");
   return TarjanImpl(graph.NumNodes(), DigraphView{graph, filter});
 }
 
 SccResult StronglyConnectedComponents(const FrozenGraph& graph,
                                       FrozenArcClass arc_class) {
+  TPIIN_SPAN("scc");
   return TarjanImpl(graph.NumNodes(), FrozenView{graph, arc_class});
 }
 
@@ -174,6 +177,7 @@ SccResult StronglyConnectedComponents(const FrozenGraph& graph,
   if (num_threads <= 1 || n < kParallelSccMinNodes) {
     return StronglyConnectedComponents(graph, arc_class);
   }
+  TPIIN_SPAN("scc_parallel");
   WccResult wcc = WeaklyConnectedComponents(graph, arc_class, num_threads);
   if (wcc.num_components <= 1) {
     return StronglyConnectedComponents(graph, arc_class);

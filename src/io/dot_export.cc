@@ -2,6 +2,7 @@
 
 #include <fstream>
 
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "fusion/layers.h"
 
@@ -64,6 +65,32 @@ std::string TpiinToDot(const Tpiin& net, const std::string& graph_name) {
 std::string LayerToDot(const Digraph& graph,
                        const std::vector<std::string>& labels,
                        const std::string& graph_name) {
+  // Freeze on the first arc color seen; the CSR partition keeps the
+  // second color (if any) addressable as the "other" class. Layer
+  // graphs never carry more than two colors, which the reconstruction
+  // below relies on, so check rather than silently miscolor.
+  ArcColor first_color = 1;
+  ArcColor other_color = 0;
+  bool have_first = false;
+  bool have_other = false;
+  for (const Arc& arc : graph.arcs()) {
+    if (!have_first) {
+      first_color = arc.color;
+      have_first = true;
+    } else if (arc.color != first_color) {
+      TPIIN_CHECK(!have_other || arc.color == other_color)
+          << "LayerToDot supports at most two arc colors";
+      other_color = arc.color;
+      have_other = true;
+    }
+  }
+  return LayerToDot(FrozenGraph(graph, first_color), other_color, labels,
+                    graph_name);
+}
+
+std::string LayerToDot(const FrozenGraph& graph, ArcColor other_color,
+                       const std::vector<std::string>& labels,
+                       const std::string& graph_name) {
   std::string out = "digraph \"" + DotEscape(graph_name) + "\" {\n";
   out += "  node [fontsize=10, shape=circle];\n";
   for (NodeId v = 0; v < graph.NumNodes(); ++v) {
@@ -72,7 +99,7 @@ std::string LayerToDot(const Digraph& graph,
     out += StringPrintf("  n%u [label=\"%s\"];\n", v,
                         DotEscape(label).c_str());
   }
-  for (const Arc& arc : graph.arcs()) {
+  for (const Arc& arc : graph.ArcsInIdOrder(other_color)) {
     // Interdependence links are unidirectional (undirected) edges in the
     // paper; render without arrowheads.
     bool undirected =

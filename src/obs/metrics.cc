@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace tpiin {
+
+size_t ObsThreadIndex() {
+  static std::atomic<size_t> next{0};
+  thread_local const size_t index =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return index;
+}
+
+void Histogram::Record(uint64_t value) {
+  const size_t bucket = std::bit_width(value);  // 0 -> 0, else log2+1.
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t observed = min_.load(std::memory_order_relaxed);
+  while (observed > value &&
+         !min_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+  observed = max_.load(std::memory_order_relaxed);
+  while (observed < value &&
+         !max_.compare_exchange_weak(observed, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::Min() const {
+  const uint64_t value = min_.load(std::memory_order_relaxed);
+  return value == UINT64_MAX ? 0 : value;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> Histogram::Buckets() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const uint64_t count = buckets_[b].load(std::memory_order_relaxed);
+    if (count == 0) continue;
+    // Bucket b holds values of bit width b: upper bound 2^b - 1
+    // (bucket 0 holds only zero).
+    const uint64_t upper =
+        b == 0 ? 0 : (b >= 64 ? UINT64_MAX : (uint64_t{1} << b) - 1);
+    out.emplace_back(upper, count);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) {
+    bucket.store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(UINT64_MAX, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+const MetricsSnapshot::Entry* MetricsSnapshot::Find(
+    std::string_view name) const {
+  for (const Entry& entry : entries) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  char buf[128];
+  bool first = true;
+  for (const Entry& entry : entries) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"" + entry.name + "\": ";
+    switch (entry.kind) {
+      case Kind::kCounter:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"type\": \"counter\", \"value\": %llu}",
+                      static_cast<unsigned long long>(entry.value));
+        out += buf;
+        break;
+      case Kind::kGauge:
+        std::snprintf(buf, sizeof(buf),
+                      "{\"type\": \"gauge\", \"value\": %lld}",
+                      static_cast<long long>(entry.gauge));
+        out += buf;
+        break;
+      case Kind::kHistogram:
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"type\": \"histogram\", \"count\": %llu, \"sum\": %llu, "
+            "\"min\": %llu, \"max\": %llu, \"buckets\": [",
+            static_cast<unsigned long long>(entry.count),
+            static_cast<unsigned long long>(entry.sum),
+            static_cast<unsigned long long>(entry.min),
+            static_cast<unsigned long long>(entry.max));
+        out += buf;
+        for (size_t i = 0; i < entry.buckets.size(); ++i) {
+          if (i > 0) out += ',';
+          std::snprintf(buf, sizeof(buf), "[%llu,%llu]",
+                        static_cast<unsigned long long>(
+                            entry.buckets[i].first),
+                        static_cast<unsigned long long>(
+                            entry.buckets[i].second));
+          out += buf;
+        }
+        out += "]}";
+        break;
+    }
+  }
+  out += entries.empty() ? "}" : "\n  }";
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Leaked like ThreadPool::Global(): counter handles cached by
+  // function-local statics must stay valid through shutdown.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snapshot;
+  snapshot.entries.reserve(counters_.size() + gauges_.size() +
+                           histograms_.size());
+  for (const auto& [name, counter] : counters_) {
+    MetricsSnapshot::Entry entry;
+    entry.name = name;
+    entry.kind = MetricsSnapshot::Kind::kCounter;
+    entry.value = counter->Value();
+    snapshot.entries.push_back(std::move(entry));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricsSnapshot::Entry entry;
+    entry.name = name;
+    entry.kind = MetricsSnapshot::Kind::kGauge;
+    entry.gauge = gauge->Value();
+    snapshot.entries.push_back(std::move(entry));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricsSnapshot::Entry entry;
+    entry.name = name;
+    entry.kind = MetricsSnapshot::Kind::kHistogram;
+    entry.count = histogram->Count();
+    entry.sum = histogram->Sum();
+    entry.min = histogram->Min();
+    entry.max = histogram->Max();
+    entry.buckets = histogram->Buckets();
+    snapshot.entries.push_back(std::move(entry));
+  }
+  std::sort(snapshot.entries.begin(), snapshot.entries.end(),
+            [](const MetricsSnapshot::Entry& a,
+               const MetricsSnapshot::Entry& b) { return a.name < b.name; });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace tpiin

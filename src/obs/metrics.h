@@ -1,0 +1,204 @@
+#ifndef TPIIN_OBS_METRICS_H_
+#define TPIIN_OBS_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "obs/trace.h"  // TPIIN_OBS_ENABLED
+
+namespace tpiin {
+
+/// Dense small index of the calling thread, assigned on first use;
+/// shards the counter cells so concurrent writers rarely share a cache
+/// line. Stable for the thread's lifetime.
+size_t ObsThreadIndex();
+
+/// A monotonically increasing counter, sharded across cache-line-padded
+/// cells. Add() is one relaxed fetch_add on the caller's shard; Value()
+/// sums the shards (snapshot-time only).
+class Counter {
+ public:
+  void Add(uint64_t delta = 1) {
+    cells_[ObsThreadIndex() % kNumShards].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  uint64_t Value() const {
+    uint64_t total = 0;
+    for (const Cell& cell : cells_) {
+      total += cell.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+  void Reset() {
+    for (Cell& cell : cells_) {
+      cell.value.store(0, std::memory_order_relaxed);
+    }
+  }
+
+ private:
+  static constexpr size_t kNumShards = 16;
+  struct alignas(64) Cell {
+    std::atomic<uint64_t> value{0};
+  };
+  std::array<Cell, kNumShards> cells_;
+};
+
+/// A last-write-wins (or running-max) instantaneous value.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+  /// Raises the gauge to `value` if larger (high-water marks: pool
+  /// queue depth, peak arena size, ...).
+  void SetMax(int64_t value) {
+    int64_t observed = value_.load(std::memory_order_relaxed);
+    while (observed < value &&
+           !value_.compare_exchange_weak(observed, value,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A log2-bucketed histogram of non-negative values (bucket b counts
+/// values whose bit width is b, i.e. upper bound 2^b - 1), plus exact
+/// count/sum/min/max. All updates are relaxed atomics; totals are only
+/// read at snapshot time.
+class Histogram {
+ public:
+  void Record(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Min() const;  // 0 when empty.
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Non-empty buckets as (inclusive upper bound, count), ascending.
+  std::vector<std::pair<uint64_t, uint64_t>> Buckets() const;
+
+  void Reset();
+
+ private:
+  static constexpr size_t kNumBuckets = 65;  // bit_width in [0, 64].
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// Point-in-time aggregation of a MetricsRegistry, sorted by name.
+struct MetricsSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  struct Entry {
+    std::string name;
+    Kind kind = Kind::kCounter;
+    // Counter: value. Gauge: gauge. Histogram: count/sum/min/max +
+    // buckets.
+    uint64_t value = 0;
+    int64_t gauge = 0;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+    uint64_t min = 0;
+    uint64_t max = 0;
+    std::vector<std::pair<uint64_t, uint64_t>> buckets;
+  };
+
+  std::vector<Entry> entries;
+
+  const Entry* Find(std::string_view name) const;
+
+  /// {"name": {"type": "counter", "value": 3}, ...} — one flat object,
+  /// keys sorted, embedded in RunReport JSON and diffed by
+  /// tools/bench_compare.
+  std::string ToJson() const;
+};
+
+/// A process-wide registry of named counters/gauges/histograms.
+/// Get*() returns a stable reference (create-or-get under a mutex);
+/// hot paths register once through the TPIIN_COUNTER_ADD-style macros
+/// and afterwards pay only the relaxed atomic update. Reset() zeroes
+/// values but never invalidates handles, so per-run CLI/bench reports
+/// can scope the global registry to one run.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  Histogram& GetHistogram(const std::string& name);
+
+  MetricsSnapshot Snapshot() const;
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace tpiin
+
+#if TPIIN_OBS_ENABLED
+/// Bumps the named global counter. The handle is resolved once per call
+/// site (function-local static), so steady state is one relaxed
+/// fetch_add.
+#define TPIIN_COUNTER_ADD(name, delta)                       \
+  do {                                                       \
+    static ::tpiin::Counter& tpiin_obs_counter =             \
+        ::tpiin::MetricsRegistry::Global().GetCounter(name); \
+    tpiin_obs_counter.Add(delta);                            \
+  } while (false)
+
+#define TPIIN_GAUGE_SET(name, value)                       \
+  do {                                                     \
+    static ::tpiin::Gauge& tpiin_obs_gauge =               \
+        ::tpiin::MetricsRegistry::Global().GetGauge(name); \
+    tpiin_obs_gauge.Set(value);                            \
+  } while (false)
+
+#define TPIIN_GAUGE_MAX(name, value)                       \
+  do {                                                     \
+    static ::tpiin::Gauge& tpiin_obs_gauge =               \
+        ::tpiin::MetricsRegistry::Global().GetGauge(name); \
+    tpiin_obs_gauge.SetMax(value);                         \
+  } while (false)
+
+#define TPIIN_HISTOGRAM_RECORD(name, value)                    \
+  do {                                                         \
+    static ::tpiin::Histogram& tpiin_obs_histogram =           \
+        ::tpiin::MetricsRegistry::Global().GetHistogram(name); \
+    tpiin_obs_histogram.Record(value);                         \
+  } while (false)
+#else
+#define TPIIN_COUNTER_ADD(name, delta) ((void)0)
+#define TPIIN_GAUGE_SET(name, value) ((void)0)
+#define TPIIN_GAUGE_MAX(name, value) ((void)0)
+#define TPIIN_HISTOGRAM_RECORD(name, value) ((void)0)
+#endif
+
+#endif  // TPIIN_OBS_METRICS_H_

@@ -1,0 +1,180 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <ctime>
+
+namespace tpiin {
+
+double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+#else
+  return 0;
+#endif
+}
+
+double ProcessCpuSeconds() {
+#if defined(CLOCK_PROCESS_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_PROCESS_CPUTIME_ID, &ts) != 0) return 0;
+  return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+#else
+  return 0;
+#endif
+}
+
+std::atomic<TraceRecorder*> TraceRecorder::current_{nullptr};
+
+namespace {
+
+uint64_t NextRecorderId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+// Per-thread cache of the buffer registered with the current recorder,
+// keyed by the recorder's process-unique id so a stale cache from a
+// destroyed recorder can never be mistaken for a live one.
+struct TlsBufferCache {
+  uint64_t recorder_id = 0;
+  void* buffer = nullptr;
+};
+thread_local TlsBufferCache tls_buffer_cache;
+
+}  // namespace
+
+TraceRecorder::TraceRecorder()
+    : id_(NextRecorderId()), epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() {
+  // Self-uninstall guards against a caller forgetting Uninstall();
+  // spans racing this destructor are a caller bug either way.
+  TraceRecorder* self = this;
+  current_.compare_exchange_strong(self, nullptr,
+                                   std::memory_order_relaxed);
+}
+
+void TraceRecorder::Install() {
+  current_.store(this, std::memory_order_relaxed);
+}
+
+void TraceRecorder::Uninstall() {
+  current_.store(nullptr, std::memory_order_relaxed);
+}
+
+int64_t TraceRecorder::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
+  if (tls_buffer_cache.recorder_id == id_) {
+    return static_cast<ThreadBuffer*>(tls_buffer_cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // A thread that alternated between recorders re-finds its original
+  // buffer here instead of registering a duplicate tid.
+  const std::thread::id self = std::this_thread::get_id();
+  for (const auto& existing : buffers_) {
+    if (existing->owner == self) {
+      tls_buffer_cache = {id_, existing.get()};
+      return existing.get();
+    }
+  }
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->owner = self;
+  buffer->tid = static_cast<uint32_t>(buffers_.size());
+  ThreadBuffer* raw = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  tls_buffer_cache = {id_, raw};
+  return raw;
+}
+
+void TraceRecorder::RecordSpan(const char* name, int64_t ts_us,
+                               int64_t dur_us) {
+  ThreadBuffer* buffer = LocalBuffer();
+  buffer->events.push_back(
+      SpanEvent{name, ts_us, dur_us, buffer->tid,
+                static_cast<uint32_t>(buffer->events.size())});
+}
+
+size_t TraceRecorder::NumEvents() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& buffer : buffers_) total += buffer->events.size();
+  return total;
+}
+
+std::vector<TraceRecorder::SpanEvent> TraceRecorder::MergedEvents() const {
+  std::vector<SpanEvent> merged;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t total = 0;
+    for (const auto& buffer : buffers_) total += buffer->events.size();
+    merged.reserve(total);
+    for (const auto& buffer : buffers_) {
+      merged.insert(merged.end(), buffer->events.begin(),
+                    buffer->events.end());
+    }
+  }
+  // Longer-duration-first on equal timestamps puts an enclosing span
+  // before the children it started in the same microsecond. When even
+  // the durations tie (sub-microsecond nest), fall back to reverse
+  // append order: RAII destruction pushes children before their parent,
+  // so the later-appended event is the ancestor and must sort first.
+  std::sort(merged.begin(), merged.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
+              return a.seq > b.seq;
+            });
+  return merged;
+}
+
+std::string TraceRecorder::ToChromeTraceJson() const {
+  const std::vector<SpanEvent> events = MergedEvents();
+  uint32_t max_tid = 0;
+  for (const SpanEvent& event : events) {
+    max_tid = std::max(max_tid, event.tid);
+  }
+
+  std::string out = "{\"traceEvents\":[\n";
+  char line[256];
+  // Thread-name metadata rows; tid 0 is always the installing thread.
+  const uint32_t num_tids = events.empty() ? 0 : max_tid + 1;
+  for (uint32_t tid = 0; tid < num_tids; ++tid) {
+    std::snprintf(line, sizeof(line),
+                  "{\"ph\":\"M\",\"pid\":1,\"tid\":%u,\"name\":"
+                  "\"thread_name\",\"args\":{\"name\":\"%s%u\"}},\n",
+                  tid, tid == 0 ? "main" : "worker", tid);
+    out += line;
+  }
+  for (size_t i = 0; i < events.size(); ++i) {
+    const SpanEvent& event = events[i];
+    std::snprintf(line, sizeof(line),
+                  "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%lld,"
+                  "\"dur\":%lld,\"name\":\"%s\",\"cat\":\"tpiin\"}%s\n",
+                  event.tid, static_cast<long long>(event.ts_us),
+                  static_cast<long long>(event.dur_us), event.name,
+                  i + 1 < events.size() ? "," : "");
+    out += line;
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string json = ToChromeTraceJson();
+  const bool ok =
+      std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,160 @@
+#ifndef TPIIN_OBS_TRACE_H_
+#define TPIIN_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+/// Compile-time observability gate. Building with
+/// -DTPIIN_OBS_ENABLED=0 compiles every TPIIN_SPAN / TPIIN_COUNTER_*
+/// site down to nothing; the default build keeps them in, guarded by a
+/// single relaxed atomic load per site (nullptr recorder / registered
+/// handle), so a run without --trace-out pays no measurable cost.
+#ifndef TPIIN_OBS_ENABLED
+#define TPIIN_OBS_ENABLED 1
+#endif
+
+namespace tpiin {
+
+/// CPU time consumed by the calling thread, in seconds (0 where the
+/// platform offers no thread clock). Stage instrumentation records it
+/// next to wall time so a report can separate "slow" from "starved".
+double ThreadCpuSeconds();
+
+/// CPU time consumed by the whole process (all threads), in seconds.
+/// Stage drivers sample it before/after a parallel stage so reports can
+/// show aggregate CPU next to wall time.
+double ProcessCpuSeconds();
+
+/// Collects nested start/duration span events from any number of
+/// threads into per-thread buffers and merges them into a
+/// Chrome-trace_event-format JSON that opens directly in
+/// chrome://tracing or Perfetto.
+///
+/// Usage: construct, Install(), run the pipeline, Uninstall(), then
+/// WriteChromeTrace(). While installed, every TPIIN_SPAN in the process
+/// records into this recorder. Recording is lock-free after a thread's
+/// first span (one vector push_back per span); Install/Uninstall and
+/// the merge accessors take a mutex and must not run concurrently with
+/// active spans — uninstall after the instrumented calls return, which
+/// the blocking pipeline entry points guarantee.
+///
+/// Tracing never changes pipeline results: spans only read the clock
+/// and append to buffers, so detector/fusion output is bit-identical
+/// with tracing on or off at any thread count
+/// (tests/obs/obs_determinism_test.cc).
+class TraceRecorder {
+ public:
+  /// One completed span. `name` must point to static-storage strings
+  /// (the TPIIN_SPAN contract); timestamps are microseconds relative to
+  /// the recorder's construction.
+  struct SpanEvent {
+    const char* name = nullptr;
+    int64_t ts_us = 0;
+    int64_t dur_us = 0;
+    uint32_t tid = 0;  // Dense per-recorder thread index.
+    uint32_t seq = 0;  // Append position within the thread's buffer.
+  };
+
+  TraceRecorder();
+  ~TraceRecorder();
+
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Makes this recorder the process-wide span sink. The recorder must
+  /// outlive every span started while it is installed.
+  void Install();
+
+  /// Clears the process-wide recorder (spans become no-ops again).
+  static void Uninstall();
+
+  /// The installed recorder, or nullptr when tracing is disabled. One
+  /// relaxed atomic load; this is the span fast path.
+  static TraceRecorder* Current() {
+    return current_.load(std::memory_order_relaxed);
+  }
+
+  /// Microseconds since recorder construction (steady clock).
+  int64_t NowMicros() const;
+
+  /// Appends a completed span to the calling thread's buffer.
+  void RecordSpan(const char* name, int64_t ts_us, int64_t dur_us);
+
+  /// Spans recorded so far, across all threads.
+  size_t NumEvents() const;
+
+  /// All events merged and sorted by (ts, tid, longer-duration-first),
+  /// so a parent span always precedes its children.
+  std::vector<SpanEvent> MergedEvents() const;
+
+  /// Chrome trace_event JSON ("traceEvents" array of "X" complete
+  /// events plus thread-name metadata).
+  std::string ToChromeTraceJson() const;
+
+  /// Writes ToChromeTraceJson() to `path`; false on I/O failure.
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  struct ThreadBuffer {
+    std::thread::id owner;
+    uint32_t tid = 0;
+    std::vector<SpanEvent> events;
+  };
+
+  ThreadBuffer* LocalBuffer();
+
+  static std::atomic<TraceRecorder*> current_;
+
+  const uint64_t id_;  // Process-unique, for thread-local cache checks.
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+};
+
+/// RAII span: records [construction, destruction) into the installed
+/// TraceRecorder, or does nothing when none is installed. `name` must
+/// have static storage duration (string literals).
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : recorder_(TraceRecorder::Current()), name_(name) {
+    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+  }
+
+  ~TraceSpan() {
+    if (recorder_ != nullptr) {
+      recorder_->RecordSpan(name_, start_us_,
+                            recorder_->NowMicros() - start_us_);
+    }
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+  TraceRecorder* recorder_;
+  const char* name_;
+  int64_t start_us_ = 0;
+};
+
+}  // namespace tpiin
+
+#define TPIIN_OBS_CONCAT_INNER(a, b) a##b
+#define TPIIN_OBS_CONCAT(a, b) TPIIN_OBS_CONCAT_INNER(a, b)
+
+#if TPIIN_OBS_ENABLED
+/// Opens a trace span covering the rest of the enclosing scope, e.g.
+/// `TPIIN_SPAN("scc_contract");`. Free when no recorder is installed.
+#define TPIIN_SPAN(name) \
+  ::tpiin::TraceSpan TPIIN_OBS_CONCAT(tpiin_span_, __COUNTER__)(name)
+#else
+#define TPIIN_SPAN(name) ((void)0)
+#endif
+
+#endif  // TPIIN_OBS_TRACE_H_

@@ -6,8 +6,17 @@
 
 #include <gtest/gtest.h>
 
+#include "common/logging.h"
+
 namespace tpiin {
 namespace {
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
 
 class CliTest : public ::testing::Test {
  protected:
@@ -189,6 +198,66 @@ TEST_F(CliTest, DetectOnMissingFileFails) {
   Status status;
   Run({"detect", "--net=/no/such/file"}, &status);
   EXPECT_TRUE(status.IsIOError());
+}
+
+TEST_F(CliTest, RunReportAndTraceOutputs) {
+  std::string data_dir = dir_ + "/data";
+  std::string net_file = dir_ + "/net.edges";
+  Run({"gen", "--out=" + data_dir, "--companies=100", "--p=0.02",
+       "--plant=8", "--seed=21"});
+
+  std::string fuse_report = dir_ + "/fuse_report.json";
+  std::string fuse_trace = dir_ + "/fuse_trace.json";
+  std::string fuse_output =
+      Run({"fuse", "--data=" + data_dir, "--out=" + net_file,
+           "--report=" + fuse_report, "--trace-out=" + fuse_trace});
+  EXPECT_NE(fuse_output.find("run report written"), std::string::npos);
+  EXPECT_NE(fuse_output.find("trace written"), std::string::npos);
+
+  std::string report_json = ReadFileToString(fuse_report);
+  EXPECT_NE(report_json.find("\"tool\": \"fuse\""), std::string::npos);
+  EXPECT_NE(report_json.find("\"fusion\""), std::string::npos);
+  std::string trace_json = ReadFileToString(fuse_trace);
+  EXPECT_NE(trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace_json.find("\"fuse\""), std::string::npos);
+
+  std::string detect_report = dir_ + "/detect_report.json";
+  std::string detect_trace = dir_ + "/detect_trace.json";
+  Run({"detect", "--net=" + net_file, "--report=" + detect_report,
+       "--trace-out=" + detect_trace, "--top=3"});
+  report_json = ReadFileToString(detect_report);
+  EXPECT_NE(report_json.find("\"tool\": \"detect\""), std::string::npos);
+  EXPECT_NE(report_json.find("\"slowest_subtpiins\""), std::string::npos);
+  EXPECT_NE(report_json.find("\"metrics\""), std::string::npos);
+  trace_json = ReadFileToString(detect_trace);
+  EXPECT_NE(trace_json.find("\"segment\""), std::string::npos);
+
+  // Unwritable report path surfaces as an IO error, not silence.
+  Status status;
+  Run({"detect", "--net=" + net_file, "--report=/no/such/dir/r.json"},
+      &status);
+  EXPECT_TRUE(status.IsIOError());
+}
+
+TEST_F(CliTest, LogLevelFlagIsConsumedAnywhere) {
+  std::string data_dir = dir_ + "/data";
+  Run({"gen", "--out=" + data_dir, "--companies=40", "--seed=2",
+       "--log-level=warning"});
+  EXPECT_TRUE(std::filesystem::exists(data_dir + "/persons.csv"));
+
+  // Space-separated form, before the command.
+  std::string net_file = dir_ + "/net.edges";
+  Run({"--log-level", "error", "fuse", "--data=" + data_dir,
+       "--out=" + net_file});
+  EXPECT_TRUE(std::filesystem::exists(net_file));
+  SetLogLevel(LogLevel::kInfo);
+
+  Status status;
+  Run({"stats", "--net=" + net_file, "--log-level=loud"}, &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_NE(status.message().find("log-level"), std::string::npos);
+  Run({"stats", "--net=" + net_file, "--log-level"}, &status);
+  EXPECT_TRUE(status.IsInvalidArgument());
 }
 
 }  // namespace

@@ -1,0 +1,170 @@
+// MetricsRegistry: sharded counter totals under concurrency, gauge
+// high-water marks, log2 histogram buckets, and snapshot-after-merge
+// counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+
+namespace tpiin {
+namespace {
+
+TEST(MetricsTest, CounterSumsShards) {
+  Counter counter;
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42u);
+  counter.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+}
+
+TEST(MetricsTest, CounterConcurrentAddsAreLossless) {
+  constexpr size_t kThreads = 8;
+  constexpr uint64_t kAddsPerThread = 10000;
+  Counter counter;
+  ThreadPool::Global().ParallelFor(kThreads, kThreads, [&](size_t) {
+    for (uint64_t i = 0; i < kAddsPerThread; ++i) counter.Add();
+  });
+  EXPECT_EQ(counter.Value(), kThreads * kAddsPerThread);
+}
+
+TEST(MetricsTest, GaugeSetAndMax) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.SetMax(3);
+  EXPECT_EQ(gauge.Value(), 7) << "SetMax must not lower the gauge";
+  gauge.SetMax(19);
+  EXPECT_EQ(gauge.Value(), 19);
+}
+
+TEST(MetricsTest, GaugeConcurrentMaxKeepsHighWater) {
+  Gauge gauge;
+  ThreadPool::Global().ParallelFor(64, 8, [&](size_t i) {
+    gauge.SetMax(static_cast<int64_t>(i));
+  });
+  EXPECT_EQ(gauge.Value(), 63);
+}
+
+TEST(MetricsTest, HistogramLog2Buckets) {
+  Histogram histogram;
+  histogram.Record(0);  // bit_width 0 -> upper bound 0.
+  histogram.Record(1);  // bit_width 1 -> upper bound 1.
+  histogram.Record(5);  // bit_width 3 -> upper bound 7.
+  histogram.Record(7);
+  EXPECT_EQ(histogram.Count(), 4u);
+  EXPECT_EQ(histogram.Sum(), 13u);
+  EXPECT_EQ(histogram.Min(), 0u);
+  EXPECT_EQ(histogram.Max(), 7u);
+
+  auto buckets = histogram.Buckets();
+  ASSERT_EQ(buckets.size(), 3u);
+  EXPECT_EQ(buckets[0], (std::pair<uint64_t, uint64_t>{0, 1}));
+  EXPECT_EQ(buckets[1], (std::pair<uint64_t, uint64_t>{1, 1}));
+  EXPECT_EQ(buckets[2], (std::pair<uint64_t, uint64_t>{7, 2}));
+}
+
+TEST(MetricsTest, RegistryHandlesAreStableAcrossReset) {
+  MetricsRegistry registry;
+  Counter& counter = registry.GetCounter("stable");
+  counter.Add(5);
+  registry.Reset();
+  EXPECT_EQ(counter.Value(), 0u);
+  EXPECT_EQ(&registry.GetCounter("stable"), &counter);
+  counter.Add(2);
+  EXPECT_EQ(registry.GetCounter("stable").Value(), 2u);
+}
+
+TEST(MetricsTest, SnapshotAfterConcurrentMergeCounts) {
+  MetricsRegistry registry;
+  Counter& events = registry.GetCounter("test.events");
+  Gauge& peak = registry.GetGauge("test.peak");
+  Histogram& sizes = registry.GetHistogram("test.sizes");
+
+  constexpr size_t kItems = 1000;
+  ThreadPool::Global().ParallelFor(kItems, 8, [&](size_t i) {
+    events.Add();
+    peak.SetMax(static_cast<int64_t>(i));
+    sizes.Record(i);
+  });
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.entries.size(), 3u);
+
+  const MetricsSnapshot::Entry* events_entry =
+      snapshot.Find("test.events");
+  ASSERT_NE(events_entry, nullptr);
+  EXPECT_EQ(events_entry->kind, MetricsSnapshot::Kind::kCounter);
+  EXPECT_EQ(events_entry->value, kItems);
+
+  const MetricsSnapshot::Entry* peak_entry = snapshot.Find("test.peak");
+  ASSERT_NE(peak_entry, nullptr);
+  EXPECT_EQ(peak_entry->gauge, static_cast<int64_t>(kItems - 1));
+
+  const MetricsSnapshot::Entry* sizes_entry = snapshot.Find("test.sizes");
+  ASSERT_NE(sizes_entry, nullptr);
+  EXPECT_EQ(sizes_entry->count, kItems);
+  EXPECT_EQ(sizes_entry->sum, kItems * (kItems - 1) / 2);
+  EXPECT_EQ(sizes_entry->min, 0u);
+  EXPECT_EQ(sizes_entry->max, kItems - 1);
+
+  EXPECT_EQ(snapshot.Find("test.absent"), nullptr);
+}
+
+TEST(MetricsTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("zebra");
+  registry.GetGauge("alpha");
+  registry.GetHistogram("mid");
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.entries.size(), 3u);
+  EXPECT_EQ(snapshot.entries[0].name, "alpha");
+  EXPECT_EQ(snapshot.entries[1].name, "mid");
+  EXPECT_EQ(snapshot.entries[2].name, "zebra");
+}
+
+TEST(MetricsTest, ToJsonShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("c").Add(3);
+  registry.GetGauge("g").Set(-4);
+  registry.GetHistogram("h").Record(6);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"c\": {\"type\": \"counter\", \"value\": 3}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"g\": {\"type\": \"gauge\", \"value\": -4}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"h\": {\"type\": \"histogram\", \"count\": 1"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"buckets\": [[7,1]]"), std::string::npos) << json;
+}
+
+TEST(MetricsTest, MacrosFeedTheGlobalRegistry) {
+  MetricsRegistry::Global().Reset();
+  TPIIN_COUNTER_ADD("macro.counter", 2);
+  TPIIN_COUNTER_ADD("macro.counter", 3);
+  TPIIN_GAUGE_SET("macro.gauge", 11);
+  TPIIN_GAUGE_MAX("macro.gauge", 9);
+  TPIIN_HISTOGRAM_RECORD("macro.histogram", 4);
+
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const MetricsSnapshot::Entry* counter = snapshot.Find("macro.counter");
+  ASSERT_NE(counter, nullptr);
+  EXPECT_EQ(counter->value, 5u);
+  const MetricsSnapshot::Entry* gauge = snapshot.Find("macro.gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->gauge, 11);
+  const MetricsSnapshot::Entry* histogram =
+      snapshot.Find("macro.histogram");
+  ASSERT_NE(histogram, nullptr);
+  EXPECT_EQ(histogram->count, 1u);
+}
+
+}  // namespace
+}  // namespace tpiin

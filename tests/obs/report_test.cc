@@ -1,0 +1,157 @@
+// RunReport: JSON shape, stage accounting, section/table ordering, and
+// the pipeline report hooks (AddFusionToReport / AddDetectionToReport).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/detector.h"
+#include "datagen/worked_example.h"
+#include "fusion/pipeline.h"
+#include "obs/report.h"
+
+namespace tpiin {
+namespace {
+
+TEST(ReportValueTest, RendersEveryAlternative) {
+  EXPECT_EQ(ReportValueToJson(ReportValue(int64_t{-3})), "-3");
+  EXPECT_EQ(ReportValueToJson(ReportValue(uint64_t{7})), "7");
+  EXPECT_EQ(ReportValueToJson(ReportValue(0.5)), "0.5");
+  EXPECT_EQ(ReportValueToJson(ReportValue(true)), "true");
+  EXPECT_EQ(ReportValueToJson(ReportValue(std::string("a\"b"))),
+            "\"a\\\"b\"");
+}
+
+TEST(ReportTest, StageSumAndSections) {
+  RunReport report("unit");
+  report.set_threads(4);
+  report.AddStage("one", 0.25, 0.5);
+  report.AddStage("two", 0.75, 1.5);
+  report.set_total_seconds(1.0);
+  EXPECT_DOUBLE_EQ(report.StageSecondsSum(), 1.0);
+
+  ReportSection& section = report.Section("stats");
+  section.Set("count", size_t{3});
+  section.Set("ratio", 0.5);
+  section.Set("label", "x");
+  // Create-or-get: the same section comes back, and overwrites keep the
+  // original key order.
+  report.Section("stats").Set("count", size_t{4});
+  ASSERT_EQ(report.Section("stats").items().size(), 3u);
+  EXPECT_EQ(report.Section("stats").items()[0].first, "count");
+
+  ReportTable& table = report.AddTable("rows", {"name", "value"});
+  table.AddRow().Append("a").Append(1);
+  table.AddRow().Append("b").Append(2);
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"tool\": \"unit\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"threads\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"total_seconds\": 1"), std::string::npos) << json;
+  EXPECT_NE(json.find("{\"name\": \"one\", \"seconds\": 0.25, "
+                      "\"cpu_seconds\": 0.5}"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"count\": 4"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"columns\": [\"name\", \"value\"]"),
+            std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"rows\": [[\"a\", 1], [\"b\", 2]]"),
+            std::string::npos)
+      << json;
+  // No metrics attached: an empty object, not a dangling key.
+  EXPECT_NE(json.find("\"metrics\": {}"), std::string::npos) << json;
+}
+
+TEST(ReportTest, EmptyReportIsWellFormed) {
+  RunReport report("empty");
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"stages\": []"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"sections\": {}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"tables\": {}"), std::string::npos) << json;
+}
+
+TEST(ReportTest, AttachedMetricsAppear) {
+  MetricsRegistry registry;
+  registry.GetCounter("attached.counter").Add(9);
+  RunReport report("metrics");
+  report.AttachMetrics(registry.Snapshot());
+  EXPECT_NE(report.ToJson().find("\"attached.counter\""),
+            std::string::npos);
+}
+
+TEST(ReportTest, FusionReportCoversStagesAndStats) {
+  RawDataset dataset = BuildWorkedExampleDataset();
+  auto fused = BuildTpiin(dataset);
+  ASSERT_TRUE(fused.ok());
+
+  RunReport report("fuse");
+  AddFusionToReport(*fused, &report);
+
+  // The four measured stages partition the run (ISSUE acceptance: sum
+  // within 5% of wall — generously bounded here to keep CI headroom on
+  // loaded machines).
+  EXPECT_GT(report.total_seconds(), 0.0);
+  EXPECT_LE(report.StageSecondsSum(), report.total_seconds());
+  EXPECT_GT(report.StageSecondsSum(), 0.5 * report.total_seconds());
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"layers\""), std::string::npos);
+  EXPECT_NE(json.find("\"assemble\""), std::string::npos);
+  EXPECT_NE(json.find("\"overlay\""), std::string::npos);
+  EXPECT_NE(json.find("\"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"fusion\""), std::string::npos);
+  EXPECT_NE(json.find("\"trading_arcs\""), std::string::npos);
+}
+
+TEST(ReportTest, DetectionReportCoversStagesAndTopK) {
+  RawDataset dataset = BuildWorkedExampleDataset();
+  auto fused = BuildTpiin(dataset);
+  ASSERT_TRUE(fused.ok());
+  auto detection = DetectSuspiciousGroups(fused->tpiin);
+  ASSERT_TRUE(detection.ok());
+  ASSERT_GT(detection->num_subtpiins, 0u);
+  EXPECT_EQ(detection->sub_profiles.size(), detection->num_subtpiins);
+  EXPECT_EQ(detection->segment_stats.num_emitted,
+            detection->num_subtpiins);
+
+  RunReport report("detect");
+  AddDetectionToReport(*detection, /*top_k=*/2, &report);
+
+  EXPECT_GT(report.total_seconds(), 0.0);
+  EXPECT_LE(report.StageSecondsSum(), report.total_seconds());
+  EXPECT_GT(report.StageSecondsSum(), 0.5 * report.total_seconds());
+
+  const std::string json = report.ToJson();
+  EXPECT_NE(json.find("\"segment\""), std::string::npos);
+  EXPECT_NE(json.find("\"mine\""), std::string::npos);
+  EXPECT_NE(json.find("\"finalize\""), std::string::npos);
+  EXPECT_NE(json.find("\"detection\""), std::string::npos);
+  EXPECT_NE(json.find("\"segmentation\""), std::string::npos);
+  EXPECT_NE(json.find("\"slowest_subtpiins\""), std::string::npos);
+}
+
+TEST(ReportTest, TopKClampsToProfileCount) {
+  DetectionResult result;
+  result.timings.total_seconds = 1.0;
+  SubTpiinProfile slow;
+  slow.index = 0;
+  slow.pattern_seconds = 0.5;
+  SubTpiinProfile fast;
+  fast.index = 1;
+  fast.pattern_seconds = 0.1;
+  result.sub_profiles = {fast, slow};
+
+  RunReport report("detect");
+  AddDetectionToReport(result, /*top_k=*/10, &report);
+  const std::string json = report.ToJson();
+  // Both rows present, slowest first.
+  size_t slow_at = json.find("[0, 0, 0, 0, 0, 0.5, 0]");
+  size_t fast_at = json.find("[1, 0, 0, 0, 0, 0.1, 0]");
+  EXPECT_NE(slow_at, std::string::npos) << json;
+  EXPECT_NE(fast_at, std::string::npos) << json;
+  EXPECT_LT(slow_at, fast_at);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,17 +1,27 @@
-// Compares two bench --json artifacts and fails on regressions.
+// Compares two bench --json artifacts (or two RunReport artifacts) and
+// fails on regressions.
 //
 // Usage:
 //   bench_compare BASELINE.json CURRENT.json
 //       [--metric=seconds|throughput] [--threshold=0.10]
 //       [--bench=NAME] [--case=SUBSTR]
 //
-// Both files are the flat arrays written by BenchJsonWriter:
+// Record mode (the default for flat arrays written by BenchJsonWriter):
 //   [{"bench": ..., "case": ..., "seconds": ..., "throughput": ...}, ...]
 // Records are matched by (bench, case). For `seconds` a regression is
 // the current value exceeding baseline * (1 + threshold); for
 // `throughput` it is falling below baseline * (1 - threshold). Records
 // whose baseline value is zero are skipped (sentinel rows that carry a
 // count in the other field). --bench / --case restrict the comparison.
+//
+// Report mode (auto-detected when both inputs are RunReport JSONs, i.e.
+// objects with a top-level "tool" key — written by `tpiin fuse/detect
+// --report=` and the bench harnesses' --report flag): stage wall
+// seconds are matched by stage name and compared under the same
+// threshold rule (plus the report's total_seconds), and every metric
+// present in both snapshots is printed as a delta line
+// (`metric <name>: <base> -> <cur> (delta)`). Metric deltas are
+// informational; only stage/total timings drive the exit code.
 //
 // Exit codes: 0 = no regression, 1 = at least one regression,
 // 2 = usage or I/O error. Documented in EXPERIMENTS.md.
@@ -103,6 +113,153 @@ bool ParseRecords(const std::string& path, std::vector<Record>* out) {
   return true;
 }
 
+// One parsed RunReport: stage timings plus a flattened metric map
+// (counter/gauge -> value, histogram -> count).
+struct ReportData {
+  double total_seconds = 0;
+  std::vector<std::pair<std::string, double>> stages;
+  std::map<std::string, double> metrics;
+};
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    std::fprintf(stderr, "bench_compare: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// A RunReport is a JSON object whose first key is "tool"; the record
+// arrays never contain that key.
+bool LooksLikeReport(const std::string& text) {
+  return text.find("\"tool\":") != std::string::npos;
+}
+
+// Minimal scanner in the spirit of ParseRecords: the producer is
+// obs/report.cc, so the key order and nesting are fixed.
+bool ParseReport(const std::string& path, ReportData* out) {
+  std::string text;
+  if (!ReadFile(path, &text)) return false;
+
+  size_t at = text.find("\"total_seconds\":");
+  if (at != std::string::npos) {
+    out->total_seconds =
+        std::strtod(text.c_str() + at + std::strlen("\"total_seconds\":"),
+                    nullptr);
+  }
+
+  // Stages: {"name": "...", "seconds": N, ...} objects inside the
+  // "stages" array (which ends at the first ']').
+  size_t stages_at = text.find("\"stages\": [");
+  if (stages_at != std::string::npos) {
+    size_t stages_end = text.find(']', stages_at);
+    size_t pos = stages_at;
+    while (true) {
+      size_t name_at = text.find("\"name\": \"", pos);
+      if (name_at == std::string::npos || name_at > stages_end) break;
+      size_t name_start = name_at + std::strlen("\"name\": \"");
+      size_t name_end = text.find('"', name_start);
+      size_t secs_at = text.find("\"seconds\":", name_end);
+      if (name_end == std::string::npos || secs_at == std::string::npos ||
+          secs_at > stages_end) {
+        break;
+      }
+      out->stages.emplace_back(
+          text.substr(name_start, name_end - name_start),
+          std::strtod(text.c_str() + secs_at + std::strlen("\"seconds\":"),
+                      nullptr));
+      pos = secs_at;
+    }
+  }
+
+  // Metrics: "name": {"type": "kind", ...} pairs after the "metrics"
+  // key. Counters and gauges compare on "value", histograms on "count".
+  size_t metrics_at = text.find("\"metrics\":");
+  if (metrics_at != std::string::npos) {
+    size_t pos = metrics_at;
+    while (true) {
+      size_t type_at = text.find("{\"type\": \"", pos);
+      if (type_at == std::string::npos) break;
+      // The metric name is the quoted key right before this object.
+      size_t colon = text.rfind(':', type_at);
+      size_t name_end = text.rfind('"', colon);
+      size_t name_start =
+          name_end == std::string::npos ? std::string::npos
+                                        : text.rfind('"', name_end - 1);
+      size_t entry_end = text.find('}', type_at);
+      if (name_start == std::string::npos ||
+          entry_end == std::string::npos) {
+        break;
+      }
+      const std::string name =
+          text.substr(name_start + 1, name_end - name_start - 1);
+      double value = 0;
+      for (const char* key : {"\"value\":", "\"count\":"}) {
+        size_t value_at = text.find(key, type_at);
+        if (value_at != std::string::npos && value_at < entry_end) {
+          value = std::strtod(text.c_str() + value_at + std::strlen(key),
+                              nullptr);
+          break;
+        }
+      }
+      out->metrics[name] = value;
+      pos = entry_end;
+    }
+  }
+  return true;
+}
+
+int CompareReports(const std::string& baseline_path,
+                   const std::string& current_path, double threshold) {
+  ReportData baseline;
+  ReportData current;
+  if (!ParseReport(baseline_path, &baseline) ||
+      !ParseReport(current_path, &current)) {
+    return 2;
+  }
+
+  std::map<std::string, double> base_stages(baseline.stages.begin(),
+                                            baseline.stages.end());
+  size_t compared = 0;
+  size_t regressions = 0;
+  auto check = [&](const std::string& name, double base, double cur) {
+    if (base <= 0) return;  // Too fast to attribute; nothing to compare.
+    ++compared;
+    double ratio = cur / base;
+    if (ratio > 1.0 + threshold) {
+      ++regressions;
+      std::printf("REGRESSION stage %s: seconds %.6g -> %.6g (%+.1f%%)\n",
+                  name.c_str(), base, cur, 100.0 * (ratio - 1.0));
+    }
+  };
+  for (const auto& [name, seconds] : current.stages) {
+    auto it = base_stages.find(name);
+    if (it != base_stages.end()) check(name, it->second, seconds);
+  }
+  check("(total)", baseline.total_seconds, current.total_seconds);
+
+  size_t metrics_diffed = 0;
+  for (const auto& [name, cur] : current.metrics) {
+    auto it = baseline.metrics.find(name);
+    if (it == baseline.metrics.end()) continue;
+    ++metrics_diffed;
+    if (cur != it->second) {
+      std::printf("metric %s: %.10g -> %.10g (%+.10g)\n", name.c_str(),
+                  it->second, cur, cur - it->second);
+    }
+  }
+
+  std::printf(
+      "bench_compare: report mode, %zu stage(s) compared, threshold "
+      "%.0f%%, %zu metric(s) diffed, %zu regression(s)\n",
+      compared, 100.0 * threshold, metrics_diffed, regressions);
+  return regressions > 0 ? 1 : 0;
+}
+
 int Usage() {
   std::fprintf(
       stderr,
@@ -139,6 +296,23 @@ int main(int argc, char** argv) {
   if (paths.size() != 2 ||
       (metric != "seconds" && metric != "throughput") || threshold <= 0) {
     return Usage();
+  }
+
+  {
+    std::string base_text;
+    std::string cur_text;
+    if (!ReadFile(paths[0], &base_text) || !ReadFile(paths[1], &cur_text)) {
+      return 2;
+    }
+    const bool base_report = LooksLikeReport(base_text);
+    const bool cur_report = LooksLikeReport(cur_text);
+    if (base_report != cur_report) {
+      std::fprintf(stderr,
+                   "bench_compare: cannot mix a RunReport and a record "
+                   "array\n");
+      return 2;
+    }
+    if (base_report) return CompareReports(paths[0], paths[1], threshold);
   }
 
   std::vector<Record> baseline;
