@@ -5,6 +5,7 @@
 #include <unordered_map>
 
 #include "common/csv.h"
+#include "common/failpoint.h"
 #include "common/flags.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
@@ -72,6 +73,34 @@ Status ApplyLogLevelFlag(std::vector<std::string>& args) {
           " (expected debug|info|warning|error)");
     }
   }
+  return Status::OK();
+}
+
+// Consumes every --failpoints flag (global, like --log-level) and
+// installs the last spec. Only touches the failpoint registry when the
+// flag is present, so in-process callers (tests driving RunCli) keep
+// whatever configuration they installed themselves.
+Status ApplyFailpointsFlag(std::vector<std::string>& args) {
+  constexpr const char* kPrefix = "--failpoints=";
+  bool seen = false;
+  std::string spec;
+  for (auto it = args.begin(); it != args.end();) {
+    if (it->rfind(kPrefix, 0) == 0) {
+      spec = it->substr(std::string(kPrefix).size());
+      seen = true;
+      it = args.erase(it);
+    } else if (*it == "--failpoints") {
+      if (std::next(it) == args.end()) {
+        return Status::InvalidArgument("--failpoints requires a value");
+      }
+      spec = *std::next(it);
+      seen = true;
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  if (seen) return Failpoints::Configure(spec);
   return Status::OK();
 }
 
@@ -183,7 +212,8 @@ Status RunFuse(const std::vector<std::string>& args, std::ostream& out) {
   return obs.Finish(&report, out);
 }
 
-Status RunDetect(const std::vector<std::string>& args, std::ostream& out) {
+Status RunDetect(const std::vector<std::string>& args, std::ostream& out,
+                 int* exit_code) {
   FlagParser flags;
   flags.DefineString("net", "", "TPIIN edge-list file");
   flags.DefineString("out", "", "optional output directory for reports");
@@ -193,6 +223,14 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out) {
   flags.DefineString("report", "", "machine-readable run report (JSON)");
   flags.DefineString("trace-out", "",
                      "Chrome trace_event JSON (chrome://tracing)");
+  flags.DefineInt64("deadline-ms", 0,
+                    "wall-clock budget for the run (0 = unlimited)");
+  flags.DefineInt64("sub-slice-ms", 0,
+                    "per-subTPIIN pattern-walk budget (0 = unlimited)");
+  flags.DefineInt64("max-sub-nodes", 0,
+                    "skip subTPIINs with more nodes (0 = unlimited)");
+  flags.DefineInt64("max-sub-arcs", 0,
+                    "skip subTPIINs with more arcs (0 = unlimited)");
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
   if (flags.GetString("net").empty()) {
     return Status::InvalidArgument("detect requires --net=FILE");
@@ -203,9 +241,20 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out) {
                          ReadTpiinEdgeList(flags.GetString("net")));
   DetectorOptions options;
   options.num_threads = static_cast<uint32_t>(flags.GetInt64("threads"));
+  options.budget.deadline_seconds = flags.GetInt64("deadline-ms") / 1e3;
+  options.budget.sub_slice_seconds = flags.GetInt64("sub-slice-ms") / 1e3;
+  options.budget.max_sub_nodes = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt64("max-sub-nodes")));
+  options.budget.max_sub_arcs = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt64("max-sub-arcs")));
   TPIIN_ASSIGN_OR_RETURN(DetectionResult detection,
                          DetectSuspiciousGroups(net, options));
   out << detection.Summary() << "\n";
+  if (detection.degraded) {
+    out << "WARNING: results are partial — " << detection.num_skipped_subs
+        << " subTPIIN(s) skipped by the run budget (exit code 2)\n";
+    if (exit_code != nullptr) *exit_code = 2;
+  }
 
   ScoringResult scoring = ScoreDetection(net, detection);
   size_t top = std::min<size_t>(
@@ -340,7 +389,10 @@ Status RunScreen(const std::vector<std::string>& args, std::ostream& out) {
     }
   }
 
-  IncrementalScreener screener(net);
+  // The network came from an edge-list file, so acyclicity of the
+  // antecedent layer is not guaranteed — use the checked factory.
+  TPIIN_ASSIGN_OR_RETURN(IncrementalScreener screener,
+                         IncrementalScreener::Create(net));
   size_t flagged = 0;
   for (const auto& [seller, buyer] : candidates) {
     std::optional<NodeId> witness =
@@ -454,6 +506,8 @@ std::string CliUsage() {
       "          --net=FILE [--out=DIR] [--threads=T] [--top=K] "
       "[--json=FILE]\n"
       "          [--report=FILE] [--trace-out=FILE]\n"
+      "          [--deadline-ms=N] [--sub-slice-ms=N] [--max-sub-nodes=N]\n"
+      "          [--max-sub-arcs=N]   (run budget; partial results exit 2)\n"
       "  explain per-company dossier (IATs, antecedents, proof chains)\n"
       "          --net=FILE --company=LABEL\n"
       "  screen  classify candidate trading relationships (streaming)\n"
@@ -467,12 +521,21 @@ std::string CliUsage() {
       "\n"
       "Global flags:\n"
       "  --log-level=debug|info|warning|error   minimum log severity\n"
-      "                                         (default info)\n";
+      "                                         (default info)\n"
+      "  --failpoints=SPEC   inject faults at named sites (testing);\n"
+      "                      e.g. 'io.csv.open:ioerror,*:p0.01@42'\n"
+      "\n"
+      "Exit codes: 0 success, 1 error, 2 completed with partial results\n"
+      "(a --deadline-ms/--max-sub-* budget bound).\n";
 }
 
-Status RunCli(const std::vector<std::string>& args, std::ostream& out) {
+namespace {
+
+Status DispatchCli(const std::vector<std::string>& args, std::ostream& out,
+                   int* exit_code) {
   std::vector<std::string> mutable_args = args;
   TPIIN_RETURN_IF_ERROR(ApplyLogLevelFlag(mutable_args));
+  TPIIN_RETURN_IF_ERROR(ApplyFailpointsFlag(mutable_args));
   if (mutable_args.empty() || mutable_args[0] == "help" ||
       mutable_args[0] == "--help") {
     out << CliUsage();
@@ -483,13 +546,24 @@ Status RunCli(const std::vector<std::string>& args, std::ostream& out) {
                                 mutable_args.end());
   if (command == "gen") return RunGen(rest, out);
   if (command == "fuse") return RunFuse(rest, out);
-  if (command == "detect") return RunDetect(rest, out);
+  if (command == "detect") return RunDetect(rest, out, exit_code);
   if (command == "explain") return RunExplain(rest, out);
   if (command == "screen") return RunScreen(rest, out);
   if (command == "stats") return RunStats(rest, out);
   if (command == "export") return RunExport(rest, out);
   return Status::InvalidArgument("unknown command: " + command + "\n" +
                                  CliUsage());
+}
+
+}  // namespace
+
+Status RunCli(const std::vector<std::string>& args, std::ostream& out,
+              int* exit_code) {
+  int code = 0;
+  Status status = DispatchCli(args, out, &code);
+  if (!status.ok()) code = 1;
+  if (exit_code != nullptr) *exit_code = code;
+  return status;
 }
 
 }  // namespace tpiin

@@ -29,7 +29,14 @@ namespace tpiin {
 /// `RunCli` dispatches argv and writes human-readable output to `out`;
 /// errors are reported on the returned Status (the binary prints them to
 /// stderr and exits non-zero).
-Status RunCli(const std::vector<std::string>& args, std::ostream& out);
+///
+/// When `exit_code` is non-null it receives the process exit code:
+///   0  success
+///   1  error (the returned Status is non-OK)
+///   2  completed, but degraded — a RunBudget limit bound (deadline hit
+///      or subTPIINs skipped by a cap) and the results are partial.
+Status RunCli(const std::vector<std::string>& args, std::ostream& out,
+              int* exit_code = nullptr);
 
 /// Renders the top-level usage text.
 std::string CliUsage();

@@ -1,0 +1,54 @@
+#include "common/atomic_file.h"
+
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "common/failpoint.h"
+
+namespace tpiin {
+
+AtomicFile::AtomicFile(std::string path, std::ios::openmode mode)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(::getpid())),
+      out_(temp_path_, std::ios::out | std::ios::trunc | mode) {}
+
+AtomicFile::~AtomicFile() {
+  if (!committed_) Discard();
+}
+
+void AtomicFile::Discard() {
+  if (out_.is_open()) out_.close();
+  std::remove(temp_path_.c_str());
+}
+
+Status AtomicFile::Commit() {
+  if (committed_) return commit_status_;
+  committed_ = true;
+  commit_status_ = [&]() -> Status {
+    TPIIN_FAILPOINT("io.atomic.commit");
+    if (!out_.is_open()) {
+      return Status::IOError("cannot open " + temp_path_);
+    }
+    out_.flush();
+    if (!out_.good()) {
+      return Status::IOError("failed writing " + temp_path_);
+    }
+    out_.close();
+    if (std::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+      return Status::IOError("cannot rename " + temp_path_ + " to " +
+                             path_);
+    }
+    return Status::OK();
+  }();
+  if (!commit_status_.ok()) Discard();
+  return commit_status_;
+}
+
+Status WriteFileAtomic(const std::string& path, std::string_view contents) {
+  AtomicFile file(path);
+  file.stream() << contents;
+  return file.Commit();
+}
+
+}  // namespace tpiin

@@ -1,0 +1,57 @@
+#ifndef TPIIN_COMMON_ATOMIC_FILE_H_
+#define TPIIN_COMMON_ATOMIC_FILE_H_
+
+#include <fstream>
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+
+namespace tpiin {
+
+/// Crash-safe file writer: streams into `<path>.tmp.<pid>` and renames
+/// over `path` on Commit(), so readers never observe a torn file — an
+/// injected IO failure, a thrown exception or a process kill leaves
+/// either the previous file or nothing. Destruction without Commit()
+/// discards the temporary.
+///
+/// rename(2) is atomic within a filesystem; the temporary lives next to
+/// the target so the pair never crosses a mount boundary.
+class AtomicFile {
+ public:
+  /// `mode` is OR-ed with out|trunc; pass std::ios::binary for binary
+  /// formats (the receipt store).
+  explicit AtomicFile(std::string path,
+                      std::ios::openmode mode = std::ios::openmode{});
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// False when the temporary could not be opened or a write failed.
+  bool ok() const { return out_.good(); }
+
+  std::ostream& stream() { return out_; }
+
+  /// Flushes, closes and renames the temporary over the target.
+  /// On any failure the temporary is removed and the target is left
+  /// untouched. Safe to call once; later calls return the first result.
+  Status Commit();
+
+ private:
+  void Discard();
+
+  std::string path_;
+  std::string temp_path_;
+  std::ofstream out_;
+  bool committed_ = false;
+  Status commit_status_;
+};
+
+/// One-shot convenience: writes `contents` to `path` through an
+/// AtomicFile.
+Status WriteFileAtomic(const std::string& path, std::string_view contents);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_COMMON_ATOMIC_FILE_H_

@@ -2,6 +2,7 @@
 
 #include <cctype>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace tpiin {
@@ -71,35 +72,26 @@ std::string EscapeCsvField(std::string_view field) {
   return out;
 }
 
-CsvWriter::CsvWriter(const std::string& path)
-    : out_(path, std::ios::out | std::ios::trunc), path_(path) {}
+CsvWriter::CsvWriter(const std::string& path) : file_(path) {}
 
 void CsvWriter::WriteRow(const std::vector<std::string>& fields) {
+  std::ostream& out = file_.stream();
   for (size_t i = 0; i < fields.size(); ++i) {
-    if (i > 0) out_ << ',';
-    out_ << EscapeCsvField(fields[i]);
+    if (i > 0) out << ',';
+    out << EscapeCsvField(fields[i]);
   }
-  out_ << '\n';
+  out << '\n';
 }
 
-Status CsvWriter::Close() {
-  if (!closed_) {
-    out_.flush();
-    closed_ = true;
-  }
-  if (!out_.good()) {
-    return Status::IOError("failed writing " + path_);
-  }
-  out_.close();
-  return Status::OK();
-}
+Status CsvWriter::Close() { return file_.Commit(); }
 
 CsvWriter::~CsvWriter() {
-  if (!closed_) Close();  // Best effort; errors surfaced via explicit Close.
+  Close();  // Best effort; errors surfaced via explicit Close.
 }
 
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, const std::vector<std::string>& expect_header) {
+  TPIIN_FAILPOINT("io.csv.open");
   std::ifstream in(path);
   if (!in.good()) return Status::IOError("cannot open " + path);
   std::vector<std::vector<std::string>> rows;
@@ -120,6 +112,55 @@ Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     rows.push_back(std::move(fields));
   }
   return rows;
+}
+
+CsvFileReader::CsvFileReader(const std::string& path)
+    : in_(path), path_(path) {
+#if defined(TPIIN_FAILPOINTS_COMPILED)
+  if (Failpoints::AnyActive()) {
+    Status injected = Failpoints::Check("io.csv.open");
+    if (!injected.ok()) {
+      status_ = std::move(injected);
+      return;
+    }
+  }
+#endif
+  if (!in_.good()) status_ = Status::IOError("cannot open " + path_);
+}
+
+Status CsvFileReader::ExpectHeader(const std::vector<std::string>& header) {
+  TPIIN_RETURN_IF_ERROR(status_);
+  CsvRow row;
+  if (!Next(&row)) {
+    return Status::Corruption(path_ + ": missing header");
+  }
+  TPIIN_RETURN_IF_ERROR(row.parse);
+  if (row.fields != header) {
+    return Status::Corruption("unexpected CSV header in " + path_);
+  }
+  return Status::OK();
+}
+
+bool CsvFileReader::Next(CsvRow* row) {
+  if (!status_.ok()) return false;
+  std::string line;
+  while (std::getline(in_, line)) {
+    ++line_number_;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    row->line_number = line_number_;
+    row->raw = line;
+    Result<std::vector<std::string>> fields = ParseCsvLine(line);
+    if (fields.ok()) {
+      row->fields = std::move(*fields);
+      row->parse = Status::OK();
+    } else {
+      row->fields.clear();
+      row->parse = fields.status();
+    }
+    return true;
+  }
+  return false;
 }
 
 }  // namespace tpiin

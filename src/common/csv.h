@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/atomic_file.h"
 #include "common/result.h"
 #include "common/status.h"
 
@@ -21,26 +22,26 @@ Result<std::vector<std::string>> ParseCsvLine(std::string_view line);
 std::string EscapeCsvField(std::string_view field);
 
 /// Streaming CSV writer. All write paths funnel through WriteRow so
-/// quoting stays consistent.
+/// quoting stays consistent. Writes are crash-safe: rows stream into a
+/// temporary that replaces `path` only when Close() succeeds, so a
+/// killed process or failed write never leaves a half-written table.
 class CsvWriter {
  public:
-  /// Opens `path` for truncating write. Check ok() before use.
+  /// Opens the temporary for `path`. Check ok() before use.
   explicit CsvWriter(const std::string& path);
 
-  bool ok() const { return out_.good(); }
+  bool ok() const { return file_.ok(); }
 
   void WriteRow(const std::vector<std::string>& fields);
 
-  /// Flushes and closes; returns IOError if the stream failed at any
-  /// point. Safe to call more than once.
+  /// Flushes and publishes the file; returns IOError if any write
+  /// failed. Safe to call more than once.
   Status Close();
 
   ~CsvWriter();
 
  private:
-  std::ofstream out_;
-  std::string path_;
-  bool closed_ = false;
+  AtomicFile file_;
 };
 
 /// Whole-file CSV reader: returns rows of fields. Skips blank lines.
@@ -48,6 +49,42 @@ class CsvWriter {
 /// (and is not returned).
 Result<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path, const std::vector<std::string>& expect_header);
+
+/// One physical line of a CSV file, parsed. A row whose `parse` status is
+/// non-OK still carries line_number and raw text, so hardened loaders can
+/// count, skip, or quarantine it instead of aborting the whole file.
+struct CsvRow {
+  size_t line_number = 0;  ///< 1-based physical line.
+  std::string raw;         ///< The line as read (CR stripped).
+  std::vector<std::string> fields;  ///< Valid iff parse.ok().
+  Status parse;
+};
+
+/// Streaming per-line CSV reader — the resilient counterpart of
+/// ReadCsvFile, which fails the whole file on the first malformed line.
+/// Blank lines are skipped; a malformed line is *returned* (with
+/// row.parse non-OK) rather than ending the stream.
+class CsvFileReader {
+ public:
+  /// Opens `path`. Check status() before iterating.
+  explicit CsvFileReader(const std::string& path);
+
+  const Status& status() const { return status_; }
+
+  /// If a header is expected, call immediately after construction.
+  /// Consumes the first non-blank line and checks it.
+  Status ExpectHeader(const std::vector<std::string>& header);
+
+  /// Reads the next non-blank line into `*row`. Returns false at EOF
+  /// (or when the reader failed to open).
+  bool Next(CsvRow* row);
+
+ private:
+  std::ifstream in_;
+  std::string path_;
+  size_t line_number_ = 0;
+  Status status_;
+};
 
 }  // namespace tpiin
 

@@ -1,0 +1,60 @@
+#ifndef TPIIN_COMMON_DEADLINE_H_
+#define TPIIN_COMMON_DEADLINE_H_
+
+#include <chrono>
+#include <limits>
+
+namespace tpiin {
+
+/// A wall-clock deadline on the steady clock. Default-constructed
+/// deadlines are unlimited; Deadline::After(seconds) expires `seconds`
+/// from now. Cheap to copy and to query — budget-aware loops poll
+/// Expired() every few hundred iterations.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Unlimited when `seconds` <= 0 (the "no budget" CLI default).
+  static Deadline After(double seconds) {
+    Deadline d;
+    if (seconds > 0) {
+      d.limited_ = true;
+      d.when_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<
+                    std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+    }
+    return d;
+  }
+
+  bool unlimited() const { return !limited_; }
+
+  bool Expired() const {
+    return limited_ && std::chrono::steady_clock::now() >= when_;
+  }
+
+  /// Seconds until expiry; +infinity when unlimited, clamped at 0 after
+  /// expiry.
+  double RemainingSeconds() const {
+    if (!limited_) return std::numeric_limits<double>::infinity();
+    const auto left = when_ - std::chrono::steady_clock::now();
+    const double seconds =
+        std::chrono::duration<double>(left).count();
+    return seconds > 0 ? seconds : 0;
+  }
+
+  /// The earlier of the two deadlines (unlimited is the identity).
+  static Deadline Sooner(const Deadline& a, const Deadline& b) {
+    if (a.unlimited()) return b;
+    if (b.unlimited()) return a;
+    return a.when_ <= b.when_ ? a : b;
+  }
+
+ private:
+  bool limited_ = false;
+  std::chrono::steady_clock::time_point when_{};
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_COMMON_DEADLINE_H_

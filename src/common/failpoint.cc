@@ -1,0 +1,200 @@
+#include "common/failpoint.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+
+enum class FireKind { kOff, kError, kIOError, kCorruption };
+
+struct Rule {
+  FireKind kind = FireKind::kOff;
+  /// Fire only on this 1-based hit (0 = every hit). Exclusive with
+  /// probability-mode seeding.
+  uint64_t only_hit = 0;
+  /// Probability mode: fire with `probability` per hit, decided by a
+  /// pure hash of (seed, site, hit) so schedules replay exactly.
+  bool probabilistic = false;
+  double probability = 0;
+  uint64_t seed = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Rule> rules;  // May contain "*".
+  std::unordered_map<std::string, uint64_t> hits;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // Leaked: process-lifetime.
+  return *registry;
+}
+
+// SplitMix64: enough mixing to decorrelate (seed, site, hit) triples.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashSite(std::string_view site) {
+  uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a.
+  for (char c : site) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+Result<Rule> ParseRule(std::string_view site, std::string_view policy) {
+  Rule rule;
+  std::string spec(policy);
+  // Optional "@<N>" suffix: hit number for fixed kinds, seed for p<f>.
+  uint64_t at_value = 0;
+  bool has_at = false;
+  if (size_t at = spec.rfind('@'); at != std::string::npos) {
+    TPIIN_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(spec.substr(at + 1)));
+    if (parsed < 0) {
+      return Status::InvalidArgument("failpoint " + std::string(site) +
+                                     ": negative @ value");
+    }
+    at_value = static_cast<uint64_t>(parsed);
+    has_at = true;
+    spec.resize(at);
+  }
+  if (spec == "off") {
+    rule.kind = FireKind::kOff;
+  } else if (spec == "error") {
+    rule.kind = FireKind::kError;
+  } else if (spec == "ioerror") {
+    rule.kind = FireKind::kIOError;
+  } else if (spec == "corruption") {
+    rule.kind = FireKind::kCorruption;
+  } else if (!spec.empty() && spec[0] == 'p') {
+    TPIIN_ASSIGN_OR_RETURN(double p, ParseDouble(spec.substr(1)));
+    if (!(p >= 0.0 && p <= 1.0)) {
+      return Status::InvalidArgument("failpoint " + std::string(site) +
+                                     ": probability must lie in [0, 1]");
+    }
+    rule.kind = FireKind::kError;
+    rule.probabilistic = true;
+    rule.probability = p;
+    rule.seed = at_value;
+    return rule;
+  } else {
+    return Status::InvalidArgument(
+        "failpoint " + std::string(site) + ": unknown policy '" +
+        std::string(policy) +
+        "' (expected off|error|ioerror|corruption|p<f>)");
+  }
+  rule.only_hit = has_at ? at_value : 0;
+  if (has_at && at_value == 0) {
+    return Status::InvalidArgument("failpoint " + std::string(site) +
+                                   ": hit numbers are 1-based");
+  }
+  return rule;
+}
+
+Status FireStatus(const Rule& rule, std::string_view site) {
+  const std::string msg = "injected failpoint '" + std::string(site) + "'";
+  switch (rule.kind) {
+    case FireKind::kIOError:
+      return Status::IOError(msg);
+    case FireKind::kCorruption:
+      return Status::Corruption(msg);
+    case FireKind::kError:
+    case FireKind::kOff:
+      break;
+  }
+  return Status::Internal(msg);
+}
+
+}  // namespace
+
+std::atomic<bool> Failpoints::active_{false};
+
+Status Failpoints::Configure(std::string_view spec) {
+  std::unordered_map<std::string, Rule> rules;
+  for (const std::string& term : Split(spec, ',')) {
+    std::string_view t = Trim(term);
+    if (t.empty()) continue;
+    size_t colon = t.find(':');
+    if (colon == std::string_view::npos || colon == 0) {
+      return Status::InvalidArgument(
+          "failpoint term '" + std::string(t) +
+          "' is not of the form <site>:<policy>");
+    }
+    std::string site(Trim(t.substr(0, colon)));
+    TPIIN_ASSIGN_OR_RETURN(Rule rule,
+                           ParseRule(site, Trim(t.substr(colon + 1))));
+    rules[site] = rule;
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.rules = std::move(rules);
+  registry.hits.clear();
+  active_.store(!registry.rules.empty(), std::memory_order_relaxed);
+  return Status::OK();
+}
+
+void Failpoints::Clear() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  registry.rules.clear();
+  registry.hits.clear();
+  active_.store(false, std::memory_order_relaxed);
+}
+
+Status Failpoints::ConfigureFromEnv() {
+  const char* spec = std::getenv("TPIIN_FAILPOINTS");
+  if (spec == nullptr || spec[0] == '\0') return Status::OK();
+  return Configure(spec);
+}
+
+Status Failpoints::Check(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.rules.empty()) return Status::OK();
+  const uint64_t hit = ++registry.hits[std::string(site)];
+  auto it = registry.rules.find(std::string(site));
+  if (it == registry.rules.end()) it = registry.rules.find("*");
+  if (it == registry.rules.end()) return Status::OK();
+  const Rule& rule = it->second;
+  if (rule.kind == FireKind::kOff) return Status::OK();
+  if (rule.probabilistic) {
+    if (rule.probability <= 0.0) return Status::OK();
+    const uint64_t h = Mix64(rule.seed ^ Mix64(HashSite(site) ^ hit));
+    const double u =
+        static_cast<double>(h >> 11) * (1.0 / 9007199254740992.0);
+    if (u >= rule.probability) return Status::OK();
+  } else if (rule.only_hit != 0 && hit != rule.only_hit) {
+    return Status::OK();
+  }
+  return FireStatus(rule, site);
+}
+
+uint64_t Failpoints::HitCount(std::string_view site) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.hits.find(std::string(site));
+  return it == registry.hits.end() ? 0 : it->second;
+}
+
+std::vector<std::string> Failpoints::HitSites() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> sites;
+  sites.reserve(registry.hits.size());
+  for (const auto& [site, count] : registry.hits) sites.push_back(site);
+  std::sort(sites.begin(), sites.end());
+  return sites;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,94 @@
+#ifndef TPIIN_COMMON_FAILPOINT_H_
+#define TPIIN_COMMON_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpiin {
+
+/// Deterministic fault injection for robustness tests (TiKV/etcd-style
+/// failpoints). Library code marks named sites with TPIIN_FAILPOINT(name);
+/// a site does nothing until a policy is installed for it — via
+/// Failpoints::Configure (tests), the `--failpoints=` CLI flag, or the
+/// TPIIN_FAILPOINTS environment variable — after which the site returns
+/// an injected Status from the enclosing function.
+///
+/// Spec grammar (comma-separated terms):
+///   <site>:<policy>
+/// where <site> is a failpoint name (e.g. io.csv.open) or `*` (matches
+/// every site without an exact-name rule), and <policy> is one of
+///   off               disable the site (useful to exempt one site from *)
+///   error             Status::Internal on every hit
+///   ioerror           Status::IOError on every hit
+///   corruption        Status::Corruption on every hit
+///   <kind>@<N>        fire only on the N-th hit of the site (1-based)
+///   p<f>              fire with probability f in [0,1] per hit
+///   p<f>@<seed>       same, seeded: the schedule is a pure function of
+///                     (seed, site name, hit index) — rerunning with the
+///                     same seed injects the exact same faults
+///
+/// Example: --failpoints='io.csv.open:ioerror,core.sub_mine:error@2'
+///
+/// Sites are compiled in by default; configure with -DTPIIN_FAILPOINTS=OFF
+/// to compile every site out to nothing (production builds). When compiled
+/// in but unconfigured, a site costs one relaxed atomic load.
+class Failpoints {
+ public:
+  /// Parses `spec` and replaces the active configuration. An empty spec
+  /// clears all rules. Returns InvalidArgument on grammar errors (the
+  /// previous configuration is kept in that case).
+  static Status Configure(std::string_view spec);
+
+  /// Removes every rule and resets hit counters.
+  static void Clear();
+
+  /// Applies the TPIIN_FAILPOINTS environment variable, if set.
+  static Status ConfigureFromEnv();
+
+  /// True when at least one rule is installed. The TPIIN_FAILPOINT macro
+  /// gates on this so unconfigured sites stay off the lock.
+  static bool AnyActive() {
+    return active_.load(std::memory_order_relaxed);
+  }
+
+  /// Evaluates the site against the active rules; called by the macro
+  /// only when AnyActive(). Counts the hit either way.
+  static Status Check(std::string_view site);
+
+  /// Number of times `site` was evaluated while any rule was active
+  /// (test introspection).
+  static uint64_t HitCount(std::string_view site);
+
+  /// Names of sites hit so far while active, sorted (test introspection).
+  static std::vector<std::string> HitSites();
+
+ private:
+  static std::atomic<bool> active_;
+};
+
+}  // namespace tpiin
+
+#if defined(TPIIN_FAILPOINTS_COMPILED)
+/// Marks a fault-injection site. When a configured policy fires, returns
+/// the injected non-OK Status from the enclosing function (which must
+/// return Status or Result<T>). Costs one relaxed atomic load when no
+/// policy is installed; compiled to nothing under -DTPIIN_FAILPOINTS=OFF.
+#define TPIIN_FAILPOINT(name)                                      \
+  do {                                                             \
+    if (::tpiin::Failpoints::AnyActive()) {                        \
+      ::tpiin::Status _tpiin_fp = ::tpiin::Failpoints::Check(name); \
+      if (!_tpiin_fp.ok()) return _tpiin_fp;                       \
+    }                                                              \
+  } while (false)
+#else
+#define TPIIN_FAILPOINT(name) \
+  do {                        \
+  } while (false)
+#endif
+
+#endif  // TPIIN_COMMON_FAILPOINT_H_

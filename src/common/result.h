@@ -1,6 +1,7 @@
 #ifndef TPIIN_COMMON_RESULT_H_
 #define TPIIN_COMMON_RESULT_H_
 
+#include <cstdio>
 #include <cstdlib>
 #include <optional>
 #include <utility>
@@ -59,6 +60,10 @@ class [[nodiscard]] Result {
  private:
   void AbortIfError() const {
     if (!ok()) {
+      // Say why before dying — a bare abort() hides the status that
+      // caused it, and this path is by definition a caller bug.
+      std::fprintf(stderr, "Result::value() called on error: %s\n",
+                   status_.ToString().c_str());
       std::abort();
     }
   }

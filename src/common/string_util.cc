@@ -147,4 +147,42 @@ std::string StringPrintf(const char* format, ...) {
   return out;
 }
 
+bool IsValidUtf8(std::string_view s) {
+  size_t i = 0;
+  while (i < s.size()) {
+    const unsigned char b0 = static_cast<unsigned char>(s[i]);
+    size_t len;
+    uint32_t cp;
+    if (b0 < 0x80) {
+      ++i;
+      continue;
+    } else if ((b0 & 0xE0) == 0xC0) {
+      len = 2;
+      cp = b0 & 0x1F;
+    } else if ((b0 & 0xF0) == 0xE0) {
+      len = 3;
+      cp = b0 & 0x0F;
+    } else if ((b0 & 0xF8) == 0xF0) {
+      len = 4;
+      cp = b0 & 0x07;
+    } else {
+      return false;  // Continuation byte or 0xFE/0xFF lead.
+    }
+    if (i + len > s.size()) return false;
+    for (size_t k = 1; k < len; ++k) {
+      const unsigned char b = static_cast<unsigned char>(s[i + k]);
+      if ((b & 0xC0) != 0x80) return false;
+      cp = (cp << 6) | (b & 0x3F);
+    }
+    // Overlong encodings, UTF-16 surrogates, and out-of-range points.
+    if ((len == 2 && cp < 0x80) || (len == 3 && cp < 0x800) ||
+        (len == 4 && cp < 0x10000) || (cp >= 0xD800 && cp <= 0xDFFF) ||
+        cp > 0x10FFFF) {
+      return false;
+    }
+    i += len;
+  }
+  return true;
+}
+
 }  // namespace tpiin

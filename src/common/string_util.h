@@ -41,6 +41,12 @@ std::string FormatDouble(double value, int digits);
 std::string StringPrintf(const char* format, ...)
     __attribute__((format(printf, 1, 2)));
 
+/// True iff `s` is well-formed UTF-8 (rejects overlong encodings,
+/// surrogate code points, and code points above U+10FFFF). ASCII is a
+/// subset, so pure-ASCII inputs always pass. Ingest uses this to keep
+/// mojibake out of label fields.
+bool IsValidUtf8(std::string_view s);
+
 }  // namespace tpiin
 
 #endif  // TPIIN_COMMON_STRING_UTIL_H_

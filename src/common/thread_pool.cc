@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 #include <memory>
 
 #include "obs/metrics.h"
@@ -80,6 +81,12 @@ void ThreadPool::ParallelFor(size_t count, uint32_t parallelism,
     std::function<void(size_t)> body;  // Owned: outlives the caller.
     std::mutex mu;
     std::condition_variable done;
+    // Containment: the first exception thrown by any body, rethrown on
+    // the caller once the loop has drained. `failed` makes the remaining
+    // indices no-ops (they still count as completed, so the caller's
+    // wait predicate is unaffected).
+    std::atomic<bool> failed{false};
+    std::exception_ptr first_exception;  // Guarded by mu.
   };
   auto state = std::make_shared<JobState>();
   state->count = count;
@@ -94,7 +101,17 @@ void ThreadPool::ParallelFor(size_t count, uint32_t parallelism,
     size_t processed = 0;
     while ((i = job.next.fetch_add(1, std::memory_order_relaxed)) <
            job.count) {
-      job.body(i);
+      if (!job.failed.load(std::memory_order_relaxed)) {
+        try {
+          job.body(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(job.mu);
+          if (!job.first_exception) {
+            job.first_exception = std::current_exception();
+          }
+          job.failed.store(true, std::memory_order_relaxed);
+        }
+      }
       job.completed.fetch_add(1, std::memory_order_release);
       ++processed;
     }
@@ -119,6 +136,66 @@ void ThreadPool::ParallelFor(size_t count, uint32_t parallelism,
     return state->completed.load(std::memory_order_acquire) ==
            state->count;
   });
+  if (state->first_exception) {
+    std::rethrow_exception(state->first_exception);
+  }
+}
+
+Status ThreadPool::ParallelForChecked(
+    size_t count, uint32_t parallelism,
+    const std::function<Status(size_t)>& body, CancelToken* cancel) {
+  CancelToken local;
+  CancelToken* token = cancel != nullptr ? cancel : &local;
+  if (count == 0) return Status::OK();
+  if (token->cancelled()) {
+    return Status::Cancelled("parallel section cancelled before start");
+  }
+
+  // Lowest-index error wins so the aggregate does not depend on which
+  // worker hit its error first (with cancellation, later indices may be
+  // skipped entirely — but among the bodies that ran, the report is
+  // deterministic).
+  struct ErrorState {
+    std::mutex mu;
+    size_t first_index = SIZE_MAX;
+    Status first_status;
+  };
+  ErrorState error;
+
+  ParallelFor(count, parallelism, [&](size_t i) {
+    if (token->cancelled()) return;
+    Status s;
+    try {
+      s = body(i);
+    } catch (const std::exception& e) {
+      s = Status::Internal(std::string("uncaught exception in task: ") +
+                           e.what());
+    } catch (...) {
+      s = Status::Internal("uncaught non-std::exception in task");
+    }
+    if (!s.ok()) {
+      std::lock_guard<std::mutex> lock(error.mu);
+      if (i < error.first_index) {
+        error.first_index = i;
+        error.first_status = std::move(s);
+      }
+      token->Cancel();
+    }
+  });
+
+  if (error.first_index != SIZE_MAX) return error.first_status;
+  if (cancel != nullptr && cancel->cancelled()) {
+    return Status::Cancelled("parallel section cancelled");
+  }
+  return Status::OK();
+}
+
+Status ThreadPool::RunTasksChecked(
+    std::span<const std::function<Status()>> tasks, uint32_t parallelism,
+    CancelToken* cancel) {
+  return ParallelForChecked(
+      tasks.size(), parallelism, [&](size_t i) { return tasks[i](); },
+      cancel);
 }
 
 void ThreadPool::ParallelForRanges(

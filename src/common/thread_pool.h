@@ -1,6 +1,7 @@
 #ifndef TPIIN_COMMON_THREAD_POOL_H_
 #define TPIIN_COMMON_THREAD_POOL_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -10,7 +11,25 @@
 #include <thread>
 #include <vector>
 
+#include "common/status.h"
+
 namespace tpiin {
+
+/// Cooperative cancellation shared by the tasks of one parallel section.
+/// The checked ParallelFor/RunTasks variants cancel it on the first task
+/// failure so sibling tasks not yet started are skipped; callers can also
+/// cancel it from outside (a pipeline-level stop). Cancellation is a
+/// relaxed flag: tasks already running finish normally.
+class CancelToken {
+ public:
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 /// A persistent worker pool with a chunk-stealing parallel-for.
 ///
@@ -45,10 +64,34 @@ class ThreadPool {
   /// Runs body(i) for every i in [0, count), on up to `parallelism`
   /// threads (the caller plus at most parallelism - 1 pool workers).
   /// Blocks until every index has been processed. `body` must be safe to
-  /// call concurrently from different threads for different indices and
-  /// must not throw.
+  /// call concurrently from different threads for different indices.
+  ///
+  /// Error containment: a body that throws no longer takes down the
+  /// process (the old contract terminated on a worker thread). The first
+  /// exception is captured, remaining indices are skipped, and the
+  /// exception is rethrown on the calling thread once the loop has
+  /// drained — so a failing task can never deadlock or crash siblings.
   void ParallelFor(size_t count, uint32_t parallelism,
                    const std::function<void(size_t)>& body);
+
+  /// Fallible parallel-for: body returns Status. The first non-OK status
+  /// (or thrown exception, captured as StatusCode::kInternal) cancels
+  /// `cancel` — indices not yet started are then skipped — and the
+  /// captured error with the LOWEST index is returned, so the reported
+  /// error does not depend on worker scheduling among the indices that
+  /// ran. Passing an already-cancelled token skips every body and
+  /// returns Cancelled; `cancel` may be nullptr (an internal token is
+  /// used).
+  Status ParallelForChecked(size_t count, uint32_t parallelism,
+                            const std::function<Status(size_t)>& body,
+                            CancelToken* cancel = nullptr);
+
+  /// Fallible heterogeneous-stage variant of RunTasks: all tasks are
+  /// attempted (unless one fails first and cancellation skips the rest),
+  /// the lowest-indexed captured error is returned.
+  Status RunTasksChecked(std::span<const std::function<Status()>> tasks,
+                         uint32_t parallelism,
+                         CancelToken* cancel = nullptr);
 
   /// Chunked variant for fine-grained loops: splits [0, count) into
   /// contiguous ranges (a few per participating thread) and runs

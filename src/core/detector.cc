@@ -4,6 +4,7 @@
 #include <deque>
 #include <unordered_map>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -53,6 +54,17 @@ std::vector<CompanyId> InternalChain(const TpiinNode& syndicate,
 
 }  // namespace
 
+const char* SubSkipName(SubSkip skip) {
+  switch (skip) {
+    case SubSkip::kNone: return "none";
+    case SubSkip::kNodeCap: return "node_cap";
+    case SubSkip::kArcCap: return "arc_cap";
+    case SubSkip::kDeadline: return "deadline";
+    case SubSkip::kSliceTruncated: return "slice_truncated";
+  }
+  return "unknown";
+}
+
 double DetectionResult::SuspiciousTradePercent() const {
   size_t total = total_trading_arcs + intra_syndicate.size();
   if (total == 0) return 0;
@@ -67,7 +79,7 @@ std::string DetectionResult::Summary() const {
       num_subtpiins, num_trails, num_complex, num_simple, num_cycle_groups,
       intra_syndicate.size(), suspicious_trades.size() + intra_syndicate.size(),
       total_trading_arcs + intra_syndicate.size(), SuspiciousTradePercent(),
-      truncated ? " [TRUNCATED]" : "");
+      degraded ? " [DEGRADED]" : (truncated ? " [TRUNCATED]" : ""));
 }
 
 Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
@@ -99,18 +111,42 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
   // Per-subTPIIN outcomes, index-addressed so the merge below is
   // deterministic regardless of worker scheduling.
   struct SubOutcome {
-    Status status;
     size_t num_trails = 0;
     bool truncated = false;
+    SubSkip skip = SubSkip::kNone;
     MatchResult match;
     double pattern_seconds = 0;
     double match_seconds = 0;
   };
   std::vector<SubOutcome> outcomes(subs.size());
 
-  auto process_one = [&](size_t index) {
+  // The run deadline covers the whole call, segmentation included.
+  const Deadline run_deadline =
+      Deadline::After(options.budget.deadline_seconds);
+
+  // Structural cap decisions happen serially, in emission-index order,
+  // before any mining — so which subTPIINs are skipped never depends on
+  // thread count or machine speed. Deadline-based skips (below) are
+  // inherently time-dependent; caps are the deterministic knob.
+  for (size_t index = 0; index < subs.size(); ++index) {
+    if (options.budget.max_sub_nodes != 0 &&
+        subs[index].graph.NumNodes() > options.budget.max_sub_nodes) {
+      outcomes[index].skip = SubSkip::kNodeCap;
+    } else if (options.budget.max_sub_arcs != 0 &&
+               subs[index].graph.NumArcs() > options.budget.max_sub_arcs) {
+      outcomes[index].skip = SubSkip::kArcCap;
+    }
+  }
+
+  auto process_one = [&](size_t index) -> Status {
     TPIIN_SPAN("sub_mine");
+    TPIIN_FAILPOINT("core.sub_mine");
     SubOutcome& outcome = outcomes[index];
+    if (outcome.skip != SubSkip::kNone) return Status::OK();
+    if (run_deadline.Expired()) {
+      outcome.skip = SubSkip::kDeadline;
+      return Status::OK();
+    }
     const SubTpiin& sub = subs[index];
     PatternGenOptions gen_options;
     // Mining runs off the patterns tree; the flat trail base is only
@@ -118,6 +154,8 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
     gen_options.emit_trails = options.emit_pattern_bases;
     gen_options.max_trails = options.max_trails_per_subtpiin;
     gen_options.use_frozen_graph = options.use_frozen_graph;
+    gen_options.deadline = Deadline::Sooner(
+        run_deadline, Deadline::After(options.budget.sub_slice_seconds));
     PatternScratch scratch;
     if (options.arena_pool != nullptr) {
       scratch = options.arena_pool->Acquire();
@@ -128,12 +166,10 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
       ScopedTimer timer(&outcome.pattern_seconds);
       return GeneratePatternBase(sub, gen_options);
     }();
-    if (!gen.ok()) {
-      outcome.status = gen.status();
-      return;
-    }
+    TPIIN_RETURN_IF_ERROR(gen.status());
     outcome.num_trails = gen->num_trails;
     outcome.truncated = gen->truncated;
+    if (gen->deadline_expired) outcome.skip = SubSkip::kSliceTruncated;
     {
       TPIIN_SPAN("match");
       ScopedTimer timer(&outcome.match_seconds);
@@ -147,14 +183,20 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
       scratch.tree = std::move(gen->tree);
       options.arena_pool->Release(std::move(scratch));
     }
+    return Status::OK();
   };
 
   // The persistent pool's threads are reused across DetectSuspiciousGroups
-  // calls; a single-threaded request never touches the pool's queue.
+  // calls; a single-threaded request never touches the pool's queue. A
+  // failing subTPIIN (bad precondition, injected fault) cancels siblings
+  // not yet started and surfaces the lowest-index error; completed
+  // siblings' outcomes are simply dropped with the whole result.
   {
     TPIIN_SPAN("mine");
-    ThreadPool::Global().ParallelFor(
-        subs.size(), ResolveThreadCount(options.num_threads), process_one);
+    CancelToken cancel;
+    TPIIN_RETURN_IF_ERROR(ThreadPool::Global().ParallelForChecked(
+        subs.size(), ResolveThreadCount(options.num_threads), process_one,
+        &cancel));
   }
   close_stage(&result.timings.mine_seconds,
               &result.timings.mine_cpu_seconds);
@@ -164,12 +206,18 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
   std::vector<ArcId> suspicious_arcs;
   for (size_t index = 0; index < outcomes.size(); ++index) {
     SubOutcome& outcome = outcomes[index];
-    if (!outcome.status.ok()) return outcome.status;
     SubTpiinProfile profile;
     profile.index = index;
     profile.num_nodes = subs[index].graph.NumNodes();
     profile.num_arcs = subs[index].graph.NumArcs();
     profile.num_trails = outcome.num_trails;
+    profile.skip = outcome.skip;
+    if (outcome.skip != SubSkip::kNone) {
+      result.degraded = true;
+      if (outcome.skip != SubSkip::kSliceTruncated) {
+        ++result.num_skipped_subs;
+      }
+    }
     profile.num_groups = outcome.match.num_simple +
                          outcome.match.num_complex +
                          outcome.match.num_cycle_groups;
@@ -251,6 +299,8 @@ void AddDetectionToReport(const DetectionResult& result, size_t top_k,
   section.Set("total_trading_arcs", result.total_trading_arcs);
   section.Set("suspicious_trade_percent", result.SuspiciousTradePercent());
   section.Set("truncated", result.truncated);
+  section.Set("degraded", result.degraded);
+  section.Set("num_skipped_subtpiins", result.num_skipped_subs);
   section.Set("pattern_worker_seconds", t.pattern_seconds);
   section.Set("match_worker_seconds", t.match_seconds);
 
@@ -260,6 +310,22 @@ void AddDetectionToReport(const DetectionResult& result, size_t top_k,
   seg.Set("trading_arcs_internal",
           result.segment_stats.trading_arcs_internal);
   seg.Set("trading_arcs_cross", result.segment_stats.trading_arcs_cross);
+
+  // Degradation table: one row per subTPIIN that was skipped or
+  // truncated by the RunBudget, in emission order, so a degraded run
+  // documents exactly which components its answer is missing.
+  if (result.degraded) {
+    ReportTable& skipped = report->AddTable(
+        "degraded_subtpiins", {"index", "nodes", "arcs", "reason"});
+    for (const SubTpiinProfile& p : result.sub_profiles) {
+      if (p.skip == SubSkip::kNone) continue;
+      skipped.AddRow()
+          .Append(p.index)
+          .Append(p.num_nodes)
+          .Append(p.num_arcs)
+          .Append(SubSkipName(p.skip));
+    }
+  }
 
   // Top-K slowest subTPIINs by worker seconds; ties break toward the
   // lower emission index so the table is deterministic.

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "core/matcher.h"
 #include "core/subtpiin.h"
@@ -27,6 +28,52 @@ struct IntraSyndicateFinding {
   /// seller, ..., buyer along internal investment arcs.
   std::vector<CompanyId> chain;
 };
+
+/// Resource envelope for one detection run (graceful degradation, §7's
+/// "big data" operating point). All limits default to 0 = unlimited, in
+/// which case detection behaves exactly as before — bit-identical at any
+/// thread count. When a limit binds, the run *completes* with partial
+/// results instead of failing: over-cap subTPIINs are skipped with a
+/// recorded reason, over-deadline pattern walks truncate cleanly, and
+/// the result carries `degraded = true` so callers (and the CLI, via
+/// exit code 2) can tell a full answer from a best-effort one.
+struct RunBudget {
+  /// Wall-clock budget for the whole DetectSuspiciousGroups call,
+  /// measured from its entry. Once expired, subTPIINs not yet started
+  /// are skipped (reason kDeadline) and in-flight pattern walks
+  /// truncate at their next poll.
+  double deadline_seconds = 0;
+
+  /// Per-subTPIIN slice: each subTPIIN's pattern generation gets at
+  /// most this much wall time (the sooner of slice and global deadline
+  /// applies), so one pathological component cannot starve the rest.
+  double sub_slice_seconds = 0;
+
+  /// Structural caps decided *before* mining in emission-index order —
+  /// deterministic regardless of thread count or machine speed.
+  /// SubTPIINs whose node/arc count exceeds a cap are skipped whole
+  /// (reasons kNodeCap / kArcCap).
+  size_t max_sub_nodes = 0;
+  size_t max_sub_arcs = 0;
+
+  bool Unlimited() const {
+    return deadline_seconds <= 0 && sub_slice_seconds <= 0 &&
+           max_sub_nodes == 0 && max_sub_arcs == 0;
+  }
+};
+
+/// Why a subTPIIN produced no (or partial) mining output.
+enum class SubSkip : uint8_t {
+  kNone = 0,          ///< Mined normally.
+  kNodeCap,           ///< Skipped: nodes > budget.max_sub_nodes.
+  kArcCap,            ///< Skipped: arcs > budget.max_sub_arcs.
+  kDeadline,          ///< Skipped: global deadline expired before start.
+  kSliceTruncated,    ///< Mined, but the pattern walk hit its time slice
+                      ///< (or the global deadline) and truncated.
+};
+
+/// Stable lowercase token for reports ("none", "node_cap", ...).
+const char* SubSkipName(SubSkip skip);
 
 struct DetectorOptions {
   MatchOptions match;
@@ -59,6 +106,10 @@ struct DetectorOptions {
   /// share across concurrent calls. Results are identical with or
   /// without a pool.
   ArenaPool* arena_pool = nullptr;
+
+  /// Resource envelope; all-zero (the default) means unlimited and
+  /// changes nothing. See RunBudget.
+  RunBudget budget;
 };
 
 /// Wall-clock attribution across Algorithm 1's stages. The wall stages
@@ -87,6 +138,9 @@ struct SubTpiinProfile {
   size_t num_groups = 0;  ///< Matched groups (all kinds).
   double pattern_seconds = 0;
   double match_seconds = 0;
+  /// Degradation record: anything but kNone means this subTPIIN's
+  /// contribution is missing or partial (see RunBudget).
+  SubSkip skip = SubSkip::kNone;
   double Seconds() const { return pattern_seconds + match_seconds; }
 };
 
@@ -107,6 +161,14 @@ struct DetectionResult {
   size_t num_subtpiins = 0;
   size_t num_trails = 0;          // Component patterns generated.
   bool truncated = false;
+
+  /// True when the run completed under a binding RunBudget limit:
+  /// groups/trades are a sound but possibly incomplete answer. The CLI
+  /// maps this to exit code 2. num_skipped_subs counts whole-subTPIIN
+  /// skips (kNodeCap/kArcCap/kDeadline); slice truncations are visible
+  /// per profile.
+  bool degraded = false;
+  size_t num_skipped_subs = 0;
 
   DetectionTimings timings;
   SegmentStats segment_stats;

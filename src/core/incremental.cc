@@ -7,10 +7,9 @@
 
 namespace tpiin {
 
-IncrementalScreener::IncrementalScreener(const Tpiin& net) {
+Result<IncrementalScreener> IncrementalScreener::Create(const Tpiin& net) {
   const FrozenGraph& fg = net.frozen();
   const NodeId n = fg.NumNodes();
-  ancestors_.resize(n);
 
   // Topological order of the antecedent DAG; ancestors propagate along
   // the influence spans of the CSR view. Sets are kept as sorted unique
@@ -19,21 +18,32 @@ IncrementalScreener::IncrementalScreener(const Tpiin& net) {
   // the queries cache-friendly.
   Result<std::vector<NodeId>> order =
       TopologicalSort(fg, FrozenArcClass::kInfluence);
-  TPIIN_CHECK(order.ok()) << "TPIIN antecedent layer must be a DAG";
+  if (!order.ok()) {
+    return Status::FailedPrecondition(
+        "TPIIN antecedent layer must be a DAG: " +
+        order.status().ToString());
+  }
 
+  IncrementalScreener screener;
+  screener.ancestors_.resize(n);
   for (NodeId v : *order) {
-    ancestors_[v].push_back(v);  // "Or self": covers A == u and A == v.
-    std::sort(ancestors_[v].begin(), ancestors_[v].end());
-    ancestors_[v].erase(
-        std::unique(ancestors_[v].begin(), ancestors_[v].end()),
-        ancestors_[v].end());
-    total_entries_ += ancestors_[v].size();
+    std::vector<std::vector<NodeId>>& anc = screener.ancestors_;
+    anc[v].push_back(v);  // "Or self": covers A == u and A == v.
+    std::sort(anc[v].begin(), anc[v].end());
+    anc[v].erase(std::unique(anc[v].begin(), anc[v].end()), anc[v].end());
+    screener.total_entries_ += anc[v].size();
     for (NodeId dst : fg.InfluenceOut(v).nodes) {
       // Append; the child sorts/dedups once when its turn comes.
-      ancestors_[dst].insert(ancestors_[dst].end(), ancestors_[v].begin(),
-                             ancestors_[v].end());
+      anc[dst].insert(anc[dst].end(), anc[v].begin(), anc[v].end());
     }
   }
+  return screener;
+}
+
+IncrementalScreener::IncrementalScreener(const Tpiin& net) {
+  Result<IncrementalScreener> made = Create(net);
+  TPIIN_CHECK(made.ok()) << made.status().ToString();
+  *this = std::move(made).value();
 }
 
 std::optional<NodeId> IncrementalScreener::CommonAntecedent(

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/result.h"
 #include "fusion/tpiin.h"
 
 namespace tpiin {
@@ -29,6 +30,15 @@ class IncrementalScreener {
  public:
   /// Preprocesses the antecedent layer of `net` (trading arcs in `net`
   /// are ignored — they are what gets screened). O(V + E + output).
+  /// Returns FailedPrecondition when the antecedent layer is cyclic —
+  /// possible for networks read from untrusted edge-list files, which
+  /// only validate per-arc fields, not global acyclicity.
+  static Result<IncrementalScreener> Create(const Tpiin& net);
+
+  /// Convenience for networks whose antecedent layer is known to be a
+  /// DAG (anything built by the fusion pipeline, which fuses influence
+  /// from validated datasets). CHECK-fails on a cyclic layer; callers
+  /// holding externally supplied networks must use Create() instead.
   explicit IncrementalScreener(const Tpiin& net);
 
   /// True iff a (new) trading relationship seller -> buyer would be
@@ -48,6 +58,8 @@ class IncrementalScreener {
   size_t TotalAncestorEntries() const { return total_entries_; }
 
  private:
+  IncrementalScreener() = default;
+
   std::vector<std::vector<NodeId>> ancestors_;
   size_t total_entries_ = 0;
 };

@@ -92,10 +92,24 @@ struct TrailSink {
   const PatternGenOptions& options;
   PatternGenResult& result;
   std::vector<NodeId>& path;
+  uint64_t budget_polls = 0;
 
-  bool OverBudget() const {
-    return options.max_trails != 0 &&
-           result.num_trails >= options.max_trails;
+  bool OverBudget() {
+    if (options.max_trails != 0 &&
+        result.num_trails >= options.max_trails) {
+      return true;
+    }
+    if (result.deadline_expired) return true;
+    // Poll the clock on a stride — OverBudget runs once per DFS step,
+    // and a steady_clock read per step would dominate small subTPIINs.
+    // The very first call polls too, so an already-expired deadline
+    // truncates before any work happens.
+    if (!options.deadline.unlimited() &&
+        (++budget_polls & 0x3F) == 1 && options.deadline.Expired()) {
+      result.deadline_expired = true;
+      return true;
+    }
+    return false;
   }
 
   void EmitPlain() {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/result.h"
 #include "core/component_pattern.h"
 #include "core/subtpiin.h"
@@ -89,6 +90,13 @@ struct PatternGenOptions {
   size_t max_trails = 0;
   size_t max_trail_length = 0;
 
+  /// Time budget for this generation (graceful degradation). When it
+  /// expires mid-walk the DFS unwinds cleanly and returns whatever was
+  /// emitted so far with truncated and deadline_expired set — a partial
+  /// base is still a valid base (every emitted trail is complete), it
+  /// just under-approximates the pattern set. Unlimited by default.
+  Deadline deadline;
+
   /// Traverse the CSR FrozenGraph view (color-partitioned spans, no
   /// per-arc branch) when `sub.frozen_in_sync()`. The adjacency-list
   /// driver remains as the fallback for un-frozen SubTpiins and as the
@@ -108,6 +116,9 @@ struct PatternGenResult {
   PatternsTree tree;  // Populated iff options.build_tree.
   size_t num_trails = 0;  // Always counted (Rule 1 + Rule 2 stops).
   bool truncated = false;
+  /// Truncation was (at least in part) caused by the deadline rather
+  /// than the max_trails/max_trail_length valves.
+  bool deadline_expired = false;
 };
 
 /// Algorithm 2: builds the patterns tree of `sub` by depth-first search

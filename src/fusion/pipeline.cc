@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/failpoint.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
@@ -63,6 +64,7 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   WallTimer total_timer;
   if (options.validate_dataset) {
     TPIIN_SPAN("validate_dataset");
+    TPIIN_FAILPOINT("fusion.validate");
     TPIIN_RETURN_IF_ERROR(dataset.Validate());
   }
   const uint32_t threads = ResolveThreadCount(options.num_threads);
@@ -96,23 +98,26 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   std::unordered_map<NodeId, std::vector<std::pair<CompanyId, CompanyId>>>
       internal_of_component;
 
-  const std::array<std::function<void()>, 3> layer_tasks = {
+  const std::array<std::function<Status()>, 3> layer_tasks = {
       // G1 (kinship + interlocking) + edge contraction: connected
       // components of the interdependence graph become person
       // syndicates. Repeated pairwise edge contraction (the paper's
       // formulation) and union-find produce the same partition; see
       // bench_ablation for the comparison.
-      [&] {
+      [&]() -> Status {
+        TPIIN_FAILPOINT("fusion.layer.g1");
         g1 = BuildInterdependenceGraph(dataset);
         UnionFind person_uf = UnionArcs(num_persons, g1.arcs(), threads);
         person_component = person_uf.DenseComponentIds();
         num_person_nodes = person_uf.NumSets();
+        return Status::OK();
       },
       // GI + Tarjan SCC contraction: strongly connected investment
       // subgraphs become company syndicates. Tarjan runs over the CSR
       // view (one contiguous target array instead of per-node id
       // vectors), partition-parallel when threads allow.
-      [&] {
+      [&]() -> Status {
+        TPIIN_FAILPOINT("fusion.layer.gi");
         gi = BuildInvestmentGraph(dataset);
         FrozenGraph frozen_gi(gi, 1, threads);
         scc = StronglyConnectedComponents(frozen_gi, FrozenArcClass::kAll,
@@ -136,11 +141,13 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
           it->second.emplace_back(static_cast<CompanyId>(arc.src),
                                   static_cast<CompanyId>(arc.dst));
         }
+        return Status::OK();
       },
       // Influence layer (G2): per-record arc weights, implementing §7's
       // future-work edge weighting — a legal-person link is full
       // strength, director-type links are weaker.
-      [&] {
+      [&]() -> Status {
+        TPIIN_FAILPOINT("fusion.layer.g2");
         const std::vector<InfluenceRecord>& influence = dataset.influence();
         ThreadPool::Global().ParallelForRanges(
             influence.size(), threads, [&](size_t lo, size_t hi) {
@@ -164,11 +171,18 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
                 influence_weight[i] = weight;
               }
             });
+        return Status::OK();
       },
   };
   {
     TPIIN_SPAN("fuse_layers");
-    ThreadPool::Global().RunTasks(layer_tasks, threads);
+    // Checked run: a failing layer task (or a thrown exception inside
+    // one) surfaces as this function's Status instead of crashing the
+    // pool; the cancel token lets the sibling layer builds that have not
+    // started yet exit early.
+    CancelToken cancel;
+    TPIIN_RETURN_IF_ERROR(
+        ThreadPool::Global().RunTasksChecked(layer_tasks, threads, &cancel));
   }
   close_stage(&timings.layers_seconds, &timings.layers_cpu_seconds);
 
@@ -302,6 +316,7 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   close_stage(&timings.overlay_seconds, &timings.overlay_cpu_seconds);
 
   builder.SetEntityMaps(std::move(person_node), std::move(company_node));
+  TPIIN_FAILPOINT("fusion.build");
   Result<Tpiin> built = [&]() {
     TPIIN_SPAN("fuse_build");
     return builder.Build(threads);

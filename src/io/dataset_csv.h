@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "io/ingest.h"
 #include "model/dataset.h"
 
 namespace tpiin {
@@ -16,7 +17,24 @@ Status SaveDatasetCsv(const std::string& directory,
                       const RawDataset& dataset);
 
 /// Loads a dataset saved by SaveDatasetCsv. The result is validated.
+/// Equivalent to the hardened overload below with default (strict)
+/// IngestOptions.
 Result<RawDataset> LoadDatasetCsv(const std::string& directory);
+
+/// Hardened loader. Row-level damage (torn lines, bad numbers, stray
+/// quotes, oversized fields, invalid UTF-8 in names, duplicate ids,
+/// references to ids that never loaded) is classified per
+/// ingest_error:: and handled per `options.mode`: strict fails the
+/// load, skip drops the row, quarantine drops it into
+/// options.quarantine_path. Entity ids are taken from the id column and
+/// remapped densely, so in skip mode a dropped person/company row can
+/// never silently re-wire later references — those become dangling_ref
+/// rejections instead. File-level damage (missing file, bad header) is
+/// always fatal. `report`, when non-null, receives the row accounting;
+/// the returned dataset is Validate()d either way.
+Result<RawDataset> LoadDatasetCsv(const std::string& directory,
+                                  const IngestOptions& options,
+                                  LoadReport* report);
 
 }  // namespace tpiin
 

@@ -1,7 +1,6 @@
 #include "io/dot_export.h"
 
-#include <fstream>
-
+#include "common/atomic_file.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "fusion/layers.h"
@@ -114,12 +113,7 @@ std::string LayerToDot(const FrozenGraph& graph, ArcColor other_color,
 
 Status WriteStringToFile(const std::string& path,
                          const std::string& contents) {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.good()) return Status::IOError("cannot open " + path);
-  out << contents;
-  out.flush();
-  if (!out.good()) return Status::IOError("failed writing " + path);
-  return Status::OK();
+  return WriteFileAtomic(path, contents);
 }
 
 }  // namespace tpiin

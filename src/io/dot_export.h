@@ -33,6 +33,8 @@ std::string LayerToDot(const FrozenGraph& graph, ArcColor other_color,
                        const std::vector<std::string>& labels,
                        const std::string& graph_name);
 
+/// Crash-safe whole-file write (temp + rename via WriteFileAtomic); a
+/// failure never leaves a torn file at `path`.
 Status WriteStringToFile(const std::string& path,
                          const std::string& contents);
 

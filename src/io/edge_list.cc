@@ -3,13 +3,17 @@
 #include <fstream>
 #include <sstream>
 
+#include "common/atomic_file.h"
+#include "common/failpoint.h"
 #include "common/string_util.h"
 
 namespace tpiin {
 
 Status WriteTpiinEdgeList(const std::string& path, const Tpiin& net) {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.good()) return Status::IOError("cannot open " + path);
+  TPIIN_FAILPOINT("io.edge_list.write");
+  AtomicFile file(path);
+  if (!file.ok()) return Status::IOError("cannot open " + path);
+  std::ostream& out = file.stream();
 
   out << "tpiin-edge-list v2\n";
   out << "nodes " << net.NumNodes() << "\n";
@@ -27,19 +31,31 @@ Status WriteTpiinEdgeList(const std::string& path, const Tpiin& net) {
     out << arc.src << ' ' << arc.dst << ' ' << arc.color << ' '
         << StringPrintf("%.17g", net.ArcWeight(id)) << "\n";
   }
-  out.flush();
-  if (!out.good()) return Status::IOError("failed writing " + path);
-  return Status::OK();
+  return file.Commit();
 }
 
 Result<Tpiin> ReadTpiinEdgeList(const std::string& path) {
+  return ReadTpiinEdgeList(path, IngestOptions{}, nullptr);
+}
+
+Result<Tpiin> ReadTpiinEdgeList(const std::string& path,
+                                const IngestOptions& options,
+                                LoadReport* report) {
+  TPIIN_FAILPOINT("io.edge_list.read");
+  LoadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = LoadReport{};
+  IngestSink sink(options, report);
+
   std::ifstream in(path);
   if (!in.good()) return Status::IOError("cannot open " + path);
+  size_t line_number = 0;
 
   std::string line;
   if (!std::getline(in, line)) {
     return Status::Corruption(path + ": empty file");
   }
+  ++line_number;
   std::string magic(Trim(line));
   bool v2 = magic == "tpiin-edge-list v2";
   if (!v2 && magic != "tpiin-edge-list v1") {
@@ -51,6 +67,7 @@ Result<Tpiin> ReadTpiinEdgeList(const std::string& path) {
     if (!std::getline(in, line)) {
       return Status::Corruption(path + ": missing nodes header");
     }
+    ++line_number;
     std::vector<std::string> parts = SplitWhitespace(line);
     if (parts.size() != 2 || parts[0] != "nodes") {
       return Status::Corruption(path + ": bad nodes header: " + line);
@@ -60,11 +77,15 @@ Result<Tpiin> ReadTpiinEdgeList(const std::string& path) {
     num_nodes = static_cast<size_t>(n);
   }
 
+  // Node rows are structural: ids index the table and later arc rows
+  // address nodes by position, so a damaged node row is always fatal
+  // (skipping one would silently re-wire every later arc).
   TpiinBuilder builder;
   for (size_t i = 0; i < num_nodes; ++i) {
     if (!std::getline(in, line)) {
       return Status::Corruption(path + ": truncated node table");
     }
+    ++line_number;
     // "<id> <P|C> <label...>"; the label may contain spaces.
     std::istringstream row(line);
     uint64_t id = 0;
@@ -81,6 +102,7 @@ Result<Tpiin> ReadTpiinEdgeList(const std::string& path) {
     } else {
       builder.AddCompanyNode(std::move(label));
     }
+    sink.CountLoaded();
   }
 
   size_t num_arcs = 0;
@@ -89,6 +111,7 @@ Result<Tpiin> ReadTpiinEdgeList(const std::string& path) {
     if (!std::getline(in, line)) {
       return Status::Corruption(path + ": missing arcs header");
     }
+    ++line_number;
     std::vector<std::string> parts = SplitWhitespace(line);
     if (parts.size() != 3 || parts[0] != "arcs") {
       return Status::Corruption(path + ": bad arcs header: " + line);
@@ -106,43 +129,71 @@ Result<Tpiin> ReadTpiinEdgeList(const std::string& path) {
     if (!std::getline(in, line)) {
       return Status::Corruption(path + ": truncated arc table");
     }
-    std::vector<std::string> parts = SplitWhitespace(line);
-    size_t expected_columns = v2 ? 4u : 3u;
-    if (parts.size() != expected_columns) {
-      return Status::Corruption(path + ": bad arc row: " + line);
-    }
-    TPIIN_ASSIGN_OR_RETURN(int64_t src, ParseInt64(parts[0]));
-    TPIIN_ASSIGN_OR_RETURN(int64_t dst, ParseInt64(parts[1]));
-    TPIIN_ASSIGN_OR_RETURN(int64_t color, ParseInt64(parts[2]));
-    double weight = 1.0;
-    if (v2) {
-      TPIIN_ASSIGN_OR_RETURN(weight, ParseDouble(parts[3]));
-      if (!(weight > 0.0 && weight <= 1.0)) {
-        return Status::Corruption(path + ": arc weight out of (0, 1]: " +
+    ++line_number;
+    // Arc rows are independent of one another, so a damaged row is
+    // recoverable: classify it and let the sink apply the
+    // strict/skip/quarantine policy.
+    const char* error_class = ingest_error::kParse;
+    Status row_status = [&]() -> Status {
+      std::vector<std::string> parts = SplitWhitespace(line);
+      size_t expected_columns = v2 ? 4u : 3u;
+      if (parts.size() != expected_columns) {
+        error_class = ingest_error::kColumns;
+        return Status::Corruption("bad arc row: " + line);
+      }
+      Result<int64_t> src = ParseInt64(parts[0]);
+      Result<int64_t> dst = ParseInt64(parts[1]);
+      Result<int64_t> color = ParseInt64(parts[2]);
+      if (!src.ok() || !dst.ok() || !color.ok()) {
+        error_class = ingest_error::kBadNumber;
+        return Status::Corruption("bad arc row: " + line);
+      }
+      double weight = 1.0;
+      if (v2) {
+        Result<double> parsed = ParseDouble(parts[3]);
+        if (!parsed.ok()) {
+          error_class = ingest_error::kBadNumber;
+          return Status::Corruption("bad arc weight: " + line);
+        }
+        weight = *parsed;
+        if (!(weight > 0.0 && weight <= 1.0)) {
+          error_class = ingest_error::kBadNumber;
+          return Status::Corruption("arc weight out of (0, 1]: " + line);
+        }
+      }
+      if (*src < 0 || *dst < 0 ||
+          *src >= static_cast<int64_t>(num_nodes) ||
+          *dst >= static_cast<int64_t>(num_nodes)) {
+        error_class = ingest_error::kIdRange;
+        return Status::Corruption("arc endpoint out of range: " + line);
+      }
+      bool should_be_influence = (i + 1) < first_trading_row;
+      if (should_be_influence != (*color == kArcInfluence)) {
+        error_class = ingest_error::kBadEnum;
+        return Status::Corruption("arc color disagrees with the m split: " +
                                   line);
       }
+      if (*color == kArcInfluence) {
+        builder.AddInfluenceArc(static_cast<NodeId>(*src),
+                                static_cast<NodeId>(*dst), weight);
+      } else if (*color == kArcTrading) {
+        builder.AddTradingArc(static_cast<NodeId>(*src),
+                              static_cast<NodeId>(*dst));
+      } else {
+        error_class = ingest_error::kBadEnum;
+        return Status::Corruption("unknown arc color: " + line);
+      }
+      return Status::OK();
+    }();
+    if (!row_status.ok()) {
+      TPIIN_RETURN_IF_ERROR(sink.Reject(path, line_number, line,
+                                        error_class, row_status));
+      continue;
     }
-    if (src < 0 || dst < 0 ||
-        src >= static_cast<int64_t>(num_nodes) ||
-        dst >= static_cast<int64_t>(num_nodes)) {
-      return Status::Corruption(path + ": arc endpoint out of range");
-    }
-    bool should_be_influence = (i + 1) < first_trading_row;
-    if (should_be_influence != (color == kArcInfluence)) {
-      return Status::Corruption(
-          path + ": arc color disagrees with the m split: " + line);
-    }
-    if (color == kArcInfluence) {
-      builder.AddInfluenceArc(static_cast<NodeId>(src),
-                              static_cast<NodeId>(dst), weight);
-    } else if (color == kArcTrading) {
-      builder.AddTradingArc(static_cast<NodeId>(src),
-                            static_cast<NodeId>(dst));
-    } else {
-      return Status::Corruption(path + ": unknown arc color: " + line);
-    }
+    sink.CountLoaded();
   }
 
+  TPIIN_RETURN_IF_ERROR(sink.Finish());
   return builder.Build();
 }
 

@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "fusion/tpiin.h"
+#include "io/ingest.h"
 
 namespace tpiin {
 
@@ -24,10 +25,23 @@ namespace tpiin {
 /// Syndicate provenance (member lists, internal investments,
 /// intra-syndicate trades) is not stored; a round-tripped network mines
 /// identically except for intra-syndicate findings.
+/// The file is written crash-safely: contents go to a temp file that is
+/// renamed over `path` only on success, so a killed process never
+/// leaves a torn edge list behind.
 Status WriteTpiinEdgeList(const std::string& path, const Tpiin& net);
 
-/// Parses a file written by WriteTpiinEdgeList.
+/// Parses a file written by WriteTpiinEdgeList. Equivalent to the
+/// hardened overload below with default (strict) IngestOptions.
 Result<Tpiin> ReadTpiinEdgeList(const std::string& path);
+
+/// Hardened reader. The header lines and the node table are structural
+/// — node ids index the table, so damage there is always fatal — but
+/// malformed *arc* rows (bad numbers, out-of-range endpoints, unknown
+/// colors, rows disagreeing with the m split) are classified per
+/// ingest_error:: and skipped or quarantined per `options.mode`.
+Result<Tpiin> ReadTpiinEdgeList(const std::string& path,
+                                const IngestOptions& options,
+                                LoadReport* report);
 
 }  // namespace tpiin
 

@@ -1,0 +1,101 @@
+#include "io/ingest.h"
+
+#include "common/atomic_file.h"
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+
+constexpr size_t kMaxSamples = 5;
+
+}  // namespace
+
+const char* IngestModeName(IngestMode mode) {
+  switch (mode) {
+    case IngestMode::kStrict: return "strict";
+    case IngestMode::kSkip: return "skip";
+    case IngestMode::kQuarantine: return "quarantine";
+  }
+  return "unknown";
+}
+
+std::string LoadReport::ToString() const {
+  std::string out = StringPrintf("%zu rows: %zu loaded, %zu rejected",
+                                 rows_seen, rows_loaded, rows_rejected);
+  if (!errors_by_class.empty()) {
+    out += " (";
+    bool first = true;
+    for (const auto& [cls, count] : errors_by_class) {
+      if (!first) out += ", ";
+      first = false;
+      out += StringPrintf("%s=%zu", cls.c_str(), count);
+    }
+    out += ")";
+  }
+  if (rows_quarantined > 0) {
+    out += StringPrintf(", %zu quarantined", rows_quarantined);
+  }
+  return out;
+}
+
+IngestSink::IngestSink(const IngestOptions& options, LoadReport* report)
+    : options_(options), report_(report) {}
+
+IngestSink::~IngestSink() = default;
+
+Status IngestSink::Reject(const std::string& file, size_t line_number,
+                          std::string_view raw, const char* error_class,
+                          const Status& error) {
+  ++report_->rows_seen;
+  ++report_->rows_rejected;
+  ++report_->errors_by_class[error_class];
+  const std::string where =
+      StringPrintf("%s:%zu", file.c_str(), line_number);
+  if (report_->samples.size() < kMaxSamples) {
+    report_->samples.push_back(where + ": " + error_class + ": " +
+                               error.message());
+  }
+  if (options_.mode == IngestMode::kStrict) {
+    return Status(error.code(), where + ": " + error.message());
+  }
+  if (options_.mode == IngestMode::kQuarantine) {
+    if (quarantine_ == nullptr) {
+      if (options_.quarantine_path.empty()) {
+        return Status::InvalidArgument(
+            "quarantine mode requires a quarantine path");
+      }
+      quarantine_ =
+          std::make_unique<AtomicFile>(options_.quarantine_path);
+      if (!quarantine_->ok()) {
+        return Status::IOError("cannot open quarantine file " +
+                               options_.quarantine_path);
+      }
+    }
+    quarantine_->stream() << "# " << where << ": " << error_class << ": "
+                          << error.message() << "\n"
+                          << raw << "\n";
+    ++report_->rows_quarantined;
+  }
+  if (options_.max_bad_rows != 0 &&
+      report_->rows_rejected >= options_.max_bad_rows) {
+    return Status::IOError(StringPrintf(
+        "%s: aborting after %zu rejected rows (max_bad_rows)",
+        file.c_str(), report_->rows_rejected));
+  }
+  return Status::OK();
+}
+
+void IngestSink::CountLoaded() {
+  ++report_->rows_seen;
+  ++report_->rows_loaded;
+}
+
+Status IngestSink::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (quarantine_ != nullptr) return quarantine_->Commit();
+  return Status::OK();
+}
+
+}  // namespace tpiin

@@ -1,0 +1,128 @@
+#ifndef TPIIN_IO_INGEST_H_
+#define TPIIN_IO_INGEST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace tpiin {
+
+class AtomicFile;
+
+/// What a loader does with a malformed row.
+enum class IngestMode {
+  kStrict,      ///< First bad row fails the whole load (the default, and
+                ///< the historical behavior).
+  kSkip,        ///< Bad rows are counted and dropped; the load succeeds
+                ///< with whatever parsed cleanly.
+  kQuarantine,  ///< Like kSkip, but every rejected row is appended to a
+                ///< quarantine file (annotated with file, line, and
+                ///< error class) for offline repair and replay.
+};
+
+const char* IngestModeName(IngestMode mode);
+
+/// Stable error-class tokens: LoadReport counter keys, quarantine
+/// annotations, and the DESIGN.md error table all use these spellings.
+namespace ingest_error {
+inline constexpr const char* kIo = "io_error";
+inline constexpr const char* kParse = "parse";
+inline constexpr const char* kColumns = "columns";
+inline constexpr const char* kBadNumber = "bad_number";
+inline constexpr const char* kIdRange = "id_range";
+inline constexpr const char* kBadEnum = "bad_enum";
+inline constexpr const char* kDuplicateId = "duplicate_id";
+inline constexpr const char* kDanglingRef = "dangling_ref";
+inline constexpr const char* kBadUtf8 = "bad_utf8";
+inline constexpr const char* kOversizedField = "oversized_field";
+}  // namespace ingest_error
+
+struct IngestOptions {
+  IngestMode mode = IngestMode::kStrict;
+
+  /// Destination for rejected rows; required when mode == kQuarantine.
+  /// Written atomically (temp + rename) when the load finishes.
+  std::string quarantine_path;
+
+  /// Reject any field longer than this (error class oversized_field);
+  /// 0 disables the guard. Protects label maps from a multi-megabyte
+  /// line produced by a corrupt extract.
+  size_t max_field_bytes = 64 * 1024;
+
+  /// In kSkip/kQuarantine mode, give up (IOError) once this many rows
+  /// were rejected — a file that is mostly garbage is more likely the
+  /// wrong file than a damaged one. 0 = never give up.
+  size_t max_bad_rows = 0;
+};
+
+/// Outcome accounting for one hardened load. rows_seen covers every
+/// non-blank data row; rows_loaded + rows_rejected == rows_seen.
+struct LoadReport {
+  size_t rows_seen = 0;
+  size_t rows_loaded = 0;
+  size_t rows_rejected = 0;
+  size_t rows_quarantined = 0;
+
+  /// Rejections keyed by ingest_error class (deterministic iteration).
+  std::map<std::string, size_t> errors_by_class;
+
+  /// First few rejection messages ("file:line: class: detail"), for
+  /// logs and CLI output.
+  std::vector<std::string> samples;
+
+  bool Clean() const { return rows_rejected == 0; }
+
+  /// "1200 rows: 1190 loaded, 10 rejected (bad_number=7, columns=3)".
+  std::string ToString() const;
+};
+
+/// Row-level rejection policy shared by the hardened loaders. One sink
+/// spans one logical load (possibly several files); the quarantine file
+/// is opened lazily on the first rejected row and committed by Finish().
+///
+/// Usage:
+///   IngestSink sink(options, &report);
+///   for (...) {
+///     if (bad) {
+///       TPIIN_RETURN_IF_ERROR(sink.Reject(file, line, raw, class, status));
+///       continue;  // Row dropped (skip/quarantine mode).
+///     }
+///     sink.CountLoaded();
+///   }
+///   TPIIN_RETURN_IF_ERROR(sink.Finish());
+class IngestSink {
+ public:
+  IngestSink(const IngestOptions& options, LoadReport* report);
+  ~IngestSink();
+
+  IngestSink(const IngestSink&) = delete;
+  IngestSink& operator=(const IngestSink&) = delete;
+
+  /// Records one rejected row. In strict mode returns `error` (annotated
+  /// with file:line) for the caller to propagate; in skip/quarantine
+  /// mode returns OK — unless the max_bad_rows limit tripped — and the
+  /// caller drops the row.
+  Status Reject(const std::string& file, size_t line_number,
+                std::string_view raw, const char* error_class,
+                const Status& error);
+
+  /// Records one successfully loaded row.
+  void CountLoaded();
+
+  /// Commits the quarantine file (no-op when nothing was quarantined).
+  Status Finish();
+
+ private:
+  const IngestOptions& options_;
+  LoadReport* report_;
+  std::unique_ptr<AtomicFile> quarantine_;
+  bool finished_ = false;
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_IO_INGEST_H_

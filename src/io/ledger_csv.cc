@@ -1,8 +1,8 @@
 #include "io/ledger_csv.h"
 
-#include <fstream>
 #include <unordered_set>
 
+#include "common/atomic_file.h"
 #include "common/csv.h"
 #include "common/string_util.h"
 
@@ -46,63 +46,129 @@ Status SaveLedgerCsv(const std::string& directory, const Ledger& ledger) {
 }
 
 Result<Ledger> LoadLedgerCsv(const std::string& directory) {
+  return LoadLedgerCsv(directory, IngestOptions{}, nullptr);
+}
+
+Result<Ledger> LoadLedgerCsv(const std::string& directory,
+                             const IngestOptions& options,
+                             LoadReport* report) {
+  LoadReport local_report;
+  if (report == nullptr) report = &local_report;
+  *report = LoadReport{};
+  IngestSink sink(options, report);
   Ledger ledger;
-  TPIIN_ASSIGN_OR_RETURN(
-      auto market_rows,
-      ReadCsvFile(directory + "/market.csv", kMarketHeader));
-  for (const auto& row : market_rows) {
-    if (row.size() != 2) {
-      return Status::Corruption("market.csv: bad column count");
+
+  {
+    const std::string path = directory + "/market.csv";
+    CsvFileReader reader(path);
+    TPIIN_RETURN_IF_ERROR(reader.status());
+    TPIIN_RETURN_IF_ERROR(reader.ExpectHeader(kMarketHeader));
+    CsvRow row;
+    while (reader.Next(&row)) {
+      const char* error_class = ingest_error::kParse;
+      Status row_status = [&]() -> Status {
+        if (!row.parse.ok()) return row.parse;
+        if (row.fields.size() != 2) {
+          error_class = ingest_error::kColumns;
+          return Status::Corruption("bad column count");
+        }
+        Result<int64_t> category = ParseInt64(row.fields[0]);
+        Result<double> price = ParseDouble(row.fields[1]);
+        if (!category.ok() || !price.ok()) {
+          error_class = ingest_error::kBadNumber;
+          return Status::Corruption("bad market row");
+        }
+        // Categories index the price vector, so they must stay dense; a
+        // rejected market row therefore cascades (later categories are
+        // rejected too, and transactions on them become dangling_ref)
+        // rather than silently re-pricing anything.
+        if (*category !=
+            static_cast<int64_t>(ledger.market.unit_price.size())) {
+          error_class = ingest_error::kIdRange;
+          return Status::Corruption("categories must be dense");
+        }
+        ledger.market.unit_price.push_back(*price);
+        return Status::OK();
+      }();
+      if (!row_status.ok()) {
+        TPIIN_RETURN_IF_ERROR(sink.Reject(path, row.line_number, row.raw,
+                                          error_class, row_status));
+        continue;
+      }
+      sink.CountLoaded();
     }
-    TPIIN_ASSIGN_OR_RETURN(int64_t category, ParseInt64(row[0]));
-    TPIIN_ASSIGN_OR_RETURN(double price, ParseDouble(row[1]));
-    if (category !=
-        static_cast<int64_t>(ledger.market.unit_price.size())) {
-      return Status::Corruption("market.csv: categories must be dense");
-    }
-    ledger.market.unit_price.push_back(price);
   }
 
-  TPIIN_ASSIGN_OR_RETURN(
-      auto tx_rows,
-      ReadCsvFile(directory + "/transactions.csv", kTransactionsHeader));
-  std::unordered_set<uint64_t> relations;
-  for (const auto& row : tx_rows) {
-    if (row.size() != 7) {
-      return Status::Corruption("transactions.csv: bad column count");
+  {
+    const std::string path = directory + "/transactions.csv";
+    CsvFileReader reader(path);
+    TPIIN_RETURN_IF_ERROR(reader.status());
+    TPIIN_RETURN_IF_ERROR(reader.ExpectHeader(kTransactionsHeader));
+    std::unordered_set<uint64_t> relations;
+    CsvRow row;
+    while (reader.Next(&row)) {
+      const char* error_class = ingest_error::kParse;
+      Status row_status = [&]() -> Status {
+        if (!row.parse.ok()) return row.parse;
+        if (row.fields.size() != 7) {
+          error_class = ingest_error::kColumns;
+          return Status::Corruption("bad column count");
+        }
+        Transaction tx;
+        Result<int64_t> id = ParseInt64(row.fields[0]);
+        Result<int64_t> seller = ParseInt64(row.fields[1]);
+        Result<int64_t> buyer = ParseInt64(row.fields[2]);
+        Result<int64_t> category = ParseInt64(row.fields[3]);
+        Result<double> quantity = ParseDouble(row.fields[4]);
+        Result<double> unit_price = ParseDouble(row.fields[5]);
+        if (!id.ok() || !seller.ok() || !buyer.ok() || !category.ok() ||
+            !quantity.ok() || !unit_price.ok()) {
+          error_class = ingest_error::kBadNumber;
+          return Status::Corruption("bad transaction row");
+        }
+        if (*category < 0 ||
+            *category >=
+                static_cast<int64_t>(ledger.market.num_categories())) {
+          error_class = ingest_error::kDanglingRef;
+          return Status::Corruption("bad category " + row.fields[3]);
+        }
+        if (row.fields[6] != "0" && row.fields[6] != "1") {
+          error_class = ingest_error::kBadEnum;
+          return Status::Corruption("bad mispriced flag");
+        }
+        tx.id = static_cast<TransactionId>(*id);
+        tx.seller = static_cast<CompanyId>(*seller);
+        tx.buyer = static_cast<CompanyId>(*buyer);
+        tx.category = static_cast<CategoryId>(*category);
+        tx.quantity = *quantity;
+        tx.unit_price = *unit_price;
+        if (row.fields[6] == "1") {
+          ledger.mispriced.push_back(ledger.transactions.size());
+        }
+        relations.insert((static_cast<uint64_t>(tx.seller) << 32) |
+                         tx.buyer);
+        ledger.transactions.push_back(tx);
+        return Status::OK();
+      }();
+      if (!row_status.ok()) {
+        TPIIN_RETURN_IF_ERROR(sink.Reject(path, row.line_number, row.raw,
+                                          error_class, row_status));
+        continue;
+      }
+      sink.CountLoaded();
     }
-    Transaction tx;
-    TPIIN_ASSIGN_OR_RETURN(int64_t id, ParseInt64(row[0]));
-    tx.id = static_cast<TransactionId>(id);
-    TPIIN_ASSIGN_OR_RETURN(int64_t seller, ParseInt64(row[1]));
-    tx.seller = static_cast<CompanyId>(seller);
-    TPIIN_ASSIGN_OR_RETURN(int64_t buyer, ParseInt64(row[2]));
-    tx.buyer = static_cast<CompanyId>(buyer);
-    TPIIN_ASSIGN_OR_RETURN(int64_t category, ParseInt64(row[3]));
-    if (category < 0 ||
-        category >= static_cast<int64_t>(ledger.market.num_categories())) {
-      return Status::Corruption("transactions.csv: bad category " +
-                                row[3]);
-    }
-    tx.category = static_cast<CategoryId>(category);
-    TPIIN_ASSIGN_OR_RETURN(tx.quantity, ParseDouble(row[4]));
-    TPIIN_ASSIGN_OR_RETURN(tx.unit_price, ParseDouble(row[5]));
-    if (row[6] == "1") {
-      ledger.mispriced.push_back(ledger.transactions.size());
-    } else if (row[6] != "0") {
-      return Status::Corruption("transactions.csv: bad mispriced flag");
-    }
-    relations.insert((static_cast<uint64_t>(tx.seller) << 32) | tx.buyer);
-    ledger.transactions.push_back(tx);
+    ledger.num_relations = relations.size();
   }
-  ledger.num_relations = relations.size();
+
+  TPIIN_RETURN_IF_ERROR(sink.Finish());
   return ledger;
 }
 
 Status WriteAuditReport(const std::string& path, const Ledger& ledger,
                         const AuditReport& report) {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.good()) return Status::IOError("cannot open " + path);
+  AtomicFile file(path);
+  if (!file.ok()) return Status::IOError("cannot open " + path);
+  std::ostream& out = file.stream();
   out << report.Summary() << "\n\nFindings:\n";
   for (const CupFinding& finding : report.findings) {
     const Transaction& tx = ledger.transactions[finding.tx_index];
@@ -114,9 +180,7 @@ Status WriteAuditReport(const std::string& path, const Ledger& ledger,
         tx.category, tx.unit_price, ledger.market.PriceOf(tx.category),
         finding.underpricing, finding.tax_adjustment);
   }
-  out.flush();
-  if (!out.good()) return Status::IOError("failed writing " + path);
-  return Status::OK();
+  return file.Commit();
 }
 
 }  // namespace tpiin

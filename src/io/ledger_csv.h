@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "io/ingest.h"
 #include "ite/audit.h"
 #include "ite/ledger.h"
 
@@ -17,8 +18,19 @@ namespace tpiin {
 Status SaveLedgerCsv(const std::string& directory, const Ledger& ledger);
 
 /// Loads a ledger saved by SaveLedgerCsv. `num_relations` is
-/// recomputed from the distinct (seller, buyer) pairs.
+/// recomputed from the distinct (seller, buyer) pairs. Equivalent to
+/// the hardened overload below with default (strict) IngestOptions.
 Result<Ledger> LoadLedgerCsv(const std::string& directory);
+
+/// Hardened loader: malformed market/transaction rows are classified
+/// per ingest_error:: and handled per `options.mode` (strict fails,
+/// skip drops, quarantine drops into options.quarantine_path).
+/// Transactions referencing a category that did not load are rejected
+/// as dangling_ref, so a skipped market row cannot silently re-price
+/// later rows.
+Result<Ledger> LoadLedgerCsv(const std::string& directory,
+                             const IngestOptions& options,
+                             LoadReport* report);
 
 /// Writes an audit report (summary plus one line per finding) to `path`.
 Status WriteAuditReport(const std::string& path, const Ledger& ledger,

@@ -1,52 +1,48 @@
 #include "io/pattern_file.h"
 
-#include <fstream>
+#include "common/atomic_file.h"
 
 namespace tpiin {
 
-namespace {
-
-Status Flush(std::ofstream& out, const std::string& path) {
-  out.flush();
-  if (!out.good()) return Status::IOError("failed writing " + path);
-  return Status::OK();
-}
-
-}  // namespace
+// All four writers stream through AtomicFile: a crash or injected IO
+// failure mid-write leaves the previous artifact (or nothing), never a
+// torn one.
 
 Status WritePatternBaseFile(const std::string& path, const SubTpiin& sub,
                             const PatternBase& base) {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.good()) return Status::IOError("cannot open " + path);
-  out << FormatPatternBase(sub, base);
-  return Flush(out, path);
+  AtomicFile file(path);
+  if (!file.ok()) return Status::IOError("cannot open " + path);
+  file.stream() << FormatPatternBase(sub, base);
+  return file.Commit();
 }
 
 Status WriteSuspiciousGroupsFile(const std::string& path, const Tpiin& net,
                                  const std::vector<SuspiciousGroup>& groups) {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.good()) return Status::IOError("cannot open " + path);
+  AtomicFile file(path);
+  if (!file.ok()) return Status::IOError("cannot open " + path);
   for (const SuspiciousGroup& group : groups) {
-    out << group.Format(net) << "\n";
+    file.stream() << group.Format(net) << "\n";
   }
-  return Flush(out, path);
+  return file.Commit();
 }
 
 Status WriteSuspiciousTradesFile(
     const std::string& path, const Tpiin& net,
     const std::vector<std::pair<NodeId, NodeId>>& trades) {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.good()) return Status::IOError("cannot open " + path);
+  AtomicFile file(path);
+  if (!file.ok()) return Status::IOError("cannot open " + path);
   for (const auto& [seller, buyer] : trades) {
-    out << net.Label(seller) << " -> " << net.Label(buyer) << "\n";
+    file.stream() << net.Label(seller) << " -> " << net.Label(buyer)
+                  << "\n";
   }
-  return Flush(out, path);
+  return file.Commit();
 }
 
 Status WriteDetectionReport(const std::string& path, const Tpiin& net,
                             const DetectionResult& result) {
-  std::ofstream out(path, std::ios::out | std::ios::trunc);
-  if (!out.good()) return Status::IOError("cannot open " + path);
+  AtomicFile file(path);
+  if (!file.ok()) return Status::IOError("cannot open " + path);
+  std::ostream& out = file.stream();
   out << result.Summary() << "\n\n";
   out << "Suspicious trading relationships:\n";
   for (const auto& [seller, buyer] : result.suspicious_trades) {
@@ -61,7 +57,7 @@ Status WriteDetectionReport(const std::string& path, const Tpiin& net,
   for (const SuspiciousGroup& group : result.groups) {
     out << "  " << group.Format(net) << "\n";
   }
-  return Flush(out, path);
+  return file.Commit();
 }
 
 }  // namespace tpiin

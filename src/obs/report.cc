@@ -1,10 +1,29 @@
 #include "obs/report.h"
 
+#include <unistd.h>
+
 #include <cstdio>
 
 namespace tpiin {
 
 namespace {
+
+// obs sits below common in the dependency graph, so it cannot use
+// AtomicFile; this is the same temp-write + rename(2) discipline inlined.
+bool WriteWholeFileAtomic(const std::string& path,
+                          const std::string& data) {
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
 
 std::string JsonEscapeString(const std::string& text) {
   std::string out;
@@ -181,12 +200,7 @@ std::string RunReport::ToJson() const {
 }
 
 bool RunReport::WriteJson(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
-  const std::string json = ToJson();
-  const bool ok =
-      std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  return std::fclose(f) == 0 && ok;
+  return WriteWholeFileAtomic(path, ToJson());
 }
 
 }  // namespace tpiin

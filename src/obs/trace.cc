@@ -1,5 +1,7 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdio>
 #include <ctime>
@@ -169,12 +171,20 @@ std::string TraceRecorder::ToChromeTraceJson() const {
 }
 
 bool TraceRecorder::WriteChromeTrace(const std::string& path) const {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return false;
+  // obs sits below common in the dependency graph, so it cannot use
+  // AtomicFile; inline the same temp-write + rename(2) discipline.
   const std::string json = ToChromeTraceJson();
-  const bool ok =
+  const std::string tmp = path + ".tmp." + std::to_string(::getpid());
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool wrote =
       std::fwrite(json.data(), 1, json.size(), f) == json.size();
-  return std::fclose(f) == 0 && ok;
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
 }
 
 }  // namespace tpiin

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/atomic_file.h"
+#include "common/failpoint.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 
@@ -22,7 +24,7 @@ uint64_t PairKey(CompanyId a, CompanyId b) {
 }
 
 template <typename T>
-void WriteColumn(std::ofstream& out, const std::vector<T>& column) {
+void WriteColumn(std::ostream& out, const std::vector<T>& column) {
   out.write(reinterpret_cast<const char*>(column.data()),
             static_cast<std::streamsize>(column.size() * sizeof(T)));
 }
@@ -104,8 +106,10 @@ size_t ReceiptStore::NumRelationships() const {
 }
 
 Status ReceiptStore::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.good()) return Status::IOError("cannot open " + path);
+  TPIIN_FAILPOINT("store.receipt.save");
+  AtomicFile file(path, std::ios::binary);
+  if (!file.ok()) return Status::IOError("cannot open " + path);
+  std::ostream& out = file.stream();
   out.write(kMagic, sizeof(kMagic));
   uint32_t version = kVersion;
   uint32_t endian = kEndianMarker;
@@ -120,9 +124,7 @@ Status ReceiptStore::Save(const std::string& path) const {
   WriteColumn(out, day_);
   WriteColumn(out, quantity_);
   WriteColumn(out, unit_price_);
-  out.flush();
-  if (!out.good()) return Status::IOError("failed writing " + path);
-  return Status::OK();
+  return file.Commit();
 }
 
 Result<ReceiptStore> ReceiptStore::Load(const std::string& path) {

@@ -1,0 +1,118 @@
+// Exit-code contract and the --failpoints flag: 0 clean, 1 error,
+// 2 completed-but-degraded.
+
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.h"
+#include "common/failpoint.h"
+
+namespace tpiin {
+namespace {
+
+class CliResilienceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Clear();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_clires_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+    net_file_ = dir_ + "/net.edges";
+  }
+  void TearDown() override {
+    Failpoints::Clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  void BuildNet() {
+    std::ostringstream out;
+    ASSERT_TRUE(RunCli({"gen", "--out=" + dir_ + "/data",
+                        "--companies=80", "--p=0.02", "--plant=6",
+                        "--seed=11"},
+                       out)
+                    .ok());
+    ASSERT_TRUE(RunCli({"fuse", "--data=" + dir_ + "/data",
+                        "--out=" + net_file_},
+                       out)
+                    .ok());
+  }
+
+  std::string dir_;
+  std::string net_file_;
+};
+
+TEST_F(CliResilienceTest, CleanDetectExitsZero) {
+  BuildNet();
+  std::ostringstream out;
+  int exit_code = -1;
+  ASSERT_TRUE(
+      RunCli({"detect", "--net=" + net_file_}, out, &exit_code).ok());
+  EXPECT_EQ(exit_code, 0);
+}
+
+TEST_F(CliResilienceTest, ErrorExitsOne) {
+  std::ostringstream out;
+  int exit_code = -1;
+  EXPECT_FALSE(
+      RunCli({"detect", "--net=/no/such/file"}, out, &exit_code).ok());
+  EXPECT_EQ(exit_code, 1);
+}
+
+TEST_F(CliResilienceTest, BindingCapExitsTwoWithWarning) {
+  BuildNet();
+  std::ostringstream out;
+  int exit_code = -1;
+  // Every subTPIIN has at least two nodes, so a cap of 1 skips them all
+  // deterministically — the run completes with partial (empty) results.
+  Status status = RunCli(
+      {"detect", "--net=" + net_file_, "--max-sub-nodes=1"}, out,
+      &exit_code);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(exit_code, 2);
+  EXPECT_NE(out.str().find("WARNING"), std::string::npos);
+  EXPECT_NE(out.str().find("partial"), std::string::npos);
+}
+
+TEST_F(CliResilienceTest, FailpointsFlagInjectsFaults) {
+  BuildNet();
+  std::ostringstream out;
+  int exit_code = -1;
+  Status status =
+      RunCli({"detect", "--net=" + net_file_,
+              "--failpoints=io.edge_list.read:ioerror"},
+             out, &exit_code);
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_EQ(exit_code, 1);
+}
+
+TEST_F(CliResilienceTest, FailpointsFlagSpaceSeparatedForm) {
+  BuildNet();
+  std::ostringstream out;
+  Status status = RunCli({"--failpoints", "io.edge_list.read:corruption",
+                          "detect", "--net=" + net_file_},
+                         out);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+}
+
+TEST_F(CliResilienceTest, BadFailpointsSpecRejected) {
+  std::ostringstream out;
+  Status status =
+      RunCli({"detect", "--net=x", "--failpoints=nonsense"}, out);
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_FALSE(Failpoints::AnyActive());
+}
+
+TEST_F(CliResilienceTest, UsageDocumentsExitCodesAndBudget) {
+  const std::string usage = CliUsage();
+  EXPECT_NE(usage.find("--failpoints"), std::string::npos);
+  EXPECT_NE(usage.find("--max-sub-nodes"), std::string::npos);
+  EXPECT_NE(usage.find("--deadline-ms"), std::string::npos);
+  EXPECT_NE(usage.find("exit"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,137 @@
+#include "common/atomic_file.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+
+namespace tpiin {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string Slurp(const std::string& path, std::ios::openmode mode = {}) {
+  std::ifstream in(path, mode);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+size_t CountTempFiles(const fs::path& dir) {
+  size_t n = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().find(".tmp.") !=
+        std::string::npos) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Clear();
+    dir_ = (fs::temp_directory_path() /
+            ("tpiin_atomic_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    fs::create_directories(dir_);
+  }
+  void TearDown() override {
+    Failpoints::Clear();
+    fs::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST_F(AtomicFileTest, CommitPublishesAndCleansUpTemp) {
+  const std::string path = dir_ + "/out.txt";
+  AtomicFile file(path);
+  ASSERT_TRUE(file.ok());
+  file.stream() << "hello\n";
+  EXPECT_FALSE(fs::exists(path)) << "nothing visible before commit";
+  ASSERT_TRUE(file.Commit().ok());
+  EXPECT_EQ(Slurp(path), "hello\n");
+  EXPECT_EQ(CountTempFiles(dir_), 0u);
+}
+
+TEST_F(AtomicFileTest, DestructionWithoutCommitDiscards) {
+  const std::string path = dir_ + "/out.txt";
+  {
+    AtomicFile file(path);
+    file.stream() << "half-written";
+  }
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_EQ(CountTempFiles(dir_), 0u);
+}
+
+TEST_F(AtomicFileTest, AbortedWriteLeavesPreviousFileIntact) {
+  const std::string path = dir_ + "/out.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "original").ok());
+  {
+    AtomicFile file(path);
+    file.stream() << "replacement, never committed";
+  }
+  EXPECT_EQ(Slurp(path), "original");
+}
+
+TEST_F(AtomicFileTest, CommitReplacesExistingFile) {
+  const std::string path = dir_ + "/out.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "old").ok());
+  ASSERT_TRUE(WriteFileAtomic(path, "new").ok());
+  EXPECT_EQ(Slurp(path), "new");
+}
+
+TEST_F(AtomicFileTest, BinaryModeRoundTrips) {
+  const std::string path = dir_ + "/out.bin";
+  const std::string payload("\x00\x01\xff\r\n\x00", 6);
+  AtomicFile file(path, std::ios::binary);
+  ASSERT_TRUE(file.ok());
+  file.stream().write(payload.data(),
+                      static_cast<std::streamsize>(payload.size()));
+  ASSERT_TRUE(file.Commit().ok());
+  EXPECT_EQ(Slurp(path, std::ios::binary), payload);
+}
+
+TEST_F(AtomicFileTest, CommitIsIdempotent) {
+  const std::string path = dir_ + "/out.txt";
+  AtomicFile file(path);
+  file.stream() << "x";
+  ASSERT_TRUE(file.Commit().ok());
+  EXPECT_TRUE(file.Commit().ok()) << "second commit reports first result";
+  EXPECT_EQ(Slurp(path), "x");
+}
+
+TEST_F(AtomicFileTest, UnwritableDirectoryReportsNotOk) {
+  AtomicFile file("/no/such/dir/out.txt");
+  EXPECT_FALSE(file.ok());
+  EXPECT_FALSE(file.Commit().ok());
+}
+
+TEST_F(AtomicFileTest, InjectedCommitFailureLeavesTargetUntouched) {
+  const std::string path = dir_ + "/out.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "original").ok());
+  ASSERT_TRUE(Failpoints::Configure("io.atomic.commit:ioerror").ok());
+  AtomicFile file(path);
+  file.stream() << "doomed";
+  EXPECT_TRUE(file.Commit().IsIOError());
+  Failpoints::Clear();
+  EXPECT_EQ(Slurp(path), "original");
+  EXPECT_EQ(CountTempFiles(dir_), 0u) << "failed commit removes its temp";
+}
+
+TEST_F(AtomicFileTest, WriteFileAtomicHelper) {
+  const std::string path = dir_ + "/helper.txt";
+  ASSERT_TRUE(WriteFileAtomic(path, "contents").ok());
+  EXPECT_EQ(Slurp(path), "contents");
+  EXPECT_EQ(CountTempFiles(dir_), 0u);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,140 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tpiin {
+namespace {
+
+// A Status-returning function guarded by a failpoint, the way library
+// code uses the macro.
+Status GuardedA() {
+  TPIIN_FAILPOINT("test.site.a");
+  return Status::OK();
+}
+
+Status GuardedB() {
+  TPIIN_FAILPOINT("test.site.b");
+  return Status::OK();
+}
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Failpoints::Clear(); }
+  void TearDown() override { Failpoints::Clear(); }
+};
+
+TEST_F(FailpointTest, UnconfiguredSiteIsOff) {
+  EXPECT_FALSE(Failpoints::AnyActive());
+  EXPECT_TRUE(GuardedA().ok());
+  // Hits are only counted while a rule is active.
+  EXPECT_EQ(Failpoints::HitCount("test.site.a"), 0u);
+}
+
+TEST_F(FailpointTest, ErrorPolicyFiresEveryHit) {
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:error").ok());
+  EXPECT_TRUE(Failpoints::AnyActive());
+  EXPECT_TRUE(GuardedA().IsInternal());
+  EXPECT_TRUE(GuardedA().IsInternal());
+  EXPECT_TRUE(GuardedB().ok()) << "other sites stay off";
+}
+
+TEST_F(FailpointTest, IoErrorAndCorruptionPolicies) {
+  ASSERT_TRUE(
+      Failpoints::Configure("test.site.a:ioerror,test.site.b:corruption")
+          .ok());
+  EXPECT_TRUE(GuardedA().IsIOError());
+  EXPECT_TRUE(GuardedB().IsCorruption());
+}
+
+TEST_F(FailpointTest, NthHitPolicyFiresOnceAtN) {
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:error@3").ok());
+  EXPECT_TRUE(GuardedA().ok());
+  EXPECT_TRUE(GuardedA().ok());
+  EXPECT_TRUE(GuardedA().IsInternal()) << "third hit fires";
+  EXPECT_TRUE(GuardedA().ok()) << "and only the third";
+}
+
+TEST_F(FailpointTest, WildcardMatchesEverySite) {
+  ASSERT_TRUE(Failpoints::Configure("*:ioerror").ok());
+  EXPECT_TRUE(GuardedA().IsIOError());
+  EXPECT_TRUE(GuardedB().IsIOError());
+}
+
+TEST_F(FailpointTest, OffExemptsOneSiteFromWildcard) {
+  ASSERT_TRUE(Failpoints::Configure("*:ioerror,test.site.b:off").ok());
+  EXPECT_TRUE(GuardedA().IsIOError());
+  EXPECT_TRUE(GuardedB().ok());
+}
+
+TEST_F(FailpointTest, SeededProbabilisticScheduleIsDeterministic) {
+  constexpr int kHits = 200;
+  std::vector<bool> first;
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:p0.5@42").ok());
+  for (int i = 0; i < kHits; ++i) first.push_back(!GuardedA().ok());
+
+  Failpoints::Clear();
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:p0.5@42").ok());
+  std::vector<bool> second;
+  for (int i = 0; i < kHits; ++i) second.push_back(!GuardedA().ok());
+
+  EXPECT_EQ(first, second) << "same seed -> same injection schedule";
+  size_t fired = 0;
+  for (bool b : first) fired += b;
+  EXPECT_GT(fired, 0u);
+  EXPECT_LT(fired, static_cast<size_t>(kHits));
+}
+
+TEST_F(FailpointTest, DifferentSeedsGiveDifferentSchedules) {
+  constexpr int kHits = 200;
+  std::vector<bool> a;
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:p0.5@1").ok());
+  for (int i = 0; i < kHits; ++i) a.push_back(!GuardedA().ok());
+  Failpoints::Clear();
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:p0.5@2").ok());
+  std::vector<bool> b;
+  for (int i = 0; i < kHits; ++i) b.push_back(!GuardedA().ok());
+  EXPECT_NE(a, b);
+}
+
+TEST_F(FailpointTest, HitCountersAndSites) {
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:error@100").ok());
+  for (int i = 0; i < 5; ++i) (void)GuardedA();
+  (void)GuardedB();
+  EXPECT_EQ(Failpoints::HitCount("test.site.a"), 5u);
+  EXPECT_EQ(Failpoints::HitCount("test.site.b"), 1u);
+  EXPECT_EQ(Failpoints::HitSites(),
+            (std::vector<std::string>{"test.site.a", "test.site.b"}));
+}
+
+TEST_F(FailpointTest, BadGrammarRejectedAndPreviousConfigKept) {
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:error").ok());
+  EXPECT_TRUE(Failpoints::Configure("nonsense").IsInvalidArgument());
+  EXPECT_TRUE(Failpoints::Configure("test.site.a:bogus").IsInvalidArgument());
+  EXPECT_TRUE(Failpoints::Configure("test.site.a:p1.5").IsInvalidArgument());
+  EXPECT_TRUE(GuardedA().IsInternal()) << "old rule still active";
+}
+
+TEST_F(FailpointTest, EmptySpecAndClearDisable) {
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:error").ok());
+  ASSERT_TRUE(Failpoints::Configure("").ok());
+  EXPECT_FALSE(Failpoints::AnyActive());
+  EXPECT_TRUE(GuardedA().ok());
+
+  ASSERT_TRUE(Failpoints::Configure("test.site.a:error").ok());
+  Failpoints::Clear();
+  EXPECT_FALSE(Failpoints::AnyActive());
+  EXPECT_TRUE(GuardedA().ok());
+}
+
+TEST_F(FailpointTest, ConfigureFromEnvHonorsVariable) {
+  ASSERT_EQ(::setenv("TPIIN_FAILPOINTS", "test.site.a:corruption", 1), 0);
+  EXPECT_TRUE(Failpoints::ConfigureFromEnv().ok());
+  EXPECT_TRUE(GuardedA().IsCorruption());
+  ASSERT_EQ(::unsetenv("TPIIN_FAILPOINTS"), 0);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,148 @@
+// RunBudget graceful degradation: structural caps skip deterministically,
+// expired deadlines truncate cleanly, and an unlimited budget changes
+// nothing.
+
+#include <gtest/gtest.h>
+
+#include "core/detector.h"
+#include "core/pattern_tree.h"
+#include "datagen/worked_example.h"
+#include "tests/core/test_util.h"
+
+namespace tpiin {
+namespace {
+
+TEST(RunBudgetTest, DefaultBudgetIsUnlimited) {
+  RunBudget budget;
+  EXPECT_TRUE(budget.Unlimited());
+  budget.max_sub_nodes = 5;
+  EXPECT_FALSE(budget.Unlimited());
+}
+
+TEST(RunBudgetTest, SubSkipNamesAreStable) {
+  EXPECT_STREQ(SubSkipName(SubSkip::kNone), "none");
+  EXPECT_STREQ(SubSkipName(SubSkip::kNodeCap), "node_cap");
+  EXPECT_STREQ(SubSkipName(SubSkip::kArcCap), "arc_cap");
+  EXPECT_STREQ(SubSkipName(SubSkip::kDeadline), "deadline");
+  EXPECT_STREQ(SubSkipName(SubSkip::kSliceTruncated), "slice_truncated");
+}
+
+TEST(RunBudgetTest, UnlimitedBudgetMatchesDefaultRun) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  auto baseline = DetectSuspiciousGroups(net);
+  ASSERT_TRUE(baseline.ok());
+
+  DetectorOptions options;
+  options.budget = RunBudget{};  // Explicit all-zero.
+  auto budgeted = DetectSuspiciousGroups(net, options);
+  ASSERT_TRUE(budgeted.ok());
+  EXPECT_FALSE(budgeted->degraded);
+  EXPECT_EQ(budgeted->num_skipped_subs, 0u);
+  EXPECT_EQ(budgeted->TotalGroups(), baseline->TotalGroups());
+  EXPECT_EQ(budgeted->suspicious_trades, baseline->suspicious_trades);
+}
+
+TEST(RunBudgetTest, NodeCapSkipsOversizedSubTpiins) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  auto full = DetectSuspiciousGroups(net);
+  ASSERT_TRUE(full.ok());
+  ASSERT_FALSE(full->sub_profiles.empty());
+
+  // Cap below the largest subTPIIN so at least one is skipped.
+  size_t largest = 0;
+  for (const SubTpiinProfile& p : full->sub_profiles) {
+    largest = std::max(largest, p.num_nodes);
+  }
+  ASSERT_GT(largest, 1u);
+
+  DetectorOptions options;
+  options.budget.max_sub_nodes = largest - 1;
+  auto result = DetectSuspiciousGroups(net, options);
+  ASSERT_TRUE(result.ok()) << "a binding cap degrades, never fails";
+  EXPECT_TRUE(result->degraded);
+  EXPECT_GT(result->num_skipped_subs, 0u);
+  size_t skipped = 0;
+  for (const SubTpiinProfile& p : result->sub_profiles) {
+    if (p.skip == SubSkip::kNodeCap) {
+      ++skipped;
+      EXPECT_GT(p.num_nodes, options.budget.max_sub_nodes);
+      EXPECT_EQ(p.num_trails, 0u) << "skipped subTPIINs are not mined";
+    }
+  }
+  EXPECT_EQ(skipped, result->num_skipped_subs);
+  EXPECT_LE(result->TotalGroups(), full->TotalGroups())
+      << "partial results are a subset, never an invention";
+}
+
+TEST(RunBudgetTest, StructuralSkipsAreThreadCountInvariant) {
+  Tpiin net = RandomTpiin(7);
+  DetectorOptions serial;
+  serial.budget.max_sub_arcs = 6;
+  serial.num_threads = 1;
+  DetectorOptions parallel = serial;
+  parallel.num_threads = 8;
+
+  auto a = DetectSuspiciousGroups(net, serial);
+  auto b = DetectSuspiciousGroups(net, parallel);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->degraded, b->degraded);
+  EXPECT_EQ(a->num_skipped_subs, b->num_skipped_subs);
+  EXPECT_EQ(a->suspicious_trades, b->suspicious_trades);
+  ASSERT_EQ(a->sub_profiles.size(), b->sub_profiles.size());
+  for (size_t i = 0; i < a->sub_profiles.size(); ++i) {
+    EXPECT_EQ(a->sub_profiles[i].skip, b->sub_profiles[i].skip);
+  }
+}
+
+TEST(RunBudgetTest, ExpiredDeadlineSkipsButCompletes) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  DetectorOptions options;
+  // A deadline this small is already expired by the time the first
+  // subTPIIN is considered, so every one is skipped with kDeadline.
+  options.budget.deadline_seconds = 1e-9;
+  auto result = DetectSuspiciousGroups(net, options);
+  ASSERT_TRUE(result.ok()) << "deadline degrades, never fails";
+  EXPECT_TRUE(result->degraded);
+  EXPECT_EQ(result->num_skipped_subs, result->sub_profiles.size());
+  for (const SubTpiinProfile& p : result->sub_profiles) {
+    EXPECT_EQ(p.skip, SubSkip::kDeadline);
+  }
+  EXPECT_EQ(result->TotalGroups(), 0u);
+}
+
+TEST(RunBudgetTest, DegradedSummaryIsMarked) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  DetectorOptions options;
+  options.budget.deadline_seconds = 1e-9;
+  auto result = DetectSuspiciousGroups(net, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->Summary().find("[DEGRADED]"), std::string::npos);
+}
+
+TEST(RunBudgetTest, PreExpiredPatternDeadlineTruncatesGeneration) {
+  Tpiin net = BuildWorkedExampleTpiin();
+  std::vector<SubTpiin> subs = SegmentTpiin(net);
+  ASSERT_FALSE(subs.empty());
+
+  PatternGenOptions options;
+  options.deadline = Deadline::After(1e-9);
+  auto gen = GeneratePatternBase(subs[0], options);
+  ASSERT_TRUE(gen.ok()) << gen.status().ToString();
+  EXPECT_TRUE(gen->deadline_expired);
+  EXPECT_TRUE(gen->truncated);
+}
+
+TEST(RunBudgetTest, UnlimitedDeadlineNeverExpires) {
+  Deadline unlimited = Deadline::After(0);
+  EXPECT_TRUE(unlimited.unlimited());
+  EXPECT_FALSE(unlimited.Expired());
+  Deadline finite = Deadline::After(3600);
+  EXPECT_FALSE(finite.Expired());
+  EXPECT_GT(finite.RemainingSeconds(), 0.0);
+  Deadline sooner = Deadline::Sooner(unlimited, finite);
+  EXPECT_FALSE(sooner.unlimited());
+}
+
+}  // namespace
+}  // namespace tpiin

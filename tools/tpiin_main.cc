@@ -7,13 +7,23 @@
 #include <vector>
 
 #include "cli/cli.h"
+#include "common/failpoint.h"
 
 int main(int argc, char** argv) {
-  std::vector<std::string> args(argv + 1, argv + argc);
-  tpiin::Status status = tpiin::RunCli(args, std::cout);
-  if (!status.ok()) {
-    std::fprintf(stderr, "tpiin: %s\n", status.ToString().c_str());
+  // The TPIIN_FAILPOINTS environment variable is honored by the binary
+  // only (not by RunCli, so in-process tests control their own
+  // registry); a --failpoints flag overrides it.
+  tpiin::Status env = tpiin::Failpoints::ConfigureFromEnv();
+  if (!env.ok()) {
+    std::fprintf(stderr, "tpiin: TPIIN_FAILPOINTS: %s\n",
+                 env.ToString().c_str());
     return 1;
   }
-  return 0;
+  std::vector<std::string> args(argv + 1, argv + argc);
+  int exit_code = 0;
+  tpiin::Status status = tpiin::RunCli(args, std::cout, &exit_code);
+  if (!status.ok()) {
+    std::fprintf(stderr, "tpiin: %s\n", status.ToString().c_str());
+  }
+  return exit_code;
 }
