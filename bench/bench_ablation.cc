@@ -12,6 +12,7 @@
 #include <thread>
 
 #include "bench/bench_json.h"
+#include "bench/bench_net.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/detector.h"
@@ -32,13 +33,12 @@ namespace {
 SubTpiin WholeAsSubTpiin(const Tpiin& net) {
   SubTpiin sub;
   sub.parent = &net;
-  const Digraph& g = net.graph();
-  sub.global_of_local.resize(g.NumNodes());
-  for (NodeId v = 0; v < g.NumNodes(); ++v) sub.global_of_local[v] = v;
-  sub.graph.AddNodes(g.NumNodes());
-  sub.global_arc_of_local.resize(g.NumArcs());
-  for (ArcId id = 0; id < g.NumArcs(); ++id) {
-    const Arc& arc = g.arc(id);
+  sub.global_of_local.resize(net.NumNodes());
+  for (NodeId v = 0; v < net.NumNodes(); ++v) sub.global_of_local[v] = v;
+  sub.graph.AddNodes(net.NumNodes());
+  sub.global_arc_of_local.resize(net.NumArcs());
+  for (ArcId id = 0; id < net.NumArcs(); ++id) {
+    const Arc arc = net.arc(id);
     sub.graph.AddArc(arc.src, arc.dst, arc.color);
     sub.global_arc_of_local[id] = id;
   }
@@ -46,32 +46,44 @@ SubTpiin WholeAsSubTpiin(const Tpiin& net) {
   return sub;
 }
 
-int Run(BenchJsonWriter& json) {
-  ProvinceConfig config = PaperProvinceConfig();
-  config.trading_probability = 0.02;
-  Result<Province> province = GenerateProvince(config);
-  TPIIN_CHECK(province.ok());
-  Result<FusionOutput> fused = BuildTpiin(province->dataset);
-  TPIIN_CHECK(fused.ok());
-  const Tpiin& net = fused->tpiin;
+int Run(BenchJsonWriter& json, BenchNetSource& source) {
+  Result<FusionOutput> fused = Status::Internal("unset");
+  const Tpiin* net_ptr = nullptr;
+  if (source.from_snapshot()) {
+    net_ptr = &source.Open();
+    json.Record("ablation_snapshot_open", "p=0.02",
+                source.open_seconds());
+  } else {
+    ProvinceConfig config = PaperProvinceConfig();
+    config.trading_probability = 0.02;
+    Result<Province> province = GenerateProvince(config);
+    TPIIN_CHECK(province.ok());
+    fused = BuildTpiin(province->dataset);
+    TPIIN_CHECK(fused.ok());
+    source.MaybeWrite(fused->tpiin);
+    net_ptr = &fused->tpiin;
+  }
+  const Tpiin& net = *net_ptr;
 
   std::printf("=== Ablations (province at p=0.02: %u nodes, %u arcs) "
               "===\n\n",
-              net.NumNodes(), net.graph().NumArcs());
+              net.NumNodes(), net.NumArcs());
 
-  // --- A1: union-find vs DFS weak-connectivity.
+  // --- A1: union-find vs DFS weak-connectivity (both on the frozen
+  // CSR, so the comparison also holds for mmap-opened snapshots).
   {
     constexpr int kReps = 50;
     WallTimer timer;
     WccResult uf;
     for (int i = 0; i < kReps; ++i) {
-      uf = WeaklyConnectedComponents(net.graph(), IsInfluenceArc);
+      uf = WeaklyConnectedComponents(net.frozen(),
+                                     FrozenArcClass::kInfluence);
     }
     double uf_s = timer.ElapsedSeconds() / kReps;
     timer.Restart();
     WccResult dfs;
     for (int i = 0; i < kReps; ++i) {
-      dfs = FindSubgraphsDfs(net.graph(), IsInfluenceArc);
+      dfs = FindSubgraphsDfs(net.frozen(), FrozenArcClass::kInfluence);
     }
     double dfs_s = timer.ElapsedSeconds() / kReps;
     TPIIN_CHECK_EQ(uf.num_components, dfs.num_components);
@@ -245,5 +257,6 @@ int Run(BenchJsonWriter& json) {
 int main(int argc, char** argv) {
   tpiin::BenchJsonWriter json =
       tpiin::BenchJsonWriter::FromArgs(argc, argv);
-  return tpiin::Run(json);
+  tpiin::BenchNetSource source = tpiin::BenchNetSource::FromArgs(argc, argv);
+  return tpiin::Run(json, source);
 }

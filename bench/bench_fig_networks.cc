@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "bench/bench_json.h"
+#include "bench/bench_net.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "datagen/province.h"
@@ -32,7 +33,41 @@ void PrintStats(const char* figure, const char* name,
       stats.max_in_degree, stats.max_out_degree, stats.num_isolated);
 }
 
-int Run(BenchJsonWriter& json) {
+// Figs. 14 and 16 describe the fused TPIIN itself, so they are computed
+// from the frozen CSR and work for both input paths. Figs. 11-13 and 15
+// describe the raw homogeneous layers, which a snapshot does not carry —
+// in --snapshot mode those are skipped.
+void PrintFig14(const Tpiin& net) {
+  DegreeStats antecedent =
+      ComputeDegreeStats(net.frozen(), FrozenArcClass::kInfluence);
+  PrintStats("Fig.14", "G123 antecedent", antecedent);
+  WccResult wcc =
+      WeaklyConnectedComponents(net.frozen(), FrozenArcClass::kInfluence);
+  std::printf("         (DAG verified: %s; %u weakly connected "
+              "components)\n",
+              IsDag(net.frozen(), FrozenArcClass::kInfluence) ? "yes" : "no",
+              wcc.num_components);
+}
+
+void PrintFig16(BenchJsonWriter& json, const Tpiin& net) {
+  PrintStats("Fig.16", "TPIIN (fused)",
+             ComputeDegreeStats(net.frozen(), FrozenArcClass::kAll));
+  json.Record("fig_networks_tpiin_nodes", "p=0.002", 0, net.NumNodes());
+  json.Record("fig_networks_tpiin_arcs", "p=0.002", 0, net.NumArcs());
+}
+
+int Run(BenchJsonWriter& json, BenchNetSource& source) {
+  if (source.from_snapshot()) {
+    const Tpiin& net = source.Open();
+    std::printf("=== Figs. 14/16: fused TPIIN (from snapshot; raw-layer "
+                "figures 11-13/15 need the CSV dataset) ===\n");
+    PrintFig14(net);
+    PrintFig16(json, net);
+    json.Record("fig_networks_snapshot_open", "p=0.002",
+                source.open_seconds());
+    json.Flush();
+    return 0;
+  }
   ProvinceConfig config = PaperProvinceConfig();
   config.trading_probability = 0.002;  // Fig. 15 uses the sparsest layer.
   Result<Province> province = GenerateProvince(config);
@@ -82,20 +117,14 @@ int Run(BenchJsonWriter& json) {
   TPIIN_CHECK(fused.ok()) << fused.status().ToString();
   double fuse_s = fuse_timer.ElapsedSeconds();
   const Tpiin& net = fused->tpiin;
+  source.MaybeWrite(net);
 
-  DegreeStats antecedent =
-      ComputeDegreeStats(net.graph(), IsInfluenceArc);
-  PrintStats("Fig.14", "G123 antecedent", antecedent);
-  WccResult wcc = WeaklyConnectedComponents(net.graph(), IsInfluenceArc);
-  std::printf("         (DAG verified: %s; %u weakly connected "
-              "components)\n",
-              IsDag(net.graph(), IsInfluenceArc) ? "yes" : "no",
-              wcc.num_components);
+  PrintFig14(net);
 
   Digraph g4 = BuildTradingGraph(data);
   PrintStats("Fig.15", "G4 trading (p=0.002)", ComputeDegreeStats(g4));
 
-  PrintStats("Fig.16", "TPIIN (fused)", ComputeDegreeStats(net.graph()));
+  PrintFig16(json, net);
   std::printf("         (TPIIN nodes=%u: %zu person/syndicate + %zu "
               "company nodes; paper total 4578)\n",
               net.NumNodes(), fused->stats.person_syndicates,
@@ -103,10 +132,7 @@ int Run(BenchJsonWriter& json) {
                   fused->stats.person_syndicates);
   std::printf("\nFusion detail:\n%s\n", fused->stats.ToString().c_str());
   json.Record("fig_networks_fuse", "p=0.002", fuse_s,
-              fuse_s > 0 ? net.graph().NumArcs() / fuse_s : 0);
-  json.Record("fig_networks_tpiin_nodes", "p=0.002", 0, net.NumNodes());
-  json.Record("fig_networks_tpiin_arcs", "p=0.002", 0,
-              net.graph().NumArcs());
+              fuse_s > 0 ? net.NumArcs() / fuse_s : 0);
   json.Flush();
   return 0;
 }
@@ -117,5 +143,6 @@ int Run(BenchJsonWriter& json) {
 int main(int argc, char** argv) {
   tpiin::BenchJsonWriter json =
       tpiin::BenchJsonWriter::FromArgs(argc, argv);
-  return tpiin::Run(json);
+  tpiin::BenchNetSource source = tpiin::BenchNetSource::FromArgs(argc, argv);
+  return tpiin::Run(json, source);
 }

@@ -11,6 +11,7 @@
 #include <set>
 
 #include "bench/bench_json.h"
+#include "bench/bench_net.h"
 #include "common/logging.h"
 #include "common/string_util.h"
 #include "common/rng.h"
@@ -23,14 +24,28 @@
 namespace tpiin {
 namespace {
 
-int Run(BenchJsonWriter& json) {
+int Run(BenchJsonWriter& json, BenchNetSource& source) {
+  // The re-mining comparison overlays batches on the raw dataset, which
+  // a snapshot does not carry — regenerate it either way (seeded, so it
+  // matches the snapshot's antecedent net); --snapshot replaces only the
+  // fusion step.
   ProvinceConfig config = PaperProvinceConfig();
   config.generate_trading = false;
   Result<Province> province = GenerateProvince(config);
   TPIIN_CHECK(province.ok());
-  Result<FusionOutput> fused = BuildTpiin(province->dataset);
-  TPIIN_CHECK(fused.ok());
-  const Tpiin& net = fused->tpiin;
+  Result<FusionOutput> fused = Status::Internal("unset");
+  const Tpiin* net_ptr = nullptr;
+  if (source.from_snapshot()) {
+    net_ptr = &source.Open();
+    json.Record("incremental_snapshot_open", "paper_province",
+                source.open_seconds());
+  } else {
+    fused = BuildTpiin(province->dataset);
+    TPIIN_CHECK(fused.ok());
+    source.MaybeWrite(fused->tpiin);
+    net_ptr = &fused->tpiin;
+  }
+  const Tpiin& net = *net_ptr;
 
   std::printf("=== Incremental screening of streaming trading "
               "relationships ===\n\n");
@@ -134,5 +149,6 @@ int Run(BenchJsonWriter& json) {
 int main(int argc, char** argv) {
   tpiin::BenchJsonWriter json =
       tpiin::BenchJsonWriter::FromArgs(argc, argv);
-  return tpiin::Run(json);
+  tpiin::BenchNetSource source = tpiin::BenchNetSource::FromArgs(argc, argv);
+  return tpiin::Run(json, source);
 }

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "bench/bench_json.h"
+#include "bench/bench_net.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -22,7 +23,11 @@
 namespace tpiin {
 namespace {
 
-int Run(BenchJsonWriter& json) {
+int Run(BenchJsonWriter& json, BenchNetSource& source) {
+  // The ledger and the planted IAT relationships live in the raw
+  // dataset, which a snapshot does not carry — regenerate it either way
+  // (seeded, so it matches the snapshot's planted net bit-for-bit);
+  // --snapshot replaces only the fusion step.
   ProvinceConfig config = PaperProvinceConfig();
   config.trading_probability = 0.01;
   Result<Province> province = GenerateProvince(config);
@@ -34,20 +39,29 @@ int Run(BenchJsonWriter& json) {
   std::vector<PlantedScheme> planted =
       PlantSuspiciousTrades(province->dataset, rng, 200);
 
-  Result<FusionOutput> fused = BuildTpiin(province->dataset);
-  TPIIN_CHECK(fused.ok());
+  Result<FusionOutput> fused = Status::Internal("unset");
+  const Tpiin* net_ptr = nullptr;
+  if (source.from_snapshot()) {
+    net_ptr = &source.Open();
+    json.Record("ite_snapshot_open", "p=0.01", source.open_seconds());
+  } else {
+    fused = BuildTpiin(province->dataset);
+    TPIIN_CHECK(fused.ok());
+    source.MaybeWrite(fused->tpiin);
+    net_ptr = &fused->tpiin;
+  }
+  const Tpiin& net = *net_ptr;
   DetectorOptions options;
   options.match.collect_groups = false;
-  Result<DetectionResult> detection =
-      DetectSuspiciousGroups(fused->tpiin, options);
+  Result<DetectionResult> detection = DetectSuspiciousGroups(net, options);
   TPIIN_CHECK(detection.ok());
 
   // MSG-phase suspicious node pairs -> original company pairs.
   std::vector<std::pair<CompanyId, CompanyId>> suspicious_pairs;
   for (const auto& [seller_node, buyer_node] :
        detection->suspicious_trades) {
-    for (CompanyId s : fused->tpiin.node(seller_node).company_members) {
-      for (CompanyId b : fused->tpiin.node(buyer_node).company_members) {
+    for (CompanyId s : net.node(seller_node).company_members) {
+      for (CompanyId b : net.node(buyer_node).company_members) {
         suspicious_pairs.emplace_back(s, b);
       }
     }
@@ -103,5 +117,6 @@ int Run(BenchJsonWriter& json) {
 int main(int argc, char** argv) {
   tpiin::BenchJsonWriter json =
       tpiin::BenchJsonWriter::FromArgs(argc, argv);
-  return tpiin::Run(json);
+  tpiin::BenchNetSource source = tpiin::BenchNetSource::FromArgs(argc, argv);
+  return tpiin::Run(json, source);
 }

@@ -7,6 +7,7 @@
 
 #include <memory>
 
+#include "bench/bench_net.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/arena_pool.h"
@@ -25,34 +26,66 @@
 namespace tpiin {
 namespace {
 
+// Set by main() when --snapshot=PATH is passed: every fixture then maps
+// the same pre-built net instead of generating+fusing a province, and
+// benchmarks that need the RawDataset or the mutable Digraph skip.
+std::string g_snapshot_path;  // NOLINT
+
 // Shared fixtures: one province per trading probability, built lazily
-// and cached for the whole benchmark binary run.
+// and cached for the whole benchmark binary run. In snapshot mode the
+// probability key is ignored (the file *is* the network) and `dataset`
+// stays empty.
 struct Fixture {
   RawDataset dataset;
-  Tpiin net;
+  Tpiin fused_net;
+  std::unique_ptr<SnapshotView> view;
+
+  bool from_snapshot() const { return view != nullptr; }
+  const Tpiin& net() const {
+    return view != nullptr ? view->net() : fused_net;
+  }
 };
 
 const Fixture& GetFixture(double p) {
   static auto* cache = new std::map<double, std::unique_ptr<Fixture>>();
+  if (!g_snapshot_path.empty()) p = 0;  // One shared snapshot fixture.
   auto it = cache->find(p);
   if (it == cache->end()) {
-    ProvinceConfig config = PaperProvinceConfig();
-    config.trading_probability = p;
-    Result<Province> province = GenerateProvince(config);
-    TPIIN_CHECK(province.ok());
-    Result<FusionOutput> fused = BuildTpiin(province->dataset);
-    TPIIN_CHECK(fused.ok());
     auto fixture = std::make_unique<Fixture>();
-    fixture->dataset = std::move(province->dataset);
-    fixture->net = std::move(fused->tpiin);
+    if (!g_snapshot_path.empty()) {
+      Result<std::unique_ptr<SnapshotView>> view =
+          SnapshotView::Open(g_snapshot_path);
+      TPIIN_CHECK(view.ok()) << view.status().ToString();
+      fixture->view = std::move(*view);
+    } else {
+      ProvinceConfig config = PaperProvinceConfig();
+      config.trading_probability = p;
+      Result<Province> province = GenerateProvince(config);
+      TPIIN_CHECK(province.ok());
+      Result<FusionOutput> fused = BuildTpiin(province->dataset);
+      TPIIN_CHECK(fused.ok());
+      fixture->dataset = std::move(province->dataset);
+      fixture->fused_net = std::move(fused->tpiin);
+    }
     it = cache->emplace(p, std::move(fixture)).first;
   }
   return *it->second;
 }
 
+// True (and skips the benchmark) when snapshot mode removes this
+// benchmark's input: the raw dataset and the adjacency-list Digraph are
+// not part of the snapshot.
+bool SkipInSnapshotMode(benchmark::State& state) {
+  if (g_snapshot_path.empty()) return false;
+  state.SkipWithError("needs CSV-mode inputs (dataset/Digraph), "
+                      "not carried by --snapshot");
+  return true;
+}
+
 double ArgToProb(int64_t arg) { return arg / 1000.0; }
 
 void BM_FusionPipeline(benchmark::State& state) {
+  if (SkipInSnapshotMode(state)) return;
   const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
   FusionOptions options;
   options.validate_dataset = false;
@@ -70,6 +103,7 @@ BENCHMARK(BM_FusionPipeline)->Arg(2)->Arg(20);
 // tasks. Output is bit-identical to the serial path (asserted by
 // tests/fusion/parallel_fusion_test.cc); only wall clock changes.
 void BM_FusionPipelineParallel(benchmark::State& state) {
+  if (SkipInSnapshotMode(state)) return;
   const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
   FusionOptions options;
   options.validate_dataset = false;
@@ -85,9 +119,10 @@ BENCHMARK(BM_FusionPipelineParallel)
     ->ArgNames({"p_mille", "threads"});
 
 void BM_TarjanScc(benchmark::State& state) {
+  if (SkipInSnapshotMode(state)) return;
   const Fixture& fixture = GetFixture(0.002);
   for (auto _ : state) {
-    SccResult scc = StronglyConnectedComponents(fixture.net.graph());
+    SccResult scc = StronglyConnectedComponents(fixture.net().graph());
     benchmark::DoNotOptimize(scc.num_components);
   }
 }
@@ -97,17 +132,18 @@ BENCHMARK(BM_TarjanScc);
 void BM_TarjanSccFrozen(benchmark::State& state) {
   const Fixture& fixture = GetFixture(0.002);
   for (auto _ : state) {
-    SccResult scc = StronglyConnectedComponents(fixture.net.frozen());
+    SccResult scc = StronglyConnectedComponents(fixture.net().frozen());
     benchmark::DoNotOptimize(scc.num_components);
   }
 }
 BENCHMARK(BM_TarjanSccFrozen);
 
 void BM_WeaklyConnected(benchmark::State& state) {
+  if (SkipInSnapshotMode(state)) return;
   const Fixture& fixture = GetFixture(0.002);
   for (auto _ : state) {
     WccResult wcc =
-        WeaklyConnectedComponents(fixture.net.graph(), IsInfluenceArc);
+        WeaklyConnectedComponents(fixture.net().graph(), IsInfluenceArc);
     benchmark::DoNotOptimize(wcc.num_components);
   }
 }
@@ -118,7 +154,7 @@ BENCHMARK(BM_WeaklyConnected);
 void BM_WeaklyConnectedFrozen(benchmark::State& state) {
   const Fixture& fixture = GetFixture(0.002);
   for (auto _ : state) {
-    WccResult wcc = WeaklyConnectedComponents(fixture.net.frozen(),
+    WccResult wcc = WeaklyConnectedComponents(fixture.net().frozen(),
                                               FrozenArcClass::kInfluence);
     benchmark::DoNotOptimize(wcc.num_components);
   }
@@ -128,9 +164,10 @@ BENCHMARK(BM_WeaklyConnectedFrozen);
 // One-off cost of building the CSR view (paid once per (sub)TPIIN build,
 // amortized over every traversal that follows).
 void BM_FreezeGraph(benchmark::State& state) {
+  if (SkipInSnapshotMode(state)) return;
   const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
   for (auto _ : state) {
-    FrozenGraph frozen(fixture.net.graph(), kArcInfluence);
+    FrozenGraph frozen(fixture.net().graph(), kArcInfluence);
     benchmark::DoNotOptimize(frozen.NumArcs());
   }
 }
@@ -139,7 +176,7 @@ BENCHMARK(BM_FreezeGraph)->Arg(2)->Arg(20);
 void BM_SegmentTpiin(benchmark::State& state) {
   const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
   for (auto _ : state) {
-    std::vector<SubTpiin> subs = SegmentTpiin(fixture.net);
+    std::vector<SubTpiin> subs = SegmentTpiin(fixture.net());
     benchmark::DoNotOptimize(subs.size());
   }
 }
@@ -153,7 +190,7 @@ BENCHMARK(BM_SegmentTpiin)->Arg(2)->Arg(20);
 // the growth seed shipped, compare against BM_GeneratePatternBaseSeed.
 void BM_GeneratePatternBase(benchmark::State& state) {
   const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
-  std::vector<SubTpiin> subs = SegmentTpiin(fixture.net);
+  std::vector<SubTpiin> subs = SegmentTpiin(fixture.net());
   PatternGenOptions options;
   options.use_frozen_graph = state.range(1) != 0;
   for (auto _ : state) {
@@ -322,7 +359,7 @@ SeedResult GeneratePatternBaseSeed(const SubTpiin& sub) {
 
 void BM_GeneratePatternBaseSeed(benchmark::State& state) {
   const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
-  std::vector<SubTpiin> subs = SegmentTpiin(fixture.net);
+  std::vector<SubTpiin> subs = SegmentTpiin(fixture.net());
   // Pin the reference to the production driver before timing it: same
   // trail count (and therefore the same emitted base) per subnetwork.
   for (const SubTpiin& sub : subs) {
@@ -350,7 +387,7 @@ BENCHMARK(BM_GeneratePatternBaseSeed)
 
 void BM_MatchPatterns(benchmark::State& state) {
   const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
-  std::vector<SubTpiin> subs = SegmentTpiin(fixture.net);
+  std::vector<SubTpiin> subs = SegmentTpiin(fixture.net());
   std::vector<PatternBase> bases;
   for (const SubTpiin& sub : subs) {
     Result<PatternGenResult> gen = GeneratePatternBase(sub);
@@ -376,7 +413,7 @@ void BM_DetectEndToEnd(benchmark::State& state) {
   options.match.collect_groups = false;
   for (auto _ : state) {
     Result<DetectionResult> result =
-        DetectSuspiciousGroups(fixture.net, options);
+        DetectSuspiciousGroups(fixture.net(), options);
     TPIIN_CHECK(result.ok());
     benchmark::DoNotOptimize(result->suspicious_trades.size());
   }
@@ -398,7 +435,7 @@ void BM_DetectArenaReuse(benchmark::State& state) {
   options.arena_pool = state.range(1) != 0 ? &pool : nullptr;
   for (auto _ : state) {
     Result<DetectionResult> result =
-        DetectSuspiciousGroups(fixture.net, options);
+        DetectSuspiciousGroups(fixture.net(), options);
     TPIIN_CHECK(result.ok());
     benchmark::DoNotOptimize(result->suspicious_trades.size());
   }
@@ -416,7 +453,7 @@ BENCHMARK(BM_DetectArenaReuse)
 void BM_IncrementalScreenerBuild(benchmark::State& state) {
   const Fixture& fixture = GetFixture(0.002);
   for (auto _ : state) {
-    IncrementalScreener screener(fixture.net);
+    IncrementalScreener screener(fixture.net());
     benchmark::DoNotOptimize(screener.TotalAncestorEntries());
   }
 }
@@ -424,9 +461,9 @@ BENCHMARK(BM_IncrementalScreenerBuild);
 
 void BM_IncrementalScreenQuery(benchmark::State& state) {
   const Fixture& fixture = GetFixture(0.002);
-  IncrementalScreener screener(fixture.net);
+  IncrementalScreener screener(fixture.net());
   Rng rng(3);
-  const NodeId n = fixture.net.NumNodes();
+  const NodeId n = fixture.net().NumNodes();
   size_t hits = 0;
   for (auto _ : state) {
     NodeId a = static_cast<NodeId>(rng.UniformU64(n));
@@ -439,10 +476,10 @@ BENCHMARK(BM_IncrementalScreenQuery);
 
 void BM_ScoreDetection(benchmark::State& state) {
   const Fixture& fixture = GetFixture(ArgToProb(state.range(0)));
-  auto detection = DetectSuspiciousGroups(fixture.net);
+  auto detection = DetectSuspiciousGroups(fixture.net());
   TPIIN_CHECK(detection.ok());
   for (auto _ : state) {
-    ScoringResult scoring = ScoreDetection(fixture.net, *detection);
+    ScoringResult scoring = ScoreDetection(fixture.net(), *detection);
     benchmark::DoNotOptimize(scoring.ranked_trades.size());
   }
 }
@@ -458,7 +495,47 @@ void BM_GenerateTradingNetwork(benchmark::State& state) {
 }
 BENCHMARK(BM_GenerateTradingNetwork)->Arg(2)->Arg(100);
 
+// The serve-path constant the snapshot work targets: map + validate +
+// bind one snapshot file (only registered in --snapshot mode, where a
+// file exists to open).
+void BM_SnapshotOpen(benchmark::State& state) {
+  if (g_snapshot_path.empty()) {
+    state.SkipWithError("pass --snapshot=PATH to measure open cost");
+    return;
+  }
+  for (auto _ : state) {
+    Result<std::unique_ptr<SnapshotView>> view =
+        SnapshotView::Open(g_snapshot_path);
+    TPIIN_CHECK(view.ok()) << view.status().ToString();
+    benchmark::DoNotOptimize((*view)->net().NumArcs());
+  }
+}
+BENCHMARK(BM_SnapshotOpen);
+
 }  // namespace
 }  // namespace tpiin
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus the shared --snapshot flag. The flag is consumed
+// here (google-benchmark rejects unknown arguments), so strip it from
+// argv before Initialize sees it.
+int main(int argc, char** argv) {
+  tpiin::g_snapshot_path = tpiin::ParseSnapshotFlag(argc, argv);
+  std::vector<char*> kept;
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--snapshot=", 0) == 0) continue;
+    if (arg == "--snapshot") {  // Skip the flag and its value.
+      if (i + 1 < argc) ++i;
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

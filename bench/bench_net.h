@@ -1,0 +1,104 @@
+// Snapshot plumbing shared by the bench harnesses:
+//   --snapshot=PATH        mmap the network from a snapshot file written
+//                          by `tpiin build` (or a prior harness run with
+//                          --write-snapshot) and skip generate+fuse
+//   --write-snapshot=PATH  after fusing, persist the fixture network so
+//                          the next run can --snapshot it
+// Dataset generation is seeded and deterministic, so a snapshot written
+// by one run is bit-compatible with every later run of the same harness;
+// harnesses that also need the RawDataset (ledgers, planted schemes)
+// still regenerate it and only skip the fusion step.
+
+#ifndef TPIIN_BENCH_BENCH_NET_H_
+#define TPIIN_BENCH_BENCH_NET_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/timer.h"
+#include "snapshot/snapshot.h"
+
+namespace tpiin {
+
+/// Scans argv for `--snapshot PATH` / `--snapshot=PATH`.
+inline std::string ParseSnapshotFlag(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--snapshot=", 0) == 0) {
+      path = arg.substr(11);
+    } else if (arg == "--snapshot" && i + 1 < argc) {
+      path = argv[++i];
+    }
+  }
+  return path;
+}
+
+/// Scans argv for `--write-snapshot PATH` / `--write-snapshot=PATH`.
+inline std::string ParseWriteSnapshotFlag(int argc, char** argv) {
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--write-snapshot=", 0) == 0) {
+      path = arg.substr(17);
+    } else if (arg == "--write-snapshot" && i + 1 < argc) {
+      path = argv[++i];
+    }
+  }
+  return path;
+}
+
+/// The harness's network source. When --snapshot was passed, Open()
+/// mmaps it (dying on a corrupt file — benches have no Status plumbing)
+/// and net() replaces the fused fixture; otherwise the harness fuses as
+/// usual and MaybeWrite() honors --write-snapshot.
+class BenchNetSource {
+ public:
+  static BenchNetSource FromArgs(int argc, char** argv) {
+    BenchNetSource source;
+    source.snapshot_path_ = ParseSnapshotFlag(argc, argv);
+    source.write_path_ = ParseWriteSnapshotFlag(argc, argv);
+    return source;
+  }
+
+  bool from_snapshot() const { return !snapshot_path_.empty(); }
+  bool write_requested() const { return !write_path_.empty(); }
+  const std::string& snapshot_path() const { return snapshot_path_; }
+  double open_seconds() const { return open_seconds_; }
+
+  const Tpiin& Open() {
+    TPIIN_CHECK(from_snapshot());
+    WallTimer timer;
+    Result<std::unique_ptr<SnapshotView>> view =
+        SnapshotView::Open(snapshot_path_);
+    TPIIN_CHECK(view.ok()) << view.status().ToString();
+    open_seconds_ = timer.ElapsedSeconds();
+    view_ = std::move(*view);
+    std::printf("snapshot %s mapped in %.3f ms (%llu bytes)\n",
+                snapshot_path_.c_str(), open_seconds_ * 1e3,
+                static_cast<unsigned long long>(view_->file_size()));
+    return view_->net();
+  }
+
+  void MaybeWrite(const Tpiin& net) {
+    if (write_path_.empty()) return;
+    Status status = WriteSnapshot(net, write_path_);
+    TPIIN_CHECK(status.ok()) << status.ToString();
+    std::printf("fixture snapshot written to %s (re-run with "
+                "--snapshot=%s to skip fusion)\n",
+                write_path_.c_str(), write_path_.c_str());
+  }
+
+ private:
+  std::string snapshot_path_;
+  std::string write_path_;
+  std::unique_ptr<SnapshotView> view_;
+  double open_seconds_ = 0;
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_BENCH_BENCH_NET_H_

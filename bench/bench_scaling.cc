@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bench/bench_json.h"
+#include "bench/bench_net.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
@@ -32,6 +33,45 @@ struct Row {
   size_t groups;
   size_t arcs;
 };
+
+// Timings that only need the fused net: Algorithm 1 plus the baselines.
+// `run_naive` gates the quadratic formulation (see Measure).
+void MeasureDetectors(const Tpiin& net, bool run_naive, Row* row) {
+  WallTimer timer;
+  DetectorOptions options;
+  options.match.collect_groups = false;
+  Result<DetectionResult> result = DetectSuspiciousGroups(net, options);
+  TPIIN_CHECK(result.ok());
+  row->detect_s = timer.ElapsedSeconds();
+  row->groups = result->num_simple + result->num_complex;
+  row->arcs = result->suspicious_trades.size();
+
+  BaselineOptions root_options;
+  root_options.collect_groups = false;
+  timer.Restart();
+  BaselineResult root = DetectBaseline(net, root_options);
+  row->baseline_root_s = timer.ElapsedSeconds();
+  TPIIN_CHECK_EQ(root.num_simple + root.num_complex, row->groups);
+  TPIIN_CHECK_EQ(root.suspicious_trades.size(), row->arcs);
+
+  BaselineOptions all_options;
+  all_options.anchor = BaselineAnchor::kAllNodes;
+  all_options.collect_groups = false;
+  timer.Restart();
+  BaselineResult all = DetectBaseline(net, all_options);
+  row->baseline_all_s = timer.ElapsedSeconds();
+  TPIIN_CHECK_EQ(all.suspicious_trades.size(), row->arcs);
+
+  if (run_naive) {
+    BaselineOptions naive_options;
+    naive_options.naive_pairing = true;
+    naive_options.collect_groups = false;
+    timer.Restart();
+    BaselineResult naive = DetectBaseline(net, naive_options);
+    row->baseline_naive_s = timer.ElapsedSeconds();
+    TPIIN_CHECK_EQ(naive.num_simple + naive.num_complex, row->groups);
+  }
+}
 
 Row Measure(uint32_t companies, double p, uint64_t seed) {
   ProvinceConfig config = PaperProvinceConfig(seed);
@@ -58,49 +98,52 @@ Row Measure(uint32_t companies, double p, uint64_t seed) {
   row.fuse_s = timer.ElapsedSeconds();
   const Tpiin& net = fused->tpiin;
 
-  DetectorOptions options;
-  options.match.collect_groups = false;
-  timer.Restart();
-  Result<DetectionResult> result = DetectSuspiciousGroups(net, options);
-  TPIIN_CHECK(result.ok());
-  row.detect_s = timer.ElapsedSeconds();
-  row.groups = result->num_simple + result->num_complex;
-  row.arcs = result->suspicious_trades.size();
-
-  BaselineOptions root_options;
-  root_options.collect_groups = false;
-  timer.Restart();
-  BaselineResult root = DetectBaseline(net, root_options);
-  row.baseline_root_s = timer.ElapsedSeconds();
-  TPIIN_CHECK_EQ(root.num_simple + root.num_complex, row.groups);
-  TPIIN_CHECK_EQ(root.suspicious_trades.size(), row.arcs);
-
-  BaselineOptions all_options;
-  all_options.anchor = BaselineAnchor::kAllNodes;
-  all_options.collect_groups = false;
-  timer.Restart();
-  BaselineResult all = DetectBaseline(net, all_options);
-  row.baseline_all_s = timer.ElapsedSeconds();
-  TPIIN_CHECK_EQ(all.suspicious_trades.size(), row.arcs);
-
-  // The naive pairwise-check formulation the paper describes; quadratic
-  // in trails per anchor, so only measured on bounded instances.
-  if (static_cast<uint64_t>(companies) * static_cast<uint64_t>(p * 1e4) <=
-      2452ull * 100ull) {
-    BaselineOptions naive_options;
-    naive_options.naive_pairing = true;
-    naive_options.collect_groups = false;
-    timer.Restart();
-    BaselineResult naive = DetectBaseline(net, naive_options);
-    row.baseline_naive_s = timer.ElapsedSeconds();
-    TPIIN_CHECK_EQ(naive.num_simple + naive.num_complex, row.groups);
-  }
+  // The naive pairwise-check formulation the paper describes is
+  // quadratic in trails per anchor, so only measured on bounded
+  // instances.
+  const bool run_naive =
+      static_cast<uint64_t>(companies) * static_cast<uint64_t>(p * 1e4) <=
+      2452ull * 100ull;
+  MeasureDetectors(net, run_naive, &row);
   return row;
 }
 
-int Run(BenchJsonWriter& json, uint32_t num_threads) {
+int Run(BenchJsonWriter& json, uint32_t num_threads,
+        BenchNetSource& source) {
   std::printf("=== Efficiency: proposed method vs global traversal "
               "(§5.2) ===\n\n");
+  if (source.from_snapshot()) {
+    // Snapshot mode replaces the generate->fuse ladder with one row on
+    // the pre-built net: mmap open, then Algorithm 1 vs the baselines.
+    const Tpiin& net = source.Open();
+    Row row{net.NumNodes(), 0, source.open_seconds(), 0, 0, 0, 0, 0, 0};
+    MeasureDetectors(net, /*run_naive=*/false, &row);
+    std::printf("%-10s %-9s %-9s %-11s %-11s %-9s %-8s\n", "nodes",
+                "open(s)", "Alg1(s)", "base-root(s)", "base-all(s)",
+                "groups", "arcs");
+    std::printf("%-10u %-9.4f %-9.3f %-11.3f %-11.3f %-9zu %zu\n",
+                net.NumNodes(), row.fuse_s, row.detect_s,
+                row.baseline_root_s, row.baseline_all_s, row.groups,
+                row.arcs);
+    json.Record("scaling_snapshot_open", "snapshot", row.fuse_s);
+    json.Record("detect", "snapshot", row.detect_s,
+                row.detect_s > 0 ? row.groups / row.detect_s : 0);
+    json.Record("baseline_root", "snapshot", row.baseline_root_s);
+    json.Record("baseline_all", "snapshot", row.baseline_all_s);
+    json.Flush();
+    return 0;
+  }
+  if (source.write_requested()) {
+    // Persist the paper-scale rung's net so a later --snapshot run can
+    // skip datagen and fusion entirely.
+    ProvinceConfig config = PaperProvinceConfig(/*seed=*/20170402);
+    config.trading_probability = 0.01;
+    Result<Province> province = GenerateProvince(config);
+    TPIIN_CHECK(province.ok()) << province.status().ToString();
+    Result<FusionOutput> fused = BuildTpiin(province->dataset);
+    TPIIN_CHECK(fused.ok()) << fused.status().ToString();
+    source.MaybeWrite(fused->tpiin);
+  }
   const uint32_t threads = ResolveThreadCount(num_threads);
   if (threads > 1) {
     std::printf("Ladder measured on %u threads (timings contended; use "
@@ -158,5 +201,6 @@ int Run(BenchJsonWriter& json, uint32_t num_threads) {
 int main(int argc, char** argv) {
   tpiin::BenchJsonWriter json =
       tpiin::BenchJsonWriter::FromArgs(argc, argv);
-  return tpiin::Run(json, tpiin::ParseThreadsFlag(argc, argv));
+  tpiin::BenchNetSource source = tpiin::BenchNetSource::FromArgs(argc, argv);
+  return tpiin::Run(json, tpiin::ParseThreadsFlag(argc, argv), source);
 }

@@ -12,6 +12,7 @@
 #include <set>
 
 #include "bench/bench_json.h"
+#include "bench/bench_net.h"
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/timer.h"
@@ -24,12 +25,18 @@
 namespace tpiin {
 namespace {
 
-int Run(BenchJsonWriter& json) {
+int Run(BenchJsonWriter& json, BenchNetSource& source) {
   std::printf("=== Scoring quality: planted schemes vs noise ===\n\n");
   std::printf("%-8s %-10s %-10s %-12s %-14s %-12s\n", "seed", "planted",
               "flagged", "prec@K", "mean-rank", "median-rank");
 
-  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+  // A snapshot holds exactly one fused net, so snapshot mode runs the
+  // seed-1 row only (that is the net --write-snapshot persists); the
+  // planted pairs still come from the regenerated seed-1 dataset.
+  std::vector<uint64_t> seeds = {1, 2, 3, 4, 5};
+  if (source.from_snapshot()) seeds = {1};
+
+  for (uint64_t seed : seeds) {
     ProvinceConfig config = PaperProvinceConfig(seed);
     config.trading_probability = 0.002;
     Result<Province> province = GenerateProvince(config);
@@ -38,9 +45,19 @@ int Run(BenchJsonWriter& json) {
     std::vector<PlantedScheme> planted =
         PlantSuspiciousTrades(province->dataset, rng, 150);
 
-    Result<FusionOutput> fused = BuildTpiin(province->dataset);
-    TPIIN_CHECK(fused.ok());
-    const Tpiin& net = fused->tpiin;
+    Result<FusionOutput> fused = Status::Internal("unset");
+    const Tpiin* net_ptr = nullptr;
+    if (source.from_snapshot()) {
+      net_ptr = &source.Open();
+      json.Record("scoring_snapshot_open", "seed=1",
+                  source.open_seconds());
+    } else {
+      fused = BuildTpiin(province->dataset);
+      TPIIN_CHECK(fused.ok());
+      if (seed == 1) source.MaybeWrite(fused->tpiin);
+      net_ptr = &fused->tpiin;
+    }
+    const Tpiin& net = *net_ptr;
     Result<DetectionResult> detection = DetectSuspiciousGroups(net);
     TPIIN_CHECK(detection.ok());
     WallTimer score_timer;
@@ -99,5 +116,6 @@ int Run(BenchJsonWriter& json) {
 int main(int argc, char** argv) {
   tpiin::BenchJsonWriter json =
       tpiin::BenchJsonWriter::FromArgs(argc, argv);
-  return tpiin::Run(json);
+  tpiin::BenchNetSource source = tpiin::BenchNetSource::FromArgs(argc, argv);
+  return tpiin::Run(json, source);
 }

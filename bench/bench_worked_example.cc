@@ -8,6 +8,7 @@
 #include <cstdio>
 
 #include "bench/bench_json.h"
+#include "bench/bench_net.h"
 #include "common/logging.h"
 #include "common/timer.h"
 #include "core/detector.h"
@@ -19,26 +20,37 @@
 namespace tpiin {
 namespace {
 
-int Run(BenchJsonWriter& json) {
+int Run(BenchJsonWriter& json, BenchNetSource& source) {
   std::printf("=== Worked example (paper Figs. 7-10) ===\n\n");
 
-  RawDataset dataset = BuildWorkedExampleDataset();
-  std::printf("Fig. 7 (un-contracted network): %s\n\n",
-              dataset.Stats().ToString().c_str());
-
-  WallTimer fuse_timer;
-  Result<FusionOutput> fused = BuildTpiin(dataset);
-  double fuse_s = fuse_timer.ElapsedSeconds();
-  TPIIN_CHECK(fused.ok()) << fused.status().ToString();
-  const Tpiin& net = fused->tpiin;
-  std::printf("Fig. 8 (TPIIN after contraction):\n%s\n\n",
-              fused->stats.ToString().c_str());
+  Result<FusionOutput> fused = Status::Internal("unset");
+  const Tpiin* net_ptr = nullptr;
+  double fuse_s = 0;
+  if (source.from_snapshot()) {
+    net_ptr = &source.Open();
+    json.Record("worked_example_snapshot_open", "fig7",
+                source.open_seconds());
+  } else {
+    RawDataset dataset = BuildWorkedExampleDataset();
+    std::printf("Fig. 7 (un-contracted network): %s\n\n",
+                dataset.Stats().ToString().c_str());
+    WallTimer fuse_timer;
+    fused = BuildTpiin(dataset);
+    fuse_s = fuse_timer.ElapsedSeconds();
+    TPIIN_CHECK(fused.ok()) << fused.status().ToString();
+    std::printf("Fig. 8 (TPIIN after contraction):\n%s\n\n",
+                fused->stats.ToString().c_str());
+    source.MaybeWrite(fused->tpiin);
+    net_ptr = &fused->tpiin;
+  }
+  const Tpiin& net = *net_ptr;
 
   std::printf("Fig. 8 (edge-list database, src dst color; 1=blue "
               "influence, 0=black trading):\n");
   for (const auto& row : net.ToEdgeList()) {
-    std::printf("  %-14s %-14s %u\n", net.Label(row[0]).c_str(),
-                net.Label(row[1]).c_str(), row[2]);
+    std::printf("  %-14s %-14s %u\n",
+                std::string(net.Label(row[0])).c_str(),
+                std::string(net.Label(row[1])).c_str(), row[2]);
   }
 
   std::vector<SubTpiin> subs = SegmentTpiin(net);
@@ -47,7 +59,8 @@ int Run(BenchJsonWriter& json) {
 
   std::printf("\nFig. 9(a) listD (node, indegree, outdegree):\n");
   for (const ListDEntry& entry : ComputeListD(sub)) {
-    std::printf("  %-10s in=%u out=%u\n", sub.Label(entry.node).c_str(),
+    std::printf("  %-10s in=%u out=%u\n",
+                std::string(sub.Label(entry.node)).c_str(),
                 entry.in_degree, entry.out_degree);
   }
 
@@ -71,7 +84,9 @@ int Run(BenchJsonWriter& json) {
     std::printf("  %s\n", group.Format(net).c_str());
   }
   std::printf("\n%s\n", result->Summary().c_str());
-  json.Record("worked_example_fuse", "fig7", fuse_s);
+  if (!source.from_snapshot()) {
+    json.Record("worked_example_fuse", "fig7", fuse_s);
+  }
   json.Record("worked_example_detect", "fig7", detect_s,
               result->TotalGroups());
   json.Flush();
@@ -84,5 +99,6 @@ int Run(BenchJsonWriter& json) {
 int main(int argc, char** argv) {
   tpiin::BenchJsonWriter json =
       tpiin::BenchJsonWriter::FromArgs(argc, argv);
-  return tpiin::Run(json);
+  tpiin::BenchNetSource source = tpiin::BenchNetSource::FromArgs(argc, argv);
+  return tpiin::Run(json, source);
 }

@@ -49,8 +49,8 @@ void RunCase(const CaseStudy& cs) {
   std::printf("MSG phase: %zu suspicious trading relationship(s)\n",
               result->suspicious_trades.size());
   for (const auto& [seller, buyer] : result->suspicious_trades) {
-    std::printf("  IAT candidate: %s -> %s\n", net.Label(seller).c_str(),
-                net.Label(buyer).c_str());
+    std::printf("  IAT candidate: %s -> %s\n", std::string(net.Label(seller)).c_str(),
+                std::string(net.Label(buyer)).c_str());
   }
   std::printf("Proof chains (suspicious groups):\n");
   for (const SuspiciousGroup& group : result->groups) {

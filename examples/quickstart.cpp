@@ -54,8 +54,8 @@ int main() {
   std::printf("\nSuspicious trading relationships (the IAT candidates "
               "handed to the ITE phase):\n");
   for (const auto& [seller, buyer] : result->suspicious_trades) {
-    std::printf("  %s -> %s\n", net.Label(seller).c_str(),
-                net.Label(buyer).c_str());
+    std::printf("  %s -> %s\n", std::string(net.Label(seller)).c_str(),
+                std::string(net.Label(buyer)).c_str());
   }
   return 0;
 }

@@ -11,6 +11,7 @@
 #include "common/thread_pool.h"
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/timer.h"
 #include "core/detector.h"
 #include "core/explain.h"
 #include "core/incremental.h"
@@ -29,6 +30,7 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "snapshot/snapshot.h"
 
 namespace tpiin {
 
@@ -148,6 +150,168 @@ class ObsOutputs {
   std::unique_ptr<TraceRecorder> recorder_;
 };
 
+// Network input shared by every mining command: --net=FILE parses a
+// TPIIN edge list, --snapshot=FILE mmaps a binary snapshot written by
+// `tpiin build`. Exactly one must be given. The view (when used) owns
+// the mapping, so keep the LoadedNet alive as long as net() is read.
+void DefineNetworkFlags(FlagParser& flags) {
+  flags.DefineString("net", "", "TPIIN edge-list file");
+  flags.DefineString("snapshot", "",
+                     "binary TPIIN snapshot (written by `tpiin build`)");
+}
+
+struct LoadedNet {
+  Tpiin owned;
+  std::unique_ptr<SnapshotView> view;
+  double open_seconds = 0;
+  bool from_snapshot = false;
+
+  const Tpiin& net() const { return view != nullptr ? view->net() : owned; }
+
+  /// Records where the network came from and how long the open took.
+  /// `snapshot_open_ms` is the mmap+validate cost the snapshot path pays
+  /// instead of the edge-list parse (or the full CSV cold start — see
+  /// the `build` report's cold_start_ms for that comparison).
+  void AddToReport(RunReport* report) const {
+    report->AddStage(from_snapshot ? "snapshot_open" : "load_net",
+                     open_seconds);
+    ReportSection& section = report->Section("input");
+    section.Set("source", from_snapshot ? "snapshot" : "edge_list");
+    section.Set(from_snapshot ? "snapshot_open_ms" : "load_net_ms",
+                open_seconds * 1e3);
+  }
+};
+
+Result<LoadedNet> LoadNetwork(const FlagParser& flags,
+                              const std::string& command) {
+  const std::string& net_path = flags.GetString("net");
+  const std::string& snapshot_path = flags.GetString("snapshot");
+  if (net_path.empty() == snapshot_path.empty()) {
+    return Status::InvalidArgument(
+        command + " requires exactly one of --net=FILE or --snapshot=FILE");
+  }
+  LoadedNet loaded;
+  WallTimer timer;
+  if (!snapshot_path.empty()) {
+    TPIIN_ASSIGN_OR_RETURN(loaded.view, SnapshotView::Open(snapshot_path));
+    loaded.from_snapshot = true;
+  } else {
+    TPIIN_ASSIGN_OR_RETURN(loaded.owned, ReadTpiinEdgeList(net_path));
+  }
+  loaded.open_seconds = timer.ElapsedSeconds();
+  return loaded;
+}
+
+// `tpiin build`: run ingest+fusion once (or parse an edge list) and
+// persist the fused TPIIN as a binary snapshot, so every later command
+// opens it in milliseconds via --snapshot.
+Status RunBuild(const std::vector<std::string>& args, std::ostream& out) {
+  FlagParser flags;
+  flags.DefineString("data", "", "CSV dataset directory to ingest+fuse");
+  flags.DefineString("net", "", "TPIIN edge-list file (alternative input)");
+  flags.DefineString("out", "", "snapshot output file");
+  flags.DefineInt64("threads", 0, "worker threads (0 = auto-detect)");
+  flags.DefineBool("wcc-index", true,
+                   "precompute the subTPIIN segmentation index");
+  flags.DefineString("report", "", "machine-readable run report (JSON)");
+  flags.DefineString("trace-out", "",
+                     "Chrome trace_event JSON (chrome://tracing)");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  const std::string& data_dir = flags.GetString("data");
+  const std::string& net_path = flags.GetString("net");
+  if (flags.GetString("out").empty() ||
+      data_dir.empty() == net_path.empty()) {
+    return Status::InvalidArgument(
+        "build requires --out=FILE and exactly one of --data=DIR or "
+        "--net=FILE");
+  }
+  ObsOutputs obs(flags);
+  obs.Begin();
+
+  RunReport report("build");
+  report.set_threads(
+      ResolveThreadCount(static_cast<uint32_t>(flags.GetInt64("threads"))));
+
+  // The cold start the snapshot replaces: CSV ingest + fusion (or the
+  // edge-list parse).
+  WallTimer cold_timer;
+  Tpiin net;
+  if (!data_dir.empty()) {
+    WallTimer timer;
+    TPIIN_ASSIGN_OR_RETURN(RawDataset dataset, LoadDatasetCsv(data_dir));
+    report.AddStage("load_csv", timer.ElapsedSeconds());
+    FusionOptions fusion;
+    fusion.num_threads = static_cast<uint32_t>(flags.GetInt64("threads"));
+    timer.Restart();
+    TPIIN_ASSIGN_OR_RETURN(FusionOutput fused, BuildTpiin(dataset, fusion));
+    report.AddStage("fuse", timer.ElapsedSeconds());
+    out << fused.stats.ToString() << "\n";
+    net = std::move(fused.tpiin);
+  } else {
+    WallTimer timer;
+    TPIIN_ASSIGN_OR_RETURN(net, ReadTpiinEdgeList(net_path));
+    report.AddStage("load_net", timer.ElapsedSeconds());
+  }
+  const double cold_start_s = cold_timer.ElapsedSeconds();
+
+  SnapshotWriteOptions options;
+  options.include_wcc_index = flags.GetBool("wcc-index");
+  WallTimer write_timer;
+  TPIIN_RETURN_IF_ERROR(WriteSnapshot(net, flags.GetString("out"), options));
+  report.AddStage("snapshot_write", write_timer.ElapsedSeconds());
+
+  // Re-open what was just written: verifies the round trip end to end
+  // and measures the open cost every later --snapshot run will pay.
+  WallTimer open_timer;
+  TPIIN_ASSIGN_OR_RETURN(std::unique_ptr<SnapshotView> view,
+                         SnapshotView::Open(flags.GetString("out")));
+  const double open_s = open_timer.ElapsedSeconds();
+  report.AddStage("snapshot_open", open_s);
+
+  out << "snapshot written to " << flags.GetString("out") << " ("
+      << view->file_size() << " bytes, " << net.NumNodes() << " nodes, "
+      << net.NumArcs() << " arcs)\n";
+  out << StringPrintf(
+      "cold start %.1f ms -> snapshot open %.2f ms (%.0fx)\n",
+      cold_start_s * 1e3, open_s * 1e3,
+      open_s > 0 ? cold_start_s / open_s : 0.0);
+
+  ReportSection& section = report.Section("snapshot");
+  section.Set("path", flags.GetString("out"));
+  section.Set("bytes", view->file_size());
+  section.Set("cold_start_ms", cold_start_s * 1e3);
+  section.Set("snapshot_open_ms", open_s * 1e3);
+  section.Set("speedup",
+              open_s > 0 ? cold_start_s / open_s : 0.0);
+  section.Set("wcc_index", options.include_wcc_index);
+  return obs.Finish(&report, out);
+}
+
+// `tpiin snapshot info FILE`: header + section directory without
+// mapping the graph sections; exit 1 on any structural or checksum
+// problem so scripts can use it as a validator.
+Status RunSnapshotCmd(const std::vector<std::string>& args,
+                      std::ostream& out) {
+  FlagParser flags;
+  flags.DefineBool("verify", true, "stream sections to check CRCs");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.positional().size() != 2 || flags.positional()[0] != "info") {
+    return Status::InvalidArgument(
+        "usage: tpiin snapshot info FILE [--verify=false]");
+  }
+  const std::string& path = flags.positional()[1];
+  TPIIN_ASSIGN_OR_RETURN(SnapshotInfo info,
+                         ReadSnapshotInfo(path, flags.GetBool("verify")));
+  out << FormatSnapshotInfo(info);
+  for (const SnapshotSectionInfo& section : info.sections) {
+    if (section.crc_checked && !section.crc_ok) {
+      return Status::Corruption(path + ": section " + section.name +
+                                " checksum mismatch");
+    }
+  }
+  return Status::OK();
+}
+
 Status RunGen(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags;
   flags.DefineString("out", "", "output directory for the CSV dataset");
@@ -215,7 +379,7 @@ Status RunFuse(const std::vector<std::string>& args, std::ostream& out) {
 Status RunDetect(const std::vector<std::string>& args, std::ostream& out,
                  int* exit_code) {
   FlagParser flags;
-  flags.DefineString("net", "", "TPIIN edge-list file");
+  DefineNetworkFlags(flags);
   flags.DefineString("out", "", "optional output directory for reports");
   flags.DefineInt64("threads", 0, "worker threads (0 = auto-detect)");
   flags.DefineInt64("top", 10, "ranked trades to print");
@@ -232,13 +396,10 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out,
   flags.DefineInt64("max-sub-arcs", 0,
                     "skip subTPIINs with more arcs (0 = unlimited)");
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
-  if (flags.GetString("net").empty()) {
-    return Status::InvalidArgument("detect requires --net=FILE");
-  }
   ObsOutputs obs(flags);
   obs.Begin();
-  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
-                         ReadTpiinEdgeList(flags.GetString("net")));
+  TPIIN_ASSIGN_OR_RETURN(LoadedNet loaded, LoadNetwork(flags, "detect"));
+  const Tpiin& net = loaded.net();
   DetectorOptions options;
   options.num_threads = static_cast<uint32_t>(flags.GetInt64("threads"));
   options.budget.deadline_seconds = flags.GetInt64("deadline-ms") / 1e3;
@@ -293,6 +454,7 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out,
   RunReport report("detect");
   report.set_threads(
       ResolveThreadCount(static_cast<uint32_t>(flags.GetInt64("threads"))));
+  loaded.AddToReport(&report);
   AddDetectionToReport(
       detection,
       static_cast<size_t>(std::max<int64_t>(0, flags.GetInt64("top"))),
@@ -302,16 +464,14 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out,
 
 Status RunExplain(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags;
-  flags.DefineString("net", "", "TPIIN edge-list file");
+  DefineNetworkFlags(flags);
   flags.DefineString("company", "", "company node label to analyze");
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
-  if (flags.GetString("net").empty() ||
-      flags.GetString("company").empty()) {
-    return Status::InvalidArgument(
-        "explain requires --net=FILE --company=LABEL");
+  if (flags.GetString("company").empty()) {
+    return Status::InvalidArgument("explain requires --company=LABEL");
   }
-  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
-                         ReadTpiinEdgeList(flags.GetString("net")));
+  TPIIN_ASSIGN_OR_RETURN(LoadedNet loaded, LoadNetwork(flags, "explain"));
+  const Tpiin& net = loaded.net();
   NodeId company = kInvalidNode;
   for (NodeId v = 0; v < net.NumNodes(); ++v) {
     if (net.Label(v) == flags.GetString("company")) {
@@ -338,7 +498,7 @@ Status RunExplain(const std::vector<std::string>& args, std::ostream& out) {
 
 Status RunScreen(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags;
-  flags.DefineString("net", "", "TPIIN edge-list file");
+  DefineNetworkFlags(flags);
   flags.DefineString("seller", "", "seller company label");
   flags.DefineString("buyer", "", "buyer company label");
   flags.DefineString("pairs", "",
@@ -346,14 +506,12 @@ Status RunScreen(const std::vector<std::string>& args, std::ostream& out) {
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
   bool single = !flags.GetString("seller").empty() &&
                 !flags.GetString("buyer").empty();
-  if (flags.GetString("net").empty() ||
-      (!single && flags.GetString("pairs").empty())) {
+  if (!single && flags.GetString("pairs").empty()) {
     return Status::InvalidArgument(
-        "screen requires --net=FILE and either --seller/--buyer labels "
-        "or --pairs=CSV");
+        "screen requires either --seller/--buyer labels or --pairs=CSV");
   }
-  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
-                         ReadTpiinEdgeList(flags.GetString("net")));
+  TPIIN_ASSIGN_OR_RETURN(LoadedNet loaded, LoadNetwork(flags, "screen"));
+  const Tpiin& net = loaded.net();
 
   std::unordered_map<std::string, NodeId> by_label;
   for (NodeId v = 0; v < net.NumNodes(); ++v) {
@@ -414,21 +572,20 @@ Status RunScreen(const std::vector<std::string>& args, std::ostream& out) {
 
 Status RunStats(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags;
-  flags.DefineString("net", "", "TPIIN edge-list file");
+  DefineNetworkFlags(flags);
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
-  if (flags.GetString("net").empty()) {
-    return Status::InvalidArgument("stats requires --net=FILE");
-  }
-  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
-                         ReadTpiinEdgeList(flags.GetString("net")));
+  TPIIN_ASSIGN_OR_RETURN(LoadedNet loaded, LoadNetwork(flags, "stats"));
+  const Tpiin& net = loaded.net();
   size_t persons = 0;
   for (NodeId v = 0; v < net.NumNodes(); ++v) {
     persons += net.node(v).color == NodeColor::kPerson;
   }
   out << "nodes: " << net.NumNodes() << " (" << persons << " person, "
       << (net.NumNodes() - persons) << " company)\n";
-  DegreeStats antecedent = ComputeDegreeStats(net.graph(), IsInfluenceArc);
-  DegreeStats trading = ComputeDegreeStats(net.graph(), IsTradingArc);
+  DegreeStats antecedent =
+      ComputeDegreeStats(net.frozen(), FrozenArcClass::kInfluence);
+  DegreeStats trading =
+      ComputeDegreeStats(net.frozen(), FrozenArcClass::kTrading);
   out << StringPrintf(
       "antecedent: %u arcs, avg degree %.3f, max out %u\n",
       antecedent.num_arcs, antecedent.average_degree,
@@ -441,23 +598,23 @@ Status RunStats(const std::vector<std::string>& args, std::ostream& out) {
 
 Status RunExport(const std::vector<std::string>& args, std::ostream& out) {
   FlagParser flags;
-  flags.DefineString("net", "", "TPIIN edge-list file");
+  DefineNetworkFlags(flags);
   flags.DefineString("format", "dot", "dot or gexf");
   flags.DefineString("out", "", "output file");
   flags.DefineString("ego", "",
                      "restrict to the neighborhood of this node label");
   flags.DefineInt64("depth", 2, "ego neighborhood depth");
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
-  if (flags.GetString("net").empty() || flags.GetString("out").empty()) {
-    return Status::InvalidArgument(
-        "export requires --net=FILE --out=FILE");
+  if (flags.GetString("out").empty()) {
+    return Status::InvalidArgument("export requires --out=FILE");
   }
-  TPIIN_ASSIGN_OR_RETURN(Tpiin net,
-                         ReadTpiinEdgeList(flags.GetString("net")));
+  TPIIN_ASSIGN_OR_RETURN(LoadedNet loaded, LoadNetwork(flags, "export"));
+  const Tpiin* net = &loaded.net();
+  Tpiin ego_net;
   if (!flags.GetString("ego").empty()) {
     NodeId center = kInvalidNode;
-    for (NodeId v = 0; v < net.NumNodes(); ++v) {
-      if (net.Label(v) == flags.GetString("ego")) {
+    for (NodeId v = 0; v < net->NumNodes(); ++v) {
+      if (net->Label(v) == flags.GetString("ego")) {
         center = v;
         break;
       }
@@ -469,16 +626,17 @@ Status RunExport(const std::vector<std::string>& args, std::ostream& out) {
     ego_options.depth =
         static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt64("depth")));
     ego_options.follow_trading = true;
-    TPIIN_ASSIGN_OR_RETURN(net, ExtractEgoNetwork(net, center, ego_options));
+    TPIIN_ASSIGN_OR_RETURN(ego_net,
+                           ExtractEgoNetwork(*net, center, ego_options));
+    net = &ego_net;
     out << "ego network of " << flags.GetString("ego") << ": "
-        << net.NumNodes() << " nodes, " << net.graph().NumArcs()
-        << " arcs\n";
+        << net->NumNodes() << " nodes, " << net->NumArcs() << " arcs\n";
   }
   std::string rendered;
   if (flags.GetString("format") == "dot") {
-    rendered = TpiinToDot(net, "TPIIN");
+    rendered = TpiinToDot(*net, "TPIIN");
   } else if (flags.GetString("format") == "gexf") {
-    rendered = TpiinToGexf(net);
+    rendered = TpiinToGexf(*net);
   } else {
     return Status::InvalidArgument("unknown --format: " +
                                    flags.GetString("format"));
@@ -502,22 +660,31 @@ std::string CliUsage() {
       "  fuse    fuse a CSV dataset into a TPIIN edge list\n"
       "          --data=DIR --out=FILE [--threads=T] [--report=FILE]\n"
       "          [--trace-out=FILE]\n"
+      "  build   fuse once and persist a binary snapshot (mmap-able by\n"
+      "          every command below via --snapshot)\n"
+      "          (--data=DIR | --net=FILE) --out=FILE [--threads=T]\n"
+      "          [--wcc-index=false] [--report=FILE] [--trace-out=FILE]\n"
+      "  snapshot info FILE [--verify=false]\n"
+      "          print a snapshot's header, section directory and\n"
+      "          checksums without mapping the graph sections\n"
       "  detect  mine suspicious tax evasion groups\n"
-      "          --net=FILE [--out=DIR] [--threads=T] [--top=K] "
-      "[--json=FILE]\n"
+      "          (--net=FILE | --snapshot=FILE) [--out=DIR] [--threads=T]\n"
+      "          [--top=K] [--json=FILE]\n"
       "          [--report=FILE] [--trace-out=FILE]\n"
       "          [--deadline-ms=N] [--sub-slice-ms=N] [--max-sub-nodes=N]\n"
       "          [--max-sub-arcs=N]   (run budget; partial results exit 2)\n"
       "  explain per-company dossier (IATs, antecedents, proof chains)\n"
-      "          --net=FILE --company=LABEL\n"
+      "          (--net=FILE | --snapshot=FILE) --company=LABEL\n"
       "  screen  classify candidate trading relationships (streaming)\n"
-      "          --net=FILE (--seller=L --buyer=L | --pairs=CSV)\n"
+      "          (--net=FILE | --snapshot=FILE)\n"
+      "          (--seller=L --buyer=L | --pairs=CSV)\n"
       "  stats   print layer statistics of a TPIIN\n"
-      "          --net=FILE\n"
+      "          (--net=FILE | --snapshot=FILE)\n"
       "  export  render a TPIIN (or one company's neighborhood) for\n"
       "          Graphviz/Gephi\n"
-      "          --net=FILE --format=dot|gexf --out=FILE [--ego=LABEL "
-      "--depth=N]\n"
+      "          (--net=FILE | --snapshot=FILE) --format=dot|gexf "
+      "--out=FILE\n"
+      "          [--ego=LABEL --depth=N]\n"
       "\n"
       "Global flags:\n"
       "  --log-level=debug|info|warning|error   minimum log severity\n"
@@ -546,6 +713,8 @@ Status DispatchCli(const std::vector<std::string>& args, std::ostream& out,
                                 mutable_args.end());
   if (command == "gen") return RunGen(rest, out);
   if (command == "fuse") return RunFuse(rest, out);
+  if (command == "build") return RunBuild(rest, out);
+  if (command == "snapshot") return RunSnapshotCmd(rest, out);
   if (command == "detect") return RunDetect(rest, out, exit_code);
   if (command == "explain") return RunExplain(rest, out);
   if (command == "screen") return RunScreen(rest, out);

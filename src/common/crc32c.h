@@ -1,0 +1,23 @@
+#ifndef TPIIN_COMMON_CRC32C_H_
+#define TPIIN_COMMON_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace tpiin {
+
+/// CRC-32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78):
+/// the checksum the snapshot format uses for its header and sections.
+/// Uses the SSE4.2 crc32 instruction when the CPU has it (detected at
+/// runtime) and falls back to a table-driven implementation; the
+/// snapshot loader checksums every mapped section at open, so this is
+/// directly on the snapshot_open_ms path.
+///
+/// `Extend` continues a running checksum, so a section can be checked
+/// in chunks: crc = Crc32c(a, n) == Extend(Extend(0-init...) ...).
+uint32_t Crc32c(const void* data, size_t length);
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t length);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_COMMON_CRC32C_H_

@@ -251,7 +251,7 @@ Result<DetectionResult> DetectSuspiciousGroups(const Tpiin& net,
       suspicious_arcs.end());
   result.suspicious_trades.reserve(suspicious_arcs.size());
   for (ArcId id : suspicious_arcs) {
-    const Arc& arc = net.graph().arc(id);
+    const Arc arc = net.arc(id);
     result.suspicious_trades.emplace_back(arc.src, arc.dst);
   }
   std::sort(result.suspicious_trades.begin(),

@@ -71,9 +71,9 @@ std::string ExplainGroup(const Tpiin& net, const SuspiciousGroup& group) {
   if (group.from_cycle) {
     out += StringPrintf(
         "Circle: %s controls a chain %s whose end (%s) sells back to it.",
-        net.Label(group.antecedent).c_str(),
+        std::string(net.Label(group.antecedent)).c_str(),
         TrailNarrative(net, group.trade_trail).c_str(),
-        net.Label(group.trade_seller).c_str());
+        std::string(net.Label(group.trade_seller)).c_str());
     return out;
   }
   out += "Antecedent ";
@@ -92,7 +92,8 @@ std::string ExplainGroup(const Tpiin& net, const SuspiciousGroup& group) {
 
 std::string FormatCompanyDossier(const Tpiin& net,
                                  const CompanyDossier& dossier) {
-  std::string out = "Preliminary analysis: " + net.Label(dossier.company);
+  std::string out = "Preliminary analysis: ";
+  out += net.Label(dossier.company);
   const TpiinNode& node = net.node(dossier.company);
   if (node.IsSyndicate()) {
     out += StringPrintf(" (syndicate of %zu companies)",
@@ -111,7 +112,7 @@ std::string FormatCompanyDossier(const Tpiin& net,
     out += StringPrintf(
         "    %s %s  (suspicion %.4f, %zu proof chain(s))\n",
         trade.company_is_seller ? "sells to" : "buys from",
-        net.Label(trade.counterparty).c_str(), trade.score,
+        std::string(net.Label(trade.counterparty)).c_str(), trade.score,
         trade.group_count);
   }
 

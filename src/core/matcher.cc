@@ -80,7 +80,7 @@ SuspiciousGroup BuildCycleGroup(const SubTpiin& sub,
 }  // namespace
 
 std::string SuspiciousGroup::Format(const Tpiin& net) const {
-  std::string out = net.Label(antecedent);
+  std::string out(net.Label(antecedent));
   out += ": {";
   for (size_t i = 0; i < trade_trail.size(); ++i) {
     if (i > 0) out += ", ";

@@ -242,7 +242,7 @@ Result<PatternGenResult> GenerateFrozen(const SubTpiin& sub,
         if (on_path[dst]) {
           return Status::FailedPrecondition(
               "influence subgraph contains a directed cycle through " +
-              sub.Label(dst));
+              std::string(sub.Label(dst)));
         }
         if (length_capped) {
           result.truncated = true;
@@ -363,7 +363,7 @@ Result<PatternGenResult> GenerateLegacy(const SubTpiin& sub,
         if (on_path[arc.dst]) {
           return Status::FailedPrecondition(
               "influence subgraph contains a directed cycle through " +
-              sub.Label(arc.dst));
+              std::string(sub.Label(arc.dst)));
         }
         if (length_capped) {
           result.truncated = true;

@@ -19,7 +19,7 @@ std::unordered_map<uint64_t, double> BuildWeightIndex(const Tpiin& net) {
   std::unordered_map<uint64_t, double> index;
   index.reserve(net.num_influence_arcs() * 2);
   for (ArcId id = 0; id < net.num_influence_arcs(); ++id) {
-    const Arc& arc = net.graph().arc(id);
+    const Arc arc = net.arc(id);
     index.emplace(PairKey(arc.src, arc.dst), net.ArcWeight(id));
   }
   return index;

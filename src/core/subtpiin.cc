@@ -13,17 +13,32 @@ std::vector<SubTpiin> SegmentTpiin(const Tpiin& net,
                                    const SegmentOptions& options,
                                    SegmentStats* stats) {
   TPIIN_SPAN("segment_tpiin");
-  const Digraph& g = net.graph();
   const FrozenGraph& fg = net.frozen();
-  WccResult wcc =
-      WeaklyConnectedComponents(fg, FrozenArcClass::kInfluence);
+
+  // A snapshot-backed network carries the antecedent WCC decomposition
+  // precomputed by the snapshot writer (which ran exactly the function
+  // called in the else-branch); reusing it skips the union-find pass.
+  // Member lists rebuild by bucketing ascending node ids, which matches
+  // the sorted-ascending invariant of WccResult::members.
+  WccResult wcc;
+  if (net.has_wcc_index()) {
+    std::span<const NodeId> component_of = net.WccComponentOf();
+    wcc.component_of.assign(component_of.begin(), component_of.end());
+    wcc.num_components = net.NumWccComponents();
+    wcc.members.resize(wcc.num_components);
+    for (NodeId v = 0; v < net.NumNodes(); ++v) {
+      wcc.members[wcc.component_of[v]].push_back(v);
+    }
+  } else {
+    wcc = WeaklyConnectedComponents(fg, FrozenArcClass::kInfluence);
+  }
 
   // Bucket trading arcs by component; cross-component arcs are dropped.
   std::vector<std::vector<ArcId>> trading_of_component(wcc.num_components);
   size_t internal = 0;
   size_t cross = 0;
-  for (ArcId id = net.num_influence_arcs(); id < g.NumArcs(); ++id) {
-    const Arc& arc = g.arc(id);
+  for (ArcId id = net.num_influence_arcs(); id < net.NumArcs(); ++id) {
+    const Arc arc = net.arc(id);
     NodeId cs = wcc.component_of[arc.src];
     NodeId cd = wcc.component_of[arc.dst];
     if (cs == cd) {
@@ -40,7 +55,7 @@ std::vector<SubTpiin> SegmentTpiin(const Tpiin& net,
     stats->trading_arcs_cross = cross;
   }
 
-  std::vector<NodeId> local_of_global(g.NumNodes(), kInvalidNode);
+  std::vector<NodeId> local_of_global(net.NumNodes(), kInvalidNode);
   std::vector<SubTpiin> out;
   for (NodeId comp = 0; comp < wcc.num_components; ++comp) {
     const std::vector<NodeId>& members = wcc.members[comp];
@@ -74,7 +89,7 @@ std::vector<SubTpiin> SegmentTpiin(const Tpiin& net,
     sub.num_influence_arcs = sub.graph.NumArcs();
 
     for (ArcId id : trading_of_component[comp]) {
-      const Arc& arc = g.arc(id);
+      const Arc arc = net.arc(id);
       sub.graph.AddArc(local_of_global[arc.src], local_of_global[arc.dst],
                        kArcTrading);
       sub.global_arc_of_local.push_back(id);

@@ -2,6 +2,7 @@
 #define TPIIN_CORE_SUBTPIIN_H_
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "fusion/tpiin.h"
@@ -53,7 +54,7 @@ struct SubTpiin {
   }
 
   /// Label of a local node (delegates to the parent TPIIN).
-  const std::string& Label(NodeId local) const {
+  std::string_view Label(NodeId local) const {
     return parent->Label(ToGlobal(local));
   }
 };

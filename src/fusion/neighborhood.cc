@@ -13,13 +13,11 @@ Result<Tpiin> ExtractEgoNetwork(const Tpiin& net, NodeId center,
   if (center >= net.NumNodes()) {
     return Status::InvalidArgument("ego center out of range");
   }
-  const Digraph& g = net.graph();
-
-  // Undirected BFS over the selected colors. The reverse adjacency is
-  // derived from a forward pass (Digraph's in-adjacency is lazy and
-  // `net` is const).
-  std::vector<std::vector<NodeId>> undirected(g.NumNodes());
-  for (const Arc& arc : g.arcs()) {
+  // Undirected BFS over the selected colors, reading the per-arc-id
+  // accessor so the extraction works on snapshot-backed networks too.
+  std::vector<std::vector<NodeId>> undirected(net.NumNodes());
+  for (ArcId id = 0; id < net.NumArcs(); ++id) {
+    const Arc arc = net.arc(id);
     bool follow = IsInfluenceArc(arc) ? options.follow_influence
                                       : options.follow_trading;
     if (!follow) continue;
@@ -28,7 +26,7 @@ Result<Tpiin> ExtractEgoNetwork(const Tpiin& net, NodeId center,
   }
 
   constexpr uint32_t kUnseen = UINT32_MAX;
-  std::vector<uint32_t> distance(g.NumNodes(), kUnseen);
+  std::vector<uint32_t> distance(net.NumNodes(), kUnseen);
   std::deque<NodeId> frontier = {center};
   distance[center] = 0;
   std::vector<NodeId> kept = {center};
@@ -45,17 +43,22 @@ Result<Tpiin> ExtractEgoNetwork(const Tpiin& net, NodeId center,
   }
   std::sort(kept.begin(), kept.end());
 
-  std::vector<NodeId> local_of_global(g.NumNodes(), kInvalidNode);
+  std::vector<NodeId> local_of_global(net.NumNodes(), kInvalidNode);
   TpiinBuilder builder;
   for (NodeId global : kept) {
-    const TpiinNode& node = net.node(global);
+    const TpiinNode node = net.node(global);
     NodeId local;
     if (node.color == NodeColor::kPerson) {
-      local = builder.AddPersonNode(node.label, node.person_members);
+      local = builder.AddPersonNode(
+          node.label, {node.person_members.begin(), node.person_members.end()});
     } else {
-      local = builder.AddCompanyNode(node.label, node.company_members);
+      local = builder.AddCompanyNode(
+          node.label,
+          {node.company_members.begin(), node.company_members.end()});
       if (!node.internal_investments.empty()) {
-        builder.SetInternalInvestments(local, node.internal_investments);
+        builder.SetInternalInvestments(local,
+                                       {node.internal_investments.begin(),
+                                        node.internal_investments.end()});
       }
     }
     local_of_global[global] = local;
@@ -63,8 +66,8 @@ Result<Tpiin> ExtractEgoNetwork(const Tpiin& net, NodeId center,
 
   // All arcs between retained nodes, influence first (arc-id order of
   // the source network preserves that invariant).
-  for (ArcId id = 0; id < g.NumArcs(); ++id) {
-    const Arc& arc = g.arc(id);
+  for (ArcId id = 0; id < net.NumArcs(); ++id) {
+    const Arc arc = net.arc(id);
     NodeId src = local_of_global[arc.src];
     NodeId dst = local_of_global[arc.dst];
     if (src == kInvalidNode || dst == kInvalidNode) continue;

@@ -95,8 +95,7 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
   Digraph gi;
   SccResult scc;
   std::vector<double> influence_weight(dataset.influence().size());
-  std::unordered_map<NodeId, std::vector<std::pair<CompanyId, CompanyId>>>
-      internal_of_component;
+  std::unordered_map<NodeId, std::vector<InvestmentArc>> internal_of_component;
 
   const std::array<std::function<Status()>, 3> layer_tasks = {
       // G1 (kinship + interlocking) + edge contraction: connected
@@ -128,8 +127,7 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
         // GI was O(syndicates x arcs)). Bucket order is arc-id order,
         // matching the original scan, so proof chains come out identical.
         for (NodeId comp : scc.nontrivial_components) {
-          internal_of_component.emplace(
-              comp, std::vector<std::pair<CompanyId, CompanyId>>());
+          internal_of_component.emplace(comp, std::vector<InvestmentArc>());
         }
         for (const Arc& arc : gi.arcs()) {
           NodeId comp = scc.component_of[arc.src];
@@ -138,8 +136,8 @@ Result<FusionOutput> BuildTpiin(const RawDataset& dataset,
           if (it == internal_of_component.end()) {
             continue;  // Trivial SCC self-loop.
           }
-          it->second.emplace_back(static_cast<CompanyId>(arc.src),
-                                  static_cast<CompanyId>(arc.dst));
+          it->second.push_back(InvestmentArc{static_cast<CompanyId>(arc.src),
+                                             static_cast<CompanyId>(arc.dst)});
         }
         return Status::OK();
       },

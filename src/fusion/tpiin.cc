@@ -20,6 +20,12 @@ std::string_view NodeColorName(NodeColor color) {
   return "unknown";
 }
 
+const Digraph& Tpiin::graph() const {
+  TPIIN_CHECK(has_graph_)
+      << "snapshot-backed TPIIN carries no Digraph; use frozen()/arc()";
+  return graph_;
+}
+
 std::vector<std::array<uint32_t, 3>> Tpiin::ToEdgeList() const {
   std::vector<std::array<uint32_t, 3>> rows;
   rows.reserve(frozen_.NumArcs());
@@ -29,25 +35,41 @@ std::vector<std::array<uint32_t, 3>> Tpiin::ToEdgeList() const {
   return rows;
 }
 
-NodeId TpiinBuilder::AddPersonNode(std::string label,
-                                   std::vector<PersonId> members) {
+TpiinBuilder::TpiinBuilder() {
+  net_.label_offsets_.vec().push_back(0);
+  net_.person_member_offsets_.vec().push_back(0);
+  net_.company_member_offsets_.vec().push_back(0);
+}
+
+NodeId TpiinBuilder::AddNode(NodeColor color, std::string_view label) {
   NodeId id = net_.graph_.AddNode();
-  TpiinNode node;
-  node.color = NodeColor::kPerson;
-  node.label = std::move(label);
-  node.person_members = std::move(members);
-  net_.nodes_.push_back(std::move(node));
+  net_.node_color_.vec().push_back(color);
+  std::vector<char>& bytes = net_.label_bytes_.vec();
+  bytes.insert(bytes.end(), label.begin(), label.end());
+  net_.label_offsets_.vec().push_back(bytes.size());
+  staged_investments_.emplace_back();
   return id;
 }
 
-NodeId TpiinBuilder::AddCompanyNode(std::string label,
+NodeId TpiinBuilder::AddPersonNode(std::string_view label,
+                                   std::vector<PersonId> members) {
+  NodeId id = AddNode(NodeColor::kPerson, label);
+  std::vector<PersonId>& values = net_.person_members_.vec();
+  values.insert(values.end(), members.begin(), members.end());
+  net_.person_member_offsets_.vec().push_back(values.size());
+  net_.company_member_offsets_.vec().push_back(
+      net_.company_members_.vec().size());
+  return id;
+}
+
+NodeId TpiinBuilder::AddCompanyNode(std::string_view label,
                                     std::vector<CompanyId> members) {
-  NodeId id = net_.graph_.AddNode();
-  TpiinNode node;
-  node.color = NodeColor::kCompany;
-  node.label = std::move(label);
-  node.company_members = std::move(members);
-  net_.nodes_.push_back(std::move(node));
+  NodeId id = AddNode(NodeColor::kCompany, label);
+  std::vector<CompanyId>& values = net_.company_members_.vec();
+  values.insert(values.end(), members.begin(), members.end());
+  net_.company_member_offsets_.vec().push_back(values.size());
+  net_.person_member_offsets_.vec().push_back(
+      net_.person_members_.vec().size());
   return id;
 }
 
@@ -67,14 +89,14 @@ void TpiinBuilder::AddInfluenceArc(NodeId from, NodeId to, double weight) {
     return;
   }
   ArcId existing = LookupOrInsertArcKey(from, to, kArcInfluence);
+  std::vector<double>& weights = net_.arc_weight_.vec();
   if (existing != kInvalidArc) {
     // Keep the strongest evidence for a deduplicated relationship.
-    net_.arc_weight_[existing] = std::max(net_.arc_weight_[existing],
-                                          weight);
+    weights[existing] = std::max(weights[existing], weight);
     return;
   }
   net_.graph_.AddArc(from, to, kArcInfluence);
-  net_.arc_weight_.push_back(weight);
+  weights.push_back(weight);
   ++net_.num_influence_arcs_;
 }
 
@@ -84,25 +106,25 @@ void TpiinBuilder::AddTradingArc(NodeId seller, NodeId buyer) {
     return;
   }
   net_.graph_.AddArc(seller, buyer, kArcTrading);
-  net_.arc_weight_.push_back(1.0);
+  net_.arc_weight_.vec().push_back(1.0);
 }
 
 void TpiinBuilder::AddIntraSyndicateTrade(NodeId syndicate, CompanyId seller,
                                           CompanyId buyer) {
-  net_.intra_syndicate_trades_.push_back(
+  net_.intra_syndicate_trades_.vec().push_back(
       IntraSyndicateTrade{syndicate, seller, buyer});
 }
 
-void TpiinBuilder::SetInternalInvestments(
-    NodeId node, std::vector<std::pair<CompanyId, CompanyId>> arcs) {
-  TPIIN_CHECK_LT(node, net_.nodes_.size());
-  net_.nodes_[node].internal_investments = std::move(arcs);
+void TpiinBuilder::SetInternalInvestments(NodeId node,
+                                          std::vector<InvestmentArc> arcs) {
+  TPIIN_CHECK_LT(node, staged_investments_.size());
+  staged_investments_[node] = std::move(arcs);
 }
 
 void TpiinBuilder::SetEntityMaps(std::vector<NodeId> person_node,
                                  std::vector<NodeId> company_node) {
-  net_.person_node_ = std::move(person_node);
-  net_.company_node_ = std::move(company_node);
+  net_.person_node_.Assign(std::move(person_node));
+  net_.company_node_.Assign(std::move(company_node));
 }
 
 Result<Tpiin> TpiinBuilder::Build(uint32_t num_threads) {
@@ -110,6 +132,32 @@ Result<Tpiin> TpiinBuilder::Build(uint32_t num_threads) {
     return Status::FailedPrecondition(
         "influence arcs must all precede trading arcs");
   }
+
+  // Flatten the per-node investment stash into its CSR columns, then
+  // seal every column: from here on the network is read-only and all
+  // accessors (including the validation passes below) go through the
+  // sealed views.
+  std::vector<uint64_t>& inv_offsets =
+      net_.internal_investment_offsets_.vec();
+  std::vector<InvestmentArc>& inv = net_.internal_investments_.vec();
+  inv_offsets.reserve(staged_investments_.size() + 1);
+  inv_offsets.push_back(0);
+  for (std::vector<InvestmentArc>& arcs : staged_investments_) {
+    inv.insert(inv.end(), arcs.begin(), arcs.end());
+    inv_offsets.push_back(inv.size());
+  }
+  net_.node_color_.Seal();
+  net_.label_offsets_.Seal();
+  net_.label_bytes_.Seal();
+  net_.person_member_offsets_.Seal();
+  net_.person_members_.Seal();
+  net_.company_member_offsets_.Seal();
+  net_.company_members_.Seal();
+  net_.internal_investment_offsets_.Seal();
+  net_.internal_investments_.Seal();
+  net_.arc_weight_.Seal();
+  net_.intra_syndicate_trades_.Seal();
+
   const Digraph& g = net_.graph_;
 
   // The three finalization passes only read the (now final) graph, so
@@ -142,21 +190,21 @@ Status TpiinBuilder::ValidateArcs() const {
   for (ArcId id = 0; id < g.NumArcs(); ++id) {
     const Arc& arc = g.arc(id);
     if (IsInfluenceArc(arc)) {
-      if (net_.nodes_[arc.dst].color != NodeColor::kCompany) {
+      if (net_.color(arc.dst) != NodeColor::kCompany) {
         return Status::FailedPrecondition(
-            "influence arc must end at a Company node: " +
-            net_.nodes_[arc.src].label + " -> " + net_.nodes_[arc.dst].label);
+            "influence arc must end at a Company node: " + LabelOf(arc.src) +
+            " -> " + LabelOf(arc.dst));
       }
     } else {
-      if (net_.nodes_[arc.src].color != NodeColor::kCompany ||
-          net_.nodes_[arc.dst].color != NodeColor::kCompany) {
+      if (net_.color(arc.src) != NodeColor::kCompany ||
+          net_.color(arc.dst) != NodeColor::kCompany) {
         return Status::FailedPrecondition(
-            "trading arc must connect Company nodes: " +
-            net_.nodes_[arc.src].label + " -> " + net_.nodes_[arc.dst].label);
+            "trading arc must connect Company nodes: " + LabelOf(arc.src) +
+            " -> " + LabelOf(arc.dst));
       }
       if (arc.src == arc.dst) {
         return Status::FailedPrecondition(
-            "trading self-loop on node " + net_.nodes_[arc.src].label +
+            "trading self-loop on node " + LabelOf(arc.src) +
             "; intra-syndicate trades must use AddIntraSyndicateTrade");
       }
     }

@@ -10,6 +10,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/column.h"
 #include "common/result.h"
 #include "graph/digraph.h"
 #include "graph/frozen.h"
@@ -35,24 +36,40 @@ inline bool IsInfluenceArc(const Arc& arc) {
   return arc.color == kArcInfluence;
 }
 
-/// One TPIIN vertex with its provenance. A Person node may be a syndicate
-/// of several natural persons (edge contraction of interdependence
-/// links); a Company node may be a syndicate of several companies
-/// (contraction of a strongly connected investment subgraph).
+/// One investment arc internal to a contracted SCC syndicate. Plain
+/// aggregate (two dense ids) so syndicate provenance serializes into the
+/// snapshot as a fixed-width column.
+struct InvestmentArc {
+  CompanyId investor = 0;
+  CompanyId investee = 0;
+
+  friend bool operator==(const InvestmentArc&,
+                         const InvestmentArc&) = default;
+};
+
+/// A read-only view of one TPIIN vertex with its provenance. A Person
+/// node may be a syndicate of several natural persons (edge contraction
+/// of interdependence links); a Company node may be a syndicate of
+/// several companies (contraction of a strongly connected investment
+/// subgraph).
+///
+/// The view points into the network's columnar node store (owned arrays
+/// for fused networks, mmap-ed sections for snapshot-backed ones), so it
+/// is cheap to take by value and must not outlive the Tpiin.
 struct TpiinNode {
   NodeColor color = NodeColor::kPerson;
   /// Display label: the original entity's name, or "{a+b+...}" for
   /// syndicates.
-  std::string label;
+  std::string_view label;
   /// Original persons merged into this node (Person nodes only).
-  std::vector<PersonId> person_members;
+  std::span<const PersonId> person_members;
   /// Original companies merged into this node (Company nodes only).
-  std::vector<CompanyId> company_members;
+  std::span<const CompanyId> company_members;
   /// For company syndicates: the investment arcs internal to the
   /// contracted SCC, kept because any trading relationship between SCC
   /// members is suspicious (§4.3 closing remark) and its proof chain
   /// runs along these arcs.
-  std::vector<std::pair<CompanyId, CompanyId>> internal_investments;
+  std::span<const InvestmentArc> internal_investments;
 
   bool IsSyndicate() const {
     return person_members.size() > 1 || company_members.size() > 1;
@@ -74,23 +91,64 @@ struct IntraSyndicateTrade {
 /// network. Influence arcs occupy arc ids [0, num_influence_arcs());
 /// trading arcs follow — the same convention as the paper's edge-list
 /// where antecedent rows precede trading rows.
+///
+/// Storage is columnar: node colors, a label lexicon (offset-indexed
+/// byte pool), member lists and syndicate provenance as CSR columns,
+/// plus per-arc weights. A fused network owns these columns; a network
+/// opened from a binary snapshot *views* them inside the mmap-ed file —
+/// same API, zero per-node or per-arc work at open time.
 class Tpiin {
  public:
-  const Digraph& graph() const { return graph_; }
+  /// The mutable arc store. Only available on networks built in-process
+  /// (fusion, TpiinBuilder, edge-list ingest); snapshot-backed networks
+  /// carry the frozen CSR view and arc endpoint columns instead.
+  /// CHECK-fails when !has_graph() — algorithm code should prefer
+  /// frozen() and arc().
+  const Digraph& graph() const;
 
-  /// Immutable CSR view of graph(), color-partitioned (influence arcs
-  /// first per node); built once by TpiinBuilder::Build(). The traversal
-  /// hot paths read this instead of the adjacency lists.
+  /// False for snapshot-backed networks, whose Digraph was dropped at
+  /// build time.
+  bool has_graph() const { return has_graph_; }
+
+  /// Immutable CSR view, color-partitioned (influence arcs first per
+  /// node); built once by TpiinBuilder::Build() or bound directly to the
+  /// snapshot sections. The traversal hot paths read this instead of the
+  /// adjacency lists.
   const FrozenGraph& frozen() const { return frozen_; }
 
-  NodeId NumNodes() const { return graph_.NumNodes(); }
+  NodeId NumNodes() const {
+    return static_cast<NodeId>(node_color_.size());
+  }
+  ArcId NumArcs() const { return frozen_.NumArcs(); }
 
-  const TpiinNode& node(NodeId id) const { return nodes_[id]; }
-  const std::vector<TpiinNode>& nodes() const { return nodes_; }
+  /// Endpoints and color of an arc, addressable on every network: reads
+  /// the Digraph when present, the snapshot's endpoint columns when not.
+  Arc arc(ArcId id) const {
+    if (has_graph_) return graph_.arc(id);
+    return Arc{arc_src_[id], arc_dst_[id],
+               id < num_influence_arcs_ ? kArcInfluence : kArcTrading};
+  }
+
+  NodeColor color(NodeId id) const { return node_color_[id]; }
+
+  /// Provenance view of one node (see TpiinNode).
+  TpiinNode node(NodeId id) const {
+    return TpiinNode{
+        node_color_[id],
+        Label(id),
+        {person_members_.data() + person_member_offsets_[id],
+         person_members_.data() + person_member_offsets_[id + 1]},
+        {company_members_.data() + company_member_offsets_[id],
+         company_members_.data() + company_member_offsets_[id + 1]},
+        {internal_investments_.data() + internal_investment_offsets_[id],
+         internal_investments_.data() +
+             internal_investment_offsets_[id + 1]},
+    };
+  }
 
   ArcId num_influence_arcs() const { return num_influence_arcs_; }
   ArcId num_trading_arcs() const {
-    return graph_.NumArcs() - num_influence_arcs_;
+    return frozen_.NumArcs() - num_influence_arcs_;
   }
 
   /// TPIIN node holding a given original person/company. Valid only for
@@ -98,14 +156,28 @@ class Tpiin {
   NodeId NodeOfPerson(PersonId p) const { return person_node_[p]; }
   NodeId NodeOfCompany(CompanyId c) const { return company_node_[c]; }
 
-  const std::vector<IntraSyndicateTrade>& intra_syndicate_trades() const {
-    return intra_syndicate_trades_;
+  std::span<const IntraSyndicateTrade> intra_syndicate_trades() const {
+    return intra_syndicate_trades_.span();
   }
 
-  const std::string& Label(NodeId id) const { return nodes_[id].label; }
+  std::string_view Label(NodeId id) const {
+    return std::string_view(label_bytes_.data() + label_offsets_[id],
+                            label_offsets_[id + 1] - label_offsets_[id]);
+  }
 
   /// Influence strength of an arc in (0, 1]; trading arcs carry 1.0.
   double ArcWeight(ArcId id) const { return arc_weight_[id]; }
+
+  /// Precomputed antecedent-layer weakly-connected-component ids, loaded
+  /// from a snapshot's segmentation index: SegmentTpiin uses them to
+  /// skip the WCC pass entirely. Component numbering is identical to
+  /// WeaklyConnectedComponents(frozen(), kInfluence) by construction
+  /// (the snapshot writer stored exactly that function's output).
+  bool has_wcc_index() const { return wcc_num_components_ != kInvalidNode; }
+  std::span<const NodeId> WccComponentOf() const {
+    return wcc_component_of_.span();
+  }
+  NodeId NumWccComponents() const { return wcc_num_components_; }
 
   /// The paper's r x 3 edge-list encoding: {src, dst, color} with all
   /// antecedent (influence) rows before trading rows. Row i corresponds
@@ -114,15 +186,35 @@ class Tpiin {
 
  private:
   friend class TpiinBuilder;
+  friend class SnapshotCodec;  // src/snapshot: serializes/binds columns.
 
   Digraph graph_;
+  bool has_graph_ = true;
   FrozenGraph frozen_;
-  std::vector<TpiinNode> nodes_;
-  std::vector<double> arc_weight_;
+
+  // Columnar node store. Offsets columns have NumNodes()+1 entries.
+  Col<NodeColor> node_color_;
+  Col<uint64_t> label_offsets_;
+  Col<char> label_bytes_;
+  Col<uint64_t> person_member_offsets_;
+  Col<PersonId> person_members_;
+  Col<uint64_t> company_member_offsets_;
+  Col<CompanyId> company_members_;
+  Col<uint64_t> internal_investment_offsets_;
+  Col<InvestmentArc> internal_investments_;
+
+  Col<double> arc_weight_;
   ArcId num_influence_arcs_ = 0;
-  std::vector<NodeId> person_node_;
-  std::vector<NodeId> company_node_;
-  std::vector<IntraSyndicateTrade> intra_syndicate_trades_;
+  Col<NodeId> person_node_;
+  Col<NodeId> company_node_;
+  Col<IntraSyndicateTrade> intra_syndicate_trades_;
+
+  // Snapshot-backed networks only: arc endpoints by arc id (the Digraph
+  // equivalent), and the segmentation index.
+  Col<NodeId> arc_src_;
+  Col<NodeId> arc_dst_;
+  Col<NodeId> wcc_component_of_;
+  NodeId wcc_num_components_ = kInvalidNode;
 };
 
 /// Constructs a Tpiin node by node. Used by the fusion pipeline and by
@@ -134,9 +226,11 @@ class Tpiin {
 ///  - the influence (antecedent) subgraph is acyclic.
 class TpiinBuilder {
  public:
-  NodeId AddPersonNode(std::string label,
+  TpiinBuilder();
+
+  NodeId AddPersonNode(std::string_view label,
                        std::vector<PersonId> members = {});
-  NodeId AddCompanyNode(std::string label,
+  NodeId AddCompanyNode(std::string_view label,
                         std::vector<CompanyId> members = {});
 
   /// Adds an influence/trading arc. CNBM relationships are sets, so a
@@ -155,8 +249,7 @@ class TpiinBuilder {
                               CompanyId buyer);
 
   /// Attaches SCC-internal investment arcs to a company syndicate node.
-  void SetInternalInvestments(
-      NodeId node, std::vector<std::pair<CompanyId, CompanyId>> arcs);
+  void SetInternalInvestments(NodeId node, std::vector<InvestmentArc> arcs);
 
   /// Installs the original-id -> node maps (pipeline use). Builders used
   /// directly in tests may skip this; NodeOfPerson/NodeOfCompany then
@@ -180,11 +273,20 @@ class TpiinBuilder {
   /// kInvalidArc after registering it as new.
   ArcId LookupOrInsertArcKey(NodeId src, NodeId dst, ArcColor color);
 
+  NodeId AddNode(NodeColor color, std::string_view label);
+
   /// Checks the per-arc endpoint invariants (influence ends at Company,
   /// trading connects Companies, no trading self-loops).
   Status ValidateArcs() const;
 
+  std::string LabelOf(NodeId id) const {
+    return std::string(net_.Label(id));
+  }
+
   Tpiin net_;
+  /// Internal investments arrive per syndicate node in arbitrary order;
+  /// Build() flattens them into the CSR columns.
+  std::vector<std::vector<InvestmentArc>> staged_investments_;
   std::unordered_map<uint64_t, ArcId> seen_arc_keys_;
   bool saw_trading_arc_ = false;
   bool failed_ordering_ = false;

@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "graph/digraph.h"
+#include "graph/frozen.h"
 #include "graph/scc.h"
 
 namespace tpiin {
@@ -24,6 +25,13 @@ struct DegreeStats {
 
 DegreeStats ComputeDegreeStats(const Digraph& graph,
                                const ArcFilter& filter = nullptr);
+
+/// Same statistics over one arc class of a frozen CSR view. Output is
+/// identical to the Digraph overload with the corresponding color
+/// filter; this is the only overload usable on snapshot-backed networks
+/// (which carry no Digraph).
+DegreeStats ComputeDegreeStats(const FrozenGraph& graph,
+                               FrozenArcClass arc_class);
 
 }  // namespace tpiin
 

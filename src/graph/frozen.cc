@@ -24,25 +24,29 @@ FrozenGraph::FrozenGraph(const Digraph& graph, ArcColor influence_color,
 void FrozenGraph::BuildOut(const Digraph& graph) {
   const NodeId n = num_nodes_;
   const ArcId m = num_arcs_;
-  out_offsets_.assign(n + 1, 0);
-  out_influence_end_.assign(n, 0);
-  out_targets_.resize(m);
-  out_arc_ids_.resize(m);
+  std::vector<ArcId>& out_offsets = out_offsets_.vec();
+  std::vector<ArcId>& out_influence_end = out_influence_end_.vec();
+  std::vector<NodeId>& out_targets = out_targets_.vec();
+  std::vector<ArcId>& out_arc_ids = out_arc_ids_.vec();
+  out_offsets.assign(n + 1, 0);
+  out_influence_end.assign(n, 0);
+  out_targets.resize(m);
+  out_arc_ids.resize(m);
 
   // Counting pass: total degree into offsets[v + 1], influence degree
   // into influence_end (both turned into absolute positions below).
   ArcId influence_arcs = 0;
   for (const Arc& arc : graph.arcs()) {
-    ++out_offsets_[arc.src + 1];
+    ++out_offsets[arc.src + 1];
     if (arc.color == influence_color_) {
-      ++out_influence_end_[arc.src];
+      ++out_influence_end[arc.src];
       ++influence_arcs;
     }
   }
   num_influence_arcs_ = influence_arcs;
   for (NodeId v = 0; v < n; ++v) {
-    out_offsets_[v + 1] += out_offsets_[v];
-    out_influence_end_[v] += out_offsets_[v];
+    out_offsets[v + 1] += out_offsets[v];
+    out_influence_end[v] += out_offsets[v];
   }
 
   // Placement pass. Two cursors per node: influence arcs fill
@@ -51,53 +55,101 @@ void FrozenGraph::BuildOut(const Digraph& graph) {
   // the per-node relative order (insertion order) is preserved exactly.
   std::vector<ArcId> out_cursor(n), out_trading_cursor(n);
   for (NodeId v = 0; v < n; ++v) {
-    out_cursor[v] = out_offsets_[v];
-    out_trading_cursor[v] = out_influence_end_[v];
+    out_cursor[v] = out_offsets[v];
+    out_trading_cursor[v] = out_influence_end[v];
   }
   for (NodeId v = 0; v < n; ++v) {
     for (ArcId id : graph.OutArcs(v)) {
       const Arc& arc = graph.arc(id);
       ArcId& cursor = arc.color == influence_color_ ? out_cursor[v]
                                                     : out_trading_cursor[v];
-      out_targets_[cursor] = arc.dst;
-      out_arc_ids_[cursor] = id;
+      out_targets[cursor] = arc.dst;
+      out_arc_ids[cursor] = id;
       ++cursor;
     }
   }
+  out_offsets_.Seal();
+  out_influence_end_.Seal();
+  out_targets_.Seal();
+  out_arc_ids_.Seal();
 }
 
 void FrozenGraph::BuildIn(const Digraph& graph) {
   const NodeId n = num_nodes_;
   const ArcId m = num_arcs_;
-  in_offsets_.assign(n + 1, 0);
-  in_influence_end_.assign(n, 0);
-  in_sources_.resize(m);
-  in_arc_ids_.resize(m);
+  std::vector<ArcId>& in_offsets = in_offsets_.vec();
+  std::vector<ArcId>& in_influence_end = in_influence_end_.vec();
+  std::vector<NodeId>& in_sources = in_sources_.vec();
+  std::vector<ArcId>& in_arc_ids = in_arc_ids_.vec();
+  in_offsets.assign(n + 1, 0);
+  in_influence_end.assign(n, 0);
+  in_sources.resize(m);
+  in_arc_ids.resize(m);
 
   for (const Arc& arc : graph.arcs()) {
-    ++in_offsets_[arc.dst + 1];
-    if (arc.color == influence_color_) ++in_influence_end_[arc.dst];
+    ++in_offsets[arc.dst + 1];
+    if (arc.color == influence_color_) ++in_influence_end[arc.dst];
   }
   for (NodeId v = 0; v < n; ++v) {
-    in_offsets_[v + 1] += in_offsets_[v];
-    in_influence_end_[v] += in_offsets_[v];
+    in_offsets[v + 1] += in_offsets[v];
+    in_influence_end[v] += in_offsets[v];
   }
 
   // In arcs are walked in arc-id order, which is ascending per class.
   std::vector<ArcId> in_cursor(n), in_trading_cursor(n);
   for (NodeId v = 0; v < n; ++v) {
-    in_cursor[v] = in_offsets_[v];
-    in_trading_cursor[v] = in_influence_end_[v];
+    in_cursor[v] = in_offsets[v];
+    in_trading_cursor[v] = in_influence_end[v];
   }
   for (ArcId id = 0; id < m; ++id) {
     const Arc& arc = graph.arc(id);
     ArcId& cursor = arc.color == influence_color_
                         ? in_cursor[arc.dst]
                         : in_trading_cursor[arc.dst];
-    in_sources_[cursor] = arc.src;
-    in_arc_ids_[cursor] = id;
+    in_sources[cursor] = arc.src;
+    in_arc_ids[cursor] = id;
     ++cursor;
   }
+  in_offsets_.Seal();
+  in_influence_end_.Seal();
+  in_sources_.Seal();
+  in_arc_ids_.Seal();
+}
+
+FrozenGraph::Parts FrozenGraph::parts() const {
+  return Parts{
+      out_offsets_.span(),  out_influence_end_.span(), out_targets_.span(),
+      out_arc_ids_.span(),  in_offsets_.span(),        in_influence_end_.span(),
+      in_sources_.span(),   in_arc_ids_.span(),
+  };
+}
+
+FrozenGraph FrozenGraph::FromParts(NodeId num_nodes, ArcId num_arcs,
+                                   ArcId num_influence_arcs,
+                                   ArcColor influence_color,
+                                   const Parts& parts) {
+  FrozenGraph graph;
+  graph.num_nodes_ = num_nodes;
+  graph.num_arcs_ = num_arcs;
+  graph.num_influence_arcs_ = num_influence_arcs;
+  graph.influence_color_ = influence_color;
+  graph.out_offsets_.BindView(parts.out_offsets.data(),
+                              parts.out_offsets.size());
+  graph.out_influence_end_.BindView(parts.out_influence_end.data(),
+                                    parts.out_influence_end.size());
+  graph.out_targets_.BindView(parts.out_targets.data(),
+                              parts.out_targets.size());
+  graph.out_arc_ids_.BindView(parts.out_arc_ids.data(),
+                              parts.out_arc_ids.size());
+  graph.in_offsets_.BindView(parts.in_offsets.data(),
+                             parts.in_offsets.size());
+  graph.in_influence_end_.BindView(parts.in_influence_end.data(),
+                                   parts.in_influence_end.size());
+  graph.in_sources_.BindView(parts.in_sources.data(),
+                             parts.in_sources.size());
+  graph.in_arc_ids_.BindView(parts.in_arc_ids.data(),
+                             parts.in_arc_ids.size());
+  return graph;
 }
 
 std::vector<Arc> FrozenGraph::ArcsInIdOrder(ArcColor other_color) const {

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "common/column.h"
 #include "graph/digraph.h"
 #include "graph/types.h"
 
@@ -60,6 +61,30 @@ class FrozenGraph {
   /// any thread count.
   explicit FrozenGraph(const Digraph& graph, ArcColor influence_color = 1,
                        uint32_t num_threads = 1);
+
+  /// The eight CSR arrays as raw spans, in a fixed order shared with
+  /// FromParts. The snapshot writer serializes these verbatim; no other
+  /// caller should need them.
+  struct Parts {
+    std::span<const ArcId> out_offsets;        // num_nodes + 1
+    std::span<const ArcId> out_influence_end;  // num_nodes
+    std::span<const NodeId> out_targets;       // num_arcs
+    std::span<const ArcId> out_arc_ids;        // num_arcs
+    std::span<const ArcId> in_offsets;         // num_nodes + 1
+    std::span<const ArcId> in_influence_end;   // num_nodes
+    std::span<const NodeId> in_sources;        // num_arcs
+    std::span<const ArcId> in_arc_ids;         // num_arcs
+  };
+  Parts parts() const;
+
+  /// Rebuilds a FrozenGraph as a zero-copy *view* over externally owned
+  /// arrays (the mmap-ed snapshot sections). The arrays must outlive the
+  /// returned graph and must satisfy the CSR invariants the building
+  /// constructor establishes; the snapshot loader guarantees both via
+  /// its checksum and shape validation.
+  static FrozenGraph FromParts(NodeId num_nodes, ArcId num_arcs,
+                               ArcId num_influence_arcs,
+                               ArcColor influence_color, const Parts& parts);
 
   NodeId NumNodes() const { return num_nodes_; }
   ArcId NumArcs() const { return num_arcs_; }
@@ -142,9 +167,8 @@ class FrozenGraph {
   void BuildOut(const Digraph& graph);
   void BuildIn(const Digraph& graph);
 
-  static AdjSpan Slice(const std::vector<NodeId>& nodes,
-                       const std::vector<ArcId>& arcs, ArcId begin,
-                       ArcId end) {
+  static AdjSpan Slice(const Col<NodeId>& nodes, const Col<ArcId>& arcs,
+                       ArcId begin, ArcId end) {
     return AdjSpan{{nodes.data() + begin, nodes.data() + end},
                    {arcs.data() + begin, arcs.data() + end}};
   }
@@ -155,17 +179,18 @@ class FrozenGraph {
   ArcColor influence_color_ = 1;
 
   // Out CSR: node v's arcs live at [out_offsets_[v], out_offsets_[v+1]),
-  // with the influence run ending at out_influence_end_[v].
-  std::vector<ArcId> out_offsets_;       // num_nodes_ + 1
-  std::vector<ArcId> out_influence_end_; // num_nodes_
-  std::vector<NodeId> out_targets_;      // num_arcs_
-  std::vector<ArcId> out_arc_ids_;       // num_arcs_
+  // with the influence run ending at out_influence_end_[v]. Columns are
+  // owned when built from a Digraph, borrowed when bound to a snapshot.
+  Col<ArcId> out_offsets_;       // num_nodes_ + 1
+  Col<ArcId> out_influence_end_; // num_nodes_
+  Col<NodeId> out_targets_;      // num_arcs_
+  Col<ArcId> out_arc_ids_;       // num_arcs_
 
   // In CSR, same shape; sources instead of targets.
-  std::vector<ArcId> in_offsets_;
-  std::vector<ArcId> in_influence_end_;
-  std::vector<NodeId> in_sources_;
-  std::vector<ArcId> in_arc_ids_;
+  Col<ArcId> in_offsets_;
+  Col<ArcId> in_influence_end_;
+  Col<NodeId> in_sources_;
+  Col<ArcId> in_arc_ids_;
 };
 
 }  // namespace tpiin

@@ -10,7 +10,7 @@ namespace tpiin {
 namespace {
 
 // Escapes a DOT double-quoted string.
-std::string DotEscape(const std::string& s) {
+std::string DotEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {

@@ -6,7 +6,7 @@ namespace tpiin {
 
 namespace {
 
-std::string XmlEscape(const std::string& s) {
+std::string XmlEscape(std::string_view s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {

@@ -26,7 +26,7 @@ void AppendLabelArray(std::string& out, const Tpiin& net,
 
 }  // namespace
 
-std::string JsonEscape(const std::string& text) {
+std::string JsonEscape(std::string_view text) {
   std::string out;
   out.reserve(text.size());
   for (char c : text) {

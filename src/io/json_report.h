@@ -2,6 +2,7 @@
 #define TPIIN_IO_JSON_REPORT_H_
 
 #include <string>
+#include <string_view>
 
 #include "core/detector.h"
 #include "core/scoring.h"
@@ -32,7 +33,7 @@ std::string DetectionToJson(const Tpiin& net,
 
 /// Escapes a string for embedding in a JSON string literal (quotes not
 /// included).
-std::string JsonEscape(const std::string& text);
+std::string JsonEscape(std::string_view text);
 
 }  // namespace tpiin
 

@@ -1,0 +1,37 @@
+#include "snapshot/format.h"
+
+namespace tpiin {
+
+std::string_view SectionName(SectionId id) {
+  switch (id) {
+    case SectionId::kMeta: return "meta";
+    case SectionId::kOutOffsets: return "out_offsets";
+    case SectionId::kOutInfluenceEnd: return "out_influence_end";
+    case SectionId::kOutTargets: return "out_targets";
+    case SectionId::kOutArcIds: return "out_arc_ids";
+    case SectionId::kInOffsets: return "in_offsets";
+    case SectionId::kInInfluenceEnd: return "in_influence_end";
+    case SectionId::kInSources: return "in_sources";
+    case SectionId::kInArcIds: return "in_arc_ids";
+    case SectionId::kNodeColor: return "node_color";
+    case SectionId::kLabelOffsets: return "label_offsets";
+    case SectionId::kLabelBytes: return "label_bytes";
+    case SectionId::kPersonMemberOffsets: return "person_member_offsets";
+    case SectionId::kPersonMembers: return "person_members";
+    case SectionId::kCompanyMemberOffsets: return "company_member_offsets";
+    case SectionId::kCompanyMembers: return "company_members";
+    case SectionId::kInternalInvestmentOffsets:
+      return "internal_investment_offsets";
+    case SectionId::kInternalInvestments: return "internal_investments";
+    case SectionId::kArcWeight: return "arc_weight";
+    case SectionId::kArcSrc: return "arc_src";
+    case SectionId::kArcDst: return "arc_dst";
+    case SectionId::kPersonNode: return "person_node";
+    case SectionId::kCompanyNode: return "company_node";
+    case SectionId::kIntraSyndicateTrades: return "intra_syndicate_trades";
+    case SectionId::kWccComponentOf: return "wcc_component_of";
+  }
+  return "unknown";
+}
+
+}  // namespace tpiin

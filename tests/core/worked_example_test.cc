@@ -122,7 +122,9 @@ TEST_F(WorkedExampleTest, DetectsExactlyThePapersThreeGroups) {
   std::set<std::vector<std::string>> member_sets;
   for (const SuspiciousGroup& group : result->groups) {
     std::vector<std::string> labels;
-    for (NodeId v : group.members) labels.push_back(net_.Label(v));
+    for (NodeId v : group.members) {
+      labels.push_back(std::string(net_.Label(v)));
+    }
     std::sort(labels.begin(), labels.end());
     member_sets.insert(labels);
     EXPECT_TRUE(group.is_simple) << group.Format(net_);
@@ -154,7 +156,7 @@ TEST_F(WorkedExampleTest, GroupAntecedentsMatchThePaper) {
   ASSERT_TRUE(result.ok());
   std::set<std::string> antecedents;
   for (const SuspiciousGroup& group : result->groups) {
-    antecedents.insert(net_.Label(group.antecedent));
+    antecedents.insert(std::string(net_.Label(group.antecedent)));
   }
   EXPECT_EQ(antecedents, (std::set<std::string>{"L1", "B1", "B2"}));
 }

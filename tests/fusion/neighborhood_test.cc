@@ -23,7 +23,9 @@ class NeighborhoodTest : public ::testing::Test {
 
   std::set<std::string> Labels(const Tpiin& net) const {
     std::set<std::string> out;
-    for (NodeId v = 0; v < net.NumNodes(); ++v) out.insert(net.Label(v));
+    for (NodeId v = 0; v < net.NumNodes(); ++v) {
+      out.insert(std::string(net.Label(v)));
+    }
     return out;
   }
 

@@ -134,7 +134,7 @@ TEST(PipelineTest, WorkedExampleMatchesDirectConstruction) {
   EXPECT_EQ(fused->tpiin.num_trading_arcs(), direct.num_trading_arcs());
   std::set<std::string> labels;
   for (NodeId v = 0; v < fused->tpiin.NumNodes(); ++v) {
-    labels.insert(fused->tpiin.Label(v));
+    labels.insert(std::string(fused->tpiin.Label(v)));
   }
   EXPECT_TRUE(labels.count("{L6+LB}"));
   EXPECT_TRUE(labels.count("{B5+B6}"));

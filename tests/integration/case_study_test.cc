@@ -109,7 +109,7 @@ TEST(CaseStudyStructureTest, Case2AnchorIsTheCommonInvestor) {
   ASSERT_TRUE(result.ok());
   std::set<std::string> anchors;
   for (const SuspiciousGroup& group : result->groups) {
-    anchors.insert(fused->tpiin.Label(group.antecedent));
+    anchors.insert(std::string(fused->tpiin.Label(group.antecedent)));
   }
   // C4 (or its LP L4 above it) anchors the triangle.
   EXPECT_TRUE(anchors.count("C4") || anchors.count("L4"));
@@ -123,7 +123,7 @@ TEST(CaseStudyStructureTest, Case3AnchorIsTheDirectorSyndicate) {
   ASSERT_TRUE(result.ok());
   std::set<std::string> anchors;
   for (const SuspiciousGroup& group : result->groups) {
-    anchors.insert(fused->tpiin.Label(group.antecedent));
+    anchors.insert(std::string(fused->tpiin.Label(group.antecedent)));
   }
   EXPECT_TRUE(anchors.count("{B3+B4+B5}"));
 }

@@ -1,0 +1,146 @@
+// Fault injection through the snapshot writer and loader: a fault at
+// any site must surface as a clean Status, never leave a partial or
+// corrupt snapshot behind, and never poison later calls.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/failpoint.h"
+#include "datagen/worked_example.h"
+#include "fusion/pipeline.h"
+#include "snapshot/snapshot.h"
+
+namespace tpiin {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+class SnapshotFailpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Failpoints::Clear();
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_snap_fp_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+    Result<FusionOutput> fused = BuildTpiin(BuildWorkedExampleDataset());
+    ASSERT_TRUE(fused.ok());
+    net_ = std::move(fused->tpiin);
+    path_ = dir_ + "/net.snap";
+  }
+  void TearDown() override {
+    Failpoints::Clear();
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+  std::string path_;
+  Tpiin net_;
+};
+
+TEST_F(SnapshotFailpointTest, WriteFaultLeavesNoFile) {
+  for (const char* site :
+       {"snapshot.write", "snapshot.write.section",
+        "snapshot.write.commit"}) {
+    ASSERT_TRUE(
+        Failpoints::Configure(std::string(site) + ":ioerror").ok());
+    Status status = WriteSnapshot(net_, path_);
+    EXPECT_TRUE(status.IsIOError()) << site << ": " << status.ToString();
+    EXPECT_FALSE(std::filesystem::exists(path_)) << site;
+    // The crash-safe writer must not leave temp files around either.
+    EXPECT_TRUE(std::filesystem::is_empty(dir_)) << site;
+    Failpoints::Clear();
+  }
+}
+
+TEST_F(SnapshotFailpointTest, WriteFaultPreservesPreviousSnapshot) {
+  ASSERT_TRUE(WriteSnapshot(net_, path_).ok());
+  const std::string before = Slurp(path_);
+  ASSERT_FALSE(before.empty());
+
+  for (const char* site :
+       {"snapshot.write", "snapshot.write.section",
+        "snapshot.write.commit"}) {
+    ASSERT_TRUE(
+        Failpoints::Configure(std::string(site) + ":error").ok());
+    Status status = WriteSnapshot(net_, path_);
+    EXPECT_TRUE(status.IsInternal()) << site;
+    EXPECT_EQ(Slurp(path_), before)
+        << site << " clobbered the previous snapshot";
+    Failpoints::Clear();
+  }
+
+  // Still openable after all the failed overwrites.
+  auto view = SnapshotView::Open(path_);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ((*view)->net().NumNodes(), net_.NumNodes());
+}
+
+TEST_F(SnapshotFailpointTest, MidSectionFaultDiscardsPartialWrite) {
+  // Fire on the 10th section: the temp file already holds real payload
+  // bytes when the fault hits.
+  ASSERT_TRUE(
+      Failpoints::Configure("snapshot.write.section:ioerror@10").ok());
+  Status status = WriteSnapshot(net_, path_);
+  EXPECT_TRUE(status.IsIOError()) << status.ToString();
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  EXPECT_TRUE(std::filesystem::is_empty(dir_));
+}
+
+TEST_F(SnapshotFailpointTest, OpenFaultSurfacesAsStatus) {
+  ASSERT_TRUE(WriteSnapshot(net_, path_).ok());
+  for (const char* site : {"snapshot.open", "snapshot.open.validate"}) {
+    ASSERT_TRUE(
+        Failpoints::Configure(std::string(site) + ":corruption").ok());
+    auto view = SnapshotView::Open(path_);
+    EXPECT_FALSE(view.ok()) << site;
+    EXPECT_TRUE(view.status().IsCorruption()) << view.status().ToString();
+    Failpoints::Clear();
+  }
+}
+
+TEST_F(SnapshotFailpointTest, InfoFaultSurfacesAsStatus) {
+  ASSERT_TRUE(WriteSnapshot(net_, path_).ok());
+  ASSERT_TRUE(Failpoints::Configure("snapshot.info:ioerror").ok());
+  auto info = ReadSnapshotInfo(path_);
+  EXPECT_FALSE(info.ok());
+  EXPECT_TRUE(info.status().IsIOError()) << info.status().ToString();
+}
+
+TEST_F(SnapshotFailpointTest, RecoversAfterClear) {
+  ASSERT_TRUE(Failpoints::Configure("snapshot.write:error").ok());
+  EXPECT_FALSE(WriteSnapshot(net_, path_).ok());
+  Failpoints::Clear();
+
+  ASSERT_TRUE(WriteSnapshot(net_, path_).ok());
+  auto view = SnapshotView::Open(path_);
+  ASSERT_TRUE(view.ok()) << view.status().ToString();
+  EXPECT_EQ((*view)->net().NumArcs(), net_.NumArcs());
+  auto info = ReadSnapshotInfo(path_);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->meta.num_nodes, net_.NumNodes());
+}
+
+TEST_F(SnapshotFailpointTest, NthHitSkipsEarlierWrites) {
+  // error@2 on the commit site: first write lands, second fails and
+  // leaves the first intact.
+  ASSERT_TRUE(
+      Failpoints::Configure("snapshot.write.commit:error@2").ok());
+  ASSERT_TRUE(WriteSnapshot(net_, path_).ok());
+  const std::string first = Slurp(path_);
+  EXPECT_FALSE(WriteSnapshot(net_, path_).ok());
+  EXPECT_EQ(Slurp(path_), first);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,263 @@
+// Hostile-file tests: every malformed snapshot must be rejected with a
+// clean Status::Corruption — never a crash, never a garbage network.
+// Mutations that invalidate the header or directory are re-checksummed
+// so they reach the check under test instead of dying at the CRC gate.
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/crc32c.h"
+#include "datagen/worked_example.h"
+#include "fusion/pipeline.h"
+#include "snapshot/format.h"
+#include "snapshot/snapshot.h"
+
+namespace tpiin {
+namespace {
+
+class SnapshotHostileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_hostile_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+
+    Result<FusionOutput> fused = BuildTpiin(BuildWorkedExampleDataset());
+    ASSERT_TRUE(fused.ok());
+    path_ = dir_ + "/good.snap";
+    ASSERT_TRUE(WriteSnapshot(fused->tpiin, path_).ok());
+    std::ifstream in(path_, std::ios::binary);
+    bytes_.assign((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+    ASSERT_FALSE(bytes_.empty());
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string WriteBytes(const std::string& name,
+                         const std::string& bytes) {
+    std::string path = dir_ + "/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    return path;
+  }
+
+  // Both consumers must reject the file the same way.
+  void ExpectRejected(const std::string& path,
+                      const std::string& expect_substring) {
+    auto view = SnapshotView::Open(path);
+    ASSERT_FALSE(view.ok()) << path;
+    EXPECT_TRUE(view.status().IsCorruption()) << view.status().ToString();
+    EXPECT_NE(view.status().ToString().find(expect_substring),
+              std::string::npos)
+        << "status: " << view.status().ToString();
+
+    auto info = ReadSnapshotInfo(path);
+    ASSERT_FALSE(info.ok()) << path;
+    EXPECT_TRUE(info.status().IsCorruption()) << info.status().ToString();
+  }
+
+  SnapshotHeader Header() const {
+    SnapshotHeader header;
+    std::memcpy(&header, bytes_.data(), sizeof(header));
+    return header;
+  }
+
+  // Stores `header` back into `bytes` with a valid header_crc, so the
+  // mutation under test survives the checksum gate.
+  static void PutHeader(std::string* bytes, SnapshotHeader header) {
+    header.header_crc = 0;
+    header.header_crc = Crc32c(&header, sizeof(header));
+    std::memcpy(bytes->data(), &header, sizeof(header));
+  }
+
+  // Rewrites directory entry `index` and re-seals directory + header
+  // CRCs around it.
+  void PutEntry(std::string* bytes, size_t index,
+                const SectionEntry& entry) const {
+    SnapshotHeader header;
+    std::memcpy(&header, bytes->data(), sizeof(header));
+    std::memcpy(bytes->data() + sizeof(SnapshotHeader) +
+                    index * sizeof(SectionEntry),
+                &entry, sizeof(entry));
+    header.directory_crc =
+        Crc32c(bytes->data() + sizeof(SnapshotHeader),
+               header.section_count * sizeof(SectionEntry));
+    PutHeader(bytes, header);
+  }
+
+  SectionEntry Entry(size_t index) const {
+    SectionEntry entry;
+    std::memcpy(&entry,
+                bytes_.data() + sizeof(SnapshotHeader) +
+                    index * sizeof(SectionEntry),
+                sizeof(entry));
+    return entry;
+  }
+
+  std::string dir_;
+  std::string path_;
+  std::string bytes_;
+};
+
+TEST_F(SnapshotHostileTest, TruncatedFile) {
+  for (size_t keep : {size_t{0}, size_t{17}, sizeof(SnapshotHeader),
+                      bytes_.size() / 2, bytes_.size() - 1}) {
+    std::string path =
+        WriteBytes("trunc_" + std::to_string(keep) + ".snap",
+                   bytes_.substr(0, keep));
+    auto view = SnapshotView::Open(path);
+    ASSERT_FALSE(view.ok()) << "keep=" << keep;
+    EXPECT_TRUE(view.status().IsCorruption()) << view.status().ToString();
+  }
+}
+
+TEST_F(SnapshotHostileTest, TrailingGarbage) {
+  std::string padded = bytes_ + std::string(100, 'x');
+  ExpectRejected(WriteBytes("padded.snap", padded), "truncated or padded");
+}
+
+TEST_F(SnapshotHostileTest, WrongMagic) {
+  std::string bad = bytes_;
+  bad[0] = 'X';
+  ExpectRejected(WriteBytes("magic.snap", bad), "magic");
+}
+
+TEST_F(SnapshotHostileTest, UnsupportedVersion) {
+  std::string bad = bytes_;
+  SnapshotHeader header = Header();
+  header.version = kSnapshotVersion + 7;
+  PutHeader(&bad, header);
+  ExpectRejected(WriteBytes("version.snap", bad), "version");
+}
+
+TEST_F(SnapshotHostileTest, ForeignEndianness) {
+  std::string bad = bytes_;
+  SnapshotHeader header = Header();
+  header.endianness = 0x04030201u;
+  PutHeader(&bad, header);
+  ExpectRejected(WriteBytes("endian.snap", bad), "endian");
+}
+
+TEST_F(SnapshotHostileTest, CorruptHeaderCrc) {
+  std::string bad = bytes_;
+  bad[offsetof(SnapshotHeader, flags)] ^= 0x01;  // No CRC re-seal.
+  auto view = SnapshotView::Open(WriteBytes("hdrcrc.snap", bad));
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsCorruption());
+  EXPECT_NE(view.status().ToString().find("header"), std::string::npos);
+}
+
+TEST_F(SnapshotHostileTest, FlippedPayloadByte) {
+  // Flip one byte in every section payload in turn; each flip must be
+  // caught by that section's checksum.
+  SnapshotHeader header = Header();
+  for (uint32_t i = 0; i < header.section_count; ++i) {
+    SectionEntry entry = Entry(i);
+    if (entry.size == 0) continue;
+    std::string bad = bytes_;
+    bad[entry.offset + entry.size / 2] ^= 0x20;
+    std::string path =
+        WriteBytes("flip_" + std::to_string(entry.id) + ".snap", bad);
+    auto view = SnapshotView::Open(path);
+    ASSERT_FALSE(view.ok()) << "section id " << entry.id;
+    EXPECT_TRUE(view.status().IsCorruption());
+    EXPECT_NE(view.status().ToString().find("checksum"),
+              std::string::npos)
+        << view.status().ToString();
+
+    // Info in verify mode flags the section rather than failing.
+    auto info = ReadSnapshotInfo(path, /*verify_checksums=*/true);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    size_t mismatches = 0;
+    for (const SnapshotSectionInfo& section : info->sections) {
+      EXPECT_TRUE(section.crc_checked);
+      mismatches += section.crc_checked && !section.crc_ok;
+    }
+    EXPECT_EQ(mismatches, 1u) << "section id " << entry.id;
+  }
+}
+
+TEST_F(SnapshotHostileTest, OverlappingSections) {
+  // Point section 1 into section 2's bytes (sizes unchanged, CRCs
+  // re-sealed): the overlap check must fire.
+  SectionEntry first = Entry(1);
+  SectionEntry second = Entry(2);
+  ASSERT_GT(second.size, 0u);
+  std::string bad = bytes_;
+  first.offset = second.offset;
+  first.crc = Crc32c(bytes_.data() + second.offset,
+                     static_cast<size_t>(first.size));
+  PutEntry(&bad, 1, first);
+  auto view = SnapshotView::Open(WriteBytes("overlap.snap", bad));
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsCorruption());
+  EXPECT_NE(view.status().ToString().find("overlap"), std::string::npos)
+      << view.status().ToString();
+}
+
+TEST_F(SnapshotHostileTest, SectionPastEndOfFile) {
+  SectionEntry entry = Entry(1);
+  std::string bad = bytes_;
+  entry.offset = AlignSnapshotOffset(bytes_.size());
+  PutEntry(&bad, 1, entry);
+  auto view = SnapshotView::Open(WriteBytes("oob.snap", bad));
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsCorruption());
+}
+
+TEST_F(SnapshotHostileTest, MisalignedSectionOffset) {
+  SectionEntry entry = Entry(1);
+  std::string bad = bytes_;
+  entry.offset += 4;  // Still in bounds, no longer 64-byte aligned.
+  PutEntry(&bad, 1, entry);
+  auto view = SnapshotView::Open(WriteBytes("misaligned.snap", bad));
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsCorruption());
+}
+
+TEST_F(SnapshotHostileTest, SizeCountMismatch) {
+  SectionEntry entry = Entry(1);
+  std::string bad = bytes_;
+  entry.count += 1;  // size stays, so size != count * elem_size.
+  PutEntry(&bad, 1, entry);
+  auto view = SnapshotView::Open(WriteBytes("count.snap", bad));
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsCorruption());
+}
+
+TEST_F(SnapshotHostileTest, DuplicateSectionId) {
+  SectionEntry a = Entry(1);
+  SectionEntry b = Entry(2);
+  std::string bad = bytes_;
+  b.id = a.id;
+  PutEntry(&bad, 2, b);
+  auto view = SnapshotView::Open(WriteBytes("dup.snap", bad));
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsCorruption());
+}
+
+TEST_F(SnapshotHostileTest, NotASnapshotAtAll) {
+  std::string text(4096, 'a');
+  auto view = SnapshotView::Open(WriteBytes("text.snap", text));
+  ASSERT_FALSE(view.ok());
+  EXPECT_TRUE(view.status().IsCorruption());
+}
+
+TEST_F(SnapshotHostileTest, MissingFile) {
+  auto view = SnapshotView::Open(dir_ + "/does_not_exist.snap");
+  EXPECT_FALSE(view.ok());
+  auto info = ReadSnapshotInfo(dir_ + "/does_not_exist.snap");
+  EXPECT_FALSE(info.ok());
+}
+
+}  // namespace
+}  // namespace tpiin
