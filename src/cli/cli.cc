@@ -30,6 +30,10 @@
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "shard/build.h"
+#include "shard/canonical.h"
+#include "shard/detect.h"
+#include "shard/merge.h"
 #include "snapshot/snapshot.h"
 
 namespace tpiin {
@@ -376,6 +380,29 @@ Status RunFuse(const std::vector<std::string>& args, std::ostream& out) {
   return obs.Finish(&report, out);
 }
 
+// The RunBudget knobs shared by `detect` and `shard detect`.
+void DefineBudgetFlags(FlagParser& flags) {
+  flags.DefineInt64("deadline-ms", 0,
+                    "wall-clock budget for the run (0 = unlimited)");
+  flags.DefineInt64("sub-slice-ms", 0,
+                    "per-subTPIIN pattern-walk budget (0 = unlimited)");
+  flags.DefineInt64("max-sub-nodes", 0,
+                    "skip subTPIINs with more nodes (0 = unlimited)");
+  flags.DefineInt64("max-sub-arcs", 0,
+                    "skip subTPIINs with more arcs (0 = unlimited)");
+}
+
+RunBudget BudgetFromFlags(const FlagParser& flags) {
+  RunBudget budget;
+  budget.deadline_seconds = flags.GetInt64("deadline-ms") / 1e3;
+  budget.sub_slice_seconds = flags.GetInt64("sub-slice-ms") / 1e3;
+  budget.max_sub_nodes = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt64("max-sub-nodes")));
+  budget.max_sub_arcs = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt64("max-sub-arcs")));
+  return budget;
+}
+
 Status RunDetect(const std::vector<std::string>& args, std::ostream& out,
                  int* exit_code) {
   FlagParser flags;
@@ -387,14 +414,7 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out,
   flags.DefineString("report", "", "machine-readable run report (JSON)");
   flags.DefineString("trace-out", "",
                      "Chrome trace_event JSON (chrome://tracing)");
-  flags.DefineInt64("deadline-ms", 0,
-                    "wall-clock budget for the run (0 = unlimited)");
-  flags.DefineInt64("sub-slice-ms", 0,
-                    "per-subTPIIN pattern-walk budget (0 = unlimited)");
-  flags.DefineInt64("max-sub-nodes", 0,
-                    "skip subTPIINs with more nodes (0 = unlimited)");
-  flags.DefineInt64("max-sub-arcs", 0,
-                    "skip subTPIINs with more arcs (0 = unlimited)");
+  DefineBudgetFlags(flags);
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
   ObsOutputs obs(flags);
   obs.Begin();
@@ -402,12 +422,7 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out,
   const Tpiin& net = loaded.net();
   DetectorOptions options;
   options.num_threads = static_cast<uint32_t>(flags.GetInt64("threads"));
-  options.budget.deadline_seconds = flags.GetInt64("deadline-ms") / 1e3;
-  options.budget.sub_slice_seconds = flags.GetInt64("sub-slice-ms") / 1e3;
-  options.budget.max_sub_nodes = static_cast<size_t>(
-      std::max<int64_t>(0, flags.GetInt64("max-sub-nodes")));
-  options.budget.max_sub_arcs = static_cast<size_t>(
-      std::max<int64_t>(0, flags.GetInt64("max-sub-arcs")));
+  options.budget = BudgetFromFlags(flags);
   TPIIN_ASSIGN_OR_RETURN(DetectionResult detection,
                          DetectSuspiciousGroups(net, options));
   out << detection.Summary() << "\n";
@@ -448,6 +463,12 @@ Status RunDetect(const std::vector<std::string>& args, std::ostream& out,
         out_dir + "/susTrade.txt", net, detection.suspicious_trades));
     TPIIN_RETURN_IF_ERROR(
         WriteDetectionReport(out_dir + "/report.txt", net, detection));
+    // The canonical ranked report: `tpiin shard merge` reproduces this
+    // file byte for byte from a sharded run over the same dataset.
+    TPIIN_RETURN_IF_ERROR(WriteFileAtomic(
+        out_dir + "/ranked.txt",
+        RenderCanonicalReport(
+            BuildCanonicalReport(net, detection, scoring))));
     out << "\nreports written to " << out_dir << "\n";
   }
 
@@ -648,6 +669,154 @@ Status RunExport(const std::vector<std::string>& args, std::ostream& out) {
   return Status::OK();
 }
 
+// `tpiin shard build`: out-of-core sharded build — plan, route, fuse one
+// shard at a time, so peak RSS is O(entities + largest shard).
+Status RunShardBuild(const std::vector<std::string>& args,
+                     std::ostream& out) {
+  FlagParser flags;
+  flags.DefineString("data", "", "CSV dataset directory to shard");
+  flags.DefineString("out", "", "output directory for the sharded build");
+  flags.DefineInt64("shards", 4, "number of shards");
+  flags.DefineInt64("threads", 1, "threads inside each per-shard fusion");
+  flags.DefineInt64("spill-buffer-kb", 1024,
+                    "per-(shard, table) routing buffer");
+  flags.DefineBool("keep-spill", false,
+                   "keep the routed per-shard CSV spill directories");
+  flags.DefineBool("wcc-index", true,
+                   "precompute each shard's segmentation index");
+  flags.DefineString("report", "", "machine-readable run report (JSON)");
+  flags.DefineString("trace-out", "",
+                     "Chrome trace_event JSON (chrome://tracing)");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("data").empty() || flags.GetString("out").empty()) {
+    return Status::InvalidArgument(
+        "shard build requires --data=DIR --out=DIR");
+  }
+  if (flags.GetInt64("shards") < 1) {
+    return Status::InvalidArgument("--shards must be positive");
+  }
+  ObsOutputs obs(flags);
+  obs.Begin();
+  RunReport report("shard_build");
+  report.set_threads(ResolveThreadCount(
+      static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt64("threads")))));
+  ShardBuildOptions options;
+  options.num_shards = static_cast<uint32_t>(flags.GetInt64("shards"));
+  options.num_threads =
+      static_cast<uint32_t>(std::max<int64_t>(1, flags.GetInt64("threads")));
+  options.spill_buffer_bytes = static_cast<size_t>(
+      std::max<int64_t>(4, flags.GetInt64("spill-buffer-kb")) * 1024);
+  options.keep_spill = flags.GetBool("keep-spill");
+  options.include_wcc_index = flags.GetBool("wcc-index");
+  TPIIN_ASSIGN_OR_RETURN(
+      ShardManifest manifest,
+      BuildShards(flags.GetString("data"), flags.GetString("out"), options,
+                  &report));
+  size_t live = 0;
+  uint64_t bytes = 0;
+  for (const ShardEntry& entry : manifest.shards) {
+    if (entry.empty) continue;
+    ++live;
+    bytes += entry.snapshot_bytes;
+  }
+  out << "sharded build written to " << flags.GetString("out") << ": "
+      << live << " of " << manifest.num_shards << " shards populated, "
+      << manifest.num_persons << " persons, " << manifest.num_companies
+      << " companies, " << bytes << " snapshot bytes\n";
+  out << "cross-shard trades: " << manifest.cross_trade_rows << " rows, "
+      << manifest.cross_trade_pairs << " distinct pairs\n";
+  return obs.Finish(&report, out);
+}
+
+// `tpiin shard detect`: per-shard Algorithm 1 + scoring, one result
+// file per shard (budget degradation maps to exit code 2, like detect).
+Status RunShardDetect(const std::vector<std::string>& args,
+                      std::ostream& out, int* exit_code) {
+  FlagParser flags;
+  flags.DefineString("dir", "", "sharded build directory");
+  flags.DefineInt64("threads", 1, "threads inside one shard's detection");
+  flags.DefineInt64("shard-parallel", 1, "shards detected concurrently");
+  flags.DefineString("report", "", "machine-readable run report (JSON)");
+  flags.DefineString("trace-out", "",
+                     "Chrome trace_event JSON (chrome://tracing)");
+  DefineBudgetFlags(flags);
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("dir").empty()) {
+    return Status::InvalidArgument("shard detect requires --dir=DIR");
+  }
+  ObsOutputs obs(flags);
+  obs.Begin();
+  RunReport report("shard_detect");
+  report.set_threads(ResolveThreadCount(
+      static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt64("threads")))));
+  ShardDetectOptions options;
+  options.num_threads =
+      static_cast<uint32_t>(std::max<int64_t>(1, flags.GetInt64("threads")));
+  options.shard_parallel = static_cast<uint32_t>(
+      std::max<int64_t>(1, flags.GetInt64("shard-parallel")));
+  options.budget = BudgetFromFlags(flags);
+  TPIIN_ASSIGN_OR_RETURN(
+      ShardDetectStats stats,
+      DetectShards(flags.GetString("dir"), options, &report));
+  out << "detected " << stats.shards_detected << " shard(s): "
+      << stats.groups << " suspicious groups\n";
+  if (stats.degraded) {
+    out << "WARNING: results are partial — at least one shard hit its run "
+           "budget (exit code 2)\n";
+    if (exit_code != nullptr) *exit_code = 2;
+  }
+  return obs.Finish(&report, out);
+}
+
+// `tpiin shard merge`: fold per-shard results into the globally ranked
+// report (byte-identical to `detect --out`'s ranked.txt).
+Status RunShardMerge(const std::vector<std::string>& args,
+                     std::ostream& out, int* exit_code) {
+  FlagParser flags;
+  flags.DefineString("dir", "", "sharded build directory");
+  flags.DefineString("out", "", "merged ranked report file");
+  flags.DefineString("report", "", "machine-readable run report (JSON)");
+  flags.DefineString("trace-out", "",
+                     "Chrome trace_event JSON (chrome://tracing)");
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("dir").empty() || flags.GetString("out").empty()) {
+    return Status::InvalidArgument(
+        "shard merge requires --dir=DIR --out=FILE");
+  }
+  ObsOutputs obs(flags);
+  obs.Begin();
+  RunReport report("shard_merge");
+  TPIIN_ASSIGN_OR_RETURN(
+      ShardMergeStats stats,
+      MergeShards(flags.GetString("dir"), flags.GetString("out"), &report));
+  const CanonicalSummary& s = stats.summary;
+  out << "merged " << stats.shards_merged << " shard(s) into "
+      << flags.GetString("out") << ": " << s.suspicious_trades + s.intra
+      << " suspicious of " << s.total_trading_arcs + s.intra
+      << " trading relationships\n";
+  if (s.degraded) {
+    out << "WARNING: merged results are partial — a shard ran under a "
+           "binding budget (exit code 2)\n";
+    if (exit_code != nullptr) *exit_code = 2;
+  }
+  return obs.Finish(&report, out);
+}
+
+Status RunShardCmd(const std::vector<std::string>& args, std::ostream& out,
+                   int* exit_code) {
+  if (args.empty()) {
+    return Status::InvalidArgument(
+        "usage: tpiin shard build|detect|merge [flags]");
+  }
+  const std::string& sub = args[0];
+  std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (sub == "build") return RunShardBuild(rest, out);
+  if (sub == "detect") return RunShardDetect(rest, out, exit_code);
+  if (sub == "merge") return RunShardMerge(rest, out, exit_code);
+  return Status::InvalidArgument("unknown shard subcommand: " + sub +
+                                 " (expected build, detect, or merge)");
+}
+
 }  // namespace
 
 std::string CliUsage() {
@@ -680,6 +849,17 @@ std::string CliUsage() {
       "          (--seller=L --buyer=L | --pairs=CSV)\n"
       "  stats   print layer statistics of a TPIIN\n"
       "          (--net=FILE | --snapshot=FILE)\n"
+      "  shard build   out-of-core sharded build: plan, route, fuse one\n"
+      "          shard at a time (peak RSS ~ largest shard)\n"
+      "          --data=DIR --out=DIR [--shards=N] [--threads=T]\n"
+      "          [--spill-buffer-kb=N] [--keep-spill] [--wcc-index=false]\n"
+      "          [--report=FILE] [--trace-out=FILE]\n"
+      "  shard detect  mine every shard, one result file per shard\n"
+      "          --dir=DIR [--threads=T] [--shard-parallel=N]\n"
+      "          [--deadline-ms=N ...budget flags] [--report=FILE]\n"
+      "  shard merge   fold shard results into one globally ranked\n"
+      "          report, byte-identical to an unsharded detect --out\n"
+      "          --dir=DIR --out=FILE [--report=FILE]\n"
       "  export  render a TPIIN (or one company's neighborhood) for\n"
       "          Graphviz/Gephi\n"
       "          (--net=FILE | --snapshot=FILE) --format=dot|gexf "
@@ -716,6 +896,7 @@ Status DispatchCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "build") return RunBuild(rest, out);
   if (command == "snapshot") return RunSnapshotCmd(rest, out);
   if (command == "detect") return RunDetect(rest, out, exit_code);
+  if (command == "shard") return RunShardCmd(rest, out, exit_code);
   if (command == "explain") return RunExplain(rest, out);
   if (command == "screen") return RunScreen(rest, out);
   if (command == "stats") return RunStats(rest, out);

@@ -80,6 +80,20 @@ struct ProvinceConfig {
 /// Scaled-down configuration for unit tests and property sweeps.
 ProvinceConfig SmallProvinceConfig(uint32_t num_companies, uint64_t seed);
 
+/// Proportionally scales `base`'s population to `factor` times its size:
+/// companies, legal persons and directors scale together (with the same
+/// floors the scaling bench always used: 4 legal persons, 2 directors),
+/// and the large-group size list scales so the group-size *distribution*
+/// is preserved. For factor <= 1 each group shrinks (floor 4 companies);
+/// for factor > 1 the base list is *tiled* — repeated whole plus one
+/// scaled remainder — rather than inflated, so the largest single
+/// business group (and with it the largest antecedent WCC, the unit of
+/// shard balance and of per-shard peak memory) stays bounded by the base
+/// configuration no matter how far the population grows. factor == 1
+/// returns `base` unchanged. Used by bench_scaling's ladders and the
+/// sharded million-company rungs.
+ProvinceConfig ScaleConfig(const ProvinceConfig& base, double factor);
+
 /// The Table 1 / Figs 11-16 configuration (paper population).
 ProvinceConfig PaperProvinceConfig(uint64_t seed = 20170402);
 

@@ -5,68 +5,14 @@
 
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "datagen/province_detail.h"
 
 namespace tpiin {
 
-namespace {
-
-// LP-eligible reduced role subclasses (§4.1): everything except the bare
-// Director.
-constexpr PersonRoles kLpRolePool[] = {
-    kRoleCeo,
-    static_cast<PersonRoles>(kRoleCeo | kRoleDirector),
-    static_cast<PersonRoles>(kRoleCeo | kRoleChairman),
-    static_cast<PersonRoles>(kRoleDirector | kRoleChairman),
-    kRoleChairman,
-    static_cast<PersonRoles>(kRoleCeo | kRoleDirector | kRoleChairman),
-};
-
-// Director role pool; the Shareholder flag exercises the 15->7 reduction.
-constexpr PersonRoles kDirectorRolePool[] = {
-    kRoleDirector,
-    static_cast<PersonRoles>(kRoleDirector | kRoleShareholder),
-    kRoleShareholder,
-};
-
-InfluenceKind InfluenceKindForRoles(PersonRoles roles) {
-  PersonRoles reduced = ReduceRoles(roles);
-  if ((reduced & kRoleCeo) && (reduced & kRoleDirector)) {
-    return InfluenceKind::kCeoAndDirectorOf;
-  }
-  if (reduced & kRoleCeo) return InfluenceKind::kCeoOf;
-  if (reduced & kRoleChairman) return InfluenceKind::kChairmanOf;
-  return InfluenceKind::kDirectorOf;
-}
-
-// Proportional allocation of `total` items over `weights` with the
-// largest-remainder method; every bucket gets at least `minimum`.
-std::vector<uint32_t> Apportion(const std::vector<uint32_t>& weights,
-                                uint32_t total, uint32_t minimum) {
-  const size_t n = weights.size();
-  std::vector<uint32_t> out(n, minimum);
-  TPIIN_CHECK_GE(total, minimum * n);
-  uint32_t remaining = total - minimum * static_cast<uint32_t>(n);
-  double weight_sum = 0;
-  for (uint32_t w : weights) weight_sum += w;
-  std::vector<std::pair<double, size_t>> remainders(n);
-  uint32_t assigned = 0;
-  for (size_t i = 0; i < n; ++i) {
-    double exact = weight_sum == 0
-                       ? static_cast<double>(remaining) / n
-                       : remaining * (weights[i] / weight_sum);
-    uint32_t whole = static_cast<uint32_t>(exact);
-    out[i] += whole;
-    assigned += whole;
-    remainders[i] = {exact - whole, i};
-  }
-  std::sort(remainders.rbegin(), remainders.rend());
-  for (uint32_t k = 0; k < remaining - assigned; ++k) {
-    ++out[remainders[k % n].second];
-  }
-  return out;
-}
-
-}  // namespace
+using datagen_detail::Apportion;
+using datagen_detail::InfluenceKindForRoles;
+using datagen_detail::kDirectorRolePool;
+using datagen_detail::kLpRolePool;
 
 ProvinceConfig SmallProvinceConfig(uint32_t num_companies, uint64_t seed) {
   ProvinceConfig config;
@@ -85,6 +31,54 @@ ProvinceConfig SmallProvinceConfig(uint32_t num_companies, uint64_t seed) {
 ProvinceConfig PaperProvinceConfig(uint64_t seed) {
   ProvinceConfig config;
   config.seed = seed;
+  return config;
+}
+
+ProvinceConfig ScaleConfig(const ProvinceConfig& base, double factor) {
+  TPIIN_CHECK(factor > 0) << "scale factor must be positive";
+  ProvinceConfig config = base;
+  if (factor == 1.0) return config;
+  config.num_companies = std::max<uint32_t>(
+      1, static_cast<uint32_t>(
+             std::llround(base.num_companies * factor)));
+  config.num_legal_persons = std::max<uint32_t>(
+      4, static_cast<uint32_t>(base.num_legal_persons * factor));
+  config.num_directors = std::max<uint32_t>(
+      2, static_cast<uint32_t>(base.num_directors * factor));
+  config.large_group_sizes.clear();
+  if (factor < 1.0) {
+    for (uint32_t s : base.large_group_sizes) {
+      config.large_group_sizes.push_back(
+          std::max<uint32_t>(4, static_cast<uint32_t>(s * factor)));
+    }
+  } else {
+    // Tile: `whole` full copies of the base list keep every group at its
+    // base size; the fractional remainder adds one shrunken copy.
+    const uint32_t whole = static_cast<uint32_t>(factor);
+    const double remainder = factor - whole;
+    for (uint32_t copy = 0; copy < whole; ++copy) {
+      config.large_group_sizes.insert(config.large_group_sizes.end(),
+                                      base.large_group_sizes.begin(),
+                                      base.large_group_sizes.end());
+    }
+    if (remainder > 0) {
+      for (uint32_t s : base.large_group_sizes) {
+        uint32_t scaled = static_cast<uint32_t>(s * remainder);
+        if (scaled >= 4) config.large_group_sizes.push_back(scaled);
+      }
+    }
+  }
+  // Tiling may overshoot a small company budget; drop whole groups from
+  // the tail until the list fits (GenerateProvince would otherwise stop
+  // consuming the list at the first group that no longer fits).
+  uint64_t used = 0;
+  size_t kept = 0;
+  for (uint32_t s : config.large_group_sizes) {
+    if (used + s > config.num_companies) break;
+    used += s;
+    ++kept;
+  }
+  config.large_group_sizes.resize(kept);
   return config;
 }
 
@@ -274,10 +268,12 @@ Result<Province> GenerateProvince(const ProvinceConfig& config) {
       if (ga == gb || people[ga].lps.empty() || people[gb].lps.empty()) {
         continue;
       }
-      data.AddInterdependence(
-          people[ga].lps[rng.UniformU64(people[ga].lps.size())],
-          people[gb].lps[rng.UniformU64(people[gb].lps.size())],
-          InterdependenceKind::kKinship);
+      // Draw both endpoints in named locals: argument evaluation order
+      // is unspecified, and the RNG sequence must not depend on it (the
+      // streaming generator replays this sequence draw for draw).
+      PersonId pa = people[ga].lps[rng.UniformU64(people[ga].lps.size())];
+      PersonId pb = people[gb].lps[rng.UniformU64(people[gb].lps.size())];
+      data.AddInterdependence(pa, pb, InterdependenceKind::kKinship);
     }
   }
 

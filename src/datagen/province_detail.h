@@ -1,0 +1,81 @@
+#ifndef TPIIN_DATAGEN_PROVINCE_DETAIL_H_
+#define TPIIN_DATAGEN_PROVINCE_DETAIL_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "model/records.h"
+#include "model/roles.h"
+
+namespace tpiin {
+namespace datagen_detail {
+
+// Internals shared by the in-memory generator (GenerateProvince) and the
+// streaming one (StreamProvinceCsv). The two must stay RNG-call-for-call
+// identical — tests/datagen/stream_test.cc checks byte equality of the
+// emitted CSVs — so the shared pieces live here rather than being
+// duplicated.
+
+// LP-eligible reduced role subclasses (§4.1): everything except the bare
+// Director.
+constexpr PersonRoles kLpRolePool[] = {
+    kRoleCeo,
+    static_cast<PersonRoles>(kRoleCeo | kRoleDirector),
+    static_cast<PersonRoles>(kRoleCeo | kRoleChairman),
+    static_cast<PersonRoles>(kRoleDirector | kRoleChairman),
+    kRoleChairman,
+    static_cast<PersonRoles>(kRoleCeo | kRoleDirector | kRoleChairman),
+};
+
+// Director role pool; the Shareholder flag exercises the 15->7 reduction.
+constexpr PersonRoles kDirectorRolePool[] = {
+    kRoleDirector,
+    static_cast<PersonRoles>(kRoleDirector | kRoleShareholder),
+    kRoleShareholder,
+};
+
+inline InfluenceKind InfluenceKindForRoles(PersonRoles roles) {
+  PersonRoles reduced = ReduceRoles(roles);
+  if ((reduced & kRoleCeo) && (reduced & kRoleDirector)) {
+    return InfluenceKind::kCeoAndDirectorOf;
+  }
+  if (reduced & kRoleCeo) return InfluenceKind::kCeoOf;
+  if (reduced & kRoleChairman) return InfluenceKind::kChairmanOf;
+  return InfluenceKind::kDirectorOf;
+}
+
+// Proportional allocation of `total` items over `weights` with the
+// largest-remainder method; every bucket gets at least `minimum`.
+inline std::vector<uint32_t> Apportion(const std::vector<uint32_t>& weights,
+                                       uint32_t total, uint32_t minimum) {
+  const size_t n = weights.size();
+  std::vector<uint32_t> out(n, minimum);
+  TPIIN_CHECK_GE(total, minimum * n);
+  uint32_t remaining = total - minimum * static_cast<uint32_t>(n);
+  double weight_sum = 0;
+  for (uint32_t w : weights) weight_sum += w;
+  std::vector<std::pair<double, size_t>> remainders(n);
+  uint32_t assigned = 0;
+  for (size_t i = 0; i < n; ++i) {
+    double exact = weight_sum == 0
+                       ? static_cast<double>(remaining) / n
+                       : remaining * (weights[i] / weight_sum);
+    uint32_t whole = static_cast<uint32_t>(exact);
+    out[i] += whole;
+    assigned += whole;
+    remainders[i] = {exact - whole, i};
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (uint32_t k = 0; k < remaining - assigned; ++k) {
+    ++out[remainders[k % n].second];
+  }
+  return out;
+}
+
+}  // namespace datagen_detail
+}  // namespace tpiin
+
+#endif  // TPIIN_DATAGEN_PROVINCE_DETAIL_H_

@@ -1,0 +1,279 @@
+#include "datagen/stream.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "datagen/province_detail.h"
+#include "model/records.h"
+
+namespace tpiin {
+
+using datagen_detail::Apportion;
+using datagen_detail::InfluenceKindForRoles;
+using datagen_detail::kDirectorRolePool;
+using datagen_detail::kLpRolePool;
+
+// Mirrors GenerateProvince (datagen/province.cc) draw for draw. Any
+// change to the in-memory generator's RNG sequence must be made here
+// too; the stream_test byte-equality suite catches divergence.
+Result<StreamStats> StreamProvinceCsv(const ProvinceConfig& config,
+                                      const std::string& directory) {
+  if (config.num_companies == 0) {
+    return Status::InvalidArgument("num_companies must be positive");
+  }
+  Rng rng(config.seed);
+  StreamStats stats;
+
+  // --- Business-group sizes (same consumption of the large-group list
+  // and the same small-group draws as GenerateProvince).
+  std::vector<uint32_t> sizes;
+  uint32_t used = 0;
+  for (uint32_t s : config.large_group_sizes) {
+    if (used + s > config.num_companies) break;
+    sizes.push_back(s);
+    used += s;
+  }
+  while (used < config.num_companies) {
+    uint32_t s = static_cast<uint32_t>(
+        rng.UniformInt(1, std::max<uint32_t>(1, config.small_group_max)));
+    s = std::min(s, config.num_companies - used);
+    sizes.push_back(s);
+    used += s;
+  }
+  const size_t num_groups = sizes.size();
+  stats.num_groups = num_groups;
+  if (config.num_legal_persons < num_groups) {
+    return Status::InvalidArgument(StringPrintf(
+        "%u legal persons cannot cover %zu business groups (each needs "
+        "at least one)",
+        config.num_legal_persons, num_groups));
+  }
+
+  std::vector<uint32_t> lp_count = Apportion(sizes, config.num_legal_persons,
+                                             /*minimum=*/1);
+  std::vector<uint32_t> dir_count =
+      Apportion(sizes, config.num_directors, /*minimum=*/0);
+
+  // Persons are ids [person_base[g], person_base[g] + lp_count[g] +
+  // dir_count[g]): the group's legal persons first, then its directors —
+  // exactly the order GenerateProvince calls AddPerson. Companies are
+  // ids [company_base[g], company_base[g] + sizes[g]). Only the role
+  // byte per person and these offsets persist; everything else is
+  // written out as it is drawn.
+  std::vector<uint32_t> person_base(num_groups + 1, 0);
+  std::vector<uint32_t> company_base(num_groups + 1, 0);
+  for (size_t g = 0; g < num_groups; ++g) {
+    person_base[g + 1] = person_base[g] + lp_count[g] + dir_count[g];
+    company_base[g + 1] = company_base[g] + sizes[g];
+  }
+  std::vector<PersonRoles> person_roles(person_base[num_groups]);
+
+  {
+    CsvWriter persons(directory + "/persons.csv");
+    persons.WriteRow({"id", "name", "roles"});
+    uint32_t id = 0;
+    for (size_t g = 0; g < num_groups; ++g) {
+      for (uint32_t k = 0; k < lp_count[g]; ++k, ++id) {
+        PersonRoles roles =
+            kLpRolePool[rng.UniformU64(std::size(kLpRolePool))];
+        person_roles[id] = roles;
+        persons.WriteRow({StringPrintf("%u", id),
+                          StringPrintf("L%04zu", static_cast<size_t>(id)),
+                          StringPrintf("%u", roles)});
+      }
+      for (uint32_t k = 0; k < dir_count[g]; ++k, ++id) {
+        PersonRoles roles =
+            kDirectorRolePool[rng.UniformU64(std::size(kDirectorRolePool))];
+        person_roles[id] = roles;
+        persons.WriteRow({StringPrintf("%u", id),
+                          StringPrintf("B%04zu", static_cast<size_t>(id)),
+                          StringPrintf("%u", roles)});
+      }
+    }
+    stats.persons = id;
+    TPIIN_RETURN_IF_ERROR(persons.Close());
+  }
+
+  {
+    CsvWriter companies(directory + "/companies.csv");
+    companies.WriteRow({"id", "name"});
+    for (uint32_t c = 0; c < config.num_companies; ++c) {
+      companies.WriteRow({StringPrintf("%u", c),
+                          StringPrintf("C%04zu", static_cast<size_t>(c))});
+    }
+    stats.companies = config.num_companies;
+    TPIIN_RETURN_IF_ERROR(companies.Close());
+  }
+
+  CsvWriter interdependence(directory + "/interdependence.csv");
+  interdependence.WriteRow({"person_a", "person_b", "kind"});
+  CsvWriter influence(directory + "/influence.csv");
+  influence.WriteRow({"person", "company", "kind", "legal_person"});
+  CsvWriter investment(directory + "/investment.csv");
+  investment.WriteRow({"investor", "investee", "share"});
+
+  auto write_interdependence = [&](PersonId a, PersonId b,
+                                   InterdependenceKind kind) {
+    interdependence.WriteRow(
+        {StringPrintf("%u", a), StringPrintf("%u", b),
+         std::string(InterdependenceKindName(kind))});
+    ++stats.interdependence;
+  };
+  auto write_influence = [&](PersonId p, CompanyId c, InfluenceKind kind,
+                             bool legal_person) {
+    influence.WriteRow({StringPrintf("%u", p), StringPrintf("%u", c),
+                        StringPrintf("%u", static_cast<unsigned>(kind)),
+                        legal_person ? "1" : "0"});
+    ++stats.influence;
+  };
+  auto write_investment = [&](CompanyId investor, CompanyId investee,
+                              double share) {
+    investment.WriteRow({StringPrintf("%u", investor),
+                         StringPrintf("%u", investee),
+                         StringPrintf("%.6f", share)});
+    ++stats.investments;
+  };
+
+  // --- Per group: investment DAG, then legal persons + directors.
+  for (size_t g = 0; g < num_groups; ++g) {
+    const uint32_t group_size = sizes[g];
+    const uint32_t cbase = company_base[g];
+    const uint32_t lp_base = person_base[g];
+    const uint32_t dir_base = lp_base + lp_count[g];
+
+    std::vector<int64_t> primary_investor(group_size, -1);
+    for (size_t i = 1; i < group_size; ++i) {
+      if (!rng.Bernoulli(config.investment_arc_prob)) continue;
+      size_t investor = rng.UniformU64(i);
+      primary_investor[i] = static_cast<int64_t>(investor);
+      write_investment(cbase + static_cast<uint32_t>(investor),
+                       cbase + static_cast<uint32_t>(i),
+                       rng.UniformDouble(0.51, 1.0));
+      if (i >= 2 && rng.Bernoulli(config.second_investor_prob)) {
+        size_t second = rng.UniformU64(i);
+        if (second != investor) {
+          write_investment(cbase + static_cast<uint32_t>(second),
+                           cbase + static_cast<uint32_t>(i),
+                           rng.UniformDouble(0.1, 0.49));
+        }
+      }
+    }
+
+    std::vector<PersonId> lp_of(group_size);
+    for (size_t i = 0; i < group_size; ++i) {
+      CompanyId c = cbase + static_cast<uint32_t>(i);
+      PersonId lp;
+      if (primary_investor[i] >= 0 &&
+          rng.Bernoulli(config.lp_follow_investor_prob)) {
+        lp = lp_of[static_cast<size_t>(primary_investor[i])];
+      } else {
+        lp = lp_base + static_cast<uint32_t>(rng.UniformU64(lp_count[g]));
+      }
+      lp_of[i] = lp;
+      write_influence(lp, c, InfluenceKindForRoles(person_roles[lp]),
+                      /*legal_person=*/true);
+      if (dir_count[g] > 0) {
+        double half = config.director_links_per_company / 2.0;
+        uint32_t k = (rng.Bernoulli(half) ? 1u : 0u) +
+                     (rng.Bernoulli(half) ? 1u : 0u);
+        k = std::min<uint32_t>(k, dir_count[g]);
+        std::vector<uint64_t> picks =
+            rng.SampleWithoutReplacement(dir_count[g], k);
+        for (uint64_t pick : picks) {
+          write_influence(dir_base + static_cast<uint32_t>(pick), c,
+                          InfluenceKind::kDirectorOf,
+                          /*legal_person=*/false);
+        }
+      }
+    }
+  }
+
+  // --- Interdependence chains within each group's person pool.
+  for (size_t g = 0; g < num_groups; ++g) {
+    std::vector<PersonId> pool(person_base[g + 1] - person_base[g]);
+    for (size_t i = 0; i < pool.size(); ++i) {
+      pool[i] = person_base[g] + static_cast<uint32_t>(i);
+    }
+    rng.Shuffle(pool);
+    for (size_t i = 1; i < pool.size(); ++i) {
+      if (!rng.Bernoulli(config.person_chain_link_prob)) continue;
+      InterdependenceKind kind = rng.Bernoulli(config.kinship_fraction)
+                                     ? InterdependenceKind::kKinship
+                                     : InterdependenceKind::kInterlocking;
+      write_interdependence(pool[i - 1], pool[i], kind);
+    }
+  }
+
+  // --- Cross-group kinship links.
+  if (num_groups >= 2) {
+    for (uint32_t k = 0; k < config.cross_group_person_links; ++k) {
+      size_t ga = rng.UniformU64(num_groups);
+      size_t gb = rng.UniformU64(num_groups);
+      if (ga == gb || lp_count[ga] == 0 || lp_count[gb] == 0) continue;
+      PersonId a = person_base[ga] +
+                   static_cast<uint32_t>(rng.UniformU64(lp_count[ga]));
+      PersonId b = person_base[gb] +
+                   static_cast<uint32_t>(rng.UniformU64(lp_count[gb]));
+      write_interdependence(a, b, InterdependenceKind::kKinship);
+    }
+  }
+
+  // --- Optional investment cycles.
+  uint32_t cycles_added = 0;
+  for (size_t g = 0;
+       g < num_groups && cycles_added < config.num_investment_cycles; ++g) {
+    if (sizes[g] < 3) continue;
+    uint32_t base = company_base[g] +
+                    static_cast<uint32_t>(rng.UniformU64(sizes[g] - 2));
+    write_investment(base, base + 1, 0.6);
+    write_investment(base + 1, base + 2, 0.6);
+    write_investment(base + 2, base, 0.6);
+    ++cycles_added;
+  }
+
+  TPIIN_RETURN_IF_ERROR(interdependence.Close());
+  TPIIN_RETURN_IF_ERROR(influence.Close());
+  TPIIN_RETURN_IF_ERROR(investment.Close());
+
+  // --- Trading layer, streamed straight to disk (GenerateTradingNetwork
+  // materializes the edge vector; at p*n^2 in the millions that is the
+  // largest allocation of the whole generator).
+  {
+    CsvWriter trades(directory + "/trades.csv");
+    trades.WriteRow({"seller", "buyer"});
+    if (config.generate_trading && config.num_companies >= 2 &&
+        config.trading_probability > 0) {
+      const uint64_t n = config.num_companies;
+      const uint64_t slots = n * (n - 1);
+      const double p = config.trading_probability;
+      auto write_trade = [&](uint64_t s) {
+        uint32_t i = static_cast<uint32_t>(s / (n - 1));
+        uint64_t r = s % (n - 1);
+        uint32_t j = static_cast<uint32_t>(r < i ? r : r + 1);
+        trades.WriteRow({StringPrintf("%u", i), StringPrintf("%u", j)});
+        ++stats.trades;
+      };
+      if (p >= 1.0) {
+        for (uint64_t s = 0; s < slots; ++s) write_trade(s);
+      } else {
+        const double log1mp = std::log1p(-p);
+        double pos = -1;
+        while (true) {
+          double u = rng.UniformDouble();
+          if (u <= 0) u = 1e-300;
+          pos += 1 + std::floor(std::log(u) / log1mp);
+          if (pos >= static_cast<double>(slots)) break;
+          write_trade(static_cast<uint64_t>(pos));
+        }
+      }
+    }
+    TPIIN_RETURN_IF_ERROR(trades.Close());
+  }
+  return stats;
+}
+
+}  // namespace tpiin

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "obs/rss.h"
+
 namespace tpiin {
 
 namespace {
@@ -98,7 +100,7 @@ void ReportSection::SetValue(const std::string& key, ReportValue value) {
 
 void RunReport::AddStage(const std::string& name, double seconds,
                          double cpu_seconds) {
-  stages_.push_back(Stage{name, seconds, cpu_seconds});
+  stages_.push_back(Stage{name, seconds, cpu_seconds, SampleRssGauges()});
 }
 
 double RunReport::StageSecondsSum() const {
@@ -141,8 +143,10 @@ std::string RunReport::ToJson() const {
     out += JsonEscapeString(stage.name);
     out += "\", ";
     std::snprintf(buf, sizeof(buf),
-                  "\"seconds\": %.9g, \"cpu_seconds\": %.9g}",
-                  stage.seconds, stage.cpu_seconds);
+                  "\"seconds\": %.9g, \"cpu_seconds\": %.9g, "
+                  "\"peak_rss_bytes\": %lld}",
+                  stage.seconds, stage.cpu_seconds,
+                  static_cast<long long>(stage.peak_rss_bytes));
     out += buf;
   }
   out += stages_.empty() ? "],\n" : "\n  ],\n";

@@ -130,9 +130,18 @@ class RunReport {
   double total_seconds() const { return total_seconds_; }
 
   /// Appends a stage timing row (wall seconds, plus the coordinating
-  /// thread's CPU seconds when measured).
+  /// thread's CPU seconds when measured). Each stage also samples the
+  /// process peak RSS (obs/rss.h) at the moment it is recorded, so a
+  /// report shows *where* in the pipeline the memory high-water mark was
+  /// reached — the out-of-core shard path is gated on this.
   void AddStage(const std::string& name, double seconds,
                 double cpu_seconds = 0);
+
+  /// Peak RSS (bytes) sampled when the most recent stage was added;
+  /// 0 before any stage. Test/introspection accessor.
+  int64_t LastStagePeakRssBytes() const {
+    return stages_.empty() ? 0 : stages_.back().peak_rss_bytes;
+  }
 
   /// Sum of stage wall seconds; the CLI report's stages are measured so
   /// this lands within a few percent of total_seconds().
@@ -159,6 +168,7 @@ class RunReport {
     std::string name;
     double seconds = 0;
     double cpu_seconds = 0;
+    int64_t peak_rss_bytes = 0;
   };
 
   std::string tool_;

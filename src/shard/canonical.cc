@@ -1,0 +1,129 @@
+#include "shard/canonical.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+
+uint32_t GlobalCompany(uint32_t local,
+                       const std::vector<uint32_t>* company_gids) {
+  return company_gids == nullptr ? local : (*company_gids)[local];
+}
+
+bool TradeLess(const CanonicalTrade& a, const CanonicalTrade& b) {
+  if (a.score != b.score) return a.score > b.score;
+  if (a.seller != b.seller) return a.seller < b.seller;
+  if (a.buyer != b.buyer) return a.buyer < b.buyer;
+  return a.group_count < b.group_count;
+}
+
+bool IntraLess(const CanonicalIntra& a, const CanonicalIntra& b) {
+  if (a.seller != b.seller) return a.seller < b.seller;
+  if (a.buyer != b.buyer) return a.buyer < b.buyer;
+  if (a.syndicate != b.syndicate) return a.syndicate < b.syndicate;
+  return a.chain < b.chain;
+}
+
+}  // namespace
+
+CanonicalReport BuildCanonicalReport(
+    const Tpiin& net, const DetectionResult& detection,
+    const ScoringResult& scoring,
+    const std::vector<uint32_t>* company_gids) {
+  CanonicalReport report;
+  report.summary.subtpiins = detection.num_subtpiins;
+  report.summary.trails = detection.num_trails;
+  report.summary.complex_groups = detection.num_complex;
+  report.summary.simple_groups = detection.num_simple;
+  report.summary.circle_groups = detection.num_cycle_groups;
+  report.summary.intra = detection.intra_syndicate.size();
+  report.summary.suspicious_trades = detection.suspicious_trades.size();
+  report.summary.total_trading_arcs = detection.total_trading_arcs;
+  report.summary.skipped_subs = detection.num_skipped_subs;
+  report.summary.degraded = detection.degraded;
+  report.summary.truncated = detection.truncated;
+
+  report.trades.reserve(scoring.ranked_trades.size());
+  for (const ScoredTrade& trade : scoring.ranked_trades) {
+    // seller == buyer marks the scorer's intra-SCC pseudo-entry; its
+    // content is carried by the intra section below.
+    if (trade.seller == trade.buyer) continue;
+    CanonicalTrade out;
+    out.score = trade.score;
+    out.group_count = trade.group_count;
+    out.seller = std::string(net.Label(trade.seller));
+    out.buyer = std::string(net.Label(trade.buyer));
+    report.trades.push_back(std::move(out));
+  }
+
+  report.intra.reserve(detection.intra_syndicate.size());
+  for (const IntraSyndicateFinding& finding : detection.intra_syndicate) {
+    CanonicalIntra out;
+    out.seller = GlobalCompany(finding.seller, company_gids);
+    out.buyer = GlobalCompany(finding.buyer, company_gids);
+    out.syndicate = std::string(net.Label(finding.syndicate_node));
+    out.chain.reserve(finding.chain.size());
+    for (CompanyId c : finding.chain) {
+      out.chain.push_back(GlobalCompany(c, company_gids));
+    }
+    report.intra.push_back(std::move(out));
+  }
+  return report;
+}
+
+std::string RenderCanonicalReport(const CanonicalReport& report) {
+  const CanonicalSummary& s = report.summary;
+  const size_t sus = s.suspicious_trades + s.intra;
+  const size_t total = s.total_trading_arcs + s.intra;
+  const double percent =
+      total == 0 ? 0 : 100.0 * sus / static_cast<double>(total);
+  std::string out = StringPrintf(
+      "subTPIINs=%zu trails=%zu groups: complex=%zu simple=%zu circle=%zu "
+      "intra-SCC=%zu; suspicious trades=%zu of %zu (%.4f%%)%s",
+      static_cast<size_t>(s.subtpiins), static_cast<size_t>(s.trails),
+      static_cast<size_t>(s.complex_groups),
+      static_cast<size_t>(s.simple_groups),
+      static_cast<size_t>(s.circle_groups), static_cast<size_t>(s.intra),
+      sus, total, percent,
+      s.degraded ? " [DEGRADED]" : (s.truncated ? " [TRUNCATED]" : ""));
+  out += '\n';
+
+  std::vector<const CanonicalTrade*> trades;
+  trades.reserve(report.trades.size());
+  for (const CanonicalTrade& t : report.trades) trades.push_back(&t);
+  std::stable_sort(trades.begin(), trades.end(),
+                   [](const CanonicalTrade* a, const CanonicalTrade* b) {
+                     return TradeLess(*a, *b);
+                   });
+  out += StringPrintf("\nranked suspicious trading relationships (%zu):\n",
+                      trades.size());
+  for (const CanonicalTrade* t : trades) {
+    out += StringPrintf("  %.6f  %s -> %s  (%llu proof chains)\n",
+                        t->score, t->seller.c_str(), t->buyer.c_str(),
+                        static_cast<unsigned long long>(t->group_count));
+  }
+
+  std::vector<const CanonicalIntra*> intra;
+  intra.reserve(report.intra.size());
+  for (const CanonicalIntra& i : report.intra) intra.push_back(&i);
+  std::stable_sort(intra.begin(), intra.end(),
+                   [](const CanonicalIntra* a, const CanonicalIntra* b) {
+                     return IntraLess(*a, *b);
+                   });
+  out += StringPrintf("\nintra-SCC suspicious trades (%zu):\n",
+                      intra.size());
+  for (const CanonicalIntra* i : intra) {
+    out += StringPrintf("  company %u -> company %u in %s  chain:",
+                        i->seller, i->buyer, i->syndicate.c_str());
+    for (size_t k = 0; k < i->chain.size(); ++k) {
+      out += StringPrintf("%s%u", k == 0 ? " " : " -> ", i->chain[k]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,88 @@
+#ifndef TPIIN_SHARD_CANONICAL_H_
+#define TPIIN_SHARD_CANONICAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/detector.h"
+#include "core/scoring.h"
+#include "fusion/tpiin.h"
+
+namespace tpiin {
+
+/// The canonical ranked report: a network-id-free representation of one
+/// detection run whose rendering is byte-identical whether it was
+/// produced by a single unsharded run or merged from any number of
+/// shards at any thread count. Identity holds because
+///  - every field is either a plain count (counts over disjoint shards
+///    sum to the global count), a label string (labels come verbatim
+///    from entity names, identical in every partition), a global dense
+///    company id (restored from the .gids sidecar), or a score double
+///    (noisy-or products accumulate per subTPIIN in emission order, and
+///    each subTPIIN lives whole inside one shard — same factors, same
+///    order, bit-equal result);
+///  - rendering sorts by content, never by internal node ids.
+struct CanonicalSummary {
+  uint64_t subtpiins = 0;
+  uint64_t trails = 0;
+  uint64_t complex_groups = 0;
+  uint64_t simple_groups = 0;
+  uint64_t circle_groups = 0;
+  uint64_t intra = 0;
+  /// Distinct suspicious trading relationships (excluding intra-SCC).
+  uint64_t suspicious_trades = 0;
+  /// Trading arcs in the (conceptual, global) TPIIN. A sharded merge
+  /// reconstructs this as sum(per-shard arcs) + cross-shard pairs.
+  uint64_t total_trading_arcs = 0;
+  uint64_t skipped_subs = 0;
+  bool degraded = false;
+  bool truncated = false;
+};
+
+struct CanonicalTrade {
+  /// Noisy-or score, transported exactly (%.17g round-trips a double).
+  double score = 0;
+  uint64_t group_count = 0;
+  std::string seller;
+  std::string buyer;
+};
+
+struct CanonicalIntra {
+  /// Global dense company ids of the trade inside the SCC syndicate.
+  uint32_t seller = 0;
+  uint32_t buyer = 0;
+  /// Syndicate node label ("{a+b+...}" over entity names).
+  std::string syndicate;
+  /// Proof chain seller..buyer along internal investment arcs, as
+  /// global dense company ids.
+  std::vector<uint32_t> chain;
+};
+
+struct CanonicalReport {
+  CanonicalSummary summary;
+  std::vector<CanonicalTrade> trades;
+  std::vector<CanonicalIntra> intra;
+};
+
+/// Extracts the canonical report from one in-process detection+scoring
+/// run over `net`. `company_gids`, when non-null, maps the net's dense
+/// company ids to global ids (shard use); null means the net's ids are
+/// already global (unsharded use). Ranked entries whose seller and buyer
+/// node coincide are the scorer's intra-SCC pseudo-trades and are
+/// carried by `intra`, not `trades`.
+CanonicalReport BuildCanonicalReport(const Tpiin& net,
+                                     const DetectionResult& detection,
+                                     const ScoringResult& scoring,
+                                     const std::vector<uint32_t>*
+                                         company_gids = nullptr);
+
+/// Renders the report: the DetectionResult::Summary() line (rebuilt from
+/// the summary integers), the ranked section sorted by (score desc,
+/// seller, buyer, group count), and the intra-SCC section sorted by
+/// (seller, buyer, syndicate, chain).
+std::string RenderCanonicalReport(const CanonicalReport& report);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_SHARD_CANONICAL_H_

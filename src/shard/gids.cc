@@ -1,0 +1,92 @@
+#include "shard/gids.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "common/atomic_file.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'P', 'I', 'I', 'N', 'G', 'I', 'D'};
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void AppendPod(std::string* out, const T& value) {
+  out->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+}  // namespace
+
+Status WriteShardGids(const std::string& path,
+                      const std::vector<uint32_t>& global_ids) {
+  TPIIN_FAILPOINT("shard.gids.write");
+  std::string body;
+  body.reserve(sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t) +
+               global_ids.size() * sizeof(uint32_t) + sizeof(uint32_t));
+  body.append(kMagic, sizeof(kMagic));
+  AppendPod(&body, kVersion);
+  AppendPod(&body, static_cast<uint64_t>(global_ids.size()));
+  body.append(reinterpret_cast<const char*>(global_ids.data()),
+              global_ids.size() * sizeof(uint32_t));
+  AppendPod(&body, Crc32c(body.data(), body.size()));
+  return WriteFileAtomic(path, body);
+}
+
+Result<std::vector<uint32_t>> ReadShardGids(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound(path + ": cannot open gids sidecar");
+  }
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  if (in.bad()) return Status::IOError(path + ": read failed");
+  const size_t header = sizeof(kMagic) + sizeof(uint32_t) + sizeof(uint64_t);
+  if (contents.size() < header + sizeof(uint32_t)) {
+    return Status::Corruption(path + ": truncated gids sidecar");
+  }
+  if (std::memcmp(contents.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption(path + ": bad gids magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, contents.data() + sizeof(kMagic), sizeof(version));
+  if (version != kVersion) {
+    return Status::Corruption(
+        StringPrintf("%s: unsupported gids version %u", path.c_str(),
+                     version));
+  }
+  uint64_t count = 0;
+  std::memcpy(&count, contents.data() + sizeof(kMagic) + sizeof(uint32_t),
+              sizeof(count));
+  // A hostile count must not overflow the size arithmetic below.
+  if (count > contents.size() / sizeof(uint32_t)) {
+    return Status::Corruption(StringPrintf(
+        "%s: implausible gids count %llu", path.c_str(),
+        static_cast<unsigned long long>(count)));
+  }
+  const size_t expected =
+      header + count * sizeof(uint32_t) + sizeof(uint32_t);
+  if (contents.size() != expected) {
+    return Status::Corruption(StringPrintf(
+        "%s: gids size %zu does not match count %llu", path.c_str(),
+        contents.size(), static_cast<unsigned long long>(count)));
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, contents.data() + expected - sizeof(uint32_t),
+              sizeof(stored_crc));
+  const uint32_t actual_crc =
+      Crc32c(contents.data(), expected - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return Status::Corruption(path + ": gids checksum mismatch");
+  }
+  std::vector<uint32_t> ids(count);
+  std::memcpy(ids.data(), contents.data() + header,
+              count * sizeof(uint32_t));
+  return ids;
+}
+
+}  // namespace tpiin

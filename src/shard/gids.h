@@ -1,0 +1,28 @@
+#ifndef TPIIN_SHARD_GIDS_H_
+#define TPIIN_SHARD_GIDS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tpiin {
+
+/// A shard snapshot stores companies under shard-local dense ids (its
+/// fusion never saw the rest of the population). The .gids sidecar maps
+/// local CompanyId -> global dense company id, so per-shard findings
+/// (intra-SCC trades, proof chains, cross-shard dedup keys) can be
+/// reported in the same id space as the unsharded run. Binary format:
+/// 8-byte magic, u32 version, u64 count, count * u32 payload, trailing
+/// CRC-32C over everything before it.
+Status WriteShardGids(const std::string& path,
+                      const std::vector<uint32_t>& global_ids);
+
+/// Strict reader; truncation, magic/version/CRC mismatch and trailing
+/// bytes are Corruption.
+Result<std::vector<uint32_t>> ReadShardGids(const std::string& path);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_SHARD_GIDS_H_

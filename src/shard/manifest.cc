@@ -1,0 +1,245 @@
+#include "shard/manifest.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/atomic_file.h"
+#include "common/crc32c.h"
+#include "common/failpoint.h"
+#include "common/string_util.h"
+
+namespace tpiin {
+
+namespace {
+
+constexpr char kMagicLine[] = "tpiin-shard-manifest v1";
+
+// One shard line. Fixed field order keeps the parser strict and the
+// file diffable.
+std::string FormatShardEntry(const ShardEntry& e) {
+  return StringPrintf(
+      "shard %u empty=%d nodes=%" PRIu64 " arcs=%" PRIu64
+      " influence_arcs=%" PRIu64 " trading_arcs=%" PRIu64
+      " intra_trades=%" PRIu64 " persons=%" PRIu64 " companies=%" PRIu64
+      " trade_rows=%" PRIu64 " bytes=%" PRIu64,
+      e.shard, e.empty ? 1 : 0, e.nodes, e.arcs, e.influence_arcs,
+      e.trading_arcs, e.intra_trades, e.persons, e.companies, e.trade_rows,
+      e.snapshot_bytes);
+}
+
+Status Corrupt(const std::string& path, const std::string& what) {
+  return Status::Corruption(path + ": " + what);
+}
+
+// Parses "key=value" returning the u64 value; `line` context for errors.
+Result<uint64_t> ParseKeyU64(const std::string& token,
+                             const std::string& key,
+                             const std::string& path) {
+  const std::string prefix = key + "=";
+  if (token.rfind(prefix, 0) != 0) {
+    return Corrupt(path, "expected " + prefix + "..., found " + token);
+  }
+  Result<int64_t> value = ParseInt64(token.substr(prefix.size()));
+  if (!value.ok() || *value < 0) {
+    return Corrupt(path, "bad number in " + token);
+  }
+  return static_cast<uint64_t>(*value);
+}
+
+}  // namespace
+
+std::string ExpandShardPath(const std::string& path_template,
+                            uint32_t shard) {
+  const std::string placeholder = "{shard}";
+  const size_t pos = path_template.find(placeholder);
+  if (pos == std::string::npos) return path_template;
+  return path_template.substr(0, pos) + StringPrintf("%05u", shard) +
+         path_template.substr(pos + placeholder.size());
+}
+
+Status WriteShardManifest(const std::string& path,
+                          const ShardManifest& manifest) {
+  TPIIN_FAILPOINT("shard.manifest.write");
+  if (manifest.shards.size() != manifest.num_shards) {
+    return Status::InvalidArgument(StringPrintf(
+        "manifest lists %zu shard entries for num_shards=%u",
+        manifest.shards.size(), manifest.num_shards));
+  }
+  if (manifest.path_template.find("{shard}") == std::string::npos) {
+    return Status::InvalidArgument(
+        "shard path template must contain {shard}: " +
+        manifest.path_template);
+  }
+  std::string body;
+  body += kMagicLine;
+  body += '\n';
+  body += StringPrintf("shards %u\n", manifest.num_shards);
+  body += "template " + manifest.path_template + "\n";
+  body += StringPrintf("entities persons=%" PRIu64 " companies=%" PRIu64
+                       "\n",
+                       manifest.num_persons, manifest.num_companies);
+  body += StringPrintf("trades rows=%" PRIu64 " cross_rows=%" PRIu64
+                       " cross_pairs=%" PRIu64 "\n",
+                       manifest.trade_rows, manifest.cross_trade_rows,
+                       manifest.cross_trade_pairs);
+  for (const ShardEntry& entry : manifest.shards) {
+    body += FormatShardEntry(entry);
+    body += '\n';
+  }
+  const uint32_t crc = Crc32c(body.data(), body.size());
+  body += StringPrintf("crc %08x\n", crc);
+  return WriteFileAtomic(path, body);
+}
+
+Result<ShardManifest> ReadShardManifest(const std::string& path) {
+  TPIIN_FAILPOINT("shard.manifest.read");
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    return Status::NotFound(path + ": cannot open shard manifest");
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IOError(path + ": read failed");
+  const std::string contents = buffer.str();
+
+  // Split off the trailing "crc XXXXXXXX\n" line and verify it covers
+  // everything before it — byte-exact, so truncation or appended junk
+  // both fail here.
+  if (contents.empty() || contents.back() != '\n') {
+    return Corrupt(path, "missing trailing newline (truncated?)");
+  }
+  const size_t crc_line_start =
+      contents.find_last_of('\n', contents.size() - 2);
+  const size_t body_size =
+      crc_line_start == std::string::npos ? 0 : crc_line_start + 1;
+  const std::string crc_line =
+      contents.substr(body_size, contents.size() - body_size - 1);
+  if (crc_line.size() != 12 || crc_line.rfind("crc ", 0) != 0) {
+    return Corrupt(path, "missing crc trailer");
+  }
+  uint32_t stored_crc = 0;
+  if (std::sscanf(crc_line.c_str(), "crc %8x", &stored_crc) != 1) {
+    return Corrupt(path, "bad crc trailer: " + crc_line);
+  }
+  const uint32_t actual_crc = Crc32c(contents.data(), body_size);
+  if (actual_crc != stored_crc) {
+    return Corrupt(path,
+                   StringPrintf("crc mismatch: stored %08x, computed %08x",
+                                stored_crc, actual_crc));
+  }
+
+  std::istringstream lines(contents.substr(0, body_size));
+  std::string line;
+  auto next_line = [&](std::string* out) {
+    if (!std::getline(lines, line)) return false;
+    *out = line;
+    return true;
+  };
+
+  ShardManifest manifest;
+  std::string current;
+  if (!next_line(&current) || current != kMagicLine) {
+    return Corrupt(path, "bad magic/version line: " + current);
+  }
+  if (!next_line(&current) ||
+      std::sscanf(current.c_str(), "shards %u", &manifest.num_shards) != 1) {
+    return Corrupt(path, "bad shards line: " + current);
+  }
+  if (manifest.num_shards == 0 || manifest.num_shards > 100000) {
+    return Corrupt(path, "implausible shard count: " + current);
+  }
+  if (!next_line(&current) || current.rfind("template ", 0) != 0) {
+    return Corrupt(path, "bad template line: " + current);
+  }
+  manifest.path_template = current.substr(std::string("template ").size());
+  if (manifest.path_template.find("{shard}") == std::string::npos ||
+      manifest.path_template.find("..") != std::string::npos ||
+      manifest.path_template.find('/') != std::string::npos) {
+    // Shard files always live beside the manifest; a template that
+    // escapes the directory is hostile.
+    return Corrupt(path, "bad path template: " + manifest.path_template);
+  }
+  if (!next_line(&current)) return Corrupt(path, "missing entities line");
+  {
+    std::istringstream fields(current);
+    std::string tag, persons, companies;
+    fields >> tag >> persons >> companies;
+    if (tag != "entities" || !fields.eof()) {
+      return Corrupt(path, "bad entities line: " + current);
+    }
+    TPIIN_ASSIGN_OR_RETURN(manifest.num_persons,
+                           ParseKeyU64(persons, "persons", path));
+    TPIIN_ASSIGN_OR_RETURN(manifest.num_companies,
+                           ParseKeyU64(companies, "companies", path));
+  }
+  if (!next_line(&current)) return Corrupt(path, "missing trades line");
+  {
+    std::istringstream fields(current);
+    std::string tag, rows, cross_rows, cross_pairs;
+    fields >> tag >> rows >> cross_rows >> cross_pairs;
+    if (tag != "trades" || !fields.eof()) {
+      return Corrupt(path, "bad trades line: " + current);
+    }
+    TPIIN_ASSIGN_OR_RETURN(manifest.trade_rows,
+                           ParseKeyU64(rows, "rows", path));
+    TPIIN_ASSIGN_OR_RETURN(manifest.cross_trade_rows,
+                           ParseKeyU64(cross_rows, "cross_rows", path));
+    TPIIN_ASSIGN_OR_RETURN(manifest.cross_trade_pairs,
+                           ParseKeyU64(cross_pairs, "cross_pairs", path));
+  }
+
+  manifest.shards.reserve(manifest.num_shards);
+  for (uint32_t s = 0; s < manifest.num_shards; ++s) {
+    if (!next_line(&current)) {
+      return Corrupt(path, StringPrintf("missing line for shard %u", s));
+    }
+    std::istringstream fields(current);
+    std::string tag;
+    uint32_t shard_id = 0;
+    fields >> tag >> shard_id;
+    if (tag != "shard" || fields.fail() || shard_id != s) {
+      return Corrupt(path, "bad shard line: " + current);
+    }
+    ShardEntry entry;
+    entry.shard = shard_id;
+    std::string token;
+    static constexpr const char* kKeys[] = {
+        "empty",    "nodes",     "arcs",      "influence_arcs",
+        "trading_arcs", "intra_trades", "persons", "companies",
+        "trade_rows",   "bytes"};
+    uint64_t values[std::size(kKeys)] = {};
+    for (size_t k = 0; k < std::size(kKeys); ++k) {
+      if (!(fields >> token)) {
+        return Corrupt(path, "truncated shard line: " + current);
+      }
+      TPIIN_ASSIGN_OR_RETURN(values[k], ParseKeyU64(token, kKeys[k], path));
+    }
+    if (fields >> token) {
+      return Corrupt(path, "trailing fields in shard line: " + current);
+    }
+    if (values[0] > 1) return Corrupt(path, "bad empty flag: " + current);
+    entry.empty = values[0] == 1;
+    entry.nodes = values[1];
+    entry.arcs = values[2];
+    entry.influence_arcs = values[3];
+    entry.trading_arcs = values[4];
+    entry.intra_trades = values[5];
+    entry.persons = values[6];
+    entry.companies = values[7];
+    entry.trade_rows = values[8];
+    entry.snapshot_bytes = values[9];
+    if (entry.empty &&
+        (entry.nodes != 0 || entry.persons != 0 || entry.companies != 0)) {
+      return Corrupt(path, "empty shard with nonzero counts: " + current);
+    }
+    manifest.shards.push_back(entry);
+  }
+  if (std::getline(lines, line)) {
+    return Corrupt(path, "trailing content after shard lines: " + line);
+  }
+  return manifest;
+}
+
+}  // namespace tpiin

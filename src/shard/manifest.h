@@ -1,0 +1,75 @@
+#ifndef TPIIN_SHARD_MANIFEST_H_
+#define TPIIN_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tpiin {
+
+/// Per-shard section stats recorded by `shard build` and consumed by
+/// `shard detect` / `shard merge` (and by humans reading the file).
+struct ShardEntry {
+  uint32_t shard = 0;
+  /// True when no antecedent component was assigned to this shard (more
+  /// shards than components); no snapshot file exists for it.
+  bool empty = true;
+  uint64_t nodes = 0;
+  uint64_t arcs = 0;
+  uint64_t influence_arcs = 0;
+  uint64_t trading_arcs = 0;
+  /// Intra-syndicate (SCC-internal) trades carried by the shard's net.
+  uint64_t intra_trades = 0;
+  uint64_t persons = 0;
+  uint64_t companies = 0;
+  uint64_t trade_rows = 0;
+  uint64_t snapshot_bytes = 0;
+};
+
+/// The versioned, CRC'd index of a shard directory (MANIFEST.shards).
+/// Written last and atomically by `shard build`, so its presence is the
+/// commit point: a crash mid-build leaves completed part files (each
+/// internally checksummed) but no manifest, and every consumer refuses
+/// the directory.
+struct ShardManifest {
+  uint32_t num_shards = 0;
+  /// Path template for shard files, relative to the manifest's
+  /// directory; "{shard}" expands to the zero-padded shard number
+  /// (PISA's expand_shard idiom).
+  std::string path_template = "part-{shard}.tpiin";
+  uint64_t num_persons = 0;
+  uint64_t num_companies = 0;
+  /// Trade rows seen in the input; rows whose endpoints live in
+  /// different antecedent components are not routed to any shard
+  /// (cross_rows of them), and after node-level dedup they contribute
+  /// cross_pairs distinct trading relationships to the merged totals.
+  uint64_t trade_rows = 0;
+  uint64_t cross_trade_rows = 0;
+  uint64_t cross_trade_pairs = 0;
+  std::vector<ShardEntry> shards;  ///< Exactly num_shards, in order.
+};
+
+inline constexpr char kShardManifestName[] = "MANIFEST.shards";
+
+/// Expands "{shard}" in `path_template` to the zero-padded shard number
+/// ("part-{shard}.tpiin", 42 -> "part-00042.tpiin"). Templates without
+/// the placeholder are returned unchanged (callers validate earlier).
+std::string ExpandShardPath(const std::string& path_template,
+                            uint32_t shard);
+
+/// Serializes `manifest` (versioned header, one line per shard, trailing
+/// CRC-32C over everything above it) and writes it atomically.
+Status WriteShardManifest(const std::string& path,
+                          const ShardManifest& manifest);
+
+/// Strict parser: wrong magic/version, a missing or mismatched CRC
+/// trailer, truncation, shard lines out of order, duplicate or trailing
+/// content, and non-numeric fields are all Corruption errors — a torn
+/// or tampered manifest never half-loads.
+Result<ShardManifest> ReadShardManifest(const std::string& path);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_SHARD_MANIFEST_H_

@@ -1,0 +1,33 @@
+#ifndef TPIIN_SHARD_MERGE_H_
+#define TPIIN_SHARD_MERGE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "shard/canonical.h"
+
+namespace tpiin {
+
+class RunReport;
+
+struct ShardMergeStats {
+  uint64_t shards_merged = 0;
+  CanonicalSummary summary;
+};
+
+/// Folds every per-shard result file of the sharded build in `dir`
+/// (manifest + part-XXXXX.result written by DetectShards) into one
+/// globally ranked report at `out_path` — byte-identical to the report
+/// an unsharded `tpiin detect --out` writes over the same dataset, at
+/// any shard count and any thread count. Counts sum; the global trading
+/// arc total is the per-shard sum plus the manifest's deduplicated
+/// cross-shard pair count; trades and intra findings concatenate and
+/// are sorted by content during rendering.
+Result<ShardMergeStats> MergeShards(const std::string& dir,
+                                    const std::string& out_path,
+                                    RunReport* report = nullptr);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_SHARD_MERGE_H_

@@ -1,0 +1,99 @@
+#ifndef TPIIN_SHARD_PLAN_H_
+#define TPIIN_SHARD_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+
+namespace tpiin {
+
+/// File-id -> dense-row-index map for one entity table, sized for
+/// streaming over national-ledger inputs: when ids arrive as the dense
+/// sequence 0,1,2,... (every generated dataset, and any re-export of
+/// one) it stores nothing at all; the hash map materializes only on the
+/// first gap or permutation. Dense indices here match LoadDatasetCsv's
+/// remapping (id column order = row order), which is what makes a
+/// per-shard load agree with the global one.
+class ShardIdIndex {
+ public:
+  /// Registers `file_id` as the next dense row. Duplicate ids fail.
+  Status Add(int64_t file_id);
+
+  /// Dense index of `file_id`, or -1 when no such row was registered.
+  int64_t Lookup(int64_t file_id) const {
+    if (dense_) {
+      return file_id >= 0 && static_cast<uint64_t>(file_id) < next_
+                 ? file_id
+                 : -1;
+    }
+    auto it = map_.find(file_id);
+    return it == map_.end() ? -1 : static_cast<int64_t>(it->second);
+  }
+
+  uint64_t size() const { return next_; }
+
+ private:
+  bool dense_ = true;
+  uint64_t next_ = 0;
+  std::unordered_map<int64_t, uint32_t> map_;
+};
+
+struct ShardPlanOptions {
+  uint32_t num_shards = 1;
+};
+
+/// The out-of-core partition decision: every antecedent weakly connected
+/// component (computed by a streaming union-find over the relation CSVs,
+/// never materializing the dataset) is assigned whole to one shard.
+/// Components are the paper's Algorithm 1 segmentation unit — no
+/// suspicious group, proof chain or SCC ever spans two of them — so any
+/// component-preserving partition mines to identical results.
+struct ShardPlan {
+  uint32_t num_shards = 0;
+  uint64_t num_persons = 0;
+  uint64_t num_companies = 0;
+  uint64_t num_components = 0;
+
+  /// Dense entity index -> antecedent component (component ids are
+  /// first-appearance dense, so the plan is deterministic).
+  std::vector<uint32_t> person_component;
+  std::vector<uint32_t> company_component;
+  /// Component -> shard, balanced greedily by row weight.
+  std::vector<uint32_t> component_shard;
+  /// Planned row weight per shard (entities + relation + intra trades).
+  std::vector<uint64_t> shard_weight;
+
+  /// Id lookup for the routing pass (second streaming pass).
+  ShardIdIndex person_index;
+  ShardIdIndex company_index;
+
+  /// Trading-layer census from the planning pass. Rows whose endpoints
+  /// lie in different components are counted cross (they cannot be
+  /// suspicious — no common antecedent — and are not routed to shards).
+  uint64_t trade_rows = 0;
+  uint64_t cross_trade_rows = 0;
+
+  uint32_t ShardOfPersonRow(uint64_t dense_index) const {
+    return component_shard[person_component[dense_index]];
+  }
+  uint32_t ShardOfCompanyRow(uint64_t dense_index) const {
+    return component_shard[company_component[dense_index]];
+  }
+};
+
+/// First streaming pass: scans the six CSV tables of `data_dir` once
+/// (strict parsing — shard building wants clean input; run the hardened
+/// single-process loader to triage a damaged extract), unions persons
+/// and companies over interdependence/influence/investment rows, and
+/// balances the resulting components across `options.num_shards` shards
+/// by descending row weight. Peak memory is O(entities), independent of
+/// the relation and trading row counts.
+Result<ShardPlan> PlanShards(const std::string& data_dir,
+                             const ShardPlanOptions& options);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_SHARD_PLAN_H_

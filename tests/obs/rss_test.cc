@@ -1,0 +1,52 @@
+// The peak-RSS gauge backs the out-of-core memory claims (DESIGN.md
+// §5g): it must report a plausible high-water mark, never decrease, and
+// land in the metrics registry when sampled at stage boundaries.
+
+#include <cstring>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+#include "obs/rss.h"
+
+namespace tpiin {
+namespace {
+
+TEST(RssTest, PeakIsPositiveAndMonotone) {
+  const int64_t before = PeakRssBytes();
+  ASSERT_GT(before, 0) << "platform cannot report ru_maxrss";
+  // A real allocation large enough to move the high-water mark on any
+  // page size; touched so it is actually resident.
+  std::vector<char> block(64 << 20);
+  std::memset(block.data(), 0x5a, block.size());
+  const int64_t after = PeakRssBytes();
+  EXPECT_GE(after, before);
+  block.clear();
+  block.shrink_to_fit();
+  // Monotone: releasing memory must not lower the reported peak.
+  EXPECT_GE(PeakRssBytes(), after);
+}
+
+TEST(RssTest, CurrentIsPlausible) {
+  const int64_t current = CurrentRssBytes();
+  // procfs may be absent on exotic platforms (the function returns 0);
+  // where present, current must not exceed the lifetime peak.
+  if (current > 0) {
+    EXPECT_LE(current, PeakRssBytes());
+  }
+}
+
+TEST(RssTest, SampleSetsGauges) {
+  const int64_t peak = SampleRssGauges();
+  EXPECT_GT(peak, 0);
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  const MetricsSnapshot::Entry* entry =
+      snapshot.Find("process.peak_rss_bytes");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->kind, MetricsSnapshot::Kind::kGauge);
+  EXPECT_GE(entry->gauge, peak);
+}
+
+}  // namespace
+}  // namespace tpiin

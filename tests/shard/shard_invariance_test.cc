@@ -1,0 +1,179 @@
+// The tentpole guarantee of the shard subsystem: shard build -> detect
+// -> merge produces a merged report byte-identical to the unsharded
+// pipeline over the same dataset, at ANY shard count and ANY thread
+// count. The province here includes investment cycles so the hard cases
+// ride along: SCC syndicates, intra-SCC trades, and the .gids sidecar
+// translation of shard-local company ids back to global ones.
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "core/detector.h"
+#include "core/scoring.h"
+#include "datagen/province.h"
+#include "fusion/pipeline.h"
+#include "io/dataset_csv.h"
+#include "shard/build.h"
+#include "shard/canonical.h"
+#include "shard/detect.h"
+#include "shard/manifest.h"
+#include "shard/merge.h"
+
+namespace tpiin {
+namespace {
+
+std::string Slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+}
+
+class ShardInvarianceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_shard_inv_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    data_dir_ = dir_ + "/data";
+    std::filesystem::create_directories(data_dir_);
+
+    // Small province with shareholding circles (SCC syndicates) and a
+    // dense enough trading layer that some trades land inside them.
+    ProvinceConfig config = SmallProvinceConfig(220, /*seed=*/11);
+    config.num_investment_cycles = 6;
+    config.trading_probability = 0.05;
+    Result<Province> province = GenerateProvince(config);
+    ASSERT_TRUE(province.ok()) << province.status().ToString();
+    ASSERT_TRUE(SaveDatasetCsv(data_dir_, province->dataset).ok());
+
+    // The unsharded reference must consume the same bytes the sharded
+    // pipeline routes: the CSV files, not the in-memory dataset (CSV
+    // serialises investment shares at %.6f, a lossy round trip).
+    Result<RawDataset> dataset = LoadDatasetCsv(data_dir_);
+    ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+    Result<FusionOutput> fused = BuildTpiin(*dataset);
+    ASSERT_TRUE(fused.ok()) << fused.status().ToString();
+    Result<DetectionResult> detection =
+        DetectSuspiciousGroups(fused->tpiin);
+    ASSERT_TRUE(detection.ok()) << detection.status().ToString();
+    ScoringResult scoring = ScoreDetection(fused->tpiin, *detection);
+    CanonicalReport canonical =
+        BuildCanonicalReport(fused->tpiin, *detection, scoring);
+    // The config must actually exercise the hard paths, or this test
+    // proves identity only over the easy ones.
+    ASSERT_GT(canonical.summary.intra, 0u)
+        << "config produced no intra-SCC trades; raise cycles/p";
+    ASSERT_GT(canonical.trades.size(), 0u);
+    unsharded_ = RenderCanonicalReport(canonical);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  // Builds, detects, and merges at the given configuration; returns the
+  // merged report bytes.
+  std::string RunSharded(uint32_t shards, uint32_t detect_threads,
+                         uint32_t shard_parallel) {
+    const std::string tag = StringPrintf("s%u_t%u_p%u", shards,
+                                         detect_threads, shard_parallel);
+    const std::string shard_dir = dir_ + "/shards_" + tag;
+    ShardBuildOptions build;
+    build.num_shards = shards;
+    Result<ShardManifest> manifest =
+        BuildShards(data_dir_, shard_dir, build);
+    EXPECT_TRUE(manifest.ok()) << manifest.status().ToString();
+    if (!manifest.ok()) return "";
+
+    ShardDetectOptions detect;
+    detect.num_threads = detect_threads;
+    detect.shard_parallel = shard_parallel;
+    Result<ShardDetectStats> dstats = DetectShards(shard_dir, detect);
+    EXPECT_TRUE(dstats.ok()) << dstats.status().ToString();
+    if (!dstats.ok()) return "";
+    EXPECT_FALSE(dstats->degraded);
+
+    const std::string out = dir_ + "/merged_" + tag + ".txt";
+    Result<ShardMergeStats> mstats = MergeShards(shard_dir, out);
+    EXPECT_TRUE(mstats.ok()) << mstats.status().ToString();
+    if (!mstats.ok()) return "";
+    return Slurp(out);
+  }
+
+  std::string dir_;
+  std::string data_dir_;
+  std::string unsharded_;
+};
+
+TEST_F(ShardInvarianceTest, SingleShardMatchesUnsharded) {
+  EXPECT_EQ(RunSharded(1, 1, 1), unsharded_);
+}
+
+TEST_F(ShardInvarianceTest, ShardCountInvariant) {
+  EXPECT_EQ(RunSharded(2, 1, 1), unsharded_);
+  EXPECT_EQ(RunSharded(8, 1, 1), unsharded_);
+}
+
+TEST_F(ShardInvarianceTest, ThreadCountInvariant) {
+  EXPECT_EQ(RunSharded(8, 8, 1), unsharded_);
+}
+
+TEST_F(ShardInvarianceTest, ShardParallelInvariant) {
+  EXPECT_EQ(RunSharded(8, 1, 4), unsharded_);
+}
+
+TEST_F(ShardInvarianceTest, MoreShardsThanComponentsLeavesEmptyShards) {
+  // Shard count far above the component count: the extra shards are
+  // flagged empty in the manifest, get no part files, and the merged
+  // report is still byte-identical.
+  const std::string shard_dir = dir_ + "/shards_many";
+  ShardBuildOptions build;
+  build.num_shards = 64;
+  Result<ShardManifest> manifest =
+      BuildShards(data_dir_, shard_dir, build);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+  size_t empty = 0;
+  for (const ShardEntry& entry : manifest->shards) {
+    if (entry.empty) {
+      ++empty;
+      EXPECT_FALSE(std::filesystem::exists(
+          shard_dir + "/" +
+          ExpandShardPath(manifest->path_template, entry.shard)));
+    }
+  }
+  ASSERT_TRUE(DetectShards(shard_dir, {}).ok());
+  const std::string out = dir_ + "/merged_many.txt";
+  ASSERT_TRUE(MergeShards(shard_dir, out).ok());
+  EXPECT_EQ(Slurp(out), unsharded_);
+}
+
+TEST_F(ShardInvarianceTest, ManifestAccountingConsistent) {
+  const std::string shard_dir = dir_ + "/shards_acct";
+  ShardBuildOptions build;
+  build.num_shards = 4;
+  Result<ShardManifest> manifest =
+      BuildShards(data_dir_, shard_dir, build);
+  ASSERT_TRUE(manifest.ok()) << manifest.status().ToString();
+
+  uint64_t routed_rows = 0;
+  uint64_t persons = 0;
+  uint64_t companies = 0;
+  for (const ShardEntry& entry : manifest->shards) {
+    routed_rows += entry.trade_rows;
+    persons += entry.persons;
+    companies += entry.companies;
+  }
+  EXPECT_EQ(persons, manifest->num_persons);
+  EXPECT_EQ(companies, manifest->num_companies);
+  EXPECT_EQ(routed_rows + manifest->cross_trade_rows,
+            manifest->trade_rows);
+  EXPECT_LE(manifest->cross_trade_pairs, manifest->cross_trade_rows);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,177 @@
+// Shard planner units: the id index's dense fast path and fallback, the
+// streaming union-find's component structure on a hand-built dataset,
+// cross-trade accounting, balance determinism, and strictness against
+// malformed input.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shard/plan.h"
+
+namespace tpiin {
+namespace {
+
+class ShardPlanTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_plan_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  void WriteTable(const std::string& name, const std::string& contents) {
+    std::ofstream out(dir_ + "/" + name, std::ios::trunc);
+    out << contents;
+  }
+
+  // Two antecedent islands: persons {0,1} + companies {0,1,2} linked
+  // through influence/investment, and person {2} + company {3}. Company
+  // 4 is an isolated singleton component.
+  void WriteDataset() {
+    WriteTable("persons.csv",
+               "id,name,roles\n"
+               "0,P0,legal_person\n"
+               "1,P1,director\n"
+               "2,P2,legal_person\n");
+    WriteTable("companies.csv",
+               "id,name\n"
+               "0,C0\n1,C1\n2,C2\n3,C3\n4,C4\n");
+    WriteTable("interdependence.csv",
+               "person_a,person_b,kind\n"
+               "0,1,kinship\n");
+    WriteTable("influence.csv",
+               "person,company,kind,legal_person\n"
+               "0,0,legal_person,1\n"
+               "1,1,director,0\n"
+               "2,3,legal_person,1\n");
+    WriteTable("investment.csv",
+               "investor,investee,share\n"
+               "0,2,0.6\n");
+    WriteTable("trades.csv",
+               "seller,buyer\n"
+               "0,1\n"   // intra-component (island 1)
+               "0,3\n"   // cross: island 1 -> island 2
+               "3,4\n"   // cross: island 2 -> singleton
+               "2,0\n"); // intra-component (island 1)
+  }
+
+  std::string dir_;
+};
+
+TEST(ShardIdIndexTest, DensePathAndLookup) {
+  ShardIdIndex index;
+  for (int64_t id = 0; id < 100; ++id) {
+    ASSERT_TRUE(index.Add(id).ok());
+  }
+  EXPECT_EQ(index.size(), 100u);
+  EXPECT_EQ(index.Lookup(0), 0);
+  EXPECT_EQ(index.Lookup(99), 99);
+  EXPECT_EQ(index.Lookup(100), -1);
+  EXPECT_EQ(index.Lookup(-1), -1);
+}
+
+TEST(ShardIdIndexTest, GapFallsBackToMap) {
+  ShardIdIndex index;
+  ASSERT_TRUE(index.Add(0).ok());
+  ASSERT_TRUE(index.Add(1).ok());
+  ASSERT_TRUE(index.Add(7).ok());  // Gap: dense rows 0,1 migrate.
+  ASSERT_TRUE(index.Add(3).ok());
+  EXPECT_EQ(index.size(), 4u);
+  EXPECT_EQ(index.Lookup(0), 0);
+  EXPECT_EQ(index.Lookup(1), 1);
+  EXPECT_EQ(index.Lookup(7), 2);
+  EXPECT_EQ(index.Lookup(3), 3);
+  EXPECT_EQ(index.Lookup(2), -1);
+}
+
+TEST(ShardIdIndexTest, DuplicateRejectedOnBothPaths) {
+  ShardIdIndex dense;
+  ASSERT_TRUE(dense.Add(0).ok());
+  EXPECT_TRUE(dense.Add(0).IsCorruption());
+  ShardIdIndex sparse;
+  ASSERT_TRUE(sparse.Add(5).ok());
+  EXPECT_TRUE(sparse.Add(5).IsCorruption());
+}
+
+TEST_F(ShardPlanTest, ComponentsAndCrossTrades) {
+  WriteDataset();
+  Result<ShardPlan> plan = PlanShards(dir_, {.num_shards = 2});
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->num_persons, 3u);
+  EXPECT_EQ(plan->num_companies, 5u);
+  EXPECT_EQ(plan->num_components, 3u);
+  EXPECT_EQ(plan->trade_rows, 4u);
+  EXPECT_EQ(plan->cross_trade_rows, 2u);
+
+  // Island 1: persons 0,1 with companies 0,1,2. Island 2: person 2 with
+  // company 3. Company 4 alone.
+  EXPECT_EQ(plan->person_component[0], plan->person_component[1]);
+  EXPECT_EQ(plan->person_component[0], plan->company_component[0]);
+  EXPECT_EQ(plan->company_component[0], plan->company_component[1]);
+  EXPECT_EQ(plan->company_component[0], plan->company_component[2]);
+  EXPECT_EQ(plan->person_component[2], plan->company_component[3]);
+  EXPECT_NE(plan->person_component[0], plan->person_component[2]);
+  EXPECT_NE(plan->company_component[4], plan->company_component[0]);
+  EXPECT_NE(plan->company_component[4], plan->company_component[3]);
+
+  // Greedy balance puts the heaviest island alone on one shard.
+  const uint32_t big = plan->ShardOfCompanyRow(0);
+  EXPECT_NE(big, plan->ShardOfCompanyRow(3));
+  EXPECT_EQ(plan->ShardOfCompanyRow(3), plan->ShardOfCompanyRow(4));
+  const uint64_t total_weight =
+      plan->shard_weight[0] + plan->shard_weight[1];
+  // Entities (8) + relation rows (5) + intra-component trades (2).
+  EXPECT_EQ(total_weight, 8u + 5u + 2u);
+}
+
+TEST_F(ShardPlanTest, Deterministic) {
+  WriteDataset();
+  Result<ShardPlan> a = PlanShards(dir_, {.num_shards = 4});
+  Result<ShardPlan> b = PlanShards(dir_, {.num_shards = 4});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->component_shard, b->component_shard);
+  EXPECT_EQ(a->shard_weight, b->shard_weight);
+  EXPECT_EQ(a->person_component, b->person_component);
+  EXPECT_EQ(a->company_component, b->company_component);
+}
+
+TEST_F(ShardPlanTest, ZeroShardsInvalid) {
+  WriteDataset();
+  EXPECT_TRUE(PlanShards(dir_, {.num_shards = 0}).status()
+                  .IsInvalidArgument());
+}
+
+TEST_F(ShardPlanTest, DanglingTradeEndpointIsCorruption) {
+  WriteDataset();
+  WriteTable("trades.csv", "seller,buyer\n0,99\n");
+  Result<ShardPlan> plan = PlanShards(dir_, {.num_shards = 2});
+  ASSERT_FALSE(plan.ok());
+  EXPECT_TRUE(plan.status().IsCorruption()) << plan.status().ToString();
+}
+
+TEST_F(ShardPlanTest, WrongColumnCountIsCorruption) {
+  WriteDataset();
+  WriteTable("investment.csv", "investor,investee,share\n0,2\n");
+  EXPECT_TRUE(
+      PlanShards(dir_, {.num_shards = 2}).status().IsCorruption());
+}
+
+TEST_F(ShardPlanTest, MissingTableFails) {
+  WriteDataset();
+  std::filesystem::remove(dir_ + "/influence.csv");
+  EXPECT_FALSE(PlanShards(dir_, {.num_shards = 2}).ok());
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -1,0 +1,143 @@
+// Per-shard result files carry the canonical findings between `shard
+// detect` and `shard merge`; the serialization must round-trip doubles
+// bit-exactly and labels byte-exactly (including tabs, newlines and
+// backslashes), and the strict parser must reject every torn or
+// tampered variant.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "shard/canonical.h"
+#include "shard/detect.h"
+
+namespace tpiin {
+namespace {
+
+CanonicalReport SampleReport() {
+  CanonicalReport report;
+  report.summary.subtpiins = 3;
+  report.summary.trails = 17;
+  report.summary.complex_groups = 2;
+  report.summary.simple_groups = 4;
+  report.summary.circle_groups = 1;
+  report.summary.intra = 2;
+  report.summary.suspicious_trades = 3;
+  report.summary.total_trading_arcs = 40;
+  report.summary.skipped_subs = 0;
+
+  // Scores exercise exact-double transport: a subnormal-ish product, a
+  // value with no short decimal form, and 1.0.
+  report.trades.push_back(
+      {0.1 + 0.2, 5, "Company 1", "Company\t2"});
+  report.trades.push_back(
+      {std::ldexp(1.0, -40), 1, "A \\ B", "line\nbreak"});
+  report.trades.push_back({1.0, 2, "S", "B"});
+
+  report.intra.push_back({7, 9, "{P1+P2}", {7, 8, 9}});
+  report.intra.push_back({12, 12, "syn\twith\ttabs", {12}});
+  return report;
+}
+
+TEST(ShardResultTest, RoundTripExact) {
+  const CanonicalReport report = SampleReport();
+  const std::string bytes = SerializeShardResult(42, report);
+  Result<CanonicalReport> parsed = ParseShardResult(bytes, "mem", 42);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+
+  EXPECT_EQ(parsed->summary.subtpiins, report.summary.subtpiins);
+  EXPECT_EQ(parsed->summary.trails, report.summary.trails);
+  EXPECT_EQ(parsed->summary.complex_groups,
+            report.summary.complex_groups);
+  EXPECT_EQ(parsed->summary.simple_groups, report.summary.simple_groups);
+  EXPECT_EQ(parsed->summary.circle_groups, report.summary.circle_groups);
+  EXPECT_EQ(parsed->summary.intra, report.summary.intra);
+  EXPECT_EQ(parsed->summary.suspicious_trades,
+            report.summary.suspicious_trades);
+  EXPECT_EQ(parsed->summary.total_trading_arcs,
+            report.summary.total_trading_arcs);
+  EXPECT_FALSE(parsed->summary.degraded);
+  EXPECT_FALSE(parsed->summary.truncated);
+
+  ASSERT_EQ(parsed->trades.size(), report.trades.size());
+  for (size_t i = 0; i < report.trades.size(); ++i) {
+    // Bit-exact double transport is what makes the merged ranking
+    // byte-identical to the unsharded one.
+    EXPECT_EQ(parsed->trades[i].score, report.trades[i].score) << i;
+    EXPECT_EQ(parsed->trades[i].group_count, report.trades[i].group_count);
+    EXPECT_EQ(parsed->trades[i].seller, report.trades[i].seller) << i;
+    EXPECT_EQ(parsed->trades[i].buyer, report.trades[i].buyer) << i;
+  }
+  ASSERT_EQ(parsed->intra.size(), report.intra.size());
+  for (size_t i = 0; i < report.intra.size(); ++i) {
+    EXPECT_EQ(parsed->intra[i].seller, report.intra[i].seller);
+    EXPECT_EQ(parsed->intra[i].buyer, report.intra[i].buyer);
+    EXPECT_EQ(parsed->intra[i].syndicate, report.intra[i].syndicate) << i;
+    EXPECT_EQ(parsed->intra[i].chain, report.intra[i].chain) << i;
+  }
+
+  // Serialization is a pure function of the report.
+  EXPECT_EQ(bytes, SerializeShardResult(42, report));
+}
+
+TEST(ShardResultTest, FlagsRoundTrip) {
+  CanonicalReport report = SampleReport();
+  report.summary.degraded = true;
+  report.summary.truncated = true;
+  report.summary.skipped_subs = 5;
+  Result<CanonicalReport> parsed =
+      ParseShardResult(SerializeShardResult(0, report), "mem", 0);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->summary.degraded);
+  EXPECT_TRUE(parsed->summary.truncated);
+  EXPECT_EQ(parsed->summary.skipped_subs, 5u);
+}
+
+TEST(ShardResultTest, ShardNumberMismatchRejected) {
+  const std::string bytes = SerializeShardResult(3, SampleReport());
+  Result<CanonicalReport> parsed = ParseShardResult(bytes, "mem", 4);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_TRUE(parsed.status().IsCorruption());
+}
+
+TEST(ShardResultTest, EveryTruncationRejected) {
+  const std::string bytes = SerializeShardResult(1, SampleReport());
+  for (size_t len = 0; len < bytes.size(); ++len) {
+    Result<CanonicalReport> parsed =
+        ParseShardResult(bytes.substr(0, len), "mem", 1);
+    EXPECT_FALSE(parsed.ok()) << "accepted truncation at " << len;
+  }
+}
+
+TEST(ShardResultTest, EveryBitFlipRejected) {
+  const std::string bytes = SerializeShardResult(1, SampleReport());
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] ^= 0x01;
+    Result<CanonicalReport> parsed = ParseShardResult(mutated, "mem", 1);
+    EXPECT_FALSE(parsed.ok()) << "accepted bit flip at byte " << i;
+  }
+}
+
+TEST(ShardResultTest, AppendedJunkRejected) {
+  const std::string bytes = SerializeShardResult(1, SampleReport());
+  EXPECT_FALSE(ParseShardResult(bytes + "trade 1\t1\ta\tb\n", "mem", 1)
+                   .ok());
+  EXPECT_FALSE(ParseShardResult(bytes + "\n", "mem", 1).ok());
+}
+
+TEST(ShardResultTest, EmptyReportRoundTrips) {
+  CanonicalReport report;
+  report.summary.total_trading_arcs = 12;
+  Result<CanonicalReport> parsed =
+      ParseShardResult(SerializeShardResult(0, report), "mem", 0);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_TRUE(parsed->trades.empty());
+  EXPECT_TRUE(parsed->intra.empty());
+  EXPECT_EQ(parsed->summary.total_trading_arcs, 12u);
+}
+
+}  // namespace
+}  // namespace tpiin
