@@ -33,7 +33,7 @@ Result<StreamStats> StreamProvinceCsv(const ProvinceConfig& config,
   std::vector<uint32_t> sizes;
   uint32_t used = 0;
   for (uint32_t s : config.large_group_sizes) {
-    if (used + s > config.num_companies) break;
+    if (s > config.num_companies - used) break;  // No uint32 wrap.
     sizes.push_back(s);
     used += s;
   }

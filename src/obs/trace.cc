@@ -96,12 +96,13 @@ TraceRecorder::ThreadBuffer* TraceRecorder::LocalBuffer() {
   return raw;
 }
 
+uint32_t TraceRecorder::BeginSpan() { return LocalBuffer()->next_seq++; }
+
 void TraceRecorder::RecordSpan(const char* name, int64_t ts_us,
-                               int64_t dur_us) {
+                               int64_t dur_us, uint32_t start_seq) {
   ThreadBuffer* buffer = LocalBuffer();
   buffer->events.push_back(
-      SpanEvent{name, ts_us, dur_us, buffer->tid,
-                static_cast<uint32_t>(buffer->events.size())});
+      SpanEvent{name, ts_us, dur_us, buffer->tid, start_seq});
 }
 
 size_t TraceRecorder::NumEvents() const {
@@ -123,17 +124,16 @@ std::vector<TraceRecorder::SpanEvent> TraceRecorder::MergedEvents() const {
                     buffer->events.end());
     }
   }
-  // Longer-duration-first on equal timestamps puts an enclosing span
-  // before the children it started in the same microsecond. When even
-  // the durations tie (sub-microsecond nest), fall back to reverse
-  // append order: RAII destruction pushes children before their parent,
-  // so the later-appended event is the ancestor and must sort first.
+  // Same-thread ties break on BeginSpan start order, which is program
+  // order: a parent constructs before the children it started in the
+  // same microsecond, and an earlier sibling constructs before a later
+  // one. (Duration or destruction order cannot tell those two cases
+  // apart, which made merge order flap with clock resolution.)
   std::sort(merged.begin(), merged.end(),
             [](const SpanEvent& a, const SpanEvent& b) {
               if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
               if (a.tid != b.tid) return a.tid < b.tid;
-              if (a.dur_us != b.dur_us) return a.dur_us > b.dur_us;
-              return a.seq > b.seq;
+              return a.seq < b.seq;
             });
   return merged;
 }

@@ -58,7 +58,7 @@ class TraceRecorder {
     int64_t ts_us = 0;
     int64_t dur_us = 0;
     uint32_t tid = 0;  // Dense per-recorder thread index.
-    uint32_t seq = 0;  // Append position within the thread's buffer.
+    uint32_t seq = 0;  // Start order within the thread (see BeginSpan).
   };
 
   TraceRecorder();
@@ -83,14 +83,23 @@ class TraceRecorder {
   /// Microseconds since recorder construction (steady clock).
   int64_t NowMicros() const;
 
+  /// Allocates the calling thread's next span start index. TraceSpan
+  /// calls this at construction, so the indices order same-thread spans
+  /// by program order (parent before child, siblings in start order)
+  /// even when their microsecond timestamps tie — destruction order
+  /// cannot distinguish those two cases.
+  uint32_t BeginSpan();
+
   /// Appends a completed span to the calling thread's buffer.
-  void RecordSpan(const char* name, int64_t ts_us, int64_t dur_us);
+  void RecordSpan(const char* name, int64_t ts_us, int64_t dur_us,
+                  uint32_t start_seq);
 
   /// Spans recorded so far, across all threads.
   size_t NumEvents() const;
 
-  /// All events merged and sorted by (ts, tid, longer-duration-first),
-  /// so a parent span always precedes its children.
+  /// All events merged and sorted by (ts, tid, start order), so a
+  /// parent span always precedes its children and same-thread order is
+  /// reproducible run to run regardless of clock resolution.
   std::vector<SpanEvent> MergedEvents() const;
 
   /// Chrome trace_event JSON ("traceEvents" array of "X" complete
@@ -104,6 +113,7 @@ class TraceRecorder {
   struct ThreadBuffer {
     std::thread::id owner;
     uint32_t tid = 0;
+    uint32_t next_seq = 0;  // Next BeginSpan start index.
     std::vector<SpanEvent> events;
   };
 
@@ -124,13 +134,17 @@ class TraceSpan {
  public:
   explicit TraceSpan(const char* name)
       : recorder_(TraceRecorder::Current()), name_(name) {
-    if (recorder_ != nullptr) start_us_ = recorder_->NowMicros();
+    if (recorder_ != nullptr) {
+      start_us_ = recorder_->NowMicros();
+      start_seq_ = recorder_->BeginSpan();
+    }
   }
 
   ~TraceSpan() {
     if (recorder_ != nullptr) {
       recorder_->RecordSpan(name_, start_us_,
-                            recorder_->NowMicros() - start_us_);
+                            recorder_->NowMicros() - start_us_,
+                            start_seq_);
     }
   }
 
@@ -141,6 +155,7 @@ class TraceSpan {
   TraceRecorder* recorder_;
   const char* name_;
   int64_t start_us_ = 0;
+  uint32_t start_seq_ = 0;
 };
 
 }  // namespace tpiin

@@ -119,7 +119,12 @@ Status ValidateHeaderAndDirectory(const std::string& path,
                              std::string(SectionName(id)).c_str(),
                              entry.elem_size, ExpectedElemSize(id)));
     }
-    if (entry.size != entry.count * entry.elem_size) {
+    // Divide, never multiply: `count * elem_size` wraps for a crafted
+    // count near 2^62, letting a huge element count masquerade as a
+    // tiny (bounds-checked) byte size. elem_size is non-zero here — it
+    // just matched ExpectedElemSize.
+    if (entry.size % entry.elem_size != 0 ||
+        entry.count != entry.size / entry.elem_size) {
       return BadSnapshot(
           path, StringPrintf("section %s size/count mismatch",
                              std::string(SectionName(id)).c_str()));
@@ -188,8 +193,12 @@ const SectionEntry& Entry(const std::vector<SectionEntry>& by_id,
 }
 
 /// Cross-checks the column shapes the directory promises against the
-/// meta counts, plus O(1) terminal-offset spot checks that make every
-/// later span construction in-bounds. No per-element work.
+/// meta counts, then walks every offsets column once: terminals pinned
+/// to [0, value-count], interiors monotone, and the CSR influence split
+/// inside each node's arc range. Together these make every later span
+/// construction in-bounds even for a CRC-consistent hostile file — a
+/// non-monotonic interior offset would wrap a span length to ~2^64.
+/// O(num_nodes) per offsets column; dwarfed by the optional CRC pass.
 Status ValidateShapes(const std::string& path, const unsigned char* base,
                       const std::vector<SectionEntry>& by_id,
                       const SnapshotMeta& meta) {
@@ -247,9 +256,10 @@ Status ValidateShapes(const std::string& path, const unsigned char* base,
     return BadSnapshot(path, "wcc_component_of count mismatch");
   }
 
-  // Terminal offsets: first element 0, last element equal to the value
-  // column's length. With the CRC pass these pin every variable-length
-  // column's span inside its section.
+  // Offsets columns: terminals pin the spanned range (first element 0,
+  // last element the value column's length), and every interior step
+  // must be non-decreasing or span lengths like offsets[i+1]-offsets[i]
+  // underflow to huge values.
   struct OffsetPair {
     SectionId offsets;
     SectionId values;
@@ -271,14 +281,52 @@ Status ValidateShapes(const std::string& path, const unsigned char* base,
                              std::string(SectionName(pair.offsets))
                                  .c_str()));
     }
+    for (uint64_t i = 0; i < n; ++i) {
+      if (data[i] > data[i + 1]) {
+        return BadSnapshot(
+            path, StringPrintf("section %s offsets are not monotone",
+                               std::string(SectionName(pair.offsets))
+                                   .c_str()));
+      }
+    }
   }
-  for (SectionId id : {SectionId::kOutOffsets, SectionId::kInOffsets}) {
-    const auto* data = reinterpret_cast<const uint32_t*>(
-        base + Entry(by_id, id).offset);
-    if (data[0] != 0 || data[n] != m) {
+
+  // CSR columns: same monotonicity contract, plus the influence split
+  // must sit inside each node's arc range (FrozenGraph slices both
+  // [offsets[v], end[v]) and [end[v], offsets[v+1])).
+  struct CsrPair {
+    SectionId offsets;
+    SectionId influence_end;
+  };
+  const CsrPair csr[] = {
+      {SectionId::kOutOffsets, SectionId::kOutInfluenceEnd},
+      {SectionId::kInOffsets, SectionId::kInInfluenceEnd},
+  };
+  for (const CsrPair& pair : csr) {
+    const auto* offsets = reinterpret_cast<const uint32_t*>(
+        base + Entry(by_id, pair.offsets).offset);
+    const auto* split = reinterpret_cast<const uint32_t*>(
+        base + Entry(by_id, pair.influence_end).offset);
+    if (offsets[0] != 0 || offsets[n] != m) {
       return BadSnapshot(
-          path, StringPrintf("section %s terminal offsets are broken",
-                             std::string(SectionName(id)).c_str()));
+          path,
+          StringPrintf("section %s terminal offsets are broken",
+                       std::string(SectionName(pair.offsets)).c_str()));
+    }
+    for (uint64_t i = 0; i < n; ++i) {
+      if (offsets[i] > offsets[i + 1]) {
+        return BadSnapshot(
+            path, StringPrintf("section %s offsets are not monotone",
+                               std::string(SectionName(pair.offsets))
+                                   .c_str()));
+      }
+      if (split[i] < offsets[i] || split[i] > offsets[i + 1]) {
+        return BadSnapshot(
+            path,
+            StringPrintf(
+                "section %s influence split is outside its arc range",
+                std::string(SectionName(pair.influence_end)).c_str()));
+      }
     }
   }
   return Status::OK();

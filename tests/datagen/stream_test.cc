@@ -88,6 +88,17 @@ TEST_F(StreamTest, MatchesBatchGeneratorPaperConfig) {
   ExpectStreamMatchesBatch(config);
 }
 
+TEST_F(StreamTest, OversizedLargeGroupStopsTheListWithoutWrap) {
+  // A configured group size near UINT32_MAX must stop the large-group
+  // scan: a wrapping `used + s` admission check would accept a group
+  // billions of companies larger than the province and hang both
+  // generators apportioning persons over it.
+  ProvinceConfig config = SmallProvinceConfig(40, /*seed=*/7);
+  config.trading_probability = 0.02;
+  config.large_group_sizes = {10, ~uint32_t{0} - 2, 8};
+  ExpectStreamMatchesBatch(config);
+}
+
 TEST(ScaleConfigTest, FactorOneIsIdentity) {
   const ProvinceConfig base = PaperProvinceConfig(7);
   const ProvinceConfig scaled = ScaleConfig(base, 1.0);

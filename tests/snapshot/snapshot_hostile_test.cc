@@ -103,6 +103,47 @@ class SnapshotHostileTest : public ::testing::Test {
     return entry;
   }
 
+  size_t IndexOf(SectionId id) const {
+    const SnapshotHeader header = Header();
+    for (size_t i = 0; i < header.section_count; ++i) {
+      if (Entry(i).id == static_cast<uint32_t>(id)) return i;
+    }
+    ADD_FAILURE() << "section id " << static_cast<uint32_t>(id)
+                  << " not in directory";
+    return 0;
+  }
+
+  // Overwrites payload bytes at `byte_off` within section `index` and
+  // re-seals its CRC (plus directory + header) so the mutation reaches
+  // the shape checks instead of dying at the checksum gate.
+  void PutPayload(std::string* bytes, size_t index, uint64_t byte_off,
+                  const void* value, size_t value_size) const {
+    SectionEntry entry = Entry(index);
+    std::memcpy(bytes->data() + entry.offset + byte_off, value,
+                value_size);
+    entry.crc = Crc32c(bytes->data() + entry.offset,
+                       static_cast<size_t>(entry.size));
+    PutEntry(bytes, index, entry);
+  }
+
+  // ReadSnapshotInfo stops at the header/directory validator, so
+  // payload-level corruption is only caught by the mapping consumer —
+  // with and without the checksum pass.
+  void ExpectViewRejected(const std::string& path,
+                          const std::string& expect_substring) {
+    for (bool verify : {true, false}) {
+      SnapshotOpenOptions options;
+      options.verify_checksums = verify;
+      auto view = SnapshotView::Open(path, options);
+      ASSERT_FALSE(view.ok()) << path << " verify=" << verify;
+      EXPECT_TRUE(view.status().IsCorruption())
+          << view.status().ToString();
+      EXPECT_NE(view.status().ToString().find(expect_substring),
+                std::string::npos)
+          << "status: " << view.status().ToString();
+    }
+  }
+
   std::string dir_;
   std::string path_;
   std::string bytes_;
@@ -232,6 +273,52 @@ TEST_F(SnapshotHostileTest, SizeCountMismatch) {
   auto view = SnapshotView::Open(WriteBytes("count.snap", bad));
   ASSERT_FALSE(view.ok());
   EXPECT_TRUE(view.status().IsCorruption());
+}
+
+TEST_F(SnapshotHostileTest, SizeCountWrappingMultiply) {
+  // count=2^62 with elem_size 4 multiplies to 0 mod 2^64, so a
+  // wrapping `size != count * elem_size` check would accept size=0
+  // (which then passes every bounds/overlap/CRC check) and publish a
+  // 2^62-element span. The divide-based check must reject it.
+  const size_t index = IndexOf(SectionId::kPersonMembers);
+  SectionEntry entry = Entry(index);
+  ASSERT_EQ(entry.elem_size, 4u);
+  std::string bad = bytes_;
+  entry.count = uint64_t{1} << 62;
+  entry.size = 0;
+  entry.crc = Crc32c(bytes_.data(), 0);
+  PutEntry(&bad, index, entry);
+  ExpectRejected(WriteBytes("wrap.snap", bad), "size/count mismatch");
+}
+
+TEST_F(SnapshotHostileTest, NonMonotonicMemberOffsets) {
+  // An interior offset above its successor wraps span lengths
+  // (offsets[i+1] - offsets[i]) to ~2^64. Terminals stay valid and all
+  // CRCs are re-sealed, so only the per-element pass can catch it.
+  const size_t index = IndexOf(SectionId::kPersonMemberOffsets);
+  ASSERT_GE(Entry(index).count, 3u);  // Need an interior element.
+  const uint64_t huge = ~uint64_t{0};
+  std::string bad = bytes_;
+  PutPayload(&bad, index, sizeof(uint64_t), &huge, sizeof(huge));
+  ExpectViewRejected(WriteBytes("monotone.snap", bad), "not monotone");
+}
+
+TEST_F(SnapshotHostileTest, NonMonotonicCsrOffsets) {
+  const size_t index = IndexOf(SectionId::kOutOffsets);
+  ASSERT_GE(Entry(index).count, 3u);
+  const uint32_t huge = ~uint32_t{0};
+  std::string bad = bytes_;
+  PutPayload(&bad, index, sizeof(uint32_t), &huge, sizeof(huge));
+  ExpectViewRejected(WriteBytes("csr_monotone.snap", bad),
+                     "not monotone");
+}
+
+TEST_F(SnapshotHostileTest, InfluenceSplitOutOfRange) {
+  const size_t index = IndexOf(SectionId::kOutInfluenceEnd);
+  const uint32_t huge = ~uint32_t{0};
+  std::string bad = bytes_;
+  PutPayload(&bad, index, 0, &huge, sizeof(huge));
+  ExpectViewRejected(WriteBytes("split.snap", bad), "influence split");
 }
 
 TEST_F(SnapshotHostileTest, DuplicateSectionId) {
