@@ -1,5 +1,7 @@
 #include "cli/cli.h"
 
+#include <csignal>
+#include <cstring>
 #include <filesystem>
 #include <memory>
 #include <unordered_map>
@@ -27,9 +29,11 @@
 #include "io/gexf_export.h"
 #include "io/json_report.h"
 #include "io/pattern_file.h"
+#include "common/atomic_file.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
+#include "serve/server.h"
 #include "shard/build.h"
 #include "shard/canonical.h"
 #include "shard/detect.h"
@@ -802,6 +806,130 @@ Status RunShardMerge(const std::vector<std::string>& args,
   return obs.Finish(&report, out);
 }
 
+// Signal wiring for `tpiin serve`: SIGINT/SIGTERM kick the running
+// server's wake pipe (async-signal-safe) so it drains and exits
+// cleanly. Handlers are restored on return, so an in-process caller
+// (tests driving RunCli) gets its dispositions back.
+void ServeSignalHandler(int) { Server::RequestShutdownFromSignal(); }
+
+class ScopedServeSignals {
+ public:
+  ScopedServeSignals() {
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = ServeSignalHandler;
+    sigemptyset(&action.sa_mask);
+    sigaction(SIGINT, &action, &old_int_);
+    sigaction(SIGTERM, &action, &old_term_);
+  }
+  ~ScopedServeSignals() {
+    sigaction(SIGINT, &old_int_, nullptr);
+    sigaction(SIGTERM, &old_term_, nullptr);
+  }
+
+ private:
+  struct sigaction old_int_;
+  struct sigaction old_term_;
+};
+
+// `tpiin serve`: open a snapshot once, answer newline-delimited JSON
+// queries over TCP until SIGINT/SIGTERM, then drain and exit (0 clean,
+// 2 when any response was budget-degraded).
+Status RunServe(const std::vector<std::string>& args, std::ostream& out,
+                int* exit_code) {
+  FlagParser flags;
+  flags.DefineString("snapshot", "",
+                     "binary TPIIN snapshot (written by `tpiin build`)");
+  flags.DefineString("host", "127.0.0.1",
+                     "IPv4 address to bind (loopback by default)");
+  flags.DefineInt64("port", 0, "TCP port (0 = ephemeral; see --port-file)");
+  flags.DefineString("port-file", "",
+                     "write the bound port here (scripts using --port=0)");
+  flags.DefineInt64("threads", 0,
+                    "detector threads per request (0 = auto-detect)");
+  flags.DefineInt64("max-inflight", 4,
+                    "requests executing concurrently; beyond this they "
+                    "queue");
+  flags.DefineInt64("max-queue", 16,
+                    "queued connections beyond max-inflight; further "
+                    "connects are answered busy");
+  flags.DefineInt64("cache-entries", 256,
+                    "per-subTPIIN rescore result cache capacity (0 = off)");
+  flags.DefineInt64("bundle-cache-entries", 4,
+                    "full detection+scoring bundle cache capacity (0 = "
+                    "off)");
+  flags.DefineInt64("idle-timeout-ms", 30000,
+                    "close a connection idle this long");
+  flags.DefineInt64("drain-ms", 10000,
+                    "graceful-drain budget for in-flight requests at "
+                    "shutdown");
+  flags.DefineBool("verify", true, "verify snapshot checksums at open");
+  flags.DefineString("report", "",
+                     "write the final stats report (JSON) at shutdown");
+  DefineBudgetFlags(flags);
+  TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
+  if (flags.GetString("snapshot").empty()) {
+    return Status::InvalidArgument("serve requires --snapshot=FILE");
+  }
+
+  ServeOptions options;
+  options.snapshot_path = flags.GetString("snapshot");
+  options.host = flags.GetString("host");
+  options.port = static_cast<uint16_t>(
+      std::max<int64_t>(0, std::min<int64_t>(65535, flags.GetInt64("port"))));
+  options.max_inflight = static_cast<size_t>(
+      std::max<int64_t>(1, flags.GetInt64("max-inflight")));
+  options.max_queue = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt64("max-queue")));
+  options.idle_timeout_seconds = flags.GetInt64("idle-timeout-ms") / 1e3;
+  options.drain_seconds = flags.GetInt64("drain-ms") / 1e3;
+  options.verify_checksums = flags.GetBool("verify");
+  options.service.threads =
+      static_cast<uint32_t>(std::max<int64_t>(0, flags.GetInt64("threads")));
+  options.service.cache_entries = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt64("cache-entries")));
+  options.service.bundle_cache_entries = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt64("bundle-cache-entries")));
+  options.service.default_budget = BudgetFromFlags(flags);
+
+  TPIIN_ASSIGN_OR_RETURN(std::unique_ptr<Server> server,
+                         Server::Start(options));
+
+  if (!flags.GetString("port-file").empty()) {
+    TPIIN_RETURN_IF_ERROR(
+        WriteFileAtomic(flags.GetString("port-file"),
+                        StringPrintf("%u\n", server->port())));
+  }
+
+  // Readiness line, flushed before blocking: scripts wait for it.
+  out << "serving on " << server->host() << ":" << server->port()
+      << " (snapshot " << options.snapshot_path << ", crc "
+      << StringPrintf("%08x", server->snapshot_crc()) << ", "
+      << server->net().NumNodes() << " nodes, " << server->net().NumArcs()
+      << " arcs)\n";
+  out.flush();
+
+  ScopedServeSignals signals;
+  const ServeSummary summary = server->Wait();
+
+  if (!flags.GetString("report").empty()) {
+    if (!server->BuildStatsReport().WriteJson(flags.GetString("report"))) {
+      return Status::IOError("cannot write report to " +
+                             flags.GetString("report"));
+    }
+    out << "run report written to " << flags.GetString("report") << "\n";
+  }
+  out << "shutdown: " << summary.connections_accepted << " connection(s), "
+      << summary.requests << " request(s) — " << summary.ok << " ok, "
+      << summary.degraded << " degraded, " << summary.busy << " busy, "
+      << summary.errors << " error(s)\n";
+  if (summary.degraded > 0) {
+    out << "WARNING: some responses were budget-degraded (exit code 2)\n";
+  }
+  if (exit_code != nullptr) *exit_code = summary.ExitCode();
+  return Status::OK();
+}
+
 Status RunShardCmd(const std::vector<std::string>& args, std::ostream& out,
                    int* exit_code) {
   if (args.empty()) {
@@ -860,6 +988,17 @@ std::string CliUsage() {
       "  shard merge   fold shard results into one globally ranked\n"
       "          report, byte-identical to an unsharded detect --out\n"
       "          --dir=DIR --out=FILE [--report=FILE]\n"
+      "  serve   long-lived query daemon over a loaded snapshot:\n"
+      "          newline-delimited JSON over TCP (verbs: groups, explain,\n"
+      "          rescore, stats, healthz); groups/explain bytes match the\n"
+      "          batch commands exactly\n"
+      "          --snapshot=FILE [--host=ADDR] [--port=N] [--port-file=F]\n"
+      "          [--threads=T] [--max-inflight=N] [--max-queue=N]\n"
+      "          [--cache-entries=N] [--bundle-cache-entries=N]\n"
+      "          [--idle-timeout-ms=N] [--drain-ms=N] [--report=FILE]\n"
+      "          [--deadline-ms=N ...budget flags]\n"
+      "          (SIGINT/SIGTERM drain in-flight requests, then exit:\n"
+      "          0 clean, 1 startup failure, 2 served degraded results)\n"
       "  export  render a TPIIN (or one company's neighborhood) for\n"
       "          Graphviz/Gephi\n"
       "          (--net=FILE | --snapshot=FILE) --format=dot|gexf "
@@ -897,6 +1036,7 @@ Status DispatchCli(const std::vector<std::string>& args, std::ostream& out,
   if (command == "snapshot") return RunSnapshotCmd(rest, out);
   if (command == "detect") return RunDetect(rest, out, exit_code);
   if (command == "shard") return RunShardCmd(rest, out, exit_code);
+  if (command == "serve") return RunServe(rest, out, exit_code);
   if (command == "explain") return RunExplain(rest, out);
   if (command == "screen") return RunScreen(rest, out);
   if (command == "stats") return RunStats(rest, out);

@@ -23,6 +23,11 @@ namespace tpiin {
 ///           scored trading relationships.
 ///   stats   --net=FILE
 ///           Degree statistics of the antecedent/trading layers.
+///   serve   --snapshot=FILE [--port=N] ...
+///           Long-lived query daemon: newline-delimited JSON over TCP
+///           (groups, explain, rescore, stats, healthz), answers
+///           byte-identical to the batch commands; drains on
+///           SIGINT/SIGTERM.
 ///   export  --net=FILE --format=dot|gexf --out=FILE
 ///           Render the TPIIN for Graphviz or Gephi.
 ///

@@ -164,7 +164,26 @@ Status Failpoints::Check(std::string_view site) {
   if (registry.rules.empty()) return Status::OK();
   const uint64_t hit = ++registry.hits[std::string(site)];
   auto it = registry.rules.find(std::string(site));
-  if (it == registry.rules.end()) it = registry.rules.find("*");
+  if (it == registry.rules.end()) {
+    // No exact rule: the longest matching "<prefix>.*" rule wins
+    // (so `serve.*` can cover a subsystem while `serve.read:off`
+    // still exempts one site), then the global "*".
+    size_t best = 0;
+    for (auto candidate = registry.rules.begin();
+         candidate != registry.rules.end(); ++candidate) {
+      const std::string& key = candidate->first;
+      if (key.size() < 2 || key.compare(key.size() - 2, 2, ".*") != 0) {
+        continue;
+      }
+      const std::string_view prefix(key.data(), key.size() - 1);
+      if (site.size() >= prefix.size() &&
+          site.substr(0, prefix.size()) == prefix && key.size() > best) {
+        it = candidate;
+        best = key.size();
+      }
+    }
+    if (it == registry.rules.end()) it = registry.rules.find("*");
+  }
   if (it == registry.rules.end()) return Status::OK();
   const Rule& rule = it->second;
   if (rule.kind == FireKind::kOff) return Status::OK();

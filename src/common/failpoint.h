@@ -20,8 +20,10 @@ namespace tpiin {
 ///
 /// Spec grammar (comma-separated terms):
 ///   <site>:<policy>
-/// where <site> is a failpoint name (e.g. io.csv.open) or `*` (matches
-/// every site without an exact-name rule), and <policy> is one of
+/// where <site> is a failpoint name (e.g. io.csv.open), a prefix
+/// wildcard like `serve.*` (matches every site under that prefix; the
+/// longest matching prefix rule wins), or `*` (matches every site
+/// without a more specific rule), and <policy> is one of
 ///   off               disable the site (useful to exempt one site from *)
 ///   error             Status::Internal on every hit
 ///   ioerror           Status::IOError on every hit

@@ -16,13 +16,21 @@ Status WritePatternBaseFile(const std::string& path, const SubTpiin& sub,
   return file.Commit();
 }
 
+std::string RenderSuspiciousGroups(
+    const Tpiin& net, const std::vector<SuspiciousGroup>& groups) {
+  std::string out;
+  for (const SuspiciousGroup& group : groups) {
+    out += group.Format(net);
+    out += "\n";
+  }
+  return out;
+}
+
 Status WriteSuspiciousGroupsFile(const std::string& path, const Tpiin& net,
                                  const std::vector<SuspiciousGroup>& groups) {
   AtomicFile file(path);
   if (!file.ok()) return Status::IOError("cannot open " + path);
-  for (const SuspiciousGroup& group : groups) {
-    file.stream() << group.Format(net) << "\n";
-  }
+  file.stream() << RenderSuspiciousGroups(net, groups);
   return file.Commit();
 }
 

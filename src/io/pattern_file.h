@@ -18,8 +18,15 @@ namespace tpiin {
 Status WritePatternBaseFile(const std::string& path, const SubTpiin& sub,
                             const PatternBase& base);
 
-/// Writes detected suspicious groups as the paper's susGroup(i) file:
-/// one group per line, "antecedent: {trail1} | {trail2} [flags]".
+/// Renders detected suspicious groups in the paper's susGroup(i)
+/// layout: one group per line, "antecedent: {trail1} | {trail2}
+/// [flags]". The single source of the format — the batch file writer
+/// below streams exactly these bytes, and the serve layer's `groups`
+/// verb returns them, so the two are diffable byte for byte.
+std::string RenderSuspiciousGroups(const Tpiin& net,
+                                   const std::vector<SuspiciousGroup>& groups);
+
+/// Writes RenderSuspiciousGroups to the susGroup(i) file.
 Status WriteSuspiciousGroupsFile(const std::string& path, const Tpiin& net,
                                  const std::vector<SuspiciousGroup>& groups);
 

@@ -1,0 +1,425 @@
+#include "serve/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "serve/protocol.h"
+
+namespace tpiin {
+
+namespace {
+
+/// The wake pipe's write end, published for the signal handler. One
+/// server per process may be signal-wired at a time (the CLI's case);
+/// tests running several servers drive Shutdown() directly instead.
+std::atomic<int> g_signal_wake_fd{-1};
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void SetReadTimeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  struct timeval tv;
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>(
+      (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+/// Evaluates a failpoint site without the return-macro: the serve loops
+/// must keep running after an injected fault, so the Status is handed
+/// back for local handling instead of propagated.
+Status CheckFailpoint(const char* site) {
+  if (!Failpoints::AnyActive()) return Status::OK();
+  return Failpoints::Check(site);
+}
+
+}  // namespace
+
+Server::Server(const ServeOptions& options)
+    : options_(options),
+      admission_(options.max_inflight, options.max_queue) {}
+
+Result<std::unique_ptr<Server>> Server::Start(const ServeOptions& options) {
+  std::unique_ptr<Server> server(new Server(options));
+
+  SnapshotOpenOptions open_options;
+  open_options.verify_checksums = options.verify_checksums;
+  TPIIN_ASSIGN_OR_RETURN(
+      server->view_, SnapshotView::Open(options.snapshot_path, open_options));
+  server->service_ = std::make_unique<QueryService>(
+      server->view_->net(), server->view_->header_crc(), options.service,
+      &server->metrics_);
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("unparsable host (want IPv4 dotted quad): " +
+                                   options.host);
+  }
+
+  server->listen_fd_ = socket(AF_INET, SOCK_STREAM, 0);
+  if (server->listen_fd_ < 0) return ErrnoStatus("socket");
+  int one = 1;
+  setsockopt(server->listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (bind(server->listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+           sizeof(addr)) != 0) {
+    return ErrnoStatus("bind");
+  }
+  if (listen(server->listen_fd_, 64) != 0) return ErrnoStatus("listen");
+
+  struct sockaddr_in bound;
+  socklen_t bound_len = sizeof(bound);
+  if (getsockname(server->listen_fd_,
+                  reinterpret_cast<struct sockaddr*>(&bound),
+                  &bound_len) != 0) {
+    return ErrnoStatus("getsockname");
+  }
+  server->port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) return ErrnoStatus("pipe");
+  server->wake_read_fd_ = pipe_fds[0];
+  server->wake_write_fd_ = pipe_fds[1];
+  // Non-blocking write end: a signal handler must never block, and a
+  // full pipe already means a wakeup is pending.
+  fcntl(server->wake_write_fd_, F_SETFL, O_NONBLOCK);
+  g_signal_wake_fd.store(server->wake_write_fd_, std::memory_order_release);
+
+  server->started_at_ = std::chrono::steady_clock::now();
+  server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  return server;
+}
+
+Server::~Server() {
+  Shutdown();
+  if (acceptor_.joinable()) Wait();
+  g_signal_wake_fd.store(-1, std::memory_order_release);
+  if (wake_read_fd_ >= 0) close(wake_read_fd_);
+  if (wake_write_fd_ >= 0) close(wake_write_fd_);
+  if (listen_fd_ >= 0) close(listen_fd_);
+}
+
+void Server::RequestShutdownFromSignal() {
+  // Async-signal-safe: one atomic load and one write(2).
+  const int fd = g_signal_wake_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = write(fd, &byte, 1);
+  }
+}
+
+void Server::Shutdown() {
+  if (stopping_.exchange(true)) return;
+  const char byte = 1;
+  [[maybe_unused]] ssize_t n = write(wake_write_fd_, &byte, 1);
+}
+
+void Server::AcceptLoop() {
+  while (true) {
+    struct pollfd fds[2];
+    fds[0] = {listen_fd_, POLLIN, 0};
+    fds[1] = {wake_read_fd_, POLLIN, 0};
+    const int ready = poll(fds, 2, /*timeout_ms=*/-1);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (stopping_.load(std::memory_order_acquire) ||
+        (fds[1].revents & POLLIN)) {
+      stopping_.store(true, std::memory_order_release);
+      break;
+    }
+    if (!(fds[0].revents & POLLIN)) continue;
+
+    const int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      break;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+
+    if (!CheckFailpoint("serve.accept").ok()) {
+      // Injected accept fault: drop this connection, keep serving.
+      close(fd);
+      continue;
+    }
+
+    // Admission is decided here, on the acceptor, so saturation is a
+    // deterministic function of open connections — not of worker
+    // scheduling. A refused connection gets one busy line and is closed.
+    if (!admission_.TryEnterConnection()) {
+      connections_refused_.fetch_add(1, std::memory_order_relaxed);
+      busy_.fetch_add(1, std::memory_order_relaxed);
+      Response resp;
+      resp.status = "busy";
+      resp.error = StringPrintf(
+          "server at capacity (%zu in flight + %zu queued)",
+          options_.max_inflight, options_.max_queue);
+      WriteResponse(fd, resp);
+      close(fd);
+      continue;
+    }
+
+    SetReadTimeout(fd, options_.idle_timeout_seconds);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      open_fds_.insert(fd);
+      ++active_connections_;
+      // A dedicated I/O thread, not a pool task: parked in recv it
+      // costs one idle thread, never a pool worker. The admission cap
+      // bounds how many exist at once; Wait() joins them after drain.
+      connection_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  accept_done_ = true;
+  drained_cv_.notify_all();
+}
+
+bool Server::ReadLine(int fd, std::string* buffer, std::string* line) {
+  while (true) {
+    const size_t newline = buffer->find('\n');
+    if (newline != std::string::npos) {
+      line->assign(*buffer, 0, newline);
+      buffer->erase(0, newline + 1);
+      return true;
+    }
+    if (buffer->size() > options_.max_line_bytes) {
+      read_errors_.fetch_add(1, std::memory_order_relaxed);
+      Response resp;
+      resp.status = "error";
+      resp.error = StringPrintf("request line over %zu bytes",
+                                options_.max_line_bytes);
+      WriteResponse(fd, resp);
+      return false;
+    }
+    char chunk[4096];
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // Orderly EOF (or SHUT_RD during drain).
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      // EAGAIN/EWOULDBLOCK = the SO_RCVTIMEO idle timeout.
+      if (errno != EAGAIN && errno != EWOULDBLOCK) {
+        read_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      return false;
+    }
+    if (!CheckFailpoint("serve.read").ok()) {
+      // Injected read fault: this connection is lost mid-stream; the
+      // server keeps serving others.
+      read_errors_.fetch_add(1, std::memory_order_relaxed);
+      return false;
+    }
+    buffer->append(chunk, static_cast<size_t>(n));
+  }
+}
+
+void Server::WriteResponse(int fd, const Response& response) {
+  const std::string line = SerializeResponse(response) + "\n";
+  size_t written = 0;
+  while (written < line.size()) {
+    // MSG_NOSIGNAL: a client that hung up must surface as EPIPE, not
+    // kill the process with SIGPIPE.
+    const ssize_t n = send(fd, line.data() + written, line.size() - written,
+                           MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    written += static_cast<size_t>(n);
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  std::string buffer;
+  std::string line;
+  while (ReadLine(fd, &buffer, &line)) {
+    // Blank lines are keep-alive noise, not requests.
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+    if (!admission_.AcquireRequestSlot()) break;  // Shutdown abort.
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.GetGauge("serve.inflight")
+        .Set(static_cast<int64_t>(admission_.inflight()));
+
+    WallTimer timer;
+    Response resp;
+    Result<Request> request = ParseRequestLine(line);
+    if (!request.ok()) {
+      resp.status = "error";
+      resp.error = request.status().ToString();
+      read_errors_.fetch_add(1, std::memory_order_relaxed);
+    } else if (!CheckFailpoint("serve.handle").ok()) {
+      // Injected handler fault: this request errors, the connection
+      // and the server carry on.
+      resp.id = request->id;
+      resp.verb = request->verb;
+      resp.status = "error";
+      resp.error = "injected failure at serve.handle";
+    } else if (request->verb == "stats") {
+      resp.id = request->id;
+      resp.verb = request->verb;
+      resp.status = "ok";
+      resp.payload = BuildStatsReport().ToJson();
+      metrics_.GetCounter("serve.requests.stats").Add(1);
+    } else {
+      resp = service_->Handle(*request);
+      metrics_.GetCounter("serve.requests." + request->verb).Add(1);
+    }
+
+    if (resp.status == "ok") {
+      ok_.fetch_add(1, std::memory_order_relaxed);
+    } else if (resp.status == "degraded") {
+      degraded_.fetch_add(1, std::memory_order_relaxed);
+    } else if (resp.status == "busy") {
+      busy_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      errors_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const std::string verb = request.ok() ? request->verb : "malformed";
+    metrics_.GetHistogram("serve.latency_us." + verb)
+        .Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+
+    WriteResponse(fd, resp);
+    admission_.ReleaseRequestSlot();
+    metrics_.GetGauge("serve.inflight")
+        .Set(static_cast<int64_t>(admission_.inflight()));
+  }
+
+  close(fd);
+  admission_.LeaveConnection();
+  std::lock_guard<std::mutex> lock(mu_);
+  open_fds_.erase(fd);
+  --active_connections_;
+  drained_cv_.notify_all();
+}
+
+void Server::DrainConnections() {
+  // Phase 1 (graceful): sever the read half of every open connection.
+  // A task parked in recv sees EOF and winds down; a task mid-request
+  // still owns a live write half and gets to answer.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : open_fds_) shutdown(fd, SHUT_RD);
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait_for(
+        lock,
+        std::chrono::duration<double>(options_.drain_seconds),
+        [this] { return active_connections_ == 0; });
+  }
+
+  // Phase 2 (forced): whatever is still running lost its drain budget.
+  // Abort slot waiters and sever both halves; the final wait is
+  // unbounded because each remaining task holds `this` and must fully
+  // unwind before the server may be destroyed.
+  admission_.Abort();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : open_fds_) shutdown(fd, SHUT_RDWR);
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] { return active_connections_ == 0; });
+}
+
+ServeSummary Server::Wait() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drained_cv_.wait(lock, [this] { return accept_done_; });
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  DrainConnections();
+  // Every handler has decremented active_connections_; joining is now
+  // just reaping the final few instructions of each thread.
+  std::vector<std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& thread : threads) {
+    if (thread.joinable()) thread.join();
+  }
+  return Summary();
+}
+
+ServeSummary Server::Summary() const {
+  ServeSummary summary;
+  summary.connections_accepted =
+      connections_accepted_.load(std::memory_order_relaxed);
+  summary.connections_refused =
+      connections_refused_.load(std::memory_order_relaxed);
+  summary.requests = requests_.load(std::memory_order_relaxed);
+  summary.ok = ok_.load(std::memory_order_relaxed);
+  summary.degraded = degraded_.load(std::memory_order_relaxed);
+  summary.busy = busy_.load(std::memory_order_relaxed);
+  summary.errors = errors_.load(std::memory_order_relaxed);
+  summary.read_errors = read_errors_.load(std::memory_order_relaxed);
+  return summary;
+}
+
+RunReport Server::BuildStatsReport() const {
+  RunReport report("tpiin serve");
+  report.set_threads(ResolveThreadCount(options_.service.threads));
+  report.set_total_seconds(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started_at_)
+                               .count());
+
+  ReportSection& server = report.Section("server");
+  server.Set("host", options_.host);
+  server.Set("port", static_cast<uint64_t>(port_));
+  server.Set("snapshot", options_.snapshot_path);
+  server.Set("snapshot_crc",
+             StringPrintf("%08x", view_->header_crc()));
+  server.Set("max_inflight", options_.max_inflight);
+  server.Set("max_queue", options_.max_queue);
+
+  const ServeSummary summary = Summary();
+  ReportSection& requests = report.Section("requests");
+  requests.Set("connections_accepted", summary.connections_accepted);
+  requests.Set("connections_refused", summary.connections_refused);
+  requests.Set("requests", summary.requests);
+  requests.Set("ok", summary.ok);
+  requests.Set("degraded", summary.degraded);
+  requests.Set("busy", summary.busy);
+  requests.Set("errors", summary.errors);
+  requests.Set("read_errors", summary.read_errors);
+  requests.Set("inflight", admission_.inflight());
+
+  ReportSection& cache = report.Section("cache");
+  cache.Set("bundle_entries", service_->bundle_cache().size());
+  cache.Set("bundle_capacity", service_->bundle_cache().capacity());
+  cache.Set("bundle_hits", service_->bundle_cache().hits());
+  cache.Set("bundle_misses", service_->bundle_cache().misses());
+  cache.Set("bundle_evictions", service_->bundle_cache().evictions());
+  cache.Set("sub_entries", service_->sub_cache().size());
+  cache.Set("sub_capacity", service_->sub_cache().capacity());
+  cache.Set("sub_hits", service_->sub_cache().hits());
+  cache.Set("sub_misses", service_->sub_cache().misses());
+  cache.Set("sub_evictions", service_->sub_cache().evictions());
+
+  report.AttachMetrics(metrics_.Snapshot());
+  return report;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,185 @@
+#ifndef TPIIN_SERVE_SERVER_H_
+#define TPIIN_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "obs/metrics.h"
+#include "obs/report.h"
+#include "serve/admission.h"
+#include "serve/service.h"
+#include "snapshot/snapshot.h"
+
+namespace tpiin {
+
+/// Configuration of the `tpiin serve` daemon (transport half; the query
+/// engine's knobs live in ServiceOptions).
+struct ServeOptions {
+  std::string snapshot_path;
+
+  /// Loopback by default: the daemon trusts its callers (auditors on
+  /// the same host or behind a local proxy); exposing it wider is an
+  /// explicit decision.
+  std::string host = "127.0.0.1";
+
+  /// 0 = pick an ephemeral port (read it back from Server::port()).
+  uint16_t port = 0;
+
+  /// Requests executing concurrently; connections beyond
+  /// max_inflight + max_queue are answered `busy` at accept.
+  size_t max_inflight = 4;
+  size_t max_queue = 16;
+
+  /// Per-connection blocking-read timeout: an idle connection is closed
+  /// after this long, so parked clients cannot hold admission slots
+  /// (and their I/O threads) forever.
+  double idle_timeout_seconds = 30;
+
+  /// Graceful-drain budget after shutdown is requested: in-flight
+  /// requests get this long to finish and answer before the forced
+  /// phase severs their sockets.
+  double drain_seconds = 10;
+
+  /// Longest accepted request line; longer input is answered `error`
+  /// and the connection is closed (it is mid-line, unrecoverable).
+  size_t max_line_bytes = 1 << 20;
+
+  bool verify_checksums = true;
+
+  ServiceOptions service;
+};
+
+/// Lifetime totals, returned by Wait() and rendered by the stats verb.
+struct ServeSummary {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_refused = 0;  ///< Busy at accept.
+  uint64_t requests = 0;
+  uint64_t ok = 0;
+  uint64_t degraded = 0;
+  uint64_t busy = 0;   ///< Busy responses (accept-refusals + slot waits).
+  uint64_t errors = 0;
+  uint64_t read_errors = 0;  ///< Malformed lines, injected read faults.
+
+  /// The serve exit-code contract, aligned with PR 4's: 0 = clean
+  /// shutdown and every answered request was complete; 2 = clean
+  /// shutdown but some responses were degraded (partial results were
+  /// served). Startup failures never get here — Server::Start returns
+  /// the error and the CLI exits 1.
+  int ExitCode() const { return degraded > 0 ? 2 : 0; }
+};
+
+/// The `tpiin serve` daemon: opens a snapshot once, then answers
+/// newline-delimited JSON queries (serve/protocol.h) over TCP until
+/// shut down.
+///
+/// Threading: Start() binds, listens and spawns one acceptor thread.
+/// Each accepted connection gets a dedicated I/O thread (bounded by the
+/// admission cap, so at most max_inflight + max_queue exist) that reads
+/// request lines, acquires an admission slot per request, evaluates it
+/// against the QueryService and writes the response line. Connections
+/// deliberately do NOT run on the global ThreadPool: a connection
+/// parked in recv would pin a pool worker, and on small machines a few
+/// idle clients could starve every other connection. The pool stays
+/// reserved for CPU work (detection's ParallelFor fans out onto it
+/// from inside a request). SIGINT/SIGTERM (wired by the CLI through
+/// RequestShutdownFromSignal) or Shutdown() stop the acceptor, sever
+/// idle reads, let in-flight requests finish (drain_seconds), then
+/// force-close stragglers; Wait() blocks until that completes.
+class Server {
+ public:
+  /// Opens the snapshot, binds and starts accepting. Any failure —
+  /// bad snapshot, unparsable host, bind/listen error — is returned
+  /// here (the CLI's "startup failure, exit 1" class).
+  static Result<std::unique_ptr<Server>> Start(const ServeOptions& options);
+
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// The bound port (resolves option port 0 to the kernel's pick).
+  uint16_t port() const { return port_; }
+  const std::string& host() const { return options_.host; }
+  uint32_t snapshot_crc() const { return view_->header_crc(); }
+  const Tpiin& net() const { return view_->net(); }
+
+  /// Initiates shutdown (idempotent, callable from any thread) and
+  /// returns immediately; Wait() observes the drain.
+  void Shutdown();
+
+  /// Blocks until the server has fully drained, then returns the
+  /// lifetime summary. Call at most once.
+  ServeSummary Wait();
+
+  /// Point-in-time summary (the stats verb; also readable after Wait).
+  ServeSummary Summary() const;
+
+  /// The stats verb's payload: a RunReport-style JSON document with
+  /// server/request/cache sections and the per-verb latency histograms.
+  RunReport BuildStatsReport() const;
+
+  /// Async-signal-safe shutdown kick: writes one byte to the running
+  /// server's wake pipe. The CLI's SIGINT/SIGTERM handlers call this;
+  /// a no-op when no server is running.
+  static void RequestShutdownFromSignal();
+
+ private:
+  explicit Server(const ServeOptions& options);
+
+  void AcceptLoop();
+  void HandleConnection(int fd);
+  /// Reads one '\n'-terminated line into `line`. Returns false on EOF,
+  /// timeout, overlong input or error (the connection ends either way).
+  bool ReadLine(int fd, std::string* buffer, std::string* line);
+  void WriteResponse(int fd, const Response& response);
+  void DrainConnections();
+
+  ServeOptions options_;
+  std::unique_ptr<SnapshotView> view_;
+  std::unique_ptr<QueryService> service_;
+  AdmissionController admission_;
+  /// Per-server registry: serve.* counters, gauges and latency
+  /// histograms, snapshotted into the stats verb. Kept separate from
+  /// MetricsRegistry::Global() so two servers in one process (tests)
+  /// don't blend.
+  MetricsRegistry metrics_;
+
+  int listen_fd_ = -1;
+  int wake_read_fd_ = -1;
+  int wake_write_fd_ = -1;
+  uint16_t port_ = 0;
+  std::thread acceptor_;
+  std::atomic<bool> stopping_{false};
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::unordered_set<int> open_fds_;
+  /// One thread per accepted connection; bounded by the admission cap,
+  /// joined in Wait() after the drain.
+  std::vector<std::thread> connection_threads_;
+  size_t active_connections_ = 0;
+  bool accept_done_ = false;
+
+  std::chrono::steady_clock::time_point started_at_;
+
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_refused_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> ok_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> busy_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> read_errors_{0};
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_SERVE_SERVER_H_

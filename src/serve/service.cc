@@ -1,0 +1,269 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "common/string_util.h"
+#include "core/explain.h"
+#include "core/matcher.h"
+#include "core/pattern_tree.h"
+#include "core/subtpiin.h"
+#include "io/pattern_file.h"
+
+namespace tpiin {
+
+namespace {
+
+Response ErrorResponse(const Request& request, const Status& status) {
+  Response resp;
+  resp.id = request.id;
+  resp.verb = request.verb;
+  resp.status = "error";
+  resp.error = status.ToString();
+  return resp;
+}
+
+Response PayloadResponse(const Request& request, std::string payload,
+                         bool degraded) {
+  Response resp;
+  resp.id = request.id;
+  resp.verb = request.verb;
+  resp.status = degraded ? "degraded" : "ok";
+  resp.payload = std::move(payload);
+  return resp;
+}
+
+}  // namespace
+
+bool TimeDegraded(const DetectionResult& detection) {
+  for (const SubTpiinProfile& profile : detection.sub_profiles) {
+    if (profile.skip == SubSkip::kDeadline ||
+        profile.skip == SubSkip::kSliceTruncated) {
+      return true;
+    }
+  }
+  return false;
+}
+
+QueryService::QueryService(const Tpiin& net, uint32_t snapshot_crc,
+                           const ServiceOptions& options,
+                           MetricsRegistry* metrics)
+    : net_(net),
+      snapshot_crc_(snapshot_crc),
+      options_(options),
+      bundle_cache_(
+          options.bundle_cache_entries,
+          metrics ? &metrics->GetCounter("serve.cache.bundle_hit") : nullptr,
+          metrics ? &metrics->GetCounter("serve.cache.bundle_miss")
+                  : nullptr),
+      sub_cache_(
+          options.cache_entries,
+          metrics ? &metrics->GetCounter("serve.cache.hit") : nullptr,
+          metrics ? &metrics->GetCounter("serve.cache.miss") : nullptr) {
+  // First occurrence wins, mirroring the batch CLI's linear label scan.
+  node_by_label_.reserve(net.NumNodes());
+  for (NodeId v = 0; v < net.NumNodes(); ++v) {
+    node_by_label_.emplace(std::string(net.Label(v)), v);
+  }
+}
+
+std::string QueryService::BundleKey(const RunBudget& budget) const {
+  // Only the deterministic budget fields participate: a deadline does
+  // not change *which* answer is correct, just whether this run got to
+  // finish it (unfinished runs are never cached).
+  return StringPrintf("crc=%08x|max_nodes=%zu|max_arcs=%zu", snapshot_crc_,
+                      budget.max_sub_nodes, budget.max_sub_arcs);
+}
+
+RunBudget QueryService::EffectiveBudget(const Request& request) const {
+  RunBudget budget = options_.default_budget;
+  if (request.deadline_ms > 0) budget.deadline_seconds = request.deadline_ms / 1e3;
+  if (request.sub_slice_ms > 0) {
+    budget.sub_slice_seconds = request.sub_slice_ms / 1e3;
+  }
+  if (request.max_sub_nodes > 0) {
+    budget.max_sub_nodes = static_cast<size_t>(request.max_sub_nodes);
+  }
+  if (request.max_sub_arcs > 0) {
+    budget.max_sub_arcs = static_cast<size_t>(request.max_sub_arcs);
+  }
+  return budget;
+}
+
+Result<std::shared_ptr<const DetectionBundle>> QueryService::GetBundle(
+    const RunBudget& budget) {
+  const std::string key = BundleKey(budget);
+  if (std::shared_ptr<const DetectionBundle> hit = bundle_cache_.Get(key)) {
+    return hit;
+  }
+  DetectorOptions options;
+  options.num_threads = options_.threads;
+  options.budget = budget;
+  options.arena_pool = &arena_pool_;
+  TPIIN_ASSIGN_OR_RETURN(DetectionResult detection,
+                         DetectSuspiciousGroups(net_, options));
+  auto bundle = std::make_shared<DetectionBundle>();
+  bundle->scoring = ScoreDetection(net_, detection);
+  bundle->detection = std::move(detection);
+  bundle->groups_payload =
+      RenderSuspiciousGroups(net_, bundle->detection.groups);
+  // A deadline-truncated run reflects this machine's clock, not the
+  // data; serving it once (marked degraded) is honest, caching it would
+  // pin the degradation.
+  if (!TimeDegraded(bundle->detection)) {
+    bundle_cache_.Put(key, bundle);
+  }
+  return std::shared_ptr<const DetectionBundle>(std::move(bundle));
+}
+
+Response QueryService::Handle(const Request& request) {
+  if (request.verb == "groups") return HandleGroups(request);
+  if (request.verb == "explain") return HandleExplain(request);
+  if (request.verb == "rescore") return HandleRescore(request);
+  if (request.verb == "healthz") return HandleHealthz(request);
+  return ErrorResponse(
+      request, Status::InvalidArgument(
+                   "unknown verb: " + request.verb +
+                   " (expected groups, explain, rescore, stats, healthz)"));
+}
+
+Response QueryService::HandleGroups(const Request& request) {
+  NodeId filter = kInvalidNode;
+  if (!request.company.empty()) {
+    auto it = node_by_label_.find(request.company);
+    if (it == node_by_label_.end()) {
+      return ErrorResponse(
+          request, Status::NotFound("no node labeled " + request.company));
+    }
+    if (net_.node(it->second).color != NodeColor::kCompany) {
+      return ErrorResponse(request, Status::InvalidArgument(
+                                        request.company +
+                                        " is a Person node"));
+    }
+    filter = it->second;
+  }
+  Result<std::shared_ptr<const DetectionBundle>> bundle =
+      GetBundle(EffectiveBudget(request));
+  if (!bundle.ok()) return ErrorResponse(request, bundle.status());
+  const DetectionResult& detection = (*bundle)->detection;
+  std::string payload;
+  if (filter == kInvalidNode) {
+    // The full susGroup.txt bytes (rendered once per bundle), so the
+    // batch artifact diffs clean.
+    payload = (*bundle)->groups_payload;
+  } else {
+    // The filtered view keeps the exact susGroup.txt line rendering and
+    // the exact detection order — a subsequence of the full payload.
+    for (const SuspiciousGroup& group : detection.groups) {
+      if (std::binary_search(group.members.begin(), group.members.end(),
+                             filter)) {
+        payload += group.Format(net_);
+        payload += "\n";
+      }
+    }
+  }
+  return PayloadResponse(request, std::move(payload), detection.degraded);
+}
+
+Response QueryService::HandleExplain(const Request& request) {
+  if (request.company.empty()) {
+    return ErrorResponse(
+        request, Status::InvalidArgument("explain requires company=LABEL"));
+  }
+  auto it = node_by_label_.find(request.company);
+  if (it == node_by_label_.end()) {
+    return ErrorResponse(
+        request, Status::NotFound("no node labeled " + request.company));
+  }
+  if (net_.node(it->second).color != NodeColor::kCompany) {
+    return ErrorResponse(
+        request,
+        Status::InvalidArgument(request.company + " is a Person node"));
+  }
+  Result<std::shared_ptr<const DetectionBundle>> bundle =
+      GetBundle(EffectiveBudget(request));
+  if (!bundle.ok()) return ErrorResponse(request, bundle.status());
+  CompanyDossier dossier = BuildCompanyDossier(
+      net_, (*bundle)->detection, (*bundle)->scoring, it->second);
+  return PayloadResponse(request, FormatCompanyDossier(net_, dossier),
+                         (*bundle)->detection.degraded);
+}
+
+Response QueryService::HandleRescore(const Request& request) {
+  if (request.sub < 0) {
+    return ErrorResponse(
+        request, Status::InvalidArgument("rescore requires sub=INDEX"));
+  }
+  const RunBudget budget = EffectiveBudget(request);
+  const std::string key =
+      BundleKey(budget) +
+      StringPrintf("|sub=%lld", static_cast<long long>(request.sub));
+  if (std::shared_ptr<const std::string> hit = sub_cache_.Get(key)) {
+    return PayloadResponse(request, *hit, /*degraded=*/false);
+  }
+
+  // Cold path: re-segment from the (mmap'd, WCC-indexed) network and
+  // re-mine just the requested subTPIIN.
+  std::vector<SubTpiin> subs = SegmentTpiin(net_);
+  if (static_cast<size_t>(request.sub) >= subs.size()) {
+    return ErrorResponse(
+        request,
+        Status::NotFound(StringPrintf(
+            "no subTPIIN %lld (segmentation emitted %zu)",
+            static_cast<long long>(request.sub), subs.size())));
+  }
+  const SubTpiin& sub = subs[static_cast<size_t>(request.sub)];
+
+  bool degraded = false;
+  if ((budget.max_sub_nodes != 0 &&
+       sub.graph.NumNodes() > budget.max_sub_nodes) ||
+      (budget.max_sub_arcs != 0 &&
+       sub.graph.NumArcs() > budget.max_sub_arcs)) {
+    // The detector would skip this subTPIIN whole; say so instead of
+    // mining past the caller's own cap.
+    std::string payload = StringPrintf(
+        "subTPIIN %lld of %zu: %u nodes, %u arcs — skipped (over budget "
+        "cap)\n",
+        static_cast<long long>(request.sub), subs.size(),
+        sub.graph.NumNodes(), sub.graph.NumArcs());
+    return PayloadResponse(request, std::move(payload), /*degraded=*/true);
+  }
+
+  PatternGenOptions gen_options;
+  gen_options.emit_trails = false;
+  gen_options.use_frozen_graph = true;
+  gen_options.deadline = Deadline::Sooner(
+      Deadline::After(budget.deadline_seconds),
+      Deadline::After(budget.sub_slice_seconds));
+  PatternScratch scratch = arena_pool_.Acquire();
+  gen_options.scratch = &scratch;
+  Result<PatternGenResult> gen = GeneratePatternBase(sub, gen_options);
+  if (!gen.ok()) return ErrorResponse(request, gen.status());
+  MatchResult match = MatchPatternsTree(sub, gen->tree);
+  scratch.base = std::move(gen->base);
+  scratch.tree = std::move(gen->tree);
+  arena_pool_.Release(std::move(scratch));
+  degraded = gen->deadline_expired;
+
+  std::string payload = StringPrintf(
+      "subTPIIN %lld of %zu: %u nodes, %u arcs (%u influence, %u "
+      "trading)\ntrails: %zu, groups: %zu simple, %zu complex, %zu "
+      "cycle\n",
+      static_cast<long long>(request.sub), subs.size(),
+      sub.graph.NumNodes(), sub.graph.NumArcs(), sub.num_influence_arcs,
+      sub.num_trading_arcs(), gen->num_trails, match.num_simple,
+      match.num_complex, match.num_cycle_groups);
+  payload += RenderSuspiciousGroups(net_, match.groups);
+
+  if (!degraded) {
+    sub_cache_.Put(key, std::make_shared<const std::string>(payload));
+  }
+  return PayloadResponse(request, std::move(payload), degraded);
+}
+
+Response QueryService::HandleHealthz(const Request& request) {
+  return PayloadResponse(request, "ok\n", /*degraded=*/false);
+}
+
+}  // namespace tpiin

@@ -1,0 +1,126 @@
+#ifndef TPIIN_SERVE_SERVICE_H_
+#define TPIIN_SERVE_SERVICE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "core/arena_pool.h"
+#include "core/detector.h"
+#include "core/scoring.h"
+#include "fusion/tpiin.h"
+#include "obs/metrics.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+
+namespace tpiin {
+
+/// Options of the query engine (the socket-independent half of `tpiin
+/// serve`; src/serve/server.h owns the transport half).
+struct ServiceOptions {
+  /// Detector threads per request (0 = auto-detect). Results are
+  /// bit-identical at any count, so this is purely a latency/throughput
+  /// knob.
+  uint32_t threads = 0;
+
+  /// Default per-request budget, overridable (field by field) by the
+  /// request itself. Deterministic caps (max_sub_nodes/max_sub_arcs)
+  /// participate in the cache key; deadlines do not — a run a deadline
+  /// actually truncated is answered `degraded` and never cached.
+  RunBudget default_budget;
+
+  /// Capacity of the per-subTPIIN rescore-payload cache. 0 disables
+  /// caching entirely (the byte-identity tests' cold configuration).
+  size_t cache_entries = 256;
+
+  /// Capacity of the detection-bundle cache (full detection + scoring
+  /// per distinct (snapshot CRC, structural caps) key). Bundles are
+  /// what `groups` and `explain` read; distinct budgets are distinct
+  /// entries.
+  size_t bundle_cache_entries = 4;
+};
+
+/// A full detection run and its scoring — the shared substrate of the
+/// `groups` and `explain` verbs, computed once per (snapshot CRC,
+/// structural caps) and cached.
+struct DetectionBundle {
+  DetectionResult detection;
+  ScoringResult scoring;
+  /// The full susGroup.txt bytes, rendered once when the bundle is
+  /// built: a cached `groups` query costs one string copy, not a
+  /// re-render of a potentially multi-megabyte report.
+  std::string groups_payload;
+};
+
+/// The verbs of the serve protocol, evaluated against one loaded TPIIN
+/// (normally a SnapshotView's net). Thread-safe: Handle may be called
+/// concurrently from any number of transport threads; caches are
+/// internally locked and the network itself is immutable.
+///
+/// Byte-identity contract: for the same snapshot and options, the
+/// `groups` payload equals the batch `detect --out` susGroup.txt bytes
+/// and the `explain` payload equals the batch `tpiin explain` stdout,
+/// cache hot or cold, at any thread count.
+class QueryService {
+ public:
+  /// `net` must outlive the service. `snapshot_crc` keys the caches
+  /// (SnapshotView::header_crc(); any stable content fingerprint works
+  /// for tests). `metrics` (nullable) receives serve.cache.* counters.
+  QueryService(const Tpiin& net, uint32_t snapshot_crc,
+               const ServiceOptions& options, MetricsRegistry* metrics);
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Evaluates one request. Never throws; failures become
+  /// `status: error` responses. `status: degraded` marks sound-but-
+  /// partial payloads (a binding budget).
+  Response Handle(const Request& request);
+
+  /// Cache introspection for the stats verb and tests.
+  const LruCache<DetectionBundle>& bundle_cache() const {
+    return bundle_cache_;
+  }
+  const LruCache<std::string>& sub_cache() const { return sub_cache_; }
+
+  uint32_t snapshot_crc() const { return snapshot_crc_; }
+
+ private:
+  /// Cache key of the detection bundle a request needs: snapshot CRC
+  /// plus the deterministic (structural) budget fields.
+  std::string BundleKey(const RunBudget& budget) const;
+
+  /// Per-request budget: the service default with any field the
+  /// request set explicitly overridden.
+  RunBudget EffectiveBudget(const Request& request) const;
+
+  /// Get-or-compute the bundle for `budget`. Deadline-truncated runs
+  /// are returned but not cached (their content is timing-dependent).
+  Result<std::shared_ptr<const DetectionBundle>> GetBundle(
+      const RunBudget& budget);
+
+  Response HandleGroups(const Request& request);
+  Response HandleExplain(const Request& request);
+  Response HandleRescore(const Request& request);
+  Response HandleHealthz(const Request& request);
+
+  const Tpiin& net_;
+  const uint32_t snapshot_crc_;
+  const ServiceOptions options_;
+  ArenaPool arena_pool_;
+  LruCache<DetectionBundle> bundle_cache_;
+  LruCache<std::string> sub_cache_;
+  /// Label -> node id of its first occurrence (the batch CLI's linear
+  /// "first match wins" scan, precomputed once).
+  std::unordered_map<std::string, NodeId> node_by_label_;
+};
+
+/// True when any subTPIIN was skipped or truncated by wall time (as
+/// opposed to a deterministic structural cap): such results must not be
+/// cached. Exposed for tests.
+bool TimeDegraded(const DetectionResult& detection);
+
+}  // namespace tpiin
+
+#endif  // TPIIN_SERVE_SERVICE_H_

@@ -462,6 +462,7 @@ Result<std::unique_ptr<SnapshotView>> SnapshotView::Open(
   TPIIN_RETURN_IF_ERROR(ValidateShapes(path, base, by_id, meta));
 
   SnapshotCodec::Bind(base, by_id, meta, header.flags, &view->net_);
+  view->header_crc_ = header.header_crc;
   TPIIN_COUNTER_ADD("snapshot.bytes_mapped", view->map_size_);
   return view;
 }

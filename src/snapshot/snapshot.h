@@ -55,11 +55,19 @@ class SnapshotView {
   const Tpiin& net() const { return net_; }
   uint64_t file_size() const { return map_size_; }
 
+  /// The file's header CRC-32C. The header covers the section directory
+  /// CRC, which in turn covers every payload CRC, so this one word
+  /// fingerprints the snapshot's entire content — the serve layer keys
+  /// its result cache on it (a rebuilt snapshot is a different key,
+  /// never a stale hit).
+  uint32_t header_crc() const { return header_crc_; }
+
  private:
   SnapshotView() = default;
 
   void* map_ = nullptr;
   size_t map_size_ = 0;
+  uint32_t header_crc_ = 0;
   Tpiin net_;
 };
 

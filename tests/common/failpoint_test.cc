@@ -69,6 +69,30 @@ TEST_F(FailpointTest, OffExemptsOneSiteFromWildcard) {
   EXPECT_TRUE(GuardedB().ok());
 }
 
+TEST_F(FailpointTest, PrefixWildcardMatchesSubsystem) {
+  // `test.site.*` covers both sites; `other.*` covers neither.
+  ASSERT_TRUE(Failpoints::Configure("test.site.*:ioerror").ok());
+  EXPECT_TRUE(GuardedA().IsIOError());
+  EXPECT_TRUE(GuardedB().IsIOError());
+  ASSERT_TRUE(Failpoints::Configure("other.*:ioerror").ok());
+  EXPECT_TRUE(GuardedA().ok());
+  EXPECT_TRUE(GuardedB().ok());
+}
+
+TEST_F(FailpointTest, ExactAndLongerPrefixBeatPrefixWildcard) {
+  // Precedence: exact name, then the longest matching prefix rule,
+  // then the global star.
+  ASSERT_TRUE(
+      Failpoints::Configure("test.*:ioerror,test.site.a:off").ok());
+  EXPECT_TRUE(GuardedA().ok());
+  EXPECT_TRUE(GuardedB().IsIOError());
+  ASSERT_TRUE(
+      Failpoints::Configure("test.*:corruption,test.site.*:ioerror").ok());
+  EXPECT_TRUE(GuardedA().IsIOError()) << "longest prefix wins";
+  ASSERT_TRUE(Failpoints::Configure("*:corruption,test.site.*:off").ok());
+  EXPECT_TRUE(GuardedA().ok()) << "prefix rule shields from global star";
+}
+
 TEST_F(FailpointTest, SeededProbabilisticScheduleIsDeterministic) {
   constexpr int kHits = 200;
   std::vector<bool> first;

@@ -1,0 +1,276 @@
+// End-to-end socket tests of the serve daemon: request/response over
+// real TCP connections, deterministic busy refusals at saturation,
+// recovery afterwards, stats/healthz, and graceful drain accounting.
+
+#include "serve/server.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.h"
+#include "datagen/worked_example.h"
+#include "snapshot/snapshot.h"
+#include "tests/serve/test_client.h"
+
+namespace tpiin {
+namespace {
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_srv_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+    snapshot_path_ = dir_ + "/net.snap";
+    Status written = WriteSnapshot(BuildWorkedExampleTpiin(), snapshot_path_);
+    ASSERT_TRUE(written.ok()) << written.ToString();
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<Server> StartServer(ServeOptions options = {}) {
+    options.snapshot_path = snapshot_path_;
+    options.port = 0;
+    Result<std::unique_ptr<Server>> server = Server::Start(options);
+    EXPECT_TRUE(server.ok()) << server.status().ToString();
+    return server.ok() ? std::move(*server) : nullptr;
+  }
+
+  TestClient Connect(const Server& server) {
+    Result<TestClient> client = TestClient::Connect(server.port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  std::string dir_;
+  std::string snapshot_path_;
+};
+
+TEST_F(ServerTest, StartupFailsOnMissingSnapshot) {
+  ServeOptions options;
+  options.snapshot_path = dir_ + "/missing.snap";
+  Result<std::unique_ptr<Server>> server = Server::Start(options);
+  EXPECT_FALSE(server.ok());
+}
+
+TEST_F(ServerTest, StartupFailsOnBadHost) {
+  ServeOptions options;
+  options.snapshot_path = snapshot_path_;
+  options.host = "not-an-address";
+  Result<std::unique_ptr<Server>> server = Server::Start(options);
+  ASSERT_FALSE(server.ok());
+  EXPECT_TRUE(server.status().IsInvalidArgument());
+}
+
+TEST_F(ServerTest, HealthzAndIdEcho) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TestClient client = Connect(*server);
+
+  Result<Response> resp = client.RoundTrip(R"({"verb":"healthz","id":42})");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, "ok");
+  EXPECT_EQ(resp->id, 42);
+  EXPECT_EQ(resp->payload, "ok\n");
+}
+
+TEST_F(ServerTest, ManyRequestsOnOneConnection) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TestClient client = Connect(*server);
+
+  std::string first_groups;
+  for (int i = 0; i < 5; ++i) {
+    Result<Response> resp = client.RoundTrip("groups");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->status, "ok") << resp->error;
+    if (i == 0) {
+      first_groups = resp->payload;
+      EXPECT_FALSE(first_groups.empty());
+    } else {
+      EXPECT_EQ(resp->payload, first_groups) << "request " << i;
+    }
+  }
+
+  server->Shutdown();
+  ServeSummary summary = server->Wait();
+  EXPECT_EQ(summary.connections_accepted, 1u);
+  EXPECT_EQ(summary.requests, 5u);
+  EXPECT_EQ(summary.ok, 5u);
+  EXPECT_EQ(summary.ExitCode(), 0);
+}
+
+TEST_F(ServerTest, GroupsMatchesBatchDetectBytes) {
+  std::ostringstream cli_out;
+  int code = 0;
+  Status status = RunCli({"detect", "--snapshot=" + snapshot_path_,
+                          "--out=" + dir_ + "/batch"},
+                         cli_out, &code);
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  const std::string batch = ReadFileToString(dir_ + "/batch/susGroup.txt");
+  ASSERT_FALSE(batch.empty());
+
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TestClient client = Connect(*server);
+  Result<Response> resp = client.RoundTrip("groups");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->status, "ok") << resp->error;
+  EXPECT_EQ(resp->payload, batch);
+}
+
+TEST_F(ServerTest, StatsReportsCountersAndCaches) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TestClient client = Connect(*server);
+
+  ASSERT_TRUE(client.RoundTrip("groups").ok());
+  ASSERT_TRUE(client.RoundTrip("groups").ok());
+  Result<Response> stats = client.RoundTrip("stats");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(stats->status, "ok");
+
+  // The payload is a RunReport JSON document with server/requests/cache
+  // sections and the per-verb latency histograms.
+  const std::string& payload = stats->payload;
+  EXPECT_NE(payload.find("\"tool\": \"tpiin serve\""), std::string::npos);
+  EXPECT_NE(payload.find("\"requests\""), std::string::npos);
+  EXPECT_NE(payload.find("\"bundle_hits\": 1"), std::string::npos)
+      << payload;
+  EXPECT_NE(payload.find("\"bundle_misses\": 1"), std::string::npos)
+      << payload;
+  EXPECT_NE(payload.find("serve.latency_us.groups"), std::string::npos);
+  EXPECT_NE(payload.find("serve.requests.groups"), std::string::npos);
+}
+
+TEST_F(ServerTest, SaturationIsDeterministicBusyAndRecovers) {
+  ServeOptions options;
+  options.max_inflight = 1;
+  options.max_queue = 1;
+  std::unique_ptr<Server> server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  // Fill both connection slots with held-open connections. Each does
+  // one round trip first, so it is provably accepted (admission is
+  // connection-scoped and decided on the acceptor thread — no timing).
+  TestClient held1 = Connect(*server);
+  TestClient held2 = Connect(*server);
+  ASSERT_TRUE(held1.RoundTrip("healthz").ok());
+  ASSERT_TRUE(held2.RoundTrip("healthz").ok());
+
+  // The (max_inflight + max_queue + 1)-th connection is refused busy —
+  // deterministically, no matter how many workers are free.
+  Result<TestClient> refused = TestClient::Connect(server->port());
+  ASSERT_TRUE(refused.ok()) << refused.status().ToString();
+  Result<std::string> line = refused->ReadLine();
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  Result<Response> busy = ParseResponseLine(*line);
+  ASSERT_TRUE(busy.ok()) << busy.status().ToString();
+  EXPECT_EQ(busy->status, "busy");
+  EXPECT_NE(busy->error.find("capacity"), std::string::npos);
+  // ... and the server closes it.
+  EXPECT_FALSE(refused->ReadLine().ok());
+
+  // Releasing one held connection frees a slot; the server recovers
+  // and serves again. The release needs the server to notice the EOF,
+  // so poll briefly.
+  held1.Close();
+  bool recovered = false;
+  for (int attempt = 0; attempt < 200 && !recovered; ++attempt) {
+    Result<TestClient> retry = TestClient::Connect(server->port());
+    ASSERT_TRUE(retry.ok()) << retry.status().ToString();
+    Result<Response> resp = retry->RoundTrip("healthz");
+    if (resp.ok() && resp->status == "ok") {
+      recovered = true;
+    } else {
+      struct timespec ts = {0, 10 * 1000 * 1000};
+      nanosleep(&ts, nullptr);
+    }
+  }
+  EXPECT_TRUE(recovered);
+
+  held2.Close();
+  server->Shutdown();
+  ServeSummary summary = server->Wait();
+  EXPECT_GE(summary.connections_refused, 1u);
+  EXPECT_GE(summary.busy, 1u);
+  // Busy refusals are clean refusals, not partial results: exit stays 0.
+  EXPECT_EQ(summary.ExitCode(), 0);
+}
+
+TEST_F(ServerTest, ShutdownDrainsIdleConnections) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+
+  // Three connections parked mid-stream (accepted, no request pending).
+  TestClient idle1 = Connect(*server);
+  TestClient idle2 = Connect(*server);
+  TestClient idle3 = Connect(*server);
+  ASSERT_TRUE(idle1.RoundTrip("healthz").ok());
+
+  server->Shutdown();
+  ServeSummary summary = server->Wait();
+  EXPECT_EQ(summary.requests, 1u);
+  EXPECT_EQ(summary.ExitCode(), 0);
+
+  // The drained connections see EOF, not a hang.
+  EXPECT_FALSE(idle1.ReadLine().ok());
+}
+
+TEST_F(ServerTest, DegradedResponsesMapToExitCode2) {
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  TestClient client = Connect(*server);
+
+  // A structural cap below the worked example's single subTPIIN: the
+  // response degrades deterministically, and the summary maps it to
+  // exit code 2 (the PR 4 partial-results contract, served).
+  Result<Response> resp = client.RoundTrip("groups?max_sub_nodes=2");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, "degraded");
+
+  server->Shutdown();
+  ServeSummary summary = server->Wait();
+  EXPECT_EQ(summary.degraded, 1u);
+  EXPECT_EQ(summary.ExitCode(), 2);
+}
+
+TEST_F(ServerTest, TwoServersOnOneProcessStayIsolated) {
+  // Per-server metrics registries and caches: two servers over the same
+  // snapshot never blend their stats (the in-process test topology).
+  std::unique_ptr<Server> a = StartServer();
+  std::unique_ptr<Server> b = StartServer();
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(a->port(), b->port());
+
+  TestClient client_a = Connect(*a);
+  ASSERT_TRUE(client_a.RoundTrip("groups").ok());
+
+  ServeSummary sa = a->Summary();
+  ServeSummary sb = b->Summary();
+  EXPECT_EQ(sa.requests, 1u);
+  EXPECT_EQ(sb.requests, 0u);
+
+  b->Shutdown();
+  EXPECT_EQ(b->Wait().requests, 0u);
+  a->Shutdown();
+  EXPECT_EQ(a->Wait().requests, 1u);
+}
+
+}  // namespace
+}  // namespace tpiin

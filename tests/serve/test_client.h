@@ -1,0 +1,132 @@
+#ifndef TPIIN_TESTS_SERVE_TEST_CLIENT_H_
+#define TPIIN_TESTS_SERVE_TEST_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include "common/result.h"
+#include "serve/protocol.h"
+
+namespace tpiin {
+
+/// A minimal blocking test client for the serve protocol: one TCP
+/// connection that can send request lines and read response lines.
+/// Move-only; closes on destruction.
+class TestClient {
+ public:
+  static Result<TestClient> Connect(uint16_t port,
+                                    const std::string& host = "127.0.0.1") {
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+      return Status::InvalidArgument("bad host: " + host);
+    }
+    const int fd = socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return Status::IOError("socket: " + std::string(strerror(errno)));
+    if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+      const std::string error = strerror(errno);
+      close(fd);
+      return Status::IOError("connect: " + error);
+    }
+    return TestClient(fd);
+  }
+
+  TestClient(TestClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+    buffer_ = std::move(other.buffer_);
+  }
+  TestClient& operator=(TestClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      buffer_ = std::move(other.buffer_);
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+  ~TestClient() { Close(); }
+
+  void Close() {
+    if (fd_ >= 0) close(fd_);
+    fd_ = -1;
+  }
+
+  Status SendLine(const std::string& line) {
+    std::string framed = line + "\n";
+    size_t sent = 0;
+    while (sent < framed.size()) {
+      const ssize_t n =
+          send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("send: " + std::string(strerror(errno)));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  /// Sends raw bytes without newline framing (for malformed-input and
+  /// mid-line-disconnect tests).
+  Status SendRaw(const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("send: " + std::string(strerror(errno)));
+      }
+      sent += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  /// Reads the next '\n'-terminated line (without the newline).
+  Result<std::string> ReadLine() {
+    while (true) {
+      const size_t newline = buffer_.find('\n');
+      if (newline != std::string::npos) {
+        std::string line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return line;
+      }
+      char chunk[4096];
+      const ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);
+      if (n == 0) return Status::IOError("connection closed");
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError("recv: " + std::string(strerror(errno)));
+      }
+      buffer_.append(chunk, static_cast<size_t>(n));
+    }
+  }
+
+  /// One request/response round trip, parsed.
+  Result<Response> RoundTrip(const std::string& request) {
+    TPIIN_RETURN_IF_ERROR(SendLine(request));
+    TPIIN_ASSIGN_OR_RETURN(std::string line, ReadLine());
+    return ParseResponseLine(line);
+  }
+
+ private:
+  explicit TestClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  std::string buffer_;
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_TESTS_SERVE_TEST_CLIENT_H_

@@ -1,0 +1,126 @@
+// One-shot client for the `tpiin serve` daemon: connects, sends one
+// request line, prints the response and exits.
+//
+//   tpiin_client --port=PORT [--host=ADDR] 'groups?company=C0017'
+//   tpiin_client --port=PORT '{"verb": "explain", "company": "C0017"}'
+//
+// By default the response *payload* is printed raw to stdout (so
+// `tpiin_client ... groups` emits the exact susGroup.txt bytes and CI
+// can diff it against the batch artifact); --raw prints the full JSON
+// response line instead. Exit code: 0 for status ok, 2 for degraded,
+// 3 for busy, 1 for error (server-side or transport).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/flags.h"
+#include "serve/protocol.h"
+
+namespace {
+
+int Fail(const char* what, const std::string& detail) {
+  std::fprintf(stderr, "tpiin_client: %s: %s\n", what, detail.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tpiin::FlagParser flags;
+  flags.DefineString("host", "127.0.0.1", "server address");
+  flags.DefineInt64("port", 0, "server port (required)");
+  flags.DefineBool("raw", false,
+                   "print the full JSON response line, not the payload");
+  flags.DefineInt64("timeout-ms", 60000, "receive timeout");
+  tpiin::Status status = flags.Parse(argc, argv);
+  if (!status.ok()) return Fail("flags", status.ToString());
+  if (flags.GetInt64("port") <= 0 || flags.GetInt64("port") > 65535 ||
+      flags.positional().size() != 1) {
+    std::fprintf(stderr,
+                 "usage: tpiin_client --port=PORT [--host=ADDR] [--raw] "
+                 "REQUEST\n"
+                 "  REQUEST is one protocol line, e.g. 'healthz',\n"
+                 "  'groups?company=C0017' or '{\"verb\": \"stats\"}'\n");
+    return 1;
+  }
+  const std::string& request = flags.positional()[0];
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port =
+      htons(static_cast<uint16_t>(flags.GetInt64("port")));
+  if (inet_pton(AF_INET, flags.GetString("host").c_str(), &addr.sin_addr) !=
+      1) {
+    return Fail("host", flags.GetString("host"));
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Fail("socket", std::strerror(errno));
+  struct timeval tv;
+  tv.tv_sec = flags.GetInt64("timeout-ms") / 1000;
+  tv.tv_usec = (flags.GetInt64("timeout-ms") % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  if (connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+              sizeof(addr)) != 0) {
+    close(fd);
+    return Fail("connect", std::strerror(errno));
+  }
+
+  std::string line = request;
+  line += '\n';
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n = send(fd, line.data() + sent, line.size() - sent, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      return Fail("send", std::strerror(errno));
+    }
+    sent += static_cast<size_t>(n);
+  }
+
+  std::string reply;
+  char chunk[4096];
+  while (reply.find('\n') == std::string::npos) {
+    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      close(fd);
+      return Fail("recv", std::strerror(errno));
+    }
+    reply.append(chunk, static_cast<size_t>(n));
+  }
+  close(fd);
+  const size_t newline = reply.find('\n');
+  if (newline == std::string::npos) {
+    return Fail("recv", "connection closed before a full response line");
+  }
+  reply.resize(newline);
+
+  if (flags.GetBool("raw")) {
+    std::fwrite(reply.data(), 1, reply.size(), stdout);
+    std::fputc('\n', stdout);
+  }
+  tpiin::Result<tpiin::Response> parsed = tpiin::ParseResponseLine(reply);
+  if (!parsed.ok()) return Fail("response", parsed.status().ToString());
+  if (!flags.GetBool("raw")) {
+    if (parsed->status == "ok" || parsed->status == "degraded") {
+      std::fwrite(parsed->payload.data(), 1, parsed->payload.size(), stdout);
+    } else {
+      std::fprintf(stderr, "tpiin_client: %s: %s\n", parsed->status.c_str(),
+                   parsed->error.c_str());
+    }
+  }
+  if (parsed->status == "ok") return 0;
+  if (parsed->status == "degraded") return 2;
+  if (parsed->status == "busy") return 3;
+  return 1;
+}
