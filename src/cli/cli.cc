@@ -895,6 +895,11 @@ Status RunServe(const std::vector<std::string>& args, std::ostream& out,
   TPIIN_ASSIGN_OR_RETURN(std::unique_ptr<Server> server,
                          Server::Start(options));
 
+  // Handlers go in the moment the server is accepting, ahead of the
+  // port-file/readiness I/O: a SIGINT/SIGTERM in that window must
+  // drain and report, not kill the process on the default disposition.
+  ScopedServeSignals signals;
+
   if (!flags.GetString("port-file").empty()) {
     TPIIN_RETURN_IF_ERROR(
         WriteFileAtomic(flags.GetString("port-file"),
@@ -909,7 +914,6 @@ Status RunServe(const std::vector<std::string>& args, std::ostream& out,
       << " arcs)\n";
   out.flush();
 
-  ScopedServeSignals signals;
   const ServeSummary summary = server->Wait();
 
   if (!flags.GetString("report").empty()) {

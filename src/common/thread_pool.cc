@@ -53,14 +53,6 @@ void ThreadPool::Submit(std::function<void()> task) {
   (void)depth;  // Only read by the (compile-time optional) gauge.
 }
 
-void ThreadPool::Post(std::function<void()> task) {
-  if (workers_.empty()) {
-    task();
-    return;
-  }
-  Submit(std::move(task));
-}
-
 void ThreadPool::ParallelFor(size_t count, uint32_t parallelism,
                              const std::function<void(size_t)>& body) {
   if (count == 0) return;

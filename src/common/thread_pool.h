@@ -101,17 +101,6 @@ class ThreadPool {
   void ParallelForRanges(size_t count, uint32_t parallelism,
                          const std::function<void(size_t, size_t)>& body);
 
-  /// Hands one fire-and-forget task to the pool and returns
-  /// immediately — the serve layer's connection fan-out (each accepted
-  /// connection becomes one posted task that reads, handles and answers
-  /// its requests). Unlike ParallelFor, the caller does not participate
-  /// and nothing blocks. A task that throws terminates the process (a
-  /// posted task has no caller to rethrow to), so servers wrap their
-  /// work in their own error containment. On a pool with zero workers
-  /// the task runs inline on the caller — nothing would ever drain the
-  /// queue otherwise.
-  void Post(std::function<void()> task);
-
   /// Runs a small set of heterogeneous stage tasks concurrently (the
   /// fusion pipeline's independent layer builds, a FrozenGraph's out/in
   /// CSR halves, ...). The caller participates and the call blocks until

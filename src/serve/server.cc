@@ -150,6 +150,11 @@ void Server::AcceptLoop() {
     }
     if (!(fds[0].revents & POLLIN)) continue;
 
+    // Reap terminated connection threads before taking a new one, so
+    // the finished backlog stays bounded by the admission cap rather
+    // than growing with every connection ever served.
+    ReapFinishedConnections();
+
     const int fd = accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
@@ -186,8 +191,10 @@ void Server::AcceptLoop() {
       ++active_connections_;
       // A dedicated I/O thread, not a pool task: parked in recv it
       // costs one idle thread, never a pool worker. The admission cap
-      // bounds how many exist at once; Wait() joins them after drain.
-      connection_threads_.emplace_back([this, fd] { HandleConnection(fd); });
+      // bounds how many exist at once; each hands itself back via
+      // finished_threads_ when done.
+      auto it = connection_threads_.emplace(connection_threads_.end());
+      *it = std::thread([this, fd, it] { HandleConnection(fd, it); });
     }
   }
 
@@ -250,7 +257,7 @@ void Server::WriteResponse(int fd, const Response& response) {
   }
 }
 
-void Server::HandleConnection(int fd) {
+void Server::HandleConnection(int fd, std::list<std::thread>::iterator self) {
   std::string buffer;
   std::string line;
   while (ReadLine(fd, &buffer, &line)) {
@@ -306,12 +313,34 @@ void Server::HandleConnection(int fd) {
         .Set(static_cast<int64_t>(admission_.inflight()));
   }
 
+  // Bookkeeping strictly before close(fd): once the fd is closed the
+  // kernel may hand the same number to a fresh accept, and an erase
+  // after that would remove the NEW connection from open_fds_ — leaving
+  // it invisible to DrainConnections. Same for LeaveConnection: freeing
+  // the admission slot is what lets the acceptor admit a successor.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    open_fds_.erase(fd);
+    --active_connections_;
+    // Hand our own handle to the reaper; joining it merely waits out
+    // the few instructions left below.
+    finished_threads_.push_back(std::move(*self));
+    connection_threads_.erase(self);
+    drained_cv_.notify_all();
+  }
   close(fd);
   admission_.LeaveConnection();
-  std::lock_guard<std::mutex> lock(mu_);
-  open_fds_.erase(fd);
-  --active_connections_;
-  drained_cv_.notify_all();
+}
+
+void Server::ReapFinishedConnections() {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    finished.swap(finished_threads_);
+  }
+  for (std::thread& thread : finished) {
+    if (thread.joinable()) thread.join();
+  }
 }
 
 void Server::DrainConnections() {
@@ -350,12 +379,18 @@ ServeSummary Server::Wait() {
   }
   if (acceptor_.joinable()) acceptor_.join();
   DrainConnections();
-  // Every handler has decremented active_connections_; joining is now
-  // just reaping the final few instructions of each thread.
+  // Every handler has decremented active_connections_ and moved its
+  // handle to finished_threads_; joining is now just reaping the final
+  // few instructions of each thread. connection_threads_ is drained
+  // too, defensively — it should already be empty.
   std::vector<std::thread> threads;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    threads.swap(connection_threads_);
+    threads.swap(finished_threads_);
+    for (std::thread& thread : connection_threads_) {
+      threads.push_back(std::move(thread));
+    }
+    connection_threads_.clear();
   }
   for (std::thread& thread : threads) {
     if (thread.joinable()) thread.join();

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <list>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -135,7 +136,14 @@ class Server {
   explicit Server(const ServeOptions& options);
 
   void AcceptLoop();
-  void HandleConnection(int fd);
+  /// `self` is this connection's handle in connection_threads_; the
+  /// handler moves it to finished_threads_ on the way out so the
+  /// acceptor can reap it.
+  void HandleConnection(int fd, std::list<std::thread>::iterator self);
+  /// Joins every thread parked in finished_threads_. Called by the
+  /// acceptor on each accept and by Wait() after the drain, so a
+  /// long-lived server never accumulates terminated joinable threads.
+  void ReapFinishedConnections();
   /// Reads one '\n'-terminated line into `line`. Returns false on EOF,
   /// timeout, overlong input or error (the connection ends either way).
   bool ReadLine(int fd, std::string* buffer, std::string* line);
@@ -162,9 +170,13 @@ class Server {
   mutable std::mutex mu_;
   std::condition_variable drained_cv_;
   std::unordered_set<int> open_fds_;
-  /// One thread per accepted connection; bounded by the admission cap,
-  /// joined in Wait() after the drain.
-  std::vector<std::thread> connection_threads_;
+  /// Live connection threads, one per accepted connection (bounded by
+  /// the admission cap). A finished handler moves its own handle to
+  /// finished_threads_, which the acceptor joins on the next accept —
+  /// so unjoined-but-terminated threads are bounded too, instead of
+  /// accumulating a stack per connection for the daemon's lifetime.
+  std::list<std::thread> connection_threads_;
+  std::vector<std::thread> finished_threads_;
   size_t active_connections_ = 0;
   bool accept_done_ = false;
 

@@ -1,6 +1,7 @@
 #include "serve/service.h"
 
 #include <algorithm>
+#include <condition_variable>
 #include <utility>
 #include <vector>
 
@@ -91,29 +92,81 @@ RunBudget QueryService::EffectiveBudget(const Request& request) const {
   return budget;
 }
 
+struct QueryService::BundleFlight {
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  Status status;
+  std::shared_ptr<const DetectionBundle> bundle;
+};
+
 Result<std::shared_ptr<const DetectionBundle>> QueryService::GetBundle(
     const RunBudget& budget) {
   const std::string key = BundleKey(budget);
   if (std::shared_ptr<const DetectionBundle> hit = bundle_cache_.Get(key)) {
     return hit;
   }
+
+  // Single-flight: N concurrent cold requests for one key must cost one
+  // detection run, not N (a cold run can take minutes on a large
+  // snapshot, so a thundering herd would multiply cold-start load by
+  // up to max_inflight). The first miss becomes the leader; later
+  // misses wait on its flight and share the outcome, error and all.
+  std::shared_ptr<BundleFlight> flight;
+  bool leader = false;
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    auto [it, inserted] = bundle_flights_.try_emplace(key);
+    if (inserted) it->second = std::make_shared<BundleFlight>();
+    flight = it->second;
+    leader = inserted;
+  }
+  if (!leader) {
+    std::unique_lock<std::mutex> lock(flight->mu);
+    flight->cv.wait(lock, [&] { return flight->done; });
+    if (!flight->status.ok()) return flight->status;
+    return flight->bundle;
+  }
+
+  Status status;
+  std::shared_ptr<DetectionBundle> bundle;
   DetectorOptions options;
   options.num_threads = options_.threads;
   options.budget = budget;
   options.arena_pool = &arena_pool_;
-  TPIIN_ASSIGN_OR_RETURN(DetectionResult detection,
-                         DetectSuspiciousGroups(net_, options));
-  auto bundle = std::make_shared<DetectionBundle>();
-  bundle->scoring = ScoreDetection(net_, detection);
-  bundle->detection = std::move(detection);
-  bundle->groups_payload =
-      RenderSuspiciousGroups(net_, bundle->detection.groups);
-  // A deadline-truncated run reflects this machine's clock, not the
-  // data; serving it once (marked degraded) is honest, caching it would
-  // pin the degradation.
-  if (!TimeDegraded(bundle->detection)) {
-    bundle_cache_.Put(key, bundle);
+  Result<DetectionResult> detection = DetectSuspiciousGroups(net_, options);
+  if (!detection.ok()) {
+    status = detection.status();
+  } else {
+    bundle = std::make_shared<DetectionBundle>();
+    bundle->scoring = ScoreDetection(net_, *detection);
+    bundle->detection = std::move(*detection);
+    bundle->groups_payload =
+        RenderSuspiciousGroups(net_, bundle->detection.groups);
+    // A deadline-truncated run reflects this machine's clock, not the
+    // data; serving it once (marked degraded) is honest, caching it
+    // would pin the degradation.
+    if (!TimeDegraded(bundle->detection)) {
+      bundle_cache_.Put(key, bundle);
+    }
   }
+
+  // Publish to waiting followers, then retire the flight. Cache Put
+  // happened first, so a request landing after the erase either hits
+  // the cache or — for an uncached (failed/degraded) outcome — starts
+  // an honest fresh leader of its own.
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->status = status;
+    flight->bundle = bundle;
+    flight->done = true;
+  }
+  flight->cv.notify_all();
+  {
+    std::lock_guard<std::mutex> lock(flight_mu_);
+    bundle_flights_.erase(key);
+  }
+  if (!status.ok()) return status;
   return std::shared_ptr<const DetectionBundle>(std::move(bundle));
 }
 

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -95,10 +96,17 @@ class QueryService {
   /// request set explicitly overridden.
   RunBudget EffectiveBudget(const Request& request) const;
 
-  /// Get-or-compute the bundle for `budget`. Deadline-truncated runs
-  /// are returned but not cached (their content is timing-dependent).
+  /// Get-or-compute the bundle for `budget`, single-flighted:
+  /// concurrent misses on the same key share one computation (the
+  /// first becomes the leader, the rest wait on its flight) instead of
+  /// each running a full detection. Deadline-truncated runs are
+  /// returned but not cached (their content is timing-dependent).
   Result<std::shared_ptr<const DetectionBundle>> GetBundle(
       const RunBudget& budget);
+
+  /// One in-progress bundle computation; followers block on `cv` until
+  /// the leader publishes `done`.
+  struct BundleFlight;
 
   Response HandleGroups(const Request& request);
   Response HandleExplain(const Request& request);
@@ -111,6 +119,11 @@ class QueryService {
   ArenaPool arena_pool_;
   LruCache<DetectionBundle> bundle_cache_;
   LruCache<std::string> sub_cache_;
+  /// In-progress bundle computations, keyed like bundle_cache_. Guarded
+  /// by flight_mu_; entries live only while a leader is computing.
+  std::mutex flight_mu_;
+  std::unordered_map<std::string, std::shared_ptr<BundleFlight>>
+      bundle_flights_;
   /// Label -> node id of its first occurrence (the batch CLI's linear
   /// "first match wins" scan, precomputed once).
   std::unordered_map<std::string, NodeId> node_by_label_;

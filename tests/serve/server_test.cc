@@ -249,6 +249,60 @@ TEST_F(ServerTest, DegradedResponsesMapToExitCode2) {
   EXPECT_EQ(summary.ExitCode(), 2);
 }
 
+#ifdef __linux__
+// Threads of this process, from /proc (0 when unreadable).
+size_t CountProcessThreads() {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("Threads:", 0) == 0) {
+      return static_cast<size_t>(std::stoul(line.substr(8)));
+    }
+  }
+  return 0;
+}
+#endif
+
+TEST_F(ServerTest, SequentialConnectionsDoNotAccumulateThreads) {
+#ifndef __linux__
+  GTEST_SKIP() << "/proc-based thread counting is Linux-only";
+#else
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  const size_t baseline = CountProcessThreads();
+  if (baseline == 0) GTEST_SKIP() << "/proc/self/status unreadable";
+
+  // A long-lived daemon serves connections forever; each one's handler
+  // thread must be reaped after it finishes, not parked joinable-but-
+  // terminated (stack and all) until shutdown.
+  for (int i = 0; i < 64; ++i) {
+    TestClient client = Connect(*server);
+    ASSERT_TRUE(client.RoundTrip("healthz").ok());
+  }
+
+  // Finished threads are joined by the acceptor on the next accept, so
+  // probe until the count settles back near the baseline (the probe
+  // itself and the most recently closed connection may still be live).
+  bool settled = false;
+  size_t now = 0;
+  for (int attempt = 0; attempt < 200 && !settled; ++attempt) {
+    {
+      TestClient probe = Connect(*server);
+      ASSERT_TRUE(probe.RoundTrip("healthz").ok());
+    }
+    struct timespec ts = {0, 10 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+    now = CountProcessThreads();
+    settled = now <= baseline + 3;
+  }
+  EXPECT_TRUE(settled) << "threads grew from " << baseline << " to " << now
+                       << " after 64 sequential connections";
+
+  server->Shutdown();
+  EXPECT_EQ(server->Wait().ExitCode(), 0);
+#endif
+}
+
 TEST_F(ServerTest, TwoServersOnOneProcessStayIsolated) {
   // Per-server metrics registries and caches: two servers over the same
   // snapshot never blend their stats (the in-process test topology).

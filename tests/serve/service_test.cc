@@ -5,15 +5,19 @@
 
 #include "serve/service.h"
 
+#include <atomic>
 #include <filesystem>
 #include <fstream>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
 #include "cli/cli.h"
+#include "common/failpoint.h"
 #include "datagen/province.h"
 #include "datagen/worked_example.h"
 #include "fusion/pipeline.h"
@@ -154,6 +158,60 @@ TEST_F(ServiceTest, GroupsByteIdenticalToBatchAtAnyThreadsCacheHotOrCold) {
       EXPECT_EQ(service->bundle_cache().hits(), cached ? 1u : 0u);
     }
   }
+}
+
+TEST_F(ServiceTest, ConcurrentColdMissesAreSingleFlighted) {
+  OpenProvinceSnapshot();
+  const std::string batch = BatchSusGroups();
+  ASSERT_FALSE(batch.empty());
+
+  // Activate failpoint hit counting without any firing rule: the
+  // core.sub_mine site is evaluated once per subTPIIN per detection
+  // run, so its hit count measures how many detections actually ran.
+  ASSERT_TRUE(Failpoints::Configure("test.unused:off").ok());
+
+  // Calibrate: one cold request = one detection run's worth of hits.
+  uint64_t per_run = 0;
+  {
+    std::unique_ptr<QueryService> calibration = MakeService(0, true);
+    const uint64_t before = Failpoints::HitCount("core.sub_mine");
+    Response resp = calibration->Handle(MakeRequest("groups"));
+    ASSERT_EQ(resp.status, "ok") << resp.error;
+    per_run = Failpoints::HitCount("core.sub_mine") - before;
+  }
+  if (per_run == 0) {
+    Failpoints::Clear();
+    GTEST_SKIP() << "failpoint sites compiled out (-DTPIIN_FAILPOINTS=OFF)";
+  }
+
+  // Eight simultaneous cold requests for the same key: single-flight
+  // makes the first the leader and parks the rest on its flight, so
+  // exactly one detection runs (without coalescing this would be up to
+  // eight full runs before one result wins the cache Put).
+  constexpr int kThreads = 8;
+  std::unique_ptr<QueryService> service = MakeService(0, true);
+  const uint64_t before = Failpoints::HitCount("core.sub_mine");
+  std::atomic<bool> go{false};
+  std::vector<Response> responses(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      responses[i] = service->Handle(MakeRequest("groups"));
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+  const uint64_t mined = Failpoints::HitCount("core.sub_mine") - before;
+  Failpoints::Clear();
+
+  EXPECT_EQ(mined, per_run) << "concurrent cold misses were not coalesced";
+  for (int i = 0; i < kThreads; ++i) {
+    ASSERT_EQ(responses[i].status, "ok") << responses[i].error;
+    EXPECT_EQ(responses[i].payload, batch) << "thread " << i;
+  }
+  EXPECT_EQ(service->bundle_cache().size(), 1u);
 }
 
 TEST_F(ServiceTest, ExplainByteIdenticalToBatch) {
