@@ -30,6 +30,7 @@
 #include "io/json_report.h"
 #include "io/pattern_file.h"
 #include "common/atomic_file.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
 #include "obs/trace.h"
@@ -83,6 +84,49 @@ Status ApplyLogLevelFlag(std::vector<std::string>& args) {
           " (expected debug|info|warning|error)");
     }
   }
+  return Status::OK();
+}
+
+// The process-wide structured-log sink installed by --log-json. Kept in
+// a static so it outlives every TPIIN_LOG statement (the LogBackend
+// contract); replaced — uninstall first, then swap — when a later
+// in-process RunCli passes the flag again.
+std::unique_ptr<JsonLogSink>& LogJsonSinkSlot() {
+  static std::unique_ptr<JsonLogSink> sink;
+  return sink;
+}
+
+// Consumes every --log-json flag (global: valid before or after the
+// command's own flags) and installs a JSON log backend writing to the
+// last given path ("-" = stderr), upgrading every TPIIN_LOG line in the
+// process to one NDJSON event.
+Status ApplyLogJsonFlag(std::vector<std::string>& args) {
+  constexpr const char* kPrefix = "--log-json=";
+  bool seen = false;
+  std::string path;
+  for (auto it = args.begin(); it != args.end();) {
+    if (it->rfind(kPrefix, 0) == 0) {
+      path = it->substr(std::string(kPrefix).size());
+      seen = true;
+      it = args.erase(it);
+    } else if (*it == "--log-json") {
+      if (std::next(it) == args.end()) {
+        return Status::InvalidArgument("--log-json requires a value");
+      }
+      path = *std::next(it);
+      seen = true;
+      it = args.erase(it, it + 2);
+    } else {
+      ++it;
+    }
+  }
+  if (!seen) return Status::OK();
+  std::string error;
+  std::unique_ptr<JsonLogSink> sink = JsonLogSink::Open(path, &error);
+  if (sink == nullptr) return Status::IOError(error);
+  SetLogBackend(nullptr);  // Never leave the backend dangling mid-swap.
+  LogJsonSinkSlot() = std::move(sink);
+  SetLogBackend(LogJsonSinkSlot().get());
   return Status::OK();
 }
 
@@ -808,9 +852,12 @@ Status RunShardMerge(const std::vector<std::string>& args,
 
 // Signal wiring for `tpiin serve`: SIGINT/SIGTERM kick the running
 // server's wake pipe (async-signal-safe) so it drains and exits
-// cleanly. Handlers are restored on return, so an in-process caller
-// (tests driving RunCli) gets its dispositions back.
+// cleanly; SIGHUP asks every live JSON log sink to reopen its file (the
+// logrotate idiom: rename, signal, keep writing). Handlers are restored
+// on return, so an in-process caller (tests driving RunCli) gets its
+// dispositions back — and the sinks outlive the handler window.
 void ServeSignalHandler(int) { Server::RequestShutdownFromSignal(); }
+void ServeHupHandler(int) { JsonLogSink::RequestReopenAll(); }
 
 class ScopedServeSignals {
  public:
@@ -821,15 +868,19 @@ class ScopedServeSignals {
     sigemptyset(&action.sa_mask);
     sigaction(SIGINT, &action, &old_int_);
     sigaction(SIGTERM, &action, &old_term_);
+    action.sa_handler = ServeHupHandler;
+    sigaction(SIGHUP, &action, &old_hup_);
   }
   ~ScopedServeSignals() {
     sigaction(SIGINT, &old_int_, nullptr);
     sigaction(SIGTERM, &old_term_, nullptr);
+    sigaction(SIGHUP, &old_hup_, nullptr);
   }
 
  private:
   struct sigaction old_int_;
   struct sigaction old_term_;
+  struct sigaction old_hup_;
 };
 
 // `tpiin serve`: open a snapshot once, answer newline-delimited JSON
@@ -866,6 +917,19 @@ Status RunServe(const std::vector<std::string>& args, std::ostream& out,
   flags.DefineBool("verify", true, "verify snapshot checksums at open");
   flags.DefineString("report", "",
                      "write the final stats report (JSON) at shutdown");
+  flags.DefineString("access-log", "",
+                     "NDJSON access log, one event per request "
+                     "('-' = stderr; SIGHUP reopens the file)");
+  flags.DefineString("trace-out", "",
+                     "write a Chrome trace of live traffic at shutdown");
+  flags.DefineString("metrics-out", "",
+                     "Prometheus text snapshot, rewritten atomically "
+                     "every --metrics-interval-ms");
+  flags.DefineInt64("metrics-interval-ms", 5000,
+                    "period of the --metrics-out snapshot");
+  flags.DefineInt64("slow-requests", 8,
+                    "slow-request ring capacity (the `slow` verb; 0 = "
+                    "off)");
   DefineBudgetFlags(flags);
   TPIIN_RETURN_IF_ERROR(ParseFlags(flags, args));
   if (flags.GetString("snapshot").empty()) {
@@ -891,6 +955,13 @@ Status RunServe(const std::vector<std::string>& args, std::ostream& out,
   options.service.bundle_cache_entries = static_cast<size_t>(
       std::max<int64_t>(0, flags.GetInt64("bundle-cache-entries")));
   options.service.default_budget = BudgetFromFlags(flags);
+  options.access_log_path = flags.GetString("access-log");
+  options.trace_out_path = flags.GetString("trace-out");
+  options.metrics_out_path = flags.GetString("metrics-out");
+  options.metrics_interval_seconds =
+      std::max<int64_t>(100, flags.GetInt64("metrics-interval-ms")) / 1e3;
+  options.slow_requests = static_cast<size_t>(
+      std::max<int64_t>(0, flags.GetInt64("slow-requests")));
 
   TPIIN_ASSIGN_OR_RETURN(std::unique_ptr<Server> server,
                          Server::Start(options));
@@ -994,15 +1065,18 @@ std::string CliUsage() {
       "          --dir=DIR --out=FILE [--report=FILE]\n"
       "  serve   long-lived query daemon over a loaded snapshot:\n"
       "          newline-delimited JSON over TCP (verbs: groups, explain,\n"
-      "          rescore, stats, healthz); groups/explain bytes match the\n"
-      "          batch commands exactly\n"
+      "          rescore, stats, slow, metrics, healthz); groups/explain\n"
+      "          bytes match the batch commands exactly\n"
       "          --snapshot=FILE [--host=ADDR] [--port=N] [--port-file=F]\n"
       "          [--threads=T] [--max-inflight=N] [--max-queue=N]\n"
       "          [--cache-entries=N] [--bundle-cache-entries=N]\n"
       "          [--idle-timeout-ms=N] [--drain-ms=N] [--report=FILE]\n"
-      "          [--deadline-ms=N ...budget flags]\n"
-      "          (SIGINT/SIGTERM drain in-flight requests, then exit:\n"
-      "          0 clean, 1 startup failure, 2 served degraded results)\n"
+      "          [--access-log=FILE] [--trace-out=FILE]\n"
+      "          [--metrics-out=FILE] [--metrics-interval-ms=N]\n"
+      "          [--slow-requests=N] [--deadline-ms=N ...budget flags]\n"
+      "          (SIGINT/SIGTERM drain in-flight requests, SIGHUP\n"
+      "          reopens log files; exit 0 clean, 1 startup failure,\n"
+      "          2 served degraded results)\n"
       "  export  render a TPIIN (or one company's neighborhood) for\n"
       "          Graphviz/Gephi\n"
       "          (--net=FILE | --snapshot=FILE) --format=dot|gexf "
@@ -1012,6 +1086,8 @@ std::string CliUsage() {
       "Global flags:\n"
       "  --log-level=debug|info|warning|error   minimum log severity\n"
       "                                         (default info)\n"
+      "  --log-json=FILE     upgrade all log lines to NDJSON events\n"
+      "                      appended to FILE ('-' = stderr)\n"
       "  --failpoints=SPEC   inject faults at named sites (testing);\n"
       "                      e.g. 'io.csv.open:ioerror,*:p0.01@42'\n"
       "\n"
@@ -1025,6 +1101,7 @@ Status DispatchCli(const std::vector<std::string>& args, std::ostream& out,
                    int* exit_code) {
   std::vector<std::string> mutable_args = args;
   TPIIN_RETURN_IF_ERROR(ApplyLogLevelFlag(mutable_args));
+  TPIIN_RETURN_IF_ERROR(ApplyLogJsonFlag(mutable_args));
   TPIIN_RETURN_IF_ERROR(ApplyFailpointsFlag(mutable_args));
   if (mutable_args.empty() || mutable_args[0] == "help" ||
       mutable_args[0] == "--help") {

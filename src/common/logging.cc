@@ -6,6 +6,7 @@ namespace tpiin {
 
 namespace {
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
+std::atomic<LogBackend*> g_backend{nullptr};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -30,19 +31,47 @@ LogLevel GetLogLevel() {
   return static_cast<LogLevel>(g_min_level.load(std::memory_order_relaxed));
 }
 
+const char* LogLevelToken(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarning:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+void SetLogBackend(LogBackend* backend) {
+  g_backend.store(backend, std::memory_order_release);
+}
+
+LogBackend* GetLogBackend() {
+  return g_backend.load(std::memory_order_acquire);
+}
+
 namespace internal_logging {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : level_(level) {
-  stream_ << "[" << LevelName(level) << " " << file << ":" << line << "] ";
-}
+    : level_(level), file_(file), line_(line) {}
 
 LogMessage::~LogMessage() {
-  if (static_cast<int>(level_) >=
+  if (static_cast<int>(level_) <
       g_min_level.load(std::memory_order_relaxed)) {
-    stream_ << "\n";
-    std::cerr << stream_.str();
+    return;
   }
+  if (LogBackend* backend = g_backend.load(std::memory_order_acquire)) {
+    backend->Write(level_, file_, line_, stream_.str());
+    return;
+  }
+  // One insertion, so concurrent lines do not interleave mid-line.
+  std::ostringstream line;
+  line << "[" << LevelName(level_) << " " << file_ << ":" << line_ << "] "
+       << stream_.str() << "\n";
+  std::cerr << line.str();
 }
 
 FatalLogMessage::FatalLogMessage(const char* file, int line) {

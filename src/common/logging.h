@@ -5,6 +5,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace tpiin {
 
@@ -13,6 +14,35 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 /// Sets the minimum level emitted by TPIIN_LOG; defaults to kInfo.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
+
+/// Lower-case level token ("debug", "info", "warn", "error"); the
+/// structured log schema's `level` value.
+const char* LogLevelToken(LogLevel level);
+
+/// Pluggable structured sink behind TPIIN_LOG. While a backend is
+/// installed, every log line that passes the level gate is delivered to
+/// it (message body only — no prefix) instead of being formatted onto
+/// stderr, so all subsystems upgrade to structured output at once.
+///
+/// Deliberately an abstract interface with no out-of-line members: the
+/// canonical implementation (obs/log.h's JsonLogSink) lives *below*
+/// tpiin_common in the link graph and may only depend on this header,
+/// never on symbols from logging.cc.
+class LogBackend {
+ public:
+  virtual ~LogBackend() = default;
+
+  /// Called once per emitted log line; must be thread-safe.
+  virtual void Write(LogLevel level, const char* file, int line,
+                     std::string_view message) = 0;
+};
+
+/// Installs `backend` as the process-wide log sink (nullptr restores
+/// the default stderr formatting). The backend must outlive every log
+/// statement emitted while installed; callers uninstall before
+/// destroying it.
+void SetLogBackend(LogBackend* backend);
+LogBackend* GetLogBackend();
 
 namespace internal_logging {
 
@@ -30,6 +60,8 @@ class LogMessage {
 
  private:
   LogLevel level_;
+  const char* file_;
+  int line_;
   std::ostringstream stream_;
 };
 

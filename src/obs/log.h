@@ -1,0 +1,139 @@
+#ifndef TPIIN_OBS_LOG_H_
+#define TPIIN_OBS_LOG_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// Header-only use of tpiin_common: the LogLevel enum and the abstract
+// LogBackend interface. obs sits below common in the link graph, so
+// this file must never reference a symbol defined in a common/*.cc.
+#include "common/logging.h"
+#include "obs/report.h"  // ReportValue / ReportValueToJson.
+
+namespace tpiin {
+
+/// One structured log field: a key and a JSON-expressible scalar.
+struct LogField {
+  LogField(std::string k, ReportValue v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, const char* v)
+      : key(std::move(k)), value(std::string(v)) {}
+  LogField(std::string k, std::string v)
+      : key(std::move(k)), value(std::move(v)) {}
+  LogField(std::string k, int64_t v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, uint64_t v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, double v) : key(std::move(k)), value(v) {}
+  LogField(std::string k, bool v) : key(std::move(k)), value(v) {}
+
+  std::string key;
+  ReportValue value;
+};
+
+/// Microseconds since the Unix epoch (wall clock; the log timestamp
+/// source). Split out so formatting is testable with a fixed instant.
+int64_t UnixMicrosNow();
+
+/// Renders `unix_micros` as RFC 3339 UTC with microsecond precision,
+/// e.g. "2026-08-08T12:34:56.789012Z".
+std::string FormatLogTimestamp(int64_t unix_micros);
+
+/// Renders one NDJSON event line (no trailing newline): a flat JSON
+/// object with fixed leading keys ts/level/component/event followed by
+/// the caller's fields in order. Exposed for tests and for callers that
+/// want the bytes without a sink.
+std::string FormatLogEvent(LogLevel level, std::string_view component,
+                           std::string_view event,
+                           const std::vector<LogField>& fields,
+                           int64_t unix_micros);
+
+/// A leveled, thread-safe, newline-delimited JSON log sink.
+///
+/// Every event is one flat JSON object on one line:
+///
+///   {"ts":"2026-08-08T12:34:56.789012Z","level":"info",
+///    "component":"serve","event":"request","conn":3,"req":"c3-r7",...}
+///
+/// Output is a file opened O_APPEND (one write(2) per line, so a crash
+/// can tear at most the final line — NDJSON readers skip it) or stderr
+/// when constructed with path "" or "-". Writes from any number of
+/// threads serialize on an internal mutex; the sink never throws and
+/// never allocates in signal context.
+///
+/// As a LogBackend (common/logging.h), it upgrades every TPIIN_LOG
+/// line in the process to a structured event:
+///
+///   {"ts":...,"level":"warn","component":"fusion","event":"log",
+///    "msg":"...","src":"pipeline.cc:123"}
+///
+/// Rotation: RequestReopen() is async-signal-safe (one relaxed store);
+/// the next write closes and reopens the path, so the external rotation
+/// idiom — rename the file, signal the process — loses no events. The
+/// CLI's SIGHUP handler calls RequestReopenAll() on every live sink.
+class JsonLogSink : public LogBackend {
+ public:
+  /// Opens a sink appending to `path` ("" or "-" = stderr, not
+  /// reopenable). Returns nullptr and sets *error when the file cannot
+  /// be opened (obs cannot use Status; callers wrap).
+  static std::unique_ptr<JsonLogSink> Open(const std::string& path,
+                                           std::string* error);
+
+  ~JsonLogSink() override;
+
+  JsonLogSink(const JsonLogSink&) = delete;
+  JsonLogSink& operator=(const JsonLogSink&) = delete;
+
+  /// Writes one structured event line. Not level-gated: callers using a
+  /// sink as a dedicated event stream (the serve access log) decide
+  /// what to record; TPIIN_LOG traffic is gated upstream by
+  /// SetLogLevel.
+  void Event(LogLevel level, std::string_view component,
+             std::string_view event, const std::vector<LogField>& fields);
+
+  /// LogBackend: a TPIIN_LOG line becomes an "event":"log" record with
+  /// the message under "msg" and the call site under "src". The
+  /// component is the source subdirectory (src/serve/server.cc ->
+  /// "serve").
+  void Write(LogLevel level, const char* file, int line,
+             std::string_view message) override;
+
+  /// Async-signal-safe: the next write reopens the path. No-op for a
+  /// stderr sink.
+  void RequestReopen() { reopen_.store(true, std::memory_order_release); }
+
+  /// Async-signal-safe: RequestReopen() on every live JsonLogSink. The
+  /// CLI's SIGHUP handler; sinks must outlive the handler's last
+  /// possible firing (uninstall the handler before destroying sinks).
+  static void RequestReopenAll();
+
+  /// Lines successfully written since construction (across reopens).
+  uint64_t lines_written() const {
+    return lines_.load(std::memory_order_relaxed);
+  }
+
+  /// True while the last write (and the open) succeeded.
+  bool ok() const { return ok_.load(std::memory_order_relaxed); }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  JsonLogSink(std::string path, int fd, bool owns_fd);
+
+  void WriteLine(std::string_view line);  // Appends '\n', one write(2).
+
+  const std::string path_;
+  std::mutex mu_;
+  int fd_;             // Guarded by mu_ (reopen swaps it).
+  const bool owns_fd_;
+  std::atomic<bool> reopen_{false};
+  std::atomic<bool> ok_{true};
+  std::atomic<uint64_t> lines_{0};
+};
+
+}  // namespace tpiin
+
+#endif  // TPIIN_OBS_LOG_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdio>
 
 namespace tpiin {
@@ -57,6 +58,35 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
   min_.store(UINT64_MAX, std::memory_order_relaxed);
   max_.store(0, std::memory_order_relaxed);
+}
+
+uint64_t QuantileFromBuckets(
+    const std::vector<std::pair<uint64_t, uint64_t>>& buckets, double q) {
+  uint64_t total = 0;
+  for (const auto& [upper, count] : buckets) total += count;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Nearest-rank: the smallest bucket whose cumulative count covers
+  // rank ceil(q * total), with rank at least 1 so q=0 is the first
+  // non-empty bucket.
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t seen = 0;
+  for (const auto& [upper, count] : buckets) {
+    seen += count;
+    if (seen >= rank) return upper;
+  }
+  return buckets.back().first;
+}
+
+uint64_t MetricsSnapshot::Entry::Quantile(double q) const {
+  uint64_t value = QuantileFromBuckets(buckets, q);
+  if (value < min) value = min;
+  if (value > max) value = max;
+  return value;
 }
 
 const MetricsSnapshot::Entry* MetricsSnapshot::Find(

@@ -105,6 +105,15 @@ class Histogram {
   std::atomic<uint64_t> max_{0};
 };
 
+/// Quantile estimate over (inclusive upper bound, count) buckets in
+/// ascending bound order (the Histogram::Buckets() shape). Returns the
+/// upper bound of the first bucket whose cumulative count reaches
+/// ceil(q * total) — i.e. an upper bound on the true quantile that is
+/// exact whenever the recorded values sit on bucket edges. Returns 0
+/// for an empty bucket list. `q` is clamped to [0, 1].
+uint64_t QuantileFromBuckets(
+    const std::vector<std::pair<uint64_t, uint64_t>>& buckets, double q);
+
 /// Point-in-time aggregation of a MetricsRegistry, sorted by name.
 struct MetricsSnapshot {
   enum class Kind { kCounter, kGauge, kHistogram };
@@ -121,6 +130,11 @@ struct MetricsSnapshot {
     uint64_t min = 0;
     uint64_t max = 0;
     std::vector<std::pair<uint64_t, uint64_t>> buckets;
+
+    /// Histogram entries only: QuantileFromBuckets clamped to
+    /// [min, max], so p100 is the exact max and tiny histograms never
+    /// report a bucket bound below their smallest sample.
+    uint64_t Quantile(double q) const;
   };
 
   std::vector<Entry> entries;

@@ -1,0 +1,114 @@
+#include "obs/prometheus.h"
+
+#include <cstdio>
+
+namespace tpiin {
+namespace {
+
+void AppendU64(std::string* out, uint64_t value) {
+  char buf[24];
+  int n = std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(value));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendI64(std::string* out, int64_t value) {
+  char buf[24];
+  int n = std::snprintf(buf, sizeof(buf), "%lld",
+                        static_cast<long long>(value));
+  out->append(buf, static_cast<size_t>(n));
+}
+
+void AppendType(std::string* out, const std::string& family,
+                const char* type) {
+  *out += "# TYPE ";
+  *out += family;
+  *out += ' ';
+  *out += type;
+  *out += '\n';
+}
+
+void AppendDerivedQuantile(std::string* out, const std::string& family,
+                           const char* suffix,
+                           const MetricsSnapshot::Entry& entry, double q) {
+  const std::string name = family + suffix;
+  AppendType(out, name, "gauge");
+  *out += name;
+  *out += ' ';
+  AppendU64(out, entry.Quantile(q));
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name, std::string_view prefix) {
+  std::string out;
+  out.reserve(prefix.size() + name.size());
+  out.append(prefix);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 std::string_view prefix) {
+  std::string out;
+  out.reserve(snapshot.entries.size() * 96);
+  for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    const std::string family = PrometheusName(entry.name, prefix);
+    switch (entry.kind) {
+      case MetricsSnapshot::Kind::kCounter: {
+        const std::string name = family + "_total";
+        AppendType(&out, name, "counter");
+        out += name;
+        out += ' ';
+        AppendU64(&out, entry.value);
+        out += '\n';
+        break;
+      }
+      case MetricsSnapshot::Kind::kGauge: {
+        AppendType(&out, family, "gauge");
+        out += family;
+        out += ' ';
+        AppendI64(&out, entry.gauge);
+        out += '\n';
+        break;
+      }
+      case MetricsSnapshot::Kind::kHistogram: {
+        AppendType(&out, family, "histogram");
+        uint64_t cumulative = 0;
+        for (const auto& [upper, count] : entry.buckets) {
+          cumulative += count;
+          out += family;
+          out += "_bucket{le=\"";
+          AppendU64(&out, upper);
+          out += "\"} ";
+          AppendU64(&out, cumulative);
+          out += '\n';
+        }
+        out += family;
+        out += "_bucket{le=\"+Inf\"} ";
+        AppendU64(&out, entry.count);
+        out += '\n';
+        out += family;
+        out += "_sum ";
+        AppendU64(&out, entry.sum);
+        out += '\n';
+        out += family;
+        out += "_count ";
+        AppendU64(&out, entry.count);
+        out += '\n';
+        AppendDerivedQuantile(&out, family, "_p50", entry, 0.50);
+        AppendDerivedQuantile(&out, family, "_p90", entry, 0.90);
+        AppendDerivedQuantile(&out, family, "_p99", entry, 0.99);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tpiin

@@ -1,0 +1,34 @@
+#ifndef TPIIN_OBS_PROMETHEUS_H_
+#define TPIIN_OBS_PROMETHEUS_H_
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace tpiin {
+
+/// Maps a registry metric name to a Prometheus metric family name:
+/// prefix + name with every character outside [a-zA-Z0-9_:] replaced by
+/// '_' ("serve.latency_us.groups" -> "tpiin_serve_latency_us_groups").
+std::string PrometheusName(std::string_view name, std::string_view prefix);
+
+/// Renders a MetricsSnapshot in the Prometheus text exposition format
+/// (version 0.0.4), one family per entry, entries in snapshot order:
+///
+///  - counters:    `# TYPE <p><name>_total counter` + a single sample;
+///  - gauges:      `# TYPE <p><name> gauge` + a single sample;
+///  - histograms:  `# TYPE <p><name> histogram` with cumulative
+///    `_bucket{le="<upper>"}` samples over the log2 bucket bounds plus
+///    `le="+Inf"`, `_sum`, and `_count`, followed by derived
+///    `<p><name>_p50` / `_p90` / `_p99` gauges (nearest-rank over
+///    bucket upper bounds, clamped to [min, max]) so dashboards get
+///    percentiles without PromQL histogram_quantile.
+///
+/// Ends with a trailing newline; an empty snapshot renders "".
+std::string RenderPrometheusText(const MetricsSnapshot& snapshot,
+                                 std::string_view prefix = "tpiin_");
+
+}  // namespace tpiin
+
+#endif  // TPIIN_OBS_PROMETHEUS_H_

@@ -242,6 +242,9 @@ std::string SerializeResponse(const Response& response) {
     out += StringPrintf("\"id\":%lld,",
                         static_cast<long long>(response.id));
   }
+  if (!response.request_id.empty()) {
+    out += "\"req\":\"" + JsonEscape(response.request_id) + "\",";
+  }
   if (!response.verb.empty()) {
     out += "\"verb\":\"" + JsonEscape(response.verb) + "\",";
   }
@@ -270,10 +273,11 @@ Result<Response> ParseResponseLine(std::string_view line) {
       }
       if (key == "id") {
         TPIIN_ASSIGN_OR_RETURN(resp.id, ParseJsonInt(s));
-      } else if (key == "verb" || key == "status" || key == "payload" ||
-                 key == "error") {
+      } else if (key == "req" || key == "verb" || key == "status" ||
+                 key == "payload" || key == "error") {
         TPIIN_ASSIGN_OR_RETURN(std::string value, ParseJsonString(s));
-        if (key == "verb") resp.verb = std::move(value);
+        if (key == "req") resp.request_id = std::move(value);
+        else if (key == "verb") resp.verb = std::move(value);
         else if (key == "status") resp.status = std::move(value);
         else if (key == "payload") resp.payload = std::move(value);
         else resp.error = std::move(value);

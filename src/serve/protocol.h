@@ -35,7 +35,14 @@ namespace tpiin {
 ///
 /// The response is always a flat JSON object with a fixed key order:
 ///
-///   {"id": 7, "verb": "groups", "status": "ok", "payload": "..."}
+///   {"id": 7, "req": "c3-r2", "verb": "groups", "status": "ok",
+///    "payload": "..."}
+///
+///   req      server-assigned request ID "c<conn>-r<seq>" (connection
+///            serial, then request serial within it, both 1-based).
+///            The same ID names the request in the access log, the
+///            trace and the slow ring, so one grep correlates a
+///            response with the server-side record of producing it.
 ///
 ///   status   ok        complete answer; payload carries the result
 ///            degraded  sound but partial answer (a budget bound);
@@ -61,6 +68,9 @@ struct Request {
 
 struct Response {
   int64_t id = -1;
+  /// Server-assigned request ID ("c3-r2"); empty = omitted from the
+  /// wire form (responses built outside a server, unit tests).
+  std::string request_id;
   std::string verb;
   std::string status;  ///< "ok" | "degraded" | "busy" | "error".
   std::string payload;

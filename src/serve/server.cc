@@ -9,15 +9,21 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
 #include <utility>
 
+#include "common/atomic_file.h"
 #include "common/failpoint.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "common/timer.h"
+#include "io/json_report.h"  // JsonEscape, for the slow verb's payload.
+#include "obs/prometheus.h"
+#include "obs/rss.h"
 #include "serve/protocol.h"
 
 namespace tpiin {
@@ -50,11 +56,39 @@ Status CheckFailpoint(const char* site) {
   return Failpoints::Check(site);
 }
 
+/// TraceSpan names must have static storage; map the (dynamic) verb to
+/// its literal. Unknown verbs share one bucket — the trace is a latency
+/// picture, not a request log (that is the access log's job).
+const char* SpanNameForVerb(const std::string& verb) {
+  if (verb == "groups") return "serve.groups";
+  if (verb == "explain") return "serve.explain";
+  if (verb == "rescore") return "serve.rescore";
+  if (verb == "stats") return "serve.stats";
+  if (verb == "metrics") return "serve.metrics";
+  if (verb == "slow") return "serve.slow";
+  if (verb == "healthz") return "serve.healthz";
+  if (verb == "malformed") return "serve.malformed";
+  return "serve.other";
+}
+
+const char* CacheToken(RequestTelemetry::Cache cache) {
+  switch (cache) {
+    case RequestTelemetry::Cache::kNone:
+      return "none";
+    case RequestTelemetry::Cache::kHit:
+      return "hit";
+    case RequestTelemetry::Cache::kMiss:
+      return "miss";
+  }
+  return "none";
+}
+
 }  // namespace
 
 Server::Server(const ServeOptions& options)
     : options_(options),
-      admission_(options.max_inflight, options.max_queue) {}
+      admission_(options.max_inflight, options.max_queue),
+      slow_ring_(options.slow_requests) {}
 
 Result<std::unique_ptr<Server>> Server::Start(const ServeOptions& options) {
   std::unique_ptr<Server> server(new Server(options));
@@ -66,6 +100,14 @@ Result<std::unique_ptr<Server>> Server::Start(const ServeOptions& options) {
   server->service_ = std::make_unique<QueryService>(
       server->view_->net(), server->view_->header_crc(), options.service,
       &server->metrics_);
+
+  if (!options.access_log_path.empty()) {
+    // An unopenable access log is a startup failure, not a degraded
+    // run: an operator who asked for the log must not silently lose it.
+    std::string error;
+    server->access_log_ = JsonLogSink::Open(options.access_log_path, &error);
+    if (server->access_log_ == nullptr) return Status::IOError(error);
+  }
 
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -105,7 +147,20 @@ Result<std::unique_ptr<Server>> Server::Start(const ServeOptions& options) {
   g_signal_wake_fd.store(server->wake_write_fd_, std::memory_order_release);
 
   server->started_at_ = std::chrono::steady_clock::now();
+  // Everything fallible is behind us: install the live-traffic trace
+  // recorder and start the background threads last, so a failed Start
+  // never leaves a recorder installed or a thread running.
+  if (!options.trace_out_path.empty()) {
+    server->trace_ = std::make_unique<TraceRecorder>();
+    server->trace_->Install();
+  }
+  if (!options.metrics_out_path.empty()) {
+    server->metrics_writer_ =
+        std::thread([s = server.get()] { s->MetricsWriterLoop(); });
+  }
   server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
+  TPIIN_LOG(Info) << "serving " << options.snapshot_path << " on "
+                  << options.host << ":" << server->port_;
   return server;
 }
 
@@ -160,7 +215,10 @@ void Server::AcceptLoop() {
       if (errno == EINTR || errno == ECONNABORTED) continue;
       break;
     }
-    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    // 1-based accept serial; the "c" half of this connection's request
+    // IDs ("c<conn>-r<seq>").
+    const uint64_t conn_id =
+        connections_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
 
     if (!CheckFailpoint("serve.accept").ok()) {
       // Injected accept fault: drop this connection, keep serving.
@@ -175,11 +233,23 @@ void Server::AcceptLoop() {
       connections_refused_.fetch_add(1, std::memory_order_relaxed);
       busy_.fetch_add(1, std::memory_order_relaxed);
       Response resp;
+      // r0: refused before any request line was read.
+      resp.request_id =
+          StringPrintf("c%llu-r0", static_cast<unsigned long long>(conn_id));
       resp.status = "busy";
       resp.error = StringPrintf(
           "server at capacity (%zu in flight + %zu queued)",
           options_.max_inflight, options_.max_queue);
-      WriteResponse(fd, resp);
+      const std::string wire = SerializeResponse(resp) + "\n";
+      WriteWire(fd, wire);
+      if (access_log_ != nullptr) {
+        std::vector<LogField> fields;
+        fields.emplace_back("conn", conn_id);
+        fields.emplace_back("req", resp.request_id);
+        fields.emplace_back("status", resp.status);
+        fields.emplace_back("bytes", static_cast<uint64_t>(wire.size()));
+        access_log_->Event(LogLevel::kWarning, "serve", "refused", fields);
+      }
       close(fd);
       continue;
     }
@@ -194,7 +264,8 @@ void Server::AcceptLoop() {
       // bounds how many exist at once; each hands itself back via
       // finished_threads_ when done.
       auto it = connection_threads_.emplace(connection_threads_.end());
-      *it = std::thread([this, fd, it] { HandleConnection(fd, it); });
+      *it = std::thread(
+          [this, fd, conn_id, it] { HandleConnection(fd, conn_id, it); });
     }
   }
 
@@ -242,7 +313,10 @@ bool Server::ReadLine(int fd, std::string* buffer, std::string* line) {
 }
 
 void Server::WriteResponse(int fd, const Response& response) {
-  const std::string line = SerializeResponse(response) + "\n";
+  WriteWire(fd, SerializeResponse(response) + "\n");
+}
+
+void Server::WriteWire(int fd, const std::string& line) {
   size_t written = 0;
   while (written < line.size()) {
     // MSG_NOSIGNAL: a client that hung up must surface as EPIPE, not
@@ -257,42 +331,83 @@ void Server::WriteResponse(int fd, const Response& response) {
   }
 }
 
-void Server::HandleConnection(int fd, std::list<std::thread>::iterator self) {
+void Server::HandleConnection(int fd, uint64_t conn_id,
+                              std::list<std::thread>::iterator self) {
+  TPIIN_LOG(Debug) << "connection c" << conn_id << " open";
   std::string buffer;
   std::string line;
+  uint64_t request_seq = 0;
   while (ReadLine(fd, &buffer, &line)) {
     // Blank lines are keep-alive noise, not requests.
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
 
-    if (!admission_.AcquireRequestSlot()) break;  // Shutdown abort.
+    // One span per request, covering queue wait, evaluation and the
+    // response write; named sub-spans nest inside it.
+    TPIIN_SPAN("serve.request");
+    WallTimer queue_timer;
+    bool admitted = false;
+    {
+      TPIIN_SPAN("serve.queue");
+      admitted = admission_.AcquireRequestSlot();
+    }
+    if (!admitted) break;  // Shutdown abort.
+    const uint64_t queue_us =
+        static_cast<uint64_t>(queue_timer.ElapsedMicros());
+    // Request IDs are "c<conn>-r<seq>", seq 1-based and monotonic per
+    // connection — minted here, echoed on the wire, and naming this
+    // request in the access log, the trace and the slow ring.
+    ++request_seq;
+    const std::string request_id = StringPrintf(
+        "c%llu-r%llu", static_cast<unsigned long long>(conn_id),
+        static_cast<unsigned long long>(request_seq));
     requests_.fetch_add(1, std::memory_order_relaxed);
     metrics_.GetGauge("serve.inflight")
         .Set(static_cast<int64_t>(admission_.inflight()));
 
     WallTimer timer;
     Response resp;
+    RequestTelemetry telemetry;
     Result<Request> request = ParseRequestLine(line);
-    if (!request.ok()) {
-      resp.status = "error";
-      resp.error = request.status().ToString();
-      read_errors_.fetch_add(1, std::memory_order_relaxed);
-    } else if (!CheckFailpoint("serve.handle").ok()) {
-      // Injected handler fault: this request errors, the connection
-      // and the server carry on.
-      resp.id = request->id;
-      resp.verb = request->verb;
-      resp.status = "error";
-      resp.error = "injected failure at serve.handle";
-    } else if (request->verb == "stats") {
-      resp.id = request->id;
-      resp.verb = request->verb;
-      resp.status = "ok";
-      resp.payload = BuildStatsReport().ToJson();
-      metrics_.GetCounter("serve.requests.stats").Add(1);
-    } else {
-      resp = service_->Handle(*request);
-      metrics_.GetCounter("serve.requests." + request->verb).Add(1);
+    const std::string verb = request.ok() ? request->verb : "malformed";
+    {
+#if TPIIN_OBS_ENABLED
+      TraceSpan verb_span(SpanNameForVerb(verb));
+#endif
+      if (!request.ok()) {
+        resp.status = "error";
+        resp.error = request.status().ToString();
+        read_errors_.fetch_add(1, std::memory_order_relaxed);
+      } else if (!CheckFailpoint("serve.handle").ok()) {
+        // Injected handler fault: this request errors, the connection
+        // and the server carry on.
+        resp.id = request->id;
+        resp.verb = request->verb;
+        resp.status = "error";
+        resp.error = "injected failure at serve.handle";
+      } else if (request->verb == "stats") {
+        resp.id = request->id;
+        resp.verb = request->verb;
+        resp.status = "ok";
+        resp.payload = BuildStatsReport().ToJson();
+        metrics_.GetCounter("serve.requests.stats").Add(1);
+      } else if (request->verb == "metrics") {
+        resp.id = request->id;
+        resp.verb = request->verb;
+        resp.status = "ok";
+        resp.payload = BuildMetricsText();
+        metrics_.GetCounter("serve.requests.metrics").Add(1);
+      } else if (request->verb == "slow") {
+        resp.id = request->id;
+        resp.verb = request->verb;
+        resp.status = "ok";
+        resp.payload = BuildSlowPayload();
+        metrics_.GetCounter("serve.requests.slow").Add(1);
+      } else {
+        resp = service_->Handle(*request, &telemetry);
+        metrics_.GetCounter("serve.requests." + request->verb).Add(1);
+      }
     }
+    resp.request_id = request_id;
 
     if (resp.status == "ok") {
       ok_.fetch_add(1, std::memory_order_relaxed);
@@ -303,11 +418,46 @@ void Server::HandleConnection(int fd, std::list<std::thread>::iterator self) {
     } else {
       errors_.fetch_add(1, std::memory_order_relaxed);
     }
-    const std::string verb = request.ok() ? request->verb : "malformed";
-    metrics_.GetHistogram("serve.latency_us." + verb)
-        .Record(static_cast<uint64_t>(timer.ElapsedMicros()));
+    const uint64_t handle_us =
+        static_cast<uint64_t>(timer.ElapsedMicros());
+    metrics_.GetHistogram("serve.latency_us." + verb).Record(handle_us);
+    metrics_.GetHistogram("serve.queue_us").Record(queue_us);
 
-    WriteResponse(fd, resp);
+    const std::string wire = SerializeResponse(resp) + "\n";
+    WriteWire(fd, wire);
+
+    const char* cache = CacheToken(telemetry.cache);
+    if (access_log_ != nullptr) {
+      std::vector<LogField> fields;
+      fields.reserve(8);
+      fields.emplace_back("conn", conn_id);
+      fields.emplace_back("req", request_id);
+      fields.emplace_back("verb", verb);
+      fields.emplace_back("status", resp.status);
+      fields.emplace_back("bytes", static_cast<uint64_t>(wire.size()));
+      fields.emplace_back("cache", cache);
+      fields.emplace_back("queue_us", queue_us);
+      fields.emplace_back("handle_us", handle_us);
+      access_log_->Event(resp.status == "error" ? LogLevel::kWarning
+                                                : LogLevel::kInfo,
+                         "serve", "request", fields);
+    }
+    if (slow_ring_.capacity() > 0) {
+      SlowRequest slow;
+      slow.request_id = request_id;
+      slow.verb = verb;
+      slow.status = resp.status;
+      slow.cache = cache;
+      slow.bytes = wire.size();
+      slow.queue_us = queue_us;
+      slow.handle_us = handle_us;
+      slow.detect_seconds = telemetry.detect_seconds;
+      slow.segment_seconds = telemetry.segment_seconds;
+      slow.mine_seconds = telemetry.mine_seconds;
+      slow.finalize_seconds = telemetry.finalize_seconds;
+      slow_ring_.Record(std::move(slow));
+    }
+
     admission_.ReleaseRequestSlot();
     metrics_.GetGauge("serve.inflight")
         .Set(static_cast<int64_t>(admission_.inflight()));
@@ -330,6 +480,8 @@ void Server::HandleConnection(int fd, std::list<std::thread>::iterator self) {
   }
   close(fd);
   admission_.LeaveConnection();
+  TPIIN_LOG(Debug) << "connection c" << conn_id << " closed after "
+                   << request_seq << " request(s)";
 }
 
 void Server::ReapFinishedConnections() {
@@ -349,6 +501,11 @@ void Server::DrainConnections() {
   // still owns a live write half and gets to answer.
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (active_connections_ > 0) {
+      TPIIN_LOG(Info) << "draining " << active_connections_
+                      << " connection(s), budget " << options_.drain_seconds
+                      << "s";
+    }
     for (int fd : open_fds_) shutdown(fd, SHUT_RD);
   }
   {
@@ -366,6 +523,10 @@ void Server::DrainConnections() {
   admission_.Abort();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (!open_fds_.empty()) {
+      TPIIN_LOG(Warning) << "drain budget expired; severing "
+                         << open_fds_.size() << " connection(s)";
+    }
     for (int fd : open_fds_) shutdown(fd, SHUT_RDWR);
   }
   std::unique_lock<std::mutex> lock(mu_);
@@ -395,7 +556,39 @@ ServeSummary Server::Wait() {
   for (std::thread& thread : threads) {
     if (thread.joinable()) thread.join();
   }
-  return Summary();
+
+  // Stop the metrics writer and leave one final snapshot behind, so a
+  // scrape after shutdown sees the daemon's complete lifetime.
+  if (metrics_writer_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(metrics_writer_mu_);
+      metrics_writer_stop_ = true;
+    }
+    metrics_writer_cv_.notify_all();
+    metrics_writer_.join();
+    const Status status =
+        WriteFileAtomic(options_.metrics_out_path, BuildMetricsText());
+    if (!status.ok()) {
+      TPIIN_LOG(Warning) << "final metrics snapshot failed: "
+                         << status.ToString();
+    }
+  }
+
+  // Every span-producing thread is joined, so uninstalling and merging
+  // the trace here honors TraceRecorder's no-active-spans contract.
+  if (trace_ != nullptr) {
+    TraceRecorder::Uninstall();
+    if (!trace_->WriteChromeTrace(options_.trace_out_path)) {
+      TPIIN_LOG(Warning) << "trace write failed: " << options_.trace_out_path;
+    }
+  }
+
+  const ServeSummary summary = Summary();
+  TPIIN_LOG(Info) << "serve drained: " << summary.requests << " request(s), "
+                  << summary.ok << " ok, " << summary.degraded
+                  << " degraded, " << summary.busy << " busy, "
+                  << summary.errors << " error(s)";
+  return summary;
 }
 
 ServeSummary Server::Summary() const {
@@ -453,8 +646,116 @@ RunReport Server::BuildStatsReport() const {
   cache.Set("sub_misses", service_->sub_cache().misses());
   cache.Set("sub_evictions", service_->sub_cache().evictions());
 
-  report.AttachMetrics(metrics_.Snapshot());
+  // Per-verb latency percentiles: the operator's first read, derived
+  // from the same histograms attached raw below.
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  constexpr std::string_view kLatencyPrefix = "serve.latency_us.";
+  ReportTable& latency = report.AddTable(
+      "latency_us", {"verb", "count", "p50", "p90", "p99", "max"});
+  for (const MetricsSnapshot::Entry& entry : snapshot.entries) {
+    if (entry.kind != MetricsSnapshot::Kind::kHistogram) continue;
+    if (entry.name.compare(0, kLatencyPrefix.size(), kLatencyPrefix) != 0) {
+      continue;
+    }
+    latency.AddRow()
+        .Append(entry.name.substr(kLatencyPrefix.size()))
+        .Append(entry.count)
+        .Append(entry.Quantile(0.50))
+        .Append(entry.Quantile(0.90))
+        .Append(entry.Quantile(0.99))
+        .Append(entry.max);
+  }
+
+  report.AttachMetrics(std::move(snapshot));
   return report;
+}
+
+void Server::MetricsWriterLoop() {
+  const auto interval =
+      std::chrono::duration<double>(options_.metrics_interval_seconds);
+  std::unique_lock<std::mutex> lock(metrics_writer_mu_);
+  while (!metrics_writer_stop_) {
+    if (metrics_writer_cv_.wait_for(
+            lock, interval, [this] { return metrics_writer_stop_; })) {
+      break;  // Wait() writes the final snapshot after joining us.
+    }
+    lock.unlock();
+    const Status status =
+        WriteFileAtomic(options_.metrics_out_path, BuildMetricsText());
+    if (!status.ok()) {
+      TPIIN_LOG(Warning) << "metrics snapshot failed: " << status.ToString();
+    }
+    lock.lock();
+  }
+}
+
+std::string Server::BuildMetricsText() const {
+  MetricsSnapshot snapshot = metrics_.Snapshot();
+  // Families the registry doesn't track, synthesized at render time.
+  auto add_gauge = [&snapshot](std::string name, int64_t value) {
+    MetricsSnapshot::Entry entry;
+    entry.name = std::move(name);
+    entry.kind = MetricsSnapshot::Kind::kGauge;
+    entry.gauge = value;
+    snapshot.entries.push_back(std::move(entry));
+  };
+  auto add_counter = [&snapshot](std::string name, uint64_t value) {
+    MetricsSnapshot::Entry entry;
+    entry.name = std::move(name);
+    entry.kind = MetricsSnapshot::Kind::kCounter;
+    entry.value = value;
+    snapshot.entries.push_back(std::move(entry));
+  };
+  add_gauge("serve.uptime_ms",
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::steady_clock::now() - started_at_)
+                .count());
+  add_gauge("process.current_rss_bytes", CurrentRssBytes());
+  add_gauge("process.peak_rss_bytes", PeakRssBytes());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    add_gauge("serve.connections.active",
+              static_cast<int64_t>(active_connections_));
+  }
+  const ServeSummary summary = Summary();
+  add_counter("serve.connections.accepted", summary.connections_accepted);
+  add_counter("serve.connections.refused", summary.connections_refused);
+  add_counter("serve.requests", summary.requests);
+  add_counter("serve.requests.ok", summary.ok);
+  add_counter("serve.requests.degraded", summary.degraded);
+  add_counter("serve.requests.busy", summary.busy);
+  add_counter("serve.requests.errors", summary.errors);
+  add_counter("serve.requests.read_errors", summary.read_errors);
+  std::sort(snapshot.entries.begin(), snapshot.entries.end(),
+            [](const MetricsSnapshot::Entry& a,
+               const MetricsSnapshot::Entry& b) { return a.name < b.name; });
+  return RenderPrometheusText(snapshot);
+}
+
+std::string Server::BuildSlowPayload() const {
+  const std::vector<SlowRequest> entries = slow_ring_.Snapshot();
+  std::string out = StringPrintf("{\"capacity\": %zu, \"slow\": [",
+                                 slow_ring_.capacity());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const SlowRequest& slow = entries[i];
+    if (i > 0) out += ',';
+    out += "\n  {\"req\": \"" + JsonEscape(slow.request_id) + "\"";
+    out += ", \"verb\": \"" + JsonEscape(slow.verb) + "\"";
+    out += ", \"status\": \"" + JsonEscape(slow.status) + "\"";
+    out += ", \"cache\": \"" + JsonEscape(slow.cache) + "\"";
+    out += StringPrintf(
+        ", \"bytes\": %llu, \"queue_us\": %llu, \"handle_us\": %llu",
+        static_cast<unsigned long long>(slow.bytes),
+        static_cast<unsigned long long>(slow.queue_us),
+        static_cast<unsigned long long>(slow.handle_us));
+    out += StringPrintf(
+        ", \"detect_seconds\": %.6f, \"segment_seconds\": %.6f, "
+        "\"mine_seconds\": %.6f, \"finalize_seconds\": %.6f}",
+        slow.detect_seconds, slow.segment_seconds, slow.mine_seconds,
+        slow.finalize_seconds);
+  }
+  out += entries.empty() ? "]}" : "\n]}";
+  return out;
 }
 
 }  // namespace tpiin

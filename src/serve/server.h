@@ -13,10 +13,13 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/report.h"
+#include "obs/trace.h"
 #include "serve/admission.h"
 #include "serve/service.h"
+#include "serve/slow_ring.h"
 #include "snapshot/snapshot.h"
 
 namespace tpiin {
@@ -54,6 +57,24 @@ struct ServeOptions {
   size_t max_line_bytes = 1 << 20;
 
   bool verify_checksums = true;
+
+  /// NDJSON access log: one event per answered request (plus one per
+  /// busy-at-accept refusal). Empty = off, "-" = stderr.
+  std::string access_log_path;
+
+  /// Chrome trace of live traffic: the server installs a TraceRecorder
+  /// for its lifetime and writes the merged trace here on Wait().
+  /// Empty = tracing off.
+  std::string trace_out_path;
+
+  /// Periodic Prometheus text snapshot, written atomically every
+  /// metrics_interval_seconds (and once more at shutdown). Empty = off.
+  std::string metrics_out_path;
+  double metrics_interval_seconds = 5;
+
+  /// Slow-request ring capacity (the `slow` verb's window); 0 disables
+  /// capture.
+  size_t slow_requests = 8;
 
   ServiceOptions service;
 };
@@ -124,8 +145,21 @@ class Server {
   ServeSummary Summary() const;
 
   /// The stats verb's payload: a RunReport-style JSON document with
-  /// server/request/cache sections and the per-verb latency histograms.
+  /// server/request/cache sections, a per-verb latency percentile table
+  /// and the raw metric histograms.
   RunReport BuildStatsReport() const;
+
+  /// The metrics verb's payload and the --metrics-out snapshot body:
+  /// the per-server registry plus synthesized uptime / RSS / connection
+  /// families, rendered in the Prometheus text format.
+  std::string BuildMetricsText() const;
+
+  /// The slow verb's payload: the slow-request ring as a JSON document,
+  /// slowest first.
+  std::string BuildSlowPayload() const;
+
+  /// The access-log sink, for tests (null when --access-log is unset).
+  const JsonLogSink* access_log() const { return access_log_.get(); }
 
   /// Async-signal-safe shutdown kick: writes one byte to the running
   /// server's wake pipe. The CLI's SIGINT/SIGTERM handlers call this;
@@ -138,8 +172,10 @@ class Server {
   void AcceptLoop();
   /// `self` is this connection's handle in connection_threads_; the
   /// handler moves it to finished_threads_ on the way out so the
-  /// acceptor can reap it.
-  void HandleConnection(int fd, std::list<std::thread>::iterator self);
+  /// acceptor can reap it. `conn_id` is the connection's 1-based accept
+  /// serial — the "c" half of every request ID it will mint.
+  void HandleConnection(int fd, uint64_t conn_id,
+                        std::list<std::thread>::iterator self);
   /// Joins every thread parked in finished_threads_. Called by the
   /// acceptor on each accept and by Wait() after the drain, so a
   /// long-lived server never accumulates terminated joinable threads.
@@ -148,7 +184,13 @@ class Server {
   /// timeout, overlong input or error (the connection ends either way).
   bool ReadLine(int fd, std::string* buffer, std::string* line);
   void WriteResponse(int fd, const Response& response);
+  /// Writes one already-serialized wire line (terminator included).
+  void WriteWire(int fd, const std::string& line);
   void DrainConnections();
+  /// The --metrics-out writer: wakes every metrics_interval_seconds,
+  /// snapshots BuildMetricsText() and writes it atomically. Stopped by
+  /// Wait() (which then writes one final snapshot).
+  void MetricsWriterLoop();
 
   ServeOptions options_;
   std::unique_ptr<SnapshotView> view_;
@@ -159,6 +201,19 @@ class Server {
   /// MetricsRegistry::Global() so two servers in one process (tests)
   /// don't blend.
   MetricsRegistry metrics_;
+  /// Access-log sink (--access-log); null when disabled. Request events
+  /// only — lifecycle messages go through TPIIN_LOG.
+  std::unique_ptr<JsonLogSink> access_log_;
+  /// Live-traffic trace recorder (--trace-out); installed process-wide
+  /// for the server's lifetime, so per-request spans nest around the
+  /// detection stages' own spans. Null when disabled.
+  std::unique_ptr<TraceRecorder> trace_;
+  SlowRequestRing slow_ring_;
+
+  std::thread metrics_writer_;
+  std::mutex metrics_writer_mu_;
+  std::condition_variable metrics_writer_cv_;
+  bool metrics_writer_stop_ = false;
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;

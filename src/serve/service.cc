@@ -35,6 +35,15 @@ Response PayloadResponse(const Request& request, std::string payload,
   return resp;
 }
 
+void FillDetectTimings(const DetectionTimings& timings,
+                       RequestTelemetry* telemetry) {
+  if (telemetry == nullptr) return;
+  telemetry->detect_seconds = timings.total_seconds;
+  telemetry->segment_seconds = timings.segment_seconds;
+  telemetry->mine_seconds = timings.mine_seconds;
+  telemetry->finalize_seconds = timings.finalize_seconds;
+}
+
 }  // namespace
 
 bool TimeDegraded(const DetectionResult& detection) {
@@ -101,11 +110,15 @@ struct QueryService::BundleFlight {
 };
 
 Result<std::shared_ptr<const DetectionBundle>> QueryService::GetBundle(
-    const RunBudget& budget) {
+    const RunBudget& budget, RequestTelemetry* telemetry) {
   const std::string key = BundleKey(budget);
   if (std::shared_ptr<const DetectionBundle> hit = bundle_cache_.Get(key)) {
+    if (telemetry != nullptr) telemetry->cache = RequestTelemetry::Cache::kHit;
     return hit;
   }
+  // Hit or not, the caller is now on the cold path; a single-flight
+  // follower reports a miss too, because it paid cold-path latency.
+  if (telemetry != nullptr) telemetry->cache = RequestTelemetry::Cache::kMiss;
 
   // Single-flight: N concurrent cold requests for one key must cost one
   // detection run, not N (a cold run can take minutes on a large
@@ -125,6 +138,7 @@ Result<std::shared_ptr<const DetectionBundle>> QueryService::GetBundle(
     std::unique_lock<std::mutex> lock(flight->mu);
     flight->cv.wait(lock, [&] { return flight->done; });
     if (!flight->status.ok()) return flight->status;
+    FillDetectTimings(flight->bundle->detection.timings, telemetry);
     return flight->bundle;
   }
 
@@ -149,6 +163,7 @@ Result<std::shared_ptr<const DetectionBundle>> QueryService::GetBundle(
     if (!TimeDegraded(bundle->detection)) {
       bundle_cache_.Put(key, bundle);
     }
+    FillDetectTimings(bundle->detection.timings, telemetry);
   }
 
   // Publish to waiting followers, then retire the flight. Cache Put
@@ -170,18 +185,22 @@ Result<std::shared_ptr<const DetectionBundle>> QueryService::GetBundle(
   return std::shared_ptr<const DetectionBundle>(std::move(bundle));
 }
 
-Response QueryService::Handle(const Request& request) {
-  if (request.verb == "groups") return HandleGroups(request);
-  if (request.verb == "explain") return HandleExplain(request);
-  if (request.verb == "rescore") return HandleRescore(request);
+Response QueryService::Handle(const Request& request,
+                              RequestTelemetry* telemetry) {
+  if (request.verb == "groups") return HandleGroups(request, telemetry);
+  if (request.verb == "explain") return HandleExplain(request, telemetry);
+  if (request.verb == "rescore") return HandleRescore(request, telemetry);
   if (request.verb == "healthz") return HandleHealthz(request);
   return ErrorResponse(
-      request, Status::InvalidArgument(
-                   "unknown verb: " + request.verb +
-                   " (expected groups, explain, rescore, stats, healthz)"));
+      request,
+      Status::InvalidArgument(
+          "unknown verb: " + request.verb +
+          " (expected groups, explain, rescore, stats, slow, metrics, "
+          "healthz)"));
 }
 
-Response QueryService::HandleGroups(const Request& request) {
+Response QueryService::HandleGroups(const Request& request,
+                                    RequestTelemetry* telemetry) {
   NodeId filter = kInvalidNode;
   if (!request.company.empty()) {
     auto it = node_by_label_.find(request.company);
@@ -197,7 +216,7 @@ Response QueryService::HandleGroups(const Request& request) {
     filter = it->second;
   }
   Result<std::shared_ptr<const DetectionBundle>> bundle =
-      GetBundle(EffectiveBudget(request));
+      GetBundle(EffectiveBudget(request), telemetry);
   if (!bundle.ok()) return ErrorResponse(request, bundle.status());
   const DetectionResult& detection = (*bundle)->detection;
   std::string payload;
@@ -219,7 +238,8 @@ Response QueryService::HandleGroups(const Request& request) {
   return PayloadResponse(request, std::move(payload), detection.degraded);
 }
 
-Response QueryService::HandleExplain(const Request& request) {
+Response QueryService::HandleExplain(const Request& request,
+                                     RequestTelemetry* telemetry) {
   if (request.company.empty()) {
     return ErrorResponse(
         request, Status::InvalidArgument("explain requires company=LABEL"));
@@ -235,7 +255,7 @@ Response QueryService::HandleExplain(const Request& request) {
         Status::InvalidArgument(request.company + " is a Person node"));
   }
   Result<std::shared_ptr<const DetectionBundle>> bundle =
-      GetBundle(EffectiveBudget(request));
+      GetBundle(EffectiveBudget(request), telemetry);
   if (!bundle.ok()) return ErrorResponse(request, bundle.status());
   CompanyDossier dossier = BuildCompanyDossier(
       net_, (*bundle)->detection, (*bundle)->scoring, it->second);
@@ -243,7 +263,8 @@ Response QueryService::HandleExplain(const Request& request) {
                          (*bundle)->detection.degraded);
 }
 
-Response QueryService::HandleRescore(const Request& request) {
+Response QueryService::HandleRescore(const Request& request,
+                                     RequestTelemetry* telemetry) {
   if (request.sub < 0) {
     return ErrorResponse(
         request, Status::InvalidArgument("rescore requires sub=INDEX"));
@@ -253,8 +274,10 @@ Response QueryService::HandleRescore(const Request& request) {
       BundleKey(budget) +
       StringPrintf("|sub=%lld", static_cast<long long>(request.sub));
   if (std::shared_ptr<const std::string> hit = sub_cache_.Get(key)) {
+    if (telemetry != nullptr) telemetry->cache = RequestTelemetry::Cache::kHit;
     return PayloadResponse(request, *hit, /*degraded=*/false);
   }
+  if (telemetry != nullptr) telemetry->cache = RequestTelemetry::Cache::kMiss;
 
   // Cold path: re-segment from the (mmap'd, WCC-indexed) network and
   // re-mine just the requested subTPIIN.

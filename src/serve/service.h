@@ -42,6 +42,25 @@ struct ServiceOptions {
   size_t bundle_cache_entries = 4;
 };
 
+/// What evaluating one request cost, for the access log and the slow
+/// ring. Filled (when the caller passes one) by QueryService::Handle;
+/// all zeros/kNone for verbs that touch no cache (healthz, errors).
+struct RequestTelemetry {
+  enum class Cache { kNone, kHit, kMiss };
+
+  /// Whether the verb's backing cache (bundle cache for groups/explain,
+  /// sub cache for rescore) answered. A single-flight follower counts
+  /// as a miss: the caller experienced cold-path latency.
+  Cache cache = Cache::kNone;
+
+  /// Per-stage detection timings (seconds) of the run that produced the
+  /// answer; zeros on cache hits and non-detection verbs.
+  double detect_seconds = 0;
+  double segment_seconds = 0;
+  double mine_seconds = 0;
+  double finalize_seconds = 0;
+};
+
 /// A full detection run and its scoring — the shared substrate of the
 /// `groups` and `explain` verbs, computed once per (snapshot CRC,
 /// structural caps) and cached.
@@ -76,8 +95,10 @@ class QueryService {
 
   /// Evaluates one request. Never throws; failures become
   /// `status: error` responses. `status: degraded` marks sound-but-
-  /// partial payloads (a binding budget).
-  Response Handle(const Request& request);
+  /// partial payloads (a binding budget). `telemetry` (nullable)
+  /// receives what the evaluation cost (cache outcome, stage timings).
+  Response Handle(const Request& request,
+                  RequestTelemetry* telemetry = nullptr);
 
   /// Cache introspection for the stats verb and tests.
   const LruCache<DetectionBundle>& bundle_cache() const {
@@ -102,15 +123,15 @@ class QueryService {
   /// each running a full detection. Deadline-truncated runs are
   /// returned but not cached (their content is timing-dependent).
   Result<std::shared_ptr<const DetectionBundle>> GetBundle(
-      const RunBudget& budget);
+      const RunBudget& budget, RequestTelemetry* telemetry);
 
   /// One in-progress bundle computation; followers block on `cv` until
   /// the leader publishes `done`.
   struct BundleFlight;
 
-  Response HandleGroups(const Request& request);
-  Response HandleExplain(const Request& request);
-  Response HandleRescore(const Request& request);
+  Response HandleGroups(const Request& request, RequestTelemetry* telemetry);
+  Response HandleExplain(const Request& request, RequestTelemetry* telemetry);
+  Response HandleRescore(const Request& request, RequestTelemetry* telemetry);
   Response HandleHealthz(const Request& request);
 
   const Tpiin& net_;

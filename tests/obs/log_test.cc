@@ -1,0 +1,265 @@
+// JsonLogSink and the structured-log formatters: RFC 3339 timestamps,
+// NDJSON event shape, the TPIIN_LOG backend bridge, and SIGHUP-style
+// reopen (rename + RequestReopen loses no events).
+
+#include "obs/log.h"
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/logging.h"
+
+namespace tpiin {
+namespace {
+
+std::string ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+std::vector<std::string> Lines(const std::string& text) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    out.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return out;
+}
+
+class LogSinkTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() /
+            ("tpiin_log_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name()))
+               .string();
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    SetLogBackend(nullptr);  // Never leave a dangling backend behind.
+    std::filesystem::remove_all(dir_);
+  }
+
+  std::string dir_;
+};
+
+TEST(LogFormatTest, TimestampEpoch) {
+  EXPECT_EQ(FormatLogTimestamp(0), "1970-01-01T00:00:00.000000Z");
+}
+
+TEST(LogFormatTest, TimestampKnownInstant) {
+  // 2000-01-01T00:00:00Z is 946684800 s after the epoch.
+  EXPECT_EQ(FormatLogTimestamp(946684800000000 + 123456),
+            "2000-01-01T00:00:00.123456Z");
+  EXPECT_EQ(FormatLogTimestamp(946684800000000 + 1),
+            "2000-01-01T00:00:00.000001Z");
+}
+
+TEST(LogFormatTest, UnixMicrosNowIsCurrent) {
+  // Coarse sanity: after 2020-01-01 and strictly increasing-ish.
+  const int64_t now = UnixMicrosNow();
+  EXPECT_GT(now, int64_t{1577836800} * 1000000);
+  EXPECT_GE(UnixMicrosNow(), now);
+}
+
+TEST(LogFormatTest, EventShapeIsFlatNdjson) {
+  const std::string line = FormatLogEvent(
+      LogLevel::kInfo, "serve", "request",
+      {LogField("conn", uint64_t{3}), LogField("req", "c3-r7"),
+       LogField("ok", true), LogField("gauge", int64_t{-4})},
+      946684800000000);
+  EXPECT_EQ(line,
+            R"({"ts":"2000-01-01T00:00:00.000000Z","level":"info",)"
+            R"("component":"serve","event":"request",)"
+            R"("conn":3,"req":"c3-r7","ok":true,"gauge":-4})");
+}
+
+TEST(LogFormatTest, EventEscapesStrings) {
+  const std::string line = FormatLogEvent(
+      LogLevel::kError, "a\"b", "e\nv",
+      {LogField("msg", std::string("quote\" slash\\ nl\n"))}, 0);
+  EXPECT_NE(line.find(R"("component":"a\"b")"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("event":"e\nv")"), std::string::npos) << line;
+  EXPECT_NE(line.find(R"("msg":"quote\" slash\\ nl\n")"), std::string::npos)
+      << line;
+  EXPECT_EQ(line.find('\n'), std::string::npos)
+      << "an event must be exactly one line";
+}
+
+TEST(LogFormatTest, LevelTokens) {
+  EXPECT_STREQ(LogLevelToken(LogLevel::kDebug), "debug");
+  EXPECT_STREQ(LogLevelToken(LogLevel::kInfo), "info");
+  EXPECT_STREQ(LogLevelToken(LogLevel::kWarning), "warn");
+  EXPECT_STREQ(LogLevelToken(LogLevel::kError), "error");
+}
+
+TEST_F(LogSinkTest, WritesOneLinePerEvent) {
+  const std::string path = dir_ + "/events.ndjson";
+  std::string error;
+  std::unique_ptr<JsonLogSink> sink = JsonLogSink::Open(path, &error);
+  ASSERT_NE(sink, nullptr) << error;
+  EXPECT_EQ(sink->path(), path);
+
+  sink->Event(LogLevel::kInfo, "serve", "request",
+              {LogField("req", "c1-r1"), LogField("bytes", uint64_t{42})});
+  sink->Event(LogLevel::kWarning, "serve", "refused",
+              {LogField("req", "c2-r0")});
+  EXPECT_TRUE(sink->ok());
+  EXPECT_EQ(sink->lines_written(), 2u);
+
+  const std::vector<std::string> lines = Lines(ReadFileToString(path));
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"event\":\"request\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"req\":\"c1-r1\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"bytes\":42"), std::string::npos);
+  EXPECT_NE(lines[1].find("\"level\":\"warn\""), std::string::npos);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST_F(LogSinkTest, AppendsAcrossSinks) {
+  // O_APPEND: a restarted process keeps the log, never truncates it.
+  const std::string path = dir_ + "/events.ndjson";
+  std::string error;
+  {
+    std::unique_ptr<JsonLogSink> sink = JsonLogSink::Open(path, &error);
+    ASSERT_NE(sink, nullptr) << error;
+    sink->Event(LogLevel::kInfo, "t", "first", {});
+  }
+  {
+    std::unique_ptr<JsonLogSink> sink = JsonLogSink::Open(path, &error);
+    ASSERT_NE(sink, nullptr) << error;
+    sink->Event(LogLevel::kInfo, "t", "second", {});
+  }
+  EXPECT_EQ(Lines(ReadFileToString(path)).size(), 2u);
+}
+
+TEST_F(LogSinkTest, OpenFailureReportsError) {
+  std::string error;
+  std::unique_ptr<JsonLogSink> sink =
+      JsonLogSink::Open(dir_ + "/no/such/dir/events.ndjson", &error);
+  EXPECT_EQ(sink, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST_F(LogSinkTest, StderrSinkAcceptsEvents) {
+  for (const std::string& path : {std::string(""), std::string("-")}) {
+    std::string error;
+    std::unique_ptr<JsonLogSink> sink = JsonLogSink::Open(path, &error);
+    ASSERT_NE(sink, nullptr) << error;
+    testing::internal::CaptureStderr();
+    sink->Event(LogLevel::kInfo, "t", "e", {LogField("k", "v")});
+    sink->RequestReopen();  // No-op for stderr; must not close fd 2.
+    sink->Event(LogLevel::kInfo, "t", "e2", {});
+    const std::string captured = testing::internal::GetCapturedStderr();
+    EXPECT_EQ(sink->lines_written(), 2u);
+    EXPECT_TRUE(sink->ok());
+    EXPECT_NE(captured.find("\"event\":\"e\""), std::string::npos);
+    EXPECT_NE(captured.find("\"event\":\"e2\""), std::string::npos);
+  }
+}
+
+TEST_F(LogSinkTest, ReopenFollowsRotation) {
+  // The external rotation idiom: rename the live file, then ask the
+  // sink to reopen. No event may be lost on either side of the switch.
+  const std::string path = dir_ + "/events.ndjson";
+  std::string error;
+  std::unique_ptr<JsonLogSink> sink = JsonLogSink::Open(path, &error);
+  ASSERT_NE(sink, nullptr) << error;
+
+  sink->Event(LogLevel::kInfo, "t", "before", {});
+  std::filesystem::rename(path, path + ".1");
+  sink->Event(LogLevel::kInfo, "t", "still-old", {});
+  sink->RequestReopen();
+  sink->Event(LogLevel::kInfo, "t", "after", {});
+
+  const std::string rotated = ReadFileToString(path + ".1");
+  const std::string fresh = ReadFileToString(path);
+  EXPECT_NE(rotated.find("\"event\":\"before\""), std::string::npos);
+  EXPECT_NE(rotated.find("\"event\":\"still-old\""), std::string::npos)
+      << "events before the reopen request stay on the old fd";
+  EXPECT_NE(fresh.find("\"event\":\"after\""), std::string::npos);
+  EXPECT_EQ(fresh.find("\"event\":\"before\""), std::string::npos);
+  EXPECT_EQ(sink->lines_written(), 3u);
+  EXPECT_TRUE(sink->ok());
+}
+
+TEST_F(LogSinkTest, RequestReopenAllHitsEveryLiveSink) {
+  const std::string path_a = dir_ + "/a.ndjson";
+  const std::string path_b = dir_ + "/b.ndjson";
+  std::string error;
+  std::unique_ptr<JsonLogSink> a = JsonLogSink::Open(path_a, &error);
+  std::unique_ptr<JsonLogSink> b = JsonLogSink::Open(path_b, &error);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+
+  a->Event(LogLevel::kInfo, "t", "a1", {});
+  b->Event(LogLevel::kInfo, "t", "b1", {});
+  std::filesystem::rename(path_a, path_a + ".1");
+  std::filesystem::rename(path_b, path_b + ".1");
+  JsonLogSink::RequestReopenAll();
+  a->Event(LogLevel::kInfo, "t", "a2", {});
+  b->Event(LogLevel::kInfo, "t", "b2", {});
+
+  EXPECT_NE(ReadFileToString(path_a).find("\"event\":\"a2\""),
+            std::string::npos);
+  EXPECT_NE(ReadFileToString(path_b).find("\"event\":\"b2\""),
+            std::string::npos);
+}
+
+TEST_F(LogSinkTest, BackendUpgradesTpiinLogLines) {
+  const std::string path = dir_ + "/log.ndjson";
+  std::string error;
+  std::unique_ptr<JsonLogSink> sink = JsonLogSink::Open(path, &error);
+  ASSERT_NE(sink, nullptr) << error;
+
+  SetLogBackend(sink.get());
+  TPIIN_LOG(Warning) << "boom " << 42;
+  SetLogBackend(nullptr);
+
+  const std::string text = ReadFileToString(path);
+  EXPECT_NE(text.find("\"level\":\"warn\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"event\":\"log\""), std::string::npos) << text;
+  EXPECT_NE(text.find("\"msg\":\"boom 42\""), std::string::npos) << text;
+  // Component falls back to the basename for files outside src/;
+  // the call site lands under "src" as file:line.
+  EXPECT_NE(text.find("\"component\":\"log_test\""), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("\"src\":\"log_test.cc:"), std::string::npos) << text;
+}
+
+TEST_F(LogSinkTest, BackendHonorsLogLevelGate) {
+  const std::string path = dir_ + "/log.ndjson";
+  std::string error;
+  std::unique_ptr<JsonLogSink> sink = JsonLogSink::Open(path, &error);
+  ASSERT_NE(sink, nullptr) << error;
+
+  const LogLevel old_level = GetLogLevel();
+  SetLogBackend(sink.get());
+  SetLogLevel(LogLevel::kError);
+  TPIIN_LOG(Info) << "suppressed";
+  TPIIN_LOG(Error) << "kept";
+  SetLogLevel(old_level);
+  SetLogBackend(nullptr);
+
+  const std::string text = ReadFileToString(path);
+  EXPECT_EQ(text.find("suppressed"), std::string::npos) << text;
+  EXPECT_NE(text.find("kept"), std::string::npos) << text;
+  EXPECT_EQ(sink->lines_written(), 1u);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -145,6 +145,62 @@ TEST(MetricsTest, ToJsonShape) {
   EXPECT_NE(json.find("\"buckets\": [[7,1]]"), std::string::npos) << json;
 }
 
+TEST(QuantileTest, EmptyBucketsAreZero) {
+  EXPECT_EQ(QuantileFromBuckets({}, 0.5), 0u);
+  EXPECT_EQ(QuantileFromBuckets({{4, 0}}, 0.5), 0u);
+}
+
+TEST(QuantileTest, ExactBucketEdges) {
+  // Nearest-rank over cumulative counts: rank = ceil(q * total),
+  // clamped to [1, total]; the answer is the upper bound of the first
+  // bucket whose cumulative count reaches the rank.
+  const std::vector<std::pair<uint64_t, uint64_t>> buckets = {
+      {1, 1}, {3, 1}, {7, 2}};  // total = 4
+  EXPECT_EQ(QuantileFromBuckets(buckets, 0.0), 1u);    // rank 1
+  EXPECT_EQ(QuantileFromBuckets(buckets, 0.25), 1u);   // rank 1, edge
+  EXPECT_EQ(QuantileFromBuckets(buckets, 0.26), 3u);   // rank 2
+  EXPECT_EQ(QuantileFromBuckets(buckets, 0.5), 3u);    // rank 2, edge
+  EXPECT_EQ(QuantileFromBuckets(buckets, 0.51), 7u);   // rank 3
+  EXPECT_EQ(QuantileFromBuckets(buckets, 0.75), 7u);   // rank 3, edge
+  EXPECT_EQ(QuantileFromBuckets(buckets, 1.0), 7u);    // rank 4
+}
+
+TEST(QuantileTest, QIsClampedToUnitInterval) {
+  const std::vector<std::pair<uint64_t, uint64_t>> buckets = {{1, 1},
+                                                              {15, 9}};
+  EXPECT_EQ(QuantileFromBuckets(buckets, -0.5), 1u);
+  EXPECT_EQ(QuantileFromBuckets(buckets, 2.0), 15u);
+}
+
+TEST(QuantileTest, SingleBucketAnswersItsBound) {
+  const std::vector<std::pair<uint64_t, uint64_t>> buckets = {{255, 12}};
+  EXPECT_EQ(QuantileFromBuckets(buckets, 0.0), 255u);
+  EXPECT_EQ(QuantileFromBuckets(buckets, 0.99), 255u);
+}
+
+TEST(QuantileTest, EntryQuantileClampsToObservedRange) {
+  // A histogram that saw only the value 9 puts it in the le=15 bucket;
+  // the raw bucket bound overstates it, so Entry::Quantile clamps to
+  // the observed [min, max].
+  MetricsRegistry registry;
+  registry.GetHistogram("h").Record(9);
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const MetricsSnapshot::Entry* entry = snapshot.Find("h");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->Quantile(0.5), 9u);
+  EXPECT_EQ(entry->Quantile(0.99), 9u);
+
+  // With a spread, the clamp still pins p100 to the exact max.
+  registry.GetHistogram("h").Record(1000);
+  snapshot = registry.Snapshot();
+  entry = snapshot.Find("h");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->Quantile(1.0), 1000u);
+  // p0 answers the first bucket's bound (15, the log2 resolution around
+  // 9) — inside [min, max], so the clamp leaves it alone.
+  EXPECT_EQ(entry->Quantile(0.0), 15u);
+}
+
 TEST(MetricsTest, MacrosFeedTheGlobalRegistry) {
   MetricsRegistry::Global().Reset();
   TPIIN_COUNTER_ADD("macro.counter", 2);

@@ -1,0 +1,107 @@
+// Prometheus text exposition: name mangling, family types, cumulative
+// histogram buckets with +Inf/sum/count, and the derived p50/p90/p99
+// gauge families.
+
+#include "obs/prometheus.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tpiin {
+namespace {
+
+TEST(PrometheusTest, NameManglesDotsAndPrefix) {
+  EXPECT_EQ(PrometheusName("serve.latency_us.groups", "tpiin_"),
+            "tpiin_serve_latency_us_groups");
+  EXPECT_EQ(PrometheusName("a-b c/d", ""), "a_b_c_d");
+  EXPECT_EQ(PrometheusName("Already_Legal:09", "x_"), "x_Already_Legal:09");
+}
+
+TEST(PrometheusTest, CounterGetsTotalSuffix) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.requests").Add(7);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE tpiin_serve_requests_total counter\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tpiin_serve_requests_total 7\n"), std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTest, GaugeKeepsSignedValue) {
+  MetricsRegistry registry;
+  registry.GetGauge("serve.inflight").Set(-3);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  EXPECT_NE(text.find("# TYPE tpiin_serve_inflight gauge\n"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("tpiin_serve_inflight -3\n"), std::string::npos)
+      << text;
+}
+
+TEST(PrometheusTest, HistogramBucketsAreCumulative) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat");
+  h.Record(0);  // bucket le="0"
+  h.Record(1);  // bucket le="1"
+  h.Record(5);  // bucket le="7"
+  h.Record(7);  // bucket le="7"
+  const std::string text = RenderPrometheusText(registry.Snapshot(), "t_");
+
+  EXPECT_NE(text.find("# TYPE t_lat histogram\n"), std::string::npos)
+      << text;
+  // Log2 buckets, cumulative counts: 1 at le=0, 2 at le=1, 4 at le=7.
+  EXPECT_NE(text.find("t_lat_bucket{le=\"0\"} 1\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("t_lat_bucket{le=\"1\"} 2\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("t_lat_bucket{le=\"7\"} 4\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("t_lat_bucket{le=\"+Inf\"} 4\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("t_lat_sum 13\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("t_lat_count 4\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusTest, HistogramDerivesQuantileGauges) {
+  MetricsRegistry registry;
+  Histogram& h = registry.GetHistogram("lat");
+  for (int i = 0; i < 99; ++i) h.Record(10);  // bucket le="15"
+  h.Record(1000);                             // bucket le="1023"
+  const std::string text = RenderPrometheusText(registry.Snapshot(), "t_");
+
+  EXPECT_NE(text.find("# TYPE t_lat_p50 gauge\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("t_lat_p50 15\n"), std::string::npos) << text;
+  EXPECT_NE(text.find("t_lat_p90 15\n"), std::string::npos) << text;
+  // The 99th of 100 samples is still in the first bucket; p99's rank
+  // (ceil(0.99 * 100) = 99) lands there, not on the outlier.
+  EXPECT_NE(text.find("t_lat_p99 15\n"), std::string::npos) << text;
+}
+
+TEST(PrometheusTest, EmptySnapshotRendersEmpty) {
+  MetricsRegistry registry;
+  EXPECT_EQ(RenderPrometheusText(registry.Snapshot()), "");
+}
+
+TEST(PrometheusTest, MixedFamiliesStaySorted) {
+  MetricsRegistry registry;
+  registry.GetCounter("zz").Add(1);
+  registry.GetGauge("aa").Set(2);
+  registry.GetHistogram("mm").Record(3);
+  const std::string text = RenderPrometheusText(registry.Snapshot());
+  const size_t aa = text.find("tpiin_aa ");
+  const size_t mm = text.find("tpiin_mm_count ");
+  const size_t zz = text.find("tpiin_zz_total ");
+  ASSERT_NE(aa, std::string::npos) << text;
+  ASSERT_NE(mm, std::string::npos) << text;
+  ASSERT_NE(zz, std::string::npos) << text;
+  EXPECT_LT(aa, mm);
+  EXPECT_LT(mm, zz);
+}
+
+}  // namespace
+}  // namespace tpiin

@@ -114,6 +114,37 @@ TEST(ProtocolTest, SerializeFixedKeyOrder) {
             R"("error":"no node labeled \"X\""})");
 }
 
+TEST(ProtocolTest, SerializeIncludesRequestIdOnlyWhenSet) {
+  // The request ID rides between id and verb; an empty ID is omitted
+  // entirely, so responses minted without one keep their old bytes.
+  Response resp;
+  resp.id = 7;
+  resp.request_id = "c3-r12";
+  resp.verb = "groups";
+  resp.status = "ok";
+  resp.payload = "x\n";
+  EXPECT_EQ(SerializeResponse(resp),
+            R"({"id":7,"req":"c3-r12","verb":"groups","status":"ok",)"
+            R"("payload":"x\n"})");
+
+  resp.request_id.clear();
+  EXPECT_EQ(SerializeResponse(resp),
+            R"({"id":7,"verb":"groups","status":"ok","payload":"x\n"})");
+}
+
+TEST(ProtocolTest, ParseResponseReadsRequestId) {
+  Result<Response> with = ParseResponseLine(
+      R"({"id":1,"req":"c2-r9","verb":"healthz","status":"ok",)"
+      R"("payload":"ok\n"})");
+  ASSERT_TRUE(with.ok()) << with.status().ToString();
+  EXPECT_EQ(with->request_id, "c2-r9");
+
+  Result<Response> without =
+      ParseResponseLine(R"({"verb":"healthz","status":"ok"})");
+  ASSERT_TRUE(without.ok()) << without.status().ToString();
+  EXPECT_TRUE(without->request_id.empty());
+}
+
 TEST(ProtocolTest, ResponseRoundTripIsByteExact) {
   // The payload IS the batch artifact; any byte lost or changed in the
   // serialize/parse round trip would break the identity contract.
