@@ -852,12 +852,18 @@ Status RunShardMerge(const std::vector<std::string>& args,
 
 // Signal wiring for `tpiin serve`: SIGINT/SIGTERM kick the running
 // server's wake pipe (async-signal-safe) so it drains and exits
-// cleanly; SIGHUP asks every live JSON log sink to reopen its file (the
-// logrotate idiom: rename, signal, keep writing). Handlers are restored
+// cleanly. SIGHUP does two things, both async-signal-safe: every live
+// JSON log sink reopens its file (the logrotate idiom: rename, signal,
+// keep writing) and the server revalidates + hot-reloads its snapshot
+// path (a no-op when the file's content is unchanged, so a pure
+// logrotate SIGHUP does not churn generations). Handlers are restored
 // on return, so an in-process caller (tests driving RunCli) gets its
 // dispositions back — and the sinks outlive the handler window.
 void ServeSignalHandler(int) { Server::RequestShutdownFromSignal(); }
-void ServeHupHandler(int) { JsonLogSink::RequestReopenAll(); }
+void ServeHupHandler(int) {
+  JsonLogSink::RequestReopenAll();
+  Server::RequestReloadFromSignal();
+}
 
 class ScopedServeSignals {
  public:
@@ -911,6 +917,15 @@ Status RunServe(const std::vector<std::string>& args, std::ostream& out,
                     "off)");
   flags.DefineInt64("idle-timeout-ms", 30000,
                     "close a connection idle this long");
+  flags.DefineInt64("line-deadline-ms", 10000,
+                    "a started request line must complete within this "
+                    "(slow-loris guard; 0 = off)");
+  flags.DefineInt64("write-deadline-ms", 30000,
+                    "per-send stall budget before a non-draining client "
+                    "is dropped (0 = off)");
+  flags.DefineInt64("request-deadline-ms", 0,
+                    "hard per-request wall-clock ceiling; a truncated "
+                    "request answers degraded (0 = off)");
   flags.DefineInt64("drain-ms", 10000,
                     "graceful-drain budget for in-flight requests at "
                     "shutdown");
@@ -946,6 +961,10 @@ Status RunServe(const std::vector<std::string>& args, std::ostream& out,
   options.max_queue = static_cast<size_t>(
       std::max<int64_t>(0, flags.GetInt64("max-queue")));
   options.idle_timeout_seconds = flags.GetInt64("idle-timeout-ms") / 1e3;
+  options.line_deadline_seconds = flags.GetInt64("line-deadline-ms") / 1e3;
+  options.write_deadline_seconds = flags.GetInt64("write-deadline-ms") / 1e3;
+  options.service.request_deadline_seconds =
+      flags.GetInt64("request-deadline-ms") / 1e3;
   options.drain_seconds = flags.GetInt64("drain-ms") / 1e3;
   options.verify_checksums = flags.GetBool("verify");
   options.service.threads =
@@ -978,12 +997,16 @@ Status RunServe(const std::vector<std::string>& args, std::ostream& out,
   }
 
   // Readiness line, flushed before blocking: scripts wait for it.
-  out << "serving on " << server->host() << ":" << server->port()
-      << " (snapshot " << options.snapshot_path << ", crc "
-      << StringPrintf("%08x", server->snapshot_crc()) << ", "
-      << server->net().NumNodes() << " nodes, " << server->net().NumArcs()
-      << " arcs)\n";
-  out.flush();
+  {
+    const std::shared_ptr<const SnapshotGeneration> generation =
+        server->CurrentGeneration();
+    out << "serving on " << server->host() << ":" << server->port()
+        << " (snapshot " << options.snapshot_path << ", crc "
+        << StringPrintf("%08x", generation->crc()) << ", "
+        << generation->net().NumNodes() << " nodes, "
+        << generation->net().NumArcs() << " arcs)\n";
+    out.flush();
+  }
 
   const ServeSummary summary = server->Wait();
 
@@ -1065,18 +1088,22 @@ std::string CliUsage() {
       "          --dir=DIR --out=FILE [--report=FILE]\n"
       "  serve   long-lived query daemon over a loaded snapshot:\n"
       "          newline-delimited JSON over TCP (verbs: groups, explain,\n"
-      "          rescore, stats, slow, metrics, healthz); groups/explain\n"
-      "          bytes match the batch commands exactly\n"
+      "          rescore, stats, slow, metrics, healthz, reload);\n"
+      "          groups/explain bytes match the batch commands exactly\n"
       "          --snapshot=FILE [--host=ADDR] [--port=N] [--port-file=F]\n"
       "          [--threads=T] [--max-inflight=N] [--max-queue=N]\n"
       "          [--cache-entries=N] [--bundle-cache-entries=N]\n"
-      "          [--idle-timeout-ms=N] [--drain-ms=N] [--report=FILE]\n"
+      "          [--idle-timeout-ms=N] [--line-deadline-ms=N]\n"
+      "          [--write-deadline-ms=N] [--request-deadline-ms=N]\n"
+      "          [--drain-ms=N] [--report=FILE]\n"
       "          [--access-log=FILE] [--trace-out=FILE]\n"
       "          [--metrics-out=FILE] [--metrics-interval-ms=N]\n"
       "          [--slow-requests=N] [--deadline-ms=N ...budget flags]\n"
-      "          (SIGINT/SIGTERM drain in-flight requests, SIGHUP\n"
-      "          reopens log files; exit 0 clean, 1 startup failure,\n"
-      "          2 served degraded results)\n"
+      "          (SIGINT/SIGTERM drain in-flight requests; SIGHUP\n"
+      "          reopens log files and hot-reloads the snapshot after\n"
+      "          revalidating it — a corrupt replacement is rejected and\n"
+      "          the old generation keeps serving; exit 0 clean,\n"
+      "          1 startup failure, 2 served degraded results)\n"
       "  export  render a TPIIN (or one company's neighborhood) for\n"
       "          Graphviz/Gephi\n"
       "          (--net=FILE | --snapshot=FILE) --format=dot|gexf "

@@ -95,6 +95,27 @@ class LruCache {
     index_.clear();
   }
 
+  /// Evicts every entry whose key starts with `prefix` and returns how
+  /// many were dropped. The hot-reload path uses this to discard a
+  /// retired generation's entries (keys embed the snapshot CRC, so a
+  /// dead generation is exactly one prefix) without disturbing the live
+  /// generation's warm entries. Counted as evictions.
+  size_t EvictKeysWithPrefix(const std::string& prefix) {
+    std::lock_guard<std::mutex> lock(mu_);
+    size_t dropped = 0;
+    for (auto it = lru_.begin(); it != lru_.end();) {
+      if (it->key.compare(0, prefix.size(), prefix) == 0) {
+        index_.erase(it->key);
+        it = lru_.erase(it);
+        ++evictions_;
+        ++dropped;
+      } else {
+        ++it;
+      }
+    }
+    return dropped;
+  }
+
   size_t capacity() const { return capacity_; }
   uint64_t hits() const {
     std::lock_guard<std::mutex> lock(mu_);

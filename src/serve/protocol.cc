@@ -142,9 +142,10 @@ Result<int64_t> ParseJsonInt(Scanner& s) {
 }
 
 Status SetField(Request& req, const std::string& key, Scanner& s) {
-  if (key == "verb" || key == "company") {
+  if (key == "verb" || key == "company" || key == "path") {
     TPIIN_ASSIGN_OR_RETURN(std::string value, ParseJsonString(s));
-    (key == "verb" ? req.verb : req.company) = std::move(value);
+    (key == "verb" ? req.verb : key == "company" ? req.company : req.path) =
+        std::move(value);
     return Status::OK();
   }
   int64_t* slot = nullptr;
@@ -204,6 +205,10 @@ Result<Request> ParseQueryRequest(std::string_view line) {
     std::string value(term.substr(eq + 1));
     if (key == "company") {
       req.company = std::move(value);
+      continue;
+    }
+    if (key == "path") {
+      req.path = std::move(value);
       continue;
     }
     if (key == "verb") return Malformed("verb belongs before '?'");

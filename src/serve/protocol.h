@@ -23,10 +23,12 @@ namespace tpiin {
 ///   groups?company=C0017&id=7
 ///
 /// Recognized fields (everything else is rejected as malformed):
-///   verb          groups | explain | rescore | stats | healthz
+///   verb          groups | explain | rescore | stats | healthz | reload
 ///   company       company label (groups filter; required by explain)
 ///   sub           subTPIIN emission index (required by rescore)
 ///   id            opaque caller tag, echoed in the response
+///   path          snapshot file for the reload verb (empty = revalidate
+///                 and reload the serving generation's own path)
 ///   deadline_ms   per-request wall-clock budget (RunBudget)
 ///   sub_slice_ms  per-subTPIIN pattern-walk budget
 ///   max_sub_nodes / max_sub_arcs
@@ -58,6 +60,9 @@ namespace tpiin {
 struct Request {
   std::string verb;
   std::string company;
+  /// Candidate snapshot file for the `reload` verb; empty = reload the
+  /// path the serving generation came from.
+  std::string path;
   int64_t sub = -1;  ///< -1 = absent.
   int64_t id = -1;   ///< -1 = absent; echoed verbatim when >= 0.
   int64_t deadline_ms = 0;

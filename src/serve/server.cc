@@ -30,22 +30,47 @@ namespace tpiin {
 
 namespace {
 
-/// The wake pipe's write end, published for the signal handler. One
+/// The wake pipe's write end, published for the signal handlers. One
 /// server per process may be signal-wired at a time (the CLI's case);
-/// tests running several servers drive Shutdown() directly instead.
+/// tests running several servers drive Shutdown()/Reload() directly
+/// instead.
 std::atomic<int> g_signal_wake_fd{-1};
+
+/// Wake-pipe byte protocol: the pipe carries intent, not just a wakeup.
+/// Any byte other than kWakeReload means shutdown, so the pre-reload
+/// convention (write a 1) still stops the server.
+constexpr char kWakeShutdown = 'q';
+constexpr char kWakeReload = 'r';
 
 Status ErrnoStatus(const char* what) {
   return Status::IOError(std::string(what) + ": " + std::strerror(errno));
 }
 
-void SetReadTimeout(int fd, double seconds) {
-  if (seconds <= 0) return;
+struct timeval TimeoutToTimeval(double seconds) {
   struct timeval tv;
+  if (seconds <= 0) {
+    // {0,0} = no timeout; lets a shortened deadline be reset to "none".
+    tv.tv_sec = 0;
+    tv.tv_usec = 0;
+    return tv;
+  }
   tv.tv_sec = static_cast<time_t>(seconds);
   tv.tv_usec = static_cast<suseconds_t>(
       (seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  // A sub-microsecond positive deadline must not round to "no timeout".
+  if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  return tv;
+}
+
+void SetReadTimeout(int fd, double seconds) {
+  const struct timeval tv = TimeoutToTimeval(seconds);
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+void SetWriteTimeout(int fd, double seconds) {
+  if (seconds <= 0) return;
+  const struct timeval tv = TimeoutToTimeval(seconds);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 }
 
 /// Evaluates a failpoint site without the return-macro: the serve loops
@@ -67,6 +92,7 @@ const char* SpanNameForVerb(const std::string& verb) {
   if (verb == "metrics") return "serve.metrics";
   if (verb == "slow") return "serve.slow";
   if (verb == "healthz") return "serve.healthz";
+  if (verb == "reload") return "serve.reload";
   if (verb == "malformed") return "serve.malformed";
   return "serve.other";
 }
@@ -93,21 +119,22 @@ Server::Server(const ServeOptions& options)
 Result<std::unique_ptr<Server>> Server::Start(const ServeOptions& options) {
   std::unique_ptr<Server> server(new Server(options));
 
-  SnapshotOpenOptions open_options;
-  open_options.verify_checksums = options.verify_checksums;
-  TPIIN_ASSIGN_OR_RETURN(
-      server->view_, SnapshotView::Open(options.snapshot_path, open_options));
-  server->service_ = std::make_unique<QueryService>(
-      server->view_->net(), server->view_->header_crc(), options.service,
-      &server->metrics_);
-
   if (!options.access_log_path.empty()) {
     // An unopenable access log is a startup failure, not a degraded
     // run: an operator who asked for the log must not silently lose it.
+    // Opened before the registry, which logs its reload events here.
     std::string error;
     server->access_log_ = JsonLogSink::Open(options.access_log_path, &error);
     if (server->access_log_ == nullptr) return Status::IOError(error);
   }
+
+  SnapshotOpenOptions open_options;
+  open_options.verify_checksums = options.verify_checksums;
+  server->registry_ = std::make_unique<SnapshotRegistry>(
+      options.service, open_options, &server->metrics_,
+      server->access_log_.get());
+  TPIIN_RETURN_IF_ERROR(
+      server->registry_->LoadInitial(options.snapshot_path));
 
   struct sockaddr_in addr;
   std::memset(&addr, 0, sizeof(addr));
@@ -142,8 +169,10 @@ Result<std::unique_ptr<Server>> Server::Start(const ServeOptions& options) {
   server->wake_read_fd_ = pipe_fds[0];
   server->wake_write_fd_ = pipe_fds[1];
   // Non-blocking write end: a signal handler must never block, and a
-  // full pipe already means a wakeup is pending.
+  // full pipe already means a wakeup is pending. Non-blocking read end:
+  // the acceptor drains whatever bytes are queued without parking.
   fcntl(server->wake_write_fd_, F_SETFL, O_NONBLOCK);
+  fcntl(server->wake_read_fd_, F_SETFL, O_NONBLOCK);
   g_signal_wake_fd.store(server->wake_write_fd_, std::memory_order_release);
 
   server->started_at_ = std::chrono::steady_clock::now();
@@ -158,6 +187,10 @@ Result<std::unique_ptr<Server>> Server::Start(const ServeOptions& options) {
     server->metrics_writer_ =
         std::thread([s = server.get()] { s->MetricsWriterLoop(); });
   }
+  // The reload worker exists for the server's whole lifetime (it is
+  // the SIGHUP target); idle, it costs one parked thread.
+  server->reload_worker_ =
+      std::thread([s = server.get()] { s->ReloadWorkerLoop(); });
   server->acceptor_ = std::thread([s = server.get()] { s->AcceptLoop(); });
   TPIIN_LOG(Info) << "serving " << options.snapshot_path << " on "
                   << options.host << ":" << server->port_;
@@ -177,15 +210,24 @@ void Server::RequestShutdownFromSignal() {
   // Async-signal-safe: one atomic load and one write(2).
   const int fd = g_signal_wake_fd.load(std::memory_order_acquire);
   if (fd >= 0) {
-    const char byte = 1;
-    [[maybe_unused]] ssize_t n = write(fd, &byte, 1);
+    [[maybe_unused]] ssize_t n = write(fd, &kWakeShutdown, 1);
+  }
+}
+
+void Server::RequestReloadFromSignal() {
+  // Async-signal-safe: the actual reload happens on the reload worker
+  // once the acceptor reads the byte off the pipe. A full pipe means
+  // wakeups are already pending; losing the byte would lose at most a
+  // coalesced-away duplicate reload.
+  const int fd = g_signal_wake_fd.load(std::memory_order_acquire);
+  if (fd >= 0) {
+    [[maybe_unused]] ssize_t n = write(fd, &kWakeReload, 1);
   }
 }
 
 void Server::Shutdown() {
   if (stopping_.exchange(true)) return;
-  const char byte = 1;
-  [[maybe_unused]] ssize_t n = write(wake_write_fd_, &byte, 1);
+  [[maybe_unused]] ssize_t n = write(wake_write_fd_, &kWakeShutdown, 1);
 }
 
 void Server::AcceptLoop() {
@@ -198,11 +240,30 @@ void Server::AcceptLoop() {
       if (errno == EINTR) continue;
       break;
     }
-    if (stopping_.load(std::memory_order_acquire) ||
-        (fds[1].revents & POLLIN)) {
-      stopping_.store(true, std::memory_order_release);
-      break;
+    if (fds[1].revents & POLLIN) {
+      // Drain the wake pipe and act on what it carried: reload bytes
+      // (coalesced — ten queued SIGHUPs are one reload) are handed to
+      // the reload worker; anything else is a shutdown request.
+      char bytes[64];
+      bool reload = false;
+      bool quit = false;
+      ssize_t n;
+      while ((n = read(wake_read_fd_, bytes, sizeof(bytes))) > 0) {
+        for (ssize_t i = 0; i < n; ++i) {
+          if (bytes[i] == kWakeReload) {
+            reload = true;
+          } else {
+            quit = true;
+          }
+        }
+      }
+      if (reload && !quit) NotifyReloadWorker();
+      if (quit) {
+        stopping_.store(true, std::memory_order_release);
+        break;
+      }
     }
+    if (stopping_.load(std::memory_order_acquire)) break;
     if (!(fds[0].revents & POLLIN)) continue;
 
     // Reap terminated connection threads before taking a new one, so
@@ -219,6 +280,9 @@ void Server::AcceptLoop() {
     // IDs ("c<conn>-r<seq>").
     const uint64_t conn_id =
         connections_accepted_.fetch_add(1, std::memory_order_relaxed) + 1;
+    // Every write on this connection (including the busy refusal below)
+    // is bounded: a client that stops draining cannot stall a thread.
+    SetWriteTimeout(fd, options_.write_deadline_seconds);
 
     if (!CheckFailpoint("serve.accept").ok()) {
       // Injected accept fault: drop this connection, keep serving.
@@ -241,7 +305,7 @@ void Server::AcceptLoop() {
           "server at capacity (%zu in flight + %zu queued)",
           options_.max_inflight, options_.max_queue);
       const std::string wire = SerializeResponse(resp) + "\n";
-      WriteWire(fd, wire);
+      // Log before ack, as for request records below.
       if (access_log_ != nullptr) {
         std::vector<LogField> fields;
         fields.emplace_back("conn", conn_id);
@@ -250,6 +314,7 @@ void Server::AcceptLoop() {
         fields.emplace_back("bytes", static_cast<uint64_t>(wire.size()));
         access_log_->Event(LogLevel::kWarning, "serve", "refused", fields);
       }
+      WriteWire(fd, wire);
       close(fd);
       continue;
     }
@@ -275,11 +340,22 @@ void Server::AcceptLoop() {
 }
 
 bool Server::ReadLine(int fd, std::string* buffer, std::string* line) {
+  WallTimer line_timer;
+  // The line deadline runs while a partial line is pending: leftover
+  // bytes in the buffer are mid-line from a previous recv, otherwise
+  // the clock starts at the first byte of this line. A fully idle
+  // connection stays governed by the (longer) idle timeout alone.
+  bool mid_line = !buffer->empty();
+  bool timeout_shortened = false;
+  bool injected_eintr = false;
   while (true) {
     const size_t newline = buffer->find('\n');
     if (newline != std::string::npos) {
       line->assign(*buffer, 0, newline);
       buffer->erase(0, newline + 1);
+      if (timeout_shortened) {
+        SetReadTimeout(fd, options_.idle_timeout_seconds);
+      }
       return true;
     }
     if (buffer->size() > options_.max_line_bytes) {
@@ -291,15 +367,54 @@ bool Server::ReadLine(int fd, std::string* buffer, std::string* line) {
       WriteResponse(fd, resp);
       return false;
     }
+    if (mid_line && options_.line_deadline_seconds > 0) {
+      const double remaining =
+          options_.line_deadline_seconds - line_timer.ElapsedSeconds();
+      if (remaining <= 0) {
+        // Slow loris: the line never completed inside its budget. Tell
+        // the client why, then drop the connection.
+        read_errors_.fetch_add(1, std::memory_order_relaxed);
+        Response resp;
+        resp.status = "error";
+        resp.error = StringPrintf(
+            "request line not completed within %.3fs",
+            options_.line_deadline_seconds);
+        WriteResponse(fd, resp);
+        return false;
+      }
+      double window = remaining;
+      if (options_.idle_timeout_seconds > 0) {
+        window = std::min(window, options_.idle_timeout_seconds);
+      }
+      SetReadTimeout(fd, window);
+      timeout_shortened = true;
+    }
+    // serve.io.read.*: connection-level I/O hazards. A short read must
+    // reassemble correctly; a signal-interrupted recv must retry. The
+    // EINTR injection is once per ReadLine call, so an `error` (fire
+    // every hit) policy cannot spin this loop forever.
+    size_t want = 4096;
+    if (!CheckFailpoint("serve.io.read.short").ok()) want = 1;
+    if (!injected_eintr && !CheckFailpoint("serve.io.read.eintr").ok()) {
+      injected_eintr = true;
+      continue;
+    }
     char chunk[4096];
-    const ssize_t n = recv(fd, chunk, sizeof(chunk), 0);
+    const ssize_t n = recv(fd, chunk, want, 0);
     if (n == 0) return false;  // Orderly EOF (or SHUT_RD during drain).
     if (n < 0) {
       if (errno == EINTR) continue;
-      // EAGAIN/EWOULDBLOCK = the SO_RCVTIMEO idle timeout.
-      if (errno != EAGAIN && errno != EWOULDBLOCK) {
-        read_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // The shortened SO_RCVTIMEO may fire exactly at the line
+        // deadline; route that through the deadline branch above so
+        // the client gets the explanatory error.
+        if (mid_line && options_.line_deadline_seconds > 0 &&
+            line_timer.ElapsedSeconds() >= options_.line_deadline_seconds) {
+          continue;
+        }
+        return false;  // Idle timeout.
       }
+      read_errors_.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
     if (!CheckFailpoint("serve.read").ok()) {
@@ -307,6 +422,10 @@ bool Server::ReadLine(int fd, std::string* buffer, std::string* line) {
       // server keeps serving others.
       read_errors_.fetch_add(1, std::memory_order_relaxed);
       return false;
+    }
+    if (!mid_line) {
+      mid_line = true;
+      line_timer.Restart();
     }
     buffer->append(chunk, static_cast<size_t>(n));
   }
@@ -316,19 +435,31 @@ void Server::WriteResponse(int fd, const Response& response) {
   WriteWire(fd, SerializeResponse(response) + "\n");
 }
 
-void Server::WriteWire(int fd, const std::string& line) {
+bool Server::WriteWire(int fd, const std::string& line) {
+  bool injected_eintr = false;
   size_t written = 0;
   while (written < line.size()) {
+    // serve.io.write.*: mirror of the read-side hazards — short writes
+    // must resume at the right offset, EINTR must retry (once per call,
+    // so an always-fire policy cannot loop forever).
+    size_t want = line.size() - written;
+    if (!CheckFailpoint("serve.io.write.short").ok()) want = 1;
+    if (!injected_eintr && !CheckFailpoint("serve.io.write.eintr").ok()) {
+      injected_eintr = true;
+      continue;
+    }
     // MSG_NOSIGNAL: a client that hung up must surface as EPIPE, not
     // kill the process with SIGPIPE.
-    const ssize_t n = send(fd, line.data() + written, line.size() - written,
-                           MSG_NOSIGNAL);
+    const ssize_t n = send(fd, line.data() + written, want, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
-      return;
+      // EAGAIN/EWOULDBLOCK = the SO_SNDTIMEO write deadline: the client
+      // stopped draining. Either way this connection is done.
+      return false;
     }
     written += static_cast<size_t>(n);
   }
+  return true;
 }
 
 void Server::HandleConnection(int fd, uint64_t conn_id,
@@ -402,8 +533,20 @@ void Server::HandleConnection(int fd, uint64_t conn_id,
         resp.status = "ok";
         resp.payload = BuildSlowPayload();
         metrics_.GetCounter("serve.requests.slow").Add(1);
+      } else if (request->verb == "reload") {
+        resp = HandleReloadVerb(*request);
+        metrics_.GetCounter("serve.requests.reload").Add(1);
+      } else if (request->verb == "healthz") {
+        resp = HandleHealthzVerb(*request);
+        metrics_.GetCounter("serve.requests.healthz").Add(1);
       } else {
-        resp = service_->Handle(*request, &telemetry);
+        // Pin this request's generation: it holds the shared_ptr for
+        // the whole evaluation, so a hot-reload mid-request swaps the
+        // registry but cannot unmap the snapshot being read here. The
+        // next request on this connection picks up the new generation.
+        const std::shared_ptr<const SnapshotGeneration> generation =
+            registry_->Current();
+        resp = generation->service->Handle(*request, &telemetry);
         metrics_.GetCounter("serve.requests." + request->verb).Add(1);
       }
     }
@@ -424,8 +567,12 @@ void Server::HandleConnection(int fd, uint64_t conn_id,
     metrics_.GetHistogram("serve.queue_us").Record(queue_us);
 
     const std::string wire = SerializeResponse(resp) + "\n";
-    WriteWire(fd, wire);
 
+    // Log before ack: the record must be in the file before the client
+    // can act on the response. A client that reacts to this answer by
+    // opening another connection (which may be refused, producing its
+    // own record) would otherwise race its record ahead of this one,
+    // breaking the log's happens-before ordering.
     const char* cache = CacheToken(telemetry.cache);
     if (access_log_ != nullptr) {
       std::vector<LogField> fields;
@@ -442,6 +589,9 @@ void Server::HandleConnection(int fd, uint64_t conn_id,
                                                 : LogLevel::kInfo,
                          "serve", "request", fields);
     }
+
+    const bool wrote = WriteWire(fd, wire);
+    if (!wrote) write_errors_.fetch_add(1, std::memory_order_relaxed);
     if (slow_ring_.capacity() > 0) {
       SlowRequest slow;
       slow.request_id = request_id;
@@ -461,6 +611,9 @@ void Server::HandleConnection(int fd, uint64_t conn_id,
     admission_.ReleaseRequestSlot();
     metrics_.GetGauge("serve.inflight")
         .Set(static_cast<int64_t>(admission_.inflight()));
+    // A dead write half means the client is gone; further reads would
+    // only evaluate requests whose answers cannot be delivered.
+    if (!wrote) break;
   }
 
   // Bookkeeping strictly before close(fd): once the fd is closed the
@@ -482,6 +635,78 @@ void Server::HandleConnection(int fd, uint64_t conn_id,
   admission_.LeaveConnection();
   TPIIN_LOG(Debug) << "connection c" << conn_id << " closed after "
                    << request_seq << " request(s)";
+}
+
+Response Server::HandleReloadVerb(const Request& request) {
+  Response resp;
+  resp.id = request.id;
+  resp.verb = request.verb;
+  // Synchronous: the registry validates the candidate end-to-end before
+  // answering, so an `ok` here means the swap (or no-op) is complete
+  // and the next query on any connection sees the outcome. Rejections
+  // surface the validation error verbatim; the old generation is
+  // untouched.
+  Result<ReloadOutcome> outcome = registry_->Reload(request.path);
+  if (!outcome.ok()) {
+    resp.status = "error";
+    resp.error = outcome.status().ToString();
+    return resp;
+  }
+  const SnapshotGeneration& generation = *outcome->generation;
+  resp.status = "ok";
+  resp.payload = StringPrintf(
+      "generation: %llu\nsnapshot: %s\ncrc: %08x\nswapped: %s\n",
+      static_cast<unsigned long long>(generation.id),
+      generation.path.c_str(), generation.crc(),
+      outcome->swapped ? "true" : "false");
+  return resp;
+}
+
+Response Server::HandleHealthzVerb(const Request& request) {
+  Response resp;
+  resp.id = request.id;
+  resp.verb = request.verb;
+  resp.status = "ok";
+  // First line stays the bare "ok" (a `head -1` liveness probe keeps
+  // working); the rest is the reload metadata an operator polls to
+  // confirm a swap landed.
+  const std::shared_ptr<const SnapshotGeneration> generation =
+      registry_->Current();
+  resp.payload = StringPrintf(
+      "ok\ngeneration: %llu\nsnapshot: %s\ncrc: %08x\nloaded: %s\n"
+      "reloads: ok=%llu failed=%llu unchanged=%llu\n",
+      static_cast<unsigned long long>(generation->id),
+      generation->path.c_str(), generation->crc(),
+      FormatLogTimestamp(generation->loaded_unix_micros).c_str(),
+      static_cast<unsigned long long>(registry_->reload_swaps()),
+      static_cast<unsigned long long>(registry_->reload_failures()),
+      static_cast<unsigned long long>(registry_->reload_noops()));
+  return resp;
+}
+
+void Server::NotifyReloadWorker() {
+  {
+    std::lock_guard<std::mutex> lock(reload_worker_mu_);
+    reload_pending_ = true;
+  }
+  reload_worker_cv_.notify_all();
+}
+
+void Server::ReloadWorkerLoop() {
+  std::unique_lock<std::mutex> lock(reload_worker_mu_);
+  while (true) {
+    reload_worker_cv_.wait(
+        lock, [this] { return reload_worker_stop_ || reload_pending_; });
+    if (reload_worker_stop_) break;
+    reload_pending_ = false;
+    lock.unlock();
+    // Outcome and errors are fully accounted inside the registry
+    // (counters, TPIIN_LOG, structured events); a failed SIGHUP reload
+    // must not touch the serving state, so there is nothing to do with
+    // the status here.
+    (void)registry_->Reload();
+    lock.lock();
+  }
 }
 
 void Server::ReapFinishedConnections() {
@@ -557,6 +782,18 @@ ServeSummary Server::Wait() {
     if (thread.joinable()) thread.join();
   }
 
+  // Stop the reload worker; a reload already in progress completes
+  // first (harmless: draining requests grabbed their generation long
+  // ago, and the registry outlives every connection).
+  if (reload_worker_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(reload_worker_mu_);
+      reload_worker_stop_ = true;
+    }
+    reload_worker_cv_.notify_all();
+    reload_worker_.join();
+  }
+
   // Stop the metrics writer and leave one final snapshot behind, so a
   // scrape after shutdown sees the daemon's complete lifetime.
   if (metrics_writer_.joinable()) {
@@ -603,6 +840,7 @@ ServeSummary Server::Summary() const {
   summary.busy = busy_.load(std::memory_order_relaxed);
   summary.errors = errors_.load(std::memory_order_relaxed);
   summary.read_errors = read_errors_.load(std::memory_order_relaxed);
+  summary.write_errors = write_errors_.load(std::memory_order_relaxed);
   return summary;
 }
 
@@ -613,14 +851,23 @@ RunReport Server::BuildStatsReport() const {
                                std::chrono::steady_clock::now() - started_at_)
                                .count());
 
+  const std::shared_ptr<const SnapshotGeneration> generation =
+      registry_->Current();
   ReportSection& server = report.Section("server");
   server.Set("host", options_.host);
   server.Set("port", static_cast<uint64_t>(port_));
-  server.Set("snapshot", options_.snapshot_path);
-  server.Set("snapshot_crc",
-             StringPrintf("%08x", view_->header_crc()));
+  server.Set("snapshot", generation->path);
+  server.Set("snapshot_crc", StringPrintf("%08x", generation->crc()));
+  server.Set("generation", generation->id);
+  server.Set("loaded", FormatLogTimestamp(generation->loaded_unix_micros));
   server.Set("max_inflight", options_.max_inflight);
   server.Set("max_queue", options_.max_queue);
+
+  ReportSection& reload = report.Section("reload");
+  reload.Set("attempts", registry_->reload_attempts());
+  reload.Set("swaps", registry_->reload_swaps());
+  reload.Set("noops", registry_->reload_noops());
+  reload.Set("failures", registry_->reload_failures());
 
   const ServeSummary summary = Summary();
   ReportSection& requests = report.Section("requests");
@@ -632,19 +879,23 @@ RunReport Server::BuildStatsReport() const {
   requests.Set("busy", summary.busy);
   requests.Set("errors", summary.errors);
   requests.Set("read_errors", summary.read_errors);
+  requests.Set("write_errors", summary.write_errors);
   requests.Set("inflight", admission_.inflight());
 
+  // The caches are shared across generations (keys embed each
+  // generation's CRC), so these are daemon-lifetime totals.
+  const ServeSharedState& shared = registry_->shared_state();
   ReportSection& cache = report.Section("cache");
-  cache.Set("bundle_entries", service_->bundle_cache().size());
-  cache.Set("bundle_capacity", service_->bundle_cache().capacity());
-  cache.Set("bundle_hits", service_->bundle_cache().hits());
-  cache.Set("bundle_misses", service_->bundle_cache().misses());
-  cache.Set("bundle_evictions", service_->bundle_cache().evictions());
-  cache.Set("sub_entries", service_->sub_cache().size());
-  cache.Set("sub_capacity", service_->sub_cache().capacity());
-  cache.Set("sub_hits", service_->sub_cache().hits());
-  cache.Set("sub_misses", service_->sub_cache().misses());
-  cache.Set("sub_evictions", service_->sub_cache().evictions());
+  cache.Set("bundle_entries", shared.bundle_cache.size());
+  cache.Set("bundle_capacity", shared.bundle_cache.capacity());
+  cache.Set("bundle_hits", shared.bundle_cache.hits());
+  cache.Set("bundle_misses", shared.bundle_cache.misses());
+  cache.Set("bundle_evictions", shared.bundle_cache.evictions());
+  cache.Set("sub_entries", shared.sub_cache.size());
+  cache.Set("sub_capacity", shared.sub_cache.capacity());
+  cache.Set("sub_hits", shared.sub_cache.hits());
+  cache.Set("sub_misses", shared.sub_cache.misses());
+  cache.Set("sub_evictions", shared.sub_cache.evictions());
 
   // Per-verb latency percentiles: the operator's first read, derived
   // from the same histograms attached raw below.
@@ -726,6 +977,15 @@ std::string Server::BuildMetricsText() const {
   add_counter("serve.requests.busy", summary.busy);
   add_counter("serve.requests.errors", summary.errors);
   add_counter("serve.requests.read_errors", summary.read_errors);
+  add_counter("serve.requests.write_errors", summary.write_errors);
+  // Reload families are synthesized from the registry's atomics so they
+  // exist — at zero — from the first scrape, not from the first reload.
+  add_gauge("serve.generation",
+            static_cast<int64_t>(registry_->Current()->id));
+  add_counter("serve.reload.attempts", registry_->reload_attempts());
+  add_counter("serve.reload.success", registry_->reload_swaps());
+  add_counter("serve.reload.unchanged", registry_->reload_noops());
+  add_counter("serve.reload.failures", registry_->reload_failures());
   std::sort(snapshot.entries.begin(), snapshot.entries.end(),
             [](const MetricsSnapshot::Entry& a,
                const MetricsSnapshot::Entry& b) { return a.name < b.name; });

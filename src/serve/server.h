@@ -18,6 +18,7 @@
 #include "obs/report.h"
 #include "obs/trace.h"
 #include "serve/admission.h"
+#include "serve/registry.h"
 #include "serve/service.h"
 #include "serve/slow_ring.h"
 #include "snapshot/snapshot.h"
@@ -46,6 +47,18 @@ struct ServeOptions {
   /// after this long, so parked clients cannot hold admission slots
   /// (and their I/O threads) forever.
   double idle_timeout_seconds = 30;
+
+  /// Slow-loris guard: once the first byte of a request line arrives,
+  /// the full line must follow within this budget or the request is
+  /// answered `error` and the connection closed. Without it, a client
+  /// trickling one byte per idle_timeout could pin a connection thread
+  /// indefinitely while never completing a request. 0 disables.
+  double line_deadline_seconds = 10;
+
+  /// Per-connection blocking-send timeout (SO_SNDTIMEO): a client that
+  /// stops draining its socket stalls the response write for at most
+  /// this long before the connection is declared dead. 0 disables.
+  double write_deadline_seconds = 30;
 
   /// Graceful-drain budget after shutdown is requested: in-flight
   /// requests get this long to finish and answer before the forced
@@ -88,7 +101,8 @@ struct ServeSummary {
   uint64_t degraded = 0;
   uint64_t busy = 0;   ///< Busy responses (accept-refusals + slot waits).
   uint64_t errors = 0;
-  uint64_t read_errors = 0;  ///< Malformed lines, injected read faults.
+  uint64_t read_errors = 0;   ///< Malformed lines, injected read faults.
+  uint64_t write_errors = 0;  ///< Response writes lost to a dead client.
 
   /// The serve exit-code contract, aligned with PR 4's: 0 = clean
   /// shutdown and every answered request was complete; 2 = clean
@@ -98,9 +112,13 @@ struct ServeSummary {
   int ExitCode() const { return degraded > 0 ? 2 : 0; }
 };
 
-/// The `tpiin serve` daemon: opens a snapshot once, then answers
-/// newline-delimited JSON queries (serve/protocol.h) over TCP until
-/// shut down.
+/// The `tpiin serve` daemon: opens a snapshot (generation 1 of its
+/// SnapshotRegistry), then answers newline-delimited JSON queries
+/// (serve/protocol.h) over TCP until shut down. SIGHUP or the `reload`
+/// verb hot-swaps to a re-validated snapshot with zero downtime:
+/// in-flight requests finish on the generation they started with, new
+/// requests see the new one, and a candidate that fails validation is
+/// rejected with the old generation still serving.
 ///
 /// Threading: Start() binds, listens and spawns one acceptor thread.
 /// Each accepted connection gets a dedicated I/O thread (bounded by the
@@ -130,8 +148,24 @@ class Server {
   /// The bound port (resolves option port 0 to the kernel's pick).
   uint16_t port() const { return port_; }
   const std::string& host() const { return options_.host; }
-  uint32_t snapshot_crc() const { return view_->header_crc(); }
-  const Tpiin& net() const { return view_->net(); }
+
+  /// The serving generation right now. A caller that needs the network
+  /// or CRC must hold the returned shared_ptr across its use — a
+  /// hot-reload may retire this generation at any moment, and the
+  /// shared_ptr is what keeps the mmap alive.
+  std::shared_ptr<const SnapshotGeneration> CurrentGeneration() const {
+    return registry_->Current();
+  }
+  uint32_t snapshot_crc() const { return registry_->Current()->crc(); }
+
+  /// Reload surface for tests and embedders; the daemon reaches it via
+  /// SIGHUP or the `reload` verb. Same contract as
+  /// SnapshotRegistry::Reload: validate-then-swap, old generation keeps
+  /// serving on failure.
+  Result<ReloadOutcome> Reload(const std::string& path_override = "") {
+    return registry_->Reload(path_override);
+  }
+  const SnapshotRegistry& registry() const { return *registry_; }
 
   /// Initiates shutdown (idempotent, callable from any thread) and
   /// returns immediately; Wait() observes the drain.
@@ -166,6 +200,12 @@ class Server {
   /// a no-op when no server is running.
   static void RequestShutdownFromSignal();
 
+  /// Async-signal-safe reload kick: writes the reload byte to the wake
+  /// pipe; the acceptor hands it to the reload worker, which runs
+  /// SnapshotRegistry::Reload off the signal path. The CLI's SIGHUP
+  /// handler calls this; a no-op when no server is running.
+  static void RequestReloadFromSignal();
+
  private:
   explicit Server(const ServeOptions& options);
 
@@ -181,29 +221,43 @@ class Server {
   /// long-lived server never accumulates terminated joinable threads.
   void ReapFinishedConnections();
   /// Reads one '\n'-terminated line into `line`. Returns false on EOF,
-  /// timeout, overlong input or error (the connection ends either way).
+  /// timeout, an expired line deadline, overlong input or error (the
+  /// connection ends either way).
   bool ReadLine(int fd, std::string* buffer, std::string* line);
   void WriteResponse(int fd, const Response& response);
   /// Writes one already-serialized wire line (terminator included).
-  void WriteWire(int fd, const std::string& line);
+  /// False = the connection is dead (client hung up or stalled past the
+  /// write deadline); the caller should wind the connection down.
+  bool WriteWire(int fd, const std::string& line);
+  /// The `reload` and `healthz` verbs, answered by the server (not the
+  /// QueryService) because they speak about generations.
+  Response HandleReloadVerb(const Request& request);
+  Response HandleHealthzVerb(const Request& request);
   void DrainConnections();
+  /// Runs SnapshotRegistry::Reload whenever the acceptor forwards a
+  /// SIGHUP reload byte; a dedicated thread, so a multi-second snapshot
+  /// load never stalls accepts. Stopped by Wait().
+  void ReloadWorkerLoop();
+  void NotifyReloadWorker();
   /// The --metrics-out writer: wakes every metrics_interval_seconds,
   /// snapshots BuildMetricsText() and writes it atomically. Stopped by
   /// Wait() (which then writes one final snapshot).
   void MetricsWriterLoop();
 
   ServeOptions options_;
-  std::unique_ptr<SnapshotView> view_;
-  std::unique_ptr<QueryService> service_;
   AdmissionController admission_;
   /// Per-server registry: serve.* counters, gauges and latency
   /// histograms, snapshotted into the stats verb. Kept separate from
   /// MetricsRegistry::Global() so two servers in one process (tests)
   /// don't blend.
   MetricsRegistry metrics_;
-  /// Access-log sink (--access-log); null when disabled. Request events
-  /// only — lifecycle messages go through TPIIN_LOG.
+  /// Access-log sink (--access-log); null when disabled. Request and
+  /// reload events only — lifecycle messages go through TPIIN_LOG.
   std::unique_ptr<JsonLogSink> access_log_;
+  /// Snapshot generations (declared after access_log_ — the registry
+  /// holds the sink as its reload-event target, so it must be destroyed
+  /// first).
+  std::unique_ptr<SnapshotRegistry> registry_;
   /// Live-traffic trace recorder (--trace-out); installed process-wide
   /// for the server's lifetime, so per-request spans nest around the
   /// detection stages' own spans. Null when disabled.
@@ -214,6 +268,12 @@ class Server {
   std::mutex metrics_writer_mu_;
   std::condition_variable metrics_writer_cv_;
   bool metrics_writer_stop_ = false;
+
+  std::thread reload_worker_;
+  std::mutex reload_worker_mu_;
+  std::condition_variable reload_worker_cv_;
+  bool reload_worker_stop_ = false;
+  bool reload_pending_ = false;
 
   int listen_fd_ = -1;
   int wake_read_fd_ = -1;
@@ -245,6 +305,7 @@ class Server {
   std::atomic<uint64_t> busy_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> read_errors_{0};
+  std::atomic<uint64_t> write_errors_{0};
 };
 
 }  // namespace tpiin

@@ -56,22 +56,40 @@ bool TimeDegraded(const DetectionResult& detection) {
   return false;
 }
 
+ServeSharedState::ServeSharedState(const ServiceOptions& options,
+                                   MetricsRegistry* metrics)
+    : bundle_cache(
+          options.bundle_cache_entries,
+          metrics ? &metrics->GetCounter("serve.cache.bundle_hit") : nullptr,
+          metrics ? &metrics->GetCounter("serve.cache.bundle_miss")
+                  : nullptr),
+      sub_cache(
+          options.cache_entries,
+          metrics ? &metrics->GetCounter("serve.cache.hit") : nullptr,
+          metrics ? &metrics->GetCounter("serve.cache.miss") : nullptr) {}
+
 QueryService::QueryService(const Tpiin& net, uint32_t snapshot_crc,
                            const ServiceOptions& options,
                            MetricsRegistry* metrics)
     : net_(net),
       snapshot_crc_(snapshot_crc),
       options_(options),
-      bundle_cache_(
-          options.bundle_cache_entries,
-          metrics ? &metrics->GetCounter("serve.cache.bundle_hit") : nullptr,
-          metrics ? &metrics->GetCounter("serve.cache.bundle_miss")
-                  : nullptr),
-      sub_cache_(
-          options.cache_entries,
-          metrics ? &metrics->GetCounter("serve.cache.hit") : nullptr,
-          metrics ? &metrics->GetCounter("serve.cache.miss") : nullptr) {
+      owned_state_(std::make_unique<ServeSharedState>(options, metrics)),
+      shared_(owned_state_.get()) {
   // First occurrence wins, mirroring the batch CLI's linear label scan.
+  node_by_label_.reserve(net.NumNodes());
+  for (NodeId v = 0; v < net.NumNodes(); ++v) {
+    node_by_label_.emplace(std::string(net.Label(v)), v);
+  }
+}
+
+QueryService::QueryService(const Tpiin& net, uint32_t snapshot_crc,
+                           const ServiceOptions& options,
+                           ServeSharedState& shared)
+    : net_(net),
+      snapshot_crc_(snapshot_crc),
+      options_(options),
+      shared_(&shared) {
   node_by_label_.reserve(net.NumNodes());
   for (NodeId v = 0; v < net.NumNodes(); ++v) {
     node_by_label_.emplace(std::string(net.Label(v)), v);
@@ -98,6 +116,14 @@ RunBudget QueryService::EffectiveBudget(const Request& request) const {
   if (request.max_sub_arcs > 0) {
     budget.max_sub_arcs = static_cast<size_t>(request.max_sub_arcs);
   }
+  // The service-level ceiling caps whatever the request asked for: the
+  // effective deadline is the sooner of the two, and a caller cannot
+  // opt out of it by sending a huge (or no) deadline_ms.
+  if (options_.request_deadline_seconds > 0 &&
+      (budget.deadline_seconds <= 0 ||
+       budget.deadline_seconds > options_.request_deadline_seconds)) {
+    budget.deadline_seconds = options_.request_deadline_seconds;
+  }
   return budget;
 }
 
@@ -112,7 +138,8 @@ struct QueryService::BundleFlight {
 Result<std::shared_ptr<const DetectionBundle>> QueryService::GetBundle(
     const RunBudget& budget, RequestTelemetry* telemetry) {
   const std::string key = BundleKey(budget);
-  if (std::shared_ptr<const DetectionBundle> hit = bundle_cache_.Get(key)) {
+  if (std::shared_ptr<const DetectionBundle> hit =
+          shared_->bundle_cache.Get(key)) {
     if (telemetry != nullptr) telemetry->cache = RequestTelemetry::Cache::kHit;
     return hit;
   }
@@ -147,7 +174,7 @@ Result<std::shared_ptr<const DetectionBundle>> QueryService::GetBundle(
   DetectorOptions options;
   options.num_threads = options_.threads;
   options.budget = budget;
-  options.arena_pool = &arena_pool_;
+  options.arena_pool = &shared_->arena_pool;
   Result<DetectionResult> detection = DetectSuspiciousGroups(net_, options);
   if (!detection.ok()) {
     status = detection.status();
@@ -159,9 +186,10 @@ Result<std::shared_ptr<const DetectionBundle>> QueryService::GetBundle(
         RenderSuspiciousGroups(net_, bundle->detection.groups);
     // A deadline-truncated run reflects this machine's clock, not the
     // data; serving it once (marked degraded) is honest, caching it
-    // would pin the degradation.
-    if (!TimeDegraded(bundle->detection)) {
-      bundle_cache_.Put(key, bundle);
+    // would pin the degradation. A retired generation likewise answers
+    // but no longer caches: the registry already evicted its keys.
+    if (!TimeDegraded(bundle->detection) && !retired()) {
+      shared_->bundle_cache.Put(key, bundle);
     }
     FillDetectTimings(bundle->detection.timings, telemetry);
   }
@@ -196,7 +224,7 @@ Response QueryService::Handle(const Request& request,
       Status::InvalidArgument(
           "unknown verb: " + request.verb +
           " (expected groups, explain, rescore, stats, slow, metrics, "
-          "healthz)"));
+          "healthz, reload)"));
 }
 
 Response QueryService::HandleGroups(const Request& request,
@@ -273,7 +301,7 @@ Response QueryService::HandleRescore(const Request& request,
   const std::string key =
       BundleKey(budget) +
       StringPrintf("|sub=%lld", static_cast<long long>(request.sub));
-  if (std::shared_ptr<const std::string> hit = sub_cache_.Get(key)) {
+  if (std::shared_ptr<const std::string> hit = shared_->sub_cache.Get(key)) {
     if (telemetry != nullptr) telemetry->cache = RequestTelemetry::Cache::kHit;
     return PayloadResponse(request, *hit, /*degraded=*/false);
   }
@@ -312,14 +340,14 @@ Response QueryService::HandleRescore(const Request& request,
   gen_options.deadline = Deadline::Sooner(
       Deadline::After(budget.deadline_seconds),
       Deadline::After(budget.sub_slice_seconds));
-  PatternScratch scratch = arena_pool_.Acquire();
+  PatternScratch scratch = shared_->arena_pool.Acquire();
   gen_options.scratch = &scratch;
   Result<PatternGenResult> gen = GeneratePatternBase(sub, gen_options);
   if (!gen.ok()) return ErrorResponse(request, gen.status());
   MatchResult match = MatchPatternsTree(sub, gen->tree);
   scratch.base = std::move(gen->base);
   scratch.tree = std::move(gen->tree);
-  arena_pool_.Release(std::move(scratch));
+  shared_->arena_pool.Release(std::move(scratch));
   degraded = gen->deadline_expired;
 
   std::string payload = StringPrintf(
@@ -332,8 +360,8 @@ Response QueryService::HandleRescore(const Request& request,
       match.num_complex, match.num_cycle_groups);
   payload += RenderSuspiciousGroups(net_, match.groups);
 
-  if (!degraded) {
-    sub_cache_.Put(key, std::make_shared<const std::string>(payload));
+  if (!degraded && !retired()) {
+    shared_->sub_cache.Put(key, std::make_shared<const std::string>(payload));
   }
   return PayloadResponse(request, std::move(payload), degraded);
 }

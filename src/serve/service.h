@@ -1,6 +1,7 @@
 #ifndef TPIIN_SERVE_SERVICE_H_
 #define TPIIN_SERVE_SERVICE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -40,6 +41,13 @@ struct ServiceOptions {
   /// what `groups` and `explain` read; distinct budgets are distinct
   /// entries.
   size_t bundle_cache_entries = 4;
+
+  /// Hard per-request wall-clock ceiling (seconds; 0 = none), applied
+  /// on top of any request-supplied deadline_ms: the effective deadline
+  /// is the sooner of the two. A request the ceiling truncates is
+  /// answered `degraded` (and never cached) instead of monopolizing a
+  /// connection slot for minutes. The CLI's --request-deadline-ms.
+  double request_deadline_seconds = 0;
 };
 
 /// What evaluating one request cost, for the access log and the slow
@@ -73,6 +81,23 @@ struct DetectionBundle {
   std::string groups_payload;
 };
 
+/// The cache/arena substrate shared by every generation a serving
+/// daemon loads across hot-reloads. Keys embed the snapshot CRC, so
+/// generations partition naturally inside one cache; sharing (rather
+/// than one cache per generation) means a same-CRC no-op reload keeps
+/// every warm entry, and capacity bounds total memory across
+/// generations instead of per generation. The SnapshotRegistry owns
+/// one and wires it into each generation's QueryService; standalone
+/// services (tests, single-shot tools) let QueryService create a
+/// private one.
+struct ServeSharedState {
+  ServeSharedState(const ServiceOptions& options, MetricsRegistry* metrics);
+
+  ArenaPool arena_pool;
+  LruCache<DetectionBundle> bundle_cache;
+  LruCache<std::string> sub_cache;
+};
+
 /// The verbs of the serve protocol, evaluated against one loaded TPIIN
 /// (normally a SnapshotView's net). Thread-safe: Handle may be called
 /// concurrently from any number of transport threads; caches are
@@ -87,8 +112,17 @@ class QueryService {
   /// `net` must outlive the service. `snapshot_crc` keys the caches
   /// (SnapshotView::header_crc(); any stable content fingerprint works
   /// for tests). `metrics` (nullable) receives serve.cache.* counters.
+  /// This form creates a private ServeSharedState — the standalone
+  /// (non-hot-reloading) configuration.
   QueryService(const Tpiin& net, uint32_t snapshot_crc,
                const ServiceOptions& options, MetricsRegistry* metrics);
+
+  /// The hot-reload form: caches and the arena pool live in `shared`,
+  /// owned by the SnapshotRegistry and outliving any one generation's
+  /// service. Entries this service writes are keyed by its CRC, so
+  /// distinct generations never collide inside the shared caches.
+  QueryService(const Tpiin& net, uint32_t snapshot_crc,
+               const ServiceOptions& options, ServeSharedState& shared);
 
   QueryService(const QueryService&) = delete;
   QueryService& operator=(const QueryService&) = delete;
@@ -102,11 +136,20 @@ class QueryService {
 
   /// Cache introspection for the stats verb and tests.
   const LruCache<DetectionBundle>& bundle_cache() const {
-    return bundle_cache_;
+    return shared_->bundle_cache;
   }
-  const LruCache<std::string>& sub_cache() const { return sub_cache_; }
+  const LruCache<std::string>& sub_cache() const { return shared_->sub_cache; }
 
   uint32_t snapshot_crc() const { return snapshot_crc_; }
+
+  /// Marks this service's generation as retired: the snapshot it reads
+  /// was superseded by a hot-reload. In-flight requests finish normally
+  /// (the Tpiin stays mapped until the generation's last shared_ptr
+  /// drops) but stop writing to the shared caches, so a request that
+  /// straddles the swap cannot re-populate entries the registry just
+  /// evicted for this generation's CRC.
+  void Retire() { retired_.store(true, std::memory_order_release); }
+  bool retired() const { return retired_.load(std::memory_order_acquire); }
 
  private:
   /// Cache key of the detection bundle a request needs: snapshot CRC
@@ -137,10 +180,12 @@ class QueryService {
   const Tpiin& net_;
   const uint32_t snapshot_crc_;
   const ServiceOptions options_;
-  ArenaPool arena_pool_;
-  LruCache<DetectionBundle> bundle_cache_;
-  LruCache<std::string> sub_cache_;
-  /// In-progress bundle computations, keyed like bundle_cache_. Guarded
+  /// Private substrate of the standalone constructor; null when the
+  /// caller supplied a registry-owned ServeSharedState.
+  std::unique_ptr<ServeSharedState> owned_state_;
+  ServeSharedState* shared_;
+  std::atomic<bool> retired_{false};
+  /// In-progress bundle computations, keyed like the bundle cache. Guarded
   /// by flight_mu_; entries live only while a leader is computing.
   std::mutex flight_mu_;
   std::unordered_map<std::string, std::shared_ptr<BundleFlight>>

@@ -97,9 +97,12 @@ TEST(ProtocolTest, JsonStringEscapes) {
 TEST(ProtocolTest, SerializeFixedKeyOrder) {
   Response resp;
   resp.id = 7;
-  resp.verb = "groups";
-  resp.status = "ok";
-  resp.payload = "line1\nline2\n";
+  // std::string temporaries (move-assigned) rather than const char*
+  // assignment: GCC 12's -Wmaybe-uninitialized misfires on the
+  // char-pointer assign path when everything inlines into this body.
+  resp.verb = std::string("groups");
+  resp.status = std::string("ok");
+  resp.payload = std::string("line1\nline2\n");
   EXPECT_EQ(SerializeResponse(resp),
             R"({"id":7,"verb":"groups","status":"ok",)"
             R"("payload":"line1\nline2\n"})");

@@ -225,19 +225,99 @@ TEST_F(ServeResilienceTest, SigtermDuringInFlightDrainsAndExitsZero) {
   EXPECT_FALSE(client.RoundTrip("healthz").ok());
 }
 
+TEST_F(ServeResilienceTest, ShortIoFailpointsPreserveByteIdentity) {
+  // serve.io.read.short / serve.io.write.short with an always-fire
+  // policy force every recv to 1 byte granularity and every send to
+  // 1-byte chunks. Reassembly must be exact: the groups payload stays
+  // byte-identical to the clean-path payload.
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+
+  std::string clean;
+  {
+    TestClient client = Connect(*server);
+    Result<Response> resp = client.RoundTrip("groups");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    ASSERT_EQ(resp->status, "ok") << resp->error;
+    clean = resp->payload;
+    ASSERT_FALSE(clean.empty());
+  }
+
+  ASSERT_TRUE(Failpoints::Configure("serve.io.read.short:error,"
+                                    "serve.io.write.short:error")
+                  .ok());
+  TestClient shorted = Connect(*server);
+  Result<Response> resp = shorted.RoundTrip("groups");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  ASSERT_EQ(resp->status, "ok") << resp->error;
+  EXPECT_EQ(resp->payload, clean);
+  EXPECT_GE(Failpoints::HitCount("serve.io.write.short"), clean.size());
+}
+
+TEST_F(ServeResilienceTest, EintrFailpointsRetryTransparently) {
+  // One injected EINTR per ReadLine/WriteWire call even under an
+  // always-fire policy: the retry must be invisible to the client.
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(Failpoints::Configure("serve.io.read.eintr:error,"
+                                    "serve.io.write.eintr:error")
+                  .ok());
+
+  TestClient client = Connect(*server);
+  for (int i = 0; i < 3; ++i) {
+    Result<Response> resp = client.RoundTrip("healthz");
+    ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+    EXPECT_EQ(resp->status, "ok");
+  }
+}
+
+TEST_F(ServeResilienceTest, ReloadFaultKeepsOldGenerationServing) {
+  // An injected reload failure (the serve.reload family the ASan smoke
+  // drives) is a rejected candidate like any other: error answer on
+  // the verb, old generation untouched, daemon keeps serving.
+  std::unique_ptr<Server> server = StartServer();
+  ASSERT_NE(server, nullptr);
+  ASSERT_TRUE(Failpoints::Configure("serve.reload:error@1").ok());
+
+  TestClient client = Connect(*server);
+  Result<Response> faulted = client.RoundTrip("reload");
+  ASSERT_TRUE(faulted.ok()) << faulted.status().ToString();
+  EXPECT_EQ(faulted->status, "error");
+  EXPECT_NE(faulted->error.find("serve.reload"), std::string::npos)
+      << faulted->error;
+  EXPECT_EQ(server->registry().reload_failures(), 1u);
+  EXPECT_EQ(server->CurrentGeneration()->id, 1u);
+
+  // The failpoint budget is spent: the next reload verb succeeds (a
+  // no-op, same bytes) and normal traffic never blinked.
+  Result<Response> retried = client.RoundTrip("reload");
+  ASSERT_TRUE(retried.ok());
+  EXPECT_EQ(retried->status, "ok") << retried->error;
+  Result<Response> groups = client.RoundTrip("groups");
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->status, "ok") << groups->error;
+}
+
 TEST_F(ServeResilienceTest, ServeFailpointSitesAreRegistered) {
-  // The CI failpoint smoke drives serve.*:p0.05 — the three sites must
-  // actually be evaluated on the hot paths.
+  // The CI failpoint smoke drives serve.*:p0.05 — every site must
+  // actually be evaluated on its hot path.
   std::unique_ptr<Server> server = StartServer();
   ASSERT_NE(server, nullptr);
   ASSERT_TRUE(Failpoints::Configure("serve.accept:off").ok());
 
   TestClient client = Connect(*server);
   ASSERT_TRUE(client.RoundTrip("healthz").ok());
+  ASSERT_TRUE(client.RoundTrip("reload").ok());
 
   EXPECT_GE(Failpoints::HitCount("serve.accept"), 1u);
   EXPECT_GE(Failpoints::HitCount("serve.read"), 1u);
   EXPECT_GE(Failpoints::HitCount("serve.handle"), 1u);
+  EXPECT_GE(Failpoints::HitCount("serve.io.read.short"), 1u);
+  EXPECT_GE(Failpoints::HitCount("serve.io.read.eintr"), 1u);
+  EXPECT_GE(Failpoints::HitCount("serve.io.write.short"), 1u);
+  EXPECT_GE(Failpoints::HitCount("serve.io.write.eintr"), 1u);
+  EXPECT_GE(Failpoints::HitCount("serve.reload"), 1u);
+  EXPECT_GE(Failpoints::HitCount("serve.reload.open"), 1u);
 }
 
 }  // namespace

@@ -85,7 +85,14 @@ TEST_F(ServerTest, HealthzAndIdEcho) {
   ASSERT_TRUE(resp.ok()) << resp.status().ToString();
   EXPECT_EQ(resp->status, "ok");
   EXPECT_EQ(resp->id, 42);
-  EXPECT_EQ(resp->payload, "ok\n");
+  // First line is the bare liveness token; the rest is reload metadata
+  // (generation id, CRC, load time, reload counters).
+  EXPECT_EQ(resp->payload.rfind("ok\n", 0), 0u) << resp->payload;
+  EXPECT_NE(resp->payload.find("generation: 1\n"), std::string::npos)
+      << resp->payload;
+  EXPECT_NE(resp->payload.find("reloads: ok=0 failed=0 unchanged=0"),
+            std::string::npos)
+      << resp->payload;
 }
 
 TEST_F(ServerTest, ManyRequestsOnOneConnection) {
@@ -301,6 +308,63 @@ TEST_F(ServerTest, SequentialConnectionsDoNotAccumulateThreads) {
   server->Shutdown();
   EXPECT_EQ(server->Wait().ExitCode(), 0);
 #endif
+}
+
+TEST_F(ServerTest, LineDeadlineDropsSlowLorisAndKeepsServingOthers) {
+  ServeOptions options;
+  options.line_deadline_seconds = 0.2;
+  std::unique_ptr<Server> server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+
+  // A slow loris: first bytes of a request line arrive, then nothing.
+  // The line deadline (not the much longer idle timeout) must fire,
+  // answer with an explanatory error, and drop the connection.
+  TestClient loris = Connect(*server);
+  ASSERT_TRUE(loris.SendRaw("gro").ok());
+  Result<std::string> line = loris.ReadLine();
+  ASSERT_TRUE(line.ok()) << line.status().ToString();
+  Result<Response> resp = ParseResponseLine(*line);
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, "error");
+  EXPECT_NE(resp->error.find("not completed"), std::string::npos)
+      << resp->error;
+  EXPECT_FALSE(loris.ReadLine().ok()) << "connection must be closed";
+
+  // The deadline is per-connection: a well-behaved client on the same
+  // server is unaffected, including lines that arrive in two pieces
+  // (a partial line that *completes* in budget is fine).
+  TestClient good = Connect(*server);
+  ASSERT_TRUE(good.SendRaw("heal").ok());
+  ASSERT_TRUE(good.SendRaw("thz\n").ok());
+  Result<std::string> ok_line = good.ReadLine();
+  ASSERT_TRUE(ok_line.ok()) << ok_line.status().ToString();
+  Result<Response> ok_resp = ParseResponseLine(*ok_line);
+  ASSERT_TRUE(ok_resp.ok());
+  EXPECT_EQ(ok_resp->status, "ok");
+
+  server->Shutdown();
+  ServeSummary summary = server->Wait();
+  EXPECT_EQ(summary.read_errors, 1u);
+}
+
+TEST_F(ServerTest, RequestDeadlineCapsEvaluationAsDegraded) {
+  // A server-side per-request ceiling the client cannot opt out of: an
+  // effectively-zero deadline degrades every groups evaluation, even
+  // one that asks for a generous budget of its own.
+  ServeOptions options;
+  options.service.request_deadline_seconds = 1e-9;
+  std::unique_ptr<Server> server = StartServer(options);
+  ASSERT_NE(server, nullptr);
+  TestClient client = Connect(*server);
+
+  Result<Response> resp = client.RoundTrip("groups");
+  ASSERT_TRUE(resp.ok()) << resp.status().ToString();
+  EXPECT_EQ(resp->status, "degraded") << resp->error;
+
+  Result<Response> generous = client.RoundTrip("groups?deadline_ms=60000");
+  ASSERT_TRUE(generous.ok()) << generous.status().ToString();
+  EXPECT_EQ(generous->status, "degraded")
+      << "client budget must not widen the server ceiling";
 }
 
 TEST_F(ServerTest, TwoServersOnOneProcessStayIsolated) {

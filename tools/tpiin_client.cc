@@ -12,6 +12,13 @@
 // response line instead. Exit code: 0 for status ok, 2 for degraded,
 // 3 for busy, 1 for error (server-side or transport).
 //
+// --retries=N retries the two transient outcomes — connect refusal
+// (daemon not up yet, listen backlog full) and a `busy` response
+// (admission control at capacity) — with exponential backoff plus
+// ±25% jitter starting at --backoff-ms, so N scripted clients hitting
+// a saturated daemon spread out instead of stampeding in lockstep.
+// Definite outcomes (ok, degraded, error) are never retried.
+//
 // Watch mode: --watch=MS polls the `metrics` verb over one persistent
 // connection (reconnecting if the daemon's idle timeout closes it) and
 // renders a one-line summary per tick — for eyeballing a running
@@ -24,10 +31,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <ctime>
 #include <map>
+#include <random>
 #include <string>
 #include <vector>
 
@@ -187,6 +197,18 @@ void PrintWatchLine(int64_t tick, const std::map<std::string, double>& m,
   std::fflush(stdout);
 }
 
+/// Sleep before retry attempt N (0-based): backoff_ms doubled per
+/// attempt, capped at 5s, with ±25% jitter so a fleet of scripted
+/// clients that all hit `busy` at once doesn't retry in lockstep.
+void BackoffSleep(int64_t backoff_ms, int64_t attempt, std::mt19937* rng) {
+  double delay = static_cast<double>(backoff_ms);
+  for (int64_t i = 0; i < attempt && delay < 5000.0; ++i) delay *= 2.0;
+  delay = std::min(delay, 5000.0);
+  std::uniform_real_distribution<double> jitter(0.75, 1.25);
+  delay *= jitter(*rng);
+  usleep(static_cast<useconds_t>(std::max(1.0, delay) * 1000.0));
+}
+
 int RunWatch(const std::string& host, int64_t port, int64_t timeout_ms,
              int64_t watch_ms, int64_t watch_count) {
   int fd = -1;
@@ -240,6 +262,12 @@ int main(int argc, char** argv) {
   flags.DefineBool("raw", false,
                    "print the full JSON response line, not the payload");
   flags.DefineInt64("timeout-ms", 60000, "receive timeout");
+  flags.DefineInt64("retries", 0,
+                    "retry connect refusal and busy responses up to N "
+                    "times (one-shot mode only)");
+  flags.DefineInt64("backoff-ms", 100,
+                    "initial retry backoff; doubles per attempt with "
+                    "jitter, capped at 5000 ms");
   flags.DefineInt64("watch", 0,
                     "poll the metrics verb every N ms and print one "
                     "summary line per tick (0 = one-shot)");
@@ -265,27 +293,45 @@ int main(int argc, char** argv) {
                     flags.GetInt64("watch-count"));
   }
   const std::string& request = flags.positional()[0];
+  const int64_t retries = std::max<int64_t>(0, flags.GetInt64("retries"));
+  const int64_t backoff_ms =
+      std::max<int64_t>(1, flags.GetInt64("backoff-ms"));
+  std::mt19937 rng(static_cast<uint32_t>(std::time(nullptr)) ^
+                   static_cast<uint32_t>(getpid()));
 
   std::string error;
-  const int fd =
-      ConnectTo(flags.GetString("host"), port, flags.GetInt64("timeout-ms"),
-                &error);
-  if (fd < 0) return Fail("connect", error);
-
   std::string reply;
-  if (!RoundTrip(fd, request, &reply, &error)) {
+  tpiin::Result<tpiin::Response> parsed =
+      tpiin::Status::Internal("no attempt made");
+  for (int64_t attempt = 0;; ++attempt) {
+    const int fd = ConnectTo(flags.GetString("host"), port,
+                             flags.GetInt64("timeout-ms"), &error);
+    if (fd < 0) {
+      // Connect refusal is the classic transient: the daemon is still
+      // loading its snapshot, or the listen backlog overflowed.
+      if (attempt < retries) {
+        BackoffSleep(backoff_ms, attempt, &rng);
+        continue;
+      }
+      return Fail("connect", error);
+    }
+    if (!RoundTrip(fd, request, &reply, &error)) {
+      close(fd);
+      return Fail("round trip", error);
+    }
     close(fd);
-    return Fail("round trip", error);
+    parsed = tpiin::ParseResponseLine(reply);
+    if (!parsed.ok()) return Fail("response", parsed.status().ToString());
+    // `busy` means admission control shed us; every other status is a
+    // definite answer (ok/degraded carry a payload, error is final).
+    if (parsed->status != "busy" || attempt >= retries) break;
+    BackoffSleep(backoff_ms, attempt, &rng);
   }
-  close(fd);
 
   if (flags.GetBool("raw")) {
     std::fwrite(reply.data(), 1, reply.size(), stdout);
     std::fputc('\n', stdout);
-  }
-  tpiin::Result<tpiin::Response> parsed = tpiin::ParseResponseLine(reply);
-  if (!parsed.ok()) return Fail("response", parsed.status().ToString());
-  if (!flags.GetBool("raw")) {
+  } else {
     if (parsed->status == "ok" || parsed->status == "degraded") {
       std::fwrite(parsed->payload.data(), 1, parsed->payload.size(), stdout);
     } else {
